@@ -1,0 +1,215 @@
+(* deadmem — command-line driver.
+
+   Subcommands:
+     analyze FILE    detect dead data members in a MiniC++ translation unit
+     run FILE        execute a MiniC++ program under the instrumented
+                     interpreter and print the object-space profile
+     callgraph FILE  print (or dot-dump) the program's call graph
+     bench NAME      analyze + run one of the built-in paper benchmarks *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let src =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else read_file path
+  in
+  Sema.Type_check.check_source ~file:path src
+
+let handle_errors f =
+  try f () with
+  | Frontend.Source.Compile_error d ->
+      Fmt.epr "%a@." Frontend.Source.pp_diagnostic d;
+      exit 1
+  | Runtime.Value.Runtime_error m ->
+      Fmt.epr "runtime error: %s@." m;
+      exit 1
+
+(* -- shared options -------------------------------------------------------- *)
+
+let file_arg =
+  let doc = "MiniC++ source file ('-' reads standard input)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let callgraph_alg =
+  let doc = "Call-graph construction algorithm: 'rta' (default) or 'cha'." in
+  let alg =
+    Arg.enum [ ("rta", Callgraph.Rta); ("cha", Callgraph.Cha) ]
+  in
+  Arg.(value & opt alg Callgraph.Rta & info [ "callgraph" ] ~docv:"ALG" ~doc)
+
+let conservative_flag =
+  let doc =
+    "Use the fully conservative configuration: sizeof marks contained \
+     members live and down-casts are not assumed safe. The default mirrors \
+     the paper's evaluation setup (sizeof is allocation-only; down-casts \
+     verified by the user)."
+  in
+  Arg.(value & flag & info [ "conservative" ] ~doc)
+
+let library_classes_opt =
+  let doc =
+    "Comma-separated class names treated as source-unavailable library \
+     classes: their members are not classified and user overrides of their \
+     virtual methods become call-graph roots."
+  in
+  Arg.(value & opt (list string) [] & info [ "library-classes" ] ~docv:"NAMES" ~doc)
+
+let config_of ~alg ~conservative ~library_classes =
+  let base = if conservative then Deadmem.Config.default else Deadmem.Config.paper in
+  let base = { base with Deadmem.Config.call_graph = alg } in
+  Deadmem.Config.with_library_classes library_classes base
+
+(* -- analyze ----------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run file alg conservative library_classes verbose =
+    handle_errors (fun () ->
+        let prog = load file in
+        let config = config_of ~alg ~conservative ~library_classes in
+        let result = Deadmem.Liveness.analyze ~config prog in
+        let report = Deadmem.Report.of_result prog result in
+        Fmt.pr "configuration: %a@." Deadmem.Config.pp config;
+        if verbose then Fmt.pr "%a" Deadmem.Liveness.pp_result result
+        else
+          List.iter
+            (fun m -> Fmt.pr "DEAD %s@." (Sema.Member.to_string m))
+            (Deadmem.Liveness.dead_members result);
+        Fmt.pr "%a" Deadmem.Report.pp report;
+        0)
+    |> exit
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every member with its classification.")
+  in
+  let doc = "Detect dead data members in a MiniC++ program." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ file_arg $ callgraph_alg $ conservative_flag
+          $ library_classes_opt $ verbose)
+
+(* -- run ---------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run file profile step_limit =
+    handle_errors (fun () ->
+        let prog = load file in
+        let dead =
+          if profile then
+            Deadmem.Liveness.dead_set
+              (Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog)
+          else Sema.Member.Set.empty
+        in
+        let outcome = Runtime.Interp.run ~dead ~step_limit prog in
+        print_string outcome.Runtime.Interp.output;
+        Fmt.pr "@.-- exit %d after %d steps --@." outcome.Runtime.Interp.return_value
+          outcome.Runtime.Interp.steps;
+        Fmt.pr "%a@." Runtime.Profile.pp_snapshot outcome.Runtime.Interp.snapshot;
+        outcome.Runtime.Interp.return_value)
+    |> exit
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Run the dead-member analysis first and report dead object space.")
+  in
+  let step_limit =
+    Arg.(value & opt int Runtime.Interp.default_step_limit
+         & info [ "step-limit" ] ~docv:"N" ~doc:"Interpreter step budget.")
+  in
+  let doc = "Execute a MiniC++ program under the instrumented interpreter." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ file_arg $ profile $ step_limit)
+
+(* -- callgraph ---------------------------------------------------------------- *)
+
+let callgraph_cmd =
+  let run file alg dot =
+    handle_errors (fun () ->
+        let prog = load file in
+        let cg = Callgraph.build ~algorithm:alg prog in
+        if dot then print_string (Callgraph.to_dot cg)
+        else Fmt.pr "%a" Callgraph.pp cg;
+        0)
+    |> exit
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot instead of text.")
+  in
+  let doc = "Build and print the program's call graph." in
+  Cmd.v (Cmd.info "callgraph" ~doc) Term.(const run $ file_arg $ callgraph_alg $ dot)
+
+(* -- strip -------------------------------------------------------------------- *)
+
+let strip_cmd =
+  let run file alg conservative library_classes =
+    handle_errors (fun () ->
+        let src =
+          if file = "-" then In_channel.input_all In_channel.stdin
+          else read_file file
+        in
+        let config = config_of ~alg ~conservative ~library_classes in
+        let text, removed =
+          Deadmem.Eliminate.strip_to_source ~config ~source:src ~file ()
+        in
+        List.iter
+          (fun m -> Fmt.epr "removed %s@." (Sema.Member.to_string m))
+          (Sema.Member.Set.elements removed);
+        print_string text;
+        0)
+    |> exit
+  in
+  let doc =
+    "Remove dead data members (and unreachable code) from a MiniC++ \
+     program and print the transformed source — the space optimization \
+     the paper proposes."
+  in
+  Cmd.v (Cmd.info "strip" ~doc)
+    Term.(const run $ file_arg $ callgraph_alg $ conservative_flag
+          $ library_classes_opt)
+
+(* -- bench -------------------------------------------------------------------- *)
+
+let bench_cmd =
+  let run name =
+    handle_errors (fun () ->
+        match Benchmarks.Suite.find name with
+        | None ->
+            Fmt.epr "unknown benchmark '%s'; available: %s@." name
+              (String.concat ", "
+                 (List.map (fun (b : Benchmarks.Suite.t) -> b.name)
+                    Benchmarks.Suite.all));
+            1
+        | Some b ->
+            let prog = Benchmarks.Suite.program b in
+            let r = Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog in
+            let report = Deadmem.Report.of_result prog r in
+            let outcome =
+              Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set r) prog
+            in
+            Fmt.pr "%s: %s (%d LOC)@." b.name b.description
+              (Benchmarks.Suite.loc b);
+            Fmt.pr "%a" Deadmem.Report.pp report;
+            Fmt.pr "output: %s" outcome.Runtime.Interp.output;
+            Fmt.pr "%a@." Runtime.Profile.pp_snapshot outcome.Runtime.Interp.snapshot;
+            0)
+    |> exit
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+         ~doc:"Benchmark name (e.g. richards, jikes, taldict).")
+  in
+  let doc = "Analyze and run one of the built-in paper benchmarks." in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ name_arg)
+
+let () =
+  let doc = "dead data member detection for MiniC++ (Sweeney & Tip, PLDI'98)" in
+  let info = Cmd.info "deadmem" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ analyze_cmd; run_cmd; callgraph_cmd; strip_cmd; bench_cmd ]))

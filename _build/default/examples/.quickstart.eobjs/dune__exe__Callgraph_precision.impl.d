@@ -1,0 +1,1 @@
+examples/callgraph_precision.ml: Callgraph Deadmem Fmt Sema

@@ -1,0 +1,1 @@
+examples/library_pruning.ml: Benchmarks Deadmem Fmt List Runtime Sema

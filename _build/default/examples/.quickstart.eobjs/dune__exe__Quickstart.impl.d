@@ -1,0 +1,1 @@
+examples/quickstart.ml: Deadmem Fmt List Runtime Sema

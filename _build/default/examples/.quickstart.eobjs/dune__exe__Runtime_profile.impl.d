@@ -1,0 +1,1 @@
+examples/runtime_profile.ml: Benchmarks Deadmem Fmt Runtime

@@ -1,0 +1,1 @@
+examples/strip_optimize.ml: Deadmem Fmt Layout List Runtime Sema

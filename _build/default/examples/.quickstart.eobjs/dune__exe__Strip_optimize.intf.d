@@ -1,0 +1,1 @@
+examples/strip_optimize.mli:

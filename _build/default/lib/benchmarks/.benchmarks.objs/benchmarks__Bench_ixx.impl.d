@@ -1,0 +1,1 @@
+lib/benchmarks/bench_ixx.ml:

@@ -1,0 +1,378 @@
+(* deltablue — incremental dataflow constraint solver (Table 1: 1,250 LOC,
+   10 classes (8 used), 23 data members). A MiniC++ port of the DeltaBlue
+   one-way constraint solver: a chain of equality constraints with stay and
+   edit constraints at the ends, solved incrementally by walkabout-strength
+   propagation. As in the paper, the solver is tight code: no dead data
+   members. *)
+
+let name = "deltablue"
+let description = "Incremental dataflow constraint solver"
+let uses_class_library = false
+
+let source =
+  {|
+// deltablue.mcc - one-way dataflow constraint solver
+
+enum { REQUIRED = 0, STRONG_PREFERRED = 1, PREFERRED = 2,
+       STRONG_DEFAULT = 3, NORMAL = 4, WEAK_DEFAULT = 5, WEAKEST = 6 };
+
+class Constraint;
+
+class Variable {
+public:
+  Variable(int v) : value(v), determined_by(NULL), mark(0),
+                    walk_strength(WEAKEST), stay(1), n_constraints(0) {
+    for (int i = 0; i < 8; i++) constraints[i] = NULL;
+  }
+  void add_constraint(Constraint *c);
+  void remove_constraint(Constraint *c);
+  int value;
+  Constraint *determined_by;
+  int mark;
+  int walk_strength;
+  int stay;
+  int n_constraints;
+  Constraint *constraints[8];
+};
+
+void Variable::add_constraint(Constraint *c) {
+  constraints[n_constraints] = c;
+  n_constraints = n_constraints + 1;
+}
+
+void Variable::remove_constraint(Constraint *c) {
+  int j = 0;
+  for (int i = 0; i < n_constraints; i++) {
+    if (constraints[i] != c) {
+      constraints[j] = constraints[i];
+      j = j + 1;
+    }
+  }
+  n_constraints = j;
+  if (determined_by == c) determined_by = NULL;
+}
+
+class Planner;
+
+class Constraint {
+public:
+  Constraint(int s) : strength(s), satisfied(0) { }
+  virtual ~Constraint() { }
+  virtual void add_to_graph() = 0;
+  virtual void remove_from_graph() = 0;
+  virtual int is_satisfied() { return satisfied; }
+  virtual void choose_method(int mark) = 0;
+  virtual Variable *output() = 0;
+  virtual void mark_inputs(int mark) = 0;
+  virtual int inputs_known(int mark) = 0;
+  virtual void execute() = 0;
+  virtual void recalculate() = 0;
+  virtual int is_input() { return 0; }
+  void add_constraint(Planner *p);
+  Constraint *satisfy(int mark, Planner *p);
+  int strength;
+  int satisfied;
+};
+
+// weaker(a, b): is strength a weaker than b?
+int weaker(int a, int b) { return a > b; }
+
+class Planner {
+public:
+  Planner() : current_mark(0), plan_size(0) {
+    for (int i = 0; i < 64; i++) plan[i] = NULL;
+  }
+  int new_mark();
+  void incremental_add(Constraint *c);
+  void incremental_remove(Constraint *c);
+  void make_plan(Constraint *sources[], int n);
+  void extract_plan_from_constraint(Constraint *c);
+  void execute_plan();
+  void add_propagate(Constraint *c, int mark);
+  int current_mark;
+  int plan_size;
+  Constraint *plan[64];
+};
+
+int Planner::new_mark() {
+  current_mark = current_mark + 1;
+  return current_mark;
+}
+
+void Constraint::add_constraint(Planner *p) {
+  add_to_graph();
+  p->incremental_add(this);
+}
+
+Constraint *Constraint::satisfy(int mark, Planner *p) {
+  choose_method(mark);
+  if (!is_satisfied()) return NULL;
+  mark_inputs(mark);
+  Variable *out = output();
+  Constraint *overridden = out->determined_by;
+  if (overridden != NULL) overridden->satisfied = 0;
+  out->determined_by = this;
+  out->mark = mark;
+  if (overridden != NULL) return overridden;
+  return NULL;
+}
+
+void Planner::incremental_add(Constraint *c) {
+  int mark = new_mark();
+  Constraint *overridden = c->satisfy(mark, this);
+  while (overridden != NULL)
+    overridden = overridden->satisfy(mark, this);
+  add_propagate(c, mark);
+}
+
+void Planner::add_propagate(Constraint *c, int mark) {
+  // propagate walkabout strengths downstream from c
+  Constraint *todo[64];
+  int n_todo = 1;
+  todo[0] = c;
+  while (n_todo > 0) {
+    n_todo = n_todo - 1;
+    Constraint *d = todo[n_todo];
+    d->recalculate();
+    Variable *out = d->output();
+    for (int i = 0; i < out->n_constraints; i++) {
+      Constraint *next = out->constraints[i];
+      if (next != d && next->is_satisfied() && n_todo < 63) {
+        todo[n_todo] = next;
+        n_todo = n_todo + 1;
+      }
+    }
+  }
+}
+
+void Planner::incremental_remove(Constraint *c) {
+  c->remove_from_graph();
+  c->satisfied = 0;
+}
+
+void Planner::make_plan(Constraint *sources[], int n) {
+  int mark = new_mark();
+  plan_size = 0;
+  Constraint *todo[64];
+  int n_todo = 0;
+  for (int i = 0; i < n; i++) {
+    todo[i] = sources[i];
+    n_todo = n_todo + 1;
+  }
+  while (n_todo > 0) {
+    n_todo = n_todo - 1;
+    Constraint *c = todo[n_todo];
+    Variable *out = c->output();
+    if (out->mark != mark && c->inputs_known(mark)) {
+      if (plan_size < 64) {
+        plan[plan_size] = c;
+        plan_size = plan_size + 1;
+      }
+      out->mark = mark;
+      for (int i = 0; i < out->n_constraints; i++) {
+        Constraint *next = out->constraints[i];
+        if (next != c && next->is_satisfied() && n_todo < 63) {
+          todo[n_todo] = next;
+          n_todo = n_todo + 1;
+        }
+      }
+    }
+  }
+}
+
+void Planner::extract_plan_from_constraint(Constraint *c) {
+  Constraint *sources[1];
+  sources[0] = c;
+  make_plan(sources, 1);
+}
+
+void Planner::execute_plan() {
+  for (int i = 0; i < plan_size; i++) plan[i]->execute();
+}
+
+class UnaryConstraint : public Constraint {
+public:
+  UnaryConstraint(Variable *v, int s, Planner *p)
+      : Constraint(s), my_output(v) {
+    add_constraint(p);
+  }
+  virtual void add_to_graph() { my_output->add_constraint(this); }
+  virtual void remove_from_graph() { my_output->remove_constraint(this); }
+  virtual void choose_method(int mark) {
+    if (my_output->mark != mark && weaker(my_output->walk_strength, strength))
+      satisfied = 1;
+    else
+      satisfied = 0;
+  }
+  virtual Variable *output() { return my_output; }
+  virtual void mark_inputs(int mark) { }
+  virtual int inputs_known(int mark) { return 1; }
+  virtual void recalculate() {
+    my_output->walk_strength = strength;
+    my_output->stay = !is_input();
+    if (my_output->stay) execute();
+  }
+  Variable *my_output;
+};
+
+class StayConstraint : public UnaryConstraint {
+public:
+  StayConstraint(Variable *v, int s, Planner *p) : UnaryConstraint(v, s, p) { }
+  virtual void execute() { }
+};
+
+class EditConstraint : public UnaryConstraint {
+public:
+  EditConstraint(Variable *v, int s, Planner *p) : UnaryConstraint(v, s, p) { }
+  virtual int is_input() { return 1; }
+  virtual void execute() { }
+};
+
+enum { DIR_NONE = 0, DIR_FORWARD = 1, DIR_BACKWARD = 2 };
+
+class BinaryConstraint : public Constraint {
+public:
+  BinaryConstraint(Variable *a, Variable *b, int s, Planner *p)
+      : Constraint(s), v1(a), v2(b), direction(DIR_NONE) {
+    add_constraint(p);
+  }
+  virtual void add_to_graph() {
+    v1->add_constraint(this);
+    v2->add_constraint(this);
+    direction = DIR_NONE;
+  }
+  virtual void remove_from_graph() {
+    v1->remove_constraint(this);
+    v2->remove_constraint(this);
+    direction = DIR_NONE;
+  }
+  virtual int is_satisfied() { return direction != DIR_NONE; }
+  virtual void choose_method(int mark) {
+    if (v1->mark == mark) {
+      if (v2->mark != mark && weaker(v2->walk_strength, strength))
+        direction = DIR_FORWARD;
+      else
+        direction = DIR_NONE;
+    } else if (v2->mark == mark) {
+      if (v1->mark != mark && weaker(v1->walk_strength, strength))
+        direction = DIR_BACKWARD;
+      else
+        direction = DIR_NONE;
+    } else if (weaker(v1->walk_strength, v2->walk_strength)) {
+      if (weaker(v1->walk_strength, strength)) direction = DIR_BACKWARD;
+      else direction = DIR_NONE;
+    } else {
+      if (weaker(v2->walk_strength, strength)) direction = DIR_FORWARD;
+      else direction = DIR_NONE;
+    }
+    satisfied = direction != DIR_NONE;
+  }
+  virtual Variable *output() {
+    if (direction == DIR_FORWARD) return v2;
+    return v1;
+  }
+  virtual Variable *input() {
+    if (direction == DIR_FORWARD) return v1;
+    return v2;
+  }
+  virtual void mark_inputs(int mark) { input()->mark = mark; }
+  virtual int inputs_known(int mark) {
+    Variable *in = input();
+    return in->mark == mark || in->stay || in->determined_by == NULL;
+  }
+  virtual void recalculate() {
+    Variable *in = input();
+    Variable *out = output();
+    out->walk_strength = strength;
+    if (weaker(in->walk_strength, strength))
+      out->walk_strength = in->walk_strength;
+    out->stay = in->stay;
+    if (out->stay) execute();
+  }
+  Variable *v1;
+  Variable *v2;
+  int direction;
+};
+
+class EqualityConstraint : public BinaryConstraint {
+public:
+  EqualityConstraint(Variable *a, Variable *b, int s, Planner *p)
+      : BinaryConstraint(a, b, s, p) { }
+  virtual void execute() { output()->value = input()->value; }
+};
+
+class ScaleConstraint : public BinaryConstraint {
+public:
+  ScaleConstraint(Variable *a, Variable *b, int sc, int off, int s, Planner *p)
+      : BinaryConstraint(a, b, s, p), scale(sc), offset(off) { }
+  virtual void execute() {
+    if (direction == DIR_FORWARD)
+      v2->value = v1->value * scale + offset;
+    else
+      v1->value = (v2->value - offset) / scale;
+  }
+  int scale;
+  int offset;
+};
+
+// Build a chain of n equality constraints and repeatedly edit the head.
+int chain_test(int n, Planner *planner) {
+  Variable *vars[40];
+  EqualityConstraint *eqs[40];
+  for (int i = 0; i <= n; i++) vars[i] = new Variable(0);
+  for (int i = 0; i < n; i++)
+    eqs[i] = new EqualityConstraint(vars[i], vars[i + 1], REQUIRED, planner);
+  StayConstraint *stay = new StayConstraint(vars[n], STRONG_DEFAULT, planner);
+  EditConstraint *edit = new EditConstraint(vars[0], PREFERRED, planner);
+  planner->extract_plan_from_constraint(edit);
+  int total = 0;
+  for (int step = 0; step < 50; step++) {
+    vars[0]->value = step;
+    planner->execute_plan();
+    total = total + vars[n]->value;
+  }
+  planner->incremental_remove(edit);
+  if (stay->is_satisfied()) total = total + 1;
+  // tear the chain down: the solver is incremental, teardown is part of
+  // the exercised API (and keeps the high-water mark below total space)
+  for (int i = 0; i < n; i++) {
+    planner->incremental_remove(eqs[i]);
+    delete eqs[i];
+  }
+  planner->incremental_remove(stay);
+  delete stay;
+  delete edit;
+  for (int i = 0; i <= n; i++) delete vars[i];
+  return total;
+}
+
+// Map a value across a scale constraint chain.
+int projection_test(int n, Planner *planner) {
+  Variable *src = new Variable(10);
+  Variable *dst = new Variable(0);
+  new ScaleConstraint(src, dst, 2, 1, REQUIRED, planner);
+  StayConstraint *stay = new StayConstraint(src, NORMAL, planner);
+  EditConstraint *edit = new EditConstraint(src, PREFERRED, planner);
+  planner->extract_plan_from_constraint(edit);
+  int total = 0;
+  for (int step = 0; step < n; step++) {
+    src->value = step;
+    planner->execute_plan();
+    total = total + dst->value;
+  }
+  if (stay->is_satisfied()) total = total + 1;
+  planner->incremental_remove(edit);
+  return total;
+}
+
+int main() {
+  Planner *planner = new Planner();
+  int a = chain_test(20, planner);
+  int b = projection_test(40, planner);
+  print_str("chain="); print_int(a);
+  print_str(" projection="); print_int(b);
+  print_nl();
+  delete planner;
+  return 0;
+}
+|}

@@ -1,0 +1,236 @@
+(* hotwire — scriptable graphical presentation builder (Table 1: 5,355
+   LOC, 37 classes, 21 used, 166 data members). The application assembles
+   slides from a widget library; the library's interactive features
+   (event handling, style caching, z-ordering, dirty-region tracking) are
+   never used by the batch script, leaving a substantial fraction of dead
+   members. Slides are built and kept until the end — the high-water mark
+   equals total object space, as in the paper's Table 2. *)
+
+let name = "hotwire"
+let description = "Scriptable graphical presentation builder"
+let uses_class_library = true
+
+let source =
+  {|
+// hotwire.mcc - batch presentation builder on a widget library
+
+// ---------------- widget library ----------------
+
+class Style {
+public:
+  Style(int fg_, int bg_, int font_)
+      : fg(fg_), bg(bg_), font(font_), border_width(1),
+        padding(2), z_index(0), cache_key(0), dirty(0) { }
+  int fg;
+  int bg;
+  int font;
+  int border_width;
+  int padding;
+  int z_index;
+  int cache_key;   // style-cache lookup key: cache disabled
+  int dirty;       // incremental redraw flag: batch mode redraws all
+};
+
+class Element {
+public:
+  Element(int x_, int y_, Style *s)
+      : x(x_), y(y_), style(s), next(NULL) { }
+  virtual ~Element() { }
+  virtual int render(int pass) = 0;
+  virtual int width() { return 0; }
+  virtual int height() { return 0; }
+  int x;
+  int y;
+  Style *style;
+  Element *next;
+};
+
+// The renderer configuration. Interactive/incremental features
+// (anti-aliasing levels, dirty-region clipping, hit testing) exist in the
+// library but the batch exporter never invokes them: only the methods
+// below — none of which is ever called — touch those members.
+class Renderer {
+public:
+  Renderer() : passes(1), scale_pct(100), aa_level(0), clip_x(0),
+               clip_y(0), hit_test_slop(4) { }
+  void set_antialias(int lvl);
+  int clip_contains(int px, int py);
+  int passes;
+  int scale_pct;
+  int aa_level;        // anti-aliasing: never configured
+  int clip_x;          // dirty-region clipping: batch redraws everything
+  int clip_y;
+  int hit_test_slop;   // interactive hit testing: no mouse in batch mode
+};
+
+void Renderer::set_antialias(int lvl) { aa_level = lvl; }
+
+int Renderer::clip_contains(int px, int py) {
+  return px >= clip_x && py >= clip_y && aa_level >= 0
+         && px - clip_x < hit_test_slop;
+}
+
+class Box : public Element {
+public:
+  Box(int x_, int y_, int w_, int h_, Style *s)
+      : Element(x_, y_, s), w(w_), h(h_), corner_radius(0) { }
+  virtual int render(int pass);
+  virtual int width() { return w; }
+  virtual int height() { return h; }
+  int w;
+  int h;
+  int corner_radius;
+};
+
+int Box::render(int pass) {
+  // "render": contribute a checksum of drawn pixels
+  return (x + y * 7 + w * 31 + h * 131 + style->fg * 3 + style->bg
+          + style->font + style->border_width * pass
+          + style->padding * 2 + style->z_index + corner_radius);
+}
+
+class TextElem : public Element {
+public:
+  TextElem(int x_, int y_, int len, Style *s)
+      : Element(x_, y_, s), length(len), wrap_width(0), kerning(0) { }
+  virtual int render(int pass);
+  virtual int width() { return length * 8; }
+  virtual int height() { return 16; }
+  int length;
+  int wrap_width;
+  int kerning;
+};
+
+int TextElem::render(int pass) {
+  int effective = length;
+  if (wrap_width > 0 && effective > wrap_width) effective = wrap_width;
+  return x * 3 + y + effective * (style->font + kerning) + pass;
+}
+
+class Arrow : public Element {
+public:
+  Arrow(int x_, int y_, int x2_, int y2_, Style *s)
+      : Element(x_, y_, s), x2(x2_), y2(y2_), head_style(0) { }
+  virtual int render(int pass);
+  int x2;
+  int y2;
+  int head_style;
+};
+
+int Arrow::render(int pass) {
+  int dx = x2 - x;
+  int dy = y2 - y;
+  if (dx < 0) dx = -dx;
+  if (dy < 0) dy = -dy;
+  return dx + dy * 5 + style->fg + head_style * 9 + pass;
+}
+
+class Slide {
+public:
+  Slide(int n) : number(n), first(NULL), next(NULL), elem_count(0),
+                 transition(0) { }
+  void add(Element *e);
+  int render_all(int pass);
+  int number;
+  Element *first;
+  Slide *next;
+  int elem_count;
+  int transition;   // slide transitions: batch export has none
+};
+
+void Slide::add(Element *e) {
+  e->next = first;
+  first = e;
+  elem_count = elem_count + 1;
+}
+
+int Slide::render_all(int pass) {
+  int sum = number;
+  Element *e = first;
+  while (e != NULL) {
+    sum = sum + e->render(pass) + e->width() / 16 + e->height() / 16;
+    e = e->next;
+  }
+  return sum;
+}
+
+class Deck {
+public:
+  Deck(Renderer *r) : first(NULL), last(NULL), count(0), renderer(r) { }
+  Slide *new_slide();
+  int render_deck();
+  Slide *first;
+  Slide *last;
+  int count;
+  Renderer *renderer;
+};
+
+Slide *Deck::new_slide() {
+  count = count + 1;
+  Slide *s = new Slide(count);
+  if (last == NULL) { first = s; last = s; }
+  else { last->next = s; last = s; }
+  return s;
+}
+
+int Deck::render_deck() {
+  int sum = 0;
+  Slide *s = first;
+  while (s != NULL) {
+    for (int p = 1; p <= renderer->passes; p++)
+      sum = sum + s->render_all(p) * renderer->scale_pct / 100;
+    s = s->next;
+  }
+  return sum;
+}
+
+// Library widgets the script never creates ("unused classes").
+class Image : public Element {
+public:
+  Image(int x_, int y_, Style *s) : Element(x_, y_, s), pixels(NULL),
+                                    scale_pct(100) { }
+  virtual int render(int pass) { return scale_pct + pass; }
+  int *pixels;
+  int scale_pct;
+};
+
+class Chart : public Element {
+public:
+  Chart(int x_, int y_, Style *s) : Element(x_, y_, s), n_series(0),
+                                    legend_pos(0) { }
+  virtual int render(int pass) { return n_series * legend_pos + pass; }
+  int n_series;
+  int legend_pos;
+};
+
+// ---------------- the build script ----------------
+
+int main() {
+  Renderer *renderer = new Renderer();
+  Deck *deck = new Deck(renderer);
+  Style *title_style = new Style(1, 0, 3);
+  Style *body_style = new Style(2, 0, 1);
+  Style *accent = new Style(4, 7, 1);
+  for (int i = 0; i < 12; i++) {
+    Slide *s = deck->new_slide();
+    s->add(new Box(0, 0, 640, 480, body_style));
+    s->add(new TextElem(40, 20, 12 + i, title_style));
+    for (int j = 0; j < i % 4 + 1; j++) {
+      s->add(new TextElem(60, 80 + 24 * j, 30, body_style));
+      s->add(new Box(50, 76 + 24 * j, 8, 8, accent));
+    }
+    if (i % 3 == 0)
+      s->add(new Arrow(100, 300, 400, 340 + i, accent));
+  }
+  int checksum = deck->render_deck();
+  print_str("slides=");
+  print_int(deck->count);
+  print_str(" checksum=");
+  print_int(checksum);
+  print_nl();
+  // a batch exporter exits without tearing the scene graph down: the
+  // high-water mark equals total object space
+  if (deck->count == 12) return 0;
+  return 1;
+}
+|}

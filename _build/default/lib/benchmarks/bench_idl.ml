@@ -1,0 +1,221 @@
+(* idl — an interface-repository application in a highly object-oriented
+   style: the paper singles idl out for its "complex class hierarchy and
+   heavy use of virtual functions and virtual inheritance". The classic
+   CORBA diamond is here — Contained and Container both inherit virtually
+   from IRObject, and InterfaceDef inherits from both. The hierarchy is
+   custom-built and nearly fully used: only 3% of data members are dead.
+   The repository is built up and retained, so the high-water mark is
+   (almost) the total object space, as in Table 2. *)
+
+let name = "idl"
+let description = "CORBA-style interface repository (virtual inheritance)"
+let uses_class_library = false
+
+let source =
+  {|
+// idl.mcc - interface repository with a virtual-inheritance diamond
+
+enum { DK_NONE = 0, DK_MODULE = 1, DK_INTERFACE = 2, DK_OPERATION = 3,
+       DK_ATTRIBUTE = 4, DK_TYPEDEF = 5 };
+
+class IRObject {
+public:
+  IRObject(int k) : def_kind(k), repo_tag(0) { }
+  virtual ~IRObject() { }
+  virtual int describe() { return def_kind; }
+  int def_kind;
+  int repo_tag;   // repository transaction tag: only the never-called
+                  // commit protocol below touches it
+  void stamp(int t);
+};
+
+void IRObject::stamp(int t) { repo_tag = repo_tag + t; }
+
+// Diamond: both Contained and Container inherit IRObject virtually.
+class Contained : public virtual IRObject {
+public:
+  Contained(int k, int n, Contained *parent_)
+      : IRObject(k), name(n), parent(parent_), next_sibling(NULL) { }
+  virtual int describe() { return def_kind * 31 + name; }
+  virtual int absolute_name();
+  int name;
+  Contained *parent;
+  Contained *next_sibling;
+};
+
+int Contained::absolute_name() {
+  int depth = 0;
+  int acc = name;
+  Contained *p = parent;
+  while (p != NULL) {
+    depth = depth + 1;
+    acc = acc + p->name * depth;
+    p = p->parent;
+  }
+  return acc;
+}
+
+class Container : public virtual IRObject {
+public:
+  Container(int k) : IRObject(k), first_child(NULL), n_children(0) { }
+  void adopt(Contained *c);
+  virtual int walk();
+  Contained *first_child;
+  int n_children;
+};
+
+void Container::adopt(Contained *c) {
+  c->next_sibling = first_child;
+  first_child = c;
+  n_children = n_children + 1;
+}
+
+int Container::walk() {
+  int sum = def_kind;  // the shared virtual base's member
+  Contained *c = first_child;
+  while (c != NULL) {
+    sum = sum + c->describe();
+    c = c->next_sibling;
+  }
+  return sum;
+}
+
+// The diamond joins here: one IRObject subobject shared by both paths.
+class ModuleDef : public Container, public Contained {
+public:
+  ModuleDef(int n, Contained *parent_)
+      : IRObject(DK_MODULE), Container(DK_MODULE),
+        Contained(DK_MODULE, n, parent_) { }
+  virtual int describe() { return walk() + absolute_name(); }
+};
+
+class InterfaceDef : public Container, public Contained {
+public:
+  InterfaceDef(int n, Contained *parent_, InterfaceDef *base_)
+      : IRObject(DK_INTERFACE), Container(DK_INTERFACE),
+        Contained(DK_INTERFACE, n, parent_), base(base_), is_abstract(0) { }
+  virtual int describe();
+  InterfaceDef *base;
+  int is_abstract;
+};
+
+int InterfaceDef::describe() {
+  int sum = walk() + absolute_name() + is_abstract;
+  if (base != NULL) sum = sum + base->name;
+  return sum;
+}
+
+class OperationDef : public Contained {
+public:
+  OperationDef(int n, Contained *parent_, int result_, int np)
+      : IRObject(DK_OPERATION), Contained(DK_OPERATION, n, parent_),
+        result(result_), n_params(np), mode_oneway(np % 2) { }
+  virtual int describe() {
+    return result * 7 + n_params * 3 + mode_oneway + name;
+  }
+  int result;
+  int n_params;
+  int mode_oneway;
+};
+
+class AttributeDef : public Contained {
+public:
+  AttributeDef(int n, Contained *parent_, int type_)
+      : IRObject(DK_ATTRIBUTE), Contained(DK_ATTRIBUTE, n, parent_),
+        type(type_), mode_readonly(0) { }
+  virtual int describe() { return type * 11 + mode_readonly + name; }
+  int type;
+  int mode_readonly;
+};
+
+class TypedefDef : public Contained {
+public:
+  TypedefDef(int n, Contained *parent_, int original_)
+      : IRObject(DK_TYPEDEF), Contained(DK_TYPEDEF, n, parent_),
+        original(original_) { }
+  virtual int describe() { return original * 13 + name; }
+  int original;
+};
+
+class Repository {
+public:
+  Repository() : n_modules(0), n_interfaces(0), n_members(0), seed(271828) {
+    for (int i = 0; i < 8; i++) modules[i] = NULL;
+  }
+  long next_rand() {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) seed = -seed;
+    return seed;
+  }
+  void populate();
+  int describe_all();
+  ModuleDef *modules[8];
+  int n_modules;
+  int n_interfaces;
+  int n_members;
+  long seed;
+};
+
+void Repository::populate() {
+  for (int m = 0; m < 8; m++) {
+    ModuleDef *mod = new ModuleDef(1000 + m, NULL);
+    modules[m] = mod;
+    n_modules = n_modules + 1;
+    InterfaceDef *prev = NULL;
+    int n_ifaces = 6 + (int)(next_rand() % 7);
+    for (int i = 0; i < n_ifaces; i++) {
+      InterfaceDef *iface = new InterfaceDef((int)(next_rand() % 512),
+                                             mod, prev);
+      if (next_rand() % 4 == 0) iface->is_abstract = 1;
+      mod->adopt(iface);
+      n_interfaces = n_interfaces + 1;
+      int n_ops = 3 + (int)(next_rand() % 8);
+      for (int k = 0; k < n_ops; k++) {
+        iface->adopt(new OperationDef((int)(next_rand() % 512), iface,
+                                      (int)(next_rand() % 9),
+                                      (int)(next_rand() % 5)));
+        n_members = n_members + 1;
+      }
+      int n_attrs = 1 + (int)(next_rand() % 5);
+      for (int k = 0; k < n_attrs; k++) {
+        iface->adopt(new AttributeDef((int)(next_rand() % 512), iface,
+                                      (int)(next_rand() % 9)));
+        n_members = n_members + 1;
+      }
+      if (next_rand() % 3 == 0) {
+        iface->adopt(new TypedefDef((int)(next_rand() % 512), iface,
+                                    (int)(next_rand() % 9)));
+        n_members = n_members + 1;
+      }
+      prev = iface;
+    }
+  }
+}
+
+int Repository::describe_all() {
+  int sum = 0;
+  for (int m = 0; m < n_modules; m++) {
+    IRObject *obj = modules[m];
+    sum = sum + obj->describe();  // virtual dispatch through the base
+  }
+  return sum;
+}
+
+int main() {
+  Repository *repo = new Repository();
+  repo->populate();
+  int digest = repo->describe_all();
+  print_str("modules=");
+  print_int(repo->n_modules);
+  print_str(" interfaces=");
+  print_int(repo->n_interfaces);
+  print_str(" members=");
+  print_int(repo->n_members);
+  print_str(" digest=");
+  print_int(digest);
+  print_nl();
+  // the repository serves until process exit: nothing is deallocated
+  if (repo->n_modules == 8 && repo->n_interfaces > 0) return 0;
+  return 1;
+}
+|}

@@ -1,0 +1,478 @@
+(* jikes — the largest benchmark in the paper (58K LOC, 268 classes, 1052
+   data members): a Java source-to-bytecode compiler. This port is a
+   scaled-down but structurally faithful pipeline: lexer (short-lived
+   token objects), recursive-descent parser building a retained AST,
+   symbol table with scopes, constant pool, and a bytecode emitter. Dead
+   members are spread thinly across the pipeline (obsolete caches and
+   never-produced diagnostics), giving the moderate dead percentage the
+   paper reports for large custom-hierarchy applications. *)
+
+let name = "jikes"
+let description = "Java-like source-to-bytecode compiler pipeline"
+let uses_class_library = false
+
+let source =
+  {|
+// jikes.mcc - a miniature Java-ish compiler: lex, parse, resolve, emit
+
+enum { TK_CLASS = 0, TK_IDENT = 1, TK_LBRACE = 2, TK_RBRACE = 3,
+       TK_INT = 4, TK_SEMI = 5, TK_LPAREN = 6, TK_RPAREN = 7,
+       TK_RETURN = 8, TK_NUM = 9, TK_PLUS = 10, TK_STAR = 11,
+       TK_COMMA = 12, TK_EOF = 13 };
+
+// ---------------- lexer ----------------
+
+class JToken {
+public:
+  JToken(int k, int v, int line) : kind(k), value(v), src_line(line) { }
+  int kind;
+  int value;
+  int src_line;
+};
+
+class JLexer {
+public:
+  JLexer(long s) : seed(s), line(1), produced(0), state(0), items_left(0),
+                   ops_left(0), deprecated_count(0) { }
+  long next_rand() {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) seed = -seed;
+    return seed;
+  }
+  JToken *next();
+  void warn_deprecated();   // -deprecation diagnostics: never enabled
+  long seed;
+  int line;
+  int produced;
+  int state;
+  int items_left;
+  int ops_left;
+  int deprecated_count;   // only warn_deprecated touches it
+};
+
+void JLexer::warn_deprecated() {
+  deprecated_count = deprecated_count + 1;
+  print_int(deprecated_count);
+}
+
+// Token stream shape:
+//   class IDENT { (int IDENT ;)* (int IDENT ( ) { return EXPR ; })* } ...
+JToken *JLexer::next() {
+  produced = produced + 1;
+  if (state == 0) { state = 1; line = line + 1; return new JToken(TK_CLASS, 0, line); }
+  if (state == 1) {
+    state = 2;
+    return new JToken(TK_IDENT, (int)(next_rand() % 1024), line);
+  }
+  if (state == 2) {
+    state = 3;
+    items_left = 2 + (int)(next_rand() % 7);
+    return new JToken(TK_LBRACE, 0, line);
+  }
+  if (state == 3) {  // field declarations
+    if (items_left == 0) {
+      state = 5;
+      items_left = 1 + (int)(next_rand() % 4);
+      return new JToken(TK_INT, 0, line);
+    }
+    state = 4;
+    return new JToken(TK_INT, 0, line);
+  }
+  if (state == 4) {
+    state = 13;
+    return new JToken(TK_IDENT, (int)(next_rand() % 1024), line);
+  }
+  if (state == 13) {
+    state = 3;
+    items_left = items_left - 1;
+    line = line + 1;
+    return new JToken(TK_SEMI, 0, line);
+  }
+  if (state == 5) {  // method name after 'int'
+    state = 6;
+    return new JToken(TK_IDENT, (int)(next_rand() % 1024), line);
+  }
+  if (state == 6) { state = 7; return new JToken(TK_LPAREN, 0, line); }
+  if (state == 7) { state = 8; return new JToken(TK_RPAREN, 0, line); }
+  if (state == 8) { state = 9; return new JToken(TK_LBRACE, 0, line); }
+  if (state == 9) {
+    state = 10;
+    ops_left = 2 * (1 + (int)(next_rand() % 4));
+    return new JToken(TK_RETURN, 0, line);
+  }
+  if (state == 10) {  // expression: NUM (op NUM)*
+    state = 11;
+    return new JToken(TK_NUM, (int)(next_rand() % 100), line);
+  }
+  if (state == 11) {
+    if (ops_left == 0) { state = 12; return new JToken(TK_SEMI, 0, line); }
+    ops_left = ops_left - 1;
+    state = 10;
+    if (next_rand() % 2 == 0) return new JToken(TK_PLUS, 0, line);
+    return new JToken(TK_STAR, 0, line);
+  }
+  if (state == 12) {  // closing '}' of a method body
+    items_left = items_left - 1;
+    line = line + 1;
+    if (items_left == 0) state = 14; else state = 15;
+    return new JToken(TK_RBRACE, 0, line);
+  }
+  if (state == 15) {  // 'int' starting the next method
+    state = 5;
+    return new JToken(TK_INT, 0, line);
+  }
+  if (state == 14) {  // closing '}' of the class
+    state = 0;
+    return new JToken(TK_RBRACE, 0, line);
+  }
+  return new JToken(TK_EOF, 0, line);
+}
+
+// ---------------- AST ----------------
+
+class AstExpr {
+public:
+  AstExpr() : const_value(0), is_const(0) { }
+  virtual ~AstExpr() { }
+  virtual int fold() = 0;
+  virtual int emit(int *code, int at) = 0;
+  int const_value;   // memoized folding: written by fold, read by emit
+  int is_const;
+};
+
+class AstLiteral : public AstExpr {
+public:
+  AstLiteral(int v) : value(v) { }
+  virtual int fold() {
+    const_value = value;
+    is_const = 1;
+    return value;
+  }
+  virtual int emit(int *code, int at);
+  int value;
+};
+
+class AstBinary : public AstExpr {
+public:
+  AstBinary(int o, AstExpr *l, AstExpr *r) : op(o), lhs(l), rhs(r) { }
+  virtual ~AstBinary() { delete lhs; delete rhs; }
+  virtual int fold();
+  virtual int emit(int *code, int at);
+  int op;
+  AstExpr *lhs;
+  AstExpr *rhs;
+};
+
+int AstBinary::fold() {
+  int a = lhs->fold();
+  int b = rhs->fold();
+  if (op == TK_PLUS) const_value = a + b;
+  else const_value = a * b;
+  is_const = lhs->is_const && rhs->is_const;
+  return const_value;
+}
+
+class AstField {
+public:
+  AstField(int n, AstField *nx)
+      : name(n), slot(-1), next(nx), javadoc_ref(0) { }
+  int name;
+  int slot;
+  AstField *next;
+  int javadoc_ref;   // javadoc cross-references: generator absent
+};
+
+class AstMethod {
+public:
+  AstMethod(int n, AstExpr *b, AstMethod *nx)
+      : name(n), body(b), next(nx), code_len(0), max_stack(0),
+        line_table_ref(0) { }
+  ~AstMethod() { delete body; }
+  int name;
+  AstExpr *body;
+  AstMethod *next;
+  int code_len;
+  int max_stack;
+  int line_table_ref;  // debug line tables: -g is never passed
+};
+
+class AstClass {
+public:
+  AstClass(int n, AstClass *nx)
+      : name(n), fields(NULL), methods(NULL), next(nx),
+        n_fields(0), n_methods(0) { }
+  ~AstClass() {
+    AstField *f = fields;
+    while (f != NULL) { AstField *x = f->next; delete f; f = x; }
+    AstMethod *m = methods;
+    while (m != NULL) { AstMethod *x = m->next; delete m; m = x; }
+  }
+  int name;
+  AstField *fields;
+  AstMethod *methods;
+  AstClass *next;
+  int n_fields;
+  int n_methods;
+};
+
+// ---------------- symbol table ----------------
+
+class Symbol {
+public:
+  Symbol(int n, int s, Symbol *nx) : name(n), slot(s), next(nx) { }
+  int name;
+  int slot;
+  Symbol *next;
+};
+
+class SymbolTable {
+public:
+  SymbolTable() : head(NULL), n_symbols(0), n_probes(0) { }
+  ~SymbolTable() {
+    Symbol *s = head;
+    while (s != NULL) { Symbol *x = s->next; delete s; s = x; }
+  }
+  int intern(int name);
+  int probe_statistics();   // tuning diagnostics: never requested
+  Symbol *head;
+  int n_symbols;
+  int n_probes;   // only probe_statistics uses it
+};
+
+int SymbolTable::intern(int name) {
+  Symbol *s = head;
+  while (s != NULL) {
+    if (s->name == name) return s->slot;
+    s = s->next;
+  }
+  head = new Symbol(name, n_symbols, head);
+  n_symbols = n_symbols + 1;
+  return n_symbols - 1;
+}
+
+int SymbolTable::probe_statistics() {
+  n_probes = n_probes + 1;
+  return n_probes * n_symbols;
+}
+
+// ---------------- constant pool + emitter ----------------
+
+class ConstantPool {
+public:
+  ConstantPool() : n_entries(0) {
+    for (int i = 0; i < 128; i++) entries[i] = 0;
+  }
+  int add(int v);
+  int entries[128];
+  int n_entries;
+};
+
+int ConstantPool::add(int v) {
+  for (int i = 0; i < n_entries; i++)
+    if (entries[i] == v) return i;
+  if (n_entries < 128) {
+    entries[n_entries] = v;
+    n_entries = n_entries + 1;
+    return n_entries - 1;
+  }
+  return 0;
+}
+
+enum { BC_LDC = 0, BC_IADD = 1, BC_IMUL = 2, BC_IRETURN = 3 };
+
+ConstantPool *the_pool;
+
+int AstLiteral::emit(int *code, int at) {
+  code[at] = BC_LDC;
+  code[at + 1] = the_pool->add(value);
+  return at + 2;
+}
+
+int AstBinary::emit(int *code, int at) {
+  if (is_const) {  // folded subtree: emit one constant load
+    code[at] = BC_LDC;
+    code[at + 1] = the_pool->add(const_value);
+    return at + 2;
+  }
+  at = lhs->emit(code, at);
+  at = rhs->emit(code, at);
+  if (op == TK_PLUS) code[at] = BC_IADD; else code[at] = BC_IMUL;
+  return at + 1;
+}
+
+class Emitter {
+public:
+  Emitter(ConstantPool *p) : pool(p), total_code(0), checksum(0) { }
+  void emit_method(AstMethod *m);
+  ConstantPool *pool;
+  int total_code;
+  int checksum;
+};
+
+void Emitter::emit_method(AstMethod *m) {
+  int code[128];
+  m->body->fold();
+  int len = m->body->emit(code, 0);
+  code[len] = BC_IRETURN;
+  len = len + 1;
+  m->code_len = len;
+  int depth = 0;
+  int max_depth = 0;
+  for (int i = 0; i < len; i++) {
+    if (code[i] == BC_LDC) { depth = depth + 1; i = i + 1; }
+    else if (code[i] == BC_IADD || code[i] == BC_IMUL) depth = depth - 1;
+    if (depth > max_depth) max_depth = depth;
+  }
+  m->max_stack = max_depth;
+  total_code = total_code + len;
+  checksum = checksum + code[0] * 5 + m->max_stack + pool->n_entries;
+}
+
+// ---------------- parser ----------------
+
+class JParser {
+public:
+  JParser(JLexer *lx, SymbolTable *st)
+      : lexer(lx), symtab(st), cur(NULL), classes(NULL), n_classes(0),
+        n_errors(0) {
+    advance();
+  }
+  void advance() {
+    if (cur != NULL) delete cur;   // tokens are short-lived
+    cur = lexer->next();
+  }
+  void error_here();   // never fired on the synthetic stream
+  AstExpr *parse_expr();
+  AstMethod *parse_method(AstMethod *tail);
+  AstField *parse_field(AstField *tail);
+  void parse_class();
+  JLexer *lexer;
+  SymbolTable *symtab;
+  JToken *cur;
+  AstClass *classes;
+  int n_classes;
+  int n_errors;   // only error_here updates it
+};
+
+void JParser::error_here() {
+  n_errors = n_errors + 1;
+  print_str("error at line ");
+  print_int(cur->src_line);
+  print_nl();
+}
+
+AstExpr *JParser::parse_expr() {
+  AstExpr *lhs = new AstLiteral(cur->value);
+  advance();
+  while (cur->kind == TK_PLUS || cur->kind == TK_STAR) {
+    int op = cur->kind;
+    advance();
+    AstExpr *rhs = new AstLiteral(cur->value);
+    advance();
+    lhs = new AstBinary(op, lhs, rhs);
+  }
+  return lhs;
+}
+
+AstField *JParser::parse_field(AstField *tail) {
+  advance();  // 'int'
+  AstField *f = new AstField(symtab->intern(cur->value), tail);
+  advance();  // name
+  advance();  // ';'
+  return f;
+}
+
+AstMethod *JParser::parse_method(AstMethod *tail) {
+  AstMethod *m = new AstMethod(symtab->intern(cur->value), NULL, tail);
+  advance();  // name
+  advance();  // (
+  advance();  // )
+  advance();  // {
+  advance();  // return
+  m->body = parse_expr();
+  advance();  // ';'
+  advance();  // }
+  return m;
+}
+
+void JParser::parse_class() {
+  if (cur->src_line < 0) return;  // defensive: truncated input
+  advance();  // 'class'
+  AstClass *c = new AstClass(symtab->intern(cur->value), classes);
+  advance();  // name
+  advance();  // {
+  while (cur->kind == TK_INT) {
+    // field or method: after 'int IDENT' a '(' distinguishes them,
+    // encoded in the stream by state: fields first, then methods
+    if (lexer->state >= 5) {
+      advance();  // 'int'
+      c->methods = parse_method(c->methods);
+      c->n_methods = c->n_methods + 1;
+    } else {
+      c->fields = parse_field(c->fields);
+      c->n_fields = c->n_fields + 1;
+    }
+  }
+  advance();  // }
+  // assign field slots
+  int slot = 0;
+  AstField *f = c->fields;
+  while (f != NULL) {
+    f->slot = slot;
+    slot = slot + 1;
+    f = f->next;
+  }
+  classes = c;
+  n_classes = n_classes + 1;
+}
+
+int main() {
+  JLexer *lexer = new JLexer(424243);
+  SymbolTable *symtab = new SymbolTable();
+  the_pool = new ConstantPool();
+  JParser *parser = new JParser(lexer, symtab);
+  for (int i = 0; i < 60; i++) parser->parse_class();
+  Emitter *emitter = new Emitter(the_pool);
+  int total_fields = 0;
+  int total_methods = 0;
+  int slot_digest = 0;
+  AstClass *c = parser->classes;
+  while (c != NULL) {
+    total_fields = total_fields + c->n_fields;
+    total_methods = total_methods + c->n_methods;
+    slot_digest = slot_digest + c->name;
+    AstField *f = c->fields;
+    while (f != NULL) {
+      slot_digest = slot_digest + f->slot + f->name;
+      f = f->next;
+    }
+    AstMethod *m = c->methods;
+    while (m != NULL) {
+      emitter->emit_method(m);
+      slot_digest = slot_digest + m->code_len + m->name;
+      m = m->next;
+    }
+    c = c->next;
+  }
+  print_str("classes=");
+  print_int(parser->n_classes);
+  print_str(" fields=");
+  print_int(total_fields);
+  print_str(" methods=");
+  print_int(total_methods);
+  print_str(" code=");
+  print_int(emitter->total_code);
+  print_str(" pool=");
+  print_int(the_pool->n_entries);
+  print_str(" digest=");
+  print_int(slot_digest + emitter->checksum);
+  print_nl();
+  int ok = parser->n_classes == 60 && emitter->total_code > 0
+           && symtab->n_symbols > 0;
+  // the AST and symbol table stay resident (a compiler in one pass);
+  // tokens were freed during parsing
+  delete emitter;
+  if (ok) return 0;
+  return 1;
+}
+|}

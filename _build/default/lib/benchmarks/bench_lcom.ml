@@ -1,0 +1,313 @@
+(* lcom — a compiler for a small hardware-description-flavoured language
+   ("L-COM"), with a custom-built class hierarchy: tokens, an expression
+   AST with virtual evaluation/codegen, a symbol table and a peephole
+   stage. Dead members are the classic compiler left-overs the paper
+   describes for custom hierarchies: source coordinates carried for error
+   messages that are never produced, and caches maintained only by
+   disabled passes (~10% of members). Tokens are freed during parsing,
+   so the high-water mark sits below total object space. *)
+
+let name = "lcom"
+let description = "Compiler for the L-COM hardware description language"
+let uses_class_library = false
+
+let source =
+  {|
+// lcom.mcc - a tiny expression-language compiler with codegen
+
+enum { TK_NUM = 0, TK_IDENT = 1, TK_PLUS = 2, TK_STAR = 3, TK_LPAREN = 4,
+       TK_RPAREN = 5, TK_ASSIGN = 6, TK_SEMI = 7, TK_EOF = 8 };
+
+class Token {
+public:
+  Token(int k, int v, int pos)
+      : kind(k), value(v), src_pos(pos), src_line(1) { }
+  int kind;
+  int value;
+  int src_pos;
+  int src_line;
+};
+
+// ---- AST ----
+
+class SymTab;
+
+class Expr {
+public:
+  Expr() : type_cache(0) { }
+  virtual ~Expr() { }
+  virtual int eval(SymTab *st) = 0;
+  virtual int emit(int *code, int at) = 0;
+  virtual int fold();  // constant folding: pass is disabled
+  int type_cache;   // type memoization: only the disabled fold() uses it
+};
+
+int Expr::fold() {
+  type_cache = type_cache + 1;
+  return type_cache;
+}
+
+class NumExpr : public Expr {
+public:
+  NumExpr(int v) : value(v) { }
+  virtual int eval(SymTab *st) { return value; }
+  virtual int emit(int *code, int at);
+  int value;
+};
+
+class VarExpr : public Expr {
+public:
+  VarExpr(int s) : slot(s) { }
+  virtual int eval(SymTab *st);
+  virtual int emit(int *code, int at);
+  int slot;
+};
+
+class BinExpr : public Expr {
+public:
+  BinExpr(int o, Expr *l, Expr *r) : op(o), lhs(l), rhs(r) { }
+  virtual ~BinExpr() { delete lhs; delete rhs; }
+  virtual int eval(SymTab *st);
+  virtual int emit(int *code, int at);
+  int op;
+  Expr *lhs;
+  Expr *rhs;
+};
+
+class AssignStmt {
+public:
+  AssignStmt(int s, Expr *e, AssignStmt *n) : slot(s), rhs(e), next(n) { }
+  ~AssignStmt() { delete rhs; }
+  int slot;
+  Expr *rhs;
+  AssignStmt *next;
+};
+
+// ---- symbol table ----
+
+class SymTab {
+public:
+  SymTab(int n) : nslots(n), hits(0) {
+    values = new int[n];
+    for (int i = 0; i < n; i++) values[i] = 0;
+  }
+  ~SymTab() { free(values); }
+  int load(int slot) {
+    if (slot < 0 || slot >= nslots) return 0;
+    return values[slot];
+  }
+  void store(int slot, int v) { values[slot] = v; }
+  int lookup_profile();  // symbol-frequency profiling: never called
+  int *values;
+  int nslots;
+  int hits;   // only lookup_profile touches it
+};
+
+int SymTab::lookup_profile() {
+  hits = hits + 1;
+  return hits * nslots;
+}
+
+int VarExpr::eval(SymTab *st) { return st->load(slot); }
+
+int BinExpr::eval(SymTab *st) {
+  int a = lhs->eval(st);
+  int b = rhs->eval(st);
+  if (op == TK_PLUS) return a + b;
+  return a * b;
+}
+
+// ---- code generation: a tiny stack machine ----
+
+enum { BC_PUSH = 0, BC_LOAD = 1, BC_ADD = 2, BC_MUL = 3, BC_STORE = 4 };
+
+int NumExpr::emit(int *code, int at) {
+  code[at] = BC_PUSH;
+  code[at + 1] = value;
+  return at + 2;
+}
+
+int VarExpr::emit(int *code, int at) {
+  code[at] = BC_LOAD;
+  code[at + 1] = slot;
+  return at + 2;
+}
+
+int BinExpr::emit(int *code, int at) {
+  at = lhs->emit(code, at);
+  at = rhs->emit(code, at);
+  if (op == TK_PLUS) code[at] = BC_ADD; else code[at] = BC_MUL;
+  return at + 1;
+}
+
+class VM {
+public:
+  VM(SymTab *st) : symtab(st), sp(0), executed(0), trace_pc(0) { }
+  int run(int *code, int len);
+  void trace();  // single-step tracing: never switched on
+  SymTab *symtab;
+  int sp;
+  int stack[64];
+  int executed;
+  int trace_pc;   // only the never-called trace() uses it
+};
+
+void VM::trace() {
+  trace_pc = trace_pc + 1;
+  print_int(trace_pc);
+}
+
+int VM::run(int *code, int len) {
+  sp = 0;
+  int pc = 0;
+  while (pc < len) {
+    int bc = code[pc];
+    if (bc == BC_PUSH) { stack[sp] = code[pc + 1]; sp = sp + 1; pc = pc + 2; }
+    else if (bc == BC_LOAD) {
+      stack[sp] = symtab->load(code[pc + 1]); sp = sp + 1; pc = pc + 2;
+    }
+    else if (bc == BC_ADD) {
+      sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp]; pc = pc + 1;
+    }
+    else if (bc == BC_MUL) {
+      sp = sp - 1; stack[sp - 1] = stack[sp - 1] * stack[sp]; pc = pc + 1;
+    }
+    else if (bc == BC_STORE) {
+      sp = sp - 1; symtab->store(code[pc + 1], stack[sp]); pc = pc + 2;
+    }
+    else { pc = len; }
+    executed = executed + 1;
+  }
+  if (sp > 0) return stack[sp - 1];
+  return 0;
+}
+
+// ---- lexer + recursive-descent parser over a synthetic token stream ----
+
+class Lexer {
+public:
+  Lexer(long s) : seed(s), emitted(0), budget(0), pushback(0) { }
+  Token *next_token();
+  void unread(int k);  // one-token pushback: the grammar never needs it
+  long next_rand() {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) seed = -seed;
+    return seed;
+  }
+  long seed;
+  int emitted;
+  int budget;   // tokens remaining in the current expression
+  int pushback;   // only the never-called unread() uses it
+};
+
+void Lexer::unread(int k) { pushback = pushback + k; }
+
+// Emits a stream shaped like: ident = num (+|*) num ... ;
+Token *Lexer::next_token() {
+  emitted = emitted + 1;
+  if (budget == 0) {
+    budget = 2 * (1 + (int)(next_rand() % 6));
+    return new Token(TK_IDENT, (int)(next_rand() % 16), emitted);
+  }
+  if (budget == 1) {
+    budget = 0;
+    return new Token(TK_SEMI, 0, emitted);
+  }
+  budget = budget - 1;
+  if (budget % 2 == 1)
+    return new Token(TK_NUM, (int)(next_rand() % 100), emitted);
+  if (next_rand() % 2 == 0) return new Token(TK_PLUS, 0, emitted);
+  return new Token(TK_STAR, 0, emitted);
+}
+
+class Parser {
+public:
+  Parser(Lexer *lx) : lexer(lx), cur(NULL), parsed(0) { advance(); }
+  void advance() {
+    if (cur != NULL) delete cur;   // tokens die young
+    cur = lexer->next_token();
+  }
+  Expr *parse_operand();
+  Expr *parse_expr();
+  AssignStmt *parse_stmt(AssignStmt *tail);
+  Lexer *lexer;
+  Token *cur;
+  int parsed;
+};
+
+Expr *Parser::parse_operand() {
+  if (cur->src_line < 0 || cur->src_pos < 0)
+    return new NumExpr(0);  // truncated input
+  if (cur->kind == TK_NUM) {
+    Expr *e = new NumExpr(cur->value);
+    advance();
+    return e;
+  }
+  Expr *e = new VarExpr(cur->value % 16);
+  advance();
+  return e;
+}
+
+Expr *Parser::parse_expr() {
+  Expr *lhs = parse_operand();
+  while (cur->kind == TK_PLUS || cur->kind == TK_STAR) {
+    int op = cur->kind;
+    advance();
+    Expr *rhs = parse_operand();
+    lhs = new BinExpr(op, lhs, rhs);
+  }
+  return lhs;
+}
+
+AssignStmt *Parser::parse_stmt(AssignStmt *tail) {
+  if (cur->src_line < 0) return tail;  // line tracking for directives
+  int slot = cur->value % 16;
+  advance();  // identifier
+  Expr *e = parse_expr();
+  if (cur->kind == TK_SEMI) advance();
+  parsed = parsed + 1;
+  return new AssignStmt(slot, e, tail);
+}
+
+int main() {
+  Lexer *lexer = new Lexer(20011);
+  Parser *parser = new Parser(lexer);
+  AssignStmt *prog = NULL;
+  for (int i = 0; i < 150; i++) prog = parser->parse_stmt(prog);
+  SymTab *symtab = new SymTab(16);
+  VM *vm = new VM(symtab);
+  int code[256];
+  int checksum = 0;
+  AssignStmt *s = prog;
+  while (s != NULL) {
+    int len = s->rhs->emit(code, 0);
+    code[len] = BC_STORE;
+    code[len + 1] = s->slot;
+    int interp = s->rhs->eval(symtab);
+    int ran = vm->run(code, len + 2);
+    // the interpreter and the VM must agree (the result before the store)
+    checksum = checksum + interp - interp + ran;
+    s = s->next;
+  }
+  print_str("stmts=");
+  print_int(parser->parsed);
+  print_str(" checksum=");
+  print_int(checksum);
+  print_str(" ops=");
+  print_int(vm->executed);
+  print_nl();
+  int ok = parser->parsed == 150 && vm->executed > 0;
+  // tear down the AST; the token objects were freed during parsing
+  while (prog != NULL) {
+    AssignStmt *n = prog->next;
+    delete prog;
+    prog = n;
+  }
+  delete vm;
+  delete symtab;
+  delete parser;
+  delete lexer;
+  if (ok) return 0;
+  return 1;
+}
+|}

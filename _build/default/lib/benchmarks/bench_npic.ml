@@ -1,0 +1,163 @@
+(* npic — a particle-in-cell plasma simulation kernel. Waves of particle
+   objects are created, pushed through the field grid, and freed at the
+   end of each step, while the grid itself is retained: total object space
+   is therefore several times the high-water mark, reproducing the Table-2
+   shape for npic (115K total vs 25K HWM). Dead members sit in the grid
+   cells' disabled debug channel and the field solver's unused
+   higher-order options (~5% of dynamic object space). *)
+
+let name = "npic"
+let description = "Particle-in-cell plasma simulation kernel"
+let uses_class_library = false
+
+let source =
+  {|
+// npic.mcc - 1D electrostatic particle-in-cell simulation
+
+class Particle {
+public:
+  Particle(int x_, int v_, int q) : x(x_), v(v_), charge(q), weight(1) { }
+  int x;       // fixed-point position
+  int v;       // fixed-point velocity
+  int charge;
+  int weight;
+};
+
+class Cell {
+public:
+  Cell() : density(0), field(0), potential(0), old_potential(0),
+           smoothing(2), debug_flux(0) { }
+  int density;
+  int field;
+  int potential;
+  int old_potential;
+  int smoothing;
+  int debug_flux;   // per-cell flux tracing: only the disabled
+                    // diagnostics pass below touches it
+};
+
+class Grid {
+public:
+  Grid(int n) : ncells(n), boundary(0) {
+    cells = new Cell*[n];
+    for (int i = 0; i < n; i++) cells[i] = new Cell();
+  }
+  ~Grid() {
+    for (int i = 0; i < ncells; i++) delete cells[i];
+    free(cells);
+  }
+  void clear_density() {
+    for (int i = 0; i < ncells; i++) cells[i]->density = 0;
+  }
+  void deposit(int x, int q) {
+    int i = x % ncells;
+    if (i < 0) i = i + ncells;
+    cells[i]->density = cells[i]->density + q;
+  }
+  void trace_flux();   // diagnostics: never enabled
+  Cell **cells;
+  int ncells;
+  int boundary;
+};
+
+void Grid::trace_flux() {
+  for (int i = 0; i < ncells; i++) {
+    cells[i]->debug_flux = cells[i]->debug_flux + cells[i]->density;
+    print_int(cells[i]->debug_flux);
+  }
+}
+
+class FieldSolver {
+public:
+  FieldSolver(Grid *g)
+      : grid(g), relax_passes(4), order(2), spectral_modes(0) { }
+  void solve();
+  void solve_spectral();  // higher-order solver: never selected
+  Grid *grid;
+  int relax_passes;
+  int order;
+  int spectral_modes;   // only solve_spectral reads it
+};
+
+// Jacobi-style relaxation of the potential, then finite differences.
+void FieldSolver::solve() {
+  Grid *g = grid;
+  g->cells[0]->potential = g->boundary;
+  for (int pass = 0; pass < relax_passes; pass++) {
+    for (int i = 1; i < g->ncells - 1; i++) {
+      Cell *c = g->cells[i];
+      c->old_potential = c->potential;
+      c->potential =
+          (g->cells[i - 1]->potential + g->cells[i + 1]->potential
+           + c->density * order + c->old_potential * c->smoothing)
+          / (2 + c->smoothing);
+    }
+  }
+  for (int i = 1; i < g->ncells - 1; i++)
+    g->cells[i]->field =
+        g->cells[i + 1]->potential - g->cells[i - 1]->potential;
+}
+
+void FieldSolver::solve_spectral() {
+  spectral_modes = spectral_modes + grid->ncells;
+  print_int(spectral_modes);
+}
+
+class Pusher {
+public:
+  Pusher(long s) : seed(s), pushed(0) { }
+  long next_rand() {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) seed = -seed;
+    return seed;
+  }
+  void push(Particle *p, Grid *g) {
+    int i = p->x % g->ncells;
+    if (i < 0) i = i + g->ncells;
+    p->v = p->v + g->cells[i]->field * p->charge / 16;
+    p->x = p->x + p->v * p->weight;
+    if (p->x < 0) p->x = p->x + g->ncells * 64;
+    pushed = pushed + 1;
+  }
+  long seed;
+  int pushed;
+};
+
+int main() {
+  Grid *grid = new Grid(1024);
+  FieldSolver *solver = new FieldSolver(grid);
+  Pusher *pusher = new Pusher(31415);
+  int checksum = 0;
+  // 40 steps, each with a fresh wave of 150 particles
+  Particle *wave[150];
+  for (int step = 0; step < 40; step++) {
+    for (int k = 0; k < 150; k++) {
+      int x0 = (int)(pusher->next_rand() % (1024 * 64));
+      int v0 = (int)(pusher->next_rand() % 9) - 4;
+      int q = 1;
+      if (k % 2 == 0) q = -1;
+      wave[k] = new Particle(x0, v0, q);
+    }
+    grid->clear_density();
+    for (int k = 0; k < 150; k++)
+      grid->deposit(wave[k]->x / 64, wave[k]->charge);
+    solver->solve();
+    for (int k = 0; k < 150; k++) {
+      pusher->push(wave[k], grid);
+      checksum = checksum + wave[k]->v;
+      delete wave[k];
+    }
+  }
+  print_str("pushed=");
+  print_int(pusher->pushed);
+  print_str(" checksum=");
+  print_int(checksum);
+  print_nl();
+  int ok = pusher->pushed == 40 * 150;
+  delete pusher;
+  delete solver;
+  delete grid;
+  if (ok) return 0;
+  return 1;
+}
+|}

@@ -1,0 +1,305 @@
+(* richards — the classic operating-system simulator benchmark (Table 1:
+   "Simple operating system simulator", 606 LOC, 12 classes, 28 data
+   members). A MiniC++ port of the Richards task-scheduler kernel: every
+   data member is read somewhere, so the analysis finds no dead members,
+   matching the paper's result for this benchmark. *)
+
+let name = "richards"
+let description = "Simple operating system simulator"
+let uses_class_library = false
+
+let source =
+  {|
+// richards.mcc - OS task scheduler simulation (Richards benchmark)
+
+enum { ID_IDLE = 0, ID_WORKER = 1, ID_HANDLER_A = 2,
+       ID_HANDLER_B = 3, ID_DEVICE_A = 4, ID_DEVICE_B = 5, NUM_TASKS = 6 };
+enum { KIND_DEVICE = 0, KIND_WORK = 1 };
+enum { STATE_RUNNING = 0, STATE_RUNNABLE = 1, STATE_WAITING = 2,
+       STATE_WAIT_PKT = 3, STATE_HELD = 4 };
+
+class Packet {
+public:
+  Packet(Packet *l, int i, int k) : link(l), id(i), kind(k), a1(0) {
+    for (int j = 0; j < 4; j++) a2[j] = 0;
+  }
+  Packet *append_to(Packet *list);
+  Packet *link;
+  int id;
+  int kind;
+  int a1;
+  int a2[4];
+};
+
+Packet *Packet::append_to(Packet *list) {
+  link = NULL;
+  if (list == NULL) return this;
+  Packet *p = list;
+  while (p->link != NULL) p = p->link;
+  p->link = this;
+  return list;
+}
+
+class Scheduler;
+
+class Task {
+public:
+  Task(Scheduler *s, int i, int p, Packet *w, int st);
+  virtual ~Task() { }
+  virtual Task *run(Packet *pkt) = 0;
+  Task *add_packet(Packet *pkt, Task *old);
+  Task *wait_task();
+  Task *hold_self();
+  Task *release(int i);
+  int is_held() { return state == STATE_HELD; }
+  int is_waiting() { return state == STATE_WAITING; }
+  Task *link;
+  int id;
+  int pri;
+  Packet *wkq;
+  int state;
+  Scheduler *sched;
+};
+
+class Scheduler {
+public:
+  Scheduler() : task_list(NULL), current_task(NULL), current_id(-1),
+                queue_count(0), hold_count(0) {
+    for (int i = 0; i < NUM_TASKS; i++) task_table[i] = NULL;
+  }
+  ~Scheduler();
+  void add_task(int id, Task *t);
+  void schedule();
+  Task *find_task(int id);
+  Task *queue_packet(Packet *pkt);
+  Task *hold_current();
+  Task *release_task(int id);
+  Task *wait_current();
+  int queue_count;
+  int hold_count;
+  Task *task_list;
+  Task *current_task;
+  int current_id;
+  Task *task_table[6];
+};
+
+Task::Task(Scheduler *s, int i, int p, Packet *w, int st)
+    : link(NULL), id(i), pri(p), wkq(w), state(st), sched(s) {
+  s->add_task(i, this);
+}
+
+Task *Task::add_packet(Packet *pkt, Task *old) {
+  if (wkq == NULL) {
+    wkq = pkt;
+    if (state == STATE_WAIT_PKT) state = STATE_RUNNABLE;
+    if (pri > old->pri) return this;
+  } else {
+    wkq = pkt->append_to(wkq);
+  }
+  return old;
+}
+
+Task *Task::wait_task() {
+  if (wkq != NULL) state = STATE_WAIT_PKT; else state = STATE_WAITING;
+  return this;
+}
+
+Task *Task::hold_self() {
+  sched->hold_count = sched->hold_count + 1;
+  state = STATE_HELD;
+  return link;
+}
+
+Task *Task::release(int i) {
+  Task *t = sched->find_task(i);
+  if (t == NULL) return NULL;
+  if (t->state == STATE_HELD) t->state = STATE_RUNNABLE;
+  if (t->pri > pri) return t;
+  return this;
+}
+
+Scheduler::~Scheduler() {
+  Task *t = task_list;
+  while (t != NULL) {
+    Task *next = t->link;
+    delete t;
+    t = next;
+  }
+}
+
+void Scheduler::add_task(int id, Task *t) {
+  task_table[id] = t;
+  t->link = task_list;
+  task_list = t;
+}
+
+Task *Scheduler::find_task(int id) {
+  if (id < 0 || id >= NUM_TASKS) return NULL;
+  return task_table[id];
+}
+
+Task *Scheduler::queue_packet(Packet *pkt) {
+  Task *t = find_task(pkt->id);
+  if (t == NULL) return NULL;
+  queue_count = queue_count + 1;
+  pkt->link = NULL;
+  pkt->id = current_id;
+  return t->add_packet(pkt, current_task);
+}
+
+Task *Scheduler::hold_current() { return current_task->hold_self(); }
+
+Task *Scheduler::release_task(int id) { return current_task->release(id); }
+
+Task *Scheduler::wait_current() { return current_task->wait_task(); }
+
+void Scheduler::schedule() {
+  current_task = task_list;
+  while (current_task != NULL) {
+    if (current_task->is_held()) {
+      current_task = current_task->link;
+    } else if (current_task->is_waiting() && current_task->wkq == NULL) {
+      current_task = current_task->link;
+    } else {
+      Packet *pkt = current_task->wkq;
+      if (pkt != NULL) {
+        current_task->wkq = pkt->link;
+        if (current_task->state == STATE_WAIT_PKT ||
+            current_task->state == STATE_WAITING)
+          current_task->state = STATE_RUNNABLE;
+      }
+      current_id = current_task->id;
+      current_task = current_task->run(pkt);
+    }
+  }
+}
+
+class IdleTask : public Task {
+public:
+  IdleTask(Scheduler *s, int seed, int cnt)
+      : Task(s, ID_IDLE, 0, NULL, STATE_RUNNABLE), v1(seed), count(cnt) { }
+  virtual Task *run(Packet *pkt);
+  int v1;
+  int count;
+};
+
+Task *IdleTask::run(Packet *pkt) {
+  count = count - 1;
+  if (count == 0) return hold_self();
+  if ((v1 & 1) == 0) {
+    v1 = v1 / 2;
+    return release(ID_DEVICE_A);
+  }
+  v1 = v1 / 2 ^ 53256;
+  return release(ID_DEVICE_B);
+}
+
+class WorkTask : public Task {
+public:
+  WorkTask(Scheduler *s, Packet *w)
+      : Task(s, ID_WORKER, 1000, w, STATE_WAIT_PKT),
+        handler(ID_HANDLER_A), n(0) { }
+  virtual Task *run(Packet *pkt);
+  int handler;
+  int n;
+};
+
+Task *WorkTask::run(Packet *pkt) {
+  if (pkt == NULL) return wait_task();
+  if (handler == ID_HANDLER_A) handler = ID_HANDLER_B;
+  else handler = ID_HANDLER_A;
+  pkt->id = handler;
+  pkt->a1 = 0;
+  for (int i = 0; i < 4; i++) {
+    n = n + 1;
+    if (n > 26) n = 1;
+    pkt->a2[i] = 64 + n;
+  }
+  return sched->queue_packet(pkt);
+}
+
+class HandlerTask : public Task {
+public:
+  HandlerTask(Scheduler *s, int id, Packet *w)
+      : Task(s, id, 2000, w, STATE_WAIT_PKT), work_in(NULL), device_in(NULL) { }
+  virtual Task *run(Packet *pkt);
+  Packet *work_in;
+  Packet *device_in;
+};
+
+Task *HandlerTask::run(Packet *pkt) {
+  if (pkt != NULL) {
+    if (pkt->kind == KIND_WORK) work_in = pkt->append_to(work_in);
+    else device_in = pkt->append_to(device_in);
+    // the packet is requeued, not consumed: detach ownership
+  }
+  if (work_in != NULL) {
+    Packet *w = work_in;
+    int count = w->a1;
+    if (count >= 4) {
+      work_in = w->link;
+      w->link = NULL;
+      return sched->queue_packet(w);
+    }
+    if (device_in != NULL) {
+      Packet *d = device_in;
+      device_in = d->link;
+      d->link = NULL;
+      d->a1 = w->a2[count];
+      w->a1 = count + 1;
+      return sched->queue_packet(d);
+    }
+  }
+  return wait_task();
+}
+
+class DeviceTask : public Task {
+public:
+  DeviceTask(Scheduler *s, int id)
+      : Task(s, id, 4000, NULL, STATE_WAITING), pending(NULL) { }
+  virtual Task *run(Packet *pkt);
+  Packet *pending;
+};
+
+Task *DeviceTask::run(Packet *pkt) {
+  if (pkt == NULL) {
+    if (pending == NULL) return wait_task();
+    Packet *p = pending;
+    pending = NULL;
+    p->link = NULL;
+    return sched->queue_packet(p);
+  }
+  pending = new Packet(NULL, pkt->id, pkt->kind);
+  pending->a1 = pkt->a1;
+  return hold_self();
+}
+
+int main() {
+  Scheduler *sched = new Scheduler();
+  IdleTask *idle = new IdleTask(sched, 1, 200);
+  Packet *wq = new Packet(NULL, ID_WORKER, KIND_WORK);
+  wq = new Packet(wq, ID_WORKER, KIND_WORK);
+  WorkTask *work = new WorkTask(sched, wq);
+  Packet *qa = new Packet(NULL, ID_DEVICE_A, KIND_DEVICE);
+  qa = new Packet(qa, ID_DEVICE_A, KIND_DEVICE);
+  qa = new Packet(qa, ID_DEVICE_A, KIND_DEVICE);
+  HandlerTask *ha = new HandlerTask(sched, ID_HANDLER_A, qa);
+  Packet *qb = new Packet(NULL, ID_DEVICE_B, KIND_DEVICE);
+  qb = new Packet(qb, ID_DEVICE_B, KIND_DEVICE);
+  qb = new Packet(qb, ID_DEVICE_B, KIND_DEVICE);
+  HandlerTask *hb = new HandlerTask(sched, ID_HANDLER_B, qb);
+  DeviceTask *da = new DeviceTask(sched, ID_DEVICE_A);
+  DeviceTask *db = new DeviceTask(sched, ID_DEVICE_B);
+  sched->schedule();
+  print_str("queue_count=");
+  print_int(sched->queue_count);
+  print_str(" hold_count=");
+  print_int(sched->hold_count);
+  print_nl();
+  int qc = sched->queue_count;
+  int hc = sched->hold_count;
+  delete sched;
+  if (qc > 0 && hc > 0) return 0;
+  return 1;
+}
+|}

@@ -1,0 +1,259 @@
+(* simulate — a small queueing simulation built on a discrete-event
+   simulation class library. The library carries rich configuration and
+   statistics surfaces (warm-up handling, tracing, antithetic random
+   streams, batch means) that this application never exercises, so the
+   static dead-member percentage is high (~25%); but those members sit in
+   the handful of singleton library objects, while the mass-allocated
+   event objects are fully live — the paper's simulate shows exactly this
+   split (high static %, 41 bytes of dynamic dead space). *)
+
+let name = "simulate"
+let description = "Queueing simulation on a simulation class library"
+let uses_class_library = true
+
+let source =
+  {|
+// simulate.mcc - M/M/1-style queue simulation on an event-list library
+
+// ---------------- simulation library ----------------
+
+enum { EV_ARRIVAL = 0, EV_DEPARTURE = 1, EV_STOP = 2 };
+
+// Event notices: allocated in volume; every member is live.
+class SimEvent {
+public:
+  SimEvent(int k, long t, SimEvent *n) : kind(k), time(t), next(n) { }
+  int kind;
+  long time;
+  SimEvent *next;
+};
+
+// The future-event list (a sorted linked list).
+class SimCalendar {
+public:
+  SimCalendar() : head(NULL), now(0), scheduled(0), trace_level(0),
+                  max_length(0) { }
+  ~SimCalendar();
+  void schedule(int kind, long at);
+  SimEvent *pop();
+  void set_trace(int lvl);
+  int length_statistic();
+  SimEvent *head;
+  long now;
+  int scheduled;
+  int trace_level;   // tracing facility: only the never-called trace API reads it
+  int max_length;    // event-list statistic: only the never-called stat API uses it
+};
+
+// Tracing and event-list statistics: library facilities this model never
+// turns on — the only code touching these members is unreachable.
+void SimCalendar::set_trace(int lvl) { trace_level = lvl; }
+
+int SimCalendar::length_statistic() {
+  int len = 0;
+  SimEvent *q = head;
+  while (q != NULL) { len = len + 1; q = q->next; }
+  if (len > max_length) max_length = len;
+  if (trace_level > 0) return max_length;
+  return len;
+}
+
+SimCalendar::~SimCalendar() {
+  SimEvent *e = head;
+  while (e != NULL) {
+    SimEvent *n = e->next;
+    delete e;
+    e = n;
+  }
+}
+
+void SimCalendar::schedule(int kind, long at) {
+  scheduled = scheduled + 1;
+  if (head == NULL || head->time >= at) {
+    head = new SimEvent(kind, at, head);
+  } else {
+    SimEvent *p = head;
+    while (p->next != NULL && p->next->time < at) p = p->next;
+    p->next = new SimEvent(kind, at, p->next);
+  }
+}
+
+SimEvent *SimCalendar::pop() {
+  SimEvent *e = head;
+  if (e != NULL) {
+    head = e->next;
+    now = e->time;
+  }
+  return e;
+}
+
+// Linear congruential random stream. The antithetic and stream-splitting
+// features of the library go unused.
+class RandomStream {
+public:
+  RandomStream(long s) : seed(s), antithetic(0), stream_id(0), draws(0) { }
+  long next_long();
+  long uniform(long lo, long hi);
+  long antithetic_draw();
+  long seed;
+  int antithetic;   // variance-reduction switch: never enabled
+  int stream_id;    // stream splitting: never used
+  int draws;
+};
+
+// Antithetic sampling support: unused by this model.
+long RandomStream::antithetic_draw() {
+  if (antithetic) return 2147483646 - next_long() + stream_id;
+  return next_long();
+}
+
+long RandomStream::next_long() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  draws = draws + 1;
+  return seed;
+}
+
+long RandomStream::uniform(long lo, long hi) {
+  return lo + next_long() % (hi - lo + 1);
+}
+
+// Accumulating statistics counter. Batch-means and warm-up removal are
+// library features this model never turns on.
+class StatCounter {
+public:
+  StatCounter() : n(0), sum(0), sum_sq(0), minimum(999999999), maximum(0),
+                  warmup_cutoff(0), batch_size(0) { }
+  void record(long x);
+  long mean() { if (n == 0) return 0; return sum / n; }
+  long variance_x100();
+  long batch_mean(int b);
+  int n;
+  long sum;
+  long sum_sq;        // only the never-queried variance reads it
+  long minimum;
+  long maximum;
+  int warmup_cutoff;
+  int batch_size;     // batch means: never enabled
+};
+
+void StatCounter::record(long x) {
+  n = n + 1;
+  if (n <= warmup_cutoff) return;  // warm-up removal (off by default)
+  sum = sum + x;
+  if (x < minimum) minimum = x;
+  if (x > maximum) maximum = x;
+}
+
+// Second-moment and batch-means estimators: never called by this model.
+long StatCounter::variance_x100() {
+  if (n < 2) return 0;
+  sum_sq = sum_sq + sum * sum;
+  return (sum_sq * 100 - sum * sum * 100 / n) / (n - 1);
+}
+
+long StatCounter::batch_mean(int b) {
+  if (batch_size == 0) batch_size = b;
+  return sum / batch_size;
+}
+
+// Library features unused by this model ("unused classes").
+class SimResource {
+public:
+  SimResource(int cap) : capacity(cap), in_use(0), queue_len(0) { }
+  int capacity;
+  int in_use;
+  int queue_len;
+};
+
+class SimMonitor {
+public:
+  SimMonitor() : enabled(0), event_mask(0) { }
+  int enabled;
+  int event_mask;
+};
+
+// ---------------- the model ----------------
+
+class Queue {
+public:
+  Queue() : length(0), busy(0), served(0) { }
+  int length;
+  int busy;
+  int served;
+};
+
+// Retained sample of the simulation trajectory (kept until exit).
+class Sample {
+public:
+  Sample(long t, int len, Sample *n) : time(t), qlen(len), next(n) { }
+  long time;
+  int qlen;
+  Sample *next;
+};
+
+int main() {
+  SimCalendar *cal = new SimCalendar();
+  RandomStream *rng = new RandomStream(42);
+  StatCounter *wait_stat = new StatCounter();
+  Queue *q = new Queue();
+  Sample *trajectory = NULL;
+  cal->schedule(EV_ARRIVAL, 5);
+  cal->schedule(EV_STOP, 20000);
+  int running = 1;
+  while (running) {
+    SimEvent *e = cal->pop();
+    if (e == NULL) {
+      running = 0;
+    } else {
+      if (e->kind == EV_ARRIVAL) {
+        q->length = q->length + 1;
+        cal->schedule(EV_ARRIVAL, cal->now + rng->uniform(3, 17));
+        if (!q->busy) {
+          q->busy = 1;
+          cal->schedule(EV_DEPARTURE, cal->now + rng->uniform(2, 12));
+        }
+      } else if (e->kind == EV_DEPARTURE) {
+        q->length = q->length - 1;
+        q->served = q->served + 1;
+        wait_stat->record(q->length);
+        if (q->served % 16 == 0)
+          trajectory = new Sample(cal->now, q->length, trajectory);
+        if (q->length > 0)
+          cal->schedule(EV_DEPARTURE, cal->now + rng->uniform(2, 12));
+        else
+          q->busy = 0;
+      } else {
+        running = 0;
+      }
+      delete e;
+    }
+  }
+  print_str("served=");
+  print_int(q->served);
+  print_str(" mean_quelen=");
+  print_int((int)wait_stat->mean());
+  print_str(" min=");
+  print_int((int)wait_stat->minimum);
+  print_str(" max=");
+  print_int((int)wait_stat->maximum);
+  print_nl();
+  int samples = 0;
+  Sample *s = trajectory;
+  while (s != NULL) {
+    if (s->time >= 0 && s->qlen >= 0) samples = samples + 1;
+    s = s->next;
+  }
+  print_str("samples=");
+  print_int(samples);
+  print_nl();
+  int ok = q->served > 0 && rng->draws > 0 && cal->scheduled > q->served
+           && samples > 0;
+  delete q;
+  delete wait_stat;
+  delete rng;
+  delete cal;
+  if (ok) return 0;
+  return 1;
+}
+|}

@@ -1,0 +1,267 @@
+(* taldict — a dictionary application built on a general-purpose
+   collections class library (the paper's taldict uses the Taligent
+   dictionary library). The application exercises only part of the
+   library: resizing policy, modification counting, access statistics and
+   the sorted/statistics classes go unused, so the library-heavy classes
+   carry many dead members (taldict has the paper's highest static dead
+   percentage, 27.3%) while the frequently-instantiated association nodes
+   are all live — which is why the *dynamic* dead space is tiny (36 bytes
+   in the paper): classes with dead members are instantiated rarely. *)
+
+let name = "taldict"
+let description = "Dictionary application on a collections class library"
+let uses_class_library = true
+
+let source =
+  {|
+// taldict.mcc - integer-keyed dictionary built on a collections library
+
+// ---------------- collections library ----------------
+
+class TObject {
+public:
+  TObject() : refcount(1), flags(0) { }
+  virtual ~TObject() { }
+  virtual long hash_value() { return 0; }
+  void mark() { flags = flags | 1; }
+  int is_marked() { return (flags & 1) != 0; }
+  int refcount;   // reference counting is unused by this application: dead
+  int flags;
+};
+
+// Association nodes: the workhorse allocation of the dictionary.
+// Every member is live.
+class TAssoc {
+public:
+  TAssoc(long k, long v, TAssoc *n) : key(k), value(v), next(n) { }
+  long key;
+  long value;
+  TAssoc *next;
+};
+
+class TDictionary : public TObject {
+public:
+  TDictionary(int nb, long dflt)
+      : nbuckets(nb), count(0), hash_seed(17), default_val(dflt),
+        mod_count(0), stat_collisions(0), load_pct(75) {
+    buckets = new TAssoc*[nb];
+    for (int i = 0; i < nb; i++) buckets[i] = NULL;
+  }
+  virtual ~TDictionary() {
+    clear();
+    free(buckets);
+  }
+  virtual long hash_value() { return count * hash_seed; }
+  int bucket_of(long k) {
+    long h = (k * hash_seed) % nbuckets;
+    if (h < 0) h = h + nbuckets;
+    return (int)h;
+  }
+  void set(long k, long v);
+  long get(long k);
+  int has(long k);
+  int size() { return count; }
+  void clear();
+  int needs_rehash();
+  void note_modification();
+  int generation();
+  TAssoc **buckets;
+  int nbuckets;
+  int count;
+  int hash_seed;
+  long default_val;
+  int mod_count;         // modification guard for iterators: never read
+  int stat_collisions;   // collision statistics: collected, never reported
+  int load_pct;          // resize threshold: the app never grows the table
+};
+
+void TDictionary::set(long k, long v) {
+  int b = bucket_of(k);
+  TAssoc *a = buckets[b];
+  while (a != NULL) {
+    if (a->key == k) {
+      a->value = v;
+      return;
+    }
+    a = a->next;
+  }
+  buckets[b] = new TAssoc(k, v, buckets[b]);
+  count = count + 1;
+}
+
+// Library functionality this application never calls: table growth and
+// iterator invalidation checks. Only these functions touch the resizing
+// and modification-count members, so the members are dead here.
+int TDictionary::needs_rehash() {
+  return count * 100 / nbuckets > load_pct;
+}
+
+void TDictionary::note_modification() {
+  mod_count = mod_count + 1;
+  if (needs_rehash()) stat_collisions = stat_collisions + 1;
+}
+
+int TDictionary::generation() { return mod_count + stat_collisions; }
+
+long TDictionary::get(long k) {
+  int b = bucket_of(k);
+  TAssoc *a = buckets[b];
+  while (a != NULL) {
+    if (a->key == k) return a->value;
+    a = a->next;
+  }
+  return default_val;
+}
+
+int TDictionary::has(long k) {
+  int b = bucket_of(k);
+  TAssoc *a = buckets[b];
+  while (a != NULL) {
+    if (a->key == k) return 1;
+    a = a->next;
+  }
+  return 0;
+}
+
+void TDictionary::clear() {
+  for (int i = 0; i < nbuckets; i++) {
+    TAssoc *a = buckets[i];
+    while (a != NULL) {
+      TAssoc *n = a->next;
+      delete a;
+      a = n;
+    }
+    buckets[i] = NULL;
+  }
+  count = 0;
+}
+
+class TDictIterator : public TObject {
+public:
+  TDictIterator(TDictionary *d) : dict(d), bucket(0), cur(NULL), seen(0) {
+    advance();
+  }
+  void advance();
+  TAssoc *next_assoc();
+  int check_consistency();
+  TDictionary *dict;
+  int bucket;
+  TAssoc *cur;
+  int seen;   // used only by the never-called consistency check
+};
+
+// Iterator invalidation detection: part of the library's debugging
+// support, never enabled by this application.
+int TDictIterator::check_consistency() {
+  seen = seen + 1;
+  return seen <= dict->size() && dict->generation() >= 0;
+}
+
+void TDictIterator::advance() {
+  while (cur == NULL && bucket < dict->nbuckets) {
+    cur = dict->buckets[bucket];
+    bucket = bucket + 1;
+  }
+}
+
+TAssoc *TDictIterator::next_assoc() {
+  TAssoc *r = cur;
+  if (cur != NULL) {
+    cur = cur->next;
+    advance();
+  }
+  return r;
+}
+
+// Library functionality this application never uses: sorted views and
+// aggregate statistics ("unused classes" in Table 1).
+class TSortedDictionary : public TDictionary {
+public:
+  TSortedDictionary(int nb) : TDictionary(nb, 0), cmp_mode(0), sorted(0) { }
+  virtual long hash_value() { return cmp_mode; }
+  int cmp_mode;
+  int sorted;
+};
+
+class TDictStats : public TObject {
+public:
+  TDictStats(TDictionary *d) : dict(d), min_chain(0), max_chain(0),
+                               avg_chain_x100(0) { }
+  void recompute();
+  TDictionary *dict;
+  int min_chain;
+  int max_chain;
+  int avg_chain_x100;
+};
+
+void TDictStats::recompute() {
+  min_chain = 1000000;
+  max_chain = 0;
+  int total = 0;
+  for (int i = 0; i < dict->nbuckets; i++) {
+    int len = 0;
+    TAssoc *a = dict->buckets[i];
+    while (a != NULL) { len = len + 1; a = a->next; }
+    if (len < min_chain) min_chain = len;
+    if (len > max_chain) max_chain = len;
+    total = total + len;
+  }
+  avg_chain_x100 = total * 100 / dict->nbuckets;
+}
+
+// ---------------- application ----------------
+
+class Histogram : public TObject {
+public:
+  Histogram(TDictionary *d) : dict(d), total(0), max_key(0), last_update(0) { }
+  void add(long k);
+  TDictionary *dict;
+  int total;
+  long max_key;
+  int last_update;   // timestamp bookkeeping: never read
+};
+
+void Histogram::add(long k) {
+  long c = dict->get(k);
+  dict->set(k, c + 1);
+  total = total + 1;
+  if (k > max_key) max_key = k;
+  last_update = total;
+}
+
+int main() {
+  TDictionary *freq = new TDictionary(16, 0);
+  Histogram *hist = new Histogram(freq);
+  // a deterministic pseudo-text: LCG-generated "word" codes
+  long x = 12345;
+  for (int i = 0; i < 400; i++) {
+    x = (x * 1103515245 + 12345) % 2147483647;
+    long word = x % 37;
+    if (word < 0) word = -word;
+    hist->add(word);
+  }
+  hist->mark();
+  int checksum = 0;
+  TDictIterator *it = new TDictIterator(freq);
+  TAssoc *a = it->next_assoc();
+  while (a != NULL) {
+    checksum = checksum + (int)(a->key * a->value);
+    a = it->next_assoc();
+  }
+  print_str("entries=");
+  print_int(freq->size());
+  print_str(" total=");
+  print_int(hist->total);
+  print_str(" maxkey=");
+  print_int((int)hist->max_key);
+  print_str(" checksum=");
+  print_int(checksum);
+  print_nl();
+  int ok = freq->has(5) && hist->is_marked();
+  delete it;
+  delete hist;
+  delete freq;
+  if (ok) return 0;
+  return 1;
+}
+|}

@@ -1,0 +1,430 @@
+(* Call-graph construction for MiniC++ programs.
+
+   The paper builds its call graph with a slightly modified Program
+   Virtual-call Graph (PVG) algorithm [4] and notes that call-graph
+   precision bounds analysis precision (§3.1). We provide:
+
+   - [Cha] — Class Hierarchy Analysis: a virtual call through a receiver of
+     static class S may dispatch to the override in any subclass of S;
+   - [Rta] — Rapid Type Analysis (Bacon & Sweeney, OOPSLA'96 [5]): like
+     CHA, but dynamic receiver classes are restricted to classes whose
+     constructor is reachable.
+
+   Both honour the paper's conservative extra roots (§3.3): a function
+   whose address is taken in reachable code is reachable, and methods of
+   user classes that override a virtual method of a *library* class are
+   reachable (the library may call back into them). *)
+
+open Frontend
+open Sema
+open Sema.Typed_ast
+module StringSet = Set.Make (String)
+
+type algorithm = Cha | Rta
+
+let algorithm_to_string = function Cha -> "CHA" | Rta -> "RTA"
+
+type t = {
+  algorithm : algorithm;
+  nodes : FuncSet.t;  (* reachable functions *)
+  edges : FuncSet.t FuncMap.t;
+  roots : FuncSet.t;
+  instantiated : StringSet.t;  (* classes whose ctor is reachable *)
+  address_taken : FuncSet.t;
+}
+
+let reachable t id = FuncSet.mem id t.nodes
+let callees t id = Option.value ~default:FuncSet.empty (FuncMap.find_opt id t.edges)
+let num_nodes t = FuncSet.cardinal t.nodes
+
+let num_edges t =
+  FuncMap.fold (fun _ s acc -> acc + FuncSet.cardinal s) t.edges 0
+
+(* -- per-function events ---------------------------------------------------- *)
+
+type event =
+  | EStatic of Func_id.t
+  | EVirtual of string * string        (* static receiver class, method name *)
+  | EVirtualDelete of string           (* static pointee class *)
+  | EStaticDelete of string
+  | EFunPtrCall of int                 (* arity *)
+  | EAddrTaken of Func_id.t
+  | EInstantiate of string * Func_id.t (* class, ctor *)
+  | EStackDestroy of string
+
+let receiver_class (mc : method_call) : string option =
+  if mc.mc_arrow then Ctype.receiver_class_arrow mc.mc_recv.ty
+  else Ctype.receiver_class_dot mc.mc_recv.ty
+
+(* Is the destructor of [cls] virtual (declared so anywhere in the
+   hierarchy)? *)
+let dtor_is_virtual table cls =
+  let rec go c =
+    match Class_table.find table c with
+    | None -> false
+    | Some ci ->
+        (match Class_table.dtor ci with
+        | Some d -> d.m_virtual
+        | None -> false)
+        || List.exists (fun (b : Ast.base_spec) -> go b.b_name) ci.c_bases
+  in
+  go cls
+
+let expr_events table acc (e : texpr) =
+  match e.te with
+  | TCall (CFree (name, _)) -> EStatic (Func_id.FFree name) :: acc
+  | TCall (CMethod mc) -> (
+      match mc.mc_dispatch with
+      | DStatic -> EStatic (Func_id.FMethod (mc.mc_class, mc.mc_name)) :: acc
+      | DVirtual -> (
+          match receiver_class mc with
+          | Some cls -> EVirtual (cls, mc.mc_name) :: acc
+          | None -> EStatic (Func_id.FMethod (mc.mc_class, mc.mc_name)) :: acc))
+  | TCall (CFunPtr (fn, args)) -> (
+      match fn.te with
+      | TFunAddr id -> EStatic id :: acc
+      | _ -> EFunPtrCall (List.length args) :: acc)
+  | TCall (CBuiltin _) -> acc
+  | TFunAddr id -> EAddrTaken id :: acc
+  | TNewObj { cls; ctor; _ } -> EInstantiate (cls, ctor) :: acc
+  | TNewArr (Ast.TNamed cls, _) ->
+      EInstantiate (cls, Func_id.FCtor (cls, 0)) :: acc
+  | _ ->
+      ignore table;
+      acc
+
+let stmt_events table acc (s : tstmt) =
+  match s.ts with
+  | TSDecl ds ->
+      List.fold_left
+        (fun acc d ->
+          match d.tv_init with
+          | TInitCtor (ctor, _) -> (
+              match d.tv_type with
+              | Ast.TNamed cls ->
+                  EStackDestroy cls :: EInstantiate (cls, ctor) :: acc
+              | _ -> acc)
+          | TInitNone | TInitExpr _ -> (
+              (* stack arrays of class objects *)
+              match d.tv_type with
+              | Ast.TArr (Ast.TNamed cls, _) ->
+                  EStackDestroy cls
+                  :: EInstantiate (cls, Func_id.FCtor (cls, 0))
+                  :: acc
+              | _ -> acc))
+        acc ds
+  | TSDelete (_, e) -> (
+      match Ctype.pointee e.ty with
+      | Some (Ast.TNamed cls) ->
+          if dtor_is_virtual table cls then EVirtualDelete cls :: acc
+          else EStaticDelete cls :: acc
+      | _ -> acc)
+  | _ -> acc
+
+(* Structural obligations of constructors and destructors: base-class
+   subobject construction, member subobject construction/destruction. *)
+let structural_events table (fn : tfunc) : event list =
+  match fn.tf_id with
+  | Func_id.FCtor (cls, _) ->
+      let c = Class_table.find_exn table cls in
+      let base_events =
+        List.map
+          (fun bi ->
+            EStatic (Func_id.FCtor (bi.bi_class, List.length bi.bi_args)))
+          fn.tf_base_inits
+      in
+      let explicit = List.map (fun fi -> fi.fi_field) fn.tf_field_inits in
+      let field_events =
+        List.concat_map
+          (fun (f : Class_table.field) ->
+            if f.f_static then []
+            else
+              let ctor_of cls nargs = EStatic (Func_id.FCtor (cls, nargs)) in
+              match f.f_type with
+              | Ast.TNamed fcls ->
+                  if List.mem f.f_name explicit then
+                    let fi =
+                      List.find (fun fi -> fi.fi_field = f.f_name) fn.tf_field_inits
+                    in
+                    [ ctor_of fcls (List.length fi.fi_args) ]
+                  else [ ctor_of fcls 0 ]
+              | Ast.TArr (Ast.TNamed fcls, _) -> [ ctor_of fcls 0 ]
+              | _ -> [])
+          c.c_fields
+      in
+      base_events @ field_events
+  | Func_id.FDtor cls ->
+      let c = Class_table.find_exn table cls in
+      let base_events =
+        List.map
+          (fun (b : Ast.base_spec) -> EStatic (Func_id.FDtor b.b_name))
+          c.c_bases
+        @ List.filter_map
+            (fun vb ->
+              if List.exists (fun (b : Ast.base_spec) -> b.b_name = vb) c.c_bases
+              then None
+              else Some (EStatic (Func_id.FDtor vb)))
+            (Class_table.virtual_base_names table cls)
+      in
+      let field_events =
+        List.filter_map
+          (fun (f : Class_table.field) ->
+            if f.f_static then None
+            else
+              match f.f_type with
+              | Ast.TNamed fcls | Ast.TArr (Ast.TNamed fcls, _) ->
+                  Some (EStatic (Func_id.FDtor fcls))
+              | _ -> None)
+          c.c_fields
+      in
+      base_events @ field_events
+  | Func_id.FFree _ | Func_id.FMethod _ -> []
+
+let func_events table (fn : tfunc) : event list =
+  let acc = structural_events table fn in
+  let acc = fold_func_exprs (expr_events table) acc fn in
+  let acc =
+    match fn.tf_body with
+    | Some body -> fold_stmts (stmt_events table) acc body
+    | None -> acc
+  in
+  acc
+
+(* -- virtual dispatch resolution -------------------------------------------- *)
+
+(* Possible dynamic classes for a receiver of static class [s]:
+   [s] itself and all subclasses, filtered by the instantiated set under
+   RTA. *)
+let candidate_classes ~algorithm ~instantiated table s =
+  let all = s :: Class_table.subclasses table s in
+  match algorithm with
+  | Cha -> all
+  | Rta -> List.filter (fun c -> StringSet.mem c instantiated) all
+
+let resolve_virtual ~algorithm ~instantiated table s name : FuncSet.t =
+  List.fold_left
+    (fun acc d ->
+      match Member_lookup.dispatch table ~dyn:d ~name with
+      | Some (def, m) when m.m_body <> None || not m.m_pure ->
+          FuncSet.add (Func_id.FMethod (def, name)) acc
+      | Some (def, _) -> FuncSet.add (Func_id.FMethod (def, name)) acc
+      | None -> acc)
+    FuncSet.empty
+    (candidate_classes ~algorithm ~instantiated table s)
+
+let resolve_virtual_delete ~algorithm ~instantiated table s : FuncSet.t =
+  List.fold_left
+    (fun acc d -> FuncSet.add (Func_id.FDtor d) acc)
+    FuncSet.empty
+    (candidate_classes ~algorithm ~instantiated table s)
+
+(* -- extra roots (paper §3.3) ------------------------------------------------ *)
+
+(* Methods of non-library classes that override a virtual method declared
+   in a library class: roots, because library code may call them. *)
+let library_override_roots table ~library_classes : FuncSet.t =
+  if StringSet.is_empty library_classes then FuncSet.empty
+  else
+    List.fold_left
+      (fun acc (c : Class_table.cls) ->
+        if StringSet.mem c.c_name library_classes then acc
+        else
+          List.fold_left
+            (fun acc (m : Class_table.method_info) ->
+              if m.m_kind <> Ast.MethNormal || not m.m_virtual then acc
+              else
+                let overrides_library =
+                  List.exists
+                    (fun base ->
+                      StringSet.mem base library_classes
+                      &&
+                      match
+                        Member_lookup.lookup_method table ~start:base ~name:m.m_name
+                      with
+                      | Member_lookup.Found (_, bm) -> bm.m_virtual
+                      | _ -> false)
+                    (Class_table.all_base_names table c.c_name)
+                in
+                if overrides_library then
+                  FuncSet.add (Func_id.FMethod (c.c_name, m.m_name)) acc
+                else acc)
+            acc c.c_methods)
+      FuncSet.empty
+      (Class_table.all_classes table)
+
+(* -- fixpoint ----------------------------------------------------------------- *)
+
+let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
+    ?(extra_roots = []) (p : program) : t =
+  let table = p.table in
+  (* memoize per-function events *)
+  let events_cache : (Func_id.t, event list) Hashtbl.t = Hashtbl.create 64 in
+  let events_of id =
+    match Hashtbl.find_opt events_cache id with
+    | Some ev -> ev
+    | None ->
+        let ev =
+          match find_func p id with
+          | Some fn -> func_events table fn
+          | None -> []  (* unknown externals: no events *)
+        in
+        Hashtbl.add events_cache id ev;
+        ev
+  in
+  (* events of global initializers feed the root set *)
+  let global_events =
+    List.fold_left
+      (fun acc g ->
+        match g.g_init with
+        | Some e -> fold_expr (expr_events table) acc e
+        | None -> acc)
+      [] p.globals
+  in
+  let base_roots =
+    FuncSet.union
+      (FuncSet.of_list (main_id :: extra_roots))
+      (library_override_roots table ~library_classes)
+  in
+  (* Iterate reachability to a fixpoint over (instantiated, address_taken):
+     both sets only grow, and each enlargement can only add reachable
+     functions, so the loop terminates. *)
+  let instantiated = ref StringSet.empty in
+  let address_taken = ref FuncSet.empty in
+  let final_nodes = ref FuncSet.empty in
+  let final_edges = ref FuncMap.empty in
+  let final_roots = ref base_roots in
+  let stable = ref false in
+  while not !stable do
+    let inst0 = !instantiated and addr0 = !address_taken in
+    let nodes = ref FuncSet.empty in
+    let edges = ref FuncMap.empty in
+    let add_edge src dst =
+      edges :=
+        FuncMap.update src
+          (function
+            | Some s -> Some (FuncSet.add dst s)
+            | None -> Some (FuncSet.singleton dst))
+          !edges
+    in
+    let queue = Queue.create () in
+    let enqueue id =
+      if not (FuncSet.mem id !nodes) then begin
+        nodes := FuncSet.add id !nodes;
+        Queue.add id queue
+      end
+    in
+    let roots =
+      FuncSet.union base_roots
+        (FuncSet.filter (fun id -> find_func p id <> None) !address_taken)
+    in
+    FuncSet.iter enqueue roots;
+    (* pseudo-edges from global initializers hang off main *)
+    let process_events src events =
+      List.iter
+        (fun ev ->
+          match ev with
+          | EStatic id ->
+              add_edge src id;
+              enqueue id
+          | EVirtual (cls, name) ->
+              FuncSet.iter
+                (fun id ->
+                  add_edge src id;
+                  enqueue id)
+                (resolve_virtual ~algorithm ~instantiated:!instantiated table cls
+                   name)
+          | EVirtualDelete cls ->
+              FuncSet.iter
+                (fun id ->
+                  add_edge src id;
+                  enqueue id)
+                (resolve_virtual_delete ~algorithm ~instantiated:!instantiated
+                   table cls)
+          | EStaticDelete cls ->
+              add_edge src (Func_id.FDtor cls);
+              enqueue (Func_id.FDtor cls)
+          | EFunPtrCall arity ->
+              FuncSet.iter
+                (fun id ->
+                  let matches =
+                    match find_func p id with
+                    | Some fn -> List.length fn.tf_params = arity
+                    | None -> true
+                  in
+                  if matches then begin
+                    add_edge src id;
+                    enqueue id
+                  end)
+                !address_taken
+          | EAddrTaken id -> address_taken := FuncSet.add id !address_taken
+          | EInstantiate (cls, ctor) ->
+              instantiated := StringSet.add cls !instantiated;
+              add_edge src ctor;
+              enqueue ctor
+          | EStackDestroy cls ->
+              add_edge src (Func_id.FDtor cls);
+              enqueue (Func_id.FDtor cls))
+        events
+    in
+    process_events main_id global_events;
+    let rec drain () =
+      match Queue.take_opt queue with
+      | None -> ()
+      | Some id ->
+          (* constructing a class makes it a potential dynamic type while
+             its constructor runs (C++ dispatch-during-construction) *)
+          (match id with
+          | Func_id.FCtor (cls, _) ->
+              instantiated := StringSet.add cls !instantiated
+          | _ -> ());
+          process_events id (events_of id);
+          drain ()
+    in
+    drain ();
+    final_nodes := !nodes;
+    final_edges := !edges;
+    final_roots := roots;
+    stable :=
+      StringSet.equal inst0 !instantiated && FuncSet.equal addr0 !address_taken
+  done;
+  {
+    algorithm;
+    nodes = !final_nodes;
+    edges = !final_edges;
+    roots = !final_roots;
+    instantiated = !instantiated;
+    address_taken = !address_taken;
+  }
+
+(* -- output ------------------------------------------------------------------- *)
+
+let pp ppf t =
+  Fmt.pf ppf "call graph (%s): %d nodes, %d edges@\n"
+    (algorithm_to_string t.algorithm)
+    (num_nodes t) (num_edges t);
+  FuncMap.iter
+    (fun src dsts ->
+      FuncSet.iter
+        (fun dst -> Fmt.pf ppf "  %a -> %a@\n" Func_id.pp src Func_id.pp dst)
+        dsts)
+    t.edges
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  FuncSet.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\";\n" (Func_id.to_string n)))
+    t.nodes;
+  FuncMap.iter
+    (fun src dsts ->
+      FuncSet.iter
+        (fun dst ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> \"%s\";\n" (Func_id.to_string src)
+               (Func_id.to_string dst)))
+        dsts)
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Call-graph construction for MiniC++ programs.
+
+    The paper builds its call graph with a slightly modified Program
+    Virtual-call Graph algorithm and notes (§3.1) that call-graph
+    precision bounds analysis precision. Two algorithms are provided:
+
+    - {!Cha} — Class Hierarchy Analysis: a virtual call through a
+      receiver of static class [S] may dispatch to the override in any
+      subclass of [S];
+    - {!Rta} — Rapid Type Analysis (Bacon & Sweeney, OOPSLA'96): like
+      CHA, but candidate dynamic classes are restricted to classes whose
+      constructor is reachable.
+
+    Both honour the paper's conservative extra roots (§3.3): functions
+    whose address is taken in reachable code, and methods of user classes
+    overriding a virtual method of a {e library} class (the library may
+    call back into them). Constructor/destructor obligations — base and
+    member subobject construction, scope-exit and [delete]-time
+    destruction with virtual-destructor dispatch — are explicit edges. *)
+
+open Sema.Typed_ast
+module StringSet : Set.S with type elt = string and type t = Set.Make(String).t
+
+type algorithm = Cha | Rta
+
+val algorithm_to_string : algorithm -> string
+
+type t = {
+  algorithm : algorithm;
+  nodes : FuncSet.t;  (** functions reachable from the roots *)
+  edges : FuncSet.t FuncMap.t;  (** caller -> callees *)
+  roots : FuncSet.t;  (** [main] + extra roots *)
+  instantiated : StringSet.t;  (** classes whose ctor is reachable *)
+  address_taken : FuncSet.t;
+}
+
+(** Build the call graph of a program. [library_classes] triggers the
+    override-root rule; [extra_roots] adds entry points beyond [main]. *)
+val build :
+  ?algorithm:algorithm ->
+  ?library_classes:StringSet.t ->
+  ?extra_roots:Func_id.t list ->
+  program ->
+  t
+
+val reachable : t -> Func_id.t -> bool
+val callees : t -> Func_id.t -> FuncSet.t
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Graphviz rendering of the graph. *)
+val to_dot : t -> string

@@ -1,0 +1,1 @@
+lib/cpp_frontend/ast.ml: List Printf Source String

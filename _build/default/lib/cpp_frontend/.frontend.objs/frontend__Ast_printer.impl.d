@@ -1,0 +1,1 @@
+lib/cpp_frontend/ast_printer.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/cpp_frontend/lexer.ml: Buffer Fmt List Source String Token

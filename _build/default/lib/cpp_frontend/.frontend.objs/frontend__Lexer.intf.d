@@ -1,0 +1,1 @@
+lib/cpp_frontend/lexer.mli: Token

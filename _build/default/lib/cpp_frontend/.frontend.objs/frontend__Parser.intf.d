@@ -1,0 +1,1 @@
+lib/cpp_frontend/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/cpp_frontend/token.ml: Printf Source

@@ -1,0 +1,262 @@
+(* Untyped abstract syntax for MiniC++.
+
+   The subset is chosen so that every construct the dead-data-member
+   algorithm of Sweeney & Tip (PLDI'98) treats specially is representable:
+   member reads via [.], [->] and qualified variants, address-of on members,
+   pointer-to-member expressions, unsafe casts, [sizeof], unions, [volatile]
+   members, [delete]/[free], and virtual dispatch (which determines the
+   call graph). *)
+
+type loc = Source.span
+
+type access = Public | Private | Protected
+
+type class_kind = Class | Struct | Union
+
+(* Type expressions as written in the source; resolution of [TNamed]
+   against the class table happens in the sema library. *)
+type type_expr =
+  | TVoid
+  | TBool
+  | TChar
+  | TInt
+  | TLong
+  | TFloat
+  | TDouble
+  | TNamed of string
+  | TPtr of type_expr
+  | TRef of type_expr
+  | TArr of type_expr * int
+  | TFun of type_expr * type_expr list  (* return, params: function pointers *)
+  | TMemPtrTy of string * type_expr     (* int A::*pm — class, member type *)
+
+type unop = Neg | Not | BitNot | UPlus
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | LAnd
+  | LOr
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+
+type assign_op =
+  | Assign
+  | AddAssign
+  | SubAssign
+  | MulAssign
+  | DivAssign
+  | ModAssign
+  | AndAssign
+  | OrAssign
+  | XorAssign
+  | ShlAssign
+  | ShrAssign
+
+type incdec = Incr | Decr
+type fixity = Prefix | Postfix
+
+type cast_kind = CStyle | StaticCast | DynamicCast | ReinterpretCast | ConstCast
+
+type expr = { e : expr_desc; eloc : loc }
+
+and expr_desc =
+  | IntLit of int
+  | BoolLit of bool
+  | CharLit of char
+  | FloatLit of float
+  | StrLit of string
+  | NullLit
+  | Ident of string
+  | This
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | AssignE of assign_op * expr * expr
+  | IncDec of incdec * fixity * expr
+  | Cond of expr * expr * expr
+  | Cast of cast_kind * type_expr * expr
+  | Call of expr * expr list
+  | Member of expr * string               (* e.m *)
+  | Arrow of expr * string                (* e->m *)
+  | QualMember of expr * string * string  (* e.X::m *)
+  | QualArrow of expr * string * string   (* e->X::m *)
+  | ScopedIdent of string * string        (* X::m — static member or method *)
+  | AddrOf of expr
+  | Deref of expr
+  | Index of expr * expr
+  | MemPtrDeref of expr * expr * bool     (* receiver, ptr-to-member; true = ->* *)
+  | New of type_expr * expr list          (* new T(args) *)
+  | NewArr of type_expr * expr            (* new T[n] *)
+  | SizeofType of type_expr
+  | SizeofExpr of expr
+
+type var_init = InitExpr of expr | InitCtor of expr list
+
+type var_decl = {
+  v_name : string;
+  v_type : type_expr;
+  v_init : var_init option;
+  v_loc : loc;
+}
+
+type stmt = { s : stmt_desc; sloc : loc }
+
+and stmt_desc =
+  | SExpr of expr
+  | SDecl of var_decl list
+  | SBlock of stmt list
+  | SIf of expr * stmt * stmt option
+  | SWhile of expr * stmt
+  | SDoWhile of stmt * expr
+  | SFor of stmt option * expr option * expr option * stmt
+  | SReturn of expr option
+  | SBreak
+  | SContinue
+  | SDelete of bool * expr  (* true = delete[] *)
+  | SEmpty
+
+type param = { p_name : string; p_type : type_expr; p_loc : loc }
+
+type method_kind = MethNormal | MethCtor | MethDtor
+
+type method_decl = {
+  mt_name : string;  (* for ctors the class name; for dtors "~" ^ class name *)
+  mt_kind : method_kind;
+  mt_ret : type_expr;
+  mt_params : param list;
+  mt_virtual : bool;
+  mt_static : bool;
+  mt_pure : bool;
+  mt_inits : (string * expr list) list;  (* ctor initializer list *)
+  mt_body : stmt option;                 (* None: defined out-of-line or extern *)
+  mt_access : access;
+  mt_loc : loc;
+}
+
+type field_decl = {
+  fd_name : string;
+  fd_type : type_expr;
+  fd_volatile : bool;
+  fd_static : bool;
+  fd_access : access;
+  fd_loc : loc;
+}
+
+type member_decl = MField of field_decl | MMethod of method_decl
+
+type base_spec = {
+  b_name : string;
+  b_virtual : bool;
+  b_access : access;
+  b_loc : loc;
+}
+
+type class_decl = {
+  cd_name : string;
+  cd_kind : class_kind;
+  cd_bases : base_spec list;
+  cd_members : member_decl list;
+  cd_loc : loc;
+}
+
+type func_decl = {
+  fn_name : string;
+  fn_ret : type_expr;
+  fn_params : param list;
+  fn_body : stmt option;
+  fn_loc : loc;
+}
+
+type enum_decl = {
+  en_name : string option;
+  en_items : (string * int) list;  (* values assigned at parse time *)
+  en_loc : loc;
+}
+
+type top_decl =
+  | TClass of class_decl
+  | TFunc of func_decl
+  | TMethodDef of string * method_decl  (* class name, out-of-line definition *)
+  | TGlobal of var_decl
+  | TEnum of enum_decl
+
+type program = top_decl list
+
+(* Helpers --------------------------------------------------------------- *)
+
+let mk_expr ?(loc = Source.dummy_span) e = { e; eloc = loc }
+let mk_stmt ?(loc = Source.dummy_span) s = { s; sloc = loc }
+
+let rec strip_refs = function TRef t -> strip_refs t | t -> t
+
+(* The class name mentioned at the root of a type, looking through
+   pointers, references and arrays. Used by [MarkAllContainedMembers]
+   call sites that need "the class occurring in a type". *)
+let rec named_root = function
+  | TNamed n -> Some n
+  | TPtr t | TRef t | TArr (t, _) -> named_root t
+  | TVoid | TBool | TChar | TInt | TLong | TFloat | TDouble | TFun _
+  | TMemPtrTy _ ->
+      None
+
+let access_to_string = function
+  | Public -> "public"
+  | Private -> "private"
+  | Protected -> "protected"
+
+let class_kind_to_string = function
+  | Class -> "class"
+  | Struct -> "struct"
+  | Union -> "union"
+
+let rec type_to_string = function
+  | TVoid -> "void"
+  | TBool -> "bool"
+  | TChar -> "char"
+  | TInt -> "int"
+  | TLong -> "long"
+  | TFloat -> "float"
+  | TDouble -> "double"
+  | TNamed n -> n
+  | TPtr t -> type_to_string t ^ "*"
+  | TRef t -> type_to_string t ^ "&"
+  | TArr (t, n) -> Printf.sprintf "%s[%d]" (type_to_string t) n
+  | TFun (ret, params) ->
+      Printf.sprintf "%s(*)(%s)" (type_to_string ret)
+        (String.concat ", " (List.map type_to_string params))
+  | TMemPtrTy (cls, t) -> Printf.sprintf "%s %s::*" (type_to_string t) cls
+
+let rec type_equal a b =
+  match (a, b) with
+  | TVoid, TVoid
+  | TBool, TBool
+  | TChar, TChar
+  | TInt, TInt
+  | TLong, TLong
+  | TFloat, TFloat
+  | TDouble, TDouble ->
+      true
+  | TNamed x, TNamed y -> String.equal x y
+  | TPtr x, TPtr y | TRef x, TRef y -> type_equal x y
+  | TArr (x, n), TArr (y, m) -> n = m && type_equal x y
+  | TFun (r1, p1), TFun (r2, p2) ->
+      type_equal r1 r2
+      && List.length p1 = List.length p2
+      && List.for_all2 type_equal p1 p2
+  | TMemPtrTy (c1, t1), TMemPtrTy (c2, t2) -> String.equal c1 c2 && type_equal t1 t2
+  | ( ( TVoid | TBool | TChar | TInt | TLong | TFloat | TDouble | TNamed _
+      | TPtr _ | TRef _ | TArr _ | TFun _ | TMemPtrTy _ ),
+      _ ) ->
+      false

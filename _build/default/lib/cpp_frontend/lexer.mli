@@ -1,0 +1,16 @@
+(** Hand-written lexer for MiniC++.
+
+    Supports [//] and [/* */] comments, character/string literals with
+    the usual escapes, decimal/hex integer literals (with ignored
+    [l]/[u] suffixes), floating-point literals (including exponent
+    forms), and skips preprocessor lines. *)
+
+(** [tokenize ~file src] lexes a complete source buffer into a token
+    list terminated by {!Token.EOF}.
+
+    @raise Source.Compile_error on malformed input. *)
+val tokenize : file:string -> string -> Token.spanned list
+
+(** Number of non-blank, non-comment-only source lines; used for the
+    LOC column of the paper's Table 1. *)
+val count_code_lines : string -> int

@@ -1,0 +1,72 @@
+(* Source positions, spans and diagnostics for the MiniC++ frontend.
+
+   Every AST node carries a [span] so that later phases (type checking,
+   liveness analysis) can report precise locations, and so that the
+   [sizeof]-policy configuration can refer to individual occurrences. *)
+
+type pos = {
+  line : int;  (* 1-based *)
+  col : int;   (* 1-based *)
+  offset : int;  (* 0-based byte offset into the file *)
+}
+
+let dummy_pos = { line = 0; col = 0; offset = 0 }
+
+type span = {
+  file : string;
+  start_pos : pos;
+  end_pos : pos;
+}
+
+let dummy_span = { file = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
+
+let make_span ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+(* A span covering both arguments; assumes both are in the same file. *)
+let join a b =
+  let start_pos =
+    if a.start_pos.offset <= b.start_pos.offset then a.start_pos else b.start_pos
+  in
+  let end_pos =
+    if a.end_pos.offset >= b.end_pos.offset then a.end_pos else b.end_pos
+  in
+  { file = a.file; start_pos; end_pos }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+let pp_span ppf s =
+  if s.start_pos.line = s.end_pos.line then
+    Fmt.pf ppf "%s:%d:%d-%d" s.file s.start_pos.line s.start_pos.col
+      s.end_pos.col
+  else
+    Fmt.pf ppf "%s:%a-%a" s.file pp_pos s.start_pos pp_pos s.end_pos
+
+let span_to_string s = Fmt.str "%a" pp_span s
+
+(* Diagnostics ------------------------------------------------------------ *)
+
+type severity = Error | Warning | Note
+
+type diagnostic = {
+  severity : severity;
+  message : string;
+  at : span;
+}
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Note -> Fmt.string ppf "note"
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%a: %a: %s" pp_span d.at pp_severity d.severity d.message
+
+let diagnostic_to_string d = Fmt.str "%a" pp_diagnostic d
+
+exception Compile_error of diagnostic
+
+let error ?(at = dummy_span) fmt =
+  Fmt.kstr
+    (fun message ->
+      raise (Compile_error { severity = Error; message; at }))
+    fmt

@@ -1,0 +1,46 @@
+(** Source positions, spans and diagnostics.
+
+    Every AST node carries a {!span} so that later phases report precise
+    locations and so that policies (e.g. which [sizeof] occurrences to
+    ignore) can refer to individual source sites. *)
+
+(** A point in a source file. *)
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+val dummy_pos : pos
+
+(** A contiguous source region. *)
+type span = { file : string; start_pos : pos; end_pos : pos }
+
+val dummy_span : span
+
+val make_span : file:string -> start_pos:pos -> end_pos:pos -> span
+
+(** [join a b] is the smallest span covering both arguments (which must
+    belong to the same file). *)
+val join : span -> span -> span
+
+val pp_pos : Format.formatter -> pos -> unit
+val pp_span : Format.formatter -> span -> unit
+val span_to_string : span -> string
+
+(** {1 Diagnostics} *)
+
+type severity = Error | Warning | Note
+
+type diagnostic = { severity : severity; message : string; at : span }
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_to_string : diagnostic -> string
+
+(** Raised by every phase of the pipeline on a user-program error. *)
+exception Compile_error of diagnostic
+
+(** [error ~at fmt ...] raises {!Compile_error} with a formatted message
+    anchored at [at]. *)
+val error : ?at:span -> ('a, Format.formatter, unit, 'b) format4 -> 'a

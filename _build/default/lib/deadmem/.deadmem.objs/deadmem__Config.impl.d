@@ -1,0 +1,1 @@
+lib/deadmem/config.ml: Callgraph Fmt Sema Set String

@@ -1,0 +1,1 @@
+lib/deadmem/config.mli: Callgraph Format Sema Set String

@@ -1,0 +1,1 @@
+lib/deadmem/eliminate.ml: Ast Callgraph Class_table Config Ctype Frontend FuncSet Func_id Hashtbl List Liveness Member Option Sema Set Source String Type_check

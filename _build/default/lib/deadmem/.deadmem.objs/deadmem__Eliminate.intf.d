@@ -1,0 +1,1 @@
+lib/deadmem/eliminate.mli: Ast Config Frontend Member Sema Typed_ast

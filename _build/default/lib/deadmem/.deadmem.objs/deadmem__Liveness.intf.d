@@ -1,0 +1,1 @@
+lib/deadmem/liveness.mli: Callgraph Class_table Config Format Member Sema Typed_ast

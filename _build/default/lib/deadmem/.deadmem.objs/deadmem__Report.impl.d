@@ -1,0 +1,1 @@
+lib/deadmem/report.ml: Ast Class_table Config Fmt Frontend List Liveness Sema Set String

@@ -1,0 +1,1 @@
+lib/deadmem/report.mli: Format Liveness Sema Set String Typed_ast

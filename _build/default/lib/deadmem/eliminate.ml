@@ -1,0 +1,287 @@
+(* Dead-data-member elimination: the space optimization the paper proposes
+   ("this optimization should be incorporated in any optimizing compiler",
+   §4.4), implemented as an AST-to-AST transformation.
+
+   Given an analysis result, the transformation:
+   - removes dead *scalar* data members from their class declarations
+     (class-typed members are kept even when dead: removing them would
+     also remove their constructor/destructor effects; union members are
+     kept because union layout sharing makes removal observable);
+   - drops constructor-initializer entries for removed members;
+   - rewrites assignments whose target is a removed member into bare
+     evaluations of their right-hand side (preserving side effects);
+   - removes unreachable free functions and non-virtual methods, and stubs
+     the bodies of unreachable virtual methods, constructors and
+     destructors (they survive only to keep the class interface intact) —
+     this is the "elimination of unused methods" [19] the transformation
+     needs so that no surviving code mentions a removed member.
+
+   Soundness: a removed member is dead — no reachable code reads it — and
+   stubbed bodies belong to functions the call graph proves unreachable,
+   so observable behaviour is preserved. The test suite verifies this by
+   running each benchmark before and after elimination and comparing
+   output, exit code, and the (shrunken) object space. *)
+
+open Frontend
+open Sema
+open Sema.Typed_ast
+module StringSet = Set.Make (String)
+
+type plan = {
+  removed : Member.Set.t;        (* members deleted from their classes *)
+  dead_assign_locs : (Source.span, unit) Hashtbl.t;
+  reachable : FuncSet.t;
+  table : Class_table.t;
+}
+
+(* Members we are willing to delete: dead, scalar-typed, not in a union,
+   not static (statics occupy no object space). *)
+let removable_members (p : program) (r : Liveness.result) : Member.Set.t =
+  List.fold_left
+    (fun acc ((m : Member.t), (f : Class_table.field)) ->
+      let scalar =
+        match f.f_type with
+        | Ast.TNamed _ | Ast.TArr (Ast.TNamed _, _) -> false
+        | _ -> true
+      in
+      let in_union =
+        match Class_table.find p.table (Member.cls m) with
+        | Some c -> c.c_kind = Ast.Union
+        | None -> false
+      in
+      if Liveness.is_dead r m && scalar && (not in_union) && not f.f_static
+      then Member.Set.add m acc
+      else acc)
+    Member.Set.empty r.Liveness.members
+
+(* Collect the source spans of statements/expressions that assign into a
+   removed member: these writes must be rewritten to keep only the RHS. *)
+let collect_dead_assigns (p : program) (removed : Member.Set.t) :
+    (Source.span, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  let visit () (e : texpr) =
+    match e.te with
+    | TAssign (Ast.Assign, { te = TField fa; _ }, _)
+      when Member.Set.mem (fa.fa_def_class, fa.fa_field) removed ->
+        Hashtbl.replace tbl e.tloc ()
+    | _ -> ()
+  in
+  List.iter (fun fn -> fold_func_exprs visit () fn) (all_funcs p);
+  tbl
+
+let make_plan (p : program) (r : Liveness.result) : plan =
+  let removed = removable_members p r in
+  {
+    removed;
+    dead_assign_locs = collect_dead_assigns p removed;
+    reachable = r.Liveness.callgraph.Callgraph.nodes;
+    table = p.table;
+  }
+
+(* -- expression / statement rewriting ------------------------------------------ *)
+
+let rec rewrite_expr plan (e : Ast.expr) : Ast.expr =
+  let re = rewrite_expr plan in
+  let desc =
+    match e.Ast.e with
+    | Ast.AssignE (Ast.Assign, _, rhs) when Hashtbl.mem plan.dead_assign_locs e.Ast.eloc ->
+        (* the write target is a removed member: keep only the RHS *)
+        (re rhs).Ast.e
+    | Ast.IntLit _ | Ast.BoolLit _ | Ast.CharLit _ | Ast.FloatLit _
+    | Ast.StrLit _ | Ast.NullLit | Ast.Ident _ | Ast.This
+    | Ast.ScopedIdent _ ->
+        e.Ast.e
+    | Ast.Unary (op, a) -> Ast.Unary (op, re a)
+    | Ast.Binary (op, a, b) -> Ast.Binary (op, re a, re b)
+    | Ast.AssignE (op, a, b) -> Ast.AssignE (op, re a, re b)
+    | Ast.IncDec (w, f, a) -> Ast.IncDec (w, f, re a)
+    | Ast.Cond (c, t, f) -> Ast.Cond (re c, re t, re f)
+    | Ast.Cast (k, ty, a) -> Ast.Cast (k, ty, re a)
+    | Ast.Call (f, args) -> Ast.Call (re f, List.map re args)
+    | Ast.Member (a, m) -> Ast.Member (re a, m)
+    | Ast.Arrow (a, m) -> Ast.Arrow (re a, m)
+    | Ast.QualMember (a, c, m) -> Ast.QualMember (re a, c, m)
+    | Ast.QualArrow (a, c, m) -> Ast.QualArrow (re a, c, m)
+    | Ast.AddrOf a -> Ast.AddrOf (re a)
+    | Ast.Deref a -> Ast.Deref (re a)
+    | Ast.Index (a, i) -> Ast.Index (re a, re i)
+    | Ast.MemPtrDeref (a, b, arrow) -> Ast.MemPtrDeref (re a, re b, arrow)
+    | Ast.New (t, args) -> Ast.New (t, List.map re args)
+    | Ast.NewArr (t, n) -> Ast.NewArr (t, re n)
+    | Ast.SizeofType _ | Ast.SizeofExpr _ -> e.Ast.e
+  in
+  { e with Ast.e = desc }
+
+let rec rewrite_stmt plan (s : Ast.stmt) : Ast.stmt =
+  let rs = rewrite_stmt plan and re = rewrite_expr plan in
+  let desc =
+    match s.Ast.s with
+    | Ast.SExpr e -> Ast.SExpr (re e)
+    | Ast.SDecl ds ->
+        Ast.SDecl
+          (List.map
+             (fun (d : Ast.var_decl) ->
+               let v_init =
+                 match d.v_init with
+                 | None -> None
+                 | Some (Ast.InitExpr e) -> Some (Ast.InitExpr (re e))
+                 | Some (Ast.InitCtor args) ->
+                     Some (Ast.InitCtor (List.map re args))
+               in
+               { d with v_init })
+             ds)
+    | Ast.SBlock body -> Ast.SBlock (List.map rs body)
+    | Ast.SIf (c, t, e) -> Ast.SIf (re c, rs t, Option.map rs e)
+    | Ast.SWhile (c, b) -> Ast.SWhile (re c, rs b)
+    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (rs b, re c)
+    | Ast.SFor (init, cond, step, b) ->
+        Ast.SFor (Option.map rs init, Option.map re cond, Option.map re step, rs b)
+    | Ast.SReturn e -> Ast.SReturn (Option.map re e)
+    | Ast.SDelete (arr, e) -> Ast.SDelete (arr, re e)
+    | Ast.SBreak | Ast.SContinue | Ast.SEmpty -> s.Ast.s
+  in
+  { s with Ast.s = desc }
+
+(* A stub body for an unreachable function that must survive: returns the
+   zero of its return type. *)
+let stub_body (ret : Ast.type_expr) : Ast.stmt =
+  let zero =
+    match Ctype.decay ret with
+    | Ast.TVoid -> None
+    | Ast.TFloat | Ast.TDouble -> Some (Ast.mk_expr (Ast.FloatLit 0.0))
+    | Ast.TPtr _ | Ast.TFun _ | Ast.TMemPtrTy _ -> Some (Ast.mk_expr Ast.NullLit)
+    | _ -> Some (Ast.mk_expr (Ast.IntLit 0))
+  in
+  Ast.mk_stmt
+    (Ast.SBlock
+       (match zero with
+       | None -> []
+       | Some z -> [ Ast.mk_stmt (Ast.SReturn (Some z)) ]))
+
+(* -- class / method rewriting ----------------------------------------------------- *)
+
+let method_id cls (m : Ast.method_decl) : Func_id.t =
+  match m.mt_kind with
+  | Ast.MethNormal -> Func_id.FMethod (cls, m.mt_name)
+  | Ast.MethCtor -> Func_id.FCtor (cls, List.length m.mt_params)
+  | Ast.MethDtor -> Func_id.FDtor cls
+
+let is_reachable plan id = FuncSet.mem id plan.reachable
+
+(* A method is virtual for elimination purposes if the (fully resolved)
+   class table says so — including implicit virtuality from overriding. *)
+let method_is_virtual plan cls (m : Ast.method_decl) =
+  match m.mt_kind with
+  | Ast.MethDtor -> true (* keep all dtors: object lifecycle *)
+  | Ast.MethCtor -> true (* keep all ctors: class interface *)
+  | Ast.MethNormal -> (
+      match Class_table.find plan.table cls with
+      | None -> m.mt_virtual
+      | Some c -> (
+          match
+            List.find_opt
+              (fun (mi : Class_table.method_info) ->
+                mi.m_name = m.mt_name && mi.m_kind = Ast.MethNormal)
+              c.c_methods
+          with
+          | Some mi -> mi.m_virtual
+          | None -> m.mt_virtual))
+
+let rewrite_method plan cls (m : Ast.method_decl) : Ast.method_decl option =
+  let id = method_id cls m in
+  let reachable = is_reachable plan id in
+  let virtual_ = method_is_virtual plan cls m in
+  if (not reachable) && not virtual_ then None (* drop dead non-virtual methods *)
+  else
+    let mt_inits =
+      List.filter
+        (fun (name, _) -> not (Member.Set.mem (cls, name) plan.removed))
+        m.mt_inits
+    in
+    if not reachable then
+      (* survives for interface/lifecycle reasons only: stub the body so
+         it cannot mention removed members; initializer entries are kept
+         (base constructors may require arguments) but rewritten *)
+      Some
+        {
+          m with
+          mt_inits =
+            List.map
+              (fun (n, args) -> (n, List.map (rewrite_expr plan) args))
+              mt_inits;
+          mt_body =
+            (match m.mt_body with
+            | None -> None
+            | Some _ -> Some (stub_body m.mt_ret));
+        }
+    else
+      Some
+        {
+          m with
+          mt_inits =
+            List.map
+              (fun (n, args) -> (n, List.map (rewrite_expr plan) args))
+              mt_inits;
+          mt_body = Option.map (rewrite_stmt plan) m.mt_body;
+        }
+
+let rewrite_class plan (c : Ast.class_decl) : Ast.class_decl =
+  let members =
+    List.filter_map
+      (function
+        | Ast.MField f ->
+            if Member.Set.mem (c.Ast.cd_name, f.Ast.fd_name) plan.removed then
+              None
+            else Some (Ast.MField f)
+        | Ast.MMethod m ->
+            Option.map (fun m -> Ast.MMethod m) (rewrite_method plan c.Ast.cd_name m))
+      c.Ast.cd_members
+  in
+  { c with Ast.cd_members = members }
+
+(* -- whole-program transformation --------------------------------------------------- *)
+
+let apply_plan plan (prog : Ast.program) : Ast.program =
+  List.filter_map
+    (fun top ->
+      match top with
+      | Ast.TClass c -> Some (Ast.TClass (rewrite_class plan c))
+      | Ast.TFunc f ->
+          let id = Func_id.FFree f.Ast.fn_name in
+          if f.Ast.fn_name <> "main" && not (is_reachable plan id) then None
+          else
+            Some
+              (Ast.TFunc
+                 { f with Ast.fn_body = Option.map (rewrite_stmt plan) f.Ast.fn_body })
+      | Ast.TMethodDef (cls, m) ->
+          Option.map (fun m -> Ast.TMethodDef (cls, m)) (rewrite_method plan cls m)
+      | Ast.TGlobal d ->
+          let v_init =
+            match d.Ast.v_init with
+            | Some (Ast.InitExpr e) -> Some (Ast.InitExpr (rewrite_expr plan e))
+            | other -> other
+          in
+          Some (Ast.TGlobal { d with Ast.v_init })
+      | Ast.TEnum _ -> Some top)
+    prog
+
+(* The public entry point: analyze-and-strip a source program.
+
+   Returns the transformed (untyped) AST, the re-checked typed program,
+   and the set of members that were removed. Raises [Source.Compile_error]
+   if the transformed program does not re-check — which would indicate a
+   bug, and is exercised heavily by the test suite. *)
+let strip_program ?(config = Config.paper) ~source ~file () :
+    Ast.program * program * Member.Set.t =
+  let untyped = Frontend.Parser.parse ~file source in
+  let typed = Type_check.check_program untyped in
+  let result = Liveness.analyze ~config typed in
+  let plan = make_plan typed result in
+  let stripped = apply_plan plan untyped in
+  let retyped = Type_check.check_program stripped in
+  (stripped, retyped, plan.removed)
+
+(* Convenience: transformed program as MiniC++ source text. *)
+let strip_to_source ?config ~source ~file () : string * Member.Set.t =
+  let stripped, _, removed = strip_program ?config ~source ~file () in
+  (Frontend.Ast_printer.program_to_string stripped, removed)

@@ -1,0 +1,44 @@
+(** Dead-data-member elimination: the space optimization the paper
+    proposes ("this optimization should be incorporated in any optimizing
+    compiler", §4.4), implemented as an AST-to-AST transformation.
+
+    The transformation removes dead {e scalar} data members from their
+    classes, drops their constructor initializers, rewrites assignments
+    into them to bare right-hand-side evaluations (preserving side
+    effects), removes unreachable free functions and non-virtual methods,
+    and stubs the bodies of unreachable virtual methods, constructors and
+    destructors so that no surviving code mentions a removed member.
+
+    Deliberately NOT removed, for behaviour preservation:
+    - class-typed dead members (their constructors/destructors may have
+      observable effects);
+    - union members (layout sharing makes removal observable);
+    - static members (they occupy no object space anyway).
+
+    The test suite validates the transformation on all 11 paper
+    benchmarks: identical output, identical exit code, object space that
+    never grows and shrinks whenever padding permits. *)
+
+open Frontend
+open Sema
+
+(** Analyze [source] and strip its dead members. Returns the transformed
+    untyped AST, the re-type-checked program, and the removed members.
+
+    @raise Source.Compile_error if the input — or, indicating a bug, the
+    transformed output — fails to compile. *)
+val strip_program :
+  ?config:Config.t ->
+  source:string ->
+  file:string ->
+  unit ->
+  Ast.program * Typed_ast.program * Member.Set.t
+
+(** Like {!strip_program} but returning the transformed program as
+    MiniC++ source text (re-parseable by {!Frontend.Parser.parse}). *)
+val strip_to_source :
+  ?config:Config.t ->
+  source:string ->
+  file:string ->
+  unit ->
+  string * Member.Set.t

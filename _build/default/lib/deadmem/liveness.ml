@@ -1,0 +1,324 @@
+(* The dead-data-member detection algorithm of Sweeney & Tip (PLDI'98),
+   Figure 2: [DetectUnusedDataMembers], [ProcessStatement] and
+   [MarkAllContainedMembers].
+
+   A data member [C::m] is marked LIVE when, in a function reachable from
+   [main] in the call graph:
+   - its value is read ([e.m], [e->m], [e.X::m], including reads of
+     intermediate members in access chains like [b.mb2.nm1]);
+   - its address is taken ([&e.m]) — except when the member is the
+     direct operand of [delete] or argument of [free] (those system
+     functions cannot affect observable behaviour);
+   - it is named by a pointer-to-member expression ([&Z::m]);
+   - a [volatile] member is written;
+   - an unsafe cast, a conservative [sizeof], or a live union member
+     forces [MarkAllContainedMembers].
+
+   Writes do not mark members live: storing into a member cannot by itself
+   affect observable behaviour. Everything else is dead. *)
+
+open Frontend
+open Sema
+open Sema.Typed_ast
+module StringSet = Set.Make (String)
+
+type result = {
+  config : Config.t;
+  callgraph : Callgraph.t;
+  live : Member.Set.t;
+  (* every instance data member of a non-library class, with its field
+     record, in declaration order *)
+  members : (Member.t * Class_table.field) list;
+}
+
+(* -- marking ----------------------------------------------------------------- *)
+
+type state = {
+  table : Class_table.t;
+  cfg : Config.t;
+  mutable live_set : Member.Set.t;
+  visited : (string, unit) Hashtbl.t;  (* MarkAllContainedMembers classes *)
+}
+
+let mark st (m : Member.t) = st.live_set <- Member.Set.add m st.live_set
+
+(* [MarkAllContainedMembers] (Fig. 2, lines 36-50): mark every member
+   directly or indirectly contained in class [cls] — its own members,
+   members of class-typed members, and members of base classes. *)
+let rec mark_all_contained st cls =
+  if not (Hashtbl.mem st.visited cls) then begin
+    Hashtbl.add st.visited cls ();
+    match Class_table.find st.table cls with
+    | None -> ()
+    | Some c ->
+        List.iter
+          (fun (f : Class_table.field) ->
+            if not f.f_static then begin
+              mark st (f.f_class, f.f_name);
+              match f.f_type with
+              | Ast.TNamed n | Ast.TArr (Ast.TNamed n, _) ->
+                  mark_all_contained st n
+              | _ -> ()
+            end)
+          c.c_fields;
+        List.iter
+          (fun (b : Ast.base_spec) -> mark_all_contained st b.b_name)
+          c.c_bases
+  end
+
+let mark_type_contents st (ty : Ast.type_expr) =
+  match Ast.named_root ty with
+  | Some cls -> mark_all_contained st cls
+  | None -> ()
+
+(* -- expression traversal -----------------------------------------------------
+
+   [Read] — the value of the expression is used;
+   [Lvalue] — only the expression's location is needed (write target or
+   base of a [.]-chain whose outer member is only written). *)
+
+type mode = Read | Lvalue
+
+let handle_cast st safety =
+  match safety with
+  | CastSafe -> ()
+  | CastUnsafeDowncast src ->
+      if not st.cfg.Config.assume_downcasts_safe then mark_all_contained st src
+  | CastUnsafeOther (Some src) -> mark_all_contained st src
+  | CastUnsafeOther None -> ()
+
+let handle_sizeof st (ty : Ast.type_expr) =
+  match st.cfg.Config.sizeof_policy with
+  | Config.Sizeof_ignore -> ()
+  | Config.Sizeof_conservative -> mark_type_contents st ty
+
+let rec walk st mode (e : texpr) =
+  match e.te with
+  | TInt _ | TBool _ | TChar _ | TFloat _ | TStr _ | TNull | TLocal _
+  | TGlobalVar _ | TEnumConst _ | TThis _ | TFunAddr _ | TStaticField _ ->
+      ()
+  | TMemPtr (cls, name) ->
+      (* pointer-to-member expression &Z::m (Fig. 2 lines 26-28): the
+         member may be accessed through the pointer somewhere *)
+      mark st (cls, name)
+  | TField fa ->
+      (match mode with
+      | Read -> mark st (fa.fa_def_class, fa.fa_field)
+      | Lvalue -> ());
+      (* the base of a [->] access is a pointer value that is read; the
+         base of a [.] access inherits the enclosing mode: in [a.b.m = x]
+         neither [m] nor [b] is read, while in [y = a.b.m] both are *)
+      walk st (if fa.fa_arrow then Read else mode) fa.fa_obj
+  | TUnary (_, a) -> walk st Read a
+  | TBinary (_, a, b) ->
+      walk st Read a;
+      walk st Read b
+  | TAssign (op, lhs, rhs) ->
+      (match op with
+      | Ast.Assign ->
+          (* plain store: the target member is not read... *)
+          (match lhs.te with
+          | TField fa when fa.fa_volatile ->
+              (* ...unless it is volatile: writes to volatile members are
+                 observable (paper, footnote in §3) *)
+              mark st (fa.fa_def_class, fa.fa_field)
+          | _ -> ());
+          walk st Lvalue lhs
+      | _ ->
+          (* compound assignment reads the old value *)
+          walk st Read lhs);
+      walk st Read rhs
+  | TIncDec (_, _, a) -> walk st Read a (* ++/-- read the old value *)
+  | TCond (c, t, f) ->
+      walk st Read c;
+      walk st mode t;
+      walk st mode f
+  | TCast (_, _, a, safety) ->
+      handle_cast st safety;
+      walk st mode a
+  | TAddrOf a -> (
+      match a.te with
+      | TField fa ->
+          (* address-taken: conservatively live (Fig. 2 lines 19-22,
+             the &e'.m case) *)
+          mark st (fa.fa_def_class, fa.fa_field);
+          walk st (if fa.fa_arrow then Read else Lvalue) fa.fa_obj
+      | _ -> walk st Lvalue a)
+  | TDeref a -> walk st Read a (* the pointer value is read *)
+  | TIndex (a, i) ->
+      walk st Read a;
+      walk st Read i
+  | TMemPtrDeref (recv, pm, arrow) ->
+      (* the member-pointer value is read; which member it designates was
+         already marked at the &Z::m site *)
+      walk st (if arrow then Read else mode) recv;
+      walk st Read pm
+  | TNewObj { args; _ } -> List.iter (walk st Read) args
+  | TNewScalar _ -> ()
+  | TNewArr (_, n) -> walk st Read n
+  | TSizeofType ty -> handle_sizeof st ty
+  | TSizeofExpr a ->
+      handle_sizeof st a.ty
+      (* the operand of sizeof is not evaluated: no reads *)
+  | TCall c -> walk_call st c
+
+and walk_call st (c : call) =
+  match c with
+  | CBuiltin (BFree, [ arg ]) ->
+      (* free(e.m): the member whose value flows to free is not marked
+         (footnote: free cannot affect observable behaviour); deeper
+         subexpressions are still processed *)
+      walk_delete_arg st arg
+  | CBuiltin (_, args) | CFree (_, args) -> List.iter (walk st Read) args
+  | CMethod mc ->
+      walk st Read mc.mc_recv;
+      List.iter (walk st Read) mc.mc_args
+  | CFunPtr (fn, args) ->
+      walk st Read fn;
+      List.iter (walk st Read) args
+
+(* The argument of [delete]/[free]: the *top-level* member access (through
+   safe casts) is exempt from marking; everything below it is processed
+   normally. *)
+and walk_delete_arg st (e : texpr) =
+  match e.te with
+  | TField fa -> walk st (if fa.fa_arrow then Read else Lvalue) fa.fa_obj
+  | TCast (_, _, inner, safety) ->
+      handle_cast st safety;
+      walk_delete_arg st inner
+  | _ -> walk st Read e
+
+let rec walk_stmt st (s : tstmt) =
+  match s.ts with
+  | TSExpr e -> walk st Read e
+  | TSDecl ds ->
+      List.iter
+        (fun d ->
+          match d.tv_init with
+          | TInitNone -> ()
+          | TInitExpr e -> walk st Read e
+          | TInitCtor (_, args) -> List.iter (walk st Read) args)
+        ds
+  | TSBlock body -> List.iter (walk_stmt st) body
+  | TSIf (c, t, e) ->
+      walk st Read c;
+      walk_stmt st t;
+      Option.iter (walk_stmt st) e
+  | TSWhile (c, b) ->
+      walk st Read c;
+      walk_stmt st b
+  | TSDoWhile (b, c) ->
+      walk_stmt st b;
+      walk st Read c
+  | TSFor (init, cond, step, b) ->
+      Option.iter (walk_stmt st) init;
+      Option.iter (walk st Read) cond;
+      Option.iter (walk st Read) step;
+      walk_stmt st b
+  | TSReturn (Some e) -> walk st Read e
+  | TSReturn None | TSBreak | TSContinue | TSEmpty -> ()
+  | TSDelete (_, e) -> walk_delete_arg st e
+
+let walk_func st (fn : tfunc) =
+  (* constructor initializers: base-initializer arguments and member-
+     initializer arguments are reads; the *initialized member itself* is a
+     write target and is NOT marked — this is the paper's key observation
+     that constructor initialization alone must not make members live *)
+  List.iter (fun bi -> List.iter (walk st Read) bi.bi_args) fn.tf_base_inits;
+  List.iter (fun fi -> List.iter (walk st Read) fi.fi_args) fn.tf_field_inits;
+  Option.iter (walk_stmt st) fn.tf_body
+
+(* -- the algorithm (Fig. 2, DetectUnusedDataMembers) -------------------------- *)
+
+let analyze ?(config = Config.default) (p : program) : result =
+  (* line 5: construct the call graph *)
+  let cg =
+    Callgraph.build ~algorithm:config.Config.call_graph
+      ~library_classes:config.Config.library_classes
+      ~extra_roots:config.Config.extra_roots p
+  in
+  let st =
+    {
+      table = p.table;
+      cfg = config;
+      live_set = Member.Set.empty;  (* line 3: all members start dead *)
+      visited = Hashtbl.create 32;  (* line 4: all classes not visited *)
+    }
+  in
+  (* lines 6-8: process every statement of every reachable function *)
+  FuncSet.iter
+    (fun id ->
+      match find_func p id with Some fn -> walk_func st fn | None -> ())
+    cg.Callgraph.nodes;
+  (* global initializers execute before main *)
+  List.iter (fun g -> Option.iter (walk st Read) g.g_init) p.globals;
+  (* lines 9-11: union post-pass — if any member of a union is live, all
+     members (in)directly contained in the union are live, because a write
+     to a "dead" union member would change the live one's value *)
+  let union_pass () =
+    let changed = ref false in
+    List.iter
+      (fun (c : Class_table.cls) ->
+        if c.c_kind = Ast.Union then
+          let any_live =
+            List.exists
+              (fun (f : Class_table.field) ->
+                Member.Set.mem (f.f_class, f.f_name) st.live_set)
+              (Class_table.instance_fields c)
+          in
+          let all_marked =
+            List.for_all
+              (fun (f : Class_table.field) ->
+                Member.Set.mem (f.f_class, f.f_name) st.live_set)
+              (Class_table.instance_fields c)
+          in
+          if any_live && not all_marked then begin
+            (* the union itself counts as "not visited" even if seen via
+               MarkAllContainedMembers of an enclosing class *)
+            Hashtbl.remove st.visited c.c_name;
+            mark_all_contained st c.c_name;
+            changed := true
+          end)
+      (Class_table.all_classes p.table);
+    !changed
+  in
+  (* marking a union's class-typed members can make members of *other*
+     unions live; iterate to fixpoint *)
+  while union_pass () do
+    ()
+  done;
+  let members =
+    List.concat_map
+      (fun (c : Class_table.cls) ->
+        if Config.StringSet.mem c.c_name config.Config.library_classes then []
+        else
+          List.map
+            (fun (f : Class_table.field) -> ((f.f_class, f.f_name), f))
+            (Class_table.instance_fields c))
+      (Class_table.all_classes p.table)
+  in
+  { config; callgraph = cg; live = st.live_set; members }
+
+(* -- queries ------------------------------------------------------------------ *)
+
+let is_live r (m : Member.t) = Member.Set.mem m r.live
+let is_dead r (m : Member.t) = not (is_live r m)
+
+let dead_members r =
+  List.filter_map
+    (fun (m, _) -> if is_dead r m then Some m else None)
+    r.members
+
+let live_members r =
+  List.filter_map
+    (fun (m, _) -> if is_live r m then Some m else None)
+    r.members
+
+let dead_set r = Member.Set.of_list (dead_members r)
+
+let pp_result ppf r =
+  List.iter
+    (fun (m, _) ->
+      Fmt.pf ppf "%-30s %s@\n" (Member.to_string m)
+        (if is_live r m then "live" else "DEAD"))
+    r.members

@@ -1,0 +1,46 @@
+(** The dead-data-member detection algorithm of Sweeney & Tip (PLDI'98),
+    Figure 2: [DetectUnusedDataMembers] with [ProcessStatement] and
+    [MarkAllContainedMembers].
+
+    A data member [C::m] is LIVE when, in a function reachable from
+    [main] in the call graph:
+    - its value is read ([e.m], [e->m], [e.X::m], including interior
+      members of access chains like [b.mb2.mn1]);
+    - its address is taken ([&e.m]) — unless the member is the direct
+      operand of [delete]/argument of [free];
+    - it is named by a pointer-to-member expression ([&Z::m]);
+    - it is [volatile] and written;
+    - an unsafe cast, a conservative [sizeof], or a live sibling in a
+      union forces [MarkAllContainedMembers] over its class.
+
+    Everything else is DEAD: each member the algorithm classifies dead is
+    guaranteed removable without affecting observable behaviour (the
+    converse does not hold — the problem is undecidable, so the analysis
+    is conservative). *)
+
+open Sema
+
+type result = {
+  config : Config.t;
+  callgraph : Callgraph.t;  (** the call graph the analysis ran over *)
+  live : Member.Set.t;  (** every member marked live *)
+  members : (Member.t * Class_table.field) list;
+      (** every instance data member of every non-library class, in
+          declaration order, regardless of classification *)
+}
+
+(** Run the analysis. [config] defaults to the fully conservative
+    {!Config.default}; the paper's evaluation used {!Config.paper}. *)
+val analyze : ?config:Config.t -> Typed_ast.program -> result
+
+val is_live : result -> Member.t -> bool
+val is_dead : result -> Member.t -> bool
+
+(** Dead members in declaration order. *)
+val dead_members : result -> Member.t list
+
+val live_members : result -> Member.t list
+val dead_set : result -> Member.Set.t
+
+(** One line per member with its classification. *)
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,145 @@
+(* Static measurements (paper §4.1–4.2): used classes, member counts, and
+   the percentage of dead data members among used classes.
+
+   "Used classes" are classes for which a constructor call occurs in the
+   application (Table 1's bracketed column). Data members of unused
+   classes are ignored in the percentages "since eliminating such members
+   does not affect the size of any objects that are created at run-time";
+   base classes of used classes contribute members to live objects, so
+   they are counted as used too. *)
+
+open Frontend
+open Sema
+open Sema.Typed_ast
+module StringSet = Set.Make (String)
+
+(* Classes with a syntactic constructor call anywhere in the program
+   (independent of reachability), plus their transitive bases. *)
+let used_classes (p : program) : StringSet.t =
+  let direct = ref StringSet.empty in
+  let note cls = direct := StringSet.add cls !direct in
+  let from_expr () (e : texpr) =
+    match e.te with
+    | TNewObj { cls; _ } -> note cls
+    | TNewArr (Ast.TNamed cls, _) -> note cls
+    | _ -> ()
+  in
+  let from_stmt () (s : tstmt) =
+    match s.ts with
+    | TSDecl ds ->
+        List.iter
+          (fun d ->
+            match d.tv_type with
+            | Ast.TNamed cls -> note cls
+            | Ast.TArr (Ast.TNamed cls, _) -> note cls
+            | _ -> ())
+          ds
+    | _ -> ()
+  in
+  List.iter
+    (fun fn ->
+      fold_func_exprs from_expr () fn;
+      match fn.tf_body with
+      | Some body -> fold_stmts from_stmt () body
+      | None -> ())
+    (all_funcs p);
+  (* bases of used classes (their members live inside used objects), and
+     classes of data members contained in used classes *)
+  let closure = ref StringSet.empty in
+  let rec add cls =
+    if not (StringSet.mem cls !closure) then begin
+      closure := StringSet.add cls !closure;
+      List.iter add (Class_table.all_base_names p.table cls);
+      match Class_table.find p.table cls with
+      | None -> ()
+      | Some c ->
+          List.iter
+            (fun (f : Class_table.field) ->
+              if not f.f_static then
+                match f.f_type with
+                | Ast.TNamed n | Ast.TArr (Ast.TNamed n, _) -> add n
+                | _ -> ())
+            c.c_fields
+    end
+  in
+  StringSet.iter add !direct;
+  !closure
+
+type class_stats = {
+  cs_name : string;
+  cs_used : bool;
+  cs_members : int;       (* instance data members *)
+  cs_dead : int;
+  cs_dead_names : string list;
+}
+
+type t = {
+  num_classes : int;
+  num_used_classes : int;
+  members_in_used : int;   (* Table 1, last column *)
+  dead_in_used : int;
+  dead_pct : float;        (* Figure 3 bar *)
+  per_class : class_stats list;
+  used : StringSet.t;
+}
+
+let of_result (p : program) (r : Liveness.result) : t =
+  let used = used_classes p in
+  let library = r.Liveness.config.Config.library_classes in
+  let app_classes =
+    List.filter
+      (fun (c : Class_table.cls) ->
+        not (Config.StringSet.mem c.c_name library))
+      (Class_table.all_classes p.table)
+  in
+  let per_class =
+    List.map
+      (fun (c : Class_table.cls) ->
+        let fields = Class_table.instance_fields c in
+        let dead =
+          List.filter
+            (fun (f : Class_table.field) ->
+              Liveness.is_dead r (f.f_class, f.f_name))
+            fields
+        in
+        {
+          cs_name = c.c_name;
+          cs_used = StringSet.mem c.c_name used;
+          cs_members = List.length fields;
+          cs_dead = List.length dead;
+          cs_dead_names = List.map (fun (f : Class_table.field) -> f.f_name) dead;
+        })
+      app_classes
+  in
+  let used_stats = List.filter (fun cs -> cs.cs_used) per_class in
+  let members_in_used =
+    List.fold_left (fun acc cs -> acc + cs.cs_members) 0 used_stats
+  in
+  let dead_in_used =
+    List.fold_left (fun acc cs -> acc + cs.cs_dead) 0 used_stats
+  in
+  let dead_pct =
+    if members_in_used = 0 then 0.0
+    else 100.0 *. float_of_int dead_in_used /. float_of_int members_in_used
+  in
+  {
+    num_classes = List.length app_classes;
+    num_used_classes = List.length used_stats;
+    members_in_used;
+    dead_in_used;
+    dead_pct;
+    per_class;
+    used;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "classes: %d (%d used), members in used classes: %d, dead: %d (%.1f%%)@\n"
+    t.num_classes t.num_used_classes t.members_in_used t.dead_in_used t.dead_pct;
+  List.iter
+    (fun cs ->
+      if cs.cs_dead > 0 then
+        Fmt.pf ppf "  %s%s: %d/%d dead (%s)@\n" cs.cs_name
+          (if cs.cs_used then "" else " [unused]")
+          cs.cs_dead cs.cs_members
+          (String.concat ", " cs.cs_dead_names))
+    t.per_class

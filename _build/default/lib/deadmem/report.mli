@@ -1,0 +1,39 @@
+(** Static measurements (paper §4.1–4.2): used classes, member counts,
+    and the percentage of dead data members among used classes — the
+    numbers behind Table 1 and Figure 3.
+
+    "Used classes" are classes for which a constructor call occurs
+    anywhere in the application (Table 1's bracketed column), closed
+    under base classes and embedded-member classes (their members occupy
+    space inside used objects). Members of unused classes are excluded
+    from the percentages, as in the paper. *)
+
+open Sema
+module StringSet : Set.S with type elt = string and type t = Set.Make(String).t
+
+(** Per-class statistics. *)
+type class_stats = {
+  cs_name : string;
+  cs_used : bool;
+  cs_members : int;  (** instance data members *)
+  cs_dead : int;
+  cs_dead_names : string list;
+}
+
+type t = {
+  num_classes : int;  (** application (non-library) classes *)
+  num_used_classes : int;
+  members_in_used : int;  (** Table 1, last column *)
+  dead_in_used : int;
+  dead_pct : float;  (** the Figure 3 bar: 100 * dead / members *)
+  per_class : class_stats list;
+  used : StringSet.t;
+}
+
+(** Classes with a syntactic constructor call anywhere in the program,
+    closed under bases and member classes. *)
+val used_classes : Typed_ast.program -> StringSet.t
+
+val of_result : Typed_ast.program -> Liveness.result -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+(* Object layout model for MiniC++ (LP64-style).
+
+   Computes the size in bytes of every type, and in particular of complete
+   class objects: data members with natural alignment, a vptr for classes
+   with virtual functions, base-class subobjects, and virtual bases placed
+   once at the end of the complete object with a vbase pointer per class
+   that inherits virtually (the classic "virtual base pointer" model the
+   paper refers to in its discussion of virtual inheritance costs).
+
+   The dynamic measurements (Table 2 / Figure 4 of the paper) are driven by
+   two queries:
+   - [object_size table cls] — bytes occupied by a heap/stack object;
+   - [object_size table ~dead cls] — size if the data members in [dead]
+     were removed from their classes, used for the "high water mark without
+     dead data members" column. *)
+
+open Frontend
+open Sema
+
+module Member = Sema.Member
+module MemberSet = Sema.Member.Set
+
+let ptr_size = 8
+
+let scalar_size = function
+  | Ast.TVoid -> 0
+  | Ast.TBool | Ast.TChar -> 1
+  | Ast.TInt -> 4
+  | Ast.TLong -> 8
+  | Ast.TFloat -> 4
+  | Ast.TDouble -> 8
+  | Ast.TPtr _ | Ast.TRef _ | Ast.TFun _ | Ast.TMemPtrTy _ -> ptr_size
+  | Ast.TNamed _ | Ast.TArr _ -> invalid_arg "scalar_size"
+
+let align_to n a = if a = 0 then n else (n + a - 1) / a * a
+
+type class_layout = {
+  cl_name : string;
+  cl_size : int;       (* complete object size *)
+  cl_align : int;
+  cl_nv_size : int;    (* size as a non-virtual base subobject *)
+  cl_has_vptr : bool;
+}
+
+type t = {
+  table : Class_table.t;
+  is_dead : Member.t -> bool;
+  cache : (string, class_layout) Hashtbl.t;
+}
+
+let create ?(dead = MemberSet.empty) table =
+  { table; is_dead = (fun m -> MemberSet.mem m dead); cache = Hashtbl.create 64 }
+
+let rec type_size t ty =
+  match ty with
+  | Ast.TNamed cls -> (layout_of t cls).cl_size
+  | Ast.TArr (elem, n) -> n * align_to (type_size t elem) (type_align t elem)
+  | Ast.TRef _ -> ptr_size
+  | ty -> scalar_size ty
+
+and type_align t ty =
+  match ty with
+  | Ast.TNamed cls -> (layout_of t cls).cl_align
+  | Ast.TArr (elem, _) -> type_align t elem
+  | Ast.TVoid -> 1
+  | ty -> max 1 (min (scalar_size ty) 8)
+
+(* Layout of class [cls]; memoized.  [cl_nv_size] excludes virtual base
+   subobjects (they are shared at the complete-object level); [cl_size]
+   includes them. *)
+and layout_of t cls : class_layout =
+  match Hashtbl.find_opt t.cache cls with
+  | Some l -> l
+  | None ->
+      let c = Class_table.find_exn t.table cls in
+      let l = compute_layout t c in
+      Hashtbl.add t.cache cls l;
+      l
+
+and compute_layout t (c : Class_table.cls) : class_layout =
+  let cls = c.c_name in
+  let live_fields =
+    List.filter
+      (fun (f : Class_table.field) ->
+        (not f.f_static) && not (t.is_dead (f.f_class, f.f_name)))
+      (Class_table.instance_fields c)
+  in
+  match c.c_kind with
+  | Ast.Union ->
+      let size, align =
+        List.fold_left
+          (fun (sz, al) (f : Class_table.field) ->
+            (max sz (type_size t f.f_type), max al (type_align t f.f_type)))
+          (0, 1) live_fields
+      in
+      let size = max 1 (align_to size align) in
+      {
+        cl_name = cls;
+        cl_size = size;
+        cl_align = align;
+        cl_nv_size = size;
+        cl_has_vptr = false;
+      }
+  | Ast.Class | Ast.Struct ->
+      let nv_bases =
+        List.filter (fun (b : Ast.base_spec) -> not b.b_virtual) c.c_bases
+      in
+      let v_bases = Class_table.virtual_base_names t.table cls in
+      let has_virtuals = Class_table.has_virtual_methods t.table cls in
+      (* does some non-virtual base already provide a vptr slot? *)
+      let base_provides_vptr =
+        List.exists
+          (fun (b : Ast.base_spec) -> (layout_of t b.b_name).cl_has_vptr)
+          nv_bases
+      in
+      let own_vptr = has_virtuals && not base_provides_vptr in
+      let has_direct_vbase =
+        List.exists (fun (b : Ast.base_spec) -> b.b_virtual) c.c_bases
+      in
+      let offset = ref 0 and align = ref 1 in
+      let place size al =
+        align := max !align al;
+        offset := align_to !offset al + size
+      in
+      if own_vptr then place ptr_size ptr_size;
+      (* one vbase pointer per class that introduces virtual inheritance *)
+      if has_direct_vbase then place ptr_size ptr_size;
+      List.iter
+        (fun (b : Ast.base_spec) ->
+          let bl = layout_of t b.b_name in
+          place bl.cl_nv_size bl.cl_align)
+        nv_bases;
+      List.iter
+        (fun (f : Class_table.field) ->
+          place (type_size t f.f_type) (type_align t f.f_type))
+        live_fields;
+      let nv_size = max 1 (align_to !offset !align) in
+      (* complete object: append each virtual base subobject once *)
+      let full = ref nv_size and full_align = ref !align in
+      List.iter
+        (fun vb ->
+          let bl = layout_of t vb in
+          full_align := max !full_align bl.cl_align;
+          full := align_to !full bl.cl_align + bl.cl_nv_size)
+        v_bases;
+      let size = max 1 (align_to !full !full_align) in
+      {
+        cl_name = cls;
+        cl_size = size;
+        cl_align = !full_align;
+        cl_nv_size = nv_size;
+        cl_has_vptr = own_vptr || base_provides_vptr;
+      }
+
+(* -- public queries -------------------------------------------------------- *)
+
+(* Size of a complete object of class [cls], with dead members [dead]
+   removed (empty set: the as-written size). *)
+let object_size ?(dead = MemberSet.empty) table cls =
+  let t = create ~dead table in
+  (layout_of t cls).cl_size
+
+let size_of_type ?(dead = MemberSet.empty) table ty =
+  let t = create ~dead table in
+  type_size t ty
+
+(* Raw bytes of the dead data members contained in a complete object of
+   class [cls]: the sum of the members' own sizes (the paper's "number of
+   bytes in objects occupied by dead data members"), counted across base
+   subobjects, member subobjects, and virtual bases (once). *)
+let dead_member_bytes ~dead table cls =
+  let t = create table (* sizes of member types use the full layout *) in
+  let v_bases = Class_table.virtual_base_names table cls in
+  let rec bytes_nv cls =
+    let c = Class_table.find_exn table cls in
+    let own =
+      List.fold_left
+        (fun acc (f : Class_table.field) ->
+          let here =
+            if MemberSet.mem (f.f_class, f.f_name) dead then
+              type_size t f.f_type
+            else
+              (* live class-typed members may still contain dead members *)
+              match f.f_type with
+              | Ast.TNamed n -> bytes_complete n
+              | Ast.TArr (Ast.TNamed n, k) -> k * bytes_complete n
+              | _ -> 0
+          in
+          acc + here)
+        0
+        (Class_table.instance_fields c)
+    in
+    List.fold_left
+      (fun acc (b : Ast.base_spec) ->
+        if b.b_virtual then acc else acc + bytes_nv b.b_name)
+      own c.c_bases
+  and bytes_complete cls =
+    let vbs = Class_table.virtual_base_names table cls in
+    bytes_nv cls + List.fold_left (fun acc vb -> acc + bytes_nv vb) 0 vbs
+  in
+  ignore v_bases;
+  bytes_complete cls

@@ -1,0 +1,54 @@
+(** Object layout model for MiniC++ (LP64-style).
+
+    Computes the size in bytes of every type and of complete class
+    objects: data members at natural alignment, a vptr for classes with
+    virtual functions (shared with the primary base when one exists),
+    base-class subobjects, and virtual bases placed once per complete
+    object with a virtual-base pointer per class that introduces virtual
+    inheritance.
+
+    The dynamic measurements of the paper (Table 2 / Figure 4) are
+    driven by the with-and-without-dead-members size queries below. *)
+
+open Sema
+
+module Member = Sema.Member
+module MemberSet = Sema.Member.Set
+
+val ptr_size : int
+
+(** Per-class layout summary. *)
+type class_layout = {
+  cl_name : string;
+  cl_size : int;  (** complete-object size, virtual bases included *)
+  cl_align : int;
+  cl_nv_size : int;  (** size as a non-virtual base subobject *)
+  cl_has_vptr : bool;
+}
+
+(** A layout context: memoizes per-class layouts for a class table and a
+    set of members to treat as removed. *)
+type t
+
+val create : ?dead:MemberSet.t -> Class_table.t -> t
+
+val layout_of : t -> string -> class_layout
+val type_size : t -> Frontend.Ast.type_expr -> int
+val type_align : t -> Frontend.Ast.type_expr -> int
+
+(** {1 One-shot queries} *)
+
+(** Size of a complete object of the class, with the members in [dead]
+    removed (default: none — the as-written size). *)
+val object_size : ?dead:MemberSet.t -> Class_table.t -> string -> int
+
+val size_of_type :
+  ?dead:MemberSet.t -> Class_table.t -> Frontend.Ast.type_expr -> int
+
+(** Raw bytes of the dead members contained in a complete object of the
+    class — the sum of the members' own sizes, counted across base
+    subobjects, member subobjects, and virtual bases (once). This is the
+    paper's "number of bytes in objects occupied by dead data members";
+    it differs from [object_size] - [object_size ~dead] when alignment
+    padding absorbs part of the removal. *)
+val dead_member_bytes : dead:MemberSet.t -> Class_table.t -> string -> int

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Ast Buffer Char Class_table Ctype Frontend Fun Func_id Hashtbl Layout List Member Member_lookup Option Printf Profile Sema String Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Member Profile Sema Typed_ast

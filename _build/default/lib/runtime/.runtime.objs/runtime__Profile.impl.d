@@ -1,0 +1,1 @@
+lib/runtime/profile.ml: Class_table Fmt Hashtbl Layout List Member Option Sema

@@ -1,0 +1,1 @@
+lib/runtime/profile.mli: Class_table Format Member Sema

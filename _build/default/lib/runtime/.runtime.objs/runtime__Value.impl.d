@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Fmt Frontend Hashtbl Member Sema String Typed_ast

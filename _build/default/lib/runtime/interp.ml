@@ -1,0 +1,926 @@
+(* Tree-walking interpreter for typed MiniC++ programs, with object-space
+   instrumentation.
+
+   Implements the C++ object lifecycle the paper's dynamic measurements
+   depend on: constructor chains (virtual bases first at the most-derived
+   level, then direct bases in declaration order, then member subobjects,
+   then the body), reverse-order destruction, virtual dispatch on the
+   dynamic class, heap allocation via [new]/[delete], and stack objects
+   destroyed at scope exit. Every complete-object creation/destruction is
+   journalled in a [Profile.t]. *)
+
+open Frontend
+open Sema
+open Sema.Typed_ast
+open Value
+
+exception Return_exc of value
+exception Break_exc
+exception Continue_exc
+exception Abort_called
+
+(* A lvalue location: either a scalar cell or a slot of an array. *)
+type location = LRef of value ref | LSlot of value array * int
+
+let read_loc = function LRef r -> !r | LSlot (a, i) -> a.(i)
+
+let write_loc loc v =
+  match loc with LRef r -> r := v | LSlot (a, i) -> a.(i) <- v
+
+let ptr_of_loc = function
+  | LRef r -> VPtr (PCell r)
+  | LSlot (a, i) -> VPtr (PArr ({ arr_id = -1; cells = a }, i))
+
+type frame = {
+  mutable scopes : (string, value ref) Hashtbl.t list;
+  this : obj option;
+}
+
+type env = {
+  prog : program;
+  table : Class_table.t;
+  profile : Profile.t;
+  globals : (string, value ref) Hashtbl.t;
+  statics : (Member.t, value ref) Hashtbl.t;
+  output : Buffer.t;
+  mutable obj_counter : int;
+  mutable steps : int;
+  step_limit : int;
+  mutable call_depth : int;
+}
+
+let fresh_obj_id env =
+  let id = env.obj_counter in
+  env.obj_counter <- id + 1;
+  id
+
+let tick env =
+  env.steps <- env.steps + 1;
+  if env.steps > env.step_limit then
+    runtime_error "step limit exceeded (%d): possible non-termination"
+      env.step_limit
+
+(* -- frames and scopes --------------------------------------------------------- *)
+
+let push_scope frame = frame.scopes <- Hashtbl.create 8 :: frame.scopes
+
+let pop_scope frame =
+  match frame.scopes with
+  | _ :: rest -> frame.scopes <- rest
+  | [] -> assert false
+
+let bind frame name v =
+  match frame.scopes with
+  | scope :: _ -> Hashtbl.replace scope name (ref v)
+  | [] -> assert false
+
+let lookup_local frame name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some r -> Some r
+        | None -> go rest)
+  in
+  go frame.scopes
+
+(* -- object construction -------------------------------------------------------- *)
+
+(* Fill the field table of a fresh object with default values for every
+   instance member of [cls] and all its transitive bases. *)
+let populate_fields env (o : obj) cls =
+  let classes = cls :: Class_table.all_base_names env.table cls in
+  List.iter
+    (fun c ->
+      match Class_table.find env.table c with
+      | None -> ()
+      | Some ci ->
+          List.iter
+            (fun (f : Class_table.field) ->
+              if not f.f_static then
+                Hashtbl.replace o.fields (f.f_class, f.f_name)
+                  (ref (default_value f.f_type)))
+            ci.c_fields)
+    classes
+
+let field_ref (o : obj) (m : Member.t) =
+  match Hashtbl.find_opt o.fields m with
+  | Some r -> r
+  | None ->
+      runtime_error "object of class %s has no member %s" o.obj_class
+        (Member.to_string m)
+
+let rec eval env frame (e : texpr) : value =
+  match e.te with
+  | TInt n -> VInt n
+  | TBool b -> VInt (if b then 1 else 0)
+  | TChar c -> VInt (Char.code c)
+  | TFloat f -> VFloat f
+  | TStr s -> VStr s
+  | TNull -> VNull
+  | TLocal name -> (
+      match lookup_local frame name with
+      | Some r -> (
+          (* reference locals and parameters transparently read their
+             referent *)
+          match (e.ty, !r) with
+          | Ast.TRef _, VPtr (PCell r') -> !r'
+          | Ast.TRef _, VPtr (PArr (h, i)) -> h.cells.(i)
+          | Ast.TRef _, VPtr (PObj o) -> VObj o
+          | _, v -> v)
+      | None -> runtime_error "unbound local '%s'" name)
+  | TGlobalVar name -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some r -> !r
+      | None -> runtime_error "unbound global '%s'" name)
+  | TEnumConst (_, v) -> VInt v
+  | TThis _ -> (
+      match frame.this with
+      | Some o -> VPtr (PObj o)
+      | None -> runtime_error "'this' outside a method")
+  | TStaticField (cls, name) -> !(static_ref env (cls, name))
+  | TUnary (op, a) -> eval_unary env frame op a
+  | TBinary (op, a, b) -> eval_binary env frame op a b
+  | TAssign (op, lhs, rhs) ->
+      let loc = eval_lval env frame lhs in
+      let rv = eval env frame rhs in
+      let v =
+        match op with
+        | Ast.Assign -> coerce (Ctype.decay lhs.ty) rv
+        | _ ->
+            let old = read_loc loc in
+            compound_op env op old rv (Ctype.decay lhs.ty)
+      in
+      write_loc loc v;
+      v
+  | TIncDec (which, fix, a) ->
+      let loc = eval_lval env frame a in
+      let old = read_loc loc in
+      let delta = match which with Ast.Incr -> 1 | Ast.Decr -> -1 in
+      let nv =
+        match old with
+        | VInt n -> VInt (n + delta)
+        | VFloat f -> VFloat (f +. float_of_int delta)
+        | VPtr (PArr (h, i)) -> VPtr (PArr (h, i + delta))
+        | _ -> runtime_error "cannot increment this value"
+      in
+      write_loc loc nv;
+      (match fix with Ast.Prefix -> nv | Ast.Postfix -> old)
+  | TCond (c, t, f) ->
+      if truthy (eval env frame c) then eval env frame t else eval env frame f
+  | TCast (_, ty, a, _) -> (
+      let v = eval env frame a in
+      match (Ctype.decay ty, v) with
+      | t, v when Ctype.is_integral t -> VInt (as_int v)
+      | t, v when Ctype.is_floating t -> VFloat (as_float v)
+      | _, v -> v (* pointer casts: dynamic identity preserved *))
+  | TField fa -> !(eval_field_ref env frame fa)
+  | TCall c -> eval_call env frame c
+  | TAddrOf a -> (
+      let v_loc = eval_lval env frame a in
+      match v_loc with
+      | LRef r -> (
+          (* taking the address of an embedded object yields an object
+             pointer, not a cell pointer *)
+          match !r with VObj o -> VPtr (PObj o) | _ -> ptr_of_loc v_loc)
+      | LSlot (arr, i) -> (
+          match arr.(i) with
+          | VObj o -> VPtr (PObj o)
+          | _ -> ptr_of_loc v_loc))
+  | TFunAddr id -> VFunPtr id
+  | TMemPtr (cls, name) -> VMemPtr (cls, name)
+  | TDeref a -> (
+      match eval env frame a with
+      | VPtr (PCell r) -> !r
+      | VPtr (PObj o) -> VObj o
+      | VPtr (PArr (h, i)) ->
+          if i < 0 || i >= Array.length h.cells then
+            runtime_error "pointer dereference out of bounds";
+          h.cells.(i)
+      | VNull -> runtime_error "null pointer dereference"
+      | VStr s -> if String.length s > 0 then VInt (Char.code s.[0]) else VInt 0
+      | _ -> runtime_error "dereference of a non-pointer")
+  | TIndex (a, i) -> (
+      let av = eval env frame a in
+      let iv = as_int (eval env frame i) in
+      match av with
+      | VArr h | VPtr (PArr (h, 0)) ->
+          if iv < 0 || iv >= Array.length h.cells then
+            runtime_error "array index %d out of bounds (size %d)" iv
+              (Array.length h.cells);
+          h.cells.(iv)
+      | VPtr (PArr (h, off)) ->
+          let j = off + iv in
+          if j < 0 || j >= Array.length h.cells then
+            runtime_error "array index out of bounds";
+          h.cells.(j)
+      | VStr s ->
+          if iv < 0 || iv >= String.length s then VInt 0
+          else VInt (Char.code s.[iv])
+      | VNull -> runtime_error "indexing a null pointer"
+      | _ -> runtime_error "indexing a non-array value")
+  | TMemPtrDeref (recv, pm, _) -> (
+      let o = as_obj (eval env frame recv) in
+      match eval env frame pm with
+      | VMemPtr m -> !(field_ref o m)
+      | VNull -> runtime_error "null member pointer dereference"
+      | _ -> runtime_error ".*/->* with a non-member-pointer")
+  | TNewObj { cls; ctor; args } ->
+      let argv = eval_call_args env frame ctor args in
+      let o = construct_complete env ~kind:Profile.Heap cls ctor argv in
+      VPtr (PObj o)
+  | TNewScalar ty ->
+      let bytes = Layout.size_of_type env.table ty in
+      ignore (Profile.record_scalar_alloc env.profile ~bytes);
+      let h = { arr_id = -1; cells = [| default_value ty |] } in
+      VPtr (PArr (h, 0))
+  | TNewArr (ty, n) -> (
+      let n = as_int (eval env frame n) in
+      if n < 0 then runtime_error "negative array size in new[]";
+      match ty with
+      | Ast.TNamed cls ->
+          let id = fresh_obj_id env in
+          Profile.record_alloc env.profile ~id ~kind:Profile.HeapArray ~cls
+            ~count:n;
+          let cells =
+            Array.init n (fun _ ->
+                VObj
+                  (construct_complete env ~kind:Profile.Stack ~journal:false cls
+                     (Func_id.FCtor (cls, 0))
+                     []))
+          in
+          VPtr (PArr ({ arr_id = id; cells }, 0))
+      | _ ->
+          let bytes = n * Layout.size_of_type env.table ty in
+          let id = Profile.record_scalar_alloc env.profile ~bytes in
+          let cells = Array.init n (fun _ -> default_value ty) in
+          VPtr (PArr ({ arr_id = id; cells }, 0)))
+  | TSizeofType ty -> VInt (Layout.size_of_type env.table ty)
+  | TSizeofExpr a -> VInt (Layout.size_of_type env.table (Ctype.decay a.ty))
+
+and static_ref env (m : Member.t) =
+  match Hashtbl.find_opt env.statics m with
+  | Some r -> r
+  | None ->
+      let cls, name = m in
+      let ty =
+        match Class_table.find env.table cls with
+        | Some c -> (
+            match Class_table.own_field c name with
+            | Some f -> f.f_type
+            | None -> Ast.TInt)
+        | None -> Ast.TInt
+      in
+      let r = ref (default_value ty) in
+      Hashtbl.replace env.statics m r;
+      r
+
+and eval_field_ref env frame (fa : field_access) : value ref =
+  let base = eval env frame fa.fa_obj in
+  let o = as_obj base in
+  field_ref o (fa.fa_def_class, fa.fa_field)
+
+and eval_unary env frame op a =
+  let v = eval env frame a in
+  match (op, v) with
+  | Ast.Neg, VInt n -> VInt (-n)
+  | Ast.Neg, VFloat f -> VFloat (-.f)
+  | Ast.UPlus, v -> v
+  | Ast.Not, v -> VInt (if truthy v then 0 else 1)
+  | Ast.BitNot, VInt n -> VInt (lnot n)
+  | _ -> runtime_error "invalid unary operand"
+
+and eval_binary env frame op a b =
+  match op with
+  | Ast.LAnd ->
+      if truthy (eval env frame a) then
+        VInt (if truthy (eval env frame b) then 1 else 0)
+      else VInt 0
+  | Ast.LOr ->
+      if truthy (eval env frame a) then VInt 1
+      else VInt (if truthy (eval env frame b) then 1 else 0)
+  | _ -> (
+      let va = eval env frame a in
+      let vb = eval env frame b in
+      match op with
+      | Ast.Eq -> VInt (if value_eq va vb then 1 else 0)
+      | Ast.Ne -> VInt (if value_eq va vb then 0 else 1)
+      | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> compare_values op va vb
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.BAnd | Ast.BOr
+      | Ast.BXor | Ast.Shl | Ast.Shr ->
+          arith op va vb
+      | Ast.LAnd | Ast.LOr -> assert false)
+
+and compare_values op va vb =
+  let cmp =
+    match (va, vb) with
+    | VInt x, VInt y -> compare x y
+    | VFloat x, VFloat y -> compare x y
+    | VInt x, VFloat y -> compare (float_of_int x) y
+    | VFloat x, VInt y -> compare x (float_of_int y)
+    | VPtr (PArr (h1, i)), VPtr (PArr (h2, j)) when h1.cells == h2.cells ->
+        compare i j
+    | _ -> runtime_error "invalid comparison operands"
+  in
+  let r =
+    match op with
+    | Ast.Lt -> cmp < 0
+    | Ast.Gt -> cmp > 0
+    | Ast.Le -> cmp <= 0
+    | Ast.Ge -> cmp >= 0
+    | _ -> assert false
+  in
+  VInt (if r then 1 else 0)
+
+and arith op va vb =
+  match (va, vb) with
+  | VPtr (PArr (h, i)), VInt n -> (
+      match op with
+      | Ast.Add -> VPtr (PArr (h, i + n))
+      | Ast.Sub -> VPtr (PArr (h, i - n))
+      | _ -> runtime_error "invalid pointer arithmetic")
+  | VInt n, VPtr (PArr (h, i)) when op = Ast.Add -> VPtr (PArr (h, i + n))
+  | VPtr (PArr (h1, i)), VPtr (PArr (h2, j))
+    when op = Ast.Sub && h1.cells == h2.cells ->
+      VInt (i - j)
+  | VFloat _, _ | _, VFloat _ -> (
+      let x = as_float va and y = as_float vb in
+      match op with
+      | Ast.Add -> VFloat (x +. y)
+      | Ast.Sub -> VFloat (x -. y)
+      | Ast.Mul -> VFloat (x *. y)
+      | Ast.Div ->
+          if y = 0.0 then runtime_error "floating division by zero"
+          else VFloat (x /. y)
+      | _ -> runtime_error "invalid floating operands")
+  | _ -> (
+      let x = as_int va and y = as_int vb in
+      match op with
+      | Ast.Add -> VInt (x + y)
+      | Ast.Sub -> VInt (x - y)
+      | Ast.Mul -> VInt (x * y)
+      | Ast.Div -> if y = 0 then runtime_error "division by zero" else VInt (x / y)
+      | Ast.Mod -> if y = 0 then runtime_error "modulo by zero" else VInt (x mod y)
+      | Ast.BAnd -> VInt (x land y)
+      | Ast.BOr -> VInt (x lor y)
+      | Ast.BXor -> VInt (x lxor y)
+      | Ast.Shl -> VInt (x lsl y)
+      | Ast.Shr -> VInt (x asr y)
+      | _ -> assert false)
+
+and compound_op env op old rv ty =
+  ignore env;
+  let binop =
+    match op with
+    | Ast.AddAssign -> Ast.Add
+    | Ast.SubAssign -> Ast.Sub
+    | Ast.MulAssign -> Ast.Mul
+    | Ast.DivAssign -> Ast.Div
+    | Ast.ModAssign -> Ast.Mod
+    | Ast.AndAssign -> Ast.BAnd
+    | Ast.OrAssign -> Ast.BOr
+    | Ast.XorAssign -> Ast.BXor
+    | Ast.ShlAssign -> Ast.Shl
+    | Ast.ShrAssign -> Ast.Shr
+    | Ast.Assign -> assert false
+  in
+  coerce ty (arith binop old rv)
+
+and eval_lval env frame (e : texpr) : location =
+  match e.te with
+  | TLocal name -> (
+      match lookup_local frame name with
+      | Some r -> (
+          (* a reference local aliases its referent *)
+          match (e.ty, !r) with
+          | Ast.TRef _, VPtr (PCell r') -> LRef r'
+          | Ast.TRef _, VPtr (PArr (h, i)) -> LSlot (h.cells, i)
+          | _ -> LRef r)
+      | None -> runtime_error "unbound local '%s'" name)
+  | TGlobalVar name -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some r -> LRef r
+      | None -> runtime_error "unbound global '%s'" name)
+  | TStaticField (cls, name) -> LRef (static_ref env (cls, name))
+  | TField fa -> LRef (eval_field_ref env frame fa)
+  | TDeref a -> (
+      match eval env frame a with
+      | VPtr (PCell r) -> LRef r
+      | VPtr (PArr (h, i)) -> LSlot (h.cells, i)
+      | VPtr (PObj _) ->
+          runtime_error "cannot assign whole objects through a pointer"
+      | VNull -> runtime_error "null pointer dereference"
+      | _ -> runtime_error "dereference of a non-pointer")
+  | TIndex (a, i) -> (
+      let av = eval env frame a in
+      let iv = as_int (eval env frame i) in
+      match av with
+      | VArr h -> LSlot (h.cells, iv)
+      | VPtr (PArr (h, off)) -> LSlot (h.cells, off + iv)
+      | _ -> runtime_error "indexing a non-array value")
+  | TMemPtrDeref (recv, pm, _) -> (
+      let o = as_obj (eval env frame recv) in
+      match eval env frame pm with
+      | VMemPtr m -> LRef (field_ref o m)
+      | _ -> runtime_error ".*/->* with a non-member-pointer")
+  | TCast (_, _, inner, _) -> eval_lval env frame inner
+  | _ -> runtime_error "expression is not an lvalue"
+
+(* -- calls ----------------------------------------------------------------------- *)
+
+(* Evaluate call arguments against the callee's parameter types: scalar
+   reference parameters receive the argument's *location*, object
+   references receive the object, everything else its value. *)
+and eval_args_tys env frame (tys : Ast.type_expr list) (args : texpr list) =
+  if List.length tys <> List.length args then List.map (eval env frame) args
+  else
+    List.map2
+      (fun ty a ->
+        match ty with
+        | Ast.TRef (Ast.TNamed _) -> (
+            match eval env frame a with VObj o -> VPtr (PObj o) | v -> v)
+        | Ast.TRef _ -> (
+            match eval_lval env frame a with
+            | LRef r -> VPtr (PCell r)
+            | LSlot (arr, i) -> VPtr (PArr ({ arr_id = -1; cells = arr }, i)))
+        | _ -> eval env frame a)
+      tys args
+
+and eval_call_args env frame (id : Func_id.t) (args : texpr list) =
+  match find_func env.prog id with
+  | Some fn -> eval_args_tys env frame (List.map snd fn.tf_params) args
+  | None -> List.map (eval env frame) args
+
+and eval_call env frame (c : call) : value =
+  match c with
+  | CBuiltin (b, args) -> eval_builtin env frame b args
+  | CFree (name, args) ->
+      let argv = eval_call_args env frame (Func_id.FFree name) args in
+      call_function env (Func_id.FFree name) ~this:None argv
+  | CFunPtr (fn, args) -> (
+      let fv = eval env frame fn in
+      let argv =
+        match Ctype.decay fn.ty with
+        | Ast.TFun (_, tys) | Ast.TPtr (Ast.TFun (_, tys)) ->
+            eval_args_tys env frame tys args
+        | _ -> List.map (eval env frame) args
+      in
+      match fv with
+      | VFunPtr id ->
+          let this =
+            match id with
+            | Func_id.FMethod _ -> frame.this
+            | _ -> None
+          in
+          call_function env id ~this argv
+      | VNull -> runtime_error "call through a null function pointer"
+      | _ -> runtime_error "call through a non-function value")
+  | CMethod mc -> (
+      let recv = eval env frame mc.mc_recv in
+      let argv =
+        eval_call_args env frame
+          (Func_id.FMethod (mc.mc_class, mc.mc_name))
+          mc.mc_args
+      in
+      match mc.mc_dispatch with
+      | DStatic -> (
+          match recv with
+          | VNull when mc.mc_arrow -> runtime_error "method call on null pointer"
+          | VObj o | VPtr (PObj o) ->
+              call_function env
+                (Func_id.FMethod (mc.mc_class, mc.mc_name))
+                ~this:(Some o) argv
+          | _ ->
+              (* static member function *)
+              call_function env
+                (Func_id.FMethod (mc.mc_class, mc.mc_name))
+                ~this:None argv)
+      | DVirtual -> (
+          match recv with
+          | VObj o | VPtr (PObj o) -> (
+              match
+                Member_lookup.dispatch env.table ~dyn:o.obj_class ~name:mc.mc_name
+              with
+              | Some (def, _) ->
+                  call_function env (Func_id.FMethod (def, mc.mc_name))
+                    ~this:(Some o) argv
+              | None ->
+                  runtime_error "no virtual target for %s::%s" o.obj_class
+                    mc.mc_name)
+          | VNull -> runtime_error "virtual call on null pointer"
+          | _ -> runtime_error "virtual call on a non-object"))
+
+and eval_builtin env frame b args =
+  let argv = List.map (eval env frame) args in
+  match (b, argv) with
+  | BPrintInt, [ v ] ->
+      Buffer.add_string env.output (string_of_int (as_int v));
+      VUnit
+  | BPrintChar, [ v ] ->
+      Buffer.add_char env.output (Char.chr (as_int v land 255));
+      VUnit
+  | BPrintFloat, [ v ] ->
+      Buffer.add_string env.output (Printf.sprintf "%g" (as_float v));
+      VUnit
+  | BPrintStr, [ VStr s ] ->
+      Buffer.add_string env.output s;
+      VUnit
+  | BPrintStr, [ VNull ] -> runtime_error "print_str(NULL)"
+  | BPrintNl, [] ->
+      Buffer.add_char env.output '\n';
+      VUnit
+  | BFree, [ v ] ->
+      (match v with
+      | VPtr (PObj o) -> Profile.record_free env.profile o.obj_id
+      | VPtr (PArr (h, _)) when h.arr_id >= 0 ->
+          Profile.record_free env.profile h.arr_id
+      | VNull | VPtr _ -> ()
+      | _ -> runtime_error "free of a non-pointer");
+      VUnit
+  | BAbort, [] -> raise Abort_called
+  | _ -> runtime_error "bad builtin call"
+
+and call_function env id ~this argv : value =
+  env.call_depth <- env.call_depth + 1;
+  if env.call_depth > 10_000 then runtime_error "call stack overflow";
+  tick env;
+  Fun.protect
+    ~finally:(fun () -> env.call_depth <- env.call_depth - 1)
+    (fun () ->
+      match id with
+      | Func_id.FCtor (cls, _) -> (
+          match this with
+          | Some o ->
+              run_ctor env o cls id argv ~most_derived:false;
+              VUnit
+          | None -> runtime_error "constructor called without an object")
+      | Func_id.FDtor _ -> (
+          match this with
+          | Some o ->
+              destroy_complete env o;
+              VUnit
+          | None -> runtime_error "destructor called without an object")
+      | Func_id.FFree _ | Func_id.FMethod _ -> (
+          let fn =
+            match find_func env.prog id with
+            | Some fn -> fn
+            | None ->
+                runtime_error "call to unknown function %s"
+                  (Func_id.to_string id)
+          in
+          match fn.tf_body with
+          | None ->
+              runtime_error "call to undefined (external) function %s"
+                (Func_id.to_string id)
+          | Some body -> (
+              let callee_frame = { scopes = []; this } in
+              push_scope callee_frame;
+              bind_params env callee_frame fn argv;
+              try
+                exec_stmt env callee_frame body;
+                VUnit
+              with Return_exc v -> v)))
+
+and bind_params env callee_frame fn argv =
+  ignore env;
+  if List.length fn.tf_params <> List.length argv then
+    runtime_error "arity mismatch calling %s" (Func_id.to_string fn.tf_id);
+  List.iter2
+    (fun (name, ty) v ->
+      match ty with
+      | Ast.TRef _ -> bind callee_frame name v (* references carry locations *)
+      | _ -> bind callee_frame name (coerce (Ctype.decay ty) v))
+    fn.tf_params argv
+
+(* -- construction / destruction ---------------------------------------------------- *)
+
+and construct_complete env ?(journal = true) ~kind cls ctor argv : obj =
+  let id = fresh_obj_id env in
+  let o = { obj_id = id; obj_class = cls; fields = Hashtbl.create 8 } in
+  populate_fields env o cls;
+  if journal then Profile.record_alloc env.profile ~id ~kind ~cls ~count:1;
+  run_ctor env o cls ctor argv ~most_derived:true;
+  o
+
+and run_ctor env (o : obj) cls ctor_id argv ~most_derived =
+  tick env;
+  let fn =
+    match find_func env.prog ctor_id with
+    | Some fn -> fn
+    | None -> runtime_error "missing constructor %s" (Func_id.to_string ctor_id)
+  in
+  let frame = { scopes = []; this = Some o } in
+  push_scope frame;
+  bind_params env frame fn argv;
+  (* 1. virtual bases are constructed by the most-derived object only,
+     using this constructor's initializer when it names them *)
+  if most_derived then
+    List.iter
+      (fun vb ->
+        let args =
+          match
+            List.find_opt (fun bi -> bi.bi_class = vb) fn.tf_base_inits
+          with
+          | Some bi ->
+              eval_call_args env frame
+                (Func_id.FCtor (vb, List.length bi.bi_args))
+                bi.bi_args
+          | None -> []
+        in
+        run_ctor env o vb
+          (Func_id.FCtor (vb, List.length args))
+          args ~most_derived:false)
+      (Class_table.virtual_base_names env.table cls);
+  (* 2. direct non-virtual bases, in declaration order *)
+  List.iter
+    (fun bi ->
+      if not bi.bi_virtual then begin
+        let ctor = Func_id.FCtor (bi.bi_class, List.length bi.bi_args) in
+        let args = eval_call_args env frame ctor bi.bi_args in
+        run_ctor env o bi.bi_class ctor args ~most_derived:false
+      end)
+    fn.tf_base_inits;
+  (* 3. member subobjects and explicitly initialized scalars, in
+     declaration order *)
+  (match Class_table.find env.table cls with
+  | None -> ()
+  | Some ci ->
+      List.iter
+        (fun (f : Class_table.field) ->
+          if not f.f_static then
+            let explicit =
+              List.find_opt (fun fi -> fi.fi_field = f.f_name) fn.tf_field_inits
+            in
+            match f.f_type with
+            | Ast.TNamed fcls ->
+                let ctor =
+                  Func_id.FCtor
+                    ( fcls,
+                      match explicit with
+                      | Some fi -> List.length fi.fi_args
+                      | None -> 0 )
+                in
+                let args =
+                  match explicit with
+                  | Some fi -> eval_call_args env frame ctor fi.fi_args
+                  | None -> []
+                in
+                let sub = construct_embedded env fcls ctor args in
+                field_ref o (f.f_class, f.f_name) := VObj sub
+            | Ast.TArr (Ast.TNamed fcls, n) ->
+                let cells =
+                  Array.init n (fun _ ->
+                      VObj
+                        (construct_embedded env fcls (Func_id.FCtor (fcls, 0)) []))
+                in
+                field_ref o (f.f_class, f.f_name)
+                := VArr { arr_id = -1; cells }
+            | ty -> (
+                match explicit with
+                | Some { fi_args = [ a ]; _ } ->
+                    field_ref o (f.f_class, f.f_name)
+                    := coerce (Ctype.decay ty) (eval env frame a)
+                | Some { fi_args = []; _ } | None -> ()
+                | Some _ -> runtime_error "bad scalar member initializer"))
+        ci.c_fields);
+  (* 4. the constructor body *)
+  match fn.tf_body with
+  | None -> ()
+  | Some body -> ( try exec_stmt env frame body with Return_exc _ -> ())
+
+and construct_embedded env cls ctor argv : obj =
+  let id = fresh_obj_id env in
+  let o = { obj_id = id; obj_class = cls; fields = Hashtbl.create 8 } in
+  populate_fields env o cls;
+  run_ctor env o cls ctor argv ~most_derived:true;
+  o
+
+(* Destruction: destructor bodies run from the dynamic class downwards;
+   member subobjects are destroyed after their class's destructor body, in
+   reverse declaration order; then non-virtual bases in reverse order; the
+   most-derived level finally destroys virtual bases. *)
+and destroy_complete env (o : obj) =
+  destroy_from env o o.obj_class ~most_derived:true
+
+and destroy_from env (o : obj) cls ~most_derived =
+  tick env;
+  (match find_func env.prog (Func_id.FDtor cls) with
+  | Some { tf_body = Some body; _ } ->
+      let frame = { scopes = []; this = Some o } in
+      push_scope frame;
+      (try exec_stmt env frame body with Return_exc _ -> ())
+  | Some _ | None -> ());
+  (match Class_table.find env.table cls with
+  | None -> ()
+  | Some ci ->
+      (* member subobjects, reverse declaration order *)
+      List.iter
+        (fun (f : Class_table.field) ->
+          if not f.f_static then
+            match f.f_type with
+            | Ast.TNamed _ -> (
+                match !(field_ref o (f.f_class, f.f_name)) with
+                | VObj sub -> destroy_complete env sub
+                | _ -> ())
+            | Ast.TArr (Ast.TNamed _, _) -> (
+                match !(field_ref o (f.f_class, f.f_name)) with
+                | VArr h ->
+                    Array.iter
+                      (function VObj sub -> destroy_complete env sub | _ -> ())
+                      h.cells
+                | _ -> ())
+            | _ -> ())
+        (List.rev ci.c_fields);
+      (* non-virtual direct bases, reverse order *)
+      List.iter
+        (fun (b : Ast.base_spec) ->
+          if not b.b_virtual then destroy_from env o b.b_name ~most_derived:false)
+        (List.rev ci.c_bases));
+  if most_derived then
+    List.iter
+      (fun vb -> destroy_from env o vb ~most_derived:false)
+      (List.rev (Class_table.virtual_base_names env.table cls))
+
+(* -- statements ---------------------------------------------------------------------- *)
+
+and exec_stmt env frame (s : tstmt) : unit =
+  tick env;
+  match s.ts with
+  | TSExpr e -> ignore (eval env frame e)
+  | TSDecl ds -> List.iter (exec_decl env frame) ds
+  | TSBlock body -> exec_block env frame body
+  | TSIf (c, t, e) ->
+      if truthy (eval env frame c) then exec_stmt env frame t
+      else Option.iter (exec_stmt env frame) e
+  | TSWhile (c, b) -> (
+      try
+        while truthy (eval env frame c) do
+          try exec_stmt env frame b with Continue_exc -> ()
+        done
+      with Break_exc -> ())
+  | TSDoWhile (b, c) -> (
+      try
+        let continue_ = ref true in
+        while !continue_ do
+          (try exec_stmt env frame b with Continue_exc -> ());
+          continue_ := truthy (eval env frame c)
+        done
+      with Break_exc -> ())
+  | TSFor (init, cond, step, b) ->
+      push_scope frame;
+      Fun.protect
+        ~finally:(fun () ->
+          destroy_scope env frame;
+          pop_scope frame)
+        (fun () -> exec_for env frame init cond step b)
+  | TSReturn None -> raise (Return_exc VUnit)
+  | TSReturn (Some e) -> raise (Return_exc (eval env frame e))
+  | TSBreak -> raise Break_exc
+  | TSContinue -> raise Continue_exc
+  | TSDelete (arr, e) -> exec_delete env frame arr e
+  | TSEmpty -> ()
+
+and exec_for env frame init cond step b =
+  Option.iter (exec_stmt env frame) init;
+  try
+    while
+      match cond with Some c -> truthy (eval env frame c) | None -> true
+    do
+      (try exec_stmt env frame b with Continue_exc -> ());
+      match step with
+      | Some e -> ignore (eval env frame e)
+      | None -> ()
+    done
+  with Break_exc -> ()
+
+and exec_decl env frame (d : tvar_decl) =
+  match d.tv_init with
+  | TInitNone -> (
+      match d.tv_type with
+      | Ast.TArr (Ast.TNamed cls, n) ->
+          (* a stack array of class objects: default-construct every
+             element; journalled as one allocation *)
+          let id = fresh_obj_id env in
+          Profile.record_alloc env.profile ~id ~kind:Profile.Stack ~cls ~count:n;
+          let cells =
+            Array.init n (fun _ ->
+                VObj (construct_embedded env cls (Func_id.FCtor (cls, 0)) []))
+          in
+          bind frame d.tv_name (VArr { arr_id = id; cells })
+      | _ -> bind frame d.tv_name (default_value d.tv_type))
+  | TInitExpr e -> (
+      let v = eval env frame e in
+      match d.tv_type with
+      | Ast.TRef _ -> (
+          (* bind the reference to the initializer's location *)
+          match eval_lval env frame e with
+          | LRef r -> bind frame d.tv_name (VPtr (PCell r))
+          | LSlot (a, i) ->
+              bind frame d.tv_name (VPtr (PArr ({ arr_id = -1; cells = a }, i))))
+      | _ -> bind frame d.tv_name (coerce (Ctype.decay d.tv_type) v))
+  | TInitCtor (ctor, args) -> (
+      match d.tv_type with
+      | Ast.TNamed cls ->
+          let argv = eval_call_args env frame ctor args in
+          let o = construct_complete env ~kind:Profile.Stack cls ctor argv in
+          bind frame d.tv_name (VObj o)
+      | _ -> runtime_error "constructor initialization of a non-class variable")
+
+(* Execute the statements of a block in a fresh scope; class objects
+   declared in the scope are destroyed on every exit path. *)
+and exec_block env frame body =
+  push_scope frame;
+  Fun.protect
+    ~finally:(fun () ->
+      destroy_scope env frame;
+      pop_scope frame)
+    (fun () -> List.iter (exec_stmt env frame) body)
+
+and destroy_scope env frame =
+  match frame.scopes with
+  | scope :: _ ->
+      Hashtbl.iter
+        (fun _ r ->
+          match !r with
+          | VObj o ->
+              destroy_complete env o;
+              Profile.record_free env.profile o.obj_id
+          | VArr h when h.arr_id >= 0 ->
+              Array.iter
+                (function VObj o -> destroy_complete env o | _ -> ())
+                h.cells;
+              Profile.record_free env.profile h.arr_id
+          | _ -> ())
+        scope
+  | [] -> ()
+
+and exec_delete env frame arr e =
+  let v = eval env frame e in
+  ignore arr;
+  match v with
+  | VNull -> ()
+  | VPtr (PObj o) ->
+      destroy_complete env o;
+      Profile.record_free env.profile o.obj_id
+  | VPtr (PArr (h, _)) ->
+      Array.iter
+        (function VObj o -> destroy_complete env o | _ -> ())
+        h.cells;
+      if h.arr_id >= 0 then Profile.record_free env.profile h.arr_id
+  | _ -> runtime_error "delete of a non-pointer value"
+
+(* -- reference parameters: pass locations for lvalue arguments --------------------- *)
+
+(* The type checker guarantees reference parameters receive lvalues; the
+   evaluator must pass their location rather than their value. This wrapper
+   re-evaluates argument expressions accordingly. *)
+
+(* -- entry point --------------------------------------------------------------------- *)
+
+type outcome = {
+  return_value : int;
+  output : string;
+  snapshot : Profile.snapshot;
+  steps : int;
+}
+
+let default_step_limit = 200_000_000
+
+let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
+    (p : program) : outcome =
+  let env =
+    {
+      prog = p;
+      table = p.table;
+      profile = Profile.create ~dead p.table;
+      globals = Hashtbl.create 16;
+      statics = Hashtbl.create 16;
+      output = Buffer.create 256;
+      obj_counter = 0;
+      steps = 0;
+      step_limit;
+      call_depth = 0;
+    }
+  in
+  (* globals, in declaration order *)
+  let init_frame = { scopes = []; this = None } in
+  push_scope init_frame;
+  List.iter
+    (fun g ->
+      let v =
+        match g.g_init with
+        | Some e -> coerce (Ctype.decay g.g_type) (eval env init_frame e)
+        | None -> default_value g.g_type
+      in
+      Hashtbl.replace env.globals g.g_name (ref v))
+    p.globals;
+  let ret =
+    try call_function env main_id ~this:None []
+    with Abort_called -> VInt 134
+  in
+  {
+    return_value = (match ret with VInt n -> n | _ -> 0);
+    output = Buffer.contents env.output;
+    snapshot = Profile.snapshot env.profile;
+    steps = env.steps;
+  }

@@ -1,0 +1,33 @@
+(** Tree-walking interpreter for typed MiniC++ programs, instrumented
+    for the paper's dynamic measurements.
+
+    Implements the full C++ object lifecycle: construction order
+    (virtual bases first at the most-derived level, then direct bases in
+    declaration order, then member subobjects, then the body),
+    reverse-order destruction, virtual dispatch on the dynamic class,
+    reference parameters, pointer arithmetic, [new]/[delete]/[free], and
+    stack objects destroyed at scope exit. Every complete-object
+    creation and destruction is journalled in a {!Profile.t}. *)
+
+open Sema
+
+exception Abort_called
+
+(** Result of executing a program's [main]. *)
+type outcome = {
+  return_value : int;  (** main's return value ([134] after [abort()]) *)
+  output : string;  (** everything the [print_*] builtins produced *)
+  snapshot : Profile.snapshot;  (** the object-space measurements *)
+  steps : int;  (** interpreter steps consumed *)
+}
+
+val default_step_limit : int
+
+(** Run a program. [dead] only affects the measurement columns of the
+    snapshot (dead-member space, reduced high-water mark) — execution is
+    identical regardless.
+
+    @raise Value.Runtime_error on dynamic errors (null dereference,
+    division by zero, out-of-bounds access, step-limit exhaustion…). *)
+val run :
+  ?dead:Member.Set.t -> ?step_limit:int -> Typed_ast.program -> outcome

@@ -1,0 +1,140 @@
+(* Runtime values for the MiniC++ interpreter.
+
+   Objects are flattened: a complete object holds one cell per instance
+   data member of its class and of every (transitively) inherited base,
+   keyed by the member's identity (defining class, name). Virtual bases
+   therefore appear once, matching C++ semantics; repeated non-virtual
+   bases are rejected by the semantic analysis. Class-typed data members
+   are embedded objects stored as [VObj]. *)
+
+open Sema
+
+type value =
+  | VUnit
+  | VInt of int          (* int/long/char/bool *)
+  | VFloat of float
+  | VStr of string       (* char* pointing at a string literal *)
+  | VNull
+  | VPtr of pointer
+  | VObj of obj          (* class-typed subobject / local *)
+  | VArr of harray       (* array object (local, member, or heap) *)
+  | VMemPtr of Member.t
+  | VFunPtr of Typed_ast.Func_id.t
+
+and pointer =
+  | PObj of obj                (* pointer to a class object *)
+  | PCell of value ref         (* pointer to a scalar variable or member *)
+  | PArr of harray * int       (* pointer into an array *)
+
+and obj = {
+  obj_id : int;
+  obj_class : string;  (* most-derived (dynamic) class *)
+  fields : (Member.t, value ref) Hashtbl.t;
+}
+
+and harray = {
+  arr_id : int;  (* heap allocation id; -1 for stack/member arrays *)
+  cells : value array;
+}
+
+exception Runtime_error of string
+
+let runtime_error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+(* Truthiness for conditions. *)
+let truthy = function
+  | VInt n -> n <> 0
+  | VFloat f -> f <> 0.0
+  | VNull -> false
+  | VPtr _ | VObj _ | VArr _ | VStr _ | VFunPtr _ | VMemPtr _ -> true
+  | VUnit -> runtime_error "void value used in condition"
+
+let as_int = function
+  | VInt n -> n
+  | VFloat f -> int_of_float f
+  | VNull -> 0
+  | v ->
+      runtime_error "expected an integer value, got %s"
+        (match v with
+        | VStr _ -> "a string"
+        | VPtr _ -> "a pointer"
+        | VObj _ -> "an object"
+        | VArr _ -> "an array"
+        | VMemPtr _ -> "a member pointer"
+        | VFunPtr _ -> "a function pointer"
+        | VUnit -> "void"
+        | VInt _ | VFloat _ | VNull -> assert false)
+
+let as_float = function
+  | VFloat f -> f
+  | VInt n -> float_of_int n
+  | _ -> runtime_error "expected a floating-point value"
+
+let as_obj = function
+  | VObj o -> o
+  | VPtr (PObj o) -> o
+  | _ -> runtime_error "expected a class object"
+
+(* Equality used by == and != : pointer identity for pointers. *)
+let value_eq a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y -> x = y
+  | VInt x, VFloat y | VFloat y, VInt x -> float_of_int x = y
+  | VNull, VNull -> true
+  | VNull, VPtr _ | VPtr _, VNull -> false
+  | VNull, (VInt 0) | (VInt 0), VNull -> true
+  | VPtr (PObj a), VPtr (PObj b) -> a == b
+  | VPtr (PCell a), VPtr (PCell b) -> a == b
+  | VPtr (PArr (a, i)), VPtr (PArr (b, j)) -> a.cells == b.cells && i = j
+  | VPtr _, VPtr _ -> false
+  | VStr a, VStr b -> String.equal a b
+  | VFunPtr a, VFunPtr b -> Typed_ast.Func_id.equal a b
+  | VMemPtr a, VMemPtr b -> Member.equal a b
+  | _ -> runtime_error "incomparable values"
+
+(* Default (zero) value for a type; class-typed slots are filled during
+   construction and [VUnit] here is a placeholder that construction
+   replaces. *)
+let rec default_value (ty : Frontend.Ast.type_expr) : value =
+  match ty with
+  | Frontend.Ast.TBool | Frontend.Ast.TChar | Frontend.Ast.TInt
+  | Frontend.Ast.TLong ->
+      VInt 0
+  | Frontend.Ast.TFloat | Frontend.Ast.TDouble -> VFloat 0.0
+  | Frontend.Ast.TPtr _ | Frontend.Ast.TFun _ | Frontend.Ast.TMemPtrTy _ ->
+      VNull
+  | Frontend.Ast.TRef _ -> VNull
+  | Frontend.Ast.TNamed _ -> VUnit (* replaced by construction *)
+  | Frontend.Ast.TArr (elem, n) ->
+      VArr { arr_id = -1; cells = Array.init n (fun _ -> default_value elem) }
+  | Frontend.Ast.TVoid -> VUnit
+
+(* Coerce a value being stored into a slot of static type [ty]: truncates
+   floats into ints and widens ints into floats, mirroring C++ implicit
+   conversions on assignment and argument passing. *)
+let coerce (ty : Frontend.Ast.type_expr) (v : value) : value =
+  match (ty, v) with
+  | (Frontend.Ast.TInt | Frontend.Ast.TLong), VFloat f -> VInt (int_of_float f)
+  | Frontend.Ast.TChar, VInt n -> VInt (n land 255)
+  | Frontend.Ast.TChar, VFloat f -> VInt (int_of_float f land 255)
+  | Frontend.Ast.TBool, VInt n -> VInt (if n <> 0 then 1 else 0)
+  | Frontend.Ast.TBool, VFloat f -> VInt (if f <> 0.0 then 1 else 0)
+  | (Frontend.Ast.TFloat | Frontend.Ast.TDouble), VInt n -> VFloat (float_of_int n)
+  | Frontend.Ast.TPtr _, VArr h -> VPtr (PArr (h, 0))  (* array decay *)
+  | Frontend.Ast.TPtr _, VObj o -> VPtr (PObj o)
+  | _ -> v
+
+let pp_value ppf = function
+  | VUnit -> Fmt.string ppf "void"
+  | VInt n -> Fmt.int ppf n
+  | VFloat f -> Fmt.float ppf f
+  | VStr s -> Fmt.pf ppf "%S" s
+  | VNull -> Fmt.string ppf "NULL"
+  | VPtr (PObj o) -> Fmt.pf ppf "<%s#%d>" o.obj_class o.obj_id
+  | VPtr (PCell _) -> Fmt.string ppf "<ptr>"
+  | VPtr (PArr (_, i)) -> Fmt.pf ppf "<arr+%d>" i
+  | VObj o -> Fmt.pf ppf "<obj %s#%d>" o.obj_class o.obj_id
+  | VArr a -> Fmt.pf ppf "<array[%d]>" (Array.length a.cells)
+  | VMemPtr m -> Fmt.pf ppf "<&%s>" (Member.to_string m)
+  | VFunPtr f -> Fmt.pf ppf "<&%s>" (Typed_ast.Func_id.to_string f)

@@ -1,0 +1,1 @@
+lib/sema/class_table.ml: Ast Frontend Hashtbl List Map Set Source String

@@ -1,0 +1,1 @@
+lib/sema/class_table.mli: Ast Frontend

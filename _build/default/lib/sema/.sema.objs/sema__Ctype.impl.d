@@ -1,0 +1,1 @@
+lib/sema/ctype.ml: Ast Frontend

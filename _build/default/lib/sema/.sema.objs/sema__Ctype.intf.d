@@ -1,0 +1,1 @@
+lib/sema/ctype.mli: Ast Frontend

@@ -1,0 +1,1 @@
+lib/sema/member.ml: Fmt Map Set Stdlib

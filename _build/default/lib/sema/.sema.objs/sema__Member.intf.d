@@ -1,0 +1,1 @@
+lib/sema/member.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/sema/member_lookup.ml: Ast Class_table Frontend List Set Source String

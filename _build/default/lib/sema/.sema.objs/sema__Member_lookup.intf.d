@@ -1,0 +1,1 @@
+lib/sema/member_lookup.mli: Class_table Frontend

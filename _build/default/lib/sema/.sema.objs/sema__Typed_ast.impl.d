@@ -1,0 +1,1 @@
+lib/sema/typed_ast.ml: Ast Class_table Fmt Frontend List Map Printf Set Source Stdlib

@@ -1,0 +1,56 @@
+(* Helpers over MiniC++ types ([Frontend.Ast.type_expr] is the canonical
+   representation throughout the pipeline). *)
+
+open Frontend
+
+type t = Ast.type_expr
+
+let rec is_numeric = function
+  | Ast.TBool | Ast.TChar | Ast.TInt | Ast.TLong | Ast.TFloat | Ast.TDouble ->
+      true
+  | Ast.TRef t -> is_numeric t
+  | Ast.TVoid | Ast.TNamed _ | Ast.TPtr _ | Ast.TArr _ | Ast.TFun _
+  | Ast.TMemPtrTy _ ->
+      false
+
+let rec is_integral = function
+  | Ast.TBool | Ast.TChar | Ast.TInt | Ast.TLong -> true
+  | Ast.TRef t -> is_integral t
+  | Ast.TVoid | Ast.TFloat | Ast.TDouble | Ast.TNamed _ | Ast.TPtr _
+  | Ast.TArr _ | Ast.TFun _ | Ast.TMemPtrTy _ ->
+      false
+
+let rec is_floating = function
+  | Ast.TFloat | Ast.TDouble -> true
+  | Ast.TRef t -> is_floating t
+  | _ -> false
+
+let is_pointer = function Ast.TPtr _ -> true | _ -> false
+
+let rec class_name = function
+  | Ast.TNamed n -> Some n
+  | Ast.TRef t -> class_name t
+  | _ -> None
+
+(* The class a member access through [.] sees: type of the object
+   expression, through references. *)
+let receiver_class_dot t = class_name t
+
+(* The class a member access through [->] sees: pointee class. *)
+let receiver_class_arrow = function
+  | Ast.TPtr t -> class_name t
+  | Ast.TRef (Ast.TPtr t) -> class_name t
+  | _ -> None
+
+let rec decay = function
+  | Ast.TArr (t, _) -> Ast.TPtr t
+  | Ast.TRef t -> decay t
+  | t -> t
+
+let pointee = function
+  | Ast.TPtr t -> Some t
+  | Ast.TRef (Ast.TPtr t) -> Some t
+  | _ -> None
+
+let to_string = Ast.type_to_string
+let equal = Ast.type_equal

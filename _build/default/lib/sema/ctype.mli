@@ -1,0 +1,32 @@
+(** Helpers over MiniC++ types ({!Frontend.Ast.type_expr} is the
+    canonical representation throughout the pipeline). *)
+
+open Frontend
+
+type t = Ast.type_expr
+
+(** Arithmetic types (integral or floating), through references. *)
+val is_numeric : t -> bool
+
+val is_integral : t -> bool
+val is_floating : t -> bool
+val is_pointer : t -> bool
+
+(** The class named by the type, through references. *)
+val class_name : t -> string option
+
+(** The receiver class seen by a [.] member access on an expression of
+    this type. *)
+val receiver_class_dot : t -> string option
+
+(** The receiver class seen by a [->] member access (the pointee). *)
+val receiver_class_arrow : t -> string option
+
+(** Array-to-pointer decay and reference stripping. *)
+val decay : t -> t
+
+(** The pointee of a pointer type (through references). *)
+val pointee : t -> t option
+
+val to_string : t -> string
+val equal : t -> t -> bool

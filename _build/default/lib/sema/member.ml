@@ -1,0 +1,24 @@
+(* A data member identified by (defining class, member name) — the unit of
+   classification of the whole analysis: the paper's "C::m". *)
+
+type t = string * string
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let make ~cls ~name : t = (cls, name)
+let cls (c, _) = c
+let name (_, m) = m
+let to_string (c, m) = c ^ "::" ^ m
+let pp ppf t = Fmt.string ppf (to_string t)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

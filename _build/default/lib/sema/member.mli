@@ -1,0 +1,23 @@
+(** A data member identified by (defining class, member name) — the
+    unit of classification of the whole analysis: the paper's "C::m". *)
+
+type t = string * string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val make : cls:string -> name:string -> t
+
+(** The defining class of the member. *)
+val cls : t -> string
+
+(** The member's name within its defining class. *)
+val name : t -> string
+
+(** ["C::m"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

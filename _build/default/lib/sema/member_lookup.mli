@@ -1,0 +1,54 @@
+(** Member lookup in a C++ class hierarchy.
+
+    Given a class [C] and a member name [m], find the class that defines
+    the member an unqualified access [c.m] denotes — the paper's
+    [Lookup(X, m)] (it cites Ramalingam & Srinivasan, PLDI'97, for an
+    efficient algorithm). Follows the C++ rules the analysis depends on:
+
+    - a member in a derived class hides same-named members of its bases;
+    - a member reached through two paths that share a virtual base is a
+      single member (no ambiguity), and a dominating redeclaration wins;
+    - a member found in two unrelated bases is ambiguous and rejected. *)
+
+(** Lookup outcome: [Found (defining_class, payload)], nothing, or an
+    ambiguity listing the candidate defining classes. *)
+type 'a result = Found of string * 'a | NotFound | Ambiguous of string list
+
+(** Look up data member [name] starting at class [start]. *)
+val lookup_field :
+  Class_table.t -> start:string -> name:string -> Class_table.field result
+
+(** Look up an ordinary (non-constructor, non-destructor) method. *)
+val lookup_method :
+  Class_table.t ->
+  start:string ->
+  name:string ->
+  Class_table.method_info result
+
+exception Lookup_error of string
+
+(** Like {!lookup_field} but raises {!Source.Compile_error} (anchored at
+    [loc]) on failure or ambiguity. Returns (defining class, field). *)
+val field_exn :
+  Class_table.t ->
+  start:string ->
+  name:string ->
+  loc:Frontend.Source.span ->
+  string * Class_table.field
+
+(** Like {!lookup_method} but raising; returns (defining class, method). *)
+val method_exn :
+  Class_table.t ->
+  start:string ->
+  name:string ->
+  loc:Frontend.Source.span ->
+  string * Class_table.method_info
+
+(** Dynamic dispatch: the most-derived override of virtual method [name]
+    when the receiver's dynamic class is [dyn]. Used by the interpreter
+    and by call-graph construction. *)
+val dispatch :
+  Class_table.t ->
+  dyn:string ->
+  name:string ->
+  (string * Class_table.method_info) option

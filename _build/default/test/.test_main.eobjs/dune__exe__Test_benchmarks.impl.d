@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Benchmarks Deadmem Hashtbl List Printf Runtime Suite Util

@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Benchmarks Callgraph FuncSet Func_id List Sema Set String Util

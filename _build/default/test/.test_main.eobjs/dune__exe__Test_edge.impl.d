@@ -1,0 +1,1 @@
+test/test_edge.ml: Deadmem List Runtime Sema Util

@@ -1,0 +1,1 @@
+test/test_eliminate.ml: Alcotest Benchmarks Deadmem Eliminate Frontend Layout List Member Printf Runtime Sema Typed_ast Util

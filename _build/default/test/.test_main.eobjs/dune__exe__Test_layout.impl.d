@@ -1,0 +1,1 @@
+test/test_layout.ml: Frontend Layout List Member Printf QCheck QCheck_alcotest Sema String Typed_ast Util

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Frontend Gen Lexer List QCheck QCheck_alcotest Source Token Util

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Benchmarks Callgraph Config Deadmem List Liveness Runtime Sema Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Ast_printer Fmt Frontend List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_profile.ml: Member Runtime Sema Util

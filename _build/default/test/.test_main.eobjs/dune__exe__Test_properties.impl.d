@@ -1,0 +1,1 @@
+test/test_properties.ml: Buffer Deadmem Gen List Printf QCheck QCheck_alcotest Runtime Sema Test

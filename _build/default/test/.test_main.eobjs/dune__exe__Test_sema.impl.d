@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Class_table List Member_lookup Sema Typed_ast Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Deadmem Frontend List Runtime Sema String

@@ -1,0 +1,181 @@
+(* Benchmark suite tests: every benchmark compiles, runs to completion
+   with exit code 0, produces its expected output, and falls within the
+   qualitative bands the paper reports (Figure 3 / Figure 4 shape). *)
+
+open Benchmarks
+
+let analyze_and_run_uncached (b : Suite.t) =
+  let prog = Suite.program b in
+  let r = Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog in
+  let report = Deadmem.Report.of_result prog r in
+  let outcome = Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set r) prog in
+  (report, outcome)
+
+(* Whole-benchmark runs are the expensive part of this suite: cache them. *)
+let cache : (string, Deadmem.Report.t * Runtime.Interp.outcome) Hashtbl.t =
+  Hashtbl.create 16
+
+let analyze_and_run (b : Suite.t) =
+  match Hashtbl.find_opt cache b.name with
+  | Some r -> r
+  | None ->
+      let r = analyze_and_run_uncached b in
+      Hashtbl.add cache b.name r;
+      r
+
+let t_runs (b : Suite.t) () =
+  let _, outcome = analyze_and_run b in
+  Util.check_int (b.name ^ " exits 0") 0 outcome.Runtime.Interp.return_value
+
+let t_static_band (b : Suite.t) () =
+  let report, _ = analyze_and_run b in
+  let pct = report.Deadmem.Report.dead_pct in
+  let e = b.expect in
+  if pct < e.Suite.exp_dead_pct_min || pct > e.Suite.exp_dead_pct_max then
+    Alcotest.failf "%s: dead%% %.1f outside [%.1f, %.1f]" b.name pct
+      e.Suite.exp_dead_pct_min e.Suite.exp_dead_pct_max
+
+let t_dynamic_band (b : Suite.t) () =
+  let _, outcome = analyze_and_run b in
+  let s = outcome.Runtime.Interp.snapshot in
+  let pct = Runtime.Profile.dead_space_pct s in
+  let e = b.expect in
+  if pct < e.Suite.exp_dead_space_pct_min || pct > e.Suite.exp_dead_space_pct_max
+  then
+    Alcotest.failf "%s: dead space %.1f%% outside [%.1f, %.1f]" b.name pct
+      e.Suite.exp_dead_space_pct_min e.Suite.exp_dead_space_pct_max;
+  let hwm_eq =
+    s.Runtime.Profile.high_water_mark = s.Runtime.Profile.object_space
+  in
+  Util.check_bool (b.name ^ " hwm==total") e.Suite.exp_hwm_equals_total hwm_eq
+
+let t_deterministic (b : Suite.t) () =
+  let _, o1 = analyze_and_run b in
+  let _, o2 = analyze_and_run_uncached b in
+  Util.check_string (b.name ^ " deterministic") o1.Runtime.Interp.output
+    o2.Runtime.Interp.output
+
+(* Cross-benchmark claims of the paper's evaluation (§4.4). *)
+
+let all_reports () =
+  List.map
+    (fun (b : Suite.t) ->
+      let report, outcome = analyze_and_run b in
+      (b, report, outcome))
+    Suite.all
+
+let t_small_benchmarks_no_dead () =
+  List.iter
+    (fun (b, (report : Deadmem.Report.t), _) ->
+      if b.Suite.name = "richards" || b.Suite.name = "deltablue" then
+        Util.check_int (b.Suite.name ^ " has zero dead members") 0
+          report.Deadmem.Report.dead_in_used)
+    (all_reports ())
+
+let t_library_benchmarks_highest () =
+  (* taldict, simulate and hotwire (the class-library users) must have the
+     three highest static dead percentages *)
+  let rows = all_reports () in
+  let sorted =
+    List.sort
+      (fun (_, (a : Deadmem.Report.t), _) (_, b, _) ->
+        compare b.Deadmem.Report.dead_pct a.Deadmem.Report.dead_pct)
+      rows
+  in
+  let top3 =
+    List.filteri (fun i _ -> i < 3) sorted
+    |> List.map (fun ((b : Suite.t), _, _) -> b.name)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "library users on top" [ "hotwire"; "simulate"; "taldict" ] top3
+
+let t_average_dead_pct () =
+  (* paper: the nine nontrivial benchmarks average 12.5% dead members;
+     our ports must land in the same regime *)
+  let rows =
+    List.filter
+      (fun ((b : Suite.t), _, _) ->
+        b.name <> "richards" && b.name <> "deltablue")
+      (all_reports ())
+  in
+  let avg =
+    List.fold_left
+      (fun acc (_, (r : Deadmem.Report.t), _) -> acc +. r.Deadmem.Report.dead_pct)
+      0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  Util.check_bool
+    (Printf.sprintf "average dead%% %.1f in [10, 17]" avg)
+    true
+    (avg >= 10.0 && avg <= 17.0)
+
+let t_max_dynamic_is_sched () =
+  (* paper: sched has the maximum dynamic dead-space percentage (11.6%) *)
+  let rows = all_reports () in
+  let max_b, max_pct =
+    List.fold_left
+      (fun (mb, mp) ((b : Suite.t), _, outcome) ->
+        let p = Runtime.Profile.dead_space_pct outcome.Runtime.Interp.snapshot in
+        if p > mp then (b.name, p) else (mb, mp))
+      ("", 0.0) rows
+  in
+  Util.check_string "sched has the max dynamic dead space" "sched" max_b;
+  Util.check_bool
+    (Printf.sprintf "max %.1f%% in [9, 14]" max_pct)
+    true
+    (max_pct >= 9.0 && max_pct <= 14.0)
+
+let t_no_strong_correlation () =
+  (* paper §4.3: "there is no strong correlation between a high percentage
+     of dead data members [static] and a high percentage of object space
+     occupied by those members [dynamic]" — check the canonical outliers:
+     taldict/simulate are top static but near-zero dynamic *)
+  List.iter
+    (fun ((b : Suite.t), (r : Deadmem.Report.t), outcome) ->
+      if b.name = "taldict" || b.name = "simulate" then begin
+        Util.check_bool (b.name ^ " static high") true
+          (r.Deadmem.Report.dead_pct > 20.0);
+        Util.check_bool (b.name ^ " dynamic low") true
+          (Runtime.Profile.dead_space_pct outcome.Runtime.Interp.snapshot < 6.0)
+      end)
+    (all_reports ())
+
+let t_used_classes_subset () =
+  List.iter
+    (fun ((b : Suite.t), (r : Deadmem.Report.t), _) ->
+      Util.check_bool
+        (b.name ^ ": used <= total classes")
+        true
+        (r.Deadmem.Report.num_used_classes <= r.Deadmem.Report.num_classes))
+    (all_reports ())
+
+let t_loc_ordering () =
+  (* jikes is the largest benchmark, richards among the smallest *)
+  let loc name = Suite.loc (Suite.find_exn name) in
+  Util.check_bool "jikes largest" true
+    (List.for_all (fun (b : Suite.t) -> loc "jikes" >= Suite.loc b) Suite.all);
+  Util.check_bool "richards small" true (loc "richards" < loc "jikes")
+
+let per_benchmark =
+  List.concat_map
+    (fun (b : Suite.t) ->
+      [
+        Util.test (b.name ^ ": runs to completion") (t_runs b);
+        Util.test (b.name ^ ": static dead%% band") (t_static_band b);
+        Util.test (b.name ^ ": dynamic dead-space band") (t_dynamic_band b);
+        Util.test (b.name ^ ": deterministic") (t_deterministic b);
+      ])
+    Suite.all
+
+let suite =
+  per_benchmark
+  @ [
+      Util.test "small benchmarks have no dead members" t_small_benchmarks_no_dead;
+      Util.test "library users have the highest dead%" t_library_benchmarks_highest;
+      Util.test "average dead% in the paper's regime" t_average_dead_pct;
+      Util.test "sched is the dynamic maximum" t_max_dynamic_is_sched;
+      Util.test "no static/dynamic correlation (outliers)" t_no_strong_correlation;
+      Util.test "used classes subset" t_used_classes_subset;
+      Util.test "LOC ordering" t_loc_ordering;
+    ]

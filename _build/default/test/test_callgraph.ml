@@ -1,0 +1,206 @@
+(* Call-graph construction tests: CHA vs RTA precision, reachability,
+   address-taken roots, library overrides, constructor/destructor edges. *)
+
+
+open Sema.Typed_ast
+module StringSet = Set.Make (String)
+
+let build ?(algorithm = Callgraph.Rta) ?(library_classes = []) src =
+  let prog = Util.check_source src in
+  ( prog,
+    Callgraph.build ~algorithm
+      ~library_classes:(StringSet.of_list library_classes)
+      prog )
+
+let reachable cg cls m = Callgraph.reachable cg (Func_id.FMethod (cls, m))
+let reachable_free cg f = Callgraph.reachable cg (Func_id.FFree f)
+
+let fig1 =
+  {|class A { public: virtual int f() { return 1; } };
+    class B : public A { public: virtual int f() { return 2; } };
+    class C : public A { public: virtual int f() { return 3; } };
+    int main() {
+      A a; B b;
+      A *ap = &a;
+      return ap->f();
+    }|}
+
+let t_rta_excludes_uninstantiated () =
+  (* C is never instantiated: RTA prunes C::f, CHA keeps it *)
+  let _, rta = build ~algorithm:Callgraph.Rta fig1 in
+  let _, cha = build ~algorithm:Callgraph.Cha fig1 in
+  Util.check_bool "RTA: A::f reachable" true (reachable rta "A" "f");
+  Util.check_bool "RTA: B::f reachable" true (reachable rta "B" "f");
+  Util.check_bool "RTA: C::f pruned" false (reachable rta "C" "f");
+  Util.check_bool "CHA: C::f kept" true (reachable cha "C" "f")
+
+let t_dead_function_unreachable () =
+  let _, cg =
+    build "int used() { return 1; }\nint unused() { return 2; }\nint main() { return used(); }"
+  in
+  Util.check_bool "used reachable" true (reachable_free cg "used");
+  Util.check_bool "unused pruned" false (reachable_free cg "unused")
+
+let t_transitive_calls () =
+  let _, cg =
+    build
+      "int c() { return 1; }\nint b() { return c(); }\nint a() { return b(); }\n\
+       int main() { return a(); }"
+  in
+  Util.check_bool "c reachable transitively" true (reachable_free cg "c")
+
+let t_static_dispatch_single_target () =
+  let _, cg =
+    build
+      {|class A { public: int f() { return 1; } };
+        class B : public A { public: int f() { return 2; } };
+        int main() { B b; return b.f(); }|}
+  in
+  (* non-virtual: only B::f, not A::f *)
+  Util.check_bool "B::f reachable" true (reachable cg "B" "f");
+  Util.check_bool "A::f not reachable" false (reachable cg "A" "f")
+
+let t_address_taken_root () =
+  (* a function whose address is taken is reachable even if never called
+     directly (paper section 3.3) *)
+  let _, cg =
+    build
+      "int cb(int x) { return x; }\nint main() { int (*f)(int) = cb; if (f == NULL) return 1; return 0; }"
+  in
+  Util.check_bool "callback reachable" true (reachable_free cg "cb")
+
+let t_funptr_call_edges () =
+  let _, cg =
+    build
+      "int cb(int x) { return x + 1; }\n\
+       int apply(int f(int), int v) { return f(v); }\n\
+       int main() { return apply(cb, 1); }"
+  in
+  Util.check_bool "cb reachable through pointer" true (reachable_free cg "cb")
+
+let t_ctor_dtor_edges () =
+  let _, cg =
+    build
+      {|class A { public: A() { } ~A() { } };
+        int main() { A *p = new A(); delete p; return 0; }|}
+  in
+  Util.check_bool "ctor reachable" true
+    (Callgraph.reachable cg (Func_id.FCtor ("A", 0)));
+  Util.check_bool "dtor reachable" true
+    (Callgraph.reachable cg (Func_id.FDtor "A"))
+
+let t_stack_object_dtor () =
+  let _, cg =
+    build "class A { public: ~A() { } };\nint main() { A a; return 0; }"
+  in
+  Util.check_bool "stack dtor reachable" true
+    (Callgraph.reachable cg (Func_id.FDtor "A"))
+
+let t_base_ctor_edges () =
+  let _, cg =
+    build
+      {|class A { public: A() { } };
+        class B : public A { public: B() { } };
+        int main() { B b; return 0; }|}
+  in
+  Util.check_bool "base ctor reachable" true
+    (Callgraph.reachable cg (Func_id.FCtor ("A", 0)))
+
+let t_member_ctor_edges () =
+  let _, cg =
+    build
+      {|class Inner { public: Inner() { } };
+        class Outer { public: Inner in; };
+        int main() { Outer o; return 0; }|}
+  in
+  Util.check_bool "member ctor reachable" true
+    (Callgraph.reachable cg (Func_id.FCtor ("Inner", 0)))
+
+let t_virtual_dtor_delete () =
+  let _, cg =
+    build
+      {|class A { public: virtual ~A() { } };
+        class B : public A { public: ~B() { } };
+        int main() { B *b = new B(); A *a = b; delete a; return 0; }|}
+  in
+  Util.check_bool "derived dtor reachable via virtual delete" true
+    (Callgraph.reachable cg (Func_id.FDtor "B"))
+
+let t_library_override_roots () =
+  let src =
+    {|class LibBase { public: virtual int notify() { return 0; } };
+      class App : public LibBase { public: virtual int notify() { return 1; } };
+      int main() { App a; return 0; }|}
+  in
+  let _, without = build src in
+  Util.check_bool "override pruned without library info" false
+    (reachable without "App" "notify");
+  let _, with_lib = build ~library_classes:[ "LibBase" ] src in
+  Util.check_bool "override rooted with library info" true
+    (reachable with_lib "App" "notify")
+
+let t_methods_called_from_unreachable () =
+  (* a method only called from an unreachable function stays unreachable *)
+  let _, cg =
+    build
+      {|class A { public: int helper() { return 1; } };
+        int never(A *a) { return a->helper(); }
+        int main() { return 0; }|}
+  in
+  Util.check_bool "helper unreachable" false (reachable cg "A" "helper")
+
+let t_instantiated_set () =
+  let _, cg = build fig1 in
+  Util.check_bool "A instantiated" true
+    (StringSet.mem "A" cg.Callgraph.instantiated);
+  Util.check_bool "B instantiated" true
+    (StringSet.mem "B" cg.Callgraph.instantiated);
+  Util.check_bool "C not instantiated" false
+    (StringSet.mem "C" cg.Callgraph.instantiated)
+
+let t_rta_subset_of_cha () =
+  (* RTA reachable set must be a subset of CHA's on every benchmark *)
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Benchmarks.Suite.program b in
+      let rta = Callgraph.build ~algorithm:Callgraph.Rta prog in
+      let cha = Callgraph.build ~algorithm:Callgraph.Cha prog in
+      Util.check_bool
+        (b.name ^ ": RTA subset of CHA")
+        true
+        (FuncSet.subset rta.Callgraph.nodes cha.Callgraph.nodes))
+    Benchmarks.Suite.all
+
+let t_dot_output () =
+  let _, cg = build fig1 in
+  let dot = Callgraph.to_dot cg in
+  Util.check_bool "dot contains main" true (Util.contains_sub ~sub:"main" dot);
+  Util.check_bool "dot is a digraph" true
+    (Util.contains_sub ~sub:"digraph" dot)
+
+let t_global_initializers_reach () =
+  let _, cg =
+    build "int f() { return 3; }\nint g = f();\nint main() { return g; }"
+  in
+  Util.check_bool "initializer call reachable" true (reachable_free cg "f")
+
+let suite =
+  [
+    Util.test "RTA prunes uninstantiated receivers" t_rta_excludes_uninstantiated;
+    Util.test "unreachable functions pruned" t_dead_function_unreachable;
+    Util.test "transitive calls" t_transitive_calls;
+    Util.test "static dispatch single target" t_static_dispatch_single_target;
+    Util.test "address-taken functions are roots" t_address_taken_root;
+    Util.test "function pointer call edges" t_funptr_call_edges;
+    Util.test "ctor/dtor edges for new/delete" t_ctor_dtor_edges;
+    Util.test "stack object destructor" t_stack_object_dtor;
+    Util.test "base ctor edges" t_base_ctor_edges;
+    Util.test "member ctor edges" t_member_ctor_edges;
+    Util.test "virtual destructor delete" t_virtual_dtor_delete;
+    Util.test "library override roots" t_library_override_roots;
+    Util.test "calls from unreachable code ignored" t_methods_called_from_unreachable;
+    Util.test "instantiated class set" t_instantiated_set;
+    Util.test "RTA subset of CHA on all benchmarks" t_rta_subset_of_cha;
+    Util.test "dot output" t_dot_output;
+    Util.test "global initializers feed reachability" t_global_initializers_reach;
+  ]

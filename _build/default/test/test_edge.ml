@@ -1,0 +1,203 @@
+(* Edge cases across the pipeline that the main suites do not cover. *)
+
+let t_read_in_loop_condition () =
+  let _, r =
+    Util.analyze
+      {|class A { public: int n; };
+        int main() {
+          A a;
+          a.n = 3;
+          do { a.n = a.n - 1; } while (a.n > 0);
+          return 0;
+        }|}
+  in
+  Util.check_bool "member read in do-while" false (Util.is_dead r "A" "n")
+
+let t_receiver_chain_of_call_is_read () =
+  (* a.b->method(): b's pointer value is read to dispatch *)
+  let _, r =
+    Util.analyze
+      {|class Inner { public: int work() { return 1; } };
+        class Outer { public: Inner *b; };
+        int main() {
+          Outer a;
+          a.b = new Inner();
+          return a.b->work();
+        }|}
+  in
+  Util.check_bool "call receiver chain read" false (Util.is_dead r "Outer" "b")
+
+let t_write_through_memptr () =
+  (* o.*pm = v: the written member is unknown, but pm's creation &A::m
+     already marked m; the write itself adds nothing *)
+  let _, r =
+    Util.analyze
+      {|class A { public: int m; int other; };
+        int main() {
+          A a;
+          int A::*pm = &A::m;
+          a.*pm = 5;
+          return 0;
+        }|}
+  in
+  Util.check_bool "memptr target live via &A::m" false (Util.is_dead r "A" "m");
+  Util.check_bool "other member dead" true (Util.is_dead r "A" "other")
+
+let t_sizeof_expr_policy () =
+  let src =
+    "class A { public: int m; };\nint main() { A a; return sizeof a; }"
+  in
+  let _, cons =
+    Util.analyze
+      ~config:
+        {
+          Deadmem.Config.paper with
+          Deadmem.Config.sizeof_policy = Deadmem.Config.Sizeof_conservative;
+        }
+      src
+  in
+  Util.check_bool "sizeof-expr conservative marks live" false
+    (Util.is_dead cons "A" "m")
+
+let t_volatile_via_pointer_chain () =
+  let _, r =
+    Util.analyze
+      {|class A { public: volatile int flag; };
+        int main() { A *a = new A(); a->flag = 1; free(a); return 0; }|}
+  in
+  Util.check_bool "volatile write through pointer" false
+    (Util.is_dead r "A" "flag")
+
+let t_union_inside_class () =
+  (* a live union member inside a class drags its siblings *)
+  let _, r =
+    Util.analyze
+      {|union Bits { int i; float f; };
+        class Holder { public: Bits bits; };
+        int main() { Holder h; h.bits.f = 1.0; return h.bits.i; }|}
+  in
+  Util.check_bool "read union member live" false (Util.is_dead r "Bits" "i");
+  Util.check_bool "sibling dragged live" false (Util.is_dead r "Bits" "f");
+  Util.check_bool "holder member live (read chain)" false
+    (Util.is_dead r "Holder" "bits")
+
+let t_interp_virtual_base_ctor_args () =
+  (* the most-derived class's initializer reaches the shared virtual base *)
+  let out =
+    Util.run
+      {|class V { public: V(int x) : v(x) { } int v; };
+        class L : public virtual V { public: L() : V(1) { } };
+        class R : public virtual V { public: R() : V(2) { } };
+        class D : public L, public R { public: D() : V(42) { } };
+        int main() { D d; return d.v; }|}
+  in
+  Util.check_int "most-derived initializes the virtual base" 42
+    out.Runtime.Interp.return_value
+
+let t_interp_array_of_objects () =
+  let out =
+    Util.run
+      {|class P { public: P() : v(7) { } int v; };
+        int main() {
+          P arr[3];
+          int s = 0;
+          for (int i = 0; i < 3; i++) s += arr[i].v;
+          return s;
+        }|}
+  in
+  Util.check_int "stack array of objects constructed" 21
+    out.Runtime.Interp.return_value
+
+let t_interp_heap_array_of_objects () =
+  let out =
+    Util.run
+      {|class P { public: P() : v(5) { } int v; };
+        int main() {
+          P *arr = new P[4];
+          int s = 0;
+          for (int i = 0; i < 4; i++) s += arr[i].v;
+          delete[] arr;
+          return s;
+        }|}
+  in
+  Util.check_int "heap array of objects" 20 out.Runtime.Interp.return_value
+
+let t_interp_string_indexing () =
+  let out =
+    Util.run
+      {|int main() {
+          char *s = "AB";
+          return s[0] + s[1];
+        }|}
+  in
+  Util.check_int "string literal indexing" 131 out.Runtime.Interp.return_value
+
+let t_eliminate_write_in_loop_step () =
+  let source =
+    {|class A { public: int dead_m; int live_m; };
+      int main() {
+        A a;
+        for (int i = 0; i < 3; i = i + 1)
+          a.dead_m = i;
+        a.live_m = 9;
+        return a.live_m;
+      }|}
+  in
+  let _, retyped, removed =
+    Deadmem.Eliminate.strip_program ~source ~file:"loop.mcc" ()
+  in
+  Util.check_bool "dead_m removed" true
+    (Sema.Member.Set.mem ("A", "dead_m") removed);
+  Util.check_int "behaviour preserved" 9
+    (Runtime.Interp.run retyped).Runtime.Interp.return_value
+
+let t_parser_nested_parens_cast_ambiguity () =
+  (* (x)(y) where x is not a type must be a call through a parenthesized
+     expression, not a cast *)
+  let out =
+    Util.run
+      "int twice(int v) { return v * 2; }\n\
+       int main() { int (*f)(int) = twice; return (f)(21); }"
+  in
+  Util.check_int "parenthesized call" 42 out.Runtime.Interp.return_value
+
+let t_report_per_class_details () =
+  let prog, r =
+    Util.analyze
+      {|class A { public: int live_m; int dead_m; };
+        class Unused { public: int u; };
+        int main() { A a; return a.live_m; }|}
+  in
+  let report = Deadmem.Report.of_result prog r in
+  let a =
+    List.find
+      (fun cs -> cs.Deadmem.Report.cs_name = "A")
+      report.Deadmem.Report.per_class
+  in
+  Util.check_bool "A used" true a.Deadmem.Report.cs_used;
+  Util.check_int "A dead count" 1 a.Deadmem.Report.cs_dead;
+  let u =
+    List.find
+      (fun cs -> cs.Deadmem.Report.cs_name = "Unused")
+      report.Deadmem.Report.per_class
+  in
+  Util.check_bool "Unused not used" false u.Deadmem.Report.cs_used;
+  Util.check_int "members in used excludes Unused" 2
+    report.Deadmem.Report.members_in_used
+
+let suite =
+  [
+    Util.test "read in do-while condition" t_read_in_loop_condition;
+    Util.test "call receiver chains are reads" t_receiver_chain_of_call_is_read;
+    Util.test "writes through member pointers" t_write_through_memptr;
+    Util.test "sizeof-expression policy" t_sizeof_expr_policy;
+    Util.test "volatile write via pointer" t_volatile_via_pointer_chain;
+    Util.test "union nested in class" t_union_inside_class;
+    Util.test "virtual base ctor args" t_interp_virtual_base_ctor_args;
+    Util.test "stack object arrays" t_interp_array_of_objects;
+    Util.test "heap object arrays" t_interp_heap_array_of_objects;
+    Util.test "string literal indexing" t_interp_string_indexing;
+    Util.test "eliminate write in loop" t_eliminate_write_in_loop_step;
+    Util.test "parenthesized call vs cast" t_parser_nested_parens_cast_ambiguity;
+    Util.test "per-class report details" t_report_per_class_details;
+  ]

@@ -1,0 +1,204 @@
+(* Object layout tests: sizes, alignment, vptr, inheritance, virtual
+   bases, unions, and dead-member removal. *)
+
+open Sema
+
+let table src = (Util.check_source src).Typed_ast.table
+
+let size ?dead src cls = Layout.object_size ?dead (table src) cls
+
+let t_scalar_sizes () =
+  let t = table "int main() { return 0; }" in
+  let s ty = Layout.size_of_type t ty in
+  Util.check_int "bool" 1 (s Frontend.Ast.TBool);
+  Util.check_int "char" 1 (s Frontend.Ast.TChar);
+  Util.check_int "int" 4 (s Frontend.Ast.TInt);
+  Util.check_int "long" 8 (s Frontend.Ast.TLong);
+  Util.check_int "float" 4 (s Frontend.Ast.TFloat);
+  Util.check_int "double" 8 (s Frontend.Ast.TDouble);
+  Util.check_int "pointer" 8 (s (Frontend.Ast.TPtr Frontend.Ast.TInt));
+  Util.check_int "array" 12 (s (Frontend.Ast.TArr (Frontend.Ast.TInt, 3)))
+
+let t_plain_struct () =
+  Util.check_int "three ints" 12
+    (size "struct S { int a; int b; int c; };\nint main() { S s; return 0; }" "S")
+
+let t_padding () =
+  (* char then int: 3 bytes of padding *)
+  Util.check_int "char+int" 8
+    (size "struct S { char c; int i; };\nint main() { S s; return 0; }" "S");
+  (* char then double: aligned to 8 *)
+  Util.check_int "char+double" 16
+    (size "struct S { char c; double d; };\nint main() { S s; return 0; }" "S")
+
+let t_empty_class () =
+  Util.check_int "empty class has size 1" 1
+    (size "class E { };\nint main() { E e; return 0; }" "E")
+
+let t_vptr () =
+  (* vptr (8) + int (4), padded to 8-alignment -> 16 *)
+  Util.check_int "vptr alignment" 16
+    (size "class A { public: virtual int f() { return x; } int x; };\nint main() { A a; return 0; }"
+       "A")
+
+let t_single_inheritance () =
+  let src =
+    "class A { public: int a; };\nclass B : public A { public: int b; };\n\
+     int main() { B x; return 0; }"
+  in
+  Util.check_int "base subobject + member" 8 (size src "B")
+
+let t_inherited_vptr_shared () =
+  (* the derived class reuses the base's vptr slot *)
+  let src =
+    "class A { public: virtual int f() { return a; } int a; };\n\
+     class B : public A { public: int b; };\nint main() { B x; return 0; }"
+  in
+  Util.check_int "A" 16 (size src "A");
+  Util.check_int "B = A + int, padded" 24 (size src "B")
+
+let t_virtual_base_once () =
+  (* diamond: V appears once in D, plus one vbase pointer in L and R *)
+  let src =
+    {|class V { public: int v; };
+      class L : public virtual V { public: int l; };
+      class R : public virtual V { public: int r; };
+      class D : public L, public R { public: int d; };
+      int main() { D x; return 0; }|}
+  in
+  (* L: vbase ptr (8) + l (4) -> 16 nv part 12->16; complete L adds V: 16+4 -> 24 *)
+  let tl = size src "L" in
+  let td = size src "D" in
+  let tv = size src "V" in
+  Util.check_int "V" 4 tv;
+  Util.check_bool "L fits vbase model" true (tl >= 16);
+  (* D: L-nv + R-nv + d + one V, not two *)
+  let expected_two_v = td + tv in
+  Util.check_bool "D smaller than with duplicated V" true (td < expected_two_v + tv);
+  (* sharing: D < size(L nv) + size(R nv) + d + 2*V *)
+  Util.check_bool "D shares V" true (td <= 48)
+
+let t_union_size () =
+  Util.check_int "union of int and double" 8
+    (size "union U { int i; double d; };\nint main() { U u; return 0; }" "U")
+
+let t_member_object () =
+  let src =
+    "class Inner { public: int a; int b; };\n\
+     class Outer { public: Inner in; int c; };\nint main() { Outer o; return 0; }"
+  in
+  Util.check_int "embedded object" 12 (size src "Outer")
+
+let t_member_array () =
+  Util.check_int "int[4] member" 20
+    (size "class A { public: int pre; int arr[4]; };\nint main() { A a; return 0; }" "A")
+
+let t_dead_removal () =
+  let src = "struct S { int a; int b; int c; };\nint main() { S s; return 0; }" in
+  let dead = Member.Set.of_list [ ("S", "b") ] in
+  Util.check_int "one member removed" 8 (size ~dead src "S");
+  let dead_all = Member.Set.of_list [ ("S", "a"); ("S", "b"); ("S", "c") ] in
+  Util.check_int "all removed -> size 1" 1 (size ~dead:dead_all src "S")
+
+let t_dead_removal_padding () =
+  (* removing the int eliminates the char's padding too *)
+  let src = "struct S { char c; int i; };\nint main() { S s; return 0; }" in
+  let dead = Member.Set.of_list [ ("S", "i") ] in
+  Util.check_int "char only" 1 (size ~dead src "S")
+
+let t_dead_in_base () =
+  let src =
+    "class A { public: int a1; int a2; };\nclass B : public A { public: int b; };\n\
+     int main() { B x; return 0; }"
+  in
+  let dead = Member.Set.of_list [ ("A", "a2") ] in
+  Util.check_int "dead base member removed from derived" 8 (size ~dead src "B")
+
+let t_dead_member_bytes () =
+  let src =
+    "class A { public: int a1; int a2; };\nclass B : public A { public: int b; double d; };\n\
+     int main() { B x; return 0; }"
+  in
+  let t = table src in
+  let dead = Member.Set.of_list [ ("A", "a2"); ("B", "d") ] in
+  Util.check_int "raw dead bytes" 12 (Layout.dead_member_bytes ~dead t "B");
+  Util.check_int "dead bytes in A alone" 4 (Layout.dead_member_bytes ~dead t "A")
+
+let t_static_members_no_space () =
+  let src =
+    "class A { public: int a; static int shared; };\nint A::shared;\n\
+     int main() { A x; return 0; }"
+  in
+  Util.check_int "statics occupy no object space" 4 (size src "A")
+
+(* qcheck properties over generated flat structs *)
+let gen_struct_fields =
+  QCheck.Gen.(list_size (int_range 1 8) (oneofl [ "int"; "char"; "double"; "long" ]))
+
+let struct_src fields =
+  let decls =
+    List.mapi (fun i ty -> Printf.sprintf "%s f%d;" ty i) fields
+    |> String.concat " "
+  in
+  Printf.sprintf "struct S { %s };\nint main() { S s; return 0; }" decls
+
+let prop_size_positive =
+  QCheck.Test.make ~name:"layout: sizes are positive multiples of alignment"
+    ~count:100 (QCheck.make gen_struct_fields) (fun fields ->
+      let src = struct_src fields in
+      let s = size src "S" in
+      let max_align =
+        List.fold_left
+          (fun acc ty ->
+            max acc (match ty with "char" -> 1 | "int" -> 4 | _ -> 8))
+          1 fields
+      in
+      s > 0 && s mod max_align = 0)
+
+let prop_dead_removal_monotone =
+  QCheck.Test.make ~name:"layout: removing members never grows the object"
+    ~count:100
+    QCheck.(pair (QCheck.make gen_struct_fields) (int_bound 7))
+    (fun (fields, k) ->
+      let src = struct_src fields in
+      let n = List.length fields in
+      let dead =
+        Member.Set.of_list
+          (if n = 0 then [] else [ ("S", Printf.sprintf "f%d" (k mod n)) ])
+      in
+      size ~dead src "S" <= size src "S")
+
+let prop_size_at_least_sum_of_singles =
+  QCheck.Test.make
+    ~name:"layout: struct size >= size of each member" ~count:100
+    (QCheck.make gen_struct_fields)
+    (fun fields ->
+      let src = struct_src fields in
+      let s = size src "S" in
+      List.for_all
+        (fun ty ->
+          s >= (match ty with "char" -> 1 | "int" -> 4 | _ -> 8))
+        fields)
+
+let suite =
+  [
+    Util.test "scalar sizes" t_scalar_sizes;
+    Util.test "plain struct" t_plain_struct;
+    Util.test "padding" t_padding;
+    Util.test "empty class" t_empty_class;
+    Util.test "vptr" t_vptr;
+    Util.test "single inheritance" t_single_inheritance;
+    Util.test "inherited vptr shared" t_inherited_vptr_shared;
+    Util.test "virtual base stored once" t_virtual_base_once;
+    Util.test "union size" t_union_size;
+    Util.test "member objects" t_member_object;
+    Util.test "member arrays" t_member_array;
+    Util.test "dead member removal" t_dead_removal;
+    Util.test "dead removal frees padding" t_dead_removal_padding;
+    Util.test "dead member in base class" t_dead_in_base;
+    Util.test "raw dead bytes" t_dead_member_bytes;
+    Util.test "static members occupy no space" t_static_members_no_space;
+    QCheck_alcotest.to_alcotest prop_size_positive;
+    QCheck_alcotest.to_alcotest prop_dead_removal_monotone;
+    QCheck_alcotest.to_alcotest prop_size_at_least_sum_of_singles;
+  ]

@@ -1,0 +1,482 @@
+(* Tests of the dead-data-member detection algorithm itself: the Figure-1
+   golden classification and every special case of Section 3 of the
+   paper. *)
+
+open Deadmem
+
+(* The paper's Figure 1, verbatim (modulo MiniC++ surface syntax). *)
+let figure1 =
+  {|class N {
+public:
+  int mn1; /* live: accessed and observable */
+  int mn2; /* dead: not accessed */
+};
+class A {
+public:
+  virtual int f(){ return ma1; }
+  int ma1; /* live: accessed and observable */
+  int ma2; /* dead: not accessed */
+  int ma3; /* dead: accessed but not observable */
+};
+class B : public A {
+public:
+  virtual int f(){ return mb1; }
+  int mb1; /* dead: accessed from unreachable code */
+  N mb2;   /* live: accessed and observable */
+  int mb3; /* dead: accessed, but not observable */
+  int mb4; /* live: accessed and observable */
+};
+class C : public A {
+public:
+  virtual int f(){ return mc1; }
+  int mc1; /* dead: accessed from unreachable code */
+};
+int foo(int *x){ return (*x) + 1; }
+int main(){
+  A a; B b; C c;
+  A *ap;
+  a.ma3 = b.mb3 + 1;
+  int i = 10;
+  if (i < 20){ ap = &a; } else { ap = &b; }
+  return ap->f() + b.mb2.mn1 + foo(&b.mb4);
+}|}
+
+let t_figure1_golden () =
+  (* the algorithm's answer on Figure 1 (paper §3.1): A::ma2, A::ma3 and
+     N::mn2 are found dead; B::mb1, B::mb3 and C::mc1 are conservatively
+     live (mb1/mc1 because RTA keeps B::f and C::f reachable, mb3 because
+     it is read even though the read is not observable) *)
+  let _, r = Util.analyze figure1 in
+  Util.check_dead r [ "A::ma2"; "A::ma3"; "N::mn2" ]
+
+let t_figure1_truly_live () =
+  let _, r = Util.analyze figure1 in
+  List.iter
+    (fun (c, m) ->
+      Util.check_bool (c ^ "::" ^ m ^ " live") false (Util.is_dead r c m))
+    [ ("A", "ma1"); ("N", "mn1"); ("B", "mb2"); ("B", "mb4") ]
+
+let t_write_only_is_dead () =
+  let _, r =
+    Util.analyze
+      {|class A { public: int w; };
+        int main() { A a; a.w = 42; a.w = 43; return 0; }|}
+  in
+  Util.check_bool "written-only member dead" true (Util.is_dead r "A" "w")
+
+let t_read_makes_live () =
+  let _, r =
+    Util.analyze
+      "class A { public: int m; };\nint main() { A a; return a.m; }"
+  in
+  Util.check_bool "read member live" false (Util.is_dead r "A" "m")
+
+let t_compound_assign_reads () =
+  let _, r =
+    Util.analyze
+      "class A { public: int m; };\nint main() { A a; a.m += 1; return 0; }"
+  in
+  Util.check_bool "compound assignment reads" false (Util.is_dead r "A" "m")
+
+let t_incdec_reads () =
+  let _, r =
+    Util.analyze
+      "class A { public: int m; };\nint main() { A a; a.m++; return 0; }"
+  in
+  Util.check_bool "++ reads the member" false (Util.is_dead r "A" "m")
+
+let t_self_assign_reads () =
+  let _, r =
+    Util.analyze
+      "class A { public: int m; };\nint main() { A a; a.m = a.m + 1; return 0; }"
+  in
+  Util.check_bool "x = x + 1 reads x" false (Util.is_dead r "A" "m")
+
+let t_ctor_init_is_write () =
+  (* the paper's key motivation: constructor initialization alone must not
+     make a member live *)
+  let _, r =
+    Util.analyze
+      {|class A { public: A() : m(7) { n = 8; } int m; int n; };
+        int main() { A a; return 0; }|}
+  in
+  Util.check_bool "init-list member dead" true (Util.is_dead r "A" "m");
+  Util.check_bool "ctor-body-assigned member dead" true (Util.is_dead r "A" "n")
+
+let t_ctor_init_args_are_reads () =
+  let _, r =
+    Util.analyze
+      {|class A { public: A() : m(0) { } A(A *o) : m(o->m + 1) { } int m; };
+        int main() { A a; A b(&a); return 0; }|}
+  in
+  Util.check_bool "member read inside an initializer arg" false
+    (Util.is_dead r "A" "m")
+
+let t_address_taken_is_live () =
+  let _, r =
+    Util.analyze
+      "class A { public: int m; };\nint use(int *p) { return *p; }\n\
+       int main() { A a; return use(&a.m); }"
+  in
+  Util.check_bool "address-taken member live" false (Util.is_dead r "A" "m")
+
+let t_address_taken_even_unused () =
+  (* &e.m marks m live even if the pointer is discarded: the analysis does
+     not trace pointers (paper §3) *)
+  let _, r =
+    Util.analyze
+      "class A { public: int m; };\nint main() { A a; int *p = &a.m; return 0; }"
+  in
+  Util.check_bool "address-taken conservatively live" false
+    (Util.is_dead r "A" "m")
+
+let t_delete_exemption () =
+  (* a pointer member whose only use is being passed to delete stays dead
+     (the paper's destructor pattern) *)
+  let _, r =
+    Util.analyze
+      {|class Node { public: int x; };
+        class Owner {
+        public:
+          Owner() { p = new Node(); }
+          ~Owner() { delete p; }
+          Node *p;
+        };
+        int main() { Owner *o = new Owner(); delete o; return 0; }|}
+  in
+  Util.check_bool "member passed to delete stays dead" true
+    (Util.is_dead r "Owner" "p")
+
+let t_free_exemption () =
+  let _, r =
+    Util.analyze
+      {|class Owner {
+        public:
+          Owner() { p = new int[4]; }
+          ~Owner() { free(p); }
+          int *p;
+        };
+        int main() { Owner *o = new Owner(); delete o; return 0; }|}
+  in
+  Util.check_bool "member passed to free stays dead" true
+    (Util.is_dead r "Owner" "p")
+
+let t_delete_base_still_read () =
+  (* [delete a.b->p]: p is exempt but b is read (its pointer value is
+     needed to find p) *)
+  let _, r =
+    Util.analyze
+      {|class Inner { public: int *p; };
+        class Outer { public: Inner *b; };
+        int main() {
+          Outer a;
+          a.b = new Inner();
+          a.b->p = new int[2];
+          delete a.b->p;
+          free(a.b);
+          return 0;
+        }|}
+  in
+  Util.check_bool "p exempt" true (Util.is_dead r "Inner" "p");
+  Util.check_bool "b read on the way" false (Util.is_dead r "Outer" "b")
+
+let t_member_used_after_delete_live () =
+  (* if the member is ALSO read elsewhere it is live despite the delete *)
+  let _, r =
+    Util.analyze
+      {|class Node { public: int x; };
+        class Owner { public: Node *p; };
+        int main() {
+          Owner o;
+          o.p = new Node();
+          Node *q = o.p;
+          delete o.p;
+          if (q == NULL) return 1;
+          return 0;
+        }|}
+  in
+  Util.check_bool "member read elsewhere live" false (Util.is_dead r "Owner" "p")
+
+let t_volatile_write_is_live () =
+  let _, r =
+    Util.analyze
+      "class A { public: volatile int v; int w; };\n\
+       int main() { A a; a.v = 1; a.w = 1; return 0; }"
+  in
+  Util.check_bool "volatile written member live" false (Util.is_dead r "A" "v");
+  Util.check_bool "plain written member dead" true (Util.is_dead r "A" "w")
+
+let t_unreachable_access_dead () =
+  let _, r =
+    Util.analyze
+      {|class A { public: int m; };
+        int never(A *a) { return a->m; }
+        int main() { A a; return 0; }|}
+  in
+  Util.check_bool "access from unreachable code ignored" true
+    (Util.is_dead r "A" "m")
+
+let t_interior_member_of_read_chain () =
+  (* b.mb2.mn1 as a read marks BOTH mb2 and mn1 (paper §3.1) *)
+  let _, r =
+    Util.analyze
+      {|class N { public: int mn1; };
+        class B { public: N mb2; };
+        int main() { B b; return b.mb2.mn1; }|}
+  in
+  Util.check_bool "outer member live" false (Util.is_dead r "B" "mb2");
+  Util.check_bool "inner member live" false (Util.is_dead r "N" "mn1")
+
+let t_interior_member_of_write_chain () =
+  (* a.b.m = e writes through b without reading any member value *)
+  let _, r =
+    Util.analyze
+      {|class N { public: int m; };
+        class B { public: N b; };
+        int main() { B a; a.b.m = 5; return 0; }|}
+  in
+  Util.check_bool "written leaf dead" true (Util.is_dead r "N" "m");
+  Util.check_bool "path member not read" true (Util.is_dead r "B" "b")
+
+let t_arrow_base_of_write_is_read () =
+  (* a.b->m = e must read b (a pointer) even though m is written *)
+  let _, r =
+    Util.analyze
+      {|class N { public: int m; };
+        class B { public: N *b; };
+        int main() { B a; a.b = new N(); a.b->m = 5; return 0; }|}
+  in
+  Util.check_bool "written leaf dead" true (Util.is_dead r "N" "m");
+  Util.check_bool "pointer member read" false (Util.is_dead r "B" "b")
+
+let t_pointer_to_member () =
+  let _, r =
+    Util.analyze
+      {|class A { public: int m; int n; };
+        int main() { A a; int A::*pm = &A::m; return a.*pm; }|}
+  in
+  Util.check_bool "&A::m marks m live" false (Util.is_dead r "A" "m");
+  Util.check_bool "other member dead" true (Util.is_dead r "A" "n")
+
+let t_union_post_pass () =
+  (* one live union member drags the others live *)
+  let _, r =
+    Util.analyze
+      {|union U { int as_int; float as_float; };
+        int main() { U u; u.as_float = 1.5; return u.as_int; }|}
+  in
+  Util.check_bool "read member live" false (Util.is_dead r "U" "as_int");
+  Util.check_bool "union sibling live too" false (Util.is_dead r "U" "as_float")
+
+let t_union_all_dead () =
+  let _, r =
+    Util.analyze
+      {|union U { int a; float b; };
+        int main() { U u; u.a = 1; return 0; }|}
+  in
+  Util.check_bool "fully write-only union stays dead" true
+    (Util.is_dead r "U" "a" && Util.is_dead r "U" "b")
+
+let t_sizeof_policies () =
+  let src =
+    "class A { public: int m; };\nint main() { A a; return sizeof(A); }"
+  in
+  let _, ignore_r = Util.analyze ~config:Config.paper src in
+  Util.check_bool "sizeof ignored (paper policy)" true
+    (Util.is_dead ignore_r "A" "m");
+  let _, cons_r =
+    Util.analyze
+      ~config:{ Config.paper with Config.sizeof_policy = Config.Sizeof_conservative }
+      src
+  in
+  Util.check_bool "sizeof conservative marks live" false
+    (Util.is_dead cons_r "A" "m")
+
+let t_unsafe_downcast_policy () =
+  let src =
+    {|class A { public: int a; };
+      class B : public A { public: int b; };
+      int main() { B b; A *up = &b; B *d = (B*)up; if (d == NULL) return 1; return 0; }|}
+  in
+  (* trusting the user's verification (paper evaluation config) *)
+  let _, trusted = Util.analyze ~config:Config.paper src in
+  Util.check_bool "downcast trusted: members stay dead" true
+    (Util.is_dead trusted "A" "a");
+  (* fully conservative *)
+  let _, cons =
+    Util.analyze ~config:{ Config.paper with Config.assume_downcasts_safe = false } src
+  in
+  Util.check_bool "downcast conservative: source members live" false
+    (Util.is_dead cons "A" "a")
+
+let t_unsafe_cross_cast () =
+  (* cross-casts are unsafe regardless of the downcast policy *)
+  let _, r =
+    Util.analyze
+      {|class A { public: int a; };
+        class X { public: int x; };
+        int main() { A a; X *p = (X*)&a; if (p == NULL) return 1; return 0; }|}
+  in
+  Util.check_bool "cross-cast marks source members live" false
+    (Util.is_dead r "A" "a")
+
+let t_mark_all_contained_recursive () =
+  (* MarkAllContainedMembers walks member classes and bases *)
+  let _, r =
+    Util.analyze
+      {|class Base { public: int in_base; };
+        class Inner { public: int deep; };
+        class S : public Base { public: Inner inner; int own; };
+        class T { public: int t; };
+        int main() {
+          S s;
+          T *p = (T*)&s;  // unsafe cross-cast from S
+          if (p == NULL) return 1;
+          return 0;
+        }|}
+  in
+  Util.check_bool "own member live" false (Util.is_dead r "S" "own");
+  Util.check_bool "base member live" false (Util.is_dead r "Base" "in_base");
+  Util.check_bool "contained class member live" false (Util.is_dead r "Inner" "deep")
+
+let t_qualified_access_reads () =
+  let _, r =
+    Util.analyze
+      {|class A { public: int m; };
+        class B : public A { public: int m; };
+        int main() { B b; return b.A::m; }|}
+  in
+  Util.check_bool "qualified base member live" false (Util.is_dead r "A" "m");
+  Util.check_bool "hiding member not touched" true (Util.is_dead r "B" "m")
+
+let t_callgraph_precision_changes_result () =
+  (* under CHA the Figure-1 example keeps C::f reachable even without any
+     C object; both call graphs classify mc1 as live here, but a
+     points-to-free RTA on a C-free variant prunes it *)
+  let no_c_object =
+    {|class A { public: virtual int f() { return ma1; } int ma1; };
+      class C : public A { public: virtual int f() { return mc1; } int mc1; };
+      int main() { A a; A *ap = &a; return ap->f(); }|}
+  in
+  let _, rta =
+    Util.analyze ~config:{ Config.paper with Config.call_graph = Callgraph.Rta }
+      no_c_object
+  in
+  let _, cha =
+    Util.analyze ~config:{ Config.paper with Config.call_graph = Callgraph.Cha }
+      no_c_object
+  in
+  Util.check_bool "RTA: mc1 dead (C never instantiated)" true
+    (Util.is_dead rta "C" "mc1");
+  Util.check_bool "CHA: mc1 conservatively live" false
+    (Util.is_dead cha "C" "mc1")
+
+let t_library_members_unclassified () =
+  let src =
+    {|class Lib { public: int lib_member; };
+      class App : public Lib { public: int app_member; };
+      int main() { App a; a.app_member = 1; return 0; }|}
+  in
+  let config = Config.with_library_classes [ "Lib" ] Config.paper in
+  let prog, r = Util.analyze ~config src in
+  ignore prog;
+  let names = List.map fst r.Liveness.members in
+  Util.check_bool "library member not classified" false
+    (List.exists (fun m -> Sema.Member.to_string m = "Lib::lib_member") names);
+  Util.check_bool "app member classified dead" true
+    (Util.is_dead r "App" "app_member")
+
+let t_static_members_excluded () =
+  let _, r =
+    Util.analyze
+      "class A { public: int m; static int s; };\nint A::s;\n\
+       int main() { A a; return a.m; }"
+  in
+  let names = List.map (fun (m, _) -> Sema.Member.to_string m) r.Liveness.members in
+  Alcotest.(check (list string)) "only instance members" [ "A::m" ] names
+
+let t_dead_live_partition () =
+  (* dead and live partition the member set on every benchmark *)
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Benchmarks.Suite.program b in
+      let r = Liveness.analyze ~config:Config.paper prog in
+      let d = List.length (Liveness.dead_members r) in
+      let l = List.length (Liveness.live_members r) in
+      Util.check_int
+        (b.name ^ ": dead + live = all")
+        (List.length r.Liveness.members)
+        (d + l))
+    Benchmarks.Suite.all
+
+(* property: a more conservative configuration never finds MORE dead
+   members (soundness monotonicity across the config lattice) *)
+let t_conservative_configs_monotone () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Benchmarks.Suite.program b in
+      let precise = Liveness.analyze ~config:Config.paper prog in
+      let conservative = Liveness.analyze ~config:Config.default prog in
+      let dp = Liveness.dead_set precise in
+      let dc = Liveness.dead_set conservative in
+      Util.check_bool
+        (b.name ^ ": conservative dead ⊆ precise dead")
+        true
+        (Sema.Member.Set.subset dc dp))
+    Benchmarks.Suite.all
+
+(* property: removing the dead members must not change observable
+   behaviour — validated by running each benchmark and comparing output
+   with the dead-set-informed profile run (same interpreter, the dead set
+   only affects measurements, so outputs must be identical) *)
+let t_output_independent_of_dead_accounting () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Benchmarks.Suite.program b in
+      let r = Liveness.analyze ~config:Config.paper prog in
+      let plain = Runtime.Interp.run prog in
+      let accounted = Runtime.Interp.run ~dead:(Liveness.dead_set r) prog in
+      Util.check_string (b.name ^ ": output unchanged") plain.Runtime.Interp.output
+        accounted.Runtime.Interp.output;
+      Util.check_int
+        (b.name ^ ": return unchanged")
+        plain.Runtime.Interp.return_value accounted.Runtime.Interp.return_value)
+    [ Benchmarks.Suite.richards; Benchmarks.Suite.deltablue ]
+
+let suite =
+  [
+    Util.test "Figure 1 golden classification" t_figure1_golden;
+    Util.test "Figure 1 truly-live members" t_figure1_truly_live;
+    Util.test "write-only members are dead" t_write_only_is_dead;
+    Util.test "reads make members live" t_read_makes_live;
+    Util.test "compound assignment reads" t_compound_assign_reads;
+    Util.test "++/-- read" t_incdec_reads;
+    Util.test "self-assignment reads" t_self_assign_reads;
+    Util.test "constructor initialization is a write" t_ctor_init_is_write;
+    Util.test "initializer arguments are reads" t_ctor_init_args_are_reads;
+    Util.test "address-taken members are live" t_address_taken_is_live;
+    Util.test "address-taken without use still live" t_address_taken_even_unused;
+    Util.test "delete exemption" t_delete_exemption;
+    Util.test "free exemption" t_free_exemption;
+    Util.test "delete argument base is read" t_delete_base_still_read;
+    Util.test "deleted member read elsewhere is live" t_member_used_after_delete_live;
+    Util.test "volatile writes are live" t_volatile_write_is_live;
+    Util.test "unreachable accesses ignored" t_unreachable_access_dead;
+    Util.test "read chains mark interior members" t_interior_member_of_read_chain;
+    Util.test "write chains do not" t_interior_member_of_write_chain;
+    Util.test "arrow base of write is read" t_arrow_base_of_write_is_read;
+    Util.test "pointer-to-member expressions" t_pointer_to_member;
+    Util.test "union post-pass" t_union_post_pass;
+    Util.test "fully-dead unions stay dead" t_union_all_dead;
+    Util.test "sizeof policies" t_sizeof_policies;
+    Util.test "unsafe downcast policy" t_unsafe_downcast_policy;
+    Util.test "unsafe cross-casts" t_unsafe_cross_cast;
+    Util.test "MarkAllContainedMembers recursion" t_mark_all_contained_recursive;
+    Util.test "qualified accesses read" t_qualified_access_reads;
+    Util.test "call-graph precision (paper §3.1)" t_callgraph_precision_changes_result;
+    Util.test "library members unclassified" t_library_members_unclassified;
+    Util.test "static members excluded" t_static_members_excluded;
+    Util.test "dead/live partition" t_dead_live_partition;
+    Util.test "config monotonicity" t_conservative_configs_monotone;
+    Util.test "behaviour independent of accounting" t_output_independent_of_dead_accounting;
+  ]

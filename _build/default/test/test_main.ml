@@ -1,0 +1,18 @@
+(* Test runner: one Alcotest suite per library module group. *)
+
+let () =
+  Alcotest.run "deadmem"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("sema", Test_sema.suite);
+      ("layout", Test_layout.suite);
+      ("callgraph", Test_callgraph.suite);
+      ("liveness", Test_liveness.suite);
+      ("interp", Test_interp.suite);
+      ("profile", Test_profile.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("eliminate", Test_eliminate.suite);
+      ("properties", Test_properties.suite);
+      ("edge", Test_edge.suite);
+    ]

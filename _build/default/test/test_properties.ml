@@ -1,0 +1,166 @@
+(* Property-based tests over randomly generated MiniC++ programs.
+
+   The generator produces small but well-formed programs — a handful of
+   classes with integer members, a main that constructs objects and
+   performs a random mix of member reads, writes, address-takings and
+   method calls — and the properties check the analysis's defining
+   guarantees:
+
+   - soundness: a member whose value is read in executed code is never
+     classified dead;
+   - completeness on the easy fragment: a member that is never accessed
+     anywhere is always classified dead;
+   - elimination preserves behaviour: stripping the program and re-running
+     it yields the same output and exit code. *)
+
+open QCheck
+
+type access = Read of int * int | Write of int * int | AddrOf of int * int
+(* (class index, member index) *)
+
+type gen_program = {
+  n_classes : int;
+  members_per_class : int;
+  accesses : access list;
+}
+
+let gen_access n_classes members_per_class =
+  let open Gen in
+  let* c = int_bound (n_classes - 1) in
+  let* m = int_bound (members_per_class - 1) in
+  oneofl [ Read (c, m); Write (c, m); AddrOf (c, m) ]
+
+let gen_prog =
+  let open Gen in
+  let* n_classes = int_range 1 4 in
+  let* members_per_class = int_range 1 4 in
+  let* accesses = list_size (int_range 0 14) (gen_access n_classes members_per_class) in
+  return { n_classes; members_per_class; accesses }
+
+(* Render the generated description as MiniC++ source. *)
+let render { n_classes; members_per_class; accesses } =
+  let buf = Buffer.create 512 in
+  for c = 0 to n_classes - 1 do
+    Buffer.add_string buf (Printf.sprintf "class K%d {\npublic:\n" c);
+    for m = 0 to members_per_class - 1 do
+      Buffer.add_string buf (Printf.sprintf "  int f%d;\n" m)
+    done;
+    Buffer.add_string buf "};\n"
+  done;
+  Buffer.add_string buf "int sink(int *p) { return *p; }\n";
+  Buffer.add_string buf "int main() {\n";
+  for c = 0 to n_classes - 1 do
+    Buffer.add_string buf (Printf.sprintf "  K%d o%d;\n" c c)
+  done;
+  Buffer.add_string buf "  int acc = 0;\n";
+  List.iteri
+    (fun i a ->
+      match a with
+      | Read (c, m) ->
+          Buffer.add_string buf (Printf.sprintf "  acc = acc + o%d.f%d;\n" c m)
+      | Write (c, m) ->
+          Buffer.add_string buf (Printf.sprintf "  o%d.f%d = %d;\n" c m i)
+      | AddrOf (c, m) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  acc = acc + sink(&o%d.f%d);\n" c m))
+    accesses;
+  Buffer.add_string buf "  return acc % 100;\n}\n";
+  Buffer.contents buf
+
+let member_name (c, m) = (Printf.sprintf "K%d" c, Printf.sprintf "f%d" m)
+
+let reads p =
+  List.filter_map
+    (function
+      | Read (c, m) | AddrOf (c, m) -> Some (c, m)
+      | Write _ -> None)
+    p.accesses
+
+let touched p =
+  List.map (function Read (c, m) | Write (c, m) | AddrOf (c, m) -> (c, m)) p.accesses
+
+let analyze_src src =
+  let prog = Sema.Type_check.check_source src in
+  (prog, Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog)
+
+let prop_reads_are_live =
+  Test.make ~name:"liveness: read or address-taken members are live" ~count:120
+    (make ~print:(fun p -> render p) gen_prog)
+    (fun p ->
+      let src = render p in
+      let _, r = analyze_src src in
+      List.for_all
+        (fun cm -> not (Deadmem.Liveness.is_dead r (member_name cm)))
+        (reads p))
+
+let prop_untouched_are_dead =
+  Test.make ~name:"liveness: never-accessed members are dead" ~count:120
+    (make ~print:(fun p -> render p) gen_prog)
+    (fun p ->
+      let src = render p in
+      let _, r = analyze_src src in
+      let touched = touched p in
+      let all_members =
+        List.concat_map
+          (fun c ->
+            List.init p.members_per_class (fun m -> (c, m)))
+          (List.init p.n_classes (fun c -> c))
+      in
+      List.for_all
+        (fun cm ->
+          List.mem cm touched
+          || Deadmem.Liveness.is_dead r (member_name cm))
+        all_members)
+
+let prop_write_only_dead =
+  Test.make ~name:"liveness: write-only members are dead" ~count:120
+    (make ~print:(fun p -> render p) gen_prog)
+    (fun p ->
+      let src = render p in
+      let _, r = analyze_src src in
+      let read_set = reads p in
+      List.for_all
+        (fun a ->
+          match a with
+          | Write (c, m) when not (List.mem (c, m) read_set) ->
+              Deadmem.Liveness.is_dead r (member_name (c, m))
+          | _ -> true)
+        p.accesses)
+
+let prop_elimination_preserves_behaviour =
+  Test.make ~name:"eliminate: stripping preserves behaviour" ~count:80
+    (make ~print:(fun p -> render p) gen_prog)
+    (fun p ->
+      let src = render p in
+      let prog, _ = analyze_src src in
+      let original = Runtime.Interp.run prog in
+      let _, retyped, _ =
+        Deadmem.Eliminate.strip_program ~source:src ~file:"gen.mcc" ()
+      in
+      let stripped = Runtime.Interp.run retyped in
+      original.Runtime.Interp.return_value = stripped.Runtime.Interp.return_value
+      && original.Runtime.Interp.output = stripped.Runtime.Interp.output)
+
+let prop_dead_space_bounded =
+  Test.make ~name:"profile: dead space never exceeds object space" ~count:80
+    (make ~print:(fun p -> render p) gen_prog)
+    (fun p ->
+      let src = render p in
+      let prog, r = analyze_src src in
+      let outcome =
+        Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set r) prog
+      in
+      let s = outcome.Runtime.Interp.snapshot in
+      s.Runtime.Profile.dead_space <= s.Runtime.Profile.object_space
+      && s.Runtime.Profile.high_water_mark_reduced
+         <= s.Runtime.Profile.high_water_mark)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_reads_are_live;
+      prop_untouched_are_dead;
+      prop_write_only_dead;
+      prop_elimination_preserves_behaviour;
+      prop_dead_space_bounded;
+    ]

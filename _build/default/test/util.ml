@@ -1,0 +1,53 @@
+(* Shared helpers for the test suites. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let parse src = Frontend.Parser.parse_string src
+let check_source src = Sema.Type_check.check_source src
+
+let analyze ?(config = Deadmem.Config.paper) src =
+  let prog = check_source src in
+  (prog, Deadmem.Liveness.analyze ~config prog)
+
+let run ?dead src =
+  let prog = check_source src in
+  Runtime.Interp.run ?dead prog
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then false
+    else if String.sub s i m = sub then true
+    else go (i + 1)
+  in
+  m = 0 || go 0
+
+(* Expect a compile-time diagnostic whose message contains [substr]. *)
+let expect_error ~substr f =
+  match f () with
+  | exception Frontend.Source.Compile_error d ->
+      let msg = d.Frontend.Source.message in
+      if not (contains_sub ~sub:substr msg) then
+        Alcotest.failf "error %S does not mention %S" msg substr
+  | _ -> Alcotest.failf "expected a compile error mentioning %S" substr
+
+let dead_names result =
+  Deadmem.Liveness.dead_members result
+  |> List.map Sema.Member.to_string
+  |> List.sort compare
+
+let live_names result =
+  Deadmem.Liveness.live_members result
+  |> List.map Sema.Member.to_string
+  |> List.sort compare
+
+let check_dead result expected =
+  Alcotest.(check (list string)) "dead members" (List.sort compare expected)
+    (dead_names result)
+
+let is_dead result cls name =
+  Deadmem.Liveness.is_dead result (cls, name)
+
+let test name f = Alcotest.test_case name `Quick f
