@@ -2,12 +2,24 @@
 
    Subcommands:
      analyze FILE    detect dead data members in a MiniC++ translation unit
+     check FILE...   batch-diagnose translation units (text or JSON)
      run FILE        execute a MiniC++ program under the instrumented
                      interpreter and print the object-space profile
      callgraph FILE  print (or dot-dump) the program's call graph
-     bench NAME      analyze + run one of the built-in paper benchmarks *)
+     bench NAME      analyze + run one of the built-in paper benchmarks
+
+   Exit-code contract (documented in the README):
+     0  success, no diagnostics
+     1  diagnostics reported (compile or runtime errors)
+     2  usage or I/O error (missing file, bad flags)
+     3  resource limit hit (steps, call depth, objects, native stack) *)
 
 open Cmdliner
+
+let exit_ok = 0
+let exit_diagnostics = 1
+let exit_usage = 2
+let exit_limit = 3
 
 let read_file path =
   let ic = open_in_bin path in
@@ -15,21 +27,34 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load path =
-  let src =
-    if path = "-" then In_channel.input_all In_channel.stdin
-    else read_file path
-  in
-  Sema.Type_check.check_source ~file:path src
+let read_source path =
+  if path = "-" then In_channel.input_all In_channel.stdin else read_file path
+
+let load path = Sema.Type_check.check_source ~file:path (read_source path)
 
 let handle_errors f =
   try f () with
   | Frontend.Source.Compile_error d ->
       Fmt.epr "%a@." Frontend.Source.pp_diagnostic d;
-      exit 1
+      exit exit_diagnostics
   | Runtime.Value.Runtime_error m ->
       Fmt.epr "runtime error: %s@." m;
-      exit 1
+      exit exit_diagnostics
+  | Runtime.Value.Limit_exceeded m ->
+      Fmt.epr "resource limit: %s@." m;
+      exit exit_limit
+  | Sys_error m ->
+      Fmt.epr "error: %s@." m;
+      exit exit_usage
+  | Invalid_argument m ->
+      Fmt.epr "invalid argument: %s@." m;
+      exit exit_usage
+  | Stack_overflow ->
+      Fmt.epr "resource limit: native stack exhausted@.";
+      exit exit_limit
+  | Out_of_memory ->
+      Fmt.epr "resource limit: out of memory@.";
+      exit exit_limit
 
 (* -- shared options -------------------------------------------------------- *)
 
@@ -61,6 +86,15 @@ let library_classes_opt =
   in
   Arg.(value & opt (list string) [] & info [ "library-classes" ] ~docv:"NAMES" ~doc)
 
+let keep_going_flag =
+  let doc =
+    "Do not stop at the first error: recover, report every diagnostic, \
+     and degrade conservatively — members of classes mentioned in \
+     unparseable or ill-typed regions are kept live, so DEAD verdicts \
+     stay sound. Exit code 1 when any error was reported."
+  in
+  Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+
 let config_of ~alg ~conservative ~library_classes =
   let base = if conservative then Deadmem.Config.default else Deadmem.Config.paper in
   let base = { base with Deadmem.Config.call_graph = alg } in
@@ -69,20 +103,41 @@ let config_of ~alg ~conservative ~library_classes =
 (* -- analyze ----------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run file alg conservative library_classes verbose =
+  let run file alg conservative library_classes verbose keep_going =
     handle_errors (fun () ->
-        let prog = load file in
         let config = config_of ~alg ~conservative ~library_classes in
-        let result = Deadmem.Liveness.analyze ~config prog in
+        let prog, unknown, code =
+          if keep_going then begin
+            let src = read_source file in
+            let diags = Frontend.Source.Diagnostics.create () in
+            let prog, unknown =
+              Sema.Type_check.check_source_resilient ~file ~diags src
+            in
+            Fmt.epr "%a" Frontend.Source.Diagnostics.pp diags;
+            let code =
+              if Frontend.Source.Diagnostics.has_errors diags then
+                exit_diagnostics
+              else exit_ok
+            in
+            (prog, unknown, code)
+          end
+          else (load file, [], exit_ok)
+        in
+        let result = Deadmem.Liveness.analyze ~config ~unknown prog in
         let report = Deadmem.Report.of_result prog result in
         Fmt.pr "configuration: %a@." Deadmem.Config.pp config;
+        if unknown <> [] then
+          Fmt.pr
+            "note: %d unknown region(s) treated conservatively (all \
+             mentioned members live)@."
+            (List.length unknown);
         if verbose then Fmt.pr "%a" Deadmem.Liveness.pp_result result
         else
           List.iter
             (fun m -> Fmt.pr "DEAD %s@." (Sema.Member.to_string m))
             (Deadmem.Liveness.dead_members result);
         Fmt.pr "%a" Deadmem.Report.pp report;
-        0)
+        code)
     |> exit
   in
   let verbose =
@@ -91,12 +146,81 @@ let analyze_cmd =
   let doc = "Detect dead data members in a MiniC++ program." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ file_arg $ callgraph_alg $ conservative_flag
-          $ library_classes_opt $ verbose)
+          $ library_classes_opt $ verbose $ keep_going_flag)
+
+(* -- check -------------------------------------------------------------------- *)
+
+(* Batch diagnosis: each translation unit is processed in isolation, so a
+   crash-grade failure in one file cannot mask results for the others. *)
+let check_cmd =
+  let check_one ~format file =
+    let json = format = `Json in
+    match read_source file with
+    | exception Sys_error m ->
+        if json then
+          Fmt.pr {|{"file":"%s","ok":false,"io_error":"%s"}@.|}
+            (Frontend.Source.json_escape file)
+            (Frontend.Source.json_escape m)
+        else Fmt.epr "%s: error: %s@." file m;
+        `Io
+    | src ->
+        let diags = Frontend.Source.Diagnostics.create () in
+        let unknown =
+          (* a failure here is a bug in the pipeline, not in the input;
+             report it as this file's result and keep the batch going *)
+          match Sema.Type_check.check_source_resilient ~file ~diags src with
+          | _, unknown -> unknown
+          | exception e ->
+              Frontend.Source.Diagnostics.error diags "internal error: %s"
+                (Printexc.to_string e);
+              []
+        in
+        let module D = Frontend.Source.Diagnostics in
+        if json then
+          Fmt.pr
+            {|{"file":"%s","ok":%b,"errors":%d,"suppressed":%d,"unknown_regions":%d,"diagnostics":[%s]}@.|}
+            (Frontend.Source.json_escape file)
+            (not (D.has_errors diags))
+            (D.error_count diags) (D.suppressed_count diags)
+            (List.length unknown)
+            (String.concat ","
+               (List.map Frontend.Source.diagnostic_to_json (D.to_list diags)))
+        else if D.has_errors diags then begin
+          Fmt.pr "%a" D.pp diags;
+          Fmt.pr "%s: %d error(s)@." file (D.error_count diags)
+        end
+        else Fmt.pr "%s: ok@." file;
+        if D.has_errors diags then `Diagnostics else `Ok
+  in
+  let run files format =
+    handle_errors (fun () ->
+        let results = List.map (check_one ~format) files in
+        if List.mem `Io results then exit_usage
+        else if List.mem `Diagnostics results then exit_diagnostics
+        else exit_ok)
+    |> exit
+  in
+  let files_arg =
+    let doc = "MiniC++ source files to diagnose." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: 'text' (default) or 'json' (one object per file)." in
+    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let doc =
+    "Diagnose MiniC++ translation units in batch. Every file is parsed \
+     and type-checked with full error recovery; failures are isolated \
+     per file. Exit 0 when all files are clean, 1 when any file has \
+     errors, 2 when any file cannot be read."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ files_arg $ format_arg)
 
 (* -- run ---------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file profile step_limit =
+  let run file profile step_limit call_depth_limit heap_object_limit =
     handle_errors (fun () ->
         let prog = load file in
         let dead =
@@ -105,7 +229,10 @@ let run_cmd =
               (Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog)
           else Sema.Member.Set.empty
         in
-        let outcome = Runtime.Interp.run ~dead ~step_limit prog in
+        let outcome =
+          Runtime.Interp.run ~dead ~step_limit ~call_depth_limit
+            ~heap_object_limit prog
+        in
         print_string outcome.Runtime.Interp.output;
         Fmt.pr "@.-- exit %d after %d steps --@." outcome.Runtime.Interp.return_value
           outcome.Runtime.Interp.steps;
@@ -122,8 +249,20 @@ let run_cmd =
     Arg.(value & opt int Runtime.Interp.default_step_limit
          & info [ "step-limit" ] ~docv:"N" ~doc:"Interpreter step budget.")
   in
+  let call_depth_limit =
+    Arg.(value & opt int Runtime.Interp.default_call_depth_limit
+         & info [ "call-depth-limit" ] ~docv:"N"
+             ~doc:"Maximum interpreter call depth (exit 3 when exceeded).")
+  in
+  let heap_object_limit =
+    Arg.(value & opt int Runtime.Interp.default_heap_object_limit
+         & info [ "object-limit" ] ~docv:"N"
+             ~doc:"Maximum number of objects created (exit 3 when exceeded).")
+  in
   let doc = "Execute a MiniC++ program under the instrumented interpreter." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ file_arg $ profile $ step_limit)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ file_arg $ profile $ step_limit $ call_depth_limit
+          $ heap_object_limit)
 
 (* -- callgraph ---------------------------------------------------------------- *)
 
@@ -148,10 +287,7 @@ let callgraph_cmd =
 let strip_cmd =
   let run file alg conservative library_classes =
     handle_errors (fun () ->
-        let src =
-          if file = "-" then In_channel.input_all In_channel.stdin
-          else read_file file
-        in
+        let src = read_source file in
         let config = config_of ~alg ~conservative ~library_classes in
         let text, removed =
           Deadmem.Eliminate.strip_to_source ~config ~source:src ~file ()
@@ -209,7 +345,12 @@ let bench_cmd =
 let () =
   let doc = "dead data member detection for MiniC++ (Sweeney & Tip, PLDI'98)" in
   let info = Cmd.info "deadmem" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ analyze_cmd; run_cmd; callgraph_cmd; strip_cmd; bench_cmd ]))
+  let code =
+    Cmd.eval' ~term_err:exit_usage
+      (Cmd.group info
+         [ analyze_cmd; check_cmd; run_cmd; callgraph_cmd; strip_cmd; bench_cmd ])
+  in
+  (* cmdliner reports some CLI parse errors (e.g. a bad enum value) with its
+     own cli_error code rather than term_err; fold those into the usage code
+     so the 0/1/2/3 contract holds for every malformed invocation. *)
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -1,1 +1,1 @@
-lib/cpp_frontend/ast.ml: List Printf Source String
+lib/cpp_frontend/ast.ml: Hashtbl List Option Printf Source String

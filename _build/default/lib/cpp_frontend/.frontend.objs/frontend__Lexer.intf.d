@@ -1,1 +1,1 @@
-lib/cpp_frontend/lexer.mli: Token
+lib/cpp_frontend/lexer.mli: Source Token

@@ -1,1 +1,1 @@
-lib/cpp_frontend/parser.ml: Array Ast Fmt Lexer List Printf Set Source String Token
+lib/cpp_frontend/parser.ml: Array Ast Fmt Hashtbl Lexer List Printf Set Source String Token

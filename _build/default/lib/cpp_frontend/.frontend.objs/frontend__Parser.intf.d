@@ -1,1 +1,1 @@
-lib/cpp_frontend/parser.mli: Ast Token
+lib/cpp_frontend/parser.mli: Ast Source Token

@@ -1,1 +1,1 @@
-lib/cpp_frontend/source.ml: Fmt
+lib/cpp_frontend/source.ml: Buffer Char Fmt Hashtbl List Option Printf String

@@ -384,6 +384,25 @@ let tokenize ~file src : Token.spanned list =
   in
   go []
 
+(* Keep-going lexing: a malformed token becomes a diagnostic in [diags],
+   the offending character is skipped, and lexing continues — so one bad
+   byte no longer hides every later error. *)
+let tokenize_resilient ~diags ~file src : Token.spanned list =
+  let st = make ~file src in
+  let rec go acc =
+    match next_token st with
+    | t -> (
+        match t.Token.tok with
+        | Token.EOF -> List.rev (t :: acc)
+        | _ -> go (t :: acc))
+    | exception Source.Compile_error d ->
+        Source.Diagnostics.emit diags d;
+        (* guarantee progress past the offending input *)
+        if peek st <> None then advance st;
+        go acc
+  in
+  go []
+
 (* Number of non-blank, non-comment-only source lines: used for the LOC
    column of Table 1. *)
 let count_code_lines src =

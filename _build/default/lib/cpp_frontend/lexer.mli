@@ -11,6 +11,12 @@
     @raise Source.Compile_error on malformed input. *)
 val tokenize : file:string -> string -> Token.spanned list
 
+(** Keep-going variant: malformed tokens become diagnostics in [diags],
+    the offending character is skipped, and lexing continues. Never
+    raises on user input. *)
+val tokenize_resilient :
+  diags:Source.Diagnostics.t -> file:string -> string -> Token.spanned list
+
 (** Number of non-blank, non-comment-only source lines; used for the
     LOC column of the paper's Table 1. *)
 val count_code_lines : string -> int

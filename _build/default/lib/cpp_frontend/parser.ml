@@ -1281,10 +1281,120 @@ let parse_tokens tokens : Ast.program =
     if Token.equal (cur_tok st) Token.EOF then List.rev acc
     else go (List.rev_append (parse_top st) acc)
   in
-  go []
+  try go []
+  with Stack_overflow ->
+    (* adversarial nesting depth: degrade to a diagnostic instead of a
+       native crash *)
+    Source.error ~at:(cur_span st) "declaration nesting is too deep to parse"
 
 (* Parse a complete MiniC++ translation unit. *)
 let parse ~file src : Ast.program = parse_tokens (Lexer.tokenize ~file src)
 
 (* Parse a string, for tests and examples. *)
 let parse_string ?(file = "<string>") src : Ast.program = parse ~file src
+
+(* -- keep-going parsing with synchronization-point recovery ----------------
+
+   After a syntax error the parser skips forward to a likely declaration
+   boundary — a ';' or a closing '}' (followed by an optional ';') at
+   brace depth 0, a top-level class/struct/union/enum keyword at depth 0,
+   or EOF — and resumes, so one bad declaration no longer hides every
+   later diagnostic. The skipped tokens become an {!Source.unknown_region}
+   whose identifier set feeds the analysis's conservative degradation. *)
+
+let synchronize_top st =
+  let depth = ref 0 in
+  let stop = ref false in
+  let consume () =
+    match cur_tok st with
+    | Token.LBRACE ->
+        incr depth;
+        advance st
+    | Token.RBRACE ->
+        if !depth > 0 then decr depth;
+        advance st;
+        if !depth = 0 then begin
+          ignore (accept st Token.SEMI);
+          stop := true
+        end
+    | Token.SEMI ->
+        advance st;
+        if !depth = 0 then stop := true
+    | Token.EOF -> stop := true
+    | _ -> advance st
+  in
+  (* always make progress, even when the error landed on a sync token *)
+  consume ();
+  while not !stop do
+    match cur_tok st with
+    | Token.EOF -> stop := true
+    | (Token.KW_CLASS | Token.KW_STRUCT | Token.KW_UNION | Token.KW_ENUM)
+      when !depth = 0 ->
+        stop := true
+    | _ -> consume ()
+  done
+
+(* Identifiers mentioned in tokens [from, until): the conservative
+   reference set of a skipped region. *)
+let idents_between st ~from ~until =
+  let seen = Hashtbl.create 8 in
+  let names = ref [] in
+  for i = from to min until (Array.length st.tokens) - 1 do
+    match st.tokens.(i).Token.tok with
+    | Token.IDENT n ->
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.add seen n ();
+          names := n :: !names
+        end
+    | _ -> ()
+  done;
+  List.rev !names
+
+let span_between st ~from ~until =
+  let last = max from (min until (Array.length st.tokens - 1) - 1) in
+  Source.join st.tokens.(from).Token.span st.tokens.(last).Token.span
+
+let parse_tokens_resilient ~diags tokens :
+    Ast.program * Source.unknown_region list =
+  let tokens = Array.of_list tokens in
+  let st = { tokens; idx = 0; type_names = prescan_type_names tokens } in
+  let regions = ref [] in
+  let rec go acc =
+    if Token.equal (cur_tok st) Token.EOF then List.rev acc
+    else begin
+      let start = st.idx in
+      match parse_top st with
+      | decls -> go (List.rev_append decls acc)
+      | exception Source.Compile_error d ->
+          Source.Diagnostics.emit diags d;
+          synchronize_top st;
+          regions :=
+            {
+              Source.ur_at = span_between st ~from:start ~until:st.idx;
+              ur_what = "unparsed declaration";
+              ur_refs = idents_between st ~from:start ~until:st.idx;
+            }
+            :: !regions;
+          go acc
+      | exception Stack_overflow ->
+          Source.Diagnostics.error diags ~at:(cur_span st)
+            "declaration nesting is too deep to parse";
+          synchronize_top st;
+          regions :=
+            {
+              Source.ur_at = span_between st ~from:start ~until:st.idx;
+              ur_what = "over-deep declaration";
+              ur_refs = idents_between st ~from:start ~until:st.idx;
+            }
+            :: !regions;
+          go acc
+    end
+  in
+  let prog = go [] in
+  (prog, List.rev !regions)
+
+(* Keep-going entry point: lexes resiliently, recovers at declaration
+   boundaries, and reports every syntax error through [diags]. *)
+let parse_resilient ~diags ~file src :
+    Ast.program * Source.unknown_region list =
+  parse_tokens_resilient ~diags (Lexer.tokenize_resilient ~diags ~file src)

@@ -70,3 +70,133 @@ let error ?(at = dummy_span) fmt =
     (fun message ->
       raise (Compile_error { severity = Error; message; at }))
     fmt
+
+(* JSON rendering of a diagnostic, for machine consumers of the CLI.
+   Schema (documented in the README):
+     {"file", "severity", "line", "col", "end_line", "end_col", "message"} *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let diagnostic_to_json d =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"severity\":\"%s\",\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d,\"message\":\"%s\"}"
+    (json_escape d.at.file)
+    (severity_to_string d.severity)
+    d.at.start_pos.line d.at.start_pos.col d.at.end_pos.line d.at.end_pos.col
+    (json_escape d.message)
+
+(* Unknown regions -------------------------------------------------------
+
+   A region of the input that failed to parse or type-check when the
+   pipeline runs in keep-going mode. The analysis treats such a region the
+   way the paper treats an unsafe cast: every member of every class the
+   region mentions is conservatively marked live, so the report stays
+   sound on partially-broken input. *)
+
+type unknown_region = {
+  ur_at : span;  (* what the recovery skipped or abandoned *)
+  ur_what : string;  (* short human description, e.g. "unparsed declaration" *)
+  ur_refs : string list;  (* identifiers mentioned inside the region *)
+}
+
+let pp_unknown_region ppf r =
+  Fmt.pf ppf "%a: unknown region (%s), mentions [%s]" pp_span r.ur_at r.ur_what
+    (String.concat ", " r.ur_refs)
+
+(* Accumulating diagnostics ----------------------------------------------
+
+   The raise-first [Compile_error] model above serves strict mode (the
+   default); keep-going mode threads a [Diagnostics.t] collector through
+   the pipeline instead, so one bad declaration no longer hides every
+   other diagnostic. Errors are capped per file to keep adversarial
+   inputs from flooding the output; the cap suppresses *messages*, never
+   recovery itself. *)
+
+module Diagnostics = struct
+  type collector = {
+    mutable items : diagnostic list;  (* newest first *)
+    mutable errors : int;
+    mutable suppressed : int;
+    max_errors_per_file : int;
+    per_file : (string, int) Hashtbl.t;
+  }
+
+  type t = collector
+
+  let default_max_errors_per_file = 20
+
+  let create ?(max_errors_per_file = default_max_errors_per_file) () =
+    {
+      items = [];
+      errors = 0;
+      suppressed = 0;
+      max_errors_per_file = max 1 max_errors_per_file;
+      per_file = Hashtbl.create 4;
+    }
+
+  let emit t (d : diagnostic) =
+    match d.severity with
+    | Error ->
+        let n =
+          Option.value ~default:0 (Hashtbl.find_opt t.per_file d.at.file)
+        in
+        t.errors <- t.errors + 1;
+        if n >= t.max_errors_per_file then t.suppressed <- t.suppressed + 1
+        else begin
+          Hashtbl.replace t.per_file d.at.file (n + 1);
+          t.items <- d :: t.items
+        end
+    | Warning | Note -> t.items <- d :: t.items
+
+  let error t ?(at = dummy_span) fmt =
+    Fmt.kstr (fun message -> emit t { severity = Error; message; at }) fmt
+
+  let warning t ?(at = dummy_span) fmt =
+    Fmt.kstr (fun message -> emit t { severity = Warning; message; at }) fmt
+
+  let note t ?(at = dummy_span) fmt =
+    Fmt.kstr (fun message -> emit t { severity = Note; message; at }) fmt
+
+  let error_count t = t.errors
+  let suppressed_count t = t.suppressed
+  let has_errors t = t.errors > 0
+
+  let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2
+
+  (* Diagnostics sorted by (file, position, severity); the sort is stable,
+     so diagnostics at the same location keep emission order. *)
+  let to_list t =
+    List.stable_sort
+      (fun a b ->
+        match String.compare a.at.file b.at.file with
+        | 0 -> (
+            match compare a.at.start_pos.offset b.at.start_pos.offset with
+            | 0 -> compare (severity_rank a.severity) (severity_rank b.severity)
+            | c -> c)
+        | c -> c)
+      (List.rev t.items)
+
+  let pp ppf t =
+    List.iter (fun d -> Fmt.pf ppf "%a@." pp_diagnostic d) (to_list t);
+    if t.suppressed > 0 then
+      Fmt.pf ppf "... and %d more error(s) suppressed (per-file cap %d)@."
+        t.suppressed t.max_errors_per_file
+end

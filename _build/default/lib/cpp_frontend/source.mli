@@ -44,3 +44,61 @@ exception Compile_error of diagnostic
 (** [error ~at fmt ...] raises {!Compile_error} with a formatted message
     anchored at [at]. *)
 val error : ?at:span -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val severity_to_string : severity -> string
+
+(** JSON string escaping (quotes, backslashes, control characters). *)
+val json_escape : string -> string
+
+(** One diagnostic as a JSON object:
+    [{"file","severity","line","col","end_line","end_col","message"}]. *)
+val diagnostic_to_json : diagnostic -> string
+
+(** {1 Unknown regions}
+
+    A region of input that failed to parse or type-check under
+    keep-going recovery. The analysis treats it like the paper treats an
+    unsafe cast: every member of every class the region mentions is
+    conservatively marked live. *)
+
+type unknown_region = {
+  ur_at : span;
+  ur_what : string;  (** short description, e.g. ["unparsed declaration"] *)
+  ur_refs : string list;  (** identifiers mentioned inside the region *)
+}
+
+val pp_unknown_region : Format.formatter -> unknown_region -> unit
+
+(** {1 Accumulating diagnostics}
+
+    Strict mode raises {!Compile_error} at the first error; keep-going
+    mode threads a collector through the pipeline instead. Errors are
+    capped per file (messages are suppressed beyond the cap; recovery
+    continues regardless). *)
+
+module Diagnostics : sig
+  type t
+
+  val default_max_errors_per_file : int
+  val create : ?max_errors_per_file:int -> unit -> t
+
+  (** Record a diagnostic (error messages beyond the per-file cap are
+      counted but not stored). *)
+  val emit : t -> diagnostic -> unit
+
+  val error : t -> ?at:span -> ('a, Format.formatter, unit, unit) format4 -> 'a
+  val warning : t -> ?at:span -> ('a, Format.formatter, unit, unit) format4 -> 'a
+  val note : t -> ?at:span -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+  (** Total errors recorded, including suppressed ones. *)
+  val error_count : t -> int
+
+  val suppressed_count : t -> int
+  val has_errors : t -> bool
+
+  (** Stable output order: sorted by (file, position, severity);
+      same-location diagnostics keep emission order. *)
+  val to_list : t -> diagnostic list
+
+  val pp : Format.formatter -> t -> unit
+end

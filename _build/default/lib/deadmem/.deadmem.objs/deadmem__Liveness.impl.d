@@ -1,1 +1,1 @@
-lib/deadmem/liveness.ml: Ast Callgraph Class_table Config Fmt Frontend FuncSet Hashtbl List Member Option Sema Set String
+lib/deadmem/liveness.ml: Ast Callgraph Class_table Config Fmt Frontend FuncMap FuncSet Func_id Hashtbl List Member Option Sema Set Source String

@@ -1,1 +1,1 @@
-lib/deadmem/liveness.mli: Callgraph Class_table Config Format Member Sema Typed_ast
+lib/deadmem/liveness.mli: Callgraph Class_table Config Format Frontend Member Sema Typed_ast

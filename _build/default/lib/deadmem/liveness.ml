@@ -29,6 +29,9 @@ type result = {
   (* every instance data member of a non-library class, with its field
      record, in declaration order *)
   members : (Member.t * Class_table.field) list;
+  (* regions that failed to parse/check under keep-going recovery and
+     were folded into the result conservatively; empty in strict mode *)
+  unknown : Source.unknown_region list;
 }
 
 (* -- marking ----------------------------------------------------------------- *)
@@ -230,12 +233,42 @@ let walk_func st (fn : tfunc) =
 
 (* -- the algorithm (Fig. 2, DetectUnusedDataMembers) -------------------------- *)
 
-let analyze ?(config = Config.default) (p : program) : result =
+(* Conservative degradation for keep-going mode: a region of input that
+   failed to parse or type-check is treated exactly like the paper treats
+   an unsafe cast. Every name the region mentions is matched against the
+   program; referenced classes get [MarkAllContainedMembers], and every
+   function or method the region could possibly have called becomes an
+   extra call-graph root, so nothing reachable only from broken code is
+   reported dead. *)
+let unknown_region_roots (p : program) (regions : Source.unknown_region list) :
+    Func_id.t list =
+  let referenced name =
+    List.exists
+      (fun (r : Source.unknown_region) -> List.mem name r.Source.ur_refs)
+      regions
+  in
+  if regions = [] then []
+  else
+    FuncMap.fold
+      (fun id _ acc ->
+        let root =
+          match id with
+          | Func_id.FFree name -> referenced name
+          | Func_id.FMethod (cls, m) -> referenced cls || referenced m
+          | Func_id.FCtor (cls, _) | Func_id.FDtor cls -> referenced cls
+        in
+        if root then id :: acc else acc)
+      p.funcs []
+
+let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
   (* line 5: construct the call graph *)
+  let extra_roots =
+    config.Config.extra_roots @ unknown_region_roots p unknown
+  in
   let cg =
     Callgraph.build ~algorithm:config.Config.call_graph
       ~library_classes:config.Config.library_classes
-      ~extra_roots:config.Config.extra_roots p
+      ~extra_roots p
   in
   let st =
     {
@@ -245,6 +278,15 @@ let analyze ?(config = Config.default) (p : program) : result =
       visited = Hashtbl.create 32;  (* line 4: all classes not visited *)
     }
   in
+  (* keep-going degradation: every class an unknown region mentions gets
+     the MarkAllContainedMembers treatment of an unsafe cast *)
+  List.iter
+    (fun (r : Source.unknown_region) ->
+      List.iter
+        (fun name ->
+          if Class_table.mem p.table name then mark_all_contained st name)
+        r.Source.ur_refs)
+    unknown;
   (* lines 6-8: process every statement of every reachable function *)
   FuncSet.iter
     (fun id ->
@@ -297,7 +339,7 @@ let analyze ?(config = Config.default) (p : program) : result =
             (Class_table.instance_fields c))
       (Class_table.all_classes p.table)
   in
-  { config; callgraph = cg; live = st.live_set; members }
+  { config; callgraph = cg; live = st.live_set; members; unknown }
 
 (* -- queries ------------------------------------------------------------------ *)
 

@@ -27,11 +27,26 @@ type result = {
   members : (Member.t * Class_table.field) list;
       (** every instance data member of every non-library class, in
           declaration order, regardless of classification *)
+  unknown : Frontend.Source.unknown_region list;
+      (** regions that failed to parse/check under keep-going recovery
+          and were folded into the result conservatively; empty in
+          strict mode *)
 }
 
 (** Run the analysis. [config] defaults to the fully conservative
-    {!Config.default}; the paper's evaluation used {!Config.paper}. *)
-val analyze : ?config:Config.t -> Typed_ast.program -> result
+    {!Config.default}; the paper's evaluation used {!Config.paper}.
+
+    [unknown] (keep-going mode) lists the regions of input that failed to
+    parse or type-check: the analysis treats each like an unsafe cast —
+    every member of every class the region mentions is marked live, and
+    every function the region could have called becomes an extra
+    call-graph root — so the DEAD verdicts stay sound on partially-broken
+    input. *)
+val analyze :
+  ?config:Config.t ->
+  ?unknown:Frontend.Source.unknown_region list ->
+  Typed_ast.program ->
+  result
 
 val is_live : result -> Member.t -> bool
 val is_dead : result -> Member.t -> bool

@@ -22,15 +22,18 @@ module MemberSet = Sema.Member.Set
 
 let ptr_size = 8
 
+(* Size of a non-aggregate type. Total: class and array types, whose size
+   depends on the class table, yield [None] (use [type_size] for those)
+   instead of an exception that a malformed input could reach. *)
 let scalar_size = function
-  | Ast.TVoid -> 0
-  | Ast.TBool | Ast.TChar -> 1
-  | Ast.TInt -> 4
-  | Ast.TLong -> 8
-  | Ast.TFloat -> 4
-  | Ast.TDouble -> 8
-  | Ast.TPtr _ | Ast.TRef _ | Ast.TFun _ | Ast.TMemPtrTy _ -> ptr_size
-  | Ast.TNamed _ | Ast.TArr _ -> invalid_arg "scalar_size"
+  | Ast.TVoid -> Some 0
+  | Ast.TBool | Ast.TChar -> Some 1
+  | Ast.TInt -> Some 4
+  | Ast.TLong -> Some 8
+  | Ast.TFloat -> Some 4
+  | Ast.TDouble -> Some 8
+  | Ast.TPtr _ | Ast.TRef _ | Ast.TFun _ | Ast.TMemPtrTy _ -> Some ptr_size
+  | Ast.TNamed _ | Ast.TArr _ -> None
 
 let align_to n a = if a = 0 then n else (n + a - 1) / a * a
 
@@ -56,14 +59,16 @@ let rec type_size t ty =
   | Ast.TNamed cls -> (layout_of t cls).cl_size
   | Ast.TArr (elem, n) -> n * align_to (type_size t elem) (type_align t elem)
   | Ast.TRef _ -> ptr_size
-  | ty -> scalar_size ty
+  | ty -> Option.value ~default:0 (scalar_size ty) (* scalar: always Some *)
 
 and type_align t ty =
   match ty with
   | Ast.TNamed cls -> (layout_of t cls).cl_align
   | Ast.TArr (elem, _) -> type_align t elem
   | Ast.TVoid -> 1
-  | ty -> max 1 (min (scalar_size ty) 8)
+  | ty ->
+      max 1 (min (Option.value ~default:ptr_size (scalar_size ty)) 8)
+      (* scalar: always Some *)
 
 (* Layout of class [cls]; memoized.  [cl_nv_size] excludes virtual base
    subobjects (they are shared at the complete-object level); [cl_size]

@@ -17,6 +17,11 @@ module MemberSet = Sema.Member.Set
 
 val ptr_size : int
 
+(** Size of a scalar (non-class, non-array) type. Total: [None] for class
+    and array types, whose size depends on the class table — use
+    {!type_size} or {!size_of_type} for those. *)
+val scalar_size : Frontend.Ast.type_expr -> int option
+
 (** Per-class layout summary. *)
 type class_layout = {
   cl_name : string;

@@ -47,17 +47,22 @@ type env = {
   mutable steps : int;
   step_limit : int;
   mutable call_depth : int;
+  call_depth_limit : int;
+  heap_object_limit : int;
 }
 
 let fresh_obj_id env =
   let id = env.obj_counter in
+  if id >= env.heap_object_limit then
+    limit_exceeded "object limit exceeded (%d): possible runaway allocation"
+      env.heap_object_limit;
   env.obj_counter <- id + 1;
   id
 
 let tick env =
   env.steps <- env.steps + 1;
   if env.steps > env.step_limit then
-    runtime_error "step limit exceeded (%d): possible non-termination"
+    limit_exceeded "step limit exceeded (%d): possible non-termination"
       env.step_limit
 
 (* -- frames and scopes --------------------------------------------------------- *)
@@ -542,7 +547,9 @@ and eval_builtin env frame b args =
 
 and call_function env id ~this argv : value =
   env.call_depth <- env.call_depth + 1;
-  if env.call_depth > 10_000 then runtime_error "call stack overflow";
+  if env.call_depth > env.call_depth_limit then
+    limit_exceeded "call depth limit exceeded (%d): possible runaway recursion"
+      env.call_depth_limit;
   tick env;
   Fun.protect
     ~finally:(fun () -> env.call_depth <- env.call_depth - 1)
@@ -885,9 +892,12 @@ type outcome = {
 }
 
 let default_step_limit = 200_000_000
+let default_call_depth_limit = 10_000
+let default_heap_object_limit = 10_000_000
 
 let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
-    (p : program) : outcome =
+    ?(call_depth_limit = default_call_depth_limit)
+    ?(heap_object_limit = default_heap_object_limit) (p : program) : outcome =
   let env =
     {
       prog = p;
@@ -900,27 +910,47 @@ let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
       steps = 0;
       step_limit;
       call_depth = 0;
+      call_depth_limit = max 1 call_depth_limit;
+      heap_object_limit = max 1 heap_object_limit;
     }
   in
   (* globals, in declaration order *)
   let init_frame = { scopes = []; this = None } in
   push_scope init_frame;
-  List.iter
-    (fun g ->
-      let v =
-        match g.g_init with
-        | Some e -> coerce (Ctype.decay g.g_type) (eval env init_frame e)
-        | None -> default_value g.g_type
-      in
-      Hashtbl.replace env.globals g.g_name (ref v))
-    p.globals;
   let ret =
-    try call_function env main_id ~this:None []
-    with Abort_called -> VInt 134
+    (* native resource exhaustion (a Stack_overflow the depth guard did
+       not preempt, or the allocator running dry) becomes a structured
+       limit error, never an uncaught native exception *)
+    try
+      List.iter
+        (fun g ->
+          let v =
+            match g.g_init with
+            | Some e -> coerce (Ctype.decay g.g_type) (eval env init_frame e)
+            | None -> default_value g.g_type
+          in
+          Hashtbl.replace env.globals g.g_name (ref v))
+        p.globals;
+      try call_function env main_id ~this:None []
+      with Abort_called -> VInt 134
+    with
+    | Stack_overflow ->
+        limit_exceeded "interpreter stack exhausted (call depth limit %d)"
+          env.call_depth_limit
+    | Out_of_memory ->
+        limit_exceeded "interpreter heap exhausted (object limit %d)"
+          env.heap_object_limit
+  in
+  let limits =
+    {
+      Profile.l_step_limit = env.step_limit;
+      l_call_depth_limit = env.call_depth_limit;
+      l_heap_object_limit = env.heap_object_limit;
+    }
   in
   {
     return_value = (match ret with VInt n -> n | _ -> 0);
     output = Buffer.contents env.output;
-    snapshot = Profile.snapshot env.profile;
+    snapshot = Profile.snapshot ~limits env.profile;
     steps = env.steps;
   }

@@ -22,12 +22,27 @@ type outcome = {
 }
 
 val default_step_limit : int
+val default_call_depth_limit : int
+val default_heap_object_limit : int
 
 (** Run a program. [dead] only affects the measurement columns of the
     snapshot (dead-member space, reduced high-water mark) — execution is
     identical regardless.
 
+    The three limits guard against runaway programs: steps executed,
+    interpreter call depth, and objects created. Each violation — and any
+    native [Stack_overflow]/[Out_of_memory] escaping the evaluator — is
+    reported as {!Value.Limit_exceeded} (the CLI maps it to exit code 3),
+    never as an uncaught native exception. The limits in force are echoed
+    in the outcome's profile {!Profile.snapshot.limits}.
+
     @raise Value.Runtime_error on dynamic errors (null dereference,
-    division by zero, out-of-bounds access, step-limit exhaustion…). *)
+    division by zero, out-of-bounds access…).
+    @raise Value.Limit_exceeded when a resource limit is hit. *)
 val run :
-  ?dead:Member.Set.t -> ?step_limit:int -> Typed_ast.program -> outcome
+  ?dead:Member.Set.t ->
+  ?step_limit:int ->
+  ?call_depth_limit:int ->
+  ?heap_object_limit:int ->
+  Typed_ast.program ->
+  outcome

@@ -34,6 +34,14 @@ val record_scalar_alloc : t -> bytes:int -> int
 
 (** {1 Final measurements} *)
 
+(** The resource guards a run executed under; carried in the snapshot so
+    measurement reports state the conditions they were taken under. *)
+type limits = {
+  l_step_limit : int;
+  l_call_depth_limit : int;
+  l_heap_object_limit : int;
+}
+
 type snapshot = {
   object_space : int;  (** Table 2: space of all objects ever created *)
   dead_space : int;  (** Table 2: dead-member bytes inside them *)
@@ -42,9 +50,12 @@ type snapshot = {
   num_objects : int;
   scalar_bytes : int;  (** non-class heap data, reported separately *)
   leaked_objects : int;  (** allocations never freed (live at exit) *)
+  limits : limits option;
+      (** the guards in force during the run, when the caller supplied
+          them *)
 }
 
-val snapshot : t -> snapshot
+val snapshot : ?limits:limits -> t -> snapshot
 
 (** Figure 4, light bar: dead bytes as % of object space. *)
 val dead_space_pct : snapshot -> float

@@ -39,7 +39,14 @@ and harray = {
 
 exception Runtime_error of string
 
+(* A configured resource limit (steps, call depth, object count) was hit,
+   or a native resource exception (Stack_overflow, Out_of_memory) was
+   intercepted. Kept distinct from [Runtime_error] so the CLI can map it
+   to its own exit code (3) in the documented contract. *)
+exception Limit_exceeded of string
+
 let runtime_error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+let limit_exceeded fmt = Fmt.kstr (fun m -> raise (Limit_exceeded m)) fmt
 
 (* Truthiness for conditions. *)
 let truthy = function

@@ -1,1 +1,1 @@
-lib/sema/type_check.ml: Ast Class_table Ctype Frontend FuncMap Func_id List Map Member_lookup Option Printf Source String Typed_ast
+lib/sema/type_check.ml: Ast Class_table Ctype Fmt Frontend FuncMap Func_id List Map Member_lookup Option Printf Source String Typed_ast

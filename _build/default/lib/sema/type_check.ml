@@ -32,6 +32,39 @@ type env = {
 
 let err = Source.error
 
+(* -- keep-going recovery --------------------------------------------------
+
+   Strict mode (the default) raises [Compile_error] at the first error.
+   Keep-going mode threads a [recovery] record through [check_program]:
+   each declaration-sized unit of work runs under [guard], which converts
+   an escaping [Compile_error] (or a [Stack_overflow] from adversarial
+   nesting) into a recorded diagnostic plus an [unknown_region] naming
+   everything the broken declaration mentions, then moves on. *)
+
+type recovery = {
+  rc_diags : Source.Diagnostics.t;
+  mutable rc_regions : Source.unknown_region list;  (* newest first *)
+}
+
+let record_region rc ~what ~loc ~refs =
+  rc.rc_regions <-
+    { Source.ur_at = loc; ur_what = what; ur_refs = refs () } :: rc.rc_regions
+
+let guard ?(fallback = fun () -> ()) recover ~what ~loc ~refs f =
+  match recover with
+  | None -> f ()
+  | Some rc -> (
+      try f () with
+      | Source.Compile_error d ->
+          Source.Diagnostics.emit rc.rc_diags d;
+          record_region rc ~what ~loc ~refs;
+          (try fallback () with Source.Compile_error _ -> ())
+      | Stack_overflow ->
+          Source.Diagnostics.error rc.rc_diags ~at:loc
+            "%s is nested too deeply to check" what;
+          record_region rc ~what ~loc ~refs;
+          (try fallback () with Source.Compile_error _ -> ()))
+
 (* -- scope handling ------------------------------------------------------- *)
 
 let push_scope env = env.scopes <- StringMap.empty :: env.scopes
@@ -971,15 +1004,54 @@ let resolve_ctor_inits env ~loc (c : Class_table.cls)
     explicit;
   (resolved, List.rev !field_inits)
 
-let check_program (prog : Ast.program) : program =
-  let table = Class_table.of_program prog in
+let check_program_gen recover (prog : Ast.program) : program =
+  (* In keep-going mode a class-table error (duplicate class, unknown
+     base, bad out-of-line definition, ...) drops the offending
+     declaration and retries, so one bad class does not take down the
+     whole translation unit. *)
+  let rec build_table prog attempts =
+    match Class_table.of_program prog with
+    | table -> (table, prog)
+    | exception Source.Compile_error d -> (
+        match recover with
+        | None -> raise (Source.Compile_error d)
+        | Some rc ->
+            Source.Diagnostics.emit rc.rc_diags d;
+            let at = d.Source.at in
+            let offender decl =
+              let l = Ast.top_decl_loc decl in
+              String.equal l.Source.file at.Source.file
+              && l.Source.start_pos.offset <= at.Source.start_pos.offset
+              && at.Source.start_pos.offset <= l.Source.end_pos.offset
+            in
+            let dropped, kept =
+              if attempts > 0 && List.exists offender prog then
+                List.partition offender prog
+              else
+                (* cannot locate the offender: drop every class-like
+                   declaration and fall back to a class-free program *)
+                List.partition
+                  (function
+                    | Ast.TClass _ | Ast.TMethodDef _ -> true
+                    | Ast.TFunc _ | Ast.TGlobal _ | Ast.TEnum _ -> false)
+                  prog
+            in
+            List.iter
+              (fun decl ->
+                record_region rc ~what:"declaration with class-table error"
+                  ~loc:(Ast.top_decl_loc decl)
+                  ~refs:(fun () -> Ast.decl_refs decl))
+              dropped;
+            if dropped = [] then (Class_table.of_program [], kept)
+            else build_table kept (attempts - 1))
+  in
+  let table, prog = build_table prog (List.length prog) in
   (* collect globals, enums, free-function signatures *)
   let globals = ref StringMap.empty and global_order = ref [] in
   let enums = ref StringMap.empty in
   let free_sigs = ref StringMap.empty in
   let free_bodies = ref StringMap.empty in
-  List.iter
-    (function
+  let collect_decl = function
       | Ast.TGlobal d ->
           if StringMap.mem d.v_name !globals then
             err ~at:d.v_loc "duplicate global '%s'" d.v_name;
@@ -1001,7 +1073,14 @@ let check_program (prog : Ast.program) : program =
               free_sigs := StringMap.add f.fn_name (f.fn_ret, f.fn_params) !free_sigs);
           if f.fn_body <> None then
             free_bodies := StringMap.add f.fn_name f !free_bodies
-      | Ast.TClass _ | Ast.TMethodDef _ -> ())
+      | Ast.TClass _ | Ast.TMethodDef _ -> ()
+  in
+  List.iter
+    (fun decl ->
+      guard recover ~what:"declaration"
+        ~loc:(Ast.top_decl_loc decl)
+        ~refs:(fun () -> Ast.decl_refs decl)
+        (fun () -> collect_decl decl))
     prog;
   let env =
     {
@@ -1029,14 +1108,7 @@ let check_program (prog : Ast.program) : program =
         | Some f -> (f.fn_loc, f.fn_body)
         | None -> (Source.dummy_span, None)
       in
-      check_type_exists env ~loc ret;
-      if is_class_type env ret then
-        err ~at:loc "returning class objects by value is not supported in MiniC++";
-      let tbody, _, _ =
-        check_function_common env ~loc ~this_class:None ~ret ~params ~body
-          ~base_inits:[] ~field_inits:[]
-      in
-      add_func (Func_id.FFree name)
+      let mk_func tbody =
         {
           tf_id = Func_id.FFree name;
           tf_ret = ret;
@@ -1047,13 +1119,86 @@ let check_program (prog : Ast.program) : program =
           tf_field_inits = [];
           tf_body = tbody;
           tf_loc = loc;
-        })
+        }
+      in
+      guard recover
+        ~what:(Fmt.str "function '%s'" name)
+        ~loc
+        ~refs:(fun () ->
+          Ast.collect_refs (fun add ->
+              Ast.add_type_refs add ret;
+              List.iter
+                (fun (p : Ast.param) -> Ast.add_type_refs add p.p_type)
+                params;
+              Option.iter (Ast.add_stmt_refs add) body))
+        ~fallback:(fun () -> add_func (Func_id.FFree name) (mk_func None))
+        (fun () ->
+          check_type_exists env ~loc ret;
+          if is_class_type env ret then
+            err ~at:loc
+              "returning class objects by value is not supported in MiniC++";
+          let tbody, _, _ =
+            check_function_common env ~loc ~this_class:None ~ret ~params ~body
+              ~base_inits:[] ~field_inits:[]
+          in
+          add_func (Func_id.FFree name) (mk_func tbody)))
     !free_sigs;
   (* methods, ctors, dtors *)
   List.iter
     (fun (c : Class_table.cls) ->
       List.iter
         (fun (m : Class_table.method_info) ->
+          let stub id ~params ~ret ~this ~virt =
+            {
+              tf_id = id;
+              tf_ret = ret;
+              tf_params =
+                List.map (fun (p : Ast.param) -> (p.p_name, p.p_type)) params;
+              tf_this = this;
+              tf_virtual = virt;
+              tf_base_inits = [];
+              tf_field_inits = [];
+              tf_body = None;
+              tf_loc = m.m_loc;
+            }
+          in
+          let fallback () =
+            match m.m_kind with
+            | Ast.MethNormal ->
+                let id = Func_id.FMethod (c.c_name, m.m_name) in
+                add_func id
+                  (stub id ~params:m.m_params ~ret:m.m_ret
+                     ~this:(if m.m_static then None else Some c.c_name)
+                     ~virt:m.m_virtual)
+            | Ast.MethCtor ->
+                let id = Func_id.FCtor (c.c_name, List.length m.m_params) in
+                add_func id
+                  (stub id ~params:m.m_params ~ret:Ast.TVoid
+                     ~this:(Some c.c_name) ~virt:false)
+            | Ast.MethDtor ->
+                let id = Func_id.FDtor c.c_name in
+                add_func id
+                  (stub id ~params:[] ~ret:Ast.TVoid ~this:(Some c.c_name)
+                     ~virt:m.m_virtual)
+          in
+          let refs () =
+            Ast.collect_refs (fun add ->
+                add c.c_name;
+                Ast.add_type_refs add m.m_ret;
+                List.iter
+                  (fun (p : Ast.param) -> Ast.add_type_refs add p.p_type)
+                  m.m_params;
+                List.iter
+                  (fun (n, args) ->
+                    add n;
+                    List.iter (Ast.add_expr_refs add) args)
+                  m.m_inits;
+                Option.iter (Ast.add_stmt_refs add) m.m_body)
+          in
+          guard recover
+            ~what:(Fmt.str "member function '%s::%s'" c.c_name m.m_name)
+            ~loc:m.m_loc ~refs ~fallback
+            (fun () ->
           check_type_exists env ~loc:m.m_loc m.m_ret;
           if is_class_type env m.m_ret then
             err ~at:m.m_loc "returning class objects by value is not supported in MiniC++";
@@ -1129,12 +1274,18 @@ let check_program (prog : Ast.program) : program =
                   tf_field_inits = [];
                   tf_body = tbody;
                   tf_loc = m.m_loc;
-                })
+                }))
         c.c_methods)
     (Class_table.all_classes table);
   (* synthesized default constructors and destructors *)
   List.iter
     (fun (c : Class_table.cls) ->
+      guard recover
+        ~what:(Fmt.str "synthesized members of '%s'" c.c_name)
+        ~loc:c.c_loc
+        ~refs:(fun () ->
+          c.c_name :: List.map (fun (b : Ast.base_spec) -> b.b_name) c.c_bases)
+        (fun () ->
       let base_inits =
         let vbases = Class_table.virtual_base_names table c.c_name in
         List.map
@@ -1173,49 +1324,80 @@ let check_program (prog : Ast.program) : program =
             tf_field_inits = [];
             tf_body = None;
             tf_loc = c.c_loc;
-          })
+          }))
     (Class_table.all_classes table);
   (* explicit ctors also need their implicit base-init entries present even
      when written with partial init lists — handled in resolve_ctor_inits.
      Globals: check initializers in file scope. *)
-  let tglobals =
-    List.rev_map
-      (fun (d : Ast.var_decl) ->
-        check_type_exists env ~loc:d.v_loc d.v_type;
-        env.scopes <- [];
-        push_scope env;
-        let init =
-          match d.v_init with
-          | None -> None
-          | Some (Ast.InitExpr e) ->
-              let te = check_expr env e in
-              check_assignable env ~loc:d.v_loc ~dst:d.v_type te;
-              Some te
-          | Some (Ast.InitCtor _) ->
+  let tglobals = ref [] in
+  List.iter
+    (fun (d : Ast.var_decl) ->
+      guard recover
+        ~what:(Fmt.str "global '%s'" d.v_name)
+        ~loc:d.v_loc
+        ~refs:(fun () ->
+          Ast.collect_refs (fun add -> Ast.add_var_refs add d))
+        (fun () ->
+          check_type_exists env ~loc:d.v_loc d.v_type;
+          env.scopes <- [];
+          push_scope env;
+          let init =
+            match d.v_init with
+            | None -> None
+            | Some (Ast.InitExpr e) ->
+                let te = check_expr env e in
+                check_assignable env ~loc:d.v_loc ~dst:d.v_type te;
+                Some te
+            | Some (Ast.InitCtor _) ->
+                err ~at:d.v_loc
+                  "global class objects are not supported in MiniC++ (allocate in main)"
+          in
+          (match d.v_type with
+          | Ast.TNamed _ ->
               err ~at:d.v_loc
                 "global class objects are not supported in MiniC++ (allocate in main)"
-        in
-        (match d.v_type with
-        | Ast.TNamed _ ->
-            err ~at:d.v_loc
-              "global class objects are not supported in MiniC++ (allocate in main)"
-        | _ -> ());
-        pop_scope env;
-        { g_name = d.v_name; g_type = d.v_type; g_init = init })
-      !global_order
-  in
+          | _ -> ());
+          pop_scope env;
+          tglobals :=
+            { g_name = d.v_name; g_type = d.v_type; g_init = init }
+            :: !tglobals))
+    !global_order;
   let p =
     {
       table;
       funcs = !funcs;
-      globals = tglobals;
+      globals = !tglobals;
       enum_consts = StringMap.bindings !enums;
     }
   in
-  if not (FuncMap.mem main_id p.funcs) then
-    err "program has no 'main' function";
+  if not (FuncMap.mem main_id p.funcs) then begin
+    match recover with
+    | None -> err "program has no 'main' function"
+    | Some rc ->
+        Source.Diagnostics.error rc.rc_diags "program has no 'main' function"
+  end;
   p
+
+let check_program (prog : Ast.program) : program = check_program_gen None prog
+
+(* Keep-going variant: every declaration-level error becomes a diagnostic
+   in [diags]; declarations that fail to check come back as unknown
+   regions, which the analysis treats like the paper treats unsafe casts
+   (every member of every class they mention stays live). *)
+let check_program_resilient ~diags (prog : Ast.program) :
+    program * Source.unknown_region list =
+  let rc = { rc_diags = diags; rc_regions = [] } in
+  let p = check_program_gen (Some rc) prog in
+  (p, List.rev rc.rc_regions)
 
 (* Convenience: parse and type check in one step. *)
 let check_source ?(file = "<string>") src : program =
   check_program (Frontend.Parser.parse ~file src)
+
+(* Parse and check with full recovery: syntax and type errors all land in
+   [diags]; unknown regions from both phases are concatenated. *)
+let check_source_resilient ?(file = "<string>") ~diags src :
+    program * Source.unknown_region list =
+  let ast, parse_regions = Frontend.Parser.parse_resilient ~diags ~file src in
+  let p, check_regions = check_program_resilient ~diags ast in
+  (p, parse_regions @ check_regions)

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Benchmarks Bytes Deadmem Frontend Gen Layout List Printexc Printf QCheck QCheck_alcotest Runtime Sema String Test Util

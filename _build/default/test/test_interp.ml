@@ -235,7 +235,7 @@ let t_array_bounds () =
 
 let t_step_limit () =
   match Runtime.Interp.run ~step_limit:1000 (Util.check_source "int main() { while (1) { } return 0; }") with
-  | exception Runtime.Value.Runtime_error m ->
+  | exception Runtime.Value.Limit_exceeded m ->
       Util.check_bool "mentions step limit" true (Util.contains_sub ~sub:"step limit" m)
   | _ -> Alcotest.fail "expected the step limit to fire"
 

@@ -15,4 +15,5 @@ let () =
       ("eliminate", Test_eliminate.suite);
       ("properties", Test_properties.suite);
       ("edge", Test_edge.suite);
+      ("robustness", Test_robustness.suite);
     ]

@@ -211,6 +211,148 @@ let rec named_root = function
   | TMemPtrTy _ ->
       None
 
+let top_decl_loc = function
+  | TClass c -> c.cd_loc
+  | TFunc f -> f.fn_loc
+  | TMethodDef (_, m) -> m.mt_loc
+  | TGlobal d -> d.v_loc
+  | TEnum e -> e.en_loc
+
+(* Conservative reference collection -------------------------------------
+
+   Every name a syntactic fragment mentions: identifiers, member names,
+   scope qualifiers, class names inside types. Keep-going recovery uses
+   this to build the reference set of a declaration that failed to
+   type-check, so the analysis can conservatively keep everything the
+   broken code touches alive (the same treatment the paper gives unsafe
+   casts). The walkers thread an [add : string -> unit] callback;
+   {!collect_refs} wraps one into a dedup-in-first-mention-order list. *)
+
+let rec add_type_refs add = function
+  | TNamed n -> add n
+  | TPtr t | TRef t | TArr (t, _) -> add_type_refs add t
+  | TFun (r, ps) ->
+      add_type_refs add r;
+      List.iter (add_type_refs add) ps
+  | TMemPtrTy (c, t) ->
+      add c;
+      add_type_refs add t
+  | TVoid | TBool | TChar | TInt | TLong | TFloat | TDouble -> ()
+
+let rec add_expr_refs add e =
+  match e.e with
+  | IntLit _ | BoolLit _ | CharLit _ | FloatLit _ | StrLit _ | NullLit | This
+    ->
+      ()
+  | Ident n -> add n
+  | Unary (_, e) | IncDec (_, _, e) | AddrOf e | Deref e | SizeofExpr e ->
+      add_expr_refs add e
+  | Binary (_, a, b) | AssignE (_, a, b) | Index (a, b)
+  | MemPtrDeref (a, b, _) ->
+      add_expr_refs add a;
+      add_expr_refs add b
+  | Cond (a, b, c) ->
+      add_expr_refs add a;
+      add_expr_refs add b;
+      add_expr_refs add c
+  | Cast (_, t, e) ->
+      add_type_refs add t;
+      add_expr_refs add e
+  | Call (f, args) ->
+      add_expr_refs add f;
+      List.iter (add_expr_refs add) args
+  | Member (e, m) | Arrow (e, m) ->
+      add_expr_refs add e;
+      add m
+  | QualMember (e, c, m) | QualArrow (e, c, m) ->
+      add_expr_refs add e;
+      add c;
+      add m
+  | ScopedIdent (c, m) ->
+      add c;
+      add m
+  | New (t, args) ->
+      add_type_refs add t;
+      List.iter (add_expr_refs add) args
+  | NewArr (t, n) ->
+      add_type_refs add t;
+      add_expr_refs add n
+  | SizeofType t -> add_type_refs add t
+
+let add_var_refs add (d : var_decl) =
+  add_type_refs add d.v_type;
+  match d.v_init with
+  | None -> ()
+  | Some (InitExpr e) -> add_expr_refs add e
+  | Some (InitCtor args) -> List.iter (add_expr_refs add) args
+
+let rec add_stmt_refs add s =
+  match s.s with
+  | SExpr e -> add_expr_refs add e
+  | SDecl ds -> List.iter (add_var_refs add) ds
+  | SBlock ss -> List.iter (add_stmt_refs add) ss
+  | SIf (c, t, e) ->
+      add_expr_refs add c;
+      add_stmt_refs add t;
+      Option.iter (add_stmt_refs add) e
+  | SWhile (c, b) ->
+      add_expr_refs add c;
+      add_stmt_refs add b
+  | SDoWhile (b, c) ->
+      add_stmt_refs add b;
+      add_expr_refs add c
+  | SFor (i, c, u, b) ->
+      Option.iter (add_stmt_refs add) i;
+      Option.iter (add_expr_refs add) c;
+      Option.iter (add_expr_refs add) u;
+      add_stmt_refs add b
+  | SReturn e -> Option.iter (add_expr_refs add) e
+  | SDelete (_, e) -> add_expr_refs add e
+  | SBreak | SContinue | SEmpty -> ()
+
+let add_method_refs add (m : method_decl) =
+  add_type_refs add m.mt_ret;
+  List.iter (fun p -> add_type_refs add p.p_type) m.mt_params;
+  List.iter
+    (fun (n, args) ->
+      add n;
+      List.iter (add_expr_refs add) args)
+    m.mt_inits;
+  Option.iter (add_stmt_refs add) m.mt_body
+
+(* Run [f] with a dedup-ing [add]; the result keeps first-mention order. *)
+let collect_refs (f : (string -> unit) -> unit) : string list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      out := n :: !out
+    end
+  in
+  f add;
+  List.rev !out
+
+let decl_refs (d : top_decl) : string list =
+  collect_refs (fun add ->
+      match d with
+      | TClass c ->
+          List.iter (fun (b : base_spec) -> add b.b_name) c.cd_bases;
+          List.iter
+            (function
+              | MField f -> add_type_refs add f.fd_type
+              | MMethod m -> add_method_refs add m)
+            c.cd_members
+      | TFunc f ->
+          add_type_refs add f.fn_ret;
+          List.iter (fun p -> add_type_refs add p.p_type) f.fn_params;
+          Option.iter (add_stmt_refs add) f.fn_body
+      | TMethodDef (cls, m) ->
+          add cls;
+          add_method_refs add m
+      | TGlobal d -> add_var_refs add d
+      | TEnum _ -> ())
+
 let access_to_string = function
   | Public -> "public"
   | Private -> "private"

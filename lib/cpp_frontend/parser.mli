@@ -15,3 +15,21 @@ val parse_string : ?file:string -> string -> Ast.program
 
 (** Parse an already-lexed token stream (must end with {!Token.EOF}). *)
 val parse_tokens : Token.spanned list -> Ast.program
+
+(** Keep-going variant of {!parse}: on a syntax error the parser records
+    a diagnostic in [diags], skips to the next synchronization point (a
+    [;] or closing brace at top level, a class/struct/union/enum keyword,
+    or EOF) and resumes. Each skipped stretch of input is returned as an
+    {!Source.unknown_region} so the analysis can degrade conservatively.
+    Never raises on user input. *)
+val parse_resilient :
+  diags:Source.Diagnostics.t ->
+  file:string ->
+  string ->
+  Ast.program * Source.unknown_region list
+
+(** Keep-going variant of {!parse_tokens}. *)
+val parse_tokens_resilient :
+  diags:Source.Diagnostics.t ->
+  Token.spanned list ->
+  Ast.program * Source.unknown_region list

@@ -117,6 +117,14 @@ let record_scalar_alloc t ~bytes =
 
 (* -- final snapshot ----------------------------------------------------------- *)
 
+(* The resource guards a run executed under; carried in the snapshot so
+   measurement reports state the conditions they were taken under. *)
+type limits = {
+  l_step_limit : int;
+  l_call_depth_limit : int;
+  l_heap_object_limit : int;
+}
+
 type snapshot = {
   object_space : int;
   dead_space : int;
@@ -125,9 +133,10 @@ type snapshot = {
   num_objects : int;
   scalar_bytes : int;
   leaked_objects : int;  (* never freed: still "live" at exit *)
+  limits : limits option;  (* None for callers that predate the guards *)
 }
 
-let snapshot (t : t) =
+let snapshot ?limits (t : t) =
   {
     object_space = t.object_space;
     dead_space = t.dead_space;
@@ -137,6 +146,7 @@ let snapshot (t : t) =
     scalar_bytes = t.scalar_bytes;
     leaked_objects =
       Hashtbl.fold (fun _ a acc -> if a.a_freed then acc else acc + 1) t.allocs 0;
+    limits;
   }
 
 (* Figure 4, light-grey bar: dead bytes as a percentage of object space. *)
@@ -156,7 +166,12 @@ let pp_snapshot ppf s =
   Fmt.pf ppf
     "object space: %d bytes (%d objects), dead member space: %d (%.1f%%), HWM: %d, HWM w/o dead: %d (-%.1f%%)"
     s.object_space s.num_objects s.dead_space (dead_space_pct s)
-    s.high_water_mark s.high_water_mark_reduced (hwm_reduction_pct s)
+    s.high_water_mark s.high_water_mark_reduced (hwm_reduction_pct s);
+  match s.limits with
+  | None -> ()
+  | Some l ->
+      Fmt.pf ppf " [limits: %d steps, call depth %d, %d objects]"
+        l.l_step_limit l.l_call_depth_limit l.l_heap_object_limit
 
 (* Per-class allocation summary, for diagnostics and tests. *)
 let per_class_allocs t : (string * int * int) list =
