@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- table2  -- dynamic object-space numbers
      dune exec bench/main.exe -- figure4 -- dead space / HWM reduction bars
      dune exec bench/main.exe -- ablation-- call-graph & policy ablations
-     dune exec bench/main.exe -- perf    -- Bechamel timings *)
+     dune exec bench/main.exe -- perf    -- Bechamel timings
+     dune exec bench/main.exe -- json    -- write BENCH_deadmem.json *)
 
 open Benchmarks
 
@@ -295,6 +296,66 @@ let perf () =
     "@.(the analysis is O(N + C*M) after call-graph construction — paper@.\
     \ section 3.4; the timings above scale with benchmark size.)@."
 
+(* -- machine-readable results (BENCH_deadmem.json) --------------------------------- *)
+
+(* One record per benchmark: wall time of each pipeline phase plus the
+   telemetry counters the instrumented run produced. The file is committed,
+   so the performance trajectory of the analysis is visible across PRs. *)
+let bench_json () =
+  let out = "BENCH_deadmem.json" in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let was_enabled = Telemetry.enabled () in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\n  \"benchmarks\": [";
+  List.iteri
+    (fun i (b : Suite.t) ->
+      Telemetry.reset ();
+      Telemetry.set_enabled true;
+      let ast, parse_ms =
+        time (fun () -> Frontend.Parser.parse_string b.Suite.source)
+      in
+      ignore ast;
+      let prog, check_ms = time (fun () -> Suite.program b) in
+      let result, analyze_ms =
+        time (fun () ->
+            Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog)
+      in
+      let outcome, run_ms =
+        time (fun () ->
+            Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set result) prog)
+      in
+      let s = outcome.Runtime.Interp.snapshot in
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Fmt.str
+           "\n\
+           \    {\"name\":\"%s\",\"loc\":%d,\n\
+           \     \"wall_ms\":{\"parse\":%.3f,\"typecheck\":%.3f,\"analyze\":%.3f,\"run\":%.3f},\n\
+           \     \"dead_members\":%d,\"object_space\":%d,\"dead_space\":%d,\n\
+           \     \"counters\":{%s}}"
+           (Frontend.Source.json_escape b.Suite.name)
+           (Suite.loc b) parse_ms check_ms analyze_ms run_ms
+           (List.length (Deadmem.Liveness.dead_members result))
+           s.Runtime.Profile.object_space s.Runtime.Profile.dead_space
+           (String.concat ","
+              (List.map
+                 (fun (name, v) ->
+                   Fmt.str "\"%s\":%d" (Frontend.Source.json_escape name) v)
+                 (Telemetry.counters ())))))
+    Suite.all;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Telemetry.set_enabled was_enabled;
+  Telemetry.reset ();
+  let oc = open_out_bin out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Fmt.pr "wrote %s (%d benchmarks)@." out (List.length Suite.all)
+
 (* -- driver ------------------------------------------------------------------------ *)
 
 let () =
@@ -305,4 +366,5 @@ let () =
   if all || List.mem "table2" args then table2 ();
   if all || List.mem "figure4" args then figure4 ();
   if all || List.mem "ablation" args then ablation ();
-  if all || List.mem "perf" args then perf ()
+  if all || List.mem "perf" args then perf ();
+  if all || List.mem "json" args then bench_json ()

@@ -2,11 +2,16 @@
 
    Subcommands:
      analyze FILE    detect dead data members in a MiniC++ translation unit
+     explain M FILE  print the liveness derivation chain of one member
      check FILE...   batch-diagnose translation units (text or JSON)
      run FILE        execute a MiniC++ program under the instrumented
                      interpreter and print the object-space profile
      callgraph FILE  print (or dot-dump) the program's call graph
      bench NAME      analyze + run one of the built-in paper benchmarks
+
+   analyze/explain/check/bench accept --metrics[=FILE] (JSON telemetry
+   snapshot) and --trace-out FILE (Chrome trace-event JSON of the
+   pipeline phase spans); either flag switches telemetry collection on.
 
    Exit-code contract (documented in the README):
      0  success, no diagnostics
@@ -100,11 +105,55 @@ let config_of ~alg ~conservative ~library_classes =
   let base = { base with Deadmem.Config.call_graph = alg } in
   Deadmem.Config.with_library_classes library_classes base
 
+(* -- telemetry options ------------------------------------------------------ *)
+
+let metrics_opt =
+  let doc =
+    "Switch telemetry on and write a JSON snapshot of every counter, gauge \
+     and phase span to $(docv) when the command completes ('-', the default \
+     when the flag is given bare, writes to standard output)."
+  in
+  Arg.(value
+       & opt ~vopt:(Some "-") (some string) None
+       & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_out_opt =
+  let doc =
+    "Switch telemetry on and write a Chrome trace-event JSON file of the \
+     pipeline phase spans to $(docv); load it in chrome://tracing or \
+     ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Run [f] with telemetry enabled when either output was requested, and dump
+   the requested snapshots afterwards. Dumps happen only on completed runs:
+   [handle_errors] sits outside, so a diagnosed failure exits before we get
+   here — the snapshot of a half-run pipeline would mislead more than help. *)
+let with_telemetry ~metrics ~trace_out f =
+  if metrics <> None || trace_out <> None then Telemetry.set_enabled true;
+  let code = f () in
+  (match metrics with
+  | Some "-" -> print_string (Telemetry.metrics_json ()); print_newline ()
+  | Some path -> write_file path (Telemetry.metrics_json ())
+  | None -> ());
+  (match trace_out with
+  | Some path -> write_file path (Telemetry.trace_json ())
+  | None -> ());
+  code
+
 (* -- analyze ----------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run file alg conservative library_classes verbose keep_going =
+  let run file alg conservative library_classes verbose keep_going metrics
+      trace_out =
     handle_errors (fun () ->
+        with_telemetry ~metrics ~trace_out @@ fun () ->
         let config = config_of ~alg ~conservative ~library_classes in
         let prog, unknown, code =
           if keep_going then begin
@@ -146,7 +195,87 @@ let analyze_cmd =
   let doc = "Detect dead data members in a MiniC++ program." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ file_arg $ callgraph_alg $ conservative_flag
-          $ library_classes_opt $ verbose $ keep_going_flag)
+          $ library_classes_opt $ verbose $ keep_going_flag $ metrics_opt
+          $ trace_out_opt)
+
+(* -- explain ------------------------------------------------------------------ *)
+
+(* "Class::member" -> ("Class", "member"); both halves non-empty. *)
+let split_member s =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = ':' && s.[i + 1] = ':' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i when i > 0 && i + 2 < n ->
+      Some (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))
+  | _ -> None
+
+let explain_cmd =
+  let run member file alg conservative library_classes keep_going metrics
+      trace_out =
+    handle_errors (fun () ->
+        with_telemetry ~metrics ~trace_out @@ fun () ->
+        match split_member member with
+        | None ->
+            Fmt.epr "error: MEMBER must have the form 'Class::member' (got '%s')@."
+              member;
+            exit_usage
+        | Some m ->
+            let config = config_of ~alg ~conservative ~library_classes in
+            let prog, unknown, code =
+              if keep_going then begin
+                let src = read_source file in
+                let diags = Frontend.Source.Diagnostics.create () in
+                let prog, unknown =
+                  Sema.Type_check.check_source_resilient ~file ~diags src
+                in
+                Fmt.epr "%a" Frontend.Source.Diagnostics.pp diags;
+                let code =
+                  if Frontend.Source.Diagnostics.has_errors diags then
+                    exit_diagnostics
+                  else exit_ok
+                in
+                (prog, unknown, code)
+              end
+              else (load file, [], exit_ok)
+            in
+            let result = Deadmem.Liveness.analyze ~config ~unknown prog in
+            if not (Deadmem.Liveness.known_member result m) then begin
+              Fmt.epr
+                "error: '%s' is not an instance data member the analysis \
+                 classifies (check the spelling, or whether its class is a \
+                 --library-classes entry)@."
+                (Sema.Member.to_string m);
+              exit_usage
+            end
+            else begin
+              Deadmem.Liveness.pp_explanation Fmt.stdout result m;
+              Fmt.flush Fmt.stdout ();
+              code
+            end)
+    |> exit
+  in
+  let member_arg =
+    let doc = "Data member to explain, as 'Class::member'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MEMBER" ~doc)
+  in
+  let file_arg1 =
+    let doc = "MiniC++ source file ('-' reads standard input)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Explain one member's liveness classification: the paper rule that \
+     marked it live, the marking statement's source location, the \
+     enclosing function, and a call chain from main — or the statement \
+     that no derivation exists (the member is dead)."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ member_arg $ file_arg1 $ callgraph_alg
+          $ conservative_flag $ library_classes_opt $ keep_going_flag
+          $ metrics_opt $ trace_out_opt)
 
 (* -- check -------------------------------------------------------------------- *)
 
@@ -192,8 +321,9 @@ let check_cmd =
         else Fmt.pr "%s: ok@." file;
         if D.has_errors diags then `Diagnostics else `Ok
   in
-  let run files format =
+  let run files format metrics trace_out =
     handle_errors (fun () ->
+        with_telemetry ~metrics ~trace_out @@ fun () ->
         let results = List.map (check_one ~format) files in
         if List.mem `Io results then exit_usage
         else if List.mem `Diagnostics results then exit_diagnostics
@@ -215,7 +345,8 @@ let check_cmd =
      per file. Exit 0 when all files are clean, 1 when any file has \
      errors, 2 when any file cannot be read."
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ files_arg $ format_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ files_arg $ format_arg $ metrics_opt $ trace_out_opt)
 
 (* -- run ---------------------------------------------------------------------- *)
 
@@ -311,8 +442,9 @@ let strip_cmd =
 (* -- bench -------------------------------------------------------------------- *)
 
 let bench_cmd =
-  let run name =
+  let run name metrics trace_out =
     handle_errors (fun () ->
+        with_telemetry ~metrics ~trace_out @@ fun () ->
         match Benchmarks.Suite.find name with
         | None ->
             Fmt.epr "unknown benchmark '%s'; available: %s@." name
@@ -340,7 +472,8 @@ let bench_cmd =
          ~doc:"Benchmark name (e.g. richards, jikes, taldict).")
   in
   let doc = "Analyze and run one of the built-in paper benchmarks." in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ name_arg)
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ name_arg $ metrics_opt $ trace_out_opt)
 
 let () =
   let doc = "dead data member detection for MiniC++ (Sweeney & Tip, PLDI'98)" in
@@ -348,7 +481,8 @@ let () =
   let code =
     Cmd.eval' ~term_err:exit_usage
       (Cmd.group info
-         [ analyze_cmd; check_cmd; run_cmd; callgraph_cmd; strip_cmd; bench_cmd ])
+         [ analyze_cmd; explain_cmd; check_cmd; run_cmd; callgraph_cmd;
+           strip_cmd; bench_cmd ])
   in
   (* cmdliner reports some CLI parse errors (e.g. a bad enum value) with its
      own cli_error code rather than term_err; fold those into the usage code

@@ -254,8 +254,14 @@ let library_override_roots table ~library_classes : FuncSet.t =
 
 (* -- fixpoint ----------------------------------------------------------------- *)
 
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let iterations_counter = Telemetry.Counter.make "callgraph.fixpoint_iterations"
+let nodes_gauge = Telemetry.Gauge.make "callgraph.reachable_functions"
+let edges_gauge = Telemetry.Gauge.make "callgraph.edges"
+
 let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
     ?(extra_roots = []) (p : program) : t =
+  Telemetry.Span.with_ "callgraph" @@ fun () ->
   let table = p.table in
   (* memoize per-function events *)
   let events_cache : (Func_id.t, event list) Hashtbl.t = Hashtbl.create 64 in
@@ -295,6 +301,7 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
   let final_roots = ref base_roots in
   let stable = ref false in
   while not !stable do
+    Telemetry.Counter.incr iterations_counter;
     let inst0 = !instantiated and addr0 = !address_taken in
     let nodes = ref FuncSet.empty in
     let edges = ref FuncMap.empty in
@@ -387,14 +394,65 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
     stable :=
       StringSet.equal inst0 !instantiated && FuncSet.equal addr0 !address_taken
   done;
-  {
-    algorithm;
-    nodes = !final_nodes;
-    edges = !final_edges;
-    roots = !final_roots;
-    instantiated = !instantiated;
-    address_taken = !address_taken;
-  }
+  let t =
+    {
+      algorithm;
+      nodes = !final_nodes;
+      edges = !final_edges;
+      roots = !final_roots;
+      instantiated = !instantiated;
+      address_taken = !address_taken;
+    }
+  in
+  Telemetry.Gauge.set nodes_gauge (num_nodes t);
+  Telemetry.Gauge.set edges_gauge (num_edges t);
+  t
+
+(* -- provenance queries -------------------------------------------------------- *)
+
+(* Shortest call chain [from; ...; target] following call edges, or None
+   when [target] is not reachable from [from]. Breadth-first, so the
+   chain printed by `deadmem explain` is a minimal witness. *)
+let path t ~from target : Func_id.t list option =
+  if Func_id.equal from target then Some [ from ]
+  else begin
+    let parent : Func_id.t FuncMap.t ref = ref FuncMap.empty in
+    let queue = Queue.create () in
+    Queue.add from queue;
+    let seen = ref (FuncSet.singleton from) in
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let cur = Queue.take queue in
+      FuncSet.iter
+        (fun next ->
+          if not (FuncSet.mem next !seen) then begin
+            seen := FuncSet.add next !seen;
+            parent := FuncMap.add next cur !parent;
+            if Func_id.equal next target then found := true
+            else Queue.add next queue
+          end)
+        (callees t cur)
+    done;
+    if not !found then None
+    else begin
+      let rec unwind acc id =
+        match FuncMap.find_opt id !parent with
+        | None -> id :: acc
+        | Some p -> unwind (id :: acc) p
+      in
+      Some (unwind [] target)
+    end
+  end
+
+(* A witness chain from a root: prefer main, then any other root (an
+   address-taken function, a library-override method, ...). *)
+let path_from_root t target : Func_id.t list option =
+  let roots =
+    main_id
+    :: (FuncSet.elements t.roots
+       |> List.filter (fun r -> not (Func_id.equal r main_id)))
+  in
+  List.find_map (fun r -> path t ~from:r target) roots
 
 (* -- output ------------------------------------------------------------------- *)
 

@@ -48,6 +48,16 @@ val callees : t -> Func_id.t -> FuncSet.t
 val num_nodes : t -> int
 val num_edges : t -> int
 
+(** [path t ~from target] is a shortest call chain
+    [[from; ...; target]] along call edges, or [None] when [target] is
+    unreachable from [from]. *)
+val path : t -> from:Func_id.t -> Func_id.t -> Func_id.t list option
+
+(** A shortest witness chain ending at the argument, starting from
+    [main] when possible, otherwise from any other root (address-taken
+    function, library-override method, extra root). *)
+val path_from_root : t -> Func_id.t -> Func_id.t list option
+
 val pp : Format.formatter -> t -> unit
 
 (** Graphviz rendering of the graph. *)

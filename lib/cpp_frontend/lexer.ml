@@ -373,8 +373,13 @@ let next_token st : Token.spanned =
           | Some _ | None -> mk Token.GT)
       | c -> lex_error st start_pos "unexpected character '%c'" c)
 
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let tokens_counter = Telemetry.Counter.make "lexer.tokens"
+let recovered_counter = Telemetry.Counter.make "lexer.recovered_errors"
+
 (* Tokenize a whole source buffer, including the trailing EOF token. *)
 let tokenize ~file src : Token.spanned list =
+  Telemetry.Span.with_ "lex" @@ fun () ->
   let st = make ~file src in
   let rec go acc =
     let t = next_token st in
@@ -382,12 +387,15 @@ let tokenize ~file src : Token.spanned list =
     | Token.EOF -> List.rev (t :: acc)
     | _ -> go (t :: acc)
   in
-  go []
+  let toks = go [] in
+  Telemetry.Counter.add tokens_counter (List.length toks);
+  toks
 
 (* Keep-going lexing: a malformed token becomes a diagnostic in [diags],
    the offending character is skipped, and lexing continues — so one bad
    byte no longer hides every later error. *)
 let tokenize_resilient ~diags ~file src : Token.spanned list =
+  Telemetry.Span.with_ "lex" @@ fun () ->
   let st = make ~file src in
   let rec go acc =
     match next_token st with
@@ -397,11 +405,14 @@ let tokenize_resilient ~diags ~file src : Token.spanned list =
         | _ -> go (t :: acc))
     | exception Source.Compile_error d ->
         Source.Diagnostics.emit diags d;
+        Telemetry.Counter.incr recovered_counter;
         (* guarantee progress past the offending input *)
         if peek st <> None then advance st;
         go acc
   in
-  go []
+  let toks = go [] in
+  Telemetry.Counter.add tokens_counter (List.length toks);
+  toks
 
 (* Number of non-blank, non-comment-only source lines: used for the LOC
    column of Table 1. *)

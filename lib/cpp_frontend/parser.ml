@@ -1274,18 +1274,28 @@ let prescan_type_names tokens =
     tokens;
   !names
 
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let decls_counter = Telemetry.Counter.make "parser.top_decls"
+let sync_counter = Telemetry.Counter.make "parser.sync_recoveries"
+let regions_counter = Telemetry.Counter.make "parser.unknown_regions"
+
 let parse_tokens tokens : Ast.program =
+  Telemetry.Span.with_ "parse" @@ fun () ->
   let tokens = Array.of_list tokens in
   let st = { tokens; idx = 0; type_names = prescan_type_names tokens } in
   let rec go acc =
     if Token.equal (cur_tok st) Token.EOF then List.rev acc
     else go (List.rev_append (parse_top st) acc)
   in
-  try go []
-  with Stack_overflow ->
-    (* adversarial nesting depth: degrade to a diagnostic instead of a
-       native crash *)
-    Source.error ~at:(cur_span st) "declaration nesting is too deep to parse"
+  let prog =
+    try go []
+    with Stack_overflow ->
+      (* adversarial nesting depth: degrade to a diagnostic instead of a
+         native crash *)
+      Source.error ~at:(cur_span st) "declaration nesting is too deep to parse"
+  in
+  Telemetry.Counter.add decls_counter (List.length prog);
+  prog
 
 (* Parse a complete MiniC++ translation unit. *)
 let parse ~file src : Ast.program = parse_tokens (Lexer.tokenize ~file src)
@@ -1356,6 +1366,7 @@ let span_between st ~from ~until =
 
 let parse_tokens_resilient ~diags tokens :
     Ast.program * Source.unknown_region list =
+  Telemetry.Span.with_ "parse" @@ fun () ->
   let tokens = Array.of_list tokens in
   let st = { tokens; idx = 0; type_names = prescan_type_names tokens } in
   let regions = ref [] in
@@ -1367,6 +1378,7 @@ let parse_tokens_resilient ~diags tokens :
       | decls -> go (List.rev_append decls acc)
       | exception Source.Compile_error d ->
           Source.Diagnostics.emit diags d;
+          Telemetry.Counter.incr sync_counter;
           synchronize_top st;
           regions :=
             {
@@ -1379,6 +1391,7 @@ let parse_tokens_resilient ~diags tokens :
       | exception Stack_overflow ->
           Source.Diagnostics.error diags ~at:(cur_span st)
             "declaration nesting is too deep to parse";
+          Telemetry.Counter.incr sync_counter;
           synchronize_top st;
           regions :=
             {
@@ -1391,6 +1404,8 @@ let parse_tokens_resilient ~diags tokens :
     end
   in
   let prog = go [] in
+  Telemetry.Counter.add decls_counter (List.length prog);
+  Telemetry.Counter.add regions_counter (List.length !regions);
   (prog, List.rev !regions)
 
 (* Keep-going entry point: lexes resiliently, recovers at declaration

@@ -271,14 +271,36 @@ let apply_plan plan (prog : Ast.program) : Ast.program =
    and the set of members that were removed. Raises [Source.Compile_error]
    if the transformed program does not re-check — which would indicate a
    bug, and is exercised heavily by the test suite. *)
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let removed_counter = Telemetry.Counter.make "eliminate.members_removed"
+let bytes_saved_gauge = Telemetry.Gauge.make "eliminate.object_bytes_saved"
+
+(* Bytes of complete-object space saved per instance: the sum over all
+   classes of (as-written size - stripped size); alignment padding can
+   absorb part of a removal, so this is measured on actual layouts. *)
+let object_bytes_saved (p : program) (removed : Member.Set.t) : int =
+  List.fold_left
+    (fun acc (c : Class_table.cls) ->
+      if c.c_kind = Ast.Union then acc
+      else
+        acc
+        + Layout.object_size p.table c.c_name
+        - Layout.object_size ~dead:removed p.table c.c_name)
+    0
+    (Class_table.all_classes p.table)
+
 let strip_program ?(config = Config.paper) ~source ~file () :
     Ast.program * program * Member.Set.t =
+  Telemetry.Span.with_ "eliminate" @@ fun () ->
   let untyped = Frontend.Parser.parse ~file source in
   let typed = Type_check.check_program untyped in
   let result = Liveness.analyze ~config typed in
   let plan = make_plan typed result in
   let stripped = apply_plan plan untyped in
   let retyped = Type_check.check_program stripped in
+  Telemetry.Counter.add removed_counter (Member.Set.cardinal plan.removed);
+  Telemetry.Gauge.set bytes_saved_gauge
+    (object_bytes_saved typed plan.removed);
   (stripped, retyped, plan.removed)
 
 (* Convenience: transformed program as MiniC++ source text. *)

@@ -22,6 +22,55 @@ open Sema
 open Sema.Typed_ast
 module StringSet = Set.Make (String)
 
+(* -- liveness provenance -------------------------------------------------------
+
+   Each paper rule that can mark a member live is a [rule]; the first
+   marking of a member records a [reason] — which rule fired, at which
+   source location, inside which reachable function, and (for the
+   MarkAllContainedMembers sweeps) through which root class. Later marks
+   of an already-live member never overwrite the stored reason, so the
+   derivation reported by `deadmem explain` is the analysis's actual
+   first derivation of the fact. *)
+
+type rule =
+  | RRead
+  | RAddressTaken
+  | RPointerToMember
+  | RVolatileWrite
+  | RUnsafeCast
+  | RSizeof
+  | RUnion
+  | RUnknownRegion
+
+let rule_name = function
+  | RRead -> "read"
+  | RAddressTaken -> "address-taken"
+  | RPointerToMember -> "pointer-to-member"
+  | RVolatileWrite -> "volatile-write"
+  | RUnsafeCast -> "unsafe-cast"
+  | RSizeof -> "sizeof"
+  | RUnion -> "union"
+  | RUnknownRegion -> "unknown-region"
+
+let rule_description = function
+  | RRead -> "the member's value is read"
+  | RAddressTaken -> "the member's address is taken"
+  | RPointerToMember -> "the member is named by a pointer-to-member expression"
+  | RVolatileWrite -> "the member is volatile and written"
+  | RUnsafeCast -> "an unsafe cast forces MarkAllContainedMembers"
+  | RSizeof -> "a conservative sizeof forces MarkAllContainedMembers"
+  | RUnion -> "a live sibling in a union shares its storage"
+  | RUnknownRegion ->
+      "an unparsed/ill-typed region mentions the member's class \
+       (conservative keep-going degradation)"
+
+type reason = {
+  pv_rule : rule;
+  pv_loc : Source.span option;  (* the marking statement/expression *)
+  pv_func : Func_id.t option;  (* enclosing reachable function *)
+  pv_via : string option;  (* MarkAllContainedMembers root class *)
+}
+
 type result = {
   config : Config.t;
   callgraph : Callgraph.t;
@@ -32,7 +81,36 @@ type result = {
   (* regions that failed to parse/check under keep-going recovery and
      were folded into the result conservatively; empty in strict mode *)
   unknown : Source.unknown_region list;
+  (* why each live member is live: its first derivation *)
+  provenance : reason Member.Map.t;
 }
+
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let analyze_span_name = "liveness"
+
+let counter_of_rule =
+  let c r = Telemetry.Counter.make ("liveness.marks." ^ rule_name r) in
+  let read = c RRead
+  and addr = c RAddressTaken
+  and memptr = c RPointerToMember
+  and vol = c RVolatileWrite
+  and cast = c RUnsafeCast
+  and sizeof = c RSizeof
+  and union = c RUnion
+  and unk = c RUnknownRegion in
+  function
+  | RRead -> read
+  | RAddressTaken -> addr
+  | RPointerToMember -> memptr
+  | RVolatileWrite -> vol
+  | RUnsafeCast -> cast
+  | RSizeof -> sizeof
+  | RUnion -> union
+  | RUnknownRegion -> unk
+
+let union_passes_counter = Telemetry.Counter.make "liveness.union_passes"
+let live_gauge = Telemetry.Gauge.make "liveness.live_members"
+let dead_gauge = Telemetry.Gauge.make "liveness.dead_members"
 
 (* -- marking ----------------------------------------------------------------- *)
 
@@ -40,15 +118,29 @@ type state = {
   table : Class_table.t;
   cfg : Config.t;
   mutable live_set : Member.Set.t;
+  mutable provenance : reason Member.Map.t;
+  mutable cur_fn : Func_id.t option;  (* function being processed *)
   visited : (string, unit) Hashtbl.t;  (* MarkAllContainedMembers classes *)
 }
 
-let mark st (m : Member.t) = st.live_set <- Member.Set.add m st.live_set
+let mark st (why : reason) (m : Member.t) =
+  if not (Member.Set.mem m st.live_set) then begin
+    st.live_set <- Member.Set.add m st.live_set;
+    st.provenance <- Member.Map.add m why st.provenance;
+    Telemetry.Counter.incr (counter_of_rule why.pv_rule)
+  end
+
+(* The reason for a direct marking at expression/statement location
+   [loc], inside the function currently being processed. *)
+let because st rule ?via loc =
+  { pv_rule = rule; pv_loc = loc; pv_func = st.cur_fn; pv_via = via }
 
 (* [MarkAllContainedMembers] (Fig. 2, lines 36-50): mark every member
    directly or indirectly contained in class [cls] — its own members,
-   members of class-typed members, and members of base classes. *)
-let rec mark_all_contained st cls =
+   members of class-typed members, and members of base classes. The
+   recorded reason keeps the *root* class of the sweep in [pv_via], so
+   explain can say "swept via MarkAllContainedMembers(Root)". *)
+let rec mark_all_contained st (why : reason) cls =
   if not (Hashtbl.mem st.visited cls) then begin
     Hashtbl.add st.visited cls ();
     match Class_table.find st.table cls with
@@ -57,21 +149,21 @@ let rec mark_all_contained st cls =
         List.iter
           (fun (f : Class_table.field) ->
             if not f.f_static then begin
-              mark st (f.f_class, f.f_name);
+              mark st why (f.f_class, f.f_name);
               match f.f_type with
               | Ast.TNamed n | Ast.TArr (Ast.TNamed n, _) ->
-                  mark_all_contained st n
+                  mark_all_contained st why n
               | _ -> ()
             end)
           c.c_fields;
         List.iter
-          (fun (b : Ast.base_spec) -> mark_all_contained st b.b_name)
+          (fun (b : Ast.base_spec) -> mark_all_contained st why b.b_name)
           c.c_bases
   end
 
-let mark_type_contents st (ty : Ast.type_expr) =
+let mark_type_contents st rule loc (ty : Ast.type_expr) =
   match Ast.named_root ty with
-  | Some cls -> mark_all_contained st cls
+  | Some cls -> mark_all_contained st (because st rule ~via:cls loc) cls
   | None -> ()
 
 (* -- expression traversal -----------------------------------------------------
@@ -82,18 +174,20 @@ let mark_type_contents st (ty : Ast.type_expr) =
 
 type mode = Read | Lvalue
 
-let handle_cast st safety =
+let handle_cast st loc safety =
   match safety with
   | CastSafe -> ()
   | CastUnsafeDowncast src ->
-      if not st.cfg.Config.assume_downcasts_safe then mark_all_contained st src
-  | CastUnsafeOther (Some src) -> mark_all_contained st src
+      if not st.cfg.Config.assume_downcasts_safe then
+        mark_all_contained st (because st RUnsafeCast ~via:src loc) src
+  | CastUnsafeOther (Some src) ->
+      mark_all_contained st (because st RUnsafeCast ~via:src loc) src
   | CastUnsafeOther None -> ()
 
-let handle_sizeof st (ty : Ast.type_expr) =
+let handle_sizeof st loc (ty : Ast.type_expr) =
   match st.cfg.Config.sizeof_policy with
   | Config.Sizeof_ignore -> ()
-  | Config.Sizeof_conservative -> mark_type_contents st ty
+  | Config.Sizeof_conservative -> mark_type_contents st RSizeof loc ty
 
 let rec walk st mode (e : texpr) =
   match e.te with
@@ -103,10 +197,11 @@ let rec walk st mode (e : texpr) =
   | TMemPtr (cls, name) ->
       (* pointer-to-member expression &Z::m (Fig. 2 lines 26-28): the
          member may be accessed through the pointer somewhere *)
-      mark st (cls, name)
+      mark st (because st RPointerToMember (Some e.tloc)) (cls, name)
   | TField fa ->
       (match mode with
-      | Read -> mark st (fa.fa_def_class, fa.fa_field)
+      | Read ->
+          mark st (because st RRead (Some e.tloc)) (fa.fa_def_class, fa.fa_field)
       | Lvalue -> ());
       (* the base of a [->] access is a pointer value that is read; the
          base of a [.] access inherits the enclosing mode: in [a.b.m = x]
@@ -124,7 +219,9 @@ let rec walk st mode (e : texpr) =
           | TField fa when fa.fa_volatile ->
               (* ...unless it is volatile: writes to volatile members are
                  observable (paper, footnote in §3) *)
-              mark st (fa.fa_def_class, fa.fa_field)
+              mark st
+                (because st RVolatileWrite (Some lhs.tloc))
+                (fa.fa_def_class, fa.fa_field)
           | _ -> ());
           walk st Lvalue lhs
       | _ ->
@@ -137,14 +234,16 @@ let rec walk st mode (e : texpr) =
       walk st mode t;
       walk st mode f
   | TCast (_, _, a, safety) ->
-      handle_cast st safety;
+      handle_cast st (Some e.tloc) safety;
       walk st mode a
   | TAddrOf a -> (
       match a.te with
       | TField fa ->
           (* address-taken: conservatively live (Fig. 2 lines 19-22,
              the &e'.m case) *)
-          mark st (fa.fa_def_class, fa.fa_field);
+          mark st
+            (because st RAddressTaken (Some e.tloc))
+            (fa.fa_def_class, fa.fa_field);
           walk st (if fa.fa_arrow then Read else Lvalue) fa.fa_obj
       | _ -> walk st Lvalue a)
   | TDeref a -> walk st Read a (* the pointer value is read *)
@@ -159,9 +258,9 @@ let rec walk st mode (e : texpr) =
   | TNewObj { args; _ } -> List.iter (walk st Read) args
   | TNewScalar _ -> ()
   | TNewArr (_, n) -> walk st Read n
-  | TSizeofType ty -> handle_sizeof st ty
+  | TSizeofType ty -> handle_sizeof st (Some e.tloc) ty
   | TSizeofExpr a ->
-      handle_sizeof st a.ty
+      handle_sizeof st (Some e.tloc) a.ty
       (* the operand of sizeof is not evaluated: no reads *)
   | TCall c -> walk_call st c
 
@@ -187,7 +286,7 @@ and walk_delete_arg st (e : texpr) =
   match e.te with
   | TField fa -> walk st (if fa.fa_arrow then Read else Lvalue) fa.fa_obj
   | TCast (_, _, inner, safety) ->
-      handle_cast st safety;
+      handle_cast st (Some e.tloc) safety;
       walk_delete_arg st inner
   | _ -> walk st Read e
 
@@ -223,13 +322,15 @@ let rec walk_stmt st (s : tstmt) =
   | TSDelete (_, e) -> walk_delete_arg st e
 
 let walk_func st (fn : tfunc) =
+  st.cur_fn <- Some fn.tf_id;
   (* constructor initializers: base-initializer arguments and member-
      initializer arguments are reads; the *initialized member itself* is a
      write target and is NOT marked — this is the paper's key observation
      that constructor initialization alone must not make members live *)
   List.iter (fun bi -> List.iter (walk st Read) bi.bi_args) fn.tf_base_inits;
   List.iter (fun fi -> List.iter (walk st Read) fi.fi_args) fn.tf_field_inits;
-  Option.iter (walk_stmt st) fn.tf_body
+  Option.iter (walk_stmt st) fn.tf_body;
+  st.cur_fn <- None
 
 (* -- the algorithm (Fig. 2, DetectUnusedDataMembers) -------------------------- *)
 
@@ -261,6 +362,7 @@ let unknown_region_roots (p : program) (regions : Source.unknown_region list) :
       p.funcs []
 
 let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
+  Telemetry.Span.with_ analyze_span_name @@ fun () ->
   (* line 5: construct the call graph *)
   let extra_roots =
     config.Config.extra_roots @ unknown_region_roots p unknown
@@ -275,6 +377,8 @@ let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
       table = p.table;
       cfg = config;
       live_set = Member.Set.empty;  (* line 3: all members start dead *)
+      provenance = Member.Map.empty;
+      cur_fn = None;
       visited = Hashtbl.create 32;  (* line 4: all classes not visited *)
     }
   in
@@ -284,7 +388,15 @@ let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
     (fun (r : Source.unknown_region) ->
       List.iter
         (fun name ->
-          if Class_table.mem p.table name then mark_all_contained st name)
+          if Class_table.mem p.table name then
+            mark_all_contained st
+              {
+                pv_rule = RUnknownRegion;
+                pv_loc = Some r.Source.ur_at;
+                pv_func = None;
+                pv_via = Some name;
+              }
+              name)
         r.Source.ur_refs)
     unknown;
   (* lines 6-8: process every statement of every reachable function *)
@@ -298,6 +410,7 @@ let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
      members (in)directly contained in the union are live, because a write
      to a "dead" union member would change the live one's value *)
   let union_pass () =
+    Telemetry.Counter.incr union_passes_counter;
     let changed = ref false in
     List.iter
       (fun (c : Class_table.cls) ->
@@ -318,7 +431,14 @@ let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
             (* the union itself counts as "not visited" even if seen via
                MarkAllContainedMembers of an enclosing class *)
             Hashtbl.remove st.visited c.c_name;
-            mark_all_contained st c.c_name;
+            mark_all_contained st
+              {
+                pv_rule = RUnion;
+                pv_loc = Some c.c_loc;
+                pv_func = None;
+                pv_via = Some c.c_name;
+              }
+              c.c_name;
             changed := true
           end)
       (Class_table.all_classes p.table);
@@ -339,7 +459,20 @@ let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
             (Class_table.instance_fields c))
       (Class_table.all_classes p.table)
   in
-  { config; callgraph = cg; live = st.live_set; members; unknown }
+  let live_count =
+    List.length
+      (List.filter (fun (m, _) -> Member.Set.mem m st.live_set) members)
+  in
+  Telemetry.Gauge.set live_gauge live_count;
+  Telemetry.Gauge.set dead_gauge (List.length members - live_count);
+  {
+    config;
+    callgraph = cg;
+    live = st.live_set;
+    members;
+    unknown;
+    provenance = st.provenance;
+  }
 
 (* -- queries ------------------------------------------------------------------ *)
 
@@ -364,3 +497,63 @@ let pp_result ppf r =
       Fmt.pf ppf "%-30s %s@\n" (Member.to_string m)
         (if is_live r m then "live" else "DEAD"))
     r.members
+
+(* -- provenance -------------------------------------------------------------- *)
+
+let provenance (r : result) (m : Member.t) = Member.Map.find_opt m r.provenance
+
+let known_member r (m : Member.t) =
+  List.exists (fun (m', _) -> Member.equal m m') r.members
+
+let pp_call_path ppf (chain : Func_id.t list) =
+  Fmt.pf ppf "%s"
+    (String.concat " -> " (List.map Func_id.to_string chain))
+
+(* The full derivation chain of one member's classification, as printed
+   by `deadmem explain`: verdict, rule, marking site, enclosing function
+   and a shortest call chain that makes that function reachable. *)
+let pp_explanation ppf r (m : Member.t) =
+  let name = Member.to_string m in
+  match provenance r m with
+  | None ->
+      if is_live r m then
+        (* only possible for members of library classes etc. that are not
+           tracked in [members]; live without a recorded derivation *)
+        Fmt.pf ppf "%s: live (no derivation recorded)@." name
+      else begin
+        Fmt.pf ppf "%s: DEAD@." name;
+        Fmt.pf ppf
+          "  no liveness derivation exists: in code reachable from main the \
+           member is@.\
+          \  never read, never address-taken, never named by a \
+           pointer-to-member@.\
+          \  expression, never volatile-written, and not swept by any unsafe \
+           cast,@.\
+          \  conservative sizeof, live union, or unknown region.@.";
+        Fmt.pf ppf
+          "  removing it cannot affect observable behaviour (paper, §3).@."
+      end
+  | Some why ->
+      Fmt.pf ppf "%s: LIVE@." name;
+      Fmt.pf ppf "  rule: %s — %s@." (rule_name why.pv_rule)
+        (rule_description why.pv_rule);
+      (match why.pv_via with
+      | Some root when why.pv_rule <> RRead ->
+          Fmt.pf ppf "  via: MarkAllContainedMembers(%s)@." root
+      | _ -> ());
+      (match why.pv_loc with
+      | Some at -> Fmt.pf ppf "  at: %a@." Source.pp_span at
+      | None -> ());
+      (match why.pv_func with
+      | Some fn -> (
+          Fmt.pf ppf "  in: %a@." Func_id.pp fn;
+          match Callgraph.path_from_root r.callgraph fn with
+          | Some chain -> Fmt.pf ppf "  call path: %a@." pp_call_path chain
+          | None -> Fmt.pf ppf "  call path: (root)@.")
+      | None -> (
+          match why.pv_rule with
+          | RUnion -> Fmt.pf ppf "  in: (union post-pass)@."
+          | RUnknownRegion -> Fmt.pf ppf "  in: (keep-going degradation)@."
+          | _ -> Fmt.pf ppf "  in: (global initializer)@."))
+
+let explain r (m : Member.t) : string = Fmt.str "%a" (fun ppf -> pp_explanation ppf r) m

@@ -20,6 +20,36 @@
 
 open Sema
 
+(** The paper rule that marked a member live. *)
+type rule =
+  | RRead  (** the member's value is read *)
+  | RAddressTaken  (** [&e.m] outside delete/free *)
+  | RPointerToMember  (** [&Z::m] *)
+  | RVolatileWrite  (** a volatile member is written *)
+  | RUnsafeCast  (** MarkAllContainedMembers from an unsafe cast *)
+  | RSizeof  (** MarkAllContainedMembers from a conservative sizeof *)
+  | RUnion  (** union post-pass: a live sibling shares the storage *)
+  | RUnknownRegion  (** keep-going conservative degradation *)
+
+(** Short kebab-case rule name: ["read"], ["address-taken"], ... *)
+val rule_name : rule -> string
+
+(** One-line prose statement of the rule. *)
+val rule_description : rule -> string
+
+(** Why a member is live: the analysis's {e first} derivation of the
+    fact (later re-derivations never overwrite it). *)
+type reason = {
+  pv_rule : rule;
+  pv_loc : Frontend.Source.span option;
+      (** the marking expression/statement; [None] for post-passes *)
+  pv_func : Typed_ast.Func_id.t option;
+      (** the enclosing reachable function; [None] for global
+          initializers and post-passes *)
+  pv_via : string option;
+      (** root class of a MarkAllContainedMembers sweep, when one fired *)
+}
+
 type result = {
   config : Config.t;
   callgraph : Callgraph.t;  (** the call graph the analysis ran over *)
@@ -31,6 +61,8 @@ type result = {
       (** regions that failed to parse/check under keep-going recovery
           and were folded into the result conservatively; empty in
           strict mode *)
+  provenance : reason Member.Map.t;
+      (** the liveness derivation of every live member *)
 }
 
 (** Run the analysis. [config] defaults to the fully conservative
@@ -59,3 +91,20 @@ val dead_set : result -> Member.Set.t
 
 (** One line per member with its classification. *)
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Liveness provenance} *)
+
+(** The recorded derivation of a live member; [None] for dead members. *)
+val provenance : result -> Member.t -> reason option
+
+(** Whether the member is one the analysis classified (an instance data
+    member of a non-library class). *)
+val known_member : result -> Member.t -> bool
+
+(** Print the full derivation chain of one member's classification:
+    verdict, rule, marking site, enclosing function, and a shortest
+    call chain from [main] (or another root) to that function. *)
+val pp_explanation : Format.formatter -> result -> Member.t -> unit
+
+(** {!pp_explanation} as a string. *)
+val explain : result -> Member.t -> string

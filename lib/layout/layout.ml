@@ -22,6 +22,9 @@ module MemberSet = Sema.Member.Set
 
 let ptr_size = 8
 
+(* telemetry instrument (no-op unless collection is enabled) *)
+let layouts_counter = Telemetry.Counter.make "layout.class_layouts"
+
 (* Size of a non-aggregate type. Total: class and array types, whose size
    depends on the class table, yield [None] (use [type_size] for those)
    instead of an exception that a malformed input could reach. *)
@@ -80,6 +83,7 @@ and layout_of t cls : class_layout =
       let c = Class_table.find_exn t.table cls in
       let l = compute_layout t c in
       Hashtbl.add t.cache cls l;
+      Telemetry.Counter.incr layouts_counter;
       l
 
 and compute_layout t (c : Class_table.cls) : class_layout =

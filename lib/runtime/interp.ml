@@ -47,6 +47,7 @@ type env = {
   mutable steps : int;
   step_limit : int;
   mutable call_depth : int;
+  mutable max_call_depth : int;
   call_depth_limit : int;
   heap_object_limit : int;
 }
@@ -547,6 +548,8 @@ and eval_builtin env frame b args =
 
 and call_function env id ~this argv : value =
   env.call_depth <- env.call_depth + 1;
+  if env.call_depth > env.max_call_depth then
+    env.max_call_depth <- env.call_depth;
   if env.call_depth > env.call_depth_limit then
     limit_exceeded "call depth limit exceeded (%d): possible runaway recursion"
       env.call_depth_limit;
@@ -895,6 +898,19 @@ let default_step_limit = 200_000_000
 let default_call_depth_limit = 10_000
 let default_heap_object_limit = 10_000_000
 
+(* telemetry instruments (no-ops unless collection is enabled); the
+   per-step hot path is untouched — totals are recorded once per run.
+   The guard-proximity gauges say how close the run came to each
+   resource guard, in percent of the limit consumed. *)
+let steps_counter = Telemetry.Counter.make "interp.steps"
+let allocs_counter = Telemetry.Counter.make "interp.allocations"
+let runs_counter = Telemetry.Counter.make "interp.runs"
+let step_pct_gauge = Telemetry.Gauge.make "interp.guard.steps_used_pct"
+let depth_pct_gauge = Telemetry.Gauge.make "interp.guard.call_depth_used_pct"
+let objects_pct_gauge = Telemetry.Gauge.make "interp.guard.objects_used_pct"
+
+let pct_of used limit = if limit <= 0 then 0 else used * 100 / limit
+
 let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
     ?(call_depth_limit = default_call_depth_limit)
     ?(heap_object_limit = default_heap_object_limit) (p : program) : outcome =
@@ -910,10 +926,25 @@ let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
       steps = 0;
       step_limit;
       call_depth = 0;
+      max_call_depth = 0;
       call_depth_limit = max 1 call_depth_limit;
       heap_object_limit = max 1 heap_object_limit;
     }
   in
+  let record_telemetry () =
+    Telemetry.Counter.incr runs_counter;
+    Telemetry.Counter.add steps_counter env.steps;
+    Telemetry.Counter.add allocs_counter env.obj_counter;
+    Telemetry.Gauge.set step_pct_gauge (pct_of env.steps env.step_limit);
+    Telemetry.Gauge.set depth_pct_gauge
+      (pct_of env.max_call_depth env.call_depth_limit);
+    Telemetry.Gauge.set objects_pct_gauge
+      (pct_of env.obj_counter env.heap_object_limit)
+  in
+  (* totals and guard proximity are recorded even when a limit aborts
+     the run — that is exactly when guard proximity matters *)
+  Telemetry.Span.with_ "interp" @@ fun () ->
+  Fun.protect ~finally:record_telemetry @@ fun () ->
   (* globals, in declaration order *)
   let init_frame = { scopes = []; this = None } in
   push_scope init_frame;

@@ -48,7 +48,12 @@ type cls = {
 type t = {
   classes : cls StringMap.t;
   order : string list;  (* declaration order *)
+  (* memoized hierarchy lookups (see Member_lookup): key is
+     "<kind>:<start>:<member>", value the set of defining classes *)
+  lookup_cache : (string, string list) Hashtbl.t;
 }
+
+let lookup_cache t = t.lookup_cache
 
 let find t name = StringMap.find_opt name t.classes
 
@@ -207,6 +212,10 @@ let attach_definition (c : cls) (m : Ast.method_decl) : cls =
       in
       { c with c_methods = methods }
 
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let classes_counter = Telemetry.Counter.make "sema.classes"
+let members_counter = Telemetry.Counter.make "sema.members"
+
 let of_program (prog : Ast.program) : t =
   (* pass 1: class declarations *)
   let classes = ref StringMap.empty in
@@ -284,7 +293,13 @@ let of_program (prog : Ast.program) : t =
       | Ast.TClass _ | Ast.TFunc _ | Ast.TGlobal _ | Ast.TEnum _ -> ())
     prog;
   (* pass 3: validate bases; compute implicit virtuality *)
-  let table = { classes = !classes; order = List.rev !order } in
+  let table =
+    {
+      classes = !classes;
+      order = List.rev !order;
+      lookup_cache = Hashtbl.create 64;
+    }
+  in
   StringMap.iter
     (fun _ c ->
       List.iter
@@ -338,7 +353,16 @@ let of_program (prog : Ast.program) : t =
     end
   in
   List.iter promote table.order;
-  { classes = !classes; order = table.order }
+  let t =
+    { classes = !classes; order = table.order; lookup_cache = Hashtbl.create 64 }
+  in
+  Telemetry.Counter.add classes_counter (List.length t.order);
+  Telemetry.Counter.add members_counter
+    (StringMap.fold
+       (fun _ c acc ->
+         acc + List.length (List.filter (fun f -> not f.f_static) c.c_fields))
+       t.classes 0);
+  t
 
 (* -- statistics helpers (Table 1) ----------------------------------------- *)
 

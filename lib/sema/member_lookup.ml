@@ -32,9 +32,31 @@ let search table ~start ~own =
   in
   go start
 
-let classify table ~start ~own : 'a result =
-  let defining = search table ~start ~own in
-  match StringSet.elements defining with
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let lookups_counter = Telemetry.Counter.make "sema.lookups"
+let cache_hits_counter = Telemetry.Counter.make "sema.lookup_cache_hits"
+let cache_misses_counter = Telemetry.Counter.make "sema.lookup_cache_misses"
+
+(* The set of defining classes for (kind, start, name) depends only on
+   the (immutable) hierarchy, so it is memoized in the class table's
+   lookup cache; [own] must be the canonical extractor for [kind]. *)
+let defining_classes table ~kind ~start ~name ~own : string list =
+  Telemetry.Counter.incr lookups_counter;
+  let cache = Class_table.lookup_cache table in
+  let key = kind ^ ":" ^ start ^ ":" ^ name in
+  match Hashtbl.find_opt cache key with
+  | Some ds ->
+      Telemetry.Counter.incr cache_hits_counter;
+      ds
+  | None ->
+      Telemetry.Counter.incr cache_misses_counter;
+      let ds = StringSet.elements (search table ~start ~own) in
+      Hashtbl.add cache key ds;
+      ds
+
+let classify table ~kind ~start ~name ~own : 'a result =
+  let defining = defining_classes table ~kind ~start ~name ~own in
+  match defining with
   | [] -> NotFound
   | [ d ] -> (
       match Class_table.find table d with
@@ -67,7 +89,8 @@ let classify table ~start ~own : 'a result =
 (* Look up data member [m] starting at class [start].  Mirrors the
    paper's [Lookup(X, m)]: "m may occur in a base class of X". *)
 let lookup_field table ~start ~name : Class_table.field result =
-  classify table ~start ~own:(fun c -> Class_table.own_field c name)
+  classify table ~kind:"f" ~start ~name
+    ~own:(fun c -> Class_table.own_field c name)
 
 (* Look up a normal method. *)
 let lookup_method table ~start ~name : Class_table.method_info result =
@@ -77,7 +100,7 @@ let lookup_method table ~start ~name : Class_table.method_info result =
         m.m_name = name && m.m_kind = Ast.MethNormal)
       c.Class_table.c_methods
   in
-  classify table ~start ~own
+  classify table ~kind:"m" ~start ~name ~own
 
 exception Lookup_error of string
 

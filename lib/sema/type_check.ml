@@ -911,8 +911,12 @@ and check_var_decl env (d : Ast.var_decl) : tvar_decl =
 
 (* -- functions ---------------------------------------------------------------- *)
 
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let functions_counter = Telemetry.Counter.make "sema.functions_checked"
+
 let check_function_common env ~loc ~this_class ~ret ~(params : Ast.param list)
     ~body ~base_inits ~field_inits : tstmt option * base_init list * field_init list =
+  Telemetry.Counter.incr functions_counter;
   env.this_class <- this_class;
   env.ret_type <- ret;
   env.scopes <- [];
@@ -1005,6 +1009,7 @@ let resolve_ctor_inits env ~loc (c : Class_table.cls)
   (resolved, List.rev !field_inits)
 
 let check_program_gen recover (prog : Ast.program) : program =
+  Telemetry.Span.with_ "typecheck" @@ fun () ->
   (* In keep-going mode a class-table error (duplicate class, unknown
      base, bad out-of-line definition, ...) drops the offending
      declaration and retries, so one bad class does not take down the

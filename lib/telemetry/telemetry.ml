@@ -1,0 +1,390 @@
+(* Lightweight analysis telemetry: counters, gauges and spans.
+
+   Every pipeline layer (lexer, parser, sema, callgraph, liveness,
+   eliminate/layout, interpreter) registers its instruments at module
+   initialisation and records into them unconditionally; each recording
+   operation is a single load-and-branch when telemetry is disabled (the
+   default), so the instrumentation can stay in place permanently.
+
+   Design points:
+   - instruments are *handles* (records with a mutable cell), created
+     once per process by [Counter.make]/[Gauge.make]; the hot path never
+     touches the registry, only the handle;
+   - counters are monotone: deltas are clamped to be non-negative, so a
+     counter read is always >= every earlier read within a run;
+   - spans record wall-clock intervals and export to the Chrome
+     trace-event format (the JSON array flavour that [chrome://tracing]
+     and Perfetto load directly);
+   - [reset] clears recorded values but keeps registrations, so one
+     process can measure several independent runs (the bench harness
+     resets between benchmarks);
+   - the [DEADMEM_TELEMETRY] environment variable force-enables
+     collection at load time, for harnesses that cannot pass a flag
+     through (e.g. timing [dune runtest] with instrumentation live). *)
+
+(* -- enablement -------------------------------------------------------------- *)
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "DEADMEM_TELEMETRY" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | Some _ | None -> false)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* -- counters ----------------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; value = 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  (* monotone: negative deltas are ignored rather than subtracted *)
+  let add c n = if !enabled_flag && n > 0 then c.value <- c.value + n
+  let incr c = if !enabled_flag then c.value <- c.value + 1
+  let value c = c.value
+  let name c = c.name
+end
+
+(* -- gauges ------------------------------------------------------------------- *)
+
+module Gauge = struct
+  type t = { name : string; mutable value : int; mutable touched : bool }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some g -> g
+    | None ->
+        let g = { name; value = 0; touched = false } in
+        Hashtbl.add registry name g;
+        g
+
+  let set g v =
+    if !enabled_flag then begin
+      g.value <- v;
+      g.touched <- true
+    end
+
+  let value g = g.value
+  let name g = g.name
+end
+
+(* -- spans -------------------------------------------------------------------- *)
+
+module Span = struct
+  (* A completed span; [depth] is the nesting level at entry, recorded so
+     textual dumps can indent without re-deriving nesting from times. *)
+  type completed = {
+    sp_name : string;
+    sp_start_us : float;
+    sp_dur_us : float;
+    sp_depth : int;
+  }
+
+  type t = { name : string; start_us : float; depth : int; live : bool }
+
+  let completed_rev : completed list ref = ref []
+  let cur_depth = ref 0
+
+  let disabled = { name = ""; start_us = 0.0; depth = 0; live = false }
+
+  let enter name =
+    if not !enabled_flag then disabled
+    else begin
+      let s = { name; start_us = now_us (); depth = !cur_depth; live = true } in
+      incr cur_depth;
+      s
+    end
+
+  let exit s =
+    if s.live then begin
+      decr cur_depth;
+      completed_rev :=
+        {
+          sp_name = s.name;
+          sp_start_us = s.start_us;
+          sp_dur_us = now_us () -. s.start_us;
+          sp_depth = s.depth;
+        }
+        :: !completed_rev
+    end
+
+  let with_ name f =
+    let s = enter name in
+    Fun.protect ~finally:(fun () -> exit s) f
+
+  (* completed spans in chronological (entry-order) … exit order is fine
+     for trace export, which sorts by timestamp anyway *)
+  let completed () = List.rev !completed_rev
+end
+
+(* -- snapshots ----------------------------------------------------------------- *)
+
+let sorted_bindings registry value =
+  Hashtbl.fold (fun name inst acc -> (name, value inst) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () =
+  sorted_bindings Counter.registry (fun c -> c.Counter.value)
+  |> List.filter (fun (_, v) -> v > 0)
+
+let gauges () =
+  Hashtbl.fold
+    (fun name (g : Gauge.t) acc ->
+      if g.Gauge.touched then (name, g.Gauge.value) :: acc else acc)
+    Gauge.registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.value <- 0) Counter.registry;
+  Hashtbl.iter
+    (fun _ (g : Gauge.t) ->
+      g.Gauge.value <- 0;
+      g.Gauge.touched <- false)
+    Gauge.registry;
+  Span.completed_rev := [];
+  Span.cur_depth := 0
+
+(* -- JSON rendering ------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let obj_of_bindings bs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) bs)
+  ^ "}"
+
+(* Microsecond quantities are printed with a fixed-point format:
+   floating-point notation with an exponent is valid JSON but annoys
+   line-oriented consumers. *)
+let span_json (s : Span.completed) =
+  Printf.sprintf "{\"name\":\"%s\",\"start_us\":%.1f,\"dur_us\":%.1f,\"depth\":%d}"
+    (json_escape s.Span.sp_name) s.Span.sp_start_us s.Span.sp_dur_us
+    s.Span.sp_depth
+
+let metrics_json () =
+  Printf.sprintf "{\"counters\":%s,\"gauges\":%s,\"spans\":[%s]}"
+    (obj_of_bindings (counters ()))
+    (obj_of_bindings (gauges ()))
+    (String.concat "," (List.map span_json (Span.completed ())))
+
+(* Chrome trace-event format, JSON-array flavour: one complete ("X")
+   event per span. chrome://tracing and https://ui.perfetto.dev load
+   this directly. *)
+let trace_json () =
+  let events =
+    List.map
+      (fun (s : Span.completed) ->
+        Printf.sprintf
+          "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":1}"
+          (json_escape s.Span.sp_name) s.Span.sp_start_us s.Span.sp_dur_us)
+      (Span.completed ())
+  in
+  "[" ^ String.concat ",\n " events ^ "]\n"
+
+(* -- minimal JSON reader -------------------------------------------------------
+
+   Just enough of RFC 8259 to validate and round-trip the two documents
+   this module emits (and the CLI's other JSON outputs, in tests). Not a
+   general-purpose parser: rejects trailing garbage, accepts any numeric
+   syntax OCaml's [float_of_string] accepts after basic shape checks. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (input : string) : (t, string) Stdlib.result =
+    let n = String.length input in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some input.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      let m = String.length word in
+      if !pos + m <= n && String.sub input !pos m = word then begin
+        pos := !pos + m;
+        value
+      end
+      else fail (Printf.sprintf "expected '%s'" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | None -> fail "unterminated escape"
+            | Some c ->
+                advance ();
+                (match c with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'u' ->
+                    if !pos + 4 > n then fail "truncated \\u escape";
+                    let hex = String.sub input !pos 4 in
+                    pos := !pos + 4;
+                    let code =
+                      try int_of_string ("0x" ^ hex)
+                      with _ -> fail "bad \\u escape"
+                    in
+                    (* no surrogate-pair handling: emitters here only
+                       \u-escape control characters *)
+                    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                    else Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+                | _ -> fail "unknown escape");
+                go ())
+        | Some c ->
+            advance ();
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> numchar c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub input start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function
+    | Obj bs -> List.assoc_opt key bs
+    | _ -> None
+
+  let to_int = function
+    | Num f when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+
+  let to_string = function Str s -> Some s | _ -> None
+  let to_list = function Arr l -> Some l | _ -> None
+end

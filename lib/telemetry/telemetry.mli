@@ -1,0 +1,112 @@
+(** Lightweight analysis telemetry: counters, gauges and wall-clock
+    spans, with metrics-snapshot and Chrome trace-event JSON export.
+
+    Instruments are process-global handles created once at module
+    initialisation; recording into a handle is a single load-and-branch
+    when collection is disabled (the default), so instrumentation can be
+    threaded permanently through every pipeline layer. *)
+
+(** Whether collection is active. Starts [false] unless the
+    [DEADMEM_TELEMETRY] environment variable is set to [1]/[true]/
+    [on]/[yes] when the process loads. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** Current wall-clock time in microseconds (the timebase of spans). *)
+val now_us : unit -> float
+
+(** Monotone event counters. While collection stays enabled, a
+    counter's value never decreases: increments are non-negative and
+    only {!reset} clears it. *)
+module Counter : sig
+  type t
+
+  (** [make name] registers (or retrieves) the counter [name].
+      Idempotent: the same name always yields the same handle. *)
+  val make : string -> t
+
+  val incr : t -> unit
+
+  (** [add c n] adds [max n 0] — negative deltas are ignored to keep
+      the counter monotone. No-op while disabled. *)
+  val add : t -> int -> unit
+
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Last-write-wins measurements (sizes, headroom to resource guards). *)
+module Gauge : sig
+  type t
+
+  val make : string -> t
+
+  (** No-op while disabled. Gauges never [set] since the last {!reset}
+      are omitted from snapshots. *)
+  val set : t -> int -> unit
+
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Wall-clock phase spans. *)
+module Span : sig
+  type completed = {
+    sp_name : string;
+    sp_start_us : float;
+    sp_dur_us : float;
+    sp_depth : int;  (** nesting level at entry *)
+  }
+
+  type t
+
+  (** Start a span. Returns a no-op token while disabled. *)
+  val enter : string -> t
+
+  val exit : t -> unit
+
+  (** [with_ name f] runs [f ()] inside a span; the span is closed even
+      if [f] raises. *)
+  val with_ : string -> (unit -> 'a) -> 'a
+
+  (** Completed spans, oldest first. *)
+  val completed : unit -> completed list
+end
+
+(** Nonzero counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** Gauges set since the last {!reset}, sorted by name. *)
+val gauges : unit -> (string * int) list
+
+(** Clear all recorded values and spans; registrations (and outstanding
+    handles) stay valid. *)
+val reset : unit -> unit
+
+(** The whole state as one JSON object:
+    [{"counters":{...},"gauges":{...},"spans":[...]}]. *)
+val metrics_json : unit -> string
+
+(** Completed spans in the Chrome trace-event JSON-array format — loads
+    directly in [chrome://tracing] and Perfetto. *)
+val trace_json : unit -> string
+
+(** Minimal JSON reader used to validate and round-trip the documents
+    this module (and the CLI) emit. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  val to_int : t -> int option
+  val to_string : t -> string option
+  val to_list : t -> t list option
+end

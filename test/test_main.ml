@@ -16,4 +16,5 @@ let () =
       ("properties", Test_properties.suite);
       ("edge", Test_edge.suite);
       ("robustness", Test_robustness.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,266 @@
+(* Telemetry subsystem: instrument semantics (monotone counters, disabled
+   no-op, reset), snapshot formats (metrics JSON round-trip, Chrome trace
+   validity), and liveness provenance — the data behind `deadmem explain`
+   — on the paper's Figure 1 program. *)
+
+module T = Telemetry
+module L = Deadmem.Liveness
+
+(* Every test leaves the collector the way the rest of the suite expects
+   it: disabled and empty. *)
+let with_telemetry f =
+  T.reset ();
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    f
+
+(* -- instrument semantics ---------------------------------------------------- *)
+
+let t_counter_monotone () =
+  with_telemetry @@ fun () ->
+  let c = T.Counter.make "test.monotone" in
+  T.Counter.add c 5;
+  Util.check_int "add" 5 (T.Counter.value c);
+  T.Counter.add c (-3);
+  Util.check_int "negative delta ignored" 5 (T.Counter.value c);
+  T.Counter.add c 0;
+  Util.check_int "zero delta ignored" 5 (T.Counter.value c);
+  T.Counter.incr c;
+  Util.check_int "incr" 6 (T.Counter.value c)
+
+let t_counter_make_idempotent () =
+  with_telemetry @@ fun () ->
+  let a = T.Counter.make "test.same" and b = T.Counter.make "test.same" in
+  T.Counter.incr a;
+  T.Counter.incr b;
+  Util.check_int "same cell" 2 (T.Counter.value a)
+
+let t_disabled_noop () =
+  T.reset ();
+  T.set_enabled false;
+  let c = T.Counter.make "test.disabled" in
+  let g = T.Gauge.make "test.disabled_gauge" in
+  T.Counter.add c 7;
+  T.Gauge.set g 7;
+  let v = T.Span.with_ "test.disabled_span" (fun () -> 41 + 1) in
+  Util.check_int "with_ still returns the value" 42 v;
+  Util.check_int "disabled counter never moves" 0 (T.Counter.value c);
+  Util.check_bool "disabled: no counters in snapshot" true (T.counters () = []);
+  Util.check_bool "disabled: no gauges in snapshot" true (T.gauges () = []);
+  Util.check_bool "disabled: no spans recorded" true (T.Span.completed () = [])
+
+let t_reset_keeps_registrations () =
+  with_telemetry @@ fun () ->
+  let c = T.Counter.make "test.reset" in
+  T.Counter.add c 3;
+  ignore (T.Span.with_ "test.reset_span" (fun () -> ()));
+  T.reset ();
+  Util.check_int "counter cleared" 0 (T.Counter.value c);
+  Util.check_bool "spans cleared" true (T.Span.completed () = []);
+  T.Counter.incr c;
+  Util.check_int "registration survives reset" 1 (T.Counter.value c);
+  Util.check_bool "still in snapshot after reset" true
+    (List.mem_assoc "test.reset" (T.counters ()))
+
+let t_gauge_untouched_omitted () =
+  with_telemetry @@ fun () ->
+  let _never = T.Gauge.make "test.never_set" in
+  let g = T.Gauge.make "test.set_once" in
+  T.Gauge.set g 0;
+  Util.check_bool "untouched gauge omitted" false
+    (List.mem_assoc "test.never_set" (T.gauges ()));
+  Util.check_bool "touched gauge kept even at zero" true
+    (List.mem_assoc "test.set_once" (T.gauges ()))
+
+(* -- snapshot formats -------------------------------------------------------- *)
+
+let json_exn s =
+  match T.Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "JSON did not parse: %s" e
+
+let t_metrics_json_roundtrip () =
+  with_telemetry @@ fun () ->
+  let _ = Util.analyze Test_liveness.figure1 in
+  let j = json_exn (T.metrics_json ()) in
+  let counter name =
+    match T.Json.(Option.bind (member "counters" j) (member name)) with
+    | Some v -> T.Json.to_int v
+    | None -> None
+  in
+  (match counter "lexer.tokens" with
+  | Some n -> Util.check_bool "lexer.tokens positive" true (n > 0)
+  | None -> Alcotest.fail "counters.lexer.tokens missing");
+  (match counter "sema.classes" with
+  | Some n -> Util.check_int "sema.classes" 4 n
+  | None -> Alcotest.fail "counters.sema.classes missing");
+  (match T.Json.(Option.bind (member "gauges" j) (member "liveness.dead_members")) with
+  | Some v -> Util.check_bool "dead_members gauge" true (T.Json.to_int v = Some 3)
+  | None -> Alcotest.fail "gauges.liveness.dead_members missing");
+  match Option.bind (T.Json.member "spans" j) T.Json.to_list with
+  | Some (_ :: _) -> ()
+  | Some [] -> Alcotest.fail "spans empty"
+  | None -> Alcotest.fail "spans missing"
+
+let t_trace_json_valid () =
+  with_telemetry @@ fun () ->
+  let _ = Util.analyze Test_liveness.figure1 in
+  let j = json_exn (T.trace_json ()) in
+  let events =
+    match T.Json.to_list j with
+    | Some l -> l
+    | None -> Alcotest.fail "trace is not a JSON array"
+  in
+  Util.check_bool "at least one event" true (events <> []);
+  let names =
+    List.map
+      (fun e ->
+        (match Option.bind (T.Json.member "ph" e) T.Json.to_string with
+        | Some "X" -> ()
+        | _ -> Alcotest.fail "event ph is not \"X\"");
+        (match Option.bind (T.Json.member "ts" e) T.Json.to_int with
+        | Some _ -> ()
+        | None -> Alcotest.fail "event ts missing");
+        (match Option.bind (T.Json.member "dur" e) T.Json.to_int with
+        | Some _ -> ()
+        | None -> Alcotest.fail "event dur missing");
+        match Option.bind (T.Json.member "name" e) T.Json.to_string with
+        | Some n -> n
+        | None -> Alcotest.fail "event name missing")
+      events
+  in
+  (* one span per pipeline phase of analyze *)
+  List.iter
+    (fun phase ->
+      Util.check_bool (phase ^ " span present") true (List.mem phase names))
+    [ "lex"; "parse"; "typecheck"; "callgraph"; "liveness" ]
+
+let t_json_parser_rejects_garbage () =
+  Util.check_bool "trailing garbage" true
+    (Result.is_error (T.Json.parse "{} x"));
+  Util.check_bool "unterminated" true (Result.is_error (T.Json.parse "[1,"));
+  Util.check_bool "empty" true (Result.is_error (T.Json.parse "  "))
+
+(* -- liveness provenance (the data behind `deadmem explain`) ------------------ *)
+
+let rule_of result cls name =
+  Option.map (fun r -> r.L.pv_rule) (L.provenance result (cls, name))
+
+let t_figure1_live_provenance () =
+  let _, r = Util.analyze Test_liveness.figure1 in
+  (* truly-live members and the paper rule that marks each *)
+  List.iter
+    (fun (cls, name, rule) ->
+      (match rule_of r cls name with
+      | Some got ->
+          Util.check_string
+            (Printf.sprintf "%s::%s rule" cls name)
+            (L.rule_name rule) (L.rule_name got)
+      | None ->
+          Alcotest.failf "%s::%s is live but has no provenance" cls name);
+      match L.provenance r (cls, name) with
+      | Some { L.pv_loc = Some _; _ } -> ()
+      | Some { L.pv_loc = None; _ } ->
+          Alcotest.failf "%s::%s has no source location" cls name
+      | None -> assert false)
+    [
+      ("A", "ma1", L.RRead);
+      ("N", "mn1", L.RRead);
+      ("B", "mb2", L.RRead);
+      ("B", "mb4", L.RAddressTaken) (* foo(&b.mb4) *);
+      ("B", "mb1", L.RRead) (* conservatively live: read in B::f *);
+      ("B", "mb3", L.RRead);
+      ("C", "mc1", L.RRead);
+    ]
+
+let t_figure1_dead_no_provenance () =
+  let _, r = Util.analyze Test_liveness.figure1 in
+  List.iter
+    (fun (cls, name) ->
+      Util.check_bool
+        (Printf.sprintf "%s::%s has no derivation" cls name)
+        true
+        (L.provenance r (cls, name) = None);
+      Util.check_bool "explain says DEAD" true
+        (Util.contains_sub ~sub:"DEAD" (L.explain r (cls, name))))
+    [ ("A", "ma2"); ("A", "ma3"); ("N", "mn2") ]
+
+let t_explain_call_path () =
+  let _, r = Util.analyze Test_liveness.figure1 in
+  let text = L.explain r ("A", "ma1") in
+  Util.check_bool "names the rule" true (Util.contains_sub ~sub:"rule: read" text);
+  Util.check_bool "names the function" true
+    (Util.contains_sub ~sub:"in: A::f" text);
+  Util.check_bool "call path from main" true
+    (Util.contains_sub ~sub:"call path: main -> A::f" text);
+  Util.check_bool "known member" true (L.known_member r ("A", "ma1"));
+  Util.check_bool "unknown member" false (L.known_member r ("A", "zz"))
+
+let t_rule_volatile_write () =
+  let _, r =
+    Util.analyze
+      "class A { public: volatile int v; int w; };\n\
+       int main() { A a; a.v = 1; a.w = 1; return 0; }"
+  in
+  Util.check_bool "volatile-write rule" true
+    (rule_of r "A" "v" = Some L.RVolatileWrite);
+  Util.check_bool "plain write: no derivation" true (rule_of r "A" "w" = None)
+
+let t_rule_pointer_to_member () =
+  let _, r =
+    Util.analyze
+      {|class A { public: int m; int n; };
+        int main() { A a; int A::*pm = &A::m; return a.*pm; }|}
+  in
+  Util.check_bool "pointer-to-member rule" true
+    (rule_of r "A" "m" = Some L.RPointerToMember)
+
+let t_rule_unsafe_cast () =
+  let _, r =
+    Util.analyze
+      {|class A { public: int a; };
+        class X { public: int x; };
+        int main() { A a; X *p = (X*)&a; if (p == NULL) return 1; return 0; }|}
+  in
+  match L.provenance r ("A", "a") with
+  | Some { L.pv_rule = L.RUnsafeCast; pv_via = Some _; _ } -> ()
+  | Some { L.pv_rule; _ } ->
+      Alcotest.failf "expected unsafe-cast, got %s" (L.rule_name pv_rule)
+  | None -> Alcotest.fail "cross-cast source member has no provenance"
+
+let t_marks_counters_track_provenance () =
+  with_telemetry @@ fun () ->
+  let _, r = Util.analyze Test_liveness.figure1 in
+  let marks =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 15 && String.sub name 0 15 = "liveness.marks.")
+      (T.counters ())
+  in
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 marks in
+  Util.check_int "one first-mark per live member"
+    (List.length (L.live_members r))
+    total
+
+let suite =
+  [
+    Util.test "counters are monotone" t_counter_monotone;
+    Util.test "Counter.make is idempotent" t_counter_make_idempotent;
+    Util.test "disabled telemetry is a no-op" t_disabled_noop;
+    Util.test "reset keeps registrations" t_reset_keeps_registrations;
+    Util.test "untouched gauges omitted" t_gauge_untouched_omitted;
+    Util.test "metrics JSON round-trips" t_metrics_json_roundtrip;
+    Util.test "trace JSON is valid Chrome trace" t_trace_json_valid;
+    Util.test "JSON parser rejects garbage" t_json_parser_rejects_garbage;
+    Util.test "Figure 1: live members name paper rules" t_figure1_live_provenance;
+    Util.test "Figure 1: dead members have no derivation"
+      t_figure1_dead_no_provenance;
+    Util.test "explain prints rule, site and call path" t_explain_call_path;
+    Util.test "volatile-write rule recorded" t_rule_volatile_write;
+    Util.test "pointer-to-member rule recorded" t_rule_pointer_to_member;
+    Util.test "unsafe-cast rule recorded with via class" t_rule_unsafe_cast;
+    Util.test "mark counters equal live members" t_marks_counters_track_provenance;
+  ]
