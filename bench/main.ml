@@ -9,7 +9,10 @@
      dune exec bench/main.exe -- figure4 -- dead space / HWM reduction bars
      dune exec bench/main.exe -- ablation-- call-graph & policy ablations
      dune exec bench/main.exe -- perf    -- Bechamel timings
-     dune exec bench/main.exe -- json    -- write BENCH_deadmem.json *)
+     dune exec bench/main.exe -- json    -- write BENCH_deadmem.json
+     dune exec bench/main.exe -- --compare BASELINE.json
+                                         -- diff against a committed snapshot;
+                                            exits 1 on >25% phase regression *)
 
 open Benchmarks
 
@@ -301,70 +304,257 @@ let perf () =
 (* One record per benchmark: wall time of each pipeline phase plus the
    telemetry counters the instrumented run produced. The file is committed,
    so the performance trajectory of the analysis is visible across PRs. *)
-let bench_json () =
-  let out = "BENCH_deadmem.json" in
+
+type measurement = {
+  m_name : string;
+  m_loc : int;
+  m_phases : (string * float) list;  (* phase name -> wall ms *)
+  m_dead : int;
+  m_objspace : int;
+  m_deadspace : int;
+  m_counters : (string * int) list;
+}
+
+let measure () : measurement list =
   let time f =
     let t0 = Unix.gettimeofday () in
     let v = f () in
     (v, (Unix.gettimeofday () -. t0) *. 1e3)
   in
   let was_enabled = Telemetry.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled was_enabled;
+      Telemetry.reset ())
+    (fun () ->
+      List.map
+        (fun (b : Suite.t) ->
+          Telemetry.reset ();
+          Telemetry.set_enabled true;
+          let ast, parse_ms =
+            time (fun () -> Frontend.Parser.parse_string b.Suite.source)
+          in
+          ignore ast;
+          let prog, check_ms = time (fun () -> Suite.program b) in
+          let result, analyze_ms =
+            time (fun () ->
+                Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog)
+          in
+          let outcome, run_ms =
+            time (fun () ->
+                Runtime.Interp.run
+                  ~dead:(Deadmem.Liveness.dead_set result)
+                  prog)
+          in
+          let s = outcome.Runtime.Interp.snapshot in
+          {
+            m_name = b.Suite.name;
+            m_loc = Suite.loc b;
+            m_phases =
+              [
+                ("parse", parse_ms);
+                ("typecheck", check_ms);
+                ("analyze", analyze_ms);
+                ("run", run_ms);
+              ];
+            m_dead = List.length (Deadmem.Liveness.dead_members result);
+            m_objspace = s.Runtime.Profile.object_space;
+            m_deadspace = s.Runtime.Profile.dead_space;
+            m_counters = Telemetry.counters ();
+          })
+        Suite.all)
+
+let bench_json () =
+  let out = "BENCH_deadmem.json" in
+  let ms = measure () in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"benchmarks\": [";
   List.iteri
-    (fun i (b : Suite.t) ->
-      Telemetry.reset ();
-      Telemetry.set_enabled true;
-      let ast, parse_ms =
-        time (fun () -> Frontend.Parser.parse_string b.Suite.source)
-      in
-      ignore ast;
-      let prog, check_ms = time (fun () -> Suite.program b) in
-      let result, analyze_ms =
-        time (fun () ->
-            Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog)
-      in
-      let outcome, run_ms =
-        time (fun () ->
-            Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set result) prog)
-      in
-      let s = outcome.Runtime.Interp.snapshot in
+    (fun i m ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Fmt.str
            "\n\
            \    {\"name\":\"%s\",\"loc\":%d,\n\
-           \     \"wall_ms\":{\"parse\":%.3f,\"typecheck\":%.3f,\"analyze\":%.3f,\"run\":%.3f},\n\
+           \     \"wall_ms\":{%s},\n\
            \     \"dead_members\":%d,\"object_space\":%d,\"dead_space\":%d,\n\
            \     \"counters\":{%s}}"
-           (Frontend.Source.json_escape b.Suite.name)
-           (Suite.loc b) parse_ms check_ms analyze_ms run_ms
-           (List.length (Deadmem.Liveness.dead_members result))
-           s.Runtime.Profile.object_space s.Runtime.Profile.dead_space
+           (Frontend.Source.json_escape m.m_name)
+           m.m_loc
+           (String.concat ","
+              (List.map
+                 (fun (p, v) ->
+                   Fmt.str "\"%s\":%.3f" (Frontend.Source.json_escape p) v)
+                 m.m_phases))
+           m.m_dead m.m_objspace m.m_deadspace
            (String.concat ","
               (List.map
                  (fun (name, v) ->
                    Fmt.str "\"%s\":%d" (Frontend.Source.json_escape name) v)
-                 (Telemetry.counters ())))))
-    Suite.all;
+                 m.m_counters))))
+    ms;
   Buffer.add_string buf "\n  ]\n}\n";
-  Telemetry.set_enabled was_enabled;
-  Telemetry.reset ();
   let oc = open_out_bin out in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Buffer.output_buffer oc buf);
-  Fmt.pr "wrote %s (%d benchmarks)@." out (List.length Suite.all)
+  Fmt.pr "wrote %s (%d benchmarks)@." out (List.length ms)
+
+(* -- baseline comparison (--compare) ----------------------------------------------- *)
+
+(* Diff a fresh measurement against a committed BENCH_deadmem.json.
+   Wall-time regressions beyond [regression_pct] in any phase fail the
+   comparison (exit 1), but only past an absolute noise floor so the
+   sub-millisecond phases of small benchmarks can't trip the gate on
+   scheduler jitter. Counter changes and result-shape changes
+   (dead members, object/dead space) are reported; result-shape changes
+   also fail, since they mean the optimization changed observable
+   behavior, not just speed. *)
+let regression_pct = 25.0
+
+let noise_floor_ms = 2.0
+
+let compare_baseline path contents =
+  let module J = Telemetry.Json in
+  let doc =
+    match J.parse contents with
+    | Ok d -> d
+    | Error e ->
+        Fmt.epr "cannot parse %s: %s@." path e;
+        exit 2
+  in
+  let baseline =
+    match Option.bind (J.member "benchmarks" doc) J.to_list with
+    | Some rows ->
+        List.filter_map
+          (fun row ->
+            match Option.bind (J.member "name" row) J.to_string with
+            | Some name -> Some (name, row)
+            | None -> None)
+          rows
+    | None ->
+        Fmt.epr "%s has no \"benchmarks\" array@." path;
+        exit 2
+  in
+  let num obj key =
+    match Option.bind (J.member key obj) (function
+        | J.Num f -> Some f
+        | _ -> None)
+      with
+    | Some f -> f
+    | None -> nan
+  in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun m -> failures := m :: !failures) fmt in
+  Fmt.pr "@.Comparison against %s (gate: >%.0f%% + %.0fms phase regression)@."
+    path regression_pct noise_floor_ms;
+  Fmt.pr "%-10s %-9s %9s %9s %8s@." "name" "phase" "base ms" "now ms" "delta";
+  Fmt.pr "%s@." (String.make 50 '-');
+  List.iter
+    (fun m ->
+      match List.assoc_opt m.m_name baseline with
+      | None -> fail "%s: not in baseline" m.m_name
+      | Some row ->
+          let wall =
+            match J.member "wall_ms" row with Some w -> w | None -> J.Null
+          in
+          List.iter
+            (fun (phase, now) ->
+              let base = num wall phase in
+              if Float.is_nan base then
+                fail "%s/%s: missing from baseline" m.m_name phase
+              else begin
+                let delta_pct =
+                  if base > 0.0 then (now -. base) /. base *. 100.0 else 0.0
+                in
+                Fmt.pr "%-10s %-9s %9.3f %9.3f %+7.1f%%@." m.m_name phase base
+                  now delta_pct;
+                if
+                  now > base *. (1.0 +. (regression_pct /. 100.0))
+                  && now > base +. noise_floor_ms
+                then
+                  fail "%s/%s: %.3fms -> %.3fms (+%.1f%%)" m.m_name phase base
+                    now delta_pct
+              end)
+            m.m_phases;
+          (* result shape must not drift *)
+          let same key now =
+            let base = num row key in
+            if (not (Float.is_nan base)) && int_of_float base <> now then
+              fail "%s: %s changed %d -> %d" m.m_name key (int_of_float base)
+                now
+          in
+          same "dead_members" m.m_dead;
+          same "object_space" m.m_objspace;
+          same "dead_space" m.m_deadspace;
+          (* counter drift is informational unless it is an interpreter
+             semantics counter *)
+          let base_counters =
+            match J.member "counters" row with
+            | Some (J.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with J.Num f -> Some (k, int_of_float f) | _ -> None)
+                  kvs
+            | _ -> []
+          in
+          List.iter
+            (fun (k, now) ->
+              match List.assoc_opt k base_counters with
+              | Some base when base <> now ->
+                  Fmt.pr "%-10s   counter %s: %d -> %d@." m.m_name k base now;
+                  if k = "interp.steps" || k = "interp.allocations" then
+                    fail "%s: %s changed %d -> %d" m.m_name k base now
+              | _ -> ())
+            m.m_counters)
+    (measure ());
+  match List.rev !failures with
+  | [] ->
+      Fmt.pr "@.comparison OK: no phase regressed beyond the gate@.";
+      true
+  | fs ->
+      Fmt.epr "@.comparison FAILED:@.";
+      List.iter (fun f -> Fmt.epr "  - %s@." f) fs;
+      false
 
 (* -- driver ------------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let all = args = [] || args = [ "all" ] in
+  let compare_path, args =
+    let rec go acc = function
+      | "--compare" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  (* snapshot the baseline before any action can overwrite it ([json
+     --compare FILE] refreshes the file and diffs against what it said
+     before this run) *)
+  let baseline =
+    Option.map
+      (fun path ->
+        let ic =
+          try open_in_bin path
+          with Sys_error e ->
+            Fmt.epr "cannot open baseline: %s@." e;
+            exit 2
+        in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> (path, really_input_string ic (in_channel_length ic))))
+      compare_path
+  in
+  let all = (args = [] && compare_path = None) || args = [ "all" ] in
   if all || List.mem "table1" args then table1 ();
   if all || List.mem "figure3" args then figure3 ();
   if all || List.mem "table2" args then table2 ();
   if all || List.mem "figure4" args then figure4 ();
   if all || List.mem "ablation" args then ablation ();
   if all || List.mem "perf" args then perf ();
-  if all || List.mem "json" args then bench_json ()
+  if all || List.mem "json" args then bench_json ();
+  match baseline with
+  | Some (path, contents) ->
+      if not (compare_baseline path contents) then exit 1
+  | None -> ()

@@ -1,47 +1,65 @@
-(* Tree-walking interpreter for typed MiniC++ programs, with object-space
-   instrumentation.
+(* Slot-addressed interpreter for typed MiniC++ programs, with
+   object-space instrumentation.
 
-   Implements the C++ object lifecycle the paper's dynamic measurements
-   depend on: constructor chains (virtual bases first at the most-derived
-   level, then direct bases in declaration order, then member subobjects,
-   then the body), reverse-order destruction, virtual dispatch on the
-   dynamic class, heap allocation via [new]/[delete], and stack objects
-   destroyed at scope exit. Every complete-object creation/destruction is
-   journalled in a [Profile.t]. *)
+   Programs are first lowered by [Resolve] into a slot-addressed form:
+   locals live in a flat [value array] frame, object members live in a
+   per-object [value array] addressed through per-member slot tables,
+   virtual calls go through precomputed dispatch tables, and call
+   targets/globals/statics are integer indices. Execution then walks the
+   resolved tree with no name lookups on the hot path.
+
+   Semantics are those of the original tree-walker: the C++ object
+   lifecycle the paper's dynamic measurements depend on (virtual bases
+   first at the most-derived level, then direct bases in declaration
+   order, then member subobjects, then the body; reverse-order
+   destruction), virtual dispatch on the dynamic class, heap allocation
+   via [new]/[delete], stack objects destroyed at scope exit, and the
+   same step-counting points, so [steps] totals are comparable across
+   interpreter generations. Every complete-object creation/destruction
+   is journalled in a [Profile.t]. *)
 
 open Frontend
 open Sema
 open Sema.Typed_ast
 open Value
+open Resolve
 
 exception Return_exc of value
 exception Break_exc
 exception Continue_exc
 exception Abort_called
 
-(* A lvalue location: either a scalar cell or a slot of an array. *)
-type location = LRef of value ref | LSlot of value array * int
+(* An lvalue location: a slot of some backing array (frame, object,
+   globals, statics, or a program array), or a raw cell reached through
+   a legacy [PCell] pointer. *)
+type location = LRef of value ref | LSlot of harray * int
 
-let read_loc = function LRef r -> !r | LSlot (a, i) -> a.(i)
+let read_loc = function LRef r -> !r | LSlot (h, i) -> h.cells.(i)
 
 let write_loc loc v =
-  match loc with LRef r -> r := v | LSlot (a, i) -> a.(i) <- v
+  match loc with LRef r -> r := v | LSlot (h, i) -> h.cells.(i) <- v
 
+(* Pointers made from locations always carry [arr_id = -1], exactly as
+   the scope-chain interpreter's [ptr_of_loc] did: a pointer *into* a
+   heap array is not the allocation itself, so [free] through it never
+   journals a free. *)
 let ptr_of_loc = function
   | LRef r -> VPtr (PCell r)
-  | LSlot (a, i) -> VPtr (PArr ({ arr_id = -1; cells = a }, i))
+  | LSlot (h, i) ->
+      VPtr (PArr ((if h.arr_id = -1 then h else { arr_id = -1; cells = h.cells }), i))
 
-type frame = {
-  mutable scopes : (string, value ref) Hashtbl.t list;
-  this : obj option;
-}
+type frame = { locals : harray; this : obj option }
+
+let mk_frame nslots this =
+  { locals = { arr_id = -1; cells = Array.make nslots VUnit }; this }
 
 type env = {
-  prog : program;
-  table : Class_table.t;
+  rp : rprogram;
+  funcs : rfunc array;
+  classes : class_info array;
   profile : Profile.t;
-  globals : (string, value ref) Hashtbl.t;
-  statics : (Member.t, value ref) Hashtbl.t;
+  globals : harray;
+  statics : harray;
   output : Buffer.t;
   mutable obj_counter : int;
   mutable steps : int;
@@ -66,100 +84,91 @@ let tick env =
     limit_exceeded "step limit exceeded (%d): possible non-termination"
       env.step_limit
 
-(* -- frames and scopes --------------------------------------------------------- *)
+(* -- objects ------------------------------------------------------------------- *)
 
-let push_scope frame = frame.scopes <- Hashtbl.create 8 :: frame.scopes
+(* A fresh object of interned class [cid]: the member store is the
+   class's default template, with array-typed slots rebuilt so every
+   object owns its element cells. [cid] is negative only for classes
+   absent from the table (their constructor then fails before the object
+   escapes). *)
+let new_obj env cid cls id : obj =
+  if cid < 0 then
+    { obj_id = id; obj_class = cls; obj_cid = cid; fields = { arr_id = -1; cells = [||] } }
+  else begin
+    let ci = env.classes.(cid) in
+    let cells = Array.copy ci.ci_template in
+    Array.iter
+      (fun (slot, ty) -> cells.(slot) <- default_value ty)
+      ci.ci_fresh;
+    { obj_id = id; obj_class = ci.ci_name; obj_cid = cid; fields = { arr_id = -1; cells } }
+  end
 
-let pop_scope frame =
-  match frame.scopes with
-  | _ :: rest -> frame.scopes <- rest
-  | [] -> assert false
+(* Slot of member [m] in [o], from the access site's per-class table.
+   [-1] (or an object of an unknown class) means objects of this dynamic
+   class have no such member. *)
+let field_slot (o : obj) (slots : slots_by_class) (m : Member.t) : int =
+  let cid = o.obj_cid in
+  let s = if cid >= 0 && cid < Array.length slots then slots.(cid) else -1 in
+  if s >= 0 then s
+  else
+    runtime_error "object of class %s has no member %s" o.obj_class
+      (Member.to_string m)
 
-let bind frame name v =
-  match frame.scopes with
-  | scope :: _ -> Hashtbl.replace scope name (ref v)
-  | [] -> assert false
-
-let lookup_local frame name =
-  let rec go = function
-    | [] -> None
-    | scope :: rest -> (
-        match Hashtbl.find_opt scope name with
-        | Some r -> Some r
-        | None -> go rest)
+(* Member-pointer accesses carry the member only as a runtime value, so
+   they go through the class's slot table instead of a per-site array. *)
+let memptr_slot env (o : obj) (m : Member.t) : int =
+  let s =
+    if o.obj_cid < 0 then None
+    else Hashtbl.find_opt env.classes.(o.obj_cid).ci_slot m
   in
-  go frame.scopes
-
-(* -- object construction -------------------------------------------------------- *)
-
-(* Fill the field table of a fresh object with default values for every
-   instance member of [cls] and all its transitive bases. *)
-let populate_fields env (o : obj) cls =
-  let classes = cls :: Class_table.all_base_names env.table cls in
-  List.iter
-    (fun c ->
-      match Class_table.find env.table c with
-      | None -> ()
-      | Some ci ->
-          List.iter
-            (fun (f : Class_table.field) ->
-              if not f.f_static then
-                Hashtbl.replace o.fields (f.f_class, f.f_name)
-                  (ref (default_value f.f_type)))
-            ci.c_fields)
-    classes
-
-let field_ref (o : obj) (m : Member.t) =
-  match Hashtbl.find_opt o.fields m with
-  | Some r -> r
+  match s with
+  | Some s -> s
   | None ->
       runtime_error "object of class %s has no member %s" o.obj_class
         (Member.to_string m)
 
-let rec eval env frame (e : texpr) : value =
-  match e.te with
-  | TInt n -> VInt n
-  | TBool b -> VInt (if b then 1 else 0)
-  | TChar c -> VInt (Char.code c)
-  | TFloat f -> VFloat f
-  | TStr s -> VStr s
-  | TNull -> VNull
-  | TLocal name -> (
-      match lookup_local frame name with
-      | Some r -> (
-          (* reference locals and parameters transparently read their
-             referent *)
-          match (e.ty, !r) with
-          | Ast.TRef _, VPtr (PCell r') -> !r'
-          | Ast.TRef _, VPtr (PArr (h, i)) -> h.cells.(i)
-          | Ast.TRef _, VPtr (PObj o) -> VObj o
-          | _, v -> v)
-      | None -> runtime_error "unbound local '%s'" name)
-  | TGlobalVar name -> (
-      match Hashtbl.find_opt env.globals name with
-      | Some r -> !r
-      | None -> runtime_error "unbound global '%s'" name)
-  | TEnumConst (_, v) -> VInt v
-  | TThis _ -> (
+(* -- evaluation ----------------------------------------------------------------- *)
+
+let rec eval env frame (e : rexpr) : value =
+  match e with
+  | RConst v -> v
+  | RLocal i -> frame.locals.cells.(i)
+  | RLocalRef i -> (
+      (* reference locals and parameters transparently read their
+         referent *)
+      match frame.locals.cells.(i) with
+      | VPtr (PCell r) -> !r
+      | VPtr (PArr (h, j)) -> h.cells.(j)
+      | VPtr (PObj o) -> VObj o
+      | v -> v)
+  | RGlobal i -> env.globals.cells.(i)
+  | RStatic i -> env.statics.cells.(i)
+  | RThis -> (
       match frame.this with
       | Some o -> VPtr (PObj o)
       | None -> runtime_error "'this' outside a method")
-  | TStaticField (cls, name) -> !(static_ref env (cls, name))
-  | TUnary (op, a) -> eval_unary env frame op a
-  | TBinary (op, a, b) -> eval_binary env frame op a b
-  | TAssign (op, lhs, rhs) ->
+  | RUnary (op, a) -> (
+      let v = eval env frame a in
+      match (op, v) with
+      | Ast.Neg, VInt n -> VInt (-n)
+      | Ast.Neg, VFloat f -> VFloat (-.f)
+      | Ast.UPlus, v -> v
+      | Ast.Not, v -> VInt (if truthy v then 0 else 1)
+      | Ast.BitNot, VInt n -> VInt (lnot n)
+      | _ -> runtime_error "invalid unary operand")
+  | RBinary (op, a, b) -> eval_binary env frame op a b
+  | RAssign (lhs, rhs, ty) ->
       let loc = eval_lval env frame lhs in
-      let rv = eval env frame rhs in
-      let v =
-        match op with
-        | Ast.Assign -> coerce (Ctype.decay lhs.ty) rv
-        | _ ->
-            let old = read_loc loc in
-            compound_op env op old rv (Ctype.decay lhs.ty)
-      in
+      let v = coerce ty (eval env frame rhs) in
       write_loc loc v;
       v
-  | TIncDec (which, fix, a) ->
+  | RCompound (op, lhs, rhs, ty) ->
+      let loc = eval_lval env frame lhs in
+      let rv = eval env frame rhs in
+      let v = compound_op op (read_loc loc) rv ty in
+      write_loc loc v;
+      v
+  | RIncDec (which, fix, a) ->
       let loc = eval_lval env frame a in
       let old = read_loc loc in
       let delta = match which with Ast.Incr -> 1 | Ast.Decr -> -1 in
@@ -172,30 +181,22 @@ let rec eval env frame (e : texpr) : value =
       in
       write_loc loc nv;
       (match fix with Ast.Prefix -> nv | Ast.Postfix -> old)
-  | TCond (c, t, f) ->
+  | RCond (c, t, f) ->
       if truthy (eval env frame c) then eval env frame t else eval env frame f
-  | TCast (_, ty, a, _) -> (
-      let v = eval env frame a in
-      match (Ctype.decay ty, v) with
-      | t, v when Ctype.is_integral t -> VInt (as_int v)
-      | t, v when Ctype.is_floating t -> VFloat (as_float v)
-      | _, v -> v (* pointer casts: dynamic identity preserved *))
-  | TField fa -> !(eval_field_ref env frame fa)
-  | TCall c -> eval_call env frame c
-  | TAddrOf a -> (
-      let v_loc = eval_lval env frame a in
-      match v_loc with
-      | LRef r -> (
-          (* taking the address of an embedded object yields an object
-             pointer, not a cell pointer *)
-          match !r with VObj o -> VPtr (PObj o) | _ -> ptr_of_loc v_loc)
-      | LSlot (arr, i) -> (
-          match arr.(i) with
-          | VObj o -> VPtr (PObj o)
-          | _ -> ptr_of_loc v_loc))
-  | TFunAddr id -> VFunPtr id
-  | TMemPtr (cls, name) -> VMemPtr (cls, name)
-  | TDeref a -> (
+  | RCastInt a -> VInt (as_int (eval env frame a))
+  | RCastFloat a -> VFloat (as_float (eval env frame a))
+  | RField (oe, slots, m) ->
+      let o = as_obj (eval env frame oe) in
+      o.fields.cells.(field_slot o slots m)
+  | RCall c -> eval_call env frame c
+  | RAddrOf lv -> (
+      let loc = eval_lval env frame lv in
+      (* taking the address of an embedded object yields an object
+         pointer, not a cell pointer *)
+      match read_loc loc with
+      | VObj o -> VPtr (PObj o)
+      | _ -> ptr_of_loc loc)
+  | RDeref a -> (
       match eval env frame a with
       | VPtr (PCell r) -> !r
       | VPtr (PObj o) -> VObj o
@@ -206,7 +207,7 @@ let rec eval env frame (e : texpr) : value =
       | VNull -> runtime_error "null pointer dereference"
       | VStr s -> if String.length s > 0 then VInt (Char.code s.[0]) else VInt 0
       | _ -> runtime_error "dereference of a non-pointer")
-  | TIndex (a, i) -> (
+  | RIndex (a, i) -> (
       let av = eval env frame a in
       let iv = as_int (eval env frame i) in
       match av with
@@ -225,76 +226,39 @@ let rec eval env frame (e : texpr) : value =
           else VInt (Char.code s.[iv])
       | VNull -> runtime_error "indexing a null pointer"
       | _ -> runtime_error "indexing a non-array value")
-  | TMemPtrDeref (recv, pm, _) -> (
+  | RMemPtrDeref (recv, pm) -> (
       let o = as_obj (eval env frame recv) in
       match eval env frame pm with
-      | VMemPtr m -> !(field_ref o m)
+      | VMemPtr m -> o.fields.cells.(memptr_slot env o m)
       | VNull -> runtime_error "null member pointer dereference"
       | _ -> runtime_error ".*/->* with a non-member-pointer")
-  | TNewObj { cls; ctor; args } ->
-      let argv = eval_call_args env frame ctor args in
-      let o = construct_complete env ~kind:Profile.Heap cls ctor argv in
+  | RNewObj { no_cid; no_cls; no_ctor; no_args } ->
+      let argv = eval_args env frame no_args in
+      let o = construct_journalled env ~kind:Profile.Heap no_cid no_cls no_ctor argv in
       VPtr (PObj o)
-  | TNewScalar ty ->
-      let bytes = Layout.size_of_type env.table ty in
-      ignore (Profile.record_scalar_alloc env.profile ~bytes);
-      let h = { arr_id = -1; cells = [| default_value ty |] } in
+  | RNewScalar { ns_bytes; ns_ty } ->
+      ignore (Profile.record_scalar_alloc env.profile ~bytes:ns_bytes);
+      let h = { arr_id = -1; cells = [| default_value ns_ty |] } in
       VPtr (PArr (h, 0))
-  | TNewArr (ty, n) -> (
-      let n = as_int (eval env frame n) in
+  | RNewArrObj { na_cid; na_cls; na_ctor; na_len } ->
+      let n = as_int (eval env frame na_len) in
       if n < 0 then runtime_error "negative array size in new[]";
-      match ty with
-      | Ast.TNamed cls ->
-          let id = fresh_obj_id env in
-          Profile.record_alloc env.profile ~id ~kind:Profile.HeapArray ~cls
-            ~count:n;
-          let cells =
-            Array.init n (fun _ ->
-                VObj
-                  (construct_complete env ~kind:Profile.Stack ~journal:false cls
-                     (Func_id.FCtor (cls, 0))
-                     []))
-          in
-          VPtr (PArr ({ arr_id = id; cells }, 0))
-      | _ ->
-          let bytes = n * Layout.size_of_type env.table ty in
-          let id = Profile.record_scalar_alloc env.profile ~bytes in
-          let cells = Array.init n (fun _ -> default_value ty) in
-          VPtr (PArr ({ arr_id = id; cells }, 0)))
-  | TSizeofType ty -> VInt (Layout.size_of_type env.table ty)
-  | TSizeofExpr a -> VInt (Layout.size_of_type env.table (Ctype.decay a.ty))
-
-and static_ref env (m : Member.t) =
-  match Hashtbl.find_opt env.statics m with
-  | Some r -> r
-  | None ->
-      let cls, name = m in
-      let ty =
-        match Class_table.find env.table cls with
-        | Some c -> (
-            match Class_table.own_field c name with
-            | Some f -> f.f_type
-            | None -> Ast.TInt)
-        | None -> Ast.TInt
+      let id = fresh_obj_id env in
+      Profile.record_alloc env.profile ~id ~kind:Profile.HeapArray ~cls:na_cls
+        ~count:n;
+      let cells =
+        Array.init n (fun _ -> VObj (construct_raw env na_cid na_cls na_ctor [||]))
       in
-      let r = ref (default_value ty) in
-      Hashtbl.replace env.statics m r;
-      r
-
-and eval_field_ref env frame (fa : field_access) : value ref =
-  let base = eval env frame fa.fa_obj in
-  let o = as_obj base in
-  field_ref o (fa.fa_def_class, fa.fa_field)
-
-and eval_unary env frame op a =
-  let v = eval env frame a in
-  match (op, v) with
-  | Ast.Neg, VInt n -> VInt (-n)
-  | Ast.Neg, VFloat f -> VFloat (-.f)
-  | Ast.UPlus, v -> v
-  | Ast.Not, v -> VInt (if truthy v then 0 else 1)
-  | Ast.BitNot, VInt n -> VInt (lnot n)
-  | _ -> runtime_error "invalid unary operand"
+      VPtr (PArr ({ arr_id = id; cells }, 0))
+  | RNewArrScalar { nas_ty; nas_elem_bytes; nas_len } ->
+      let n = as_int (eval env frame nas_len) in
+      if n < 0 then runtime_error "negative array size in new[]";
+      let id =
+        Profile.record_scalar_alloc env.profile ~bytes:(n * nas_elem_bytes)
+      in
+      let cells = Array.init n (fun _ -> default_value nas_ty) in
+      VPtr (PArr ({ arr_id = id; cells }, 0))
+  | RInvalid msg -> runtime_error "%s" msg
 
 and eval_binary env frame op a b =
   match op with
@@ -374,8 +338,7 @@ and arith op va vb =
       | Ast.Shr -> VInt (x asr y)
       | _ -> assert false)
 
-and compound_op env op old rv ty =
-  ignore env;
+and compound_op op old rv ty =
   let binop =
     match op with
     | Ast.AddAssign -> Ast.Add
@@ -392,150 +355,136 @@ and compound_op env op old rv ty =
   in
   coerce ty (arith binop old rv)
 
-and eval_lval env frame (e : texpr) : location =
-  match e.te with
-  | TLocal name -> (
-      match lookup_local frame name with
-      | Some r -> (
-          (* a reference local aliases its referent *)
-          match (e.ty, !r) with
-          | Ast.TRef _, VPtr (PCell r') -> LRef r'
-          | Ast.TRef _, VPtr (PArr (h, i)) -> LSlot (h.cells, i)
-          | _ -> LRef r)
-      | None -> runtime_error "unbound local '%s'" name)
-  | TGlobalVar name -> (
-      match Hashtbl.find_opt env.globals name with
-      | Some r -> LRef r
-      | None -> runtime_error "unbound global '%s'" name)
-  | TStaticField (cls, name) -> LRef (static_ref env (cls, name))
-  | TField fa -> LRef (eval_field_ref env frame fa)
-  | TDeref a -> (
+and eval_lval env frame (lv : rlval) : location =
+  match lv with
+  | LvLocal i -> LSlot (frame.locals, i)
+  | LvLocalRef i -> (
+      (* a reference local aliases its referent *)
+      match frame.locals.cells.(i) with
+      | VPtr (PCell r) -> LRef r
+      | VPtr (PArr (h, j)) -> LSlot (h, j)
+      | _ -> LSlot (frame.locals, i))
+  | LvGlobal i -> LSlot (env.globals, i)
+  | LvStatic i -> LSlot (env.statics, i)
+  | LvField (oe, slots, m) ->
+      let o = as_obj (eval env frame oe) in
+      LSlot (o.fields, field_slot o slots m)
+  | LvDeref a -> (
       match eval env frame a with
       | VPtr (PCell r) -> LRef r
-      | VPtr (PArr (h, i)) -> LSlot (h.cells, i)
+      | VPtr (PArr (h, i)) -> LSlot (h, i)
       | VPtr (PObj _) ->
           runtime_error "cannot assign whole objects through a pointer"
       | VNull -> runtime_error "null pointer dereference"
       | _ -> runtime_error "dereference of a non-pointer")
-  | TIndex (a, i) -> (
+  | LvIndex (a, i) -> (
       let av = eval env frame a in
       let iv = as_int (eval env frame i) in
       match av with
-      | VArr h -> LSlot (h.cells, iv)
-      | VPtr (PArr (h, off)) -> LSlot (h.cells, off + iv)
+      | VArr h -> LSlot (h, iv)
+      | VPtr (PArr (h, off)) -> LSlot (h, off + iv)
       | _ -> runtime_error "indexing a non-array value")
-  | TMemPtrDeref (recv, pm, _) -> (
+  | LvMemPtrDeref (recv, pm) -> (
       let o = as_obj (eval env frame recv) in
       match eval env frame pm with
-      | VMemPtr m -> LRef (field_ref o m)
+      | VMemPtr m -> LSlot (o.fields, memptr_slot env o m)
       | _ -> runtime_error ".*/->* with a non-member-pointer")
-  | TCast (_, _, inner, _) -> eval_lval env frame inner
-  | _ -> runtime_error "expression is not an lvalue"
+  | LvInvalid msg -> runtime_error "%s" msg
 
-(* -- calls ----------------------------------------------------------------------- *)
+(* -- calls ---------------------------------------------------------------------- *)
 
-(* Evaluate call arguments against the callee's parameter types: scalar
-   reference parameters receive the argument's *location*, object
-   references receive the object, everything else its value. *)
-and eval_args_tys env frame (tys : Ast.type_expr list) (args : texpr list) =
-  if List.length tys <> List.length args then List.map (eval env frame) args
-  else
-    List.map2
-      (fun ty a ->
-        match ty with
-        | Ast.TRef (Ast.TNamed _) -> (
-            match eval env frame a with VObj o -> VPtr (PObj o) | v -> v)
-        | Ast.TRef _ -> (
-            match eval_lval env frame a with
-            | LRef r -> VPtr (PCell r)
-            | LSlot (arr, i) -> VPtr (PArr ({ arr_id = -1; cells = arr }, i)))
-        | _ -> eval env frame a)
-      tys args
+(* Evaluate call arguments left to right, each by the mode the resolve
+   pass derived from the callee's parameter types: scalar reference
+   parameters receive the argument's location, object references the
+   object, everything else its value. *)
+and eval_args env frame (modes : arg_mode array) : value array =
+  let n = Array.length modes in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n VUnit in
+    for i = 0 to n - 1 do
+      out.(i) <-
+        (match modes.(i) with
+        | AVal e -> eval env frame e
+        | ARefScalar lv -> ptr_of_loc (eval_lval env frame lv)
+        | ARefObj e -> (
+            match eval env frame e with VObj o -> VPtr (PObj o) | v -> v))
+    done;
+    out
+  end
 
-and eval_call_args env frame (id : Func_id.t) (args : texpr list) =
-  match find_func env.prog id with
-  | Some fn -> eval_args_tys env frame (List.map snd fn.tf_params) args
-  | None -> List.map (eval env frame) args
+and eval_rexprs env frame (es : rexpr array) : value array =
+  let n = Array.length es in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n VUnit in
+    for i = 0 to n - 1 do
+      out.(i) <- eval env frame es.(i)
+    done;
+    out
+  end
 
-and eval_call env frame (c : call) : value =
+and eval_call env frame (c : rcall) : value =
   match c with
-  | CBuiltin (b, args) -> eval_builtin env frame b args
-  | CFree (name, args) ->
-      let argv = eval_call_args env frame (Func_id.FFree name) args in
-      call_function env (Func_id.FFree name) ~this:None argv
-  | CFunPtr (fn, args) -> (
-      let fv = eval env frame fn in
-      let argv =
-        match Ctype.decay fn.ty with
-        | Ast.TFun (_, tys) | Ast.TPtr (Ast.TFun (_, tys)) ->
-            eval_args_tys env frame tys args
-        | _ -> List.map (eval env frame) args
-      in
+  | RBuiltin (b, args) -> eval_builtin env frame b args
+  | RCallFunc { cf_func; cf_args } ->
+      let argv = eval_args env frame cf_args in
+      call_function env cf_func ~this:None argv
+  | RCallFunPtr { fp_fn; fp_args } -> (
+      let fv = eval env frame fp_fn in
+      let argv = eval_args env frame fp_args in
       match fv with
-      | VFunPtr id ->
+      | VFunPtr id -> (
           let this =
-            match id with
-            | Func_id.FMethod _ -> frame.this
-            | _ -> None
+            match id with Func_id.FMethod _ -> frame.this | _ -> None
           in
-          call_function env id ~this argv
+          match Hashtbl.find_opt env.rp.rp_func_idx id with
+          | Some fi -> call_function env fi ~this argv
+          | None ->
+              runtime_error "call to unknown function %s" (Func_id.to_string id))
       | VNull -> runtime_error "call through a null function pointer"
       | _ -> runtime_error "call through a non-function value")
-  | CMethod mc -> (
-      let recv = eval env frame mc.mc_recv in
-      let argv =
-        eval_call_args env frame
-          (Func_id.FMethod (mc.mc_class, mc.mc_name))
-          mc.mc_args
-      in
-      match mc.mc_dispatch with
-      | DStatic -> (
-          match recv with
-          | VNull when mc.mc_arrow -> runtime_error "method call on null pointer"
-          | VObj o | VPtr (PObj o) ->
-              call_function env
-                (Func_id.FMethod (mc.mc_class, mc.mc_name))
-                ~this:(Some o) argv
-          | _ ->
-              (* static member function *)
-              call_function env
-                (Func_id.FMethod (mc.mc_class, mc.mc_name))
-                ~this:None argv)
-      | DVirtual -> (
-          match recv with
-          | VObj o | VPtr (PObj o) -> (
-              match
-                Member_lookup.dispatch env.table ~dyn:o.obj_class ~name:mc.mc_name
-              with
-              | Some (def, _) ->
-                  call_function env (Func_id.FMethod (def, mc.mc_name))
-                    ~this:(Some o) argv
-              | None ->
-                  runtime_error "no virtual target for %s::%s" o.obj_class
-                    mc.mc_name)
-          | VNull -> runtime_error "virtual call on null pointer"
-          | _ -> runtime_error "virtual call on a non-object"))
+  | RCallMethod { cm_recv; cm_arrow; cm_func; cm_args } -> (
+      let recv = eval env frame cm_recv in
+      let argv = eval_args env frame cm_args in
+      match recv with
+      | VNull when cm_arrow -> runtime_error "method call on null pointer"
+      | VObj o | VPtr (PObj o) -> call_function env cm_func ~this:(Some o) argv
+      | _ ->
+          (* static member function *)
+          call_function env cm_func ~this:None argv)
+  | RCallVirtual { cv_recv; cv_name; cv_table; cv_args } -> (
+      let recv = eval env frame cv_recv in
+      let argv = eval_args env frame cv_args in
+      match recv with
+      | VObj o | VPtr (PObj o) ->
+          let fi = if o.obj_cid >= 0 then cv_table.(o.obj_cid) else -1 in
+          if fi >= 0 then call_function env fi ~this:(Some o) argv
+          else
+            runtime_error "no virtual target for %s::%s" o.obj_class cv_name
+      | VNull -> runtime_error "virtual call on null pointer"
+      | _ -> runtime_error "virtual call on a non-object")
 
 and eval_builtin env frame b args =
-  let argv = List.map (eval env frame) args in
+  let argv = eval_rexprs env frame args in
   match (b, argv) with
-  | BPrintInt, [ v ] ->
+  | BPrintInt, [| v |] ->
       Buffer.add_string env.output (string_of_int (as_int v));
       VUnit
-  | BPrintChar, [ v ] ->
+  | BPrintChar, [| v |] ->
       Buffer.add_char env.output (Char.chr (as_int v land 255));
       VUnit
-  | BPrintFloat, [ v ] ->
+  | BPrintFloat, [| v |] ->
       Buffer.add_string env.output (Printf.sprintf "%g" (as_float v));
       VUnit
-  | BPrintStr, [ VStr s ] ->
+  | BPrintStr, [| VStr s |] ->
       Buffer.add_string env.output s;
       VUnit
-  | BPrintStr, [ VNull ] -> runtime_error "print_str(NULL)"
-  | BPrintNl, [] ->
+  | BPrintStr, [| VNull |] -> runtime_error "print_str(NULL)"
+  | BPrintNl, [||] ->
       Buffer.add_char env.output '\n';
       VUnit
-  | BFree, [ v ] ->
+  | BFree, [| v |] ->
       (match v with
       | VPtr (PObj o) -> Profile.record_free env.profile o.obj_id
       | VPtr (PArr (h, _)) when h.arr_id >= 0 ->
@@ -543,10 +492,10 @@ and eval_builtin env frame b args =
       | VNull | VPtr _ -> ()
       | _ -> runtime_error "free of a non-pointer");
       VUnit
-  | BAbort, [] -> raise Abort_called
+  | BAbort, [||] -> raise Abort_called
   | _ -> runtime_error "bad builtin call"
 
-and call_function env id ~this argv : value =
+and call_function env fi ~this argv : value =
   env.call_depth <- env.call_depth + 1;
   if env.call_depth > env.max_call_depth then
     env.max_call_depth <- env.call_depth;
@@ -557,218 +506,193 @@ and call_function env id ~this argv : value =
   Fun.protect
     ~finally:(fun () -> env.call_depth <- env.call_depth - 1)
     (fun () ->
-      match id with
-      | Func_id.FCtor (cls, _) -> (
+      let rf = env.funcs.(fi) in
+      match rf.rf_code with
+      | CBody body -> (
+          let frame = mk_frame rf.rf_frame this in
+          bind_params frame rf argv;
+          try
+            exec_stmt env frame body;
+            VUnit
+          with Return_exc v -> v)
+      | CCtor plan -> (
           match this with
           | Some o ->
-              run_ctor env o cls id argv ~most_derived:false;
+              run_ctor env o rf plan argv ~most_derived:false;
               VUnit
           | None -> runtime_error "constructor called without an object")
-      | Func_id.FDtor _ -> (
+      | CDtor -> (
           match this with
           | Some o ->
               destroy_complete env o;
               VUnit
           | None -> runtime_error "destructor called without an object")
-      | Func_id.FFree _ | Func_id.FMethod _ -> (
-          let fn =
-            match find_func env.prog id with
-            | Some fn -> fn
-            | None ->
-                runtime_error "call to unknown function %s"
-                  (Func_id.to_string id)
-          in
-          match fn.tf_body with
-          | None ->
-              runtime_error "call to undefined (external) function %s"
-                (Func_id.to_string id)
-          | Some body -> (
-              let callee_frame = { scopes = []; this } in
-              push_scope callee_frame;
-              bind_params env callee_frame fn argv;
-              try
-                exec_stmt env callee_frame body;
-                VUnit
-              with Return_exc v -> v)))
+      | CMissingCtor -> (
+          match this with
+          | Some _ ->
+              (* mirror the tree-walker: constructor dispatch ticked
+                 before discovering the body was missing *)
+              tick env;
+              runtime_error "missing constructor %s" (Func_id.to_string rf.rf_id)
+          | None -> runtime_error "constructor called without an object")
+      | CUnknown ->
+          runtime_error "call to unknown function %s"
+            (Func_id.to_string rf.rf_id)
+      | CUndefined ->
+          runtime_error "call to undefined (external) function %s"
+            (Func_id.to_string rf.rf_id))
 
-and bind_params env callee_frame fn argv =
-  ignore env;
-  if List.length fn.tf_params <> List.length argv then
-    runtime_error "arity mismatch calling %s" (Func_id.to_string fn.tf_id);
-  List.iter2
-    (fun (name, ty) v ->
-      match ty with
-      | Ast.TRef _ -> bind callee_frame name v (* references carry locations *)
-      | _ -> bind callee_frame name (coerce (Ctype.decay ty) v))
-    fn.tf_params argv
+and bind_params frame (rf : rfunc) argv =
+  let n = Array.length rf.rf_params in
+  if n <> Array.length argv then
+    runtime_error "arity mismatch calling %s" (Func_id.to_string rf.rf_id);
+  for i = 0 to n - 1 do
+    let p = rf.rf_params.(i) in
+    frame.locals.cells.(p.rp_slot) <-
+      (if p.rp_ref then argv.(i) (* references carry locations *)
+       else coerce p.rp_coerce argv.(i))
+  done
 
-(* -- construction / destruction ---------------------------------------------------- *)
+(* -- construction / destruction -------------------------------------------------- *)
 
-and construct_complete env ?(journal = true) ~kind cls ctor argv : obj =
+(* A complete object without a journal entry (array elements, member
+   subobjects): identifier, member store, constructor chain. *)
+and construct_raw env cid cls ctor argv : obj =
   let id = fresh_obj_id env in
-  let o = { obj_id = id; obj_class = cls; fields = Hashtbl.create 8 } in
-  populate_fields env o cls;
-  if journal then Profile.record_alloc env.profile ~id ~kind ~cls ~count:1;
-  run_ctor env o cls ctor argv ~most_derived:true;
+  let o = new_obj env cid cls id in
+  run_ctor_idx env o ctor argv ~most_derived:true;
   o
 
-and run_ctor env (o : obj) cls ctor_id argv ~most_derived =
+and construct_journalled env ~kind cid cls ctor argv : obj =
+  let id = fresh_obj_id env in
+  let o = new_obj env cid cls id in
+  Profile.record_alloc env.profile ~id ~kind ~cls ~count:1;
+  run_ctor_idx env o ctor argv ~most_derived:true;
+  o
+
+and run_ctor_idx env (o : obj) fi argv ~most_derived =
+  let rf = env.funcs.(fi) in
+  match rf.rf_code with
+  | CCtor plan -> run_ctor env o rf plan argv ~most_derived
+  | CMissingCtor | _ ->
+      tick env;
+      runtime_error "missing constructor %s" (Func_id.to_string rf.rf_id)
+
+and run_ctor env (o : obj) (rf : rfunc) (plan : ctor_plan) argv ~most_derived =
   tick env;
-  let fn =
-    match find_func env.prog ctor_id with
-    | Some fn -> fn
-    | None -> runtime_error "missing constructor %s" (Func_id.to_string ctor_id)
-  in
-  let frame = { scopes = []; this = Some o } in
-  push_scope frame;
-  bind_params env frame fn argv;
+  let frame = mk_frame rf.rf_frame (Some o) in
+  bind_params frame rf argv;
   (* 1. virtual bases are constructed by the most-derived object only,
      using this constructor's initializer when it names them *)
   if most_derived then
-    List.iter
-      (fun vb ->
-        let args =
-          match
-            List.find_opt (fun bi -> bi.bi_class = vb) fn.tf_base_inits
-          with
-          | Some bi ->
-              eval_call_args env frame
-                (Func_id.FCtor (vb, List.length bi.bi_args))
-                bi.bi_args
-          | None -> []
-        in
-        run_ctor env o vb
-          (Func_id.FCtor (vb, List.length args))
-          args ~most_derived:false)
-      (Class_table.virtual_base_names env.table cls);
+    Array.iter
+      (fun bp ->
+        let args = eval_args env frame bp.bp_args in
+        run_ctor_idx env o bp.bp_ctor args ~most_derived:false)
+      plan.cp_vbases;
   (* 2. direct non-virtual bases, in declaration order *)
-  List.iter
-    (fun bi ->
-      if not bi.bi_virtual then begin
-        let ctor = Func_id.FCtor (bi.bi_class, List.length bi.bi_args) in
-        let args = eval_call_args env frame ctor bi.bi_args in
-        run_ctor env o bi.bi_class ctor args ~most_derived:false
-      end)
-    fn.tf_base_inits;
+  Array.iter
+    (fun bp ->
+      let args = eval_args env frame bp.bp_args in
+      run_ctor_idx env o bp.bp_ctor args ~most_derived:false)
+    plan.cp_bases;
   (* 3. member subobjects and explicitly initialized scalars, in
      declaration order *)
-  (match Class_table.find env.table cls with
-  | None -> ()
-  | Some ci ->
-      List.iter
-        (fun (f : Class_table.field) ->
-          if not f.f_static then
-            let explicit =
-              List.find_opt (fun fi -> fi.fi_field = f.f_name) fn.tf_field_inits
-            in
-            match f.f_type with
-            | Ast.TNamed fcls ->
-                let ctor =
-                  Func_id.FCtor
-                    ( fcls,
-                      match explicit with
-                      | Some fi -> List.length fi.fi_args
-                      | None -> 0 )
-                in
-                let args =
-                  match explicit with
-                  | Some fi -> eval_call_args env frame ctor fi.fi_args
-                  | None -> []
-                in
-                let sub = construct_embedded env fcls ctor args in
-                field_ref o (f.f_class, f.f_name) := VObj sub
-            | Ast.TArr (Ast.TNamed fcls, n) ->
-                let cells =
-                  Array.init n (fun _ ->
-                      VObj
-                        (construct_embedded env fcls (Func_id.FCtor (fcls, 0)) []))
-                in
-                field_ref o (f.f_class, f.f_name)
-                := VArr { arr_id = -1; cells }
-            | ty -> (
-                match explicit with
-                | Some { fi_args = [ a ]; _ } ->
-                    field_ref o (f.f_class, f.f_name)
-                    := coerce (Ctype.decay ty) (eval env frame a)
-                | Some { fi_args = []; _ } | None -> ()
-                | Some _ -> runtime_error "bad scalar member initializer"))
-        ci.c_fields);
+  Array.iter
+    (fun fp ->
+      match fp with
+      | FPClass { fc_slots; fc_member; fc_cid; fc_cls; fc_ctor; fc_args } ->
+          let args = eval_args env frame fc_args in
+          let sub = construct_raw env fc_cid fc_cls fc_ctor args in
+          o.fields.cells.(field_slot o fc_slots fc_member) <- VObj sub
+      | FPClassArr { fa_slots; fa_member; fa_cid; fa_cls; fa_ctor; fa_len } ->
+          let cells =
+            Array.init fa_len (fun _ ->
+                VObj (construct_raw env fa_cid fa_cls fa_ctor [||]))
+          in
+          o.fields.cells.(field_slot o fa_slots fa_member) <-
+            VArr { arr_id = -1; cells }
+      | FPScalar { fs_slots; fs_member; fs_coerce; fs_init } ->
+          o.fields.cells.(field_slot o fs_slots fs_member) <-
+            coerce fs_coerce (eval env frame fs_init)
+      | FPBadInit -> runtime_error "bad scalar member initializer")
+    plan.cp_fields;
   (* 4. the constructor body *)
-  match fn.tf_body with
+  match plan.cp_body with
   | None -> ()
   | Some body -> ( try exec_stmt env frame body with Return_exc _ -> ())
-
-and construct_embedded env cls ctor argv : obj =
-  let id = fresh_obj_id env in
-  let o = { obj_id = id; obj_class = cls; fields = Hashtbl.create 8 } in
-  populate_fields env o cls;
-  run_ctor env o cls ctor argv ~most_derived:true;
-  o
 
 (* Destruction: destructor bodies run from the dynamic class downwards;
    member subobjects are destroyed after their class's destructor body, in
    reverse declaration order; then non-virtual bases in reverse order; the
    most-derived level finally destroys virtual bases. *)
 and destroy_complete env (o : obj) =
-  destroy_from env o o.obj_class ~most_derived:true
+  destroy_from env o o.obj_cid ~most_derived:true
 
-and destroy_from env (o : obj) cls ~most_derived =
+and destroy_from env (o : obj) cid ~most_derived =
   tick env;
-  (match find_func env.prog (Func_id.FDtor cls) with
-  | Some { tf_body = Some body; _ } ->
-      let frame = { scopes = []; this = Some o } in
-      push_scope frame;
-      (try exec_stmt env frame body with Return_exc _ -> ())
-  | Some _ | None -> ());
-  (match Class_table.find env.table cls with
-  | None -> ()
-  | Some ci ->
-      (* member subobjects, reverse declaration order *)
-      List.iter
-        (fun (f : Class_table.field) ->
-          if not f.f_static then
-            match f.f_type with
-            | Ast.TNamed _ -> (
-                match !(field_ref o (f.f_class, f.f_name)) with
-                | VObj sub -> destroy_complete env sub
-                | _ -> ())
-            | Ast.TArr (Ast.TNamed _, _) -> (
-                match !(field_ref o (f.f_class, f.f_name)) with
-                | VArr h ->
-                    Array.iter
-                      (function VObj sub -> destroy_complete env sub | _ -> ())
-                      h.cells
-                | _ -> ())
-            | _ -> ())
-        (List.rev ci.c_fields);
-      (* non-virtual direct bases, reverse order *)
-      List.iter
-        (fun (b : Ast.base_spec) ->
-          if not b.b_virtual then destroy_from env o b.b_name ~most_derived:false)
-        (List.rev ci.c_bases));
-  if most_derived then
-    List.iter
-      (fun vb -> destroy_from env o vb ~most_derived:false)
-      (List.rev (Class_table.virtual_base_names env.table cls))
+  if cid >= 0 then begin
+    let ci = env.classes.(cid) in
+    let dp = ci.ci_destroy in
+    (match dp.dp_dtor with
+    | Some (fsize, body) -> (
+        let frame = mk_frame fsize (Some o) in
+        try exec_stmt env frame body with Return_exc _ -> ())
+    | None -> ());
+    (* member subobjects, reverse declaration order *)
+    Array.iter
+      (fun df ->
+        match df with
+        | DFClass slots -> (
+            let s = if o.obj_cid >= 0 then slots.(o.obj_cid) else -1 in
+            if s >= 0 then
+              match o.fields.cells.(s) with
+              | VObj sub -> destroy_complete env sub
+              | _ -> ())
+        | DFClassArr slots -> (
+            let s = if o.obj_cid >= 0 then slots.(o.obj_cid) else -1 in
+            if s >= 0 then
+              match o.fields.cells.(s) with
+              | VArr h ->
+                  Array.iter
+                    (function VObj sub -> destroy_complete env sub | _ -> ())
+                    h.cells
+              | _ -> ()))
+      dp.dp_fields;
+    (* non-virtual direct bases, reverse order *)
+    Array.iter
+      (fun bcid -> destroy_from env o bcid ~most_derived:false)
+      dp.dp_nv_bases;
+    if most_derived then
+      Array.iter
+        (fun vcid -> destroy_from env o vcid ~most_derived:false)
+        ci.ci_vbases_rev
+  end
 
-(* -- statements ---------------------------------------------------------------------- *)
+(* -- statements ------------------------------------------------------------------- *)
 
-and exec_stmt env frame (s : tstmt) : unit =
+and exec_stmt env frame (s : rstmt) : unit =
   tick env;
-  match s.ts with
-  | TSExpr e -> ignore (eval env frame e)
-  | TSDecl ds -> List.iter (exec_decl env frame) ds
-  | TSBlock body -> exec_block env frame body
-  | TSIf (c, t, e) ->
+  match s with
+  | RSExpr e -> ignore (eval env frame e)
+  | RSDecl ds -> List.iter (exec_decl env frame) ds
+  | RSBlock (body, destroy) ->
+      if Array.length destroy = 0 then
+        Array.iter (exec_stmt env frame) body
+      else
+        Fun.protect
+          ~finally:(fun () -> destroy_slots env frame destroy)
+          (fun () -> Array.iter (exec_stmt env frame) body)
+  | RSIf (c, t, e) ->
       if truthy (eval env frame c) then exec_stmt env frame t
       else Option.iter (exec_stmt env frame) e
-  | TSWhile (c, b) -> (
+  | RSWhile (c, b) -> (
       try
         while truthy (eval env frame c) do
           try exec_stmt env frame b with Continue_exc -> ()
         done
       with Break_exc -> ())
-  | TSDoWhile (b, c) -> (
+  | RSDoWhile (b, c) -> (
       try
         let continue_ = ref true in
         while !continue_ do
@@ -776,19 +700,19 @@ and exec_stmt env frame (s : tstmt) : unit =
           continue_ := truthy (eval env frame c)
         done
       with Break_exc -> ())
-  | TSFor (init, cond, step, b) ->
-      push_scope frame;
-      Fun.protect
-        ~finally:(fun () ->
-          destroy_scope env frame;
-          pop_scope frame)
-        (fun () -> exec_for env frame init cond step b)
-  | TSReturn None -> raise (Return_exc VUnit)
-  | TSReturn (Some e) -> raise (Return_exc (eval env frame e))
-  | TSBreak -> raise Break_exc
-  | TSContinue -> raise Continue_exc
-  | TSDelete (arr, e) -> exec_delete env frame arr e
-  | TSEmpty -> ()
+  | RSFor { rf_init; rf_cond; rf_step; rf_body; rf_destroy } ->
+      if Array.length rf_destroy = 0 then
+        exec_for env frame rf_init rf_cond rf_step rf_body
+      else
+        Fun.protect
+          ~finally:(fun () -> destroy_slots env frame rf_destroy)
+          (fun () -> exec_for env frame rf_init rf_cond rf_step rf_body)
+  | RSReturn None -> raise (Return_exc VUnit)
+  | RSReturn (Some e) -> raise (Return_exc (eval env frame e))
+  | RSBreak -> raise Break_exc
+  | RSContinue -> raise Continue_exc
+  | RSDelete e -> exec_delete env frame e
+  | RSEmpty -> ()
 
 and exec_for env frame init cond step b =
   Option.iter (exec_stmt env frame) init;
@@ -803,70 +727,59 @@ and exec_for env frame init cond step b =
     done
   with Break_exc -> ()
 
-and exec_decl env frame (d : tvar_decl) =
-  match d.tv_init with
-  | TInitNone -> (
-      match d.tv_type with
-      | Ast.TArr (Ast.TNamed cls, n) ->
-          (* a stack array of class objects: default-construct every
-             element; journalled as one allocation *)
-          let id = fresh_obj_id env in
-          Profile.record_alloc env.profile ~id ~kind:Profile.Stack ~cls ~count:n;
-          let cells =
-            Array.init n (fun _ ->
-                VObj (construct_embedded env cls (Func_id.FCtor (cls, 0)) []))
-          in
-          bind frame d.tv_name (VArr { arr_id = id; cells })
-      | _ -> bind frame d.tv_name (default_value d.tv_type))
-  | TInitExpr e -> (
-      let v = eval env frame e in
-      match d.tv_type with
-      | Ast.TRef _ -> (
-          (* bind the reference to the initializer's location *)
-          match eval_lval env frame e with
-          | LRef r -> bind frame d.tv_name (VPtr (PCell r))
-          | LSlot (a, i) ->
-              bind frame d.tv_name (VPtr (PArr ({ arr_id = -1; cells = a }, i))))
-      | _ -> bind frame d.tv_name (coerce (Ctype.decay d.tv_type) v))
-  | TInitCtor (ctor, args) -> (
-      match d.tv_type with
-      | Ast.TNamed cls ->
-          let argv = eval_call_args env frame ctor args in
-          let o = construct_complete env ~kind:Profile.Stack cls ctor argv in
-          bind frame d.tv_name (VObj o)
-      | _ -> runtime_error "constructor initialization of a non-class variable")
+and exec_decl env frame (d : rdecl) =
+  match d with
+  | DScalar { d_slot; d_ty } ->
+      frame.locals.cells.(d_slot) <- default_value d_ty
+  | DStackArrObj { d_slot; d_cid; d_cls; d_ctor; d_len } ->
+      (* a stack array of class objects: default-construct every
+         element; journalled as one allocation *)
+      let id = fresh_obj_id env in
+      Profile.record_alloc env.profile ~id ~kind:Profile.Stack ~cls:d_cls
+        ~count:d_len;
+      let cells =
+        Array.init d_len (fun _ ->
+            VObj (construct_raw env d_cid d_cls d_ctor [||]))
+      in
+      frame.locals.cells.(d_slot) <- VArr { arr_id = id; cells }
+  | DExpr { d_slot; d_coerce; d_init } ->
+      frame.locals.cells.(d_slot) <- coerce d_coerce (eval env frame d_init)
+  | DRefExpr { d_slot; d_init; d_lv } ->
+      (* bind the reference to the initializer's location; the
+         initializer is evaluated for its value first, as before *)
+      ignore (eval env frame d_init);
+      frame.locals.cells.(d_slot) <- ptr_of_loc (eval_lval env frame d_lv)
+  | DCtor { d_slot; d_cid; d_cls; d_ctor; d_args } ->
+      let argv = eval_args env frame d_args in
+      let o =
+        construct_journalled env ~kind:Profile.Stack d_cid d_cls d_ctor argv
+      in
+      frame.locals.cells.(d_slot) <- VObj o
+  | DFail msg -> runtime_error "%s" msg
 
-(* Execute the statements of a block in a fresh scope; class objects
-   declared in the scope are destroyed on every exit path. *)
-and exec_block env frame body =
-  push_scope frame;
-  Fun.protect
-    ~finally:(fun () ->
-      destroy_scope env frame;
-      pop_scope frame)
-    (fun () -> List.iter (exec_stmt env frame) body)
+(* Class objects (and object arrays) held by a scope's slots are
+   destroyed on every exit path; the slot is then cleared so a loop
+   iteration that skips the declaration cannot re-destroy a stale
+   value. *)
+and destroy_slots env frame (slots : int array) =
+  Array.iter
+    (fun s ->
+      match frame.locals.cells.(s) with
+      | VObj o ->
+          destroy_complete env o;
+          Profile.record_free env.profile o.obj_id;
+          frame.locals.cells.(s) <- VUnit
+      | VArr h when h.arr_id >= 0 ->
+          Array.iter
+            (function VObj o -> destroy_complete env o | _ -> ())
+            h.cells;
+          Profile.record_free env.profile h.arr_id;
+          frame.locals.cells.(s) <- VUnit
+      | _ -> ())
+    slots
 
-and destroy_scope env frame =
-  match frame.scopes with
-  | scope :: _ ->
-      Hashtbl.iter
-        (fun _ r ->
-          match !r with
-          | VObj o ->
-              destroy_complete env o;
-              Profile.record_free env.profile o.obj_id
-          | VArr h when h.arr_id >= 0 ->
-              Array.iter
-                (function VObj o -> destroy_complete env o | _ -> ())
-                h.cells;
-              Profile.record_free env.profile h.arr_id
-          | _ -> ())
-        scope
-  | [] -> ()
-
-and exec_delete env frame arr e =
+and exec_delete env frame e =
   let v = eval env frame e in
-  ignore arr;
   match v with
   | VNull -> ()
   | VPtr (PObj o) ->
@@ -879,13 +792,7 @@ and exec_delete env frame arr e =
       if h.arr_id >= 0 then Profile.record_free env.profile h.arr_id
   | _ -> runtime_error "delete of a non-pointer value"
 
-(* -- reference parameters: pass locations for lvalue arguments --------------------- *)
-
-(* The type checker guarantees reference parameters receive lvalues; the
-   evaluator must pass their location rather than their value. This wrapper
-   re-evaluates argument expressions accordingly. *)
-
-(* -- entry point --------------------------------------------------------------------- *)
+(* -- entry point ------------------------------------------------------------------ *)
 
 type outcome = {
   return_value : int;
@@ -914,17 +821,22 @@ let pct_of used limit = if limit <= 0 then 0 else used * 100 / limit
 let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
     ?(call_depth_limit = default_call_depth_limit)
     ?(heap_object_limit = default_heap_object_limit) (p : program) : outcome =
+  Telemetry.Span.with_ "interp" @@ fun () ->
+  let rp = Resolve.program p in
   let env =
     {
-      prog = p;
-      table = p.table;
+      rp;
+      funcs = rp.rp_funcs;
+      classes = rp.rp_classes;
       profile = Profile.create ~dead p.table;
-      globals = Hashtbl.create 16;
-      statics = Hashtbl.create 16;
+      globals =
+        { arr_id = -1; cells = Array.make (Array.length rp.rp_globals) VUnit };
+      statics =
+        { arr_id = -1; cells = Array.map default_value rp.rp_static_tys };
       output = Buffer.create 256;
       obj_counter = 0;
       steps = 0;
-      step_limit;
+      step_limit = max 1 step_limit;
       call_depth = 0;
       max_call_depth = 0;
       call_depth_limit = max 1 call_depth_limit;
@@ -943,26 +855,22 @@ let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
   in
   (* totals and guard proximity are recorded even when a limit aborts
      the run — that is exactly when guard proximity matters *)
-  Telemetry.Span.with_ "interp" @@ fun () ->
   Fun.protect ~finally:record_telemetry @@ fun () ->
-  (* globals, in declaration order *)
-  let init_frame = { scopes = []; this = None } in
-  push_scope init_frame;
+  let init_frame = mk_frame 0 None in
   let ret =
     (* native resource exhaustion (a Stack_overflow the depth guard did
        not preempt, or the allocator running dry) becomes a structured
        limit error, never an uncaught native exception *)
     try
-      List.iter
-        (fun g ->
-          let v =
-            match g.g_init with
-            | Some e -> coerce (Ctype.decay g.g_type) (eval env init_frame e)
-            | None -> default_value g.g_type
-          in
-          Hashtbl.replace env.globals g.g_name (ref v))
-        p.globals;
-      try call_function env main_id ~this:None []
+      (* globals, in declaration order *)
+      Array.iteri
+        (fun i (g : rglobal) ->
+          env.globals.cells.(i) <-
+            (match g.rg_init with
+            | Some e -> coerce g.rg_coerce (eval env init_frame e)
+            | None -> default_value g.rg_default))
+        rp.rp_globals;
+      try call_function env rp.rp_main ~this:None [||]
       with Abort_called -> VInt 134
     with
     | Stack_overflow ->

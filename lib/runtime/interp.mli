@@ -1,5 +1,14 @@
-(** Tree-walking interpreter for typed MiniC++ programs, instrumented
+(** Slot-addressed interpreter for typed MiniC++ programs, instrumented
     for the paper's dynamic measurements.
+
+    [run] first lowers the typed AST through {!Resolve}: locals become
+    indices into flat frame arrays, object fields become slots keyed by
+    the paper's [(defining class, name)] member identity, virtual calls
+    go through precomputed per-name dispatch tables, and
+    globals/statics/functions are interned to integer ids. The lowering
+    is purely an addressing change — observable behaviour, step counts
+    and error messages are identical to the tree-walking evaluator it
+    replaced (pinned by [test/test_resolve.ml]'s golden differential).
 
     Implements the full C++ object lifecycle: construction order
     (virtual bases first at the most-derived level, then direct bases in

@@ -1,11 +1,12 @@
 (* Runtime values for the MiniC++ interpreter.
 
-   Objects are flattened: a complete object holds one cell per instance
-   data member of its class and of every (transitively) inherited base,
-   keyed by the member's identity (defining class, name). Virtual bases
-   therefore appear once, matching C++ semantics; repeated non-virtual
-   bases are rejected by the semantic analysis. Class-typed data members
-   are embedded objects stored as [VObj]. *)
+   Objects are flattened: a complete object holds one slot per instance
+   data member of its class and of every (transitively) inherited base.
+   Slot numbers are assigned per dynamic class by the resolve pass from
+   the member's identity (defining class, name); virtual bases therefore
+   appear once, matching C++ semantics. Repeated non-virtual bases are
+   rejected by the semantic analysis. Class-typed data members are
+   embedded objects stored as [VObj]. *)
 
 open Sema
 
@@ -29,7 +30,8 @@ and pointer =
 and obj = {
   obj_id : int;
   obj_class : string;  (* most-derived (dynamic) class *)
-  fields : (Member.t, value ref) Hashtbl.t;
+  obj_cid : int;       (* interned id of the dynamic class (resolve pass) *)
+  fields : harray;     (* slot-addressed member store, one cell per member *)
 }
 
 and harray = {

@@ -1,0 +1,77 @@
+(* Golden interpreter outcomes recorded from the pre-slotting
+   tree-walking interpreter (PR 3). Regenerate only deliberately. *)
+
+type golden = {
+  g_name : string;
+  g_return : int;
+  g_output_md5 : string;
+  g_output_len : int;
+  g_steps : int;
+  g_allocations : int;
+  g_object_space : int;
+  g_dead_space : int;
+  g_hwm : int;
+  g_hwm_reduced : int;
+  g_num_objects : int;
+  g_scalar_bytes : int;
+  g_leaked : int;
+  g_dead_members : string list;
+}
+
+let all = [
+  { g_name = "jikes"; g_return = 0; g_output_md5 = "c0015d5caa4c990898d6b26be24c8cd5"; g_output_len = 66;
+    g_steps = 459845; g_allocations = 6583; g_object_space = 122716; g_dead_space = 1784;
+    g_hwm = 74728; g_hwm_reduced = 71184; g_num_objects = 6583; g_scalar_bytes = 0;
+    g_leaked = 2583;
+    g_dead_members = ["AstField::javadoc_ref"; "AstMethod::line_table_ref"; "JLexer::deprecated_count"; "JParser::n_errors"; "SymbolTable::n_probes"] };
+  { g_name = "idl"; g_return = 0; g_output_md5 = "f6a941bed0551bcce0dc8c67287502ab"; g_output_len = 50;
+    g_steps = 26115; g_allocations = 695; g_object_space = 50680; g_dead_space = 2776;
+    g_hwm = 50680; g_hwm_reduced = 50680; g_num_objects = 695; g_scalar_bytes = 0;
+    g_leaked = 695;
+    g_dead_members = ["IRObject::repo_tag"] };
+  { g_name = "npic"; g_return = 0; g_output_md5 = "2a28e2493d2c4f889b24c25ad58918b3"; g_output_len = 23;
+    g_steps = 967396; g_allocations = 7027; g_object_space = 120632; g_dead_space = 4100;
+    g_hwm = 27032; g_hwm_reduced = 22928; g_num_objects = 7027; g_scalar_bytes = 8192;
+    g_leaked = 0;
+    g_dead_members = ["Cell::debug_flux"; "FieldSolver::spectral_modes"] };
+  { g_name = "lcom"; g_return = 0; g_output_md5 = "6b37275baf6db123d4e6b8b98c3a8fe2"; g_output_len = 29;
+    g_steps = 61204; g_allocations = 2139; g_object_space = 47976; g_dead_space = 3380;
+    g_hwm = 29704; g_hwm_reduced = 22952; g_num_objects = 2139; g_scalar_bytes = 64;
+    g_leaked = 1;
+    g_dead_members = ["Expr::type_cache"; "Lexer::pushback"; "SymTab::hits"; "VM::trace_pc"] };
+  { g_name = "taldict"; g_return = 0; g_output_md5 = "210c527b4fe8ccaf8665898571fc8c21"; g_output_len = 45;
+    g_steps = 18454; g_allocations = 40; g_object_space = 1048; g_dead_space = 32;
+    g_hwm = 1048; g_hwm_reduced = 1016; g_num_objects = 40; g_scalar_bytes = 128;
+    g_leaked = 0;
+    g_dead_members = ["Histogram::last_update"; "TDictIterator::seen"; "TDictStats::avg_chain_x100"; "TDictStats::dict"; "TDictStats::max_chain"; "TDictStats::min_chain"; "TDictionary::load_pct"; "TDictionary::mod_count"; "TDictionary::stat_collisions"; "TObject::refcount"; "TSortedDictionary::cmp_mode"; "TSortedDictionary::sorted"] };
+  { g_name = "ixx"; g_return = 0; g_output_md5 = "e7697fa37da6064b018b04f58c20d209"; g_output_len = 41;
+    g_steps = 49278; g_allocations = 1952; g_object_space = 46504; g_dead_space = 4932;
+    g_hwm = 37272; g_hwm_reduced = 30912; g_num_objects = 1952; g_scalar_bytes = 0;
+    g_leaked = 0;
+    g_dead_members = ["Decl::repo_version"; "OpDecl::context_id"; "Scanner::include_depth"] };
+  { g_name = "simulate"; g_return = 0; g_output_md5 = "465c626a6a7dddcbe172040e646f20e6"; g_output_len = 50;
+    g_steps = 174307; g_allocations = 4153; g_object_space = 99692; g_dead_space = 28;
+    g_hwm = 3212; g_hwm_reduced = 3188; g_num_objects = 4153; g_scalar_bytes = 0;
+    g_leaked = 125;
+    g_dead_members = ["RandomStream::antithetic"; "RandomStream::stream_id"; "SimCalendar::max_length"; "SimCalendar::trace_level"; "SimMonitor::enabled"; "SimMonitor::event_mask"; "SimResource::capacity"; "SimResource::in_use"; "SimResource::queue_len"; "StatCounter::batch_size"; "StatCounter::sum_sq"] };
+  { g_name = "sched"; g_return = 0; g_output_md5 = "f8e290b1815bd26b1db7ae0712bd9403"; g_output_len = 31;
+    g_steps = 2161560; g_allocations = 19096; g_object_space = 732872; g_dead_space = 80352;
+    g_hwm = 732872; g_hwm_reduced = 652520; g_num_objects = 19096; g_scalar_bytes = 80096;
+    g_leaked = 19096;
+    g_dead_members = ["Insn::debug_line"; "Insn::profile_count"; "RegInfo::coalesce_hint"; "RegInfo::spill_cost"] };
+  { g_name = "hotwire"; g_return = 0; g_output_md5 = "8f02f0b1788b5220e0b4ea9e280068e0"; g_output_len = 27;
+    g_steps = 2423; g_allocations = 105; g_object_space = 4760; g_dead_space = 88;
+    g_hwm = 4760; g_hwm_reduced = 4720; g_num_objects = 105; g_scalar_bytes = 0;
+    g_leaked = 105;
+    g_dead_members = ["Chart::legend_pos"; "Chart::n_series"; "Image::pixels"; "Image::scale_pct"; "Renderer::aa_level"; "Renderer::clip_x"; "Renderer::clip_y"; "Renderer::hit_test_slop"; "Slide::transition"; "Style::cache_key"; "Style::dirty"] };
+  { g_name = "deltablue"; g_return = 0; g_output_md5 = "a1ac9f890043cccade005899ab296adf"; g_output_len = 27;
+    g_steps = 22047; g_allocations = 49; g_object_space = 3672; g_dead_space = 0;
+    g_hwm = 3384; g_hwm_reduced = 3384; g_num_objects = 49; g_scalar_bytes = 0;
+    g_leaked = 5;
+    g_dead_members = [] };
+  { g_name = "richards"; g_return = 0; g_output_md5 = "fb2df8c1a1a9272bdc14c9dd2c198d61"; g_output_len = 31;
+    g_steps = 61628; g_allocations = 196; g_object_space = 7992; g_dead_space = 0;
+    g_hwm = 7992; g_hwm_reduced = 7992; g_num_objects = 196; g_scalar_bytes = 0;
+    g_leaked = 189;
+    g_dead_members = [] };
+]

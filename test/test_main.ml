@@ -10,6 +10,7 @@ let () =
       ("callgraph", Test_callgraph.suite);
       ("liveness", Test_liveness.suite);
       ("interp", Test_interp.suite);
+      ("resolve", Test_resolve.suite);
       ("profile", Test_profile.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("eliminate", Test_eliminate.suite);
