@@ -12,7 +12,9 @@
      dune exec bench/main.exe -- json    -- write BENCH_deadmem.json
      dune exec bench/main.exe -- --compare BASELINE.json
                                          -- diff against a committed snapshot;
-                                            exits 1 on >25% phase regression *)
+                                            exits 1 on >10% median phase
+                                            regression or a PTA build slower
+                                            than 2x the CHA build *)
 
 open Benchmarks
 
@@ -179,9 +181,12 @@ let figure4 () =
 (* -- ablations ----------------------------------------------------------------- *)
 
 let ablation () =
-  Fmt.pr "@.Ablation A1: call-graph precision (CHA vs RTA), dead members found@.";
-  Fmt.pr "%-10s %8s %8s %10s %10s@." "name" "CHA" "RTA" "CHA funcs" "RTA funcs";
-  Fmt.pr "%s@." (String.make 52 '-');
+  Fmt.pr
+    "@.Ablation A1: call-graph precision (CHA vs RTA vs PTA), dead members \
+     found@.";
+  Fmt.pr "%-10s %6s %6s %6s %10s %10s %10s@." "name" "CHA" "RTA" "PTA"
+    "CHA funcs" "RTA funcs" "PTA funcs";
+  Fmt.pr "%s@." (String.make 64 '-');
   List.iter
     (fun (b : Suite.t) ->
       let prog = Suite.program b in
@@ -195,12 +200,15 @@ let ablation () =
       in
       let cha, cha_cg = dead_with Callgraph.Cha in
       let rta, rta_cg = dead_with Callgraph.Rta in
-      Fmt.pr "%-10s %8d %8d %10d %10d@." b.Suite.name cha rta
-        (Callgraph.num_nodes cha_cg) (Callgraph.num_nodes rta_cg))
+      let pta, pta_cg = dead_with Callgraph.Pta in
+      Fmt.pr "%-10s %6d %6d %6d %10d %10d %10d@." b.Suite.name cha rta pta
+        (Callgraph.num_nodes cha_cg) (Callgraph.num_nodes rta_cg)
+        (Callgraph.num_nodes pta_cg))
     Suite.all;
   Fmt.pr
-    "@.(RTA never finds fewer dead members than CHA; the paper's §3.1 notes@.\
-    \ that more accurate call graphs can only improve the results.)@.";
+    "@.(RTA never finds fewer dead members than CHA, nor PTA fewer than RTA;@.\
+    \ the paper's §3.1 notes that more accurate call graphs can only improve@.\
+    \ the results.)@.";
   Fmt.pr "@.Ablation A2: sizeof and down-cast policies, dead members found@.";
   Fmt.pr "%-10s %20s %14s %12s@." "name" "paper(ignore/safe)" "sizeof-cons"
     "casts-cons";
@@ -301,21 +309,40 @@ let perf () =
 
 (* -- machine-readable results (BENCH_deadmem.json) --------------------------------- *)
 
-(* One record per benchmark: wall time of each pipeline phase plus the
-   telemetry counters the instrumented run produced. The file is committed,
-   so the performance trajectory of the analysis is visible across PRs. *)
+(* One record per benchmark: wall time of each pipeline phase (the
+   median over [runs] repetitions), per-algorithm call-graph shape and
+   build time, plus the telemetry counters the instrumented run
+   produced. The file is committed, so the performance and precision
+   trajectories of the analysis are visible across PRs. *)
+
+type algstats = {
+  a_nodes : int;
+  a_edges : int;
+  a_dead : int;
+  a_wall : float;  (* median call-graph build wall ms *)
+}
 
 type measurement = {
   m_name : string;
   m_loc : int;
-  m_phases : (string * float) list;  (* phase name -> wall ms *)
+  m_phases : (string * float) list;  (* phase name -> median wall ms *)
   m_dead : int;
   m_objspace : int;
   m_deadspace : int;
+  m_callgraph : (string * algstats) list;  (* "cha" / "rta" / "pta" *)
   m_counters : (string * int) list;
 }
 
-let measure () : measurement list =
+let algorithms =
+  [ ("cha", Callgraph.Cha); ("rta", Callgraph.Rta); ("pta", Callgraph.Pta) ]
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let measure ?(runs = 1) () : measurement list =
+  let runs = max 1 runs in
   let time f =
     let t0 = Unix.gettimeofday () in
     let v = f () in
@@ -329,44 +356,101 @@ let measure () : measurement list =
     (fun () ->
       List.map
         (fun (b : Suite.t) ->
-          Telemetry.reset ();
-          Telemetry.set_enabled true;
-          let ast, parse_ms =
-            time (fun () -> Frontend.Parser.parse_string b.Suite.source)
+          (* one sample is the whole pipeline, phase by phase; the
+             reported time per phase is the median over [runs] samples *)
+          let samples =
+            List.init runs (fun _ ->
+                Telemetry.reset ();
+                Telemetry.set_enabled true;
+                let ast, parse_ms =
+                  time (fun () -> Frontend.Parser.parse_string b.Suite.source)
+                in
+                ignore ast;
+                let prog, check_ms = time (fun () -> Suite.program b) in
+                let result, analyze_ms =
+                  time (fun () ->
+                      Deadmem.Liveness.analyze ~config:Deadmem.Config.paper
+                        prog)
+                in
+                let outcome, run_ms =
+                  time (fun () ->
+                      Runtime.Interp.run
+                        ~dead:(Deadmem.Liveness.dead_set result)
+                        prog)
+                in
+                let cg_ms =
+                  List.map
+                    (fun (name, alg) ->
+                      let _, ms =
+                        time (fun () -> Callgraph.build ~algorithm:alg prog)
+                      in
+                      (name, ms))
+                    algorithms
+                in
+                let phases =
+                  [
+                    ("parse", parse_ms);
+                    ("typecheck", check_ms);
+                    ("analyze", analyze_ms);
+                    ("run", run_ms);
+                  ]
+                in
+                (phases, cg_ms, (result, outcome, Telemetry.counters ())))
           in
-          ignore ast;
-          let prog, check_ms = time (fun () -> Suite.program b) in
-          let result, analyze_ms =
-            time (fun () ->
-                Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog)
+          let last (_, _, x) = x in
+          let result, outcome, counters =
+            last (List.nth samples (runs - 1))
           in
-          let outcome, run_ms =
-            time (fun () ->
-                Runtime.Interp.run
-                  ~dead:(Deadmem.Liveness.dead_set result)
-                  prog)
+          let med_phase p =
+            median
+              (List.filter_map (fun (ps, _, _) -> List.assoc_opt p ps) samples)
+          in
+          let med_cg name =
+            median
+              (List.filter_map (fun (_, cs, _) -> List.assoc_opt name cs)
+                 samples)
+          in
+          let prog = Suite.program b in
+          let m_callgraph =
+            List.map
+              (fun (name, alg) ->
+                let cg = Callgraph.build ~algorithm:alg prog in
+                let config =
+                  { Deadmem.Config.paper with Deadmem.Config.call_graph = alg }
+                in
+                let dead =
+                  List.length
+                    (Deadmem.Liveness.dead_members
+                       (Deadmem.Liveness.analyze ~config prog))
+                in
+                ( name,
+                  {
+                    a_nodes = Callgraph.num_nodes cg;
+                    a_edges = Callgraph.num_edges cg;
+                    a_dead = dead;
+                    a_wall = med_cg name;
+                  } ))
+              algorithms
           in
           let s = outcome.Runtime.Interp.snapshot in
           {
             m_name = b.Suite.name;
             m_loc = Suite.loc b;
             m_phases =
-              [
-                ("parse", parse_ms);
-                ("typecheck", check_ms);
-                ("analyze", analyze_ms);
-                ("run", run_ms);
-              ];
+              List.map
+                (fun p -> (p, med_phase p))
+                [ "parse"; "typecheck"; "analyze"; "run" ];
             m_dead = List.length (Deadmem.Liveness.dead_members result);
             m_objspace = s.Runtime.Profile.object_space;
             m_deadspace = s.Runtime.Profile.dead_space;
-            m_counters = Telemetry.counters ();
+            m_callgraph;
+            m_counters = counters;
           })
         Suite.all)
 
 let bench_json () =
   let out = "BENCH_deadmem.json" in
-  let ms = measure () in
+  let ms = measure ~runs:5 () in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"benchmarks\": [";
   List.iteri
@@ -378,6 +462,7 @@ let bench_json () =
            \    {\"name\":\"%s\",\"loc\":%d,\n\
            \     \"wall_ms\":{%s},\n\
            \     \"dead_members\":%d,\"object_space\":%d,\"dead_space\":%d,\n\
+           \     \"callgraph\":{%s},\n\
            \     \"counters\":{%s}}"
            (Frontend.Source.json_escape m.m_name)
            m.m_loc
@@ -387,6 +472,13 @@ let bench_json () =
                    Fmt.str "\"%s\":%.3f" (Frontend.Source.json_escape p) v)
                  m.m_phases))
            m.m_dead m.m_objspace m.m_deadspace
+           (String.concat ","
+              (List.map
+                 (fun (name, a) ->
+                   Fmt.str
+                     "\"%s\":{\"nodes\":%d,\"edges\":%d,\"dead_members\":%d,\"wall_ms\":%.3f}"
+                     name a.a_nodes a.a_edges a.a_dead a.a_wall)
+                 m.m_callgraph))
            (String.concat ","
               (List.map
                  (fun (name, v) ->
@@ -403,14 +495,16 @@ let bench_json () =
 (* -- baseline comparison (--compare) ----------------------------------------------- *)
 
 (* Diff a fresh measurement against a committed BENCH_deadmem.json.
-   Wall-time regressions beyond [regression_pct] in any phase fail the
-   comparison (exit 1), but only past an absolute noise floor so the
-   sub-millisecond phases of small benchmarks can't trip the gate on
-   scheduler jitter. Counter changes and result-shape changes
-   (dead members, object/dead space) are reported; result-shape changes
-   also fail, since they mean the optimization changed observable
-   behavior, not just speed. *)
-let regression_pct = 25.0
+   Both sides are medians over repeated runs, which lets the gate be
+   tight: wall-time regressions beyond [regression_pct] in any phase
+   fail the comparison (exit 1), but only past an absolute noise floor
+   so the sub-millisecond phases of small benchmarks can't trip the
+   gate on scheduler jitter. Counter changes and result-shape changes
+   (dead members, object/dead space, per-algorithm call-graph shape)
+   are reported; result-shape changes also fail, since they mean the
+   optimization changed observable behavior, not just speed. The PTA
+   build is additionally gated at 2x the CHA build per benchmark. *)
+let regression_pct = 10.0
 
 let noise_floor_ms = 2.0
 
@@ -487,6 +581,43 @@ let compare_baseline path contents =
           same "dead_members" m.m_dead;
           same "object_space" m.m_objspace;
           same "dead_space" m.m_deadspace;
+          (* per-algorithm call-graph shape must not drift either: a
+             node/edge/dead-count change means precision moved *)
+          (match J.member "callgraph" row with
+          | Some cgs ->
+              List.iter
+                (fun (name, a) ->
+                  match J.member name cgs with
+                  | Some obj ->
+                      let chk key now =
+                        let base = num obj key in
+                        if (not (Float.is_nan base)) && int_of_float base <> now
+                        then
+                          fail "%s: callgraph.%s.%s changed %d -> %d" m.m_name
+                            name key (int_of_float base) now
+                      in
+                      chk "nodes" a.a_nodes;
+                      chk "edges" a.a_edges;
+                      chk "dead_members" a.a_dead
+                  | None -> ())
+                m.m_callgraph
+          | None -> ());
+          (* the precision of PTA must stay affordable: its build may
+             not take more than twice the CHA build on any benchmark *)
+          (match
+             ( List.assoc_opt "cha" m.m_callgraph,
+               List.assoc_opt "pta" m.m_callgraph )
+           with
+          | Some cha, Some pta ->
+              Fmt.pr "%-10s %-9s %9.3f %9.3f %8s@." m.m_name "cg-pta"
+                cha.a_wall pta.a_wall "(2x cap)";
+              if
+                pta.a_wall > 2.0 *. cha.a_wall
+                && pta.a_wall > cha.a_wall +. noise_floor_ms
+              then
+                fail "%s: PTA build %.3fms exceeds 2x CHA build %.3fms"
+                  m.m_name pta.a_wall cha.a_wall
+          | _ -> ());
           (* counter drift is informational unless it is an interpreter
              semantics counter *)
           let base_counters =
@@ -507,7 +638,7 @@ let compare_baseline path contents =
                     fail "%s: %s changed %d -> %d" m.m_name k base now
               | _ -> ())
             m.m_counters)
-    (measure ());
+    (measure ~runs:5 ());
   match List.rev !failures with
   | [] ->
       Fmt.pr "@.comparison OK: no phase regressed beyond the gate@.";

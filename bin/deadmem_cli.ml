@@ -68,9 +68,14 @@ let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
 let callgraph_alg =
-  let doc = "Call-graph construction algorithm: 'rta' (default) or 'cha'." in
+  let doc =
+    "Call-graph construction algorithm: 'cha' (class hierarchy), 'rta' \
+     (rapid type analysis, default) or 'pta' (Andersen points-to; most \
+     precise, falls back to RTA per site when a receiver is unknown)."
+  in
   let alg =
-    Arg.enum [ ("rta", Callgraph.Rta); ("cha", Callgraph.Cha) ]
+    Arg.enum
+      [ ("rta", Callgraph.Rta); ("cha", Callgraph.Cha); ("pta", Callgraph.Pta) ]
   in
   Arg.(value & opt alg Callgraph.Rta & info [ "callgraph" ] ~docv:"ALG" ~doc)
 
@@ -282,7 +287,7 @@ let explain_cmd =
 (* Batch diagnosis: each translation unit is processed in isolation, so a
    crash-grade failure in one file cannot mask results for the others. *)
 let check_cmd =
-  let check_one ~format file =
+  let check_one ~format ~alg file =
     let json = format = `Json in
     match read_source file with
     | exception Sys_error m ->
@@ -294,37 +299,61 @@ let check_cmd =
         `Io
     | src ->
         let diags = Frontend.Source.Diagnostics.create () in
-        let unknown =
+        let analysis =
           (* a failure here is a bug in the pipeline, not in the input;
              report it as this file's result and keep the batch going *)
           match Sema.Type_check.check_source_resilient ~file ~diags src with
-          | _, unknown -> unknown
+          | prog, unknown -> Some (prog, unknown)
           | exception e ->
               Frontend.Source.Diagnostics.error diags "internal error: %s"
                 (Printexc.to_string e);
-              []
+              None
         in
+        let unknown = match analysis with Some (_, u) -> u | None -> [] in
         let module D = Frontend.Source.Diagnostics in
+        (* dead-member summary for clean files, under the requested
+           call-graph tier; analysis failures degrade to "no summary"
+           rather than failing the batch *)
+        let dead_count =
+          match analysis with
+          | Some (prog, unknown) when not (D.has_errors diags) -> (
+              let config =
+                config_of ~alg ~conservative:false ~library_classes:[]
+              in
+              match Deadmem.Liveness.analyze ~config ~unknown prog with
+              | r -> Some (List.length (Deadmem.Liveness.dead_members r))
+              | exception _ -> None)
+          | _ -> None
+        in
         if json then
           Fmt.pr
-            {|{"file":"%s","ok":%b,"errors":%d,"suppressed":%d,"unknown_regions":%d,"diagnostics":[%s]}@.|}
+            {|{"file":"%s","ok":%b,"errors":%d,"suppressed":%d,"unknown_regions":%d,"callgraph":"%s","dead_members":%s,"diagnostics":[%s]}@.|}
             (Frontend.Source.json_escape file)
             (not (D.has_errors diags))
             (D.error_count diags) (D.suppressed_count diags)
             (List.length unknown)
+            (Callgraph.algorithm_to_string alg)
+            (match dead_count with Some n -> string_of_int n | None -> "null")
             (String.concat ","
                (List.map Frontend.Source.diagnostic_to_json (D.to_list diags)))
         else if D.has_errors diags then begin
           Fmt.pr "%a" D.pp diags;
           Fmt.pr "%s: %d error(s)@." file (D.error_count diags)
         end
-        else Fmt.pr "%s: ok@." file;
+        else begin
+          match dead_count with
+          | Some n ->
+              Fmt.pr "%s: ok (%d dead member%s, %s)@." file n
+                (if n = 1 then "" else "s")
+                (Callgraph.algorithm_to_string alg)
+          | None -> Fmt.pr "%s: ok@." file
+        end;
         if D.has_errors diags then `Diagnostics else `Ok
   in
-  let run files format metrics trace_out =
+  let run files format alg metrics trace_out =
     handle_errors (fun () ->
         with_telemetry ~metrics ~trace_out @@ fun () ->
-        let results = List.map (check_one ~format) files in
+        let results = List.map (check_one ~format ~alg) files in
         if List.mem `Io results then exit_usage
         else if List.mem `Diagnostics results then exit_diagnostics
         else exit_ok)
@@ -346,7 +375,8 @@ let check_cmd =
      errors, 2 when any file cannot be read."
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ files_arg $ format_arg $ metrics_opt $ trace_out_opt)
+    Term.(const run $ files_arg $ format_arg $ callgraph_alg $ metrics_opt
+          $ trace_out_opt)
 
 (* -- run ---------------------------------------------------------------------- *)
 
@@ -442,7 +472,7 @@ let strip_cmd =
 (* -- bench -------------------------------------------------------------------- *)
 
 let bench_cmd =
-  let run name metrics trace_out =
+  let run name alg metrics trace_out =
     handle_errors (fun () ->
         with_telemetry ~metrics ~trace_out @@ fun () ->
         match Benchmarks.Suite.find name with
@@ -454,7 +484,10 @@ let bench_cmd =
             1
         | Some b ->
             let prog = Benchmarks.Suite.program b in
-            let r = Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog in
+            let config =
+              { Deadmem.Config.paper with Deadmem.Config.call_graph = alg }
+            in
+            let r = Deadmem.Liveness.analyze ~config prog in
             let report = Deadmem.Report.of_result prog r in
             let outcome =
               Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set r) prog
@@ -473,7 +506,72 @@ let bench_cmd =
   in
   let doc = "Analyze and run one of the built-in paper benchmarks." in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ name_arg $ metrics_opt $ trace_out_opt)
+    Term.(const run $ name_arg $ callgraph_alg $ metrics_opt $ trace_out_opt)
+
+(* -- precision ----------------------------------------------------------------- *)
+
+(* The three call-graph tiers side by side on every built-in benchmark:
+   the precision trajectory the paper's §3.1 observation predicts
+   (call-graph precision bounds analysis precision). *)
+let precision_cmd =
+  let tiers = [ Callgraph.Cha; Callgraph.Rta; Callgraph.Pta ] in
+  let measure prog alg =
+    let config =
+      { Deadmem.Config.paper with Deadmem.Config.call_graph = alg }
+    in
+    let cg = Callgraph.build ~algorithm:alg prog in
+    let r = Deadmem.Liveness.analyze ~config prog in
+    ( Callgraph.num_nodes cg,
+      Callgraph.num_edges cg,
+      List.length (Deadmem.Liveness.dead_members r) )
+  in
+  let run format =
+    handle_errors (fun () ->
+        let rows =
+          List.map
+            (fun (b : Benchmarks.Suite.t) ->
+              let prog = Benchmarks.Suite.program b in
+              (b.name, List.map (measure prog) tiers))
+            Benchmarks.Suite.all
+        in
+        (match format with
+        | `Text ->
+            Fmt.pr "%-10s %28s %28s %28s@." "benchmark" "CHA" "RTA" "PTA";
+            Fmt.pr "%-10s %28s %28s %28s@." "" "nodes/edges/dead"
+              "nodes/edges/dead" "nodes/edges/dead";
+            List.iter
+              (fun (name, cells) ->
+                Fmt.pr "%-10s" name;
+                List.iter
+                  (fun (n, e, d) -> Fmt.pr " %28s" (Fmt.str "%d/%d/%d" n e d))
+                  cells;
+                Fmt.pr "@.")
+              rows
+        | `Json ->
+            let row_json (name, cells) =
+              let cell alg (n, e, d) =
+                Fmt.str
+                  {|"%s":{"nodes":%d,"edges":%d,"dead_members":%d}|}
+                  (String.lowercase_ascii (Callgraph.algorithm_to_string alg))
+                  n e d
+              in
+              Fmt.str {|{"benchmark":"%s",%s}|} name
+                (String.concat "," (List.map2 cell tiers cells))
+            in
+            Fmt.pr "[%s]@." (String.concat "," (List.map row_json rows)));
+        exit_ok)
+    |> exit
+  in
+  let format_arg =
+    let doc = "Output format: 'text' (default) or 'json'." in
+    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let doc =
+    "Print per-benchmark dead-member counts and call-graph sizes for the \
+     CHA, RTA and PTA tiers side by side."
+  in
+  Cmd.v (Cmd.info "precision" ~doc) Term.(const run $ format_arg)
 
 let () =
   let doc = "dead data member detection for MiniC++ (Sweeney & Tip, PLDI'98)" in
@@ -482,7 +580,7 @@ let () =
     Cmd.eval' ~term_err:exit_usage
       (Cmd.group info
          [ analyze_cmd; explain_cmd; check_cmd; run_cmd; callgraph_cmd;
-           strip_cmd; bench_cmd ])
+           strip_cmd; bench_cmd; precision_cmd ])
   in
   (* cmdliner reports some CLI parse errors (e.g. a bad enum value) with its
      own cli_error code rather than term_err; fold those into the usage code

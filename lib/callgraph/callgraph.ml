@@ -8,9 +8,15 @@
      static class S may dispatch to the override in any subclass of S;
    - [Rta] — Rapid Type Analysis (Bacon & Sweeney, OOPSLA'96 [5]): like
      CHA, but dynamic receiver classes are restricted to classes whose
-     constructor is reachable.
+     constructor is reachable;
+   - [Pta] — Andersen-style points-to analysis ([Pta] module): virtual
+     calls, virtual deletes and function-pointer calls resolve against
+     the receiver's computed points-to set, intersected with the RTA
+     candidate cone so the result is never less precise than RTA.
+     Receivers with unknown (⊤) or unrepresentable sets fall back to
+     RTA resolution per site; a global havoc degrades every site.
 
-   Both honour the paper's conservative extra roots (§3.3): a function
+   All honour the paper's conservative extra roots (§3.3): a function
    whose address is taken in reachable code is reachable, and methods of
    user classes that override a virtual method of a *library* class are
    reachable (the library may call back into them). *)
@@ -20,9 +26,9 @@ open Sema
 open Sema.Typed_ast
 module StringSet = Set.Make (String)
 
-type algorithm = Cha | Rta
+type algorithm = Cha | Rta | Pta
 
-let algorithm_to_string = function Cha -> "CHA" | Rta -> "RTA"
+let algorithm_to_string = function Cha -> "CHA" | Rta -> "RTA" | Pta -> "PTA"
 
 type t = {
   algorithm : algorithm;
@@ -44,10 +50,10 @@ let num_edges t =
 
 type event =
   | EStatic of Func_id.t
-  | EVirtual of string * string        (* static receiver class, method name *)
-  | EVirtualDelete of string           (* static pointee class *)
+  | EVirtual of string * string * texpr  (* static class, method, receiver *)
+  | EVirtualDelete of string * texpr     (* static pointee class, pointer *)
   | EStaticDelete of string
-  | EFunPtrCall of int                 (* arity *)
+  | EFunPtrCall of int * texpr           (* arity, pointer expression *)
   | EAddrTaken of Func_id.t
   | EInstantiate of string * Func_id.t (* class, ctor *)
   | EStackDestroy of string
@@ -78,12 +84,12 @@ let expr_events table acc (e : texpr) =
       | DStatic -> EStatic (Func_id.FMethod (mc.mc_class, mc.mc_name)) :: acc
       | DVirtual -> (
           match receiver_class mc with
-          | Some cls -> EVirtual (cls, mc.mc_name) :: acc
+          | Some cls -> EVirtual (cls, mc.mc_name, mc.mc_recv) :: acc
           | None -> EStatic (Func_id.FMethod (mc.mc_class, mc.mc_name)) :: acc))
   | TCall (CFunPtr (fn, args)) -> (
       match fn.te with
       | TFunAddr id -> EStatic id :: acc
-      | _ -> EFunPtrCall (List.length args) :: acc)
+      | _ -> EFunPtrCall (List.length args, fn) :: acc)
   | TCall (CBuiltin _) -> acc
   | TFunAddr id -> EAddrTaken id :: acc
   | TNewObj { cls; ctor; _ } -> EInstantiate (cls, ctor) :: acc
@@ -116,7 +122,7 @@ let stmt_events table acc (s : tstmt) =
   | TSDelete (_, e) -> (
       match Ctype.pointee e.ty with
       | Some (Ast.TNamed cls) ->
-          if dtor_is_virtual table cls then EVirtualDelete cls :: acc
+          if dtor_is_virtual table cls then EVirtualDelete (cls, e) :: acc
           else EStaticDelete cls :: acc
       | _ -> acc)
   | _ -> acc
@@ -199,9 +205,9 @@ let candidate_classes ~algorithm ~instantiated table s =
   let all = s :: Class_table.subclasses table s in
   match algorithm with
   | Cha -> all
-  | Rta -> List.filter (fun c -> StringSet.mem c instantiated) all
+  | Rta | Pta -> List.filter (fun c -> StringSet.mem c instantiated) all
 
-let resolve_virtual ~algorithm ~instantiated table s name : FuncSet.t =
+let resolve_virtual_among table ~candidates name : FuncSet.t =
   List.fold_left
     (fun acc d ->
       match Member_lookup.dispatch table ~dyn:d ~name with
@@ -209,8 +215,12 @@ let resolve_virtual ~algorithm ~instantiated table s name : FuncSet.t =
           FuncSet.add (Func_id.FMethod (def, name)) acc
       | Some (def, _) -> FuncSet.add (Func_id.FMethod (def, name)) acc
       | None -> acc)
-    FuncSet.empty
-    (candidate_classes ~algorithm ~instantiated table s)
+    FuncSet.empty candidates
+
+let resolve_virtual ~algorithm ~instantiated table s name : FuncSet.t =
+  resolve_virtual_among table
+    ~candidates:(candidate_classes ~algorithm ~instantiated table s)
+    name
 
 let resolve_virtual_delete ~algorithm ~instantiated table s : FuncSet.t =
   List.fold_left
@@ -258,11 +268,16 @@ let library_override_roots table ~library_classes : FuncSet.t =
 let iterations_counter = Telemetry.Counter.make "callgraph.fixpoint_iterations"
 let nodes_gauge = Telemetry.Gauge.make "callgraph.reachable_functions"
 let edges_gauge = Telemetry.Gauge.make "callgraph.edges"
+let pta_resolved_counter = Telemetry.Counter.make "callgraph.pta_resolved_sites"
+let pta_fallback_counter = Telemetry.Counter.make "callgraph.pta_fallback_sites"
 
 let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
     ?(extra_roots = []) (p : program) : t =
   Telemetry.Span.with_ "callgraph" @@ fun () ->
   let table = p.table in
+  (* Sites resolve with this algorithm when points-to information is
+     absent or inconclusive: PTA degrades to RTA, never worse. *)
+  let fallback = match algorithm with Pta -> Rta | a -> a in
   (* memoize per-function events *)
   let events_cache : (Func_id.t, event list) Hashtbl.t = Hashtbl.create 64 in
   let events_of id =
@@ -291,11 +306,80 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
       (FuncSet.of_list (main_id :: extra_roots))
       (library_override_roots table ~library_classes)
   in
+  (* The points-to solution is computed once, over the same root set the
+     replay below uses; its per-expression sets then resolve the
+     dispatch events. *)
+  let pta =
+    match algorithm with
+    | Pta -> Some (Pta.analyze ~roots:(FuncSet.elements base_roots) p)
+    | Cha | Rta -> None
+  in
   (* Iterate reachability to a fixpoint over (instantiated, address_taken):
      both sets only grow, and each enlargement can only add reachable
      functions, so the loop terminates. *)
   let instantiated = ref StringSet.empty in
   let address_taken = ref FuncSet.empty in
+  (* Dispatch resolution: under PTA, intersect the receiver's points-to
+     classes with the RTA candidate cone — never more targets than RTA,
+     and conservative fallback whenever the set is unknown. *)
+  let resolve_virtual_event cls name recv : FuncSet.t =
+    let fb () =
+      resolve_virtual ~algorithm:fallback ~instantiated:!instantiated table cls
+        name
+    in
+    match pta with
+    | None -> fb ()
+    | Some sol -> (
+        match Pta.receiver_classes sol recv with
+        | Some cs ->
+            Telemetry.Counter.incr pta_resolved_counter;
+            resolve_virtual_among table
+              ~candidates:
+                (List.filter
+                   (fun c -> List.mem c cs)
+                   (candidate_classes ~algorithm:Rta
+                      ~instantiated:!instantiated table cls))
+              name
+        | None ->
+            Telemetry.Counter.incr pta_fallback_counter;
+            fb ())
+  in
+  let resolve_vdelete_event cls e : FuncSet.t =
+    let fb () =
+      resolve_virtual_delete ~algorithm:fallback ~instantiated:!instantiated
+        table cls
+    in
+    match pta with
+    | None -> fb ()
+    | Some sol -> (
+        match Pta.receiver_classes sol e with
+        | Some cs ->
+            Telemetry.Counter.incr pta_resolved_counter;
+            List.fold_left
+              (fun acc c ->
+                if List.mem c cs then FuncSet.add (Func_id.FDtor c) acc
+                else acc)
+              FuncSet.empty
+              (candidate_classes ~algorithm:Rta ~instantiated:!instantiated
+                 table cls)
+        | None ->
+            Telemetry.Counter.incr pta_fallback_counter;
+            fb ())
+  in
+  let funptr_candidates fe : FuncSet.t =
+    match pta with
+    | None -> !address_taken
+    | Some sol -> (
+        match Pta.funptr_targets sol fe with
+        | Some fs ->
+            Telemetry.Counter.incr pta_resolved_counter;
+            FuncSet.filter
+              (fun id -> FuncSet.mem id !address_taken)
+              (FuncSet.of_list fs)
+        | None ->
+            Telemetry.Counter.incr pta_fallback_counter;
+            !address_taken)
+  in
   let final_nodes = ref FuncSet.empty in
   let final_edges = ref FuncMap.empty in
   let final_roots = ref base_roots in
@@ -333,24 +417,22 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
           | EStatic id ->
               add_edge src id;
               enqueue id
-          | EVirtual (cls, name) ->
+          | EVirtual (cls, name, recv) ->
               FuncSet.iter
                 (fun id ->
                   add_edge src id;
                   enqueue id)
-                (resolve_virtual ~algorithm ~instantiated:!instantiated table cls
-                   name)
-          | EVirtualDelete cls ->
+                (resolve_virtual_event cls name recv)
+          | EVirtualDelete (cls, e) ->
               FuncSet.iter
                 (fun id ->
                   add_edge src id;
                   enqueue id)
-                (resolve_virtual_delete ~algorithm ~instantiated:!instantiated
-                   table cls)
+                (resolve_vdelete_event cls e)
           | EStaticDelete cls ->
               add_edge src (Func_id.FDtor cls);
               enqueue (Func_id.FDtor cls)
-          | EFunPtrCall arity ->
+          | EFunPtrCall (arity, fe) ->
               FuncSet.iter
                 (fun id ->
                   let matches =
@@ -362,7 +444,7 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
                     add_edge src id;
                     enqueue id
                   end)
-                !address_taken
+                (funptr_candidates fe)
           | EAddrTaken id -> address_taken := FuncSet.add id !address_taken
           | EInstantiate (cls, ctor) ->
               instantiated := StringSet.add cls !instantiated;

@@ -9,9 +9,14 @@
       subclass of [S];
     - {!Rta} — Rapid Type Analysis (Bacon & Sweeney, OOPSLA'96): like
       CHA, but candidate dynamic classes are restricted to classes whose
-      constructor is reachable.
+      constructor is reachable;
+    - {!Pta} — Andersen-style points-to analysis: virtual calls, virtual
+      deletes and function-pointer calls resolve against the receiver's
+      computed points-to set intersected with the RTA candidate cone, so
+      the reachable set is always a subset of RTA's. Unknown receivers
+      fall back to RTA resolution per site.
 
-    Both honour the paper's conservative extra roots (§3.3): functions
+    All honour the paper's conservative extra roots (§3.3): functions
     whose address is taken in reachable code, and methods of user classes
     overriding a virtual method of a {e library} class (the library may
     call back into them). Constructor/destructor obligations — base and
@@ -21,7 +26,7 @@
 open Sema.Typed_ast
 module StringSet : Set.S with type elt = string and type t = Set.Make(String).t
 
-type algorithm = Cha | Rta
+type algorithm = Cha | Rta | Pta
 
 val algorithm_to_string : algorithm -> string
 

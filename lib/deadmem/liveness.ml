@@ -531,7 +531,9 @@ let pp_explanation ppf r (m : Member.t) =
            cast,@.\
           \  conservative sizeof, live union, or unknown region.@.";
         Fmt.pf ppf
-          "  removing it cannot affect observable behaviour (paper, §3).@."
+          "  removing it cannot affect observable behaviour (paper, §3).@.";
+        Fmt.pf ppf "  reachable code computed with the %s call graph.@."
+          (Callgraph.algorithm_to_string r.callgraph.Callgraph.algorithm)
       end
   | Some why ->
       Fmt.pf ppf "%s: LIVE@." name;
@@ -545,11 +547,13 @@ let pp_explanation ppf r (m : Member.t) =
       | Some at -> Fmt.pf ppf "  at: %a@." Source.pp_span at
       | None -> ());
       (match why.pv_func with
-      | Some fn -> (
+      | Some fn ->
           Fmt.pf ppf "  in: %a@." Func_id.pp fn;
-          match Callgraph.path_from_root r.callgraph fn with
+          (match Callgraph.path_from_root r.callgraph fn with
           | Some chain -> Fmt.pf ppf "  call path: %a@." pp_call_path chain
-          | None -> Fmt.pf ppf "  call path: (root)@.")
+          | None -> Fmt.pf ppf "  call path: (root)@.");
+          Fmt.pf ppf "  reachability justified by: %s call graph@."
+            (Callgraph.algorithm_to_string r.callgraph.Callgraph.algorithm)
       | None -> (
           match why.pv_rule with
           | RUnion -> Fmt.pf ppf "  in: (union post-pass)@."

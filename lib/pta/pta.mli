@@ -1,0 +1,62 @@
+(** Andersen-style inclusion-based points-to analysis over MiniC++.
+
+    Flow-insensitive subset constraints are generated from the typed AST
+    and solved with a worklist algorithm; copy-edge cycles are collapsed
+    with a union-find so propagation is cycle-aware. The abstraction is
+    {e field-based}: one node per [(defining class, name)] data member —
+    the same {!Sema.Member.t} identity the dead-member analysis
+    classifies — so a store to [p->f] and a load of [q->f] meet in the
+    single node for [C::f].
+
+    Reachability is computed on the fly: constraints for a function are
+    generated the first time it becomes reachable, and virtual-call /
+    function-pointer dispatch discovered during solving feeds new
+    functions back into the worklist. The paper's §3.3 conservative
+    roots (address-taken functions, library-override methods) are
+    honoured by treating their parameters and receivers as unknown
+    ([⊤]).
+
+    Anything the constraint language cannot model soundly — a store
+    through an unknown pointer, a member-pointer store — raises a global
+    {!havoc} flag; clients must then fall back to RTA behaviour for
+    every dispatch site. Per-expression unknowns are tracked with a
+    [⊤] element that individual queries report as [None]. *)
+
+open Sema.Typed_ast
+
+type solution
+
+(** Analyze a program, computing points-to sets for every pointer-valued
+    expression reachable from [roots] (default: [main] alone). Runs
+    under a ["pta"] telemetry span with nested ["pta.seed"] and
+    ["pta.solve"] phases. *)
+val analyze : ?roots:Func_id.t list -> program -> solution
+
+(** Functions reachable under the PTA call graph (including targets
+    reached through fallback dispatch). *)
+val reachable : solution -> FuncSet.t
+
+(** Classes whose constructor is reachable — the PTA analogue of RTA's
+    instantiated set. *)
+val instantiated : solution -> string list
+
+val address_taken : solution -> FuncSet.t
+
+(** True when an unmodelable store forced a global degradation; every
+    query below then returns [None]. *)
+val havoc : solution -> bool
+
+(** [receiver_classes sol e] is the set of dynamic classes of objects
+    the receiver expression [e] may point to, or [None] when the set is
+    unknown ([⊤], havoc, or [e] not part of the analyzed program). [e]
+    is identified {e physically}: pass the very expression node from the
+    program given to {!analyze}. *)
+val receiver_classes : solution -> texpr -> string list option
+
+(** [funptr_targets sol e] is the set of functions the pointer
+    expression [e] may reference, or [None] when unknown. *)
+val funptr_targets : solution -> texpr -> Func_id.t list option
+
+val num_nodes : solution -> int
+val num_objects : solution -> int
+val num_constraints : solution -> int

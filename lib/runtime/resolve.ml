@@ -844,6 +844,26 @@ let program (p : program) : rprogram =
   let funcs = all_funcs p in
   let func_idx = Hashtbl.create 64 in
   List.iteri (fun i fn -> Hashtbl.replace func_idx fn.tf_id i) funcs;
+  (* pre-size the memo tables from the class table so the resolver never
+     rehashes, then build every slot table and dispatch table up front:
+     first-touch cost moves from the first interpreted member access /
+     virtual call into the resolve phase *)
+  let all_cls = Class_table.all_classes table in
+  let nmembers =
+    List.fold_left (fun n (c : Class_table.cls) -> n + List.length c.c_fields)
+      0 all_cls
+  in
+  let virt_names =
+    List.fold_left
+      (fun acc (c : Class_table.cls) ->
+        List.fold_left
+          (fun acc (m : Class_table.method_info) ->
+            if m.m_virtual && not m.m_static then
+              (if List.mem m.m_name acc then acc else m.m_name :: acc)
+            else acc)
+          acc c.c_methods)
+      [] all_cls
+  in
   let ctx =
     {
       prog = p;
@@ -854,14 +874,23 @@ let program (p : program) : rprogram =
       func_idx;
       next_fidx = List.length funcs;
       stubs = [];
-      member_slots_memo = Hashtbl.create 64;
-      vtable_memo = Hashtbl.create 16;
+      member_slots_memo = Hashtbl.create (max 64 nmembers);
+      vtable_memo = Hashtbl.create (max 16 (List.length virt_names));
       global_idx = Hashtbl.create 16;
       static_idx = Hashtbl.create 16;
       static_tys = [];
       nstatics = 0;
     }
   in
+  List.iter
+    (fun (c : Class_table.cls) ->
+      List.iter
+        (fun (f : Class_table.field) ->
+          if not f.f_static then
+            ignore (member_slots ctx (Member.make ~cls:c.c_name ~name:f.f_name)))
+        c.c_fields)
+    all_cls;
+  List.iter (fun name -> ignore (vtable ctx name)) virt_names;
   (* global initializers first, with visibility growing declaration by
      declaration: the old interpreter bound globals one at a time, so an
      initializer reading a later (or its own) global failed with

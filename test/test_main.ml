@@ -18,4 +18,5 @@ let () =
       ("edge", Test_edge.suite);
       ("robustness", Test_robustness.suite);
       ("telemetry", Test_telemetry.suite);
+      ("pta", Test_pta.suite);
     ]

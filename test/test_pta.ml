@@ -1,0 +1,267 @@
+(* Points-to analysis tests: the three-tier precision chain
+   dead(CHA) ⊆ dead(RTA) ⊆ dead(PTA) over the whole benchmark suite
+   (the soundness regression guard), plus unit tests for the PTA
+   precision wins, the RTA fallback, havoc degradation, function
+   pointers, virtual deletes, and two regression cases (array-element
+   flow, base-constructor [this] escape). *)
+
+open Sema.Typed_ast
+
+let analyze_with alg prog =
+  let config = { Deadmem.Config.paper with Deadmem.Config.call_graph = alg } in
+  Deadmem.Liveness.analyze ~config prog
+
+let build ?(algorithm = Callgraph.Pta) src =
+  Callgraph.build ~algorithm (Util.check_source src)
+
+let reachable cg cls m = Callgraph.reachable cg (Func_id.FMethod (cls, m))
+
+(* -- the differential guard over the whole suite ------------------------------ *)
+
+let t_differential () =
+  let strictly_better = ref 0 in
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Benchmarks.Suite.program b in
+      let rc = analyze_with Callgraph.Cha prog in
+      let rr = analyze_with Callgraph.Rta prog in
+      let rp = analyze_with Callgraph.Pta prog in
+      let dead r = Util.dead_names r in
+      let subset a b = List.for_all (fun x -> List.mem x b) a in
+      (* a more precise call graph may only find MORE dead members *)
+      Util.check_bool
+        (b.Benchmarks.Suite.name ^ ": dead(CHA) subset of dead(RTA)")
+        true
+        (subset (dead rc) (dead rr));
+      Util.check_bool
+        (b.Benchmarks.Suite.name ^ ": dead(RTA) subset of dead(PTA)")
+        true
+        (subset (dead rr) (dead rp));
+      (* ... while reaching only FEWER functions *)
+      let nodes r = Callgraph.num_nodes r.Deadmem.Liveness.callgraph in
+      Util.check_bool
+        (b.Benchmarks.Suite.name ^ ": nodes CHA >= RTA")
+        true
+        (nodes rc >= nodes rr);
+      Util.check_bool
+        (b.Benchmarks.Suite.name ^ ": nodes RTA >= PTA")
+        true
+        (nodes rr >= nodes rp);
+      if nodes rp < nodes rr then incr strictly_better)
+    Benchmarks.Suite.all;
+  Util.check_bool "PTA strictly more precise on at least 2 benchmarks" true
+    (!strictly_better >= 2)
+
+(* -- precision: flow-based dispatch beats the instantiated cone ---------------- *)
+
+let precision_src =
+  {|class A { public: virtual int f() { return 1; } };
+    class B : public A { public: B() : x(1) { } virtual int f() { return x; } int x; };
+    class C : public A { public: C() : y(2) { } virtual int f() { return y; } int y; };
+    int use(A *p) { return p->f(); }
+    int main() {
+      B *b = new B();
+      C *c = new C();
+      if (c == NULL) return 1;
+      return use(b);
+    }|}
+
+let t_precision_dispatch () =
+  (* C is instantiated but no C object ever reaches a dispatch site, so
+     only PTA prunes C::f *)
+  let pta = build precision_src in
+  let rta = build ~algorithm:Callgraph.Rta precision_src in
+  let cha = build ~algorithm:Callgraph.Cha precision_src in
+  Util.check_bool "PTA: B::f reachable" true (reachable pta "B" "f");
+  Util.check_bool "PTA: C::f pruned" false (reachable pta "C" "f");
+  Util.check_bool "RTA: C::f kept" true (reachable rta "C" "f");
+  Util.check_bool "CHA: C::f kept" true (reachable cha "C" "f")
+
+let t_precision_dead_member () =
+  (* pruning C::f turns the member it reads dead *)
+  let prog = Util.check_source precision_src in
+  let rp = analyze_with Callgraph.Pta prog in
+  let rr = analyze_with Callgraph.Rta prog in
+  Util.check_bool "PTA: C::y dead" true (Util.is_dead rp "C" "y");
+  Util.check_bool "RTA: C::y live" false (Util.is_dead rr "C" "y");
+  Util.check_bool "PTA: B::x live" false (Util.is_dead rp "B" "x")
+
+let t_pta_solution_api () =
+  let prog = Util.check_source precision_src in
+  let sol = Pta.analyze prog in
+  Util.check_bool "no havoc" false (Pta.havoc sol);
+  Util.check_bool "B::f reached" true
+    (FuncSet.mem (Func_id.FMethod ("B", "f")) (Pta.reachable sol));
+  Util.check_bool "C::f not reached" false
+    (FuncSet.mem (Func_id.FMethod ("C", "f")) (Pta.reachable sol));
+  Util.check_bool "B instantiated" true (List.mem "B" (Pta.instantiated sol));
+  Util.check_bool "C instantiated" true (List.mem "C" (Pta.instantiated sol))
+
+(* -- fallback: unknown receivers degrade to the RTA cone ----------------------- *)
+
+let fallback_src =
+  {|class A { public: virtual int f() { return 1; } };
+    class B : public A { public: virtual int f() { return 2; } };
+    int cb(A *p) { return p->f(); }
+    int main() {
+      int (*g)(A *) = cb;
+      B *b = new B();
+      if (g == NULL) return 1;
+      return b == NULL;
+    }|}
+
+let t_fallback_top_receiver () =
+  (* cb is address-taken, so it is a root whose parameter is unknown:
+     the dispatch in its body must fall back to the RTA cone, not
+     silently resolve to nothing *)
+  let pta = build fallback_src in
+  Util.check_bool "PTA fallback keeps B::f" true (reachable pta "B" "f")
+
+(* -- havoc: an unmodelable store degrades everything to RTA -------------------- *)
+
+let havoc_src =
+  {|class A { public: virtual int f() { return 1; } };
+    class B : public A { public: virtual int f() { return 2; } };
+    int main() {
+      long raw = 64;
+      A **slot = (A **)raw;
+      B *b = new B();
+      *slot = b;
+      A *p = *slot;
+      return p->f();
+    }|}
+
+let t_havoc_degrades_to_rta () =
+  let prog = Util.check_source havoc_src in
+  let sol = Pta.analyze prog in
+  Util.check_bool "havoc raised" true (Pta.havoc sol);
+  let pta = Callgraph.build ~algorithm:Callgraph.Pta prog in
+  let rta = Callgraph.build ~algorithm:Callgraph.Rta prog in
+  Util.check_bool "B::f still reachable" true (reachable pta "B" "f");
+  Util.check_int "havoc: PTA collapses to RTA" (Callgraph.num_nodes rta)
+    (Callgraph.num_nodes pta)
+
+(* -- function pointers --------------------------------------------------------- *)
+
+let funptr_src =
+  {|int one() { return 1; }
+    int two() { return 2; }
+    int main() {
+      int (*g)() = one;
+      int (*h)() = two;
+      if (h == NULL) return 9;
+      return g();
+    }|}
+
+let t_funptr_edges () =
+  (* both functions stay reachable (address-taken functions are §3.3
+     roots in every tier), but only PTA knows the indirect call in main
+     cannot target [two] *)
+  let pta = build funptr_src in
+  let rta = build ~algorithm:Callgraph.Rta funptr_src in
+  let callees_of cg =
+    Callgraph.callees cg (Func_id.FFree "main") |> FuncSet.elements
+  in
+  Util.check_bool "PTA: main calls one" true
+    (List.mem (Func_id.FFree "one") (callees_of pta));
+  Util.check_bool "PTA: main does not call two" false
+    (List.mem (Func_id.FFree "two") (callees_of pta));
+  Util.check_bool "RTA: main conservatively calls two" true
+    (List.mem (Func_id.FFree "two") (callees_of rta));
+  Util.check_bool "PTA: two still reachable (root)" true
+    (Callgraph.reachable pta (Func_id.FFree "two"))
+
+(* -- virtual delete ------------------------------------------------------------ *)
+
+let vdelete_src =
+  {|class A { public: virtual ~A() { } };
+    class B : public A { public: virtual ~B() { } };
+    class C : public A { public: virtual ~C() { } };
+    int main() {
+      A *p = new B();
+      C *c = new C();
+      delete p;
+      return c == NULL;
+    }|}
+
+let t_virtual_delete () =
+  let pta = build vdelete_src in
+  let rta = build ~algorithm:Callgraph.Rta vdelete_src in
+  let dtor cg cls = Callgraph.reachable cg (Func_id.FDtor cls) in
+  Util.check_bool "PTA: ~B runs" true (dtor pta "B");
+  Util.check_bool "PTA: ~C pruned (never deleted)" false (dtor pta "C");
+  Util.check_bool "RTA: ~C kept" true (dtor rta "C")
+
+(* -- regression: stores into array elements must flow -------------------------- *)
+
+let array_src =
+  {|class A { public: virtual int f() { return 1; } };
+    class B : public A { public: virtual int f() { return 2; } };
+    class Box {
+    public:
+      Box() { for (int i = 0; i < 4; i++) slots[i] = NULL; }
+      A *slots[4];
+    };
+    int main() {
+      Box *bx = new Box();
+      bx->slots[0] = new B();
+      A *p = bx->slots[0];
+      return p->f();
+    }|}
+
+let t_array_element_flow () =
+  let pta = build array_src in
+  Util.check_bool "B::f reachable through array member" true
+    (reachable pta "B" "f")
+
+(* -- regression: [this] escaping from a base-class constructor ----------------- *)
+
+let escape_src =
+  {|class Reg;
+    class Registry {
+    public:
+      Registry() : head(NULL) { }
+      void add(Reg *r);
+      Reg *head;
+    };
+    class Reg {
+    public:
+      Reg(Registry *rr) { rr->add(this); }
+      virtual int go() { return 1; }
+    };
+    class Worker : public Reg {
+    public:
+      Worker(Registry *rr) : Reg(rr) { }
+      virtual int go() { return 2; }
+    };
+    void Registry::add(Reg *r) { head = r; }
+    int main() {
+      Registry *rr = new Registry();
+      Worker *w = new Worker(rr);
+      if (w == NULL) return 9;
+      return rr->head->go();
+    }|}
+
+let t_base_ctor_this_escape () =
+  (* the Worker object registers itself from Reg's constructor: the
+     derived identity must survive the escape so the dispatch through
+     the registry still reaches the override *)
+  let pta = build escape_src in
+  Util.check_bool "Worker::go reachable" true (reachable pta "Worker" "go")
+
+let suite =
+  [
+    Util.test "dead(CHA) ⊆ dead(RTA) ⊆ dead(PTA) on the whole suite"
+      t_differential;
+    Util.test "flow-based dispatch prunes unreached receivers"
+      t_precision_dispatch;
+    Util.test "pruned dispatch turns members dead" t_precision_dead_member;
+    Util.test "solution API: reachable, instantiated, havoc"
+      t_pta_solution_api;
+    Util.test "top receivers fall back to the RTA cone" t_fallback_top_receiver;
+    Util.test "unmodelable store havocs back to RTA" t_havoc_degrades_to_rta;
+    Util.test "function-pointer calls resolve flow-sensitively" t_funptr_edges;
+    Util.test "virtual delete resolves from points-to sets" t_virtual_delete;
+    Util.test "regression: array-element stores flow" t_array_element_flow;
+    Util.test "regression: this escaping a base ctor" t_base_ctor_this_escape;
+  ]
