@@ -18,6 +18,18 @@
 
 open Benchmarks
 
+(* Execution engine for the run phase ([--engine tree|bytecode], default
+   bytecode) and measurement parallelism ([--jobs N], default 1 — keep 1
+   when wall-clock numbers matter; parallel domains contend for cores).
+   Both are plain refs set once by the driver before any measurement. *)
+let engine = ref Runtime.Interp.Bytecode
+let jobs = ref 1
+
+let engine_name () =
+  match !engine with
+  | Runtime.Interp.Bytecode -> "bytecode"
+  | Runtime.Interp.Tree -> "tree"
+
 type row = {
   bench : Suite.t;
   report : Deadmem.Report.t;
@@ -28,7 +40,11 @@ let compute_row (b : Suite.t) : row =
   let prog = Suite.program b in
   let result = Deadmem.Liveness.analyze ~config:Deadmem.Config.paper prog in
   let report = Deadmem.Report.of_result prog result in
-  let outcome = Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set result) prog in
+  let outcome =
+    Runtime.Interp.run ~engine:!engine
+      ~dead:(Deadmem.Liveness.dead_set result)
+      prog
+  in
   { bench = b; report; outcome }
 
 let rows = lazy (List.map compute_row Suite.all)
@@ -341,6 +357,31 @@ let median xs =
   | [] -> nan
   | sorted -> List.nth sorted (List.length sorted / 2)
 
+(* Order-preserving map, fanned out over [!jobs] domains (atomic work
+   cursor, per-index result slots). [jobs = 1] stays a plain map. *)
+let parallel_map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let workers = max 1 (min !jobs (List.length xs)) in
+  if workers = 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let slots = Array.make (Array.length input) None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length input then begin
+          slots.(i) <- Some (f input.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join doms;
+    Array.to_list slots |> List.map Option.get
+  end
+
 let measure ?(runs = 1) () : measurement list =
   let runs = max 1 runs in
   let time f =
@@ -354,14 +395,21 @@ let measure ?(runs = 1) () : measurement list =
       Telemetry.set_enabled was_enabled;
       Telemetry.reset ())
     (fun () ->
-      List.map
+      parallel_map
         (fun (b : Suite.t) ->
           (* one sample is the whole pipeline, phase by phase; the
              reported time per phase is the median over [runs] samples *)
+          (* per-benchmark counter snapshots need exclusive use of the
+             global registry; under [--jobs > 1] they are skipped (the
+             counters are domain-safe, but a concurrent [reset] would
+             clobber another benchmark's sample mid-run) *)
+          let exclusive = !jobs = 1 in
           let samples =
             List.init runs (fun _ ->
-                Telemetry.reset ();
-                Telemetry.set_enabled true;
+                if exclusive then begin
+                  Telemetry.reset ();
+                  Telemetry.set_enabled true
+                end;
                 let ast, parse_ms =
                   time (fun () -> Frontend.Parser.parse_string b.Suite.source)
                 in
@@ -374,7 +422,7 @@ let measure ?(runs = 1) () : measurement list =
                 in
                 let outcome, run_ms =
                   time (fun () ->
-                      Runtime.Interp.run
+                      Runtime.Interp.run ~engine:!engine
                         ~dead:(Deadmem.Liveness.dead_set result)
                         prog)
                 in
@@ -395,7 +443,11 @@ let measure ?(runs = 1) () : measurement list =
                     ("run", run_ms);
                   ]
                 in
-                (phases, cg_ms, (result, outcome, Telemetry.counters ())))
+                ( phases,
+                  cg_ms,
+                  ( result,
+                    outcome,
+                    if exclusive then Telemetry.counters () else [] ) ))
           in
           let last (_, _, x) = x in
           let result, outcome, counters =
@@ -448,11 +500,17 @@ let measure ?(runs = 1) () : measurement list =
           })
         Suite.all)
 
+(* One measurement per invocation: [json --compare FILE] writes the
+   snapshot from the same samples it gates on, so the committed file
+   always matches the table the gate printed. *)
+let measured = lazy (measure ~runs:5 ())
+
 let bench_json () =
   let out = "BENCH_deadmem.json" in
-  let ms = measure ~runs:5 () in
+  let ms = Lazy.force measured in
   let buf = Buffer.create 8192 in
-  Buffer.add_string buf "{\n  \"benchmarks\": [";
+  Buffer.add_string buf
+    (Fmt.str "{\n  \"engine\": \"%s\",\n  \"benchmarks\": [" (engine_name ()));
   List.iteri
     (fun i m ->
       if i > 0 then Buffer.add_char buf ',';
@@ -540,6 +598,11 @@ let compare_baseline path contents =
   in
   let failures = ref [] in
   let fail fmt = Fmt.kstr (fun m -> failures := m :: !failures) fmt in
+  (match Option.bind (J.member "engine" doc) J.to_string with
+  | Some e when e <> engine_name () ->
+      Fmt.pr "@.note: baseline engine '%s', measuring with '%s'@." e
+        (engine_name ())
+  | _ -> ());
   Fmt.pr "@.Comparison against %s (gate: >%.0f%% + %.0fms phase regression)@."
     path regression_pct noise_floor_ms;
   Fmt.pr "%-10s %-9s %9s %9s %8s@." "name" "phase" "base ms" "now ms" "delta";
@@ -638,7 +701,7 @@ let compare_baseline path contents =
                     fail "%s: %s changed %d -> %d" m.m_name k base now
               | _ -> ())
             m.m_counters)
-    (measure ~runs:5 ());
+    (Lazy.force measured);
   match List.rev !failures with
   | [] ->
       Fmt.pr "@.comparison OK: no phase regressed beyond the gate@.";
@@ -652,6 +715,28 @@ let compare_baseline path contents =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    let rec go acc = function
+      | "--engine" :: e :: rest ->
+          (match e with
+          | "tree" -> engine := Runtime.Interp.Tree
+          | "bytecode" -> engine := Runtime.Interp.Bytecode
+          | _ ->
+              Fmt.epr "unknown engine '%s' (tree|bytecode)@." e;
+              exit 2);
+          go acc rest
+      | "--jobs" :: n :: rest ->
+          (match int_of_string_opt n with
+          | Some n when n >= 1 -> jobs := n
+          | _ ->
+              Fmt.epr "--jobs expects a positive integer@.";
+              exit 2);
+          go acc rest
+      | a :: rest -> go (a :: acc) rest
+      | [] -> List.rev acc
+    in
+    go [] args
+  in
   let compare_path, args =
     let rec go acc = function
       | "--compare" :: path :: rest -> (Some path, List.rev_append acc rest)

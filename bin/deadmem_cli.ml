@@ -110,6 +110,20 @@ let config_of ~alg ~conservative ~library_classes =
   let base = { base with Deadmem.Config.call_graph = alg } in
   Deadmem.Config.with_library_classes library_classes base
 
+let engine_opt =
+  let doc =
+    "Execution engine: 'bytecode' (default; the resolved IR compiled to a \
+     linear stack-machine VM) or 'tree' (the resolved-tree walker, kept \
+     as an escape hatch and differential oracle). Both engines produce \
+     identical observable behaviour."
+  in
+  let eng =
+    Arg.enum
+      [ ("bytecode", Runtime.Interp.Bytecode); ("tree", Runtime.Interp.Tree) ]
+  in
+  Arg.(value & opt eng Runtime.Interp.Bytecode
+       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 (* -- telemetry options ------------------------------------------------------ *)
 
 let metrics_opt =
@@ -287,15 +301,22 @@ let explain_cmd =
 (* Batch diagnosis: each translation unit is processed in isolation, so a
    crash-grade failure in one file cannot mask results for the others. *)
 let check_cmd =
+  (* Renders one file's full report into [(status, stdout, stderr)]
+     instead of printing, so the parallel path can emit results in input
+     order, byte-identical to a sequential run. *)
   let check_one ~format ~alg file =
+    let out = Buffer.create 256 and err = Buffer.create 64 in
+    let pr fmt = Fmt.pf (Fmt.with_buffer out) fmt
+    and epr fmt = Fmt.pf (Fmt.with_buffer err) fmt in
+    let status =
     let json = format = `Json in
     match read_source file with
     | exception Sys_error m ->
         if json then
-          Fmt.pr {|{"file":"%s","ok":false,"io_error":"%s"}@.|}
+          pr {|{"file":"%s","ok":false,"io_error":"%s"}@.|}
             (Frontend.Source.json_escape file)
             (Frontend.Source.json_escape m)
-        else Fmt.epr "%s: error: %s@." file m;
+        else epr "%s: error: %s@." file m;
         `Io
     | src ->
         let diags = Frontend.Source.Diagnostics.create () in
@@ -326,7 +347,7 @@ let check_cmd =
           | _ -> None
         in
         if json then
-          Fmt.pr
+          pr
             {|{"file":"%s","ok":%b,"errors":%d,"suppressed":%d,"unknown_regions":%d,"callgraph":"%s","dead_members":%s,"diagnostics":[%s]}@.|}
             (Frontend.Source.json_escape file)
             (not (D.has_errors diags))
@@ -337,27 +358,72 @@ let check_cmd =
             (String.concat ","
                (List.map Frontend.Source.diagnostic_to_json (D.to_list diags)))
         else if D.has_errors diags then begin
-          Fmt.pr "%a" D.pp diags;
-          Fmt.pr "%s: %d error(s)@." file (D.error_count diags)
+          pr "%a" D.pp diags;
+          pr "%s: %d error(s)@." file (D.error_count diags)
         end
         else begin
           match dead_count with
           | Some n ->
-              Fmt.pr "%s: ok (%d dead member%s, %s)@." file n
+              pr "%s: ok (%d dead member%s, %s)@." file n
                 (if n = 1 then "" else "s")
                 (Callgraph.algorithm_to_string alg)
-          | None -> Fmt.pr "%s: ok@." file
+          | None -> pr "%s: ok@." file
         end;
         if D.has_errors diags then `Diagnostics else `Ok
+    in
+    (status, Buffer.contents out, Buffer.contents err)
   in
-  let run files format alg metrics trace_out =
+  (* Batch over [Domain.spawn]: a shared atomic cursor hands files to
+     [jobs] workers; results land in per-index slots and are printed in
+     input order, so the output is identical to a sequential run. *)
+  let check_all ~format ~alg ~jobs files =
+    let files_a = Array.of_list files in
+    let n = Array.length files_a in
+    let slots = Array.make n (`Ok, "", "") in
+    let workers = max 1 (min jobs n) in
+    if workers = 1 then
+      Array.iteri (fun i f -> slots.(i) <- check_one ~format ~alg f) files_a
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            slots.(i) <- check_one ~format ~alg files_a.(i);
+            go ()
+          end
+        in
+        go ()
+      in
+      let doms = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join doms
+    end;
+    Array.iter
+      (fun (_, out, err) ->
+        print_string out;
+        prerr_string err)
+      slots;
+    flush stdout;
+    flush stderr;
+    Array.to_list (Array.map (fun (st, _, _) -> st) slots)
+  in
+  let run files format alg jobs metrics trace_out =
     handle_errors (fun () ->
         with_telemetry ~metrics ~trace_out @@ fun () ->
-        let results = List.map (check_one ~format ~alg) files in
+        let results = check_all ~format ~alg ~jobs files in
         if List.mem `Io results then exit_usage
         else if List.mem `Diagnostics results then exit_diagnostics
         else exit_ok)
     |> exit
+  in
+  let jobs_arg =
+    let doc =
+      "Analyze the files with $(docv) parallel domains. Results are \
+       printed in input order regardless of completion order, so the \
+       output is identical to a sequential run."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
   let files_arg =
     let doc = "MiniC++ source files to diagnose." in
@@ -375,13 +441,13 @@ let check_cmd =
      errors, 2 when any file cannot be read."
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ files_arg $ format_arg $ callgraph_alg $ metrics_opt
-          $ trace_out_opt)
+    Term.(const run $ files_arg $ format_arg $ callgraph_alg $ jobs_arg
+          $ metrics_opt $ trace_out_opt)
 
 (* -- run ---------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file profile step_limit call_depth_limit heap_object_limit =
+  let run file profile engine step_limit call_depth_limit heap_object_limit =
     handle_errors (fun () ->
         let prog = load file in
         let dead =
@@ -391,7 +457,7 @@ let run_cmd =
           else Sema.Member.Set.empty
         in
         let outcome =
-          Runtime.Interp.run ~dead ~step_limit ~call_depth_limit
+          Runtime.Interp.run ~engine ~dead ~step_limit ~call_depth_limit
             ~heap_object_limit prog
         in
         print_string outcome.Runtime.Interp.output;
@@ -422,8 +488,8 @@ let run_cmd =
   in
   let doc = "Execute a MiniC++ program under the instrumented interpreter." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ file_arg $ profile $ step_limit $ call_depth_limit
-          $ heap_object_limit)
+    Term.(const run $ file_arg $ profile $ engine_opt $ step_limit
+          $ call_depth_limit $ heap_object_limit)
 
 (* -- callgraph ---------------------------------------------------------------- *)
 
@@ -472,7 +538,7 @@ let strip_cmd =
 (* -- bench -------------------------------------------------------------------- *)
 
 let bench_cmd =
-  let run name alg metrics trace_out =
+  let run name alg engine metrics trace_out =
     handle_errors (fun () ->
         with_telemetry ~metrics ~trace_out @@ fun () ->
         match Benchmarks.Suite.find name with
@@ -490,7 +556,8 @@ let bench_cmd =
             let r = Deadmem.Liveness.analyze ~config prog in
             let report = Deadmem.Report.of_result prog r in
             let outcome =
-              Runtime.Interp.run ~dead:(Deadmem.Liveness.dead_set r) prog
+              Runtime.Interp.run ~engine ~dead:(Deadmem.Liveness.dead_set r)
+                prog
             in
             Fmt.pr "%s: %s (%d LOC)@." b.name b.description
               (Benchmarks.Suite.loc b);
@@ -506,7 +573,8 @@ let bench_cmd =
   in
   let doc = "Analyze and run one of the built-in paper benchmarks." in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ name_arg $ callgraph_alg $ metrics_opt $ trace_out_opt)
+    Term.(const run $ name_arg $ callgraph_alg $ engine_opt $ metrics_opt
+          $ trace_out_opt)
 
 (* -- precision ----------------------------------------------------------------- *)
 

@@ -1,0 +1,2400 @@
+(* Bytecode engine: a linear lowering of the resolved IR and the flat
+   stack-machine VM that executes it.
+
+   [compile] flattens every [Resolve.rfunc] body into one instruction
+   array: an explicit operand stack replaces the OCaml call stack the
+   tree-walker used per IR node, control flow becomes absolute jumps
+   (patched in one pass, with compare-and-branch fusion for the common
+   [a < b] loop conditions), and locals/globals/statics/fields are
+   direct-indexed loads and stores. Calls still go through the interned
+   function ids and per-name dispatch tables built by [Resolve];
+   arguments are passed in place on the caller's operand stack, so the
+   per-call [value array] allocation of the tree engine disappears.
+
+   Observable semantics are preserved exactly — this is the whole
+   contract, pinned by [test/test_bytecode.ml]'s golden differential:
+
+   - tick (step-counting) points: one per statement entry, one per
+     [call_function], one per constructor/destructor level, and the
+     extra tick of the missing-constructor path;
+   - [fresh_obj_id] sequencing, construction order (virtual bases at
+     the most-derived level, direct bases, member subobjects, body) and
+     reverse destruction order;
+   - evaluation order, including lvalue-before-rhs in assignments and
+     receiver-before-arguments in method calls;
+   - error strings, the structured missing-member error, and the
+     scope-exit destruction semantics of [Fun.protect] (a destructor
+     failure during unwinding surfaces as [Fun.Finally_raised], exactly
+     as the tree engine's [protect ~finally] did).
+
+   The only intentional divergence: a [break]/[continue] outside any
+   loop (never produced from well-formed sources, and never executed by
+   any golden) raises a [Runtime_error] here, where the tree engine let
+   the internal control exception escape. *)
+
+open Frontend
+open Sema
+open Sema.Typed_ast
+open Value
+open Resolve
+
+(* Every array access in this module is either compiler-generated (slot
+   and jump indices validated during lowering) or guarded by an explicit
+   bounds check that produces the interpreter's own error message, so
+   the stdlib's implicit check never fires — shadow it away. This is
+   worth ~10% on the dispatch loop. *)
+module Array = struct
+  include Stdlib.Array
+
+  external get : 'a array -> int -> 'a = "%array_unsafe_get"
+  external set : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+end
+
+(* -- instruction set ----------------------------------------------------------
+
+   Lvalue locations are encoded as pointer values on the one operand
+   stack: [VPtr (PCell r)] for legacy cell references and
+   [VPtr (PArr (h, i))] for a slot of a backing array. Reading/writing
+   through them is exactly [Value.read_loc]/[write_loc]; [ILocToPtr]
+   applies the [arr_id = -1] re-wrap of [Value.ptr_of_loc] when a
+   location escapes as a user-visible pointer. *)
+
+type instr =
+  (* pushes *)
+  | IConst of value
+  | ILoad of int          (* push frame slot *)
+  | ILoadRef of int       (* reference local: push its referent's value *)
+  | IGlobal of int
+  | IStatic of int
+  | IThis
+  (* pure operators, in place on the stack *)
+  | IPop
+  | IUnary of Ast.unop
+  | IBinop of Ast.binop   (* strict binops only; && / || compile to jumps *)
+  | IToBool
+  | ICastInt
+  | ICastFloat
+  | IField of slots_by_class * Member.t
+  | IDeref
+  | IIndex
+  | IAsObj                (* coerce to an object before a member-ptr deref *)
+  | IMemPtrDeref
+  | IAddrOf
+  (* lvalue locations *)
+  | ILocLocal of int
+  | ILocLocalRef of int
+  | ILocGlobal of int
+  | ILocStatic of int
+  | ILocField of slots_by_class * Member.t
+  | ILocDeref
+  | ILocIndex
+  | ILocMemPtr
+  | ILocToPtr             (* location -> user-visible pointer (ptr_of_loc) *)
+  | IObjToPtr             (* object-reference argument: VObj o -> VPtr (PObj o) *)
+  (* stores *)
+  | IAssign of Ast.type_expr
+  | ICompound of Ast.assign_op * Ast.type_expr
+  | IIncDec of Ast.incdec * Ast.fixity
+  | IStoreLocal of int * Ast.type_expr      (* coerce, store, keep value *)
+  | IStoreLocalPop of int * Ast.type_expr   (* coerce, store, drop value *)
+  | IStoreRawPop of int                     (* store without coercion *)
+  | IIncDecLocal of Ast.incdec * Ast.fixity * int
+  | IIncDecLocalPop of Ast.incdec * int
+  (* control *)
+  | IJump of int
+  | IJumpIfFalse of int
+  | IJumpIfTrue of int
+  | IJumpCmpFalse of Ast.binop * int  (* fused compare-and-branch *)
+  | IAndFalse of int      (* &&: pop; falsy -> push 0 and jump *)
+  | IOrTrue of int        (* ||: pop; truthy -> push 1 and jump *)
+  | ITick
+  | IPushScope of int array
+  | IPopScope
+  | IExitScopes of int    (* break/continue leaving n destroy scopes *)
+  | IReturn
+  | IReturnUnit
+  | IRaise of string
+  (* allocation *)
+  | INewObj of { n_cid : int; n_cls : string; n_ctor : int; n_argc : int }
+  | INewScalar of int * Ast.type_expr       (* bytes, element type *)
+  | INewArrObj of { w_cid : int; w_cls : string; w_ctor : int }
+  | INewArrScalar of Ast.type_expr * int    (* element type, element bytes *)
+  | IDelete
+  (* declarations *)
+  | IDeclScalar of int * Ast.type_expr
+  | IDeclStackArr of {
+      ds_slot : int;
+      ds_cid : int;
+      ds_cls : string;
+      ds_ctor : int;
+      ds_len : int;
+    }
+  | IDeclCtor of {
+      dc_slot : int;
+      dc_cid : int;
+      dc_cls : string;
+      dc_ctor : int;
+      dc_argc : int;
+    }
+  (* calls: arguments stay in place on the operand stack; the callee
+     reads them at [sp - argc .. sp - 1] *)
+  | IBuiltin of builtin * int
+  | ICallFunc of int * int
+  | ICallMethod of { m_func : int; m_argc : int; m_arrow : bool }
+  | ICallVirtual of { v_name : string; v_table : int array; v_argc : int }
+  | ICallFunPtr of int
+  | ICallCtor of int * int  (* base/vbase constructor on the current [this] *)
+  (* constructor member-initializer steps *)
+  | IInitField of {
+      if_slots : slots_by_class;
+      if_member : Member.t;
+      if_cid : int;
+      if_cls : string;
+      if_ctor : int;
+      if_argc : int;
+    }
+  | IInitFieldArr of {
+      ia_slots : slots_by_class;
+      ia_member : Member.t;
+      ia_cid : int;
+      ia_cls : string;
+      ia_ctor : int;
+      ia_len : int;
+    }
+  | IInitFieldScalar of {
+      is_slots : slots_by_class;
+      is_member : Member.t;
+      is_coerce : Ast.type_expr;
+    }
+  (* superinstructions: adjacent pairs fused at emit time (see [fuse]).
+     Each is exactly the sequence of its parts — same evaluation order,
+     same errors — in one dispatch. The dynamic pair profile over the
+     benchmark suite drove the selection: local.field reads, statement
+     ticks glued to their first load, compare-and-branch against a
+     constant or local, and the store/increment-then-back-edge of for
+     loops together cover over half of all executed pairs. *)
+  | ILoadField of int * slots_by_class * Member.t     (* ILoad; IField *)
+  | ITickLoad of int                                  (* ITick; ILoad *)
+  | ITickLoadField of int * slots_by_class * Member.t
+  | IThisField of slots_by_class * Member.t           (* IThis; IField *)
+  | IIndexField of slots_by_class * Member.t          (* IIndex; IField *)
+  | ILoadLocField of int * slots_by_class * Member.t  (* ILoad; ILocField *)
+  | ILoadIndex of int                                 (* ILoad; IIndex *)
+  | IFieldBinop of slots_by_class * Member.t * Ast.binop
+  | ILoadFieldBinop of int * slots_by_class * Member.t * Ast.binop
+  | IBinopConst of Ast.binop * value                  (* IConst; IBinop *)
+  | ITickN of int                                     (* n adjacent ITicks *)
+  | ITickPushScope of int array
+  | IAssignPop of Ast.type_expr                       (* IAssign; IPop *)
+  | IStoreLocalPopT of int * Ast.type_expr            (* store; next stmt's tick *)
+  | IStoreLocalPopJump of int * Ast.type_expr * int   (* store; back edge *)
+  | IIncDecLocalJump of Ast.incdec * int * int        (* step; back edge *)
+  (* branch variants; the T forms run the fall-through statement's tick *)
+  | IJumpIfFalseT of int
+  | IJumpCmpFalseT of Ast.binop * int
+  | IJumpCmpConstFalse of Ast.binop * value * int
+  | IJumpCmpConstFalseT of Ast.binop * value * int
+  | IJumpLocCmpConstFalse of int * Ast.binop * value * int
+  | IJumpLocCmpConstFalseT of int * Ast.binop * value * int
+  | IJumpLocCmpFalse of Ast.binop * int * int     (* top CMP local *)
+  | IJumpLocCmpFalseT of Ast.binop * int * int
+  | IJumpLoc2CmpFalse of Ast.binop * int * int * int  (* local CMP local *)
+  | IJumpLoc2CmpFalseT of Ast.binop * int * int * int
+  (* the pointer-chase loop body [p = p->f;] in one or two dispatches *)
+  | ITickLoadFieldStore of
+      int * slots_by_class * Member.t * int * Ast.type_expr
+  | ITickLoadFieldStoreJump of
+      int * slots_by_class * Member.t * int * Ast.type_expr * int
+  (* round 3: cascade fusion re-fuses a fusion product with its own
+     predecessor, so whole expression chains ([o.f[i*k+j].g], the
+     pointer-scan loop condition) collapse to one dispatch. *)
+  | ILoadBinopConst of int * Ast.binop * value        (* ILoad; IBinopConst *)
+  | ILoadFieldBC of int * slots_by_class * Member.t * Ast.binop * value
+  | ILoadFieldLoadBC of
+      int * slots_by_class * Member.t * int * Ast.binop * value
+  | IFieldIdxField of
+      int * slots_by_class * Member.t * int * Ast.binop * value
+      * slots_by_class * Member.t                     (* l.f[l' op k].g *)
+  | ILoadFieldBinop2 of
+      int * slots_by_class * Member.t * Ast.binop * Ast.binop
+  | IBinopAssignPop of Ast.binop * Ast.type_expr      (* IBinop; IAssignPop *)
+  | ITickThisField of slots_by_class * Member.t
+  | ILoad2FieldBinop of int * int * slots_by_class * Member.t * Ast.binop
+  | ILoadLoadField of int * int * slots_by_class * Member.t
+  | ILocFieldLoadField of
+      slots_by_class * Member.t * int * slots_by_class * Member.t
+  | IStoreTLoadField of int * Ast.type_expr * int * slots_by_class * Member.t
+  | ITickLoadFieldIndex of int * slots_by_class * Member.t * int
+  | ITLFIndexStoreT of
+      int * slots_by_class * Member.t * int * int * Ast.type_expr
+  | ITickLoadFieldCmpLocFalse of
+      int * slots_by_class * Member.t * Ast.binop * int * int
+  | ITickLoadFieldCmpLocFalseT of
+      int * slots_by_class * Member.t * Ast.binop * int * int
+  | IBinopConstAndFalse of Ast.binop * value * int
+  | IJumpIfFalseTPushScope of int * int array
+  | ILoadFieldBinopJumpFalse of
+      int * slots_by_class * Member.t * Ast.binop * int
+  | ILoadFieldBinopJumpFalseT of
+      int * slots_by_class * Member.t * Ast.binop * int
+  | IJumpBCCmpFalse of Ast.binop * value * Ast.binop * int
+  | IJumpBCCmpFalseT of Ast.binop * value * Ast.binop * int
+  (* a scan loop's hot cycle [guard-branch -> p = p->f -> back edge]
+     with the step on the branch's false edge: [finish]'s branch-target
+     peephole inlines the step into the false arm; the step's own slot
+     stays in place for the fall-in path *)
+  | IScanStep of
+      int * slots_by_class * Member.t * Ast.binop * int
+      * int * slots_by_class * Member.t * int * Ast.type_expr * int
+  (* [finish]'s second peephole: a guard [local CMP const] immediately
+     followed by an [IScanStep] whose back edge is the guard itself is a
+     whole self-contained scan loop; run it in a single dispatch. The
+     body exit falls to [pc + 2]. *)
+  | ILoopScan of
+      int * Ast.binop * value * int
+      * int * slots_by_class * Member.t * Ast.binop * int
+      * int * slots_by_class * Member.t * int * Ast.type_expr
+  | IBinopLoadField of Ast.binop * int * slots_by_class * Member.t
+  | IBinop2 of Ast.binop * Ast.binop                  (* IBinop; IBinop *)
+  | IThisFieldBinop of slots_by_class * Member.t * Ast.binop
+  | IFieldBinop2AssignPop of
+      int * slots_by_class * Member.t * Ast.binop * Ast.binop * Ast.type_expr
+  | IBinop2AssignPop of Ast.binop * Ast.binop * Ast.type_expr
+  | IConstFieldBinop2 of
+      value * int * slots_by_class * Member.t * Ast.binop * Ast.binop
+  | ILoadLocFieldLoadField of
+      int * slots_by_class * Member.t * int * slots_by_class * Member.t
+  | ILoadFieldBCAndFalse of
+      int * slots_by_class * Member.t * Ast.binop * value * int
+  | IJumpLocFCmpFalse of
+      int * int * slots_by_class * Member.t * Ast.binop * int
+  | IJumpLocFCmpFalseT of
+      int * int * slots_by_class * Member.t * Ast.binop * int
+  | IJumpLL2FBCCmpFalse of
+      int * int * slots_by_class * Member.t * Ast.binop * value * Ast.binop
+      * int
+  | IJumpLL2FBCCmpFalseT of
+      int * int * slots_by_class * Member.t * Ast.binop * value * Ast.binop
+      * int
+
+(* A compiled code body. [b_omax] bounds the operand stack the body can
+   ever need (computed conservatively during emission); [b_scoped] says
+   whether any destroy scope is opened, so scope-free bodies skip the
+   unwinding machinery entirely. *)
+type cbody = { b_code : instr array; b_omax : int; b_scoped : bool }
+
+type ckind =
+  | KBody of cbody
+  | KCtor of { kc_body : cbody; kc_entry : int }
+      (* [kc_entry]: entry point skipping virtual-base construction, for
+         non-most-derived invocations *)
+  | KDtor
+  | KUnknown
+  | KUndefined
+  | KMissingCtor
+
+type cfunc = {
+  c_id : Func_id.t;
+  c_frame : int;
+  c_params : rparam array;
+  c_kind : ckind;
+}
+
+(* Per-class destruction plan with the destructor body compiled. *)
+type cdestroy = {
+  cd_dtor : (int * cbody) option;
+  cd_fields : dfield array;
+  cd_nv_bases : int array;
+  cd_vbases_rev : int array;
+}
+
+type cprogram = {
+  cp_rp : rprogram;
+  cp_funcs : cfunc array;
+  cp_destroy : cdestroy array;
+  cp_ginit : cbody option array;  (* global initializers, by global index *)
+}
+
+(* -- telemetry (no-ops unless collection is enabled) -------------------------- *)
+
+let instrs_counter = Telemetry.Counter.make "bytecode.instructions_compiled"
+let bodies_counter = Telemetry.Counter.make "bytecode.bodies_compiled"
+
+(* -- compiler ------------------------------------------------------------------ *)
+
+(* Net operand-stack effect of one instruction; peaks within an
+   instruction are covered by the +1 slack [emit] keeps and the fixed
+   slack [finish] adds. Over-estimation is harmless (a few spare slots),
+   under-estimation impossible: branch joins only ever *lower* the real
+   depth below the linear scan's estimate. *)
+let delta = function
+  | IConst _ | ILoad _ | ILoadRef _ | IGlobal _ | IStatic _ | IThis
+  | ILocLocal _ | ILocLocalRef _ | ILocGlobal _ | ILocStatic _
+  | INewScalar _ | IIncDecLocal _ | IRaise _ ->
+      1
+  | IUnary _ | IToBool | ICastInt | ICastFloat | IField _ | IDeref | IAsObj
+  | IAddrOf | ILocField _ | ILocDeref | ILocToPtr | IObjToPtr | IIncDec _
+  | IStoreLocal _ | INewArrObj _ | INewArrScalar _ | IJump _ | ITick
+  | IPushScope _ | IPopScope | IExitScopes _ | IReturnUnit | IDeclScalar _
+  | IDeclStackArr _ | IIncDecLocalPop _ | IInitFieldArr _ ->
+      0
+  | IPop | IBinop _ | IIndex | IMemPtrDeref | ILocIndex | ILocMemPtr
+  | IAssign _ | ICompound _ | IStoreLocalPop _ | IStoreRawPop _ | IDelete
+  | IJumpIfFalse _ | IJumpIfTrue _ | IAndFalse _ | IOrTrue _ | IReturn
+  | IInitFieldScalar _ ->
+      -1
+  | IJumpCmpFalse _ -> -2
+  | ILoadField _ | ITickLoad _ | ITickLoadField _ | IThisField _
+  | ILoadLocField _ ->
+      1
+  | ILoadFieldBinop _ | IBinopConst _ | ITickN _ | ITickPushScope _
+  | IIncDecLocalJump _ | IJumpLocCmpConstFalse _ | IJumpLocCmpConstFalseT _
+  | ILoadIndex _ | IJumpLoc2CmpFalse _ | IJumpLoc2CmpFalseT _
+  | ITickLoadFieldStore _ | ITickLoadFieldStoreJump _ ->
+      0
+  | IFieldBinop _ | IIndexField _ | IStoreLocalPopT _ | IStoreLocalPopJump _
+  | IJumpIfFalseT _ | IJumpCmpConstFalse _ | IJumpCmpConstFalseT _
+  | IJumpLocCmpFalse _ | IJumpLocCmpFalseT _ ->
+      -1
+  | IAssignPop _ | IJumpCmpFalseT _ -> -2
+  | ILoadBinopConst _ | ILoadFieldBC _ | ITickThisField _
+  | ILoad2FieldBinop _ | ITickLoadFieldIndex _ | ILocFieldLoadField _
+  | IFieldIdxField _ ->
+      1
+  | ILoadFieldLoadBC _ | ILoadLoadField _ -> 2
+  | IStoreTLoadField _ | ITLFIndexStoreT _ | ITickLoadFieldCmpLocFalse _
+  | ITickLoadFieldCmpLocFalseT _ ->
+      0
+  | ILoadFieldBinop2 _ | IJumpIfFalseTPushScope _ | ILoadFieldBinopJumpFalse _
+  | ILoadFieldBinopJumpFalseT _ | IBinopConstAndFalse _ ->
+      -1
+  | IJumpBCCmpFalse _ | IJumpBCCmpFalseT _ -> -2
+  | IScanStep _ | ILoopScan _
+  | IBinopLoadField _ | IThisFieldBinop _ | IConstFieldBinop2 _
+  | ILoadFieldBCAndFalse _ | IJumpLocFCmpFalse _ | IJumpLocFCmpFalseT _
+  | IJumpLL2FBCCmpFalse _ | IJumpLL2FBCCmpFalseT _ ->
+      0
+  | ILoadLocFieldLoadField _ -> 2
+  | IBinop2 _ -> -2
+  | IFieldBinop2AssignPop _ -> -3
+  | IBinop2AssignPop _ -> -4
+  | IBinopAssignPop _ -> -3
+  | IBuiltin (_, n) | ICallFunc (_, n) | INewObj { n_argc = n; _ } -> 1 - n
+  | ICallMethod { m_argc = n; _ } -> -n  (* receiver consumed, result pushed *)
+  | ICallVirtual { v_argc = n; _ } -> -n
+  | ICallFunPtr n -> -n
+  | ICallCtor (_, n) -> -n
+  | IInitField { if_argc = n; _ } -> -n
+  | IDeclCtor { dc_argc = n; _ } -> -n
+
+type buf = {
+  mutable code : instr array;
+  mutable len : int;
+  mutable od : int;    (* linear-scan operand depth *)
+  mutable omax : int;
+  mutable sdepth : int;  (* open destroy scopes at the frontier *)
+  mutable scoped : bool;
+  mutable lastlab : int;
+      (* highest position that is a jump target; labels are only created
+         at the frontier, so this is monotone. Fusing [prev; i] into one
+         instruction in [prev]'s slot is legal unless a label sits
+         *between* the two ([lastlab = len]): a jumper landing there
+         expects [i] without [prev]'s effect. A label on [prev] itself
+         is fine — jumpers wanted [prev] then [i] anyway. *)
+}
+
+let mk_buf () =
+  {
+    code = Array.make 32 IReturnUnit;
+    len = 0;
+    od = 0;
+    omax = 0;
+    sdepth = 0;
+    scoped = false;
+    lastlab = -1;
+  }
+
+(* The pair-fusion table: [fuse prev i] is the single instruction
+   equivalent to [prev; i], or [None]. Every fusion preserves the exact
+   sequence semantics (evaluation order, ticks, errors) by
+   construction — the VM arm of each fused form is the concatenation of
+   its parts' arms. The selection comes from the dynamic pair profile
+   over the benchmark suite: local.field reads, statement ticks glued to
+   their first load, binops against a constant, and the store/increment
+   plus back-edge of for loops cover over half of all executed pairs. *)
+let fuse (prev : instr) (i : instr) : instr option =
+  match (prev, i) with
+  | ILoad n, IField (s, m) -> Some (ILoadField (n, s, m))
+  | ITickLoad n, IField (s, m) -> Some (ITickLoadField (n, s, m))
+  | IThis, IField (s, m) -> Some (IThisField (s, m))
+  | IIndex, IField (s, m) -> Some (IIndexField (s, m))
+  | ILoad n, ILocField (s, m) -> Some (ILoadLocField (n, s, m))
+  | ITick, ILoad n -> Some (ITickLoad n)
+  | ITick, ITick -> Some (ITickN 2)
+  | ITickN n, ITick -> Some (ITickN (n + 1))
+  | ITick, IPushScope s -> Some (ITickPushScope s)
+  | IStoreLocalPop (n, ty), ITick -> Some (IStoreLocalPopT (n, ty))
+  | IJumpIfFalse t, ITick -> Some (IJumpIfFalseT t)
+  | IJumpCmpFalse (op, t), ITick -> Some (IJumpCmpFalseT (op, t))
+  | IJumpCmpConstFalse (op, v, t), ITick ->
+      Some (IJumpCmpConstFalseT (op, v, t))
+  | IJumpLocCmpConstFalse (n, op, v, t), ITick ->
+      Some (IJumpLocCmpConstFalseT (n, op, v, t))
+  | IJumpLocCmpFalse (op, n, t), ITick -> Some (IJumpLocCmpFalseT (op, n, t))
+  | IJumpLoc2CmpFalse (op, x, y, t), ITick ->
+      Some (IJumpLoc2CmpFalseT (op, x, y, t))
+  | ITickLoadField (i, s, m), IStoreLocalPop (j, ty) ->
+      Some (ITickLoadFieldStore (i, s, m, j, ty))
+  | ITickLoadFieldStore (i, s, m, j, ty), IJump t ->
+      Some (ITickLoadFieldStoreJump (i, s, m, j, ty, t))
+  | IConst v, IBinop op -> Some (IBinopConst (op, v))
+  | ILoadField (n, s, m), IBinop op -> Some (ILoadFieldBinop (n, s, m, op))
+  | IField (s, m), IBinop op -> Some (IFieldBinop (s, m, op))
+  | IAssign ty, IPop -> Some (IAssignPop ty)
+  | IStoreLocalPop (n, ty), IJump t -> Some (IStoreLocalPopJump (n, ty, t))
+  | IIncDecLocalPop (w, n), IJump t -> Some (IIncDecLocalJump (w, n, t))
+  | IIncDecLocal (w, _, n), IPop -> Some (IIncDecLocalPop (w, n))
+  | IStoreLocal (n, ty), IPop -> Some (IStoreLocalPop (n, ty))
+  | ILoad n, IIndex -> Some (ILoadIndex n)
+  | ILoadFieldBinop (n, s, m, op1), IBinop op2 ->
+      Some (ILoadFieldBinop2 (n, s, m, op1, op2))
+  | ITickLoadField (n, s, m), IJumpLocCmpFalse (op, y, t) ->
+      Some (ITickLoadFieldCmpLocFalse (n, s, m, op, y, t))
+  | ITickLoadFieldCmpLocFalse (n, s, m, op, y, t), ITick ->
+      Some (ITickLoadFieldCmpLocFalseT (n, s, m, op, y, t))
+  | IBinopConst (op, v), IAndFalse t -> Some (IBinopConstAndFalse (op, v, t))
+  | IJumpIfFalseT t, IPushScope s -> Some (IJumpIfFalseTPushScope (t, s))
+  | ILoadFieldBinop (n, s, m, op), IJumpIfFalse t ->
+      Some (ILoadFieldBinopJumpFalse (n, s, m, op, t))
+  | ILoadFieldBinopJumpFalse (n, s, m, op, t), ITick ->
+      Some (ILoadFieldBinopJumpFalseT (n, s, m, op, t))
+  | IJumpBCCmpFalse (o1, v, o2, t), ITick ->
+      Some (IJumpBCCmpFalseT (o1, v, o2, t))
+  | IThisField (s, m), IBinop op -> Some (IThisFieldBinop (s, m, op))
+  | IBinop op1, IBinop op2 -> Some (IBinop2 (op1, op2))
+  | ILoadFieldBC (n, s, m, op, v), IAndFalse t ->
+      Some (ILoadFieldBCAndFalse (n, s, m, op, v, t))
+  | IJumpLocFCmpFalse (i, j, s, m, op, t), ITick ->
+      Some (IJumpLocFCmpFalseT (i, j, s, m, op, t))
+  | IJumpLL2FBCCmpFalse (i, j, s, m, op1, v, op2, t), ITick ->
+      Some (IJumpLL2FBCCmpFalseT (i, j, s, m, op1, v, op2, t))
+  | _ -> None
+
+(* The cascade table: after [fuse] lands a combined instruction, try
+   fusing it with *its* predecessor. Only forms whose consumed halves
+   carry no pending patch site may appear here (no branch instruction is
+   ever on the right, and no vacated slot may hold a branch), so the
+   recorded patch positions stay valid when the frontier shrinks. *)
+let fuse2 (prev : instr) (f : instr) : instr option =
+  match (prev, f) with
+  | ILoad n, IBinopConst (op, v) -> Some (ILoadBinopConst (n, op, v))
+  | ILoadField (n, s, m), IBinopConst (op, v) ->
+      Some (ILoadFieldBC (n, s, m, op, v))
+  | ILoadField (n, s, m), ILoadBinopConst (j, op, v) ->
+      Some (ILoadFieldLoadBC (n, s, m, j, op, v))
+  | ILoadFieldLoadBC (n, s, m, j, op, v), IIndexField (s2, m2) ->
+      Some (IFieldIdxField (n, s, m, j, op, v, s2, m2))
+  | IBinop op, IAssignPop ty -> Some (IBinopAssignPop (op, ty))
+  | ITick, IThisField (s, m) -> Some (ITickThisField (s, m))
+  | ILoad i, ILoadFieldBinop (j, s, m, op) ->
+      Some (ILoad2FieldBinop (i, j, s, m, op))
+  | ILoad i, ILoadField (j, s, m) -> Some (ILoadLoadField (i, j, s, m))
+  | ILocField (s1, m1), ILoadField (j, s2, m2) ->
+      Some (ILocFieldLoadField (s1, m1, j, s2, m2))
+  | IStoreLocalPopT (i, ty), ILoadField (j, s, m) ->
+      Some (IStoreTLoadField (i, ty, j, s, m))
+  | ITickLoadField (a, s, m), ILoadIndex i ->
+      Some (ITickLoadFieldIndex (a, s, m, i))
+  | ITickLoadFieldIndex (a, s, m, i), IStoreLocalPopT (x, ty) ->
+      Some (ITLFIndexStoreT (a, s, m, i, x, ty))
+  | IBinop op, ILoadField (j, s, m) -> Some (IBinopLoadField (op, j, s, m))
+  | ILoadFieldBinop2 (n, s, m, op1, op2), IAssignPop ty ->
+      Some (IFieldBinop2AssignPop (n, s, m, op1, op2, ty))
+  | IBinop2 (op1, op2), IAssignPop ty -> Some (IBinop2AssignPop (op1, op2, ty))
+  | IConst v, ILoadFieldBinop2 (n, s, m, op1, op2) ->
+      Some (IConstFieldBinop2 (v, n, s, m, op1, op2))
+  | ILoadLocField (n, s, m), ILoadField (j, s2, m2) ->
+      Some (ILoadLocFieldLoadField (n, s, m, j, s2, m2))
+  | _ -> None
+
+let emit (b : buf) (i : instr) =
+  match
+    if b.len > 0 && b.lastlab <> b.len then fuse b.code.(b.len - 1) i else None
+  with
+  | Some f ->
+      b.code.(b.len - 1) <- f;
+      (* [prev]'s delta is already in [od]; the fused form adds [i]'s *)
+      b.od <- b.od + delta i;
+      if b.od + 1 > b.omax then b.omax <- b.od + 1;
+      (* cascade: the combined instruction may fuse again with its own
+         predecessor. A label on the surviving slot is fine (the fused
+         run starts there); one on the vacated slot blocks it. *)
+      let rec settle () =
+        if b.len >= 2 && b.lastlab < b.len - 1 then
+          match fuse2 b.code.(b.len - 2) b.code.(b.len - 1) with
+          | Some g ->
+              b.len <- b.len - 1;
+              b.code.(b.len - 1) <- g;
+              settle ()
+          | None -> ()
+      in
+      settle ()
+  | None ->
+      if b.len = Array.length b.code then begin
+        let nc = Array.make (2 * b.len) IReturnUnit in
+        Array.blit b.code 0 nc 0 b.len;
+        b.code <- nc
+      end;
+      b.code.(b.len) <- i;
+      b.len <- b.len + 1;
+      b.od <- b.od + delta i;
+      if b.od + 1 > b.omax then b.omax <- b.od + 1
+
+(* Emit a forward jump with a placeholder target; returns the patch site
+   (the fused slot, when the jump merged into its predecessor). *)
+let emit_patch b i =
+  emit b i;
+  b.len - 1
+
+(* Mark the frontier as a jump target (blocks fusion across it). *)
+let here b =
+  b.lastlab <- b.len;
+  b.len
+
+let patch_to (b : buf) (t : int) (i : int) =
+  b.code.(i) <-
+    (match b.code.(i) with
+    | IJump _ -> IJump t
+    | IJumpIfFalse _ -> IJumpIfFalse t
+    | IJumpIfFalseT _ -> IJumpIfFalseT t
+    | IJumpIfTrue _ -> IJumpIfTrue t
+    | IJumpCmpFalse (op, _) -> IJumpCmpFalse (op, t)
+    | IJumpCmpFalseT (op, _) -> IJumpCmpFalseT (op, t)
+    | IJumpCmpConstFalse (op, v, _) -> IJumpCmpConstFalse (op, v, t)
+    | IJumpCmpConstFalseT (op, v, _) -> IJumpCmpConstFalseT (op, v, t)
+    | IJumpLocCmpConstFalse (n, op, v, _) -> IJumpLocCmpConstFalse (n, op, v, t)
+    | IJumpLocCmpConstFalseT (n, op, v, _) ->
+        IJumpLocCmpConstFalseT (n, op, v, t)
+    | IJumpLocCmpFalse (op, n, _) -> IJumpLocCmpFalse (op, n, t)
+    | IJumpLocCmpFalseT (op, n, _) -> IJumpLocCmpFalseT (op, n, t)
+    | IJumpLoc2CmpFalse (op, x, y, _) -> IJumpLoc2CmpFalse (op, x, y, t)
+    | IJumpLoc2CmpFalseT (op, x, y, _) -> IJumpLoc2CmpFalseT (op, x, y, t)
+    | ITickLoadFieldStoreJump (i, s, m, j, ty, _) ->
+        ITickLoadFieldStoreJump (i, s, m, j, ty, t)
+    | IStoreLocalPopJump (n, ty, _) -> IStoreLocalPopJump (n, ty, t)
+    | IIncDecLocalJump (w, n, _) -> IIncDecLocalJump (w, n, t)
+    | IAndFalse _ -> IAndFalse t
+    | ITickLoadFieldCmpLocFalse (n, s, m, op, y, _) ->
+        ITickLoadFieldCmpLocFalse (n, s, m, op, y, t)
+    | ITickLoadFieldCmpLocFalseT (n, s, m, op, y, _) ->
+        ITickLoadFieldCmpLocFalseT (n, s, m, op, y, t)
+    | IBinopConstAndFalse (op, v, _) -> IBinopConstAndFalse (op, v, t)
+    | IJumpIfFalseTPushScope (_, s) -> IJumpIfFalseTPushScope (t, s)
+    | ILoadFieldBinopJumpFalse (n, s, m, op, _) ->
+        ILoadFieldBinopJumpFalse (n, s, m, op, t)
+    | ILoadFieldBinopJumpFalseT (n, s, m, op, _) ->
+        ILoadFieldBinopJumpFalseT (n, s, m, op, t)
+    | IJumpBCCmpFalse (o1, v, o2, _) -> IJumpBCCmpFalse (o1, v, o2, t)
+    | IJumpBCCmpFalseT (o1, v, o2, _) -> IJumpBCCmpFalseT (o1, v, o2, t)
+    | ILoadFieldBCAndFalse (n, s, m, op, v, _) ->
+        ILoadFieldBCAndFalse (n, s, m, op, v, t)
+    | IJumpLocFCmpFalse (i, j, s, m, op, _) ->
+        IJumpLocFCmpFalse (i, j, s, m, op, t)
+    | IJumpLocFCmpFalseT (i, j, s, m, op, _) ->
+        IJumpLocFCmpFalseT (i, j, s, m, op, t)
+    | IJumpLL2FBCCmpFalse (i, j, s, m, op1, v, op2, _) ->
+        IJumpLL2FBCCmpFalse (i, j, s, m, op1, v, op2, t)
+    | IJumpLL2FBCCmpFalseT (i, j, s, m, op1, v, op2, _) ->
+        IJumpLL2FBCCmpFalseT (i, j, s, m, op1, v, op2, t)
+    | IOrTrue _ -> IOrTrue t
+    | _ -> assert false)
+
+(* Land the given patch sites on the frontier. *)
+let land_patches b sites =
+  if sites <> [] then begin
+    let t = b.len in
+    List.iter (patch_to b t) sites;
+    b.lastlab <- b.len
+  end
+
+let is_cmp = function
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> true
+  | _ -> false
+
+(* Branch on a falsy condition, fusing the comparison just emitted into
+   the branch: [a CMP b] becomes one compare-and-branch, [a CMP const]
+   folds the constant in, and [local CMP const] — the canonical for-loop
+   condition — folds the load too, deleting its slot. The fused
+   instructions run the same [value_eq] / [compare_test] the tree engine
+   ran, so errors are unchanged. Deleting a slot additionally requires
+   that no label lands on it. *)
+let emit_branch_false b =
+  if b.len > 0 && b.lastlab <> b.len then
+    match b.code.(b.len - 1) with
+    | IBinop op when is_cmp op -> (
+        match
+          if b.lastlab < b.len - 1 then b.code.(b.len - 2) else IReturnUnit
+        with
+        | ILoad y
+          when b.len >= 3 && b.lastlab < b.len - 2
+               && (match b.code.(b.len - 3) with ILoad _ -> true | _ -> false)
+          ->
+            (* [ILoad x; ILoad y; CMP]: the whole condition in one *)
+            let x =
+              match b.code.(b.len - 3) with ILoad x -> x | _ -> assert false
+            in
+            b.len <- b.len - 3;
+            b.od <- b.od - 1;  (* roll back +1 +1 -1 *)
+            emit_patch b (IJumpLoc2CmpFalse (op, x, y, -1))
+        | ILoad y ->
+            b.len <- b.len - 2;  (* roll back +1 -1 *)
+            emit_patch b (IJumpLocCmpFalse (op, y, -1))
+        | ILoadLoadField (x, y, s, m) ->
+            (* [lx; ly.f; CMP]: the whole condition in one instruction *)
+            b.len <- b.len - 1;
+            b.od <- b.od - 1;  (* +2 -1 applied; the fused branch is 0 *)
+            b.code.(b.len - 1) <- IJumpLocFCmpFalse (x, y, s, m, op, -1);
+            b.len - 1
+        | IBinopConst (op1, cv)
+          when b.len >= 3
+               && b.lastlab < b.len - 2
+               && match b.code.(b.len - 3) with
+                  | ILoadLoadField _ -> true
+                  | _ -> false -> (
+            (* [lx; ly.f; (.. OP1 k); CMP] in one instruction *)
+            match b.code.(b.len - 3) with
+            | ILoadLoadField (x, y, s, m) ->
+                b.len <- b.len - 2;
+                b.od <- b.od - 1;  (* +2 0 -1 applied; the fused branch is 0 *)
+                b.code.(b.len - 1) <-
+                  IJumpLL2FBCCmpFalse (x, y, s, m, op1, cv, op, -1);
+                b.len - 1
+            | _ -> assert false)
+        | IBinopConst (op1, cv) ->
+            (* [x; (a OP1 k); CMP]: fold the constant binop into the
+               branch (the scrutinee guard excludes a label here) *)
+            b.len <- b.len - 1;
+            b.od <- b.od - 1;  (* 0 -1 applied; the fused branch is -2 *)
+            b.code.(b.len - 1) <- IJumpBCCmpFalse (op1, cv, op, -1);
+            b.len - 1
+        | _ ->
+            b.code.(b.len - 1) <- IJumpCmpFalse (op, -1);
+            b.od <- b.od - 1;  (* IBinop's -1 was applied; fused is -2 *)
+            b.len - 1)
+    | ILoadBinopConst (n, op, v) when is_cmp op ->
+        (* the cascade already folded [ILoad; IConst; CMP]; turn it into
+           the canonical for-loop branch in place *)
+        b.code.(b.len - 1) <- IJumpLocCmpConstFalse (n, op, v, -1);
+        b.od <- b.od - 1;  (* +1 applied; the fused branch is net 0 *)
+        b.len - 1
+    | IBinopConst (op, v) when is_cmp op -> (
+        match
+          if b.len >= 2 && b.lastlab < b.len - 1 then b.code.(b.len - 2)
+          else IReturnUnit
+        with
+        | ILoad n ->
+            (* roll back [ILoad; IBinopConst] (net +1); the fused branch
+               is net 0 *)
+            b.len <- b.len - 2;
+            b.od <- b.od - 1;
+            emit_patch b (IJumpLocCmpConstFalse (n, op, v, -1))
+        | _ ->
+            b.code.(b.len - 1) <- IJumpCmpConstFalse (op, v, -1);
+            b.od <- b.od - 1;  (* IBinopConst's 0 was applied; fused is -1 *)
+            b.len - 1)
+    | _ -> emit_patch b (IJumpIfFalse (-1))
+  else emit_patch b (IJumpIfFalse (-1))
+
+type loopctx = { mutable brk : int list; mutable cont : int list; base : int }
+
+let rec compile_expr b (e : rexpr) =
+  match e with
+  | RConst v -> emit b (IConst v)
+  | RLocal i -> emit b (ILoad i)
+  | RLocalRef i -> emit b (ILoadRef i)
+  | RGlobal i -> emit b (IGlobal i)
+  | RStatic i -> emit b (IStatic i)
+  | RThis -> emit b IThis
+  | RUnary (op, a) ->
+      compile_expr b a;
+      emit b (IUnary op)
+  | RBinary (Ast.LAnd, x, y) ->
+      compile_expr b x;
+      let j = emit_patch b (IAndFalse (-1)) in
+      compile_expr b y;
+      emit b IToBool;
+      land_patches b [ j ]
+  | RBinary (Ast.LOr, x, y) ->
+      compile_expr b x;
+      let j = emit_patch b (IOrTrue (-1)) in
+      compile_expr b y;
+      emit b IToBool;
+      land_patches b [ j ]
+  | RBinary (op, x, y) ->
+      compile_expr b x;
+      compile_expr b y;
+      emit b (IBinop op)
+  | RAssign (LvLocal i, rhs, ty) ->
+      compile_expr b rhs;
+      emit b (IStoreLocal (i, ty))
+  | RAssign (lhs, rhs, ty) ->
+      compile_lval b lhs;
+      compile_expr b rhs;
+      emit b (IAssign ty)
+  | RCompound (op, lhs, rhs, ty) ->
+      compile_lval b lhs;
+      compile_expr b rhs;
+      emit b (ICompound (op, ty))
+  | RIncDec (w, fx, LvLocal i) -> emit b (IIncDecLocal (w, fx, i))
+  | RIncDec (w, fx, lv) ->
+      compile_lval b lv;
+      emit b (IIncDec (w, fx))
+  | RCond (c, t, f) ->
+      compile_expr b c;
+      let j1 = emit_branch_false b in
+      let d0 = b.od in
+      compile_expr b t;
+      let j2 = emit_patch b (IJump (-1)) in
+      land_patches b [ j1 ];
+      b.od <- d0;  (* the two arms join at the same depth *)
+      compile_expr b f;
+      land_patches b [ j2 ]
+  | RCastInt a ->
+      compile_expr b a;
+      emit b ICastInt
+  | RCastFloat a ->
+      compile_expr b a;
+      emit b ICastFloat
+  | RField (oe, slots, m) ->
+      compile_expr b oe;
+      emit b (IField (slots, m))
+  | RCall c -> compile_call b c
+  | RAddrOf lv ->
+      compile_lval b lv;
+      emit b IAddrOf
+  | RDeref a ->
+      compile_expr b a;
+      emit b IDeref
+  | RIndex (a, i) ->
+      compile_expr b a;
+      compile_expr b i;
+      emit b IIndex
+  | RMemPtrDeref (recv, pm) ->
+      (* the receiver must be an object before the member pointer is even
+         evaluated — same error order as the tree engine *)
+      compile_expr b recv;
+      emit b IAsObj;
+      compile_expr b pm;
+      emit b IMemPtrDeref
+  | RNewObj { no_cid; no_cls; no_ctor; no_args } ->
+      compile_args b no_args;
+      emit b
+        (INewObj
+           {
+             n_cid = no_cid;
+             n_cls = no_cls;
+             n_ctor = no_ctor;
+             n_argc = Array.length no_args;
+           })
+  | RNewScalar { ns_bytes; ns_ty } -> emit b (INewScalar (ns_bytes, ns_ty))
+  | RNewArrObj { na_cid; na_cls; na_ctor; na_len } ->
+      compile_expr b na_len;
+      emit b (INewArrObj { w_cid = na_cid; w_cls = na_cls; w_ctor = na_ctor })
+  | RNewArrScalar { nas_ty; nas_elem_bytes; nas_len } ->
+      compile_expr b nas_len;
+      emit b (INewArrScalar (nas_ty, nas_elem_bytes))
+  | RInvalid msg -> emit b (IRaise msg)
+
+and compile_lval b (lv : rlval) =
+  match lv with
+  | LvLocal i -> emit b (ILocLocal i)
+  | LvLocalRef i -> emit b (ILocLocalRef i)
+  | LvGlobal i -> emit b (ILocGlobal i)
+  | LvStatic i -> emit b (ILocStatic i)
+  | LvField (oe, slots, m) ->
+      compile_expr b oe;
+      emit b (ILocField (slots, m))
+  | LvDeref a ->
+      compile_expr b a;
+      emit b ILocDeref
+  | LvIndex (a, i) ->
+      compile_expr b a;
+      compile_expr b i;
+      emit b ILocIndex
+  | LvMemPtrDeref (recv, pm) ->
+      compile_expr b recv;
+      emit b IAsObj;
+      compile_expr b pm;
+      emit b ILocMemPtr
+  | LvInvalid msg -> emit b (IRaise msg)
+
+and compile_arg b (a : arg_mode) =
+  match a with
+  | AVal e -> compile_expr b e
+  | ARefScalar lv ->
+      compile_lval b lv;
+      emit b ILocToPtr
+  | ARefObj e ->
+      compile_expr b e;
+      emit b IObjToPtr
+
+and compile_args b (args : arg_mode array) = Array.iter (compile_arg b) args
+
+and compile_call b (c : rcall) =
+  match c with
+  | RBuiltin (bi, args) ->
+      Array.iter (compile_expr b) args;
+      emit b (IBuiltin (bi, Array.length args))
+  | RCallFunc { cf_func; cf_args } ->
+      compile_args b cf_args;
+      emit b (ICallFunc (cf_func, Array.length cf_args))
+  | RCallMethod { cm_recv; cm_arrow; cm_func; cm_args } ->
+      compile_expr b cm_recv;
+      compile_args b cm_args;
+      emit b
+        (ICallMethod
+           { m_func = cm_func; m_argc = Array.length cm_args; m_arrow = cm_arrow })
+  | RCallVirtual { cv_recv; cv_name; cv_table; cv_args } ->
+      compile_expr b cv_recv;
+      compile_args b cv_args;
+      emit b
+        (ICallVirtual
+           { v_name = cv_name; v_table = cv_table; v_argc = Array.length cv_args })
+  | RCallFunPtr { fp_fn; fp_args } ->
+      compile_expr b fp_fn;
+      compile_args b fp_args;
+      emit b (ICallFunPtr (Array.length fp_args))
+
+and compile_decl b (d : rdecl) =
+  match d with
+  | DScalar { d_slot; d_ty } -> emit b (IDeclScalar (d_slot, d_ty))
+  | DStackArrObj { d_slot; d_cid; d_cls; d_ctor; d_len } ->
+      emit b
+        (IDeclStackArr
+           {
+             ds_slot = d_slot;
+             ds_cid = d_cid;
+             ds_cls = d_cls;
+             ds_ctor = d_ctor;
+             ds_len = d_len;
+           })
+  | DExpr { d_slot; d_coerce; d_init } ->
+      compile_expr b d_init;
+      emit b (IStoreLocalPop (d_slot, d_coerce))
+  | DRefExpr { d_slot; d_init; d_lv } ->
+      (* the initializer is evaluated for its value first, then again as
+         a location, exactly as the tree engine did *)
+      compile_expr b d_init;
+      emit b IPop;
+      compile_lval b d_lv;
+      emit b ILocToPtr;
+      emit b (IStoreRawPop d_slot)
+  | DCtor { d_slot; d_cid; d_cls; d_ctor; d_args } ->
+      compile_args b d_args;
+      emit b
+        (IDeclCtor
+           {
+             dc_slot = d_slot;
+             dc_cid = d_cid;
+             dc_cls = d_cls;
+             dc_ctor = d_ctor;
+             dc_argc = Array.length d_args;
+           })
+  | DFail msg -> emit b (IRaise msg)
+
+and compile_stmt b (lc : loopctx option) (s : rstmt) =
+  emit b ITick;
+  match s with
+  | RSExpr (RAssign (LvLocal i, rhs, ty)) ->
+      compile_expr b rhs;
+      emit b (IStoreLocalPop (i, ty))
+  | RSExpr (RIncDec (w, _, LvLocal i)) -> emit b (IIncDecLocalPop (w, i))
+  | RSExpr e ->
+      compile_expr b e;
+      emit b IPop
+  | RSDecl ds -> List.iter (compile_decl b) ds
+  | RSBlock (body, destroy) ->
+      if Array.length destroy = 0 then Array.iter (compile_stmt b lc) body
+      else begin
+        emit b (IPushScope destroy);
+        b.sdepth <- b.sdepth + 1;
+        b.scoped <- true;
+        Array.iter (compile_stmt b lc) body;
+        b.sdepth <- b.sdepth - 1;
+        emit b IPopScope
+      end
+  | RSIf (c, t, e) -> (
+      compile_expr b c;
+      let j = emit_branch_false b in
+      compile_stmt b lc t;
+      match e with
+      | None -> land_patches b [ j ]
+      | Some es ->
+          let j2 = emit_patch b (IJump (-1)) in
+          land_patches b [ j ];
+          compile_stmt b lc es;
+          land_patches b [ j2 ])
+  | RSWhile (c, body) ->
+      let top = here b in
+      compile_expr b c;
+      let jend = emit_branch_false b in
+      let lc' = { brk = []; cont = []; base = b.sdepth } in
+      compile_stmt b (Some lc') body;
+      emit b (IJump top);
+      List.iter (patch_to b top) lc'.cont;  (* continue re-tests the condition *)
+      land_patches b (jend :: lc'.brk)
+  | RSDoWhile (body, c) ->
+      let top = here b in
+      let lc' = { brk = []; cont = []; base = b.sdepth } in
+      compile_stmt b (Some lc') body;
+      land_patches b lc'.cont;  (* continue falls into the condition *)
+      compile_expr b c;
+      emit b (IJumpIfTrue top);
+      land_patches b lc'.brk
+  | RSFor { rf_init; rf_cond; rf_step; rf_body; rf_destroy } ->
+      (* the destroy scope covers init + body, as the tree engine's
+         [Fun.protect] around [exec_for] did; break exits to the scope
+         pop, not past it *)
+      let scoped = Array.length rf_destroy > 0 in
+      if scoped then begin
+        emit b (IPushScope rf_destroy);
+        b.sdepth <- b.sdepth + 1;
+        b.scoped <- true
+      end;
+      Option.iter (compile_stmt b lc) rf_init;
+      let top = here b in
+      let jend =
+        match rf_cond with
+        | Some c ->
+            compile_expr b c;
+            Some (emit_branch_false b)
+        | None -> None
+      in
+      let lc' = { brk = []; cont = []; base = b.sdepth } in
+      compile_stmt b (Some lc') rf_body;
+      land_patches b lc'.cont;
+      (match rf_step with
+      | Some e ->
+          compile_expr b e;
+          emit b IPop
+      | None -> ());
+      emit b (IJump top);
+      land_patches b (match jend with Some j -> j :: lc'.brk | None -> lc'.brk);
+      if scoped then begin
+        b.sdepth <- b.sdepth - 1;
+        emit b IPopScope
+      end
+  | RSReturn None -> emit b IReturnUnit
+  | RSReturn (Some e) ->
+      compile_expr b e;
+      emit b IReturn
+  | RSBreak -> (
+      match lc with
+      | Some l ->
+          let n = b.sdepth - l.base in
+          if n > 0 then emit b (IExitScopes n);
+          l.brk <- emit_patch b (IJump (-1)) :: l.brk
+      | None -> emit b (IRaise "break outside a loop"))
+  | RSContinue -> (
+      match lc with
+      | Some l ->
+          let n = b.sdepth - l.base in
+          if n > 0 then emit b (IExitScopes n);
+          l.cont <- emit_patch b (IJump (-1)) :: l.cont
+      | None -> emit b (IRaise "continue outside a loop"))
+  | RSDelete e ->
+      compile_expr b e;
+      emit b IDelete
+  | RSEmpty -> ()
+
+let finish (b : buf) : cbody =
+  let code = Array.sub b.code 0 b.len in
+  (* Branch-target inlining, after all patching: a list-scan loop runs
+     [guard -> (false edge) -> step -> back edge] with the step only
+     *jump*-adjacent to the guard, so emit-time fusion can never see
+     the pair. Replicate the step into the guard's false arm instead;
+     the step's slot stays for the fall-in (then-branch) path. The tick
+     and error sequence of the combined arm is the exact concatenation
+     of the two instructions. *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | ITickLoadFieldCmpLocFalseT (j, s, m, op, n, texit)
+        when texit >= 0 && texit < Array.length code -> (
+          match code.(texit) with
+          | ITickLoadFieldStoreJump (a, s2, m2, bdst, ty, tback) ->
+              code.(i) <-
+                IScanStep (j, s, m, op, n, a, s2, m2, bdst, ty, tback)
+          | _ -> ())
+      | _ -> ())
+    code;
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | IJumpLocCmpConstFalseT (x, op0, v0, texit0)
+        when i + 1 < Array.length code -> (
+          match code.(i + 1) with
+          | IScanStep (j, s, m, op, n, a, s2, m2, bdst, ty, tback)
+            when tback = i ->
+              code.(i) <-
+                ILoopScan
+                  (x, op0, v0, texit0, j, s, m, op, n, a, s2, m2, bdst, ty)
+          | _ -> ())
+      | _ -> ())
+    code;
+  {
+    b_code = code;
+    b_omax = b.omax + 8;  (* slack over the conservative linear estimate *)
+    b_scoped = b.scoped;
+  }
+
+(* A statement body (function, constructor tail, destructor): falls off
+   the end returning [VUnit], like the tree engine's implicit return. *)
+let compile_body_stmt (s : rstmt) : cbody =
+  let b = mk_buf () in
+  compile_stmt b None s;
+  emit b IReturnUnit;
+  finish b
+
+(* Constructor: virtual-base calls first (skipped via [kc_entry] when
+   not most-derived), then direct bases, member initializers, body.
+   The per-level tick is issued by the VM's [run_ctor], not in code. *)
+let compile_ctor (plan : ctor_plan) : int * cbody =
+  let b = mk_buf () in
+  Array.iter
+    (fun (bp : base_plan) ->
+      compile_args b bp.bp_args;
+      emit b (ICallCtor (bp.bp_ctor, Array.length bp.bp_args)))
+    plan.cp_vbases;
+  let entry = b.len in
+  Array.iter
+    (fun (bp : base_plan) ->
+      compile_args b bp.bp_args;
+      emit b (ICallCtor (bp.bp_ctor, Array.length bp.bp_args)))
+    plan.cp_bases;
+  Array.iter
+    (fun fp ->
+      match fp with
+      | FPClass { fc_slots; fc_member; fc_cid; fc_cls; fc_ctor; fc_args } ->
+          compile_args b fc_args;
+          emit b
+            (IInitField
+               {
+                 if_slots = fc_slots;
+                 if_member = fc_member;
+                 if_cid = fc_cid;
+                 if_cls = fc_cls;
+                 if_ctor = fc_ctor;
+                 if_argc = Array.length fc_args;
+               })
+      | FPClassArr { fa_slots; fa_member; fa_cid; fa_cls; fa_ctor; fa_len } ->
+          emit b
+            (IInitFieldArr
+               {
+                 ia_slots = fa_slots;
+                 ia_member = fa_member;
+                 ia_cid = fa_cid;
+                 ia_cls = fa_cls;
+                 ia_ctor = fa_ctor;
+                 ia_len = fa_len;
+               })
+      | FPScalar { fs_slots; fs_member; fs_coerce; fs_init } ->
+          (* initializer evaluated and coerced before the slot lookup,
+             matching the tree engine's store order *)
+          compile_expr b fs_init;
+          emit b
+            (IInitFieldScalar
+               { is_slots = fs_slots; is_member = fs_member; is_coerce = fs_coerce })
+      | FPBadInit -> emit b (IRaise "bad scalar member initializer"))
+    plan.cp_fields;
+  (match plan.cp_body with None -> () | Some body -> compile_stmt b None body);
+  emit b IReturnUnit;
+  (entry, finish b)
+
+(* Global initializer: the bare expression (no tick — the tree engine
+   evaluated these outside any statement). *)
+let compile_ginit (e : rexpr) : cbody =
+  let b = mk_buf () in
+  compile_expr b e;
+  emit b IReturn;
+  finish b
+
+let compile (rp : rprogram) : cprogram =
+  Telemetry.Span.with_ "bytecode" @@ fun () ->
+  let total = ref 0 in
+  let nbodies = ref 0 in
+  let fin (cb : cbody) =
+    total := !total + Array.length cb.b_code;
+    incr nbodies;
+    cb
+  in
+  let cp_funcs =
+    Array.map
+      (fun (rf : rfunc) ->
+        let kind =
+          match rf.rf_code with
+          | CBody s -> KBody (fin (compile_body_stmt s))
+          | CCtor plan ->
+              let entry, cb = compile_ctor plan in
+              KCtor { kc_body = fin cb; kc_entry = entry }
+          | CDtor -> KDtor
+          | CUnknown -> KUnknown
+          | CUndefined -> KUndefined
+          | CMissingCtor -> KMissingCtor
+        in
+        {
+          c_id = rf.rf_id;
+          c_frame = rf.rf_frame;
+          c_params = rf.rf_params;
+          c_kind = kind;
+        })
+      rp.rp_funcs
+  in
+  let cp_destroy =
+    Array.map
+      (fun (ci : class_info) ->
+        let dp = ci.ci_destroy in
+        {
+          cd_dtor =
+            Option.map
+              (fun (fsize, body) -> (fsize, fin (compile_body_stmt body)))
+              dp.dp_dtor;
+          cd_fields = dp.dp_fields;
+          cd_nv_bases = dp.dp_nv_bases;
+          cd_vbases_rev = ci.ci_vbases_rev;
+        })
+      rp.rp_classes
+  in
+  let cp_ginit =
+    Array.map
+      (fun (g : rglobal) -> Option.map (fun e -> fin (compile_ginit e)) g.rg_init)
+      rp.rp_globals
+  in
+  Telemetry.Counter.add instrs_counter !total;
+  Telemetry.Counter.add bodies_counter !nbodies;
+  { cp_rp = rp; cp_funcs; cp_destroy; cp_ginit }
+
+(* == virtual machine ========================================================== *)
+
+type vm = {
+  cp : cprogram;
+  funcs : cfunc array;
+  classes : class_info array;
+  destroy : cdestroy array;
+  profile : Profile.t;
+  globals : harray;
+  statics : harray;
+  output : Buffer.t;
+  mutable obj_counter : int;
+  mutable steps : int;
+  step_limit : int;
+  mutable call_depth : int;
+  mutable max_call_depth : int;
+  call_depth_limit : int;
+  heap_object_limit : int;
+}
+
+let empty_vals : value array = [||]
+
+(* Shared scope stack for bodies that never open a destroy scope
+   ([b_scoped = false] implies no [IPushScope] in the code). *)
+let no_scopes : int array list ref = ref []
+
+let fresh_obj_id vm =
+  let id = vm.obj_counter in
+  if id >= vm.heap_object_limit then
+    limit_exceeded "object limit exceeded (%d): possible runaway allocation"
+      vm.heap_object_limit;
+  vm.obj_counter <- id + 1;
+  id
+
+let tick vm =
+  vm.steps <- vm.steps + 1;
+  if vm.steps > vm.step_limit then
+    limit_exceeded "step limit exceeded (%d): possible non-termination"
+      vm.step_limit
+
+(* Locations on the operand stack are pointer values (see the
+   instruction-set comment). *)
+let loc_read = function
+  | VPtr (PCell r) -> !r
+  | VPtr (PArr (h, i)) -> h.cells.(i)
+  | _ -> assert false
+
+let loc_write l v =
+  match l with
+  | VPtr (PCell r) -> r := v
+  | VPtr (PArr (h, i)) -> h.cells.(i) <- v
+  | _ -> assert false
+
+(* [Value.ptr_of_loc]'s arr_id = -1 re-wrap, applied when a location
+   escapes as a pointer value. *)
+let loc_to_ptr = function
+  | VPtr (PArr (h, i)) when h.arr_id <> -1 ->
+      VPtr (PArr ({ arr_id = -1; cells = h.cells }, i))
+  | l -> l
+
+let this_obj (frame : frame) : obj =
+  match frame.this with Some o -> o | None -> assert false
+
+let cmp_test_slow op va vb =
+  match op with
+  | Ast.Eq -> value_eq va vb
+  | Ast.Ne -> not (value_eq va vb)
+  | _ -> compare_test op va vb
+
+(* Int-int is the overwhelmingly common case in every benchmark's loop
+   conditions; dispatch on the operator directly instead of computing a
+   three-way compare first. Semantically identical to the slow path. *)
+let[@inline] cmp_test op va vb =
+  match (va, vb) with
+  | VInt x, VInt y -> (
+      match op with
+      | Ast.Lt -> x < y
+      | Ast.Gt -> x > y
+      | Ast.Le -> x <= y
+      | Ast.Ge -> x >= y
+      | Ast.Eq -> x = y
+      | Ast.Ne -> x <> y
+      | _ -> assert false)
+  | _ -> cmp_test_slow op va vb
+
+let binop_slow op va vb =
+  match op with
+  | Ast.Eq -> VInt (if value_eq va vb then 1 else 0)
+  | Ast.Ne -> VInt (if value_eq va vb then 0 else 1)
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> compare_values op va vb
+  | _ -> arith op va vb
+
+(* Same fast path for value-producing binops; results go through the
+   shared [vint] cache so loop-counter arithmetic stays off the minor
+   heap. Error strings on Div/Mod match [Value.arith] exactly. *)
+let[@inline] binop op va vb =
+  match (va, vb) with
+  | VInt x, VInt y -> (
+      match op with
+      | Ast.Add -> vint (x + y)
+      | Ast.Sub -> vint (x - y)
+      | Ast.Mul -> vint (x * y)
+      | Ast.Div ->
+          if y = 0 then runtime_error "division by zero" else vint (x / y)
+      | Ast.Mod ->
+          if y = 0 then runtime_error "modulo by zero" else vint (x mod y)
+      | Ast.Lt -> if x < y then vtrue else vfalse
+      | Ast.Gt -> if x > y then vtrue else vfalse
+      | Ast.Le -> if x <= y then vtrue else vfalse
+      | Ast.Ge -> if x >= y then vtrue else vfalse
+      | Ast.Eq -> if x = y then vtrue else vfalse
+      | Ast.Ne -> if x <> y then vtrue else vfalse
+      | Ast.BAnd -> vint (x land y)
+      | Ast.BOr -> vint (x lor y)
+      | Ast.BXor -> vint (x lxor y)
+      | Ast.Shl -> vint (x lsl y)
+      | Ast.Shr -> vint (x asr y)
+      | _ -> binop_slow op va vb)
+  | _ -> binop_slow op va vb
+
+let[@inline] incdec_new which old =
+  let delta = match which with Ast.Incr -> 1 | Ast.Decr -> -1 in
+  match old with
+  | VInt n -> vint (n + delta)
+  | VFloat f -> VFloat (f +. float_of_int delta)
+  | VPtr (PArr (h, i)) -> VPtr (PArr (h, i + delta))
+  | _ -> runtime_error "cannot increment this value"
+
+(* The [a[i]] read shared by IIndex and its fused forms; [iv] is the
+   already-coerced integer index. Error strings are the tree engine's. *)
+let[@inline] index_read av iv =
+  match av with
+  | VArr h | VPtr (PArr (h, 0)) ->
+      if iv < 0 || iv >= Array.length h.cells then
+        runtime_error "array index %d out of bounds (size %d)" iv
+          (Array.length h.cells);
+      h.cells.(iv)
+  | VPtr (PArr (h, off)) ->
+      let j = off + iv in
+      if j < 0 || j >= Array.length h.cells then
+        runtime_error "array index out of bounds";
+      h.cells.(j)
+  | VStr s ->
+      if iv < 0 || iv >= String.length s then VInt 0
+      else VInt (Char.code s.[iv])
+  | VNull -> runtime_error "indexing a null pointer"
+  | _ -> runtime_error "indexing a non-array value"
+
+let rec bind_params vm frame (cf : cfunc) (src : value array) base argc =
+  ignore vm;
+  let n = Array.length cf.c_params in
+  if n <> argc then
+    runtime_error "arity mismatch calling %s" (Func_id.to_string cf.c_id);
+  for i = 0 to n - 1 do
+    let p = cf.c_params.(i) in
+    frame.locals.cells.(p.rp_slot) <-
+      (if p.rp_ref then src.(base + i) (* references carry locations *)
+       else coerce p.rp_coerce src.(base + i))
+  done
+
+(* Same protocol as the tree engine's [call_function]: depth guard and
+   tick happen before the depth-restoring handler is installed, so a
+   limit hit there leaves the depth incremented, exactly as the tree
+   engine's pre-[Fun.protect] tick did. *)
+and call_function vm fi ~this (src : value array) base argc : value =
+  vm.call_depth <- vm.call_depth + 1;
+  if vm.call_depth > vm.max_call_depth then
+    vm.max_call_depth <- vm.call_depth;
+  if vm.call_depth > vm.call_depth_limit then
+    limit_exceeded "call depth limit exceeded (%d): possible runaway recursion"
+      vm.call_depth_limit;
+  tick vm;
+  match invoke vm fi ~this src base argc with
+  | v ->
+      vm.call_depth <- vm.call_depth - 1;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      vm.call_depth <- vm.call_depth - 1;
+      Printexc.raise_with_backtrace e bt
+
+and invoke vm fi ~this (src : value array) base argc : value =
+  let cf = vm.funcs.(fi) in
+  match cf.c_kind with
+  | KBody body ->
+      let frame = mk_frame cf.c_frame this in
+      bind_params vm frame cf src base argc;
+      exec_code vm frame body 0
+  | KCtor { kc_body; kc_entry } -> (
+      match this with
+      | Some o ->
+          run_ctor vm o cf kc_body kc_entry ~most_derived:false src base argc;
+          VUnit
+      | None -> runtime_error "constructor called without an object")
+  | KDtor -> (
+      match this with
+      | Some o ->
+          destroy_complete vm o;
+          VUnit
+      | None -> runtime_error "destructor called without an object")
+  | KMissingCtor -> (
+      match this with
+      | Some _ ->
+          (* constructor dispatch ticked before discovering the body was
+             missing, as in the tree engine *)
+          tick vm;
+          runtime_error "missing constructor %s" (Func_id.to_string cf.c_id)
+      | None -> runtime_error "constructor called without an object")
+  | KUnknown ->
+      runtime_error "call to unknown function %s" (Func_id.to_string cf.c_id)
+  | KUndefined ->
+      runtime_error "call to undefined (external) function %s"
+        (Func_id.to_string cf.c_id)
+
+and run_ctor vm (o : obj) (cf : cfunc) kc_body kc_entry ~most_derived
+    (src : value array) base argc =
+  tick vm;
+  let frame = mk_frame cf.c_frame (Some o) in
+  bind_params vm frame cf src base argc;
+  ignore (exec_code vm frame kc_body (if most_derived then 0 else kc_entry))
+
+(* Constructor dispatch without the call-depth protocol: base, virtual
+   base and member-subobject constructors run at the caller's depth,
+   matching the tree engine's direct [run_ctor_idx]. *)
+and run_ctor_idx vm (o : obj) fi ~most_derived (src : value array) base argc =
+  let cf = vm.funcs.(fi) in
+  match cf.c_kind with
+  | KCtor { kc_body; kc_entry } ->
+      run_ctor vm o cf kc_body kc_entry ~most_derived src base argc
+  | _ ->
+      tick vm;
+      runtime_error "missing constructor %s" (Func_id.to_string cf.c_id)
+
+and construct_raw vm cid cls ctor (src : value array) base argc : obj =
+  let id = fresh_obj_id vm in
+  let o = new_obj_of vm.classes cid cls id in
+  run_ctor_idx vm o ctor ~most_derived:true src base argc;
+  o
+
+and construct_journalled vm ~kind cid cls ctor (src : value array) base argc :
+    obj =
+  let id = fresh_obj_id vm in
+  let o = new_obj_of vm.classes cid cls id in
+  Profile.record_alloc vm.profile ~id ~kind ~cls ~count:1;
+  run_ctor_idx vm o ctor ~most_derived:true src base argc;
+  o
+
+and destroy_complete vm (o : obj) = destroy_from vm o o.obj_cid ~most_derived:true
+
+and destroy_from vm (o : obj) cid ~most_derived =
+  tick vm;
+  if cid >= 0 then begin
+    let cd = vm.destroy.(cid) in
+    (match cd.cd_dtor with
+    | Some (fsize, body) ->
+        let frame = mk_frame fsize (Some o) in
+        ignore (exec_code vm frame body 0)
+    | None -> ());
+    (* member subobjects, reverse declaration order *)
+    Array.iter
+      (fun df ->
+        match df with
+        | DFClass slots -> (
+            let s = if o.obj_cid >= 0 then slots.(o.obj_cid) else -1 in
+            if s >= 0 then
+              match o.fields.cells.(s) with
+              | VObj sub -> destroy_complete vm sub
+              | _ -> ())
+        | DFClassArr slots -> (
+            let s = if o.obj_cid >= 0 then slots.(o.obj_cid) else -1 in
+            if s >= 0 then
+              match o.fields.cells.(s) with
+              | VArr h ->
+                  Array.iter
+                    (function VObj sub -> destroy_complete vm sub | _ -> ())
+                    h.cells
+              | _ -> ()))
+      cd.cd_fields;
+    Array.iter
+      (fun bcid -> destroy_from vm o bcid ~most_derived:false)
+      cd.cd_nv_bases;
+    if most_derived then
+      Array.iter
+        (fun vcid -> destroy_from vm o vcid ~most_derived:false)
+        cd.cd_vbases_rev
+  end
+
+and destroy_slots vm (locals : value array) (slots : int array) =
+  Array.iter
+    (fun s ->
+      match locals.(s) with
+      | VObj o ->
+          destroy_complete vm o;
+          Profile.record_free vm.profile o.obj_id;
+          locals.(s) <- VUnit
+      | VArr h when h.arr_id >= 0 ->
+          Array.iter
+            (function VObj o -> destroy_complete vm o | _ -> ())
+            h.cells;
+          Profile.record_free vm.profile h.arr_id;
+          locals.(s) <- VUnit
+      | _ -> ())
+    slots
+
+(* Unwind this invocation's destroy scopes around an in-flight
+   exception: each scope's destructor failure replaces the exception
+   with [Fun.Finally_raised], exactly as the nested [Fun.protect]s of
+   the tree engine did. *)
+and unwind_exn vm (locals : value array) scopes e =
+  match !scopes with
+  | [] -> e
+  | slots :: rest -> (
+      scopes := rest;
+      match destroy_slots vm locals slots with
+      | () -> unwind_exn vm locals scopes e
+      | exception fe -> unwind_exn vm locals scopes (Fun.Finally_raised fe))
+
+(* Scope destruction on the normal return path; a failure surfaces as
+   [Finally_raised] and the in-loop handler unwinds the rest. *)
+and ret_unwind vm (locals : value array) scopes =
+  match !scopes with
+  | [] -> ()
+  | slots :: rest ->
+      scopes := rest;
+      (try destroy_slots vm locals slots
+       with fe -> raise (Fun.Finally_raised fe));
+      ret_unwind vm locals scopes
+
+and exec_builtin vm (ost : value array) base (b : builtin) argc : unit =
+  match (b, argc) with
+  | BPrintInt, 1 ->
+      Buffer.add_string vm.output (string_of_int (as_int ost.(base)))
+  | BPrintChar, 1 ->
+      Buffer.add_char vm.output (Char.chr (as_int ost.(base) land 255))
+  | BPrintFloat, 1 ->
+      Buffer.add_string vm.output (Printf.sprintf "%g" (as_float ost.(base)))
+  | BPrintStr, 1 -> (
+      match ost.(base) with
+      | VStr s -> Buffer.add_string vm.output s
+      | VNull -> runtime_error "print_str(NULL)"
+      | _ -> runtime_error "bad builtin call")
+  | BPrintNl, 0 -> Buffer.add_char vm.output '\n'
+  | BFree, 1 -> (
+      match ost.(base) with
+      | VPtr (PObj o) -> Profile.record_free vm.profile o.obj_id
+      | VPtr (PArr (h, _)) when h.arr_id >= 0 ->
+          Profile.record_free vm.profile h.arr_id
+      | VNull | VPtr _ -> ()
+      | _ -> runtime_error "free of a non-pointer")
+  | BAbort, 0 -> raise Abort_called
+  | _ -> runtime_error "bad builtin call"
+
+and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
+  let code = b.b_code in
+  let ost = if b.b_omax > 0 then Array.make b.b_omax VUnit else empty_vals in
+  let locals = frame.locals.cells in
+  let scopes = if b.b_scoped then ref [] else no_scopes in
+  let rec loop pc sp : value =
+    match Array.unsafe_get code pc with
+    | ITick ->
+        vm.steps <- vm.steps + 1;
+        if vm.steps > vm.step_limit then
+          limit_exceeded "step limit exceeded (%d): possible non-termination"
+            vm.step_limit;
+        loop (pc + 1) sp
+    | IConst v ->
+        ost.(sp) <- v;
+        loop (pc + 1) (sp + 1)
+    | ILoad i ->
+        ost.(sp) <- Array.unsafe_get locals i;
+        loop (pc + 1) (sp + 1)
+    | ILoadRef i ->
+        ost.(sp) <-
+          (match Array.unsafe_get locals i with
+          | VPtr (PCell r) -> !r
+          | VPtr (PArr (h, j)) -> h.cells.(j)
+          | VPtr (PObj o) -> VObj o
+          | v -> v);
+        loop (pc + 1) (sp + 1)
+    | IGlobal i ->
+        ost.(sp) <- vm.globals.cells.(i);
+        loop (pc + 1) (sp + 1)
+    | IStatic i ->
+        ost.(sp) <- vm.statics.cells.(i);
+        loop (pc + 1) (sp + 1)
+    | IThis ->
+        ost.(sp) <-
+          (match frame.this with
+          | Some o -> VPtr (PObj o)
+          | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) (sp + 1)
+    | IPop -> loop (pc + 1) (sp - 1)
+    | IUnary op ->
+        ost.(sp - 1) <- unary op ost.(sp - 1);
+        loop (pc + 1) sp
+    | IBinop op ->
+        ost.(sp - 2) <- binop op ost.(sp - 2) ost.(sp - 1);
+        loop (pc + 1) (sp - 1)
+    | IToBool ->
+        ost.(sp - 1) <- (if truthy ost.(sp - 1) then vtrue else vfalse);
+        loop (pc + 1) sp
+    | ICastInt ->
+        (match ost.(sp - 1) with
+        | VInt _ -> ()
+        | v -> ost.(sp - 1) <- vint (as_int v));
+        loop (pc + 1) sp
+    | ICastFloat ->
+        ost.(sp - 1) <- VFloat (as_float ost.(sp - 1));
+        loop (pc + 1) sp
+    | IField (slots, m) ->
+        let o = as_obj ost.(sp - 1) in
+        ost.(sp - 1) <- o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) sp
+    | IDeref ->
+        ost.(sp - 1) <-
+          (match ost.(sp - 1) with
+          | VPtr (PCell r) -> !r
+          | VPtr (PObj o) -> VObj o
+          | VPtr (PArr (h, i)) ->
+              if i < 0 || i >= Array.length h.cells then
+                runtime_error "pointer dereference out of bounds";
+              h.cells.(i)
+          | VNull -> runtime_error "null pointer dereference"
+          | VStr s ->
+              if String.length s > 0 then VInt (Char.code s.[0]) else VInt 0
+          | _ -> runtime_error "dereference of a non-pointer");
+        loop (pc + 1) sp
+    | IIndex ->
+        let iv = as_int ost.(sp - 1) in
+        ost.(sp - 2) <-
+          (match ost.(sp - 2) with
+          | VArr h | VPtr (PArr (h, 0)) ->
+              if iv < 0 || iv >= Array.length h.cells then
+                runtime_error "array index %d out of bounds (size %d)" iv
+                  (Array.length h.cells);
+              h.cells.(iv)
+          | VPtr (PArr (h, off)) ->
+              let j = off + iv in
+              if j < 0 || j >= Array.length h.cells then
+                runtime_error "array index out of bounds";
+              h.cells.(j)
+          | VStr s ->
+              if iv < 0 || iv >= String.length s then VInt 0
+              else VInt (Char.code s.[iv])
+          | VNull -> runtime_error "indexing a null pointer"
+          | _ -> runtime_error "indexing a non-array value");
+        loop (pc + 1) (sp - 1)
+    | IAsObj ->
+        ost.(sp - 1) <- VObj (as_obj ost.(sp - 1));
+        loop (pc + 1) sp
+    | IMemPtrDeref ->
+        let o = as_obj ost.(sp - 2) in
+        ost.(sp - 2) <-
+          (match ost.(sp - 1) with
+          | VMemPtr m -> o.fields.cells.(memptr_slot_of vm.classes o m)
+          | VNull -> runtime_error "null member pointer dereference"
+          | _ -> runtime_error ".*/->* with a non-member-pointer");
+        loop (pc + 1) (sp - 1)
+    | IAddrOf ->
+        let l = ost.(sp - 1) in
+        ost.(sp - 1) <-
+          (* taking the address of an embedded object yields an object
+             pointer, not a cell pointer *)
+          (match loc_read l with VObj o -> VPtr (PObj o) | _ -> loc_to_ptr l);
+        loop (pc + 1) sp
+    | ILocLocal i ->
+        ost.(sp) <- VPtr (PArr (frame.locals, i));
+        loop (pc + 1) (sp + 1)
+    | ILocLocalRef i ->
+        ost.(sp) <-
+          (match Array.unsafe_get locals i with
+          | VPtr (PCell _) as p -> p
+          | VPtr (PArr _) as p -> p
+          | _ -> VPtr (PArr (frame.locals, i)));
+        loop (pc + 1) (sp + 1)
+    | ILocGlobal i ->
+        ost.(sp) <- VPtr (PArr (vm.globals, i));
+        loop (pc + 1) (sp + 1)
+    | ILocStatic i ->
+        ost.(sp) <- VPtr (PArr (vm.statics, i));
+        loop (pc + 1) (sp + 1)
+    | ILocField (slots, m) ->
+        let o = as_obj ost.(sp - 1) in
+        ost.(sp - 1) <- VPtr (PArr (o.fields, field_slot o slots m));
+        loop (pc + 1) sp
+    | ILocDeref ->
+        ost.(sp - 1) <-
+          (match ost.(sp - 1) with
+          | VPtr (PCell _) as p -> p
+          | VPtr (PArr _) as p -> p
+          | VPtr (PObj _) ->
+              runtime_error "cannot assign whole objects through a pointer"
+          | VNull -> runtime_error "null pointer dereference"
+          | _ -> runtime_error "dereference of a non-pointer");
+        loop (pc + 1) sp
+    | ILocIndex ->
+        let iv = as_int ost.(sp - 1) in
+        ost.(sp - 2) <-
+          (match ost.(sp - 2) with
+          | VArr h -> VPtr (PArr (h, iv))
+          | VPtr (PArr (h, off)) -> VPtr (PArr (h, off + iv))
+          | _ -> runtime_error "indexing a non-array value");
+        loop (pc + 1) (sp - 1)
+    | ILocMemPtr ->
+        let o = as_obj ost.(sp - 2) in
+        ost.(sp - 2) <-
+          (match ost.(sp - 1) with
+          | VMemPtr m -> VPtr (PArr (o.fields, memptr_slot_of vm.classes o m))
+          | _ -> runtime_error ".*/->* with a non-member-pointer");
+        loop (pc + 1) (sp - 1)
+    | ILocToPtr ->
+        ost.(sp - 1) <- loc_to_ptr ost.(sp - 1);
+        loop (pc + 1) sp
+    | IObjToPtr ->
+        (match ost.(sp - 1) with
+        | VObj o -> ost.(sp - 1) <- VPtr (PObj o)
+        | _ -> ());
+        loop (pc + 1) sp
+    | IAssign ty ->
+        let v = coerce ty ost.(sp - 1) in
+        loc_write ost.(sp - 2) v;
+        ost.(sp - 2) <- v;
+        loop (pc + 1) (sp - 1)
+    | ICompound (op, ty) ->
+        let l = ost.(sp - 2) in
+        let v = compound_op op (loc_read l) ost.(sp - 1) ty in
+        loc_write l v;
+        ost.(sp - 2) <- v;
+        loop (pc + 1) (sp - 1)
+    | IIncDec (which, fix) ->
+        let l = ost.(sp - 1) in
+        let old = loc_read l in
+        let nv = incdec_new which old in
+        loc_write l nv;
+        ost.(sp - 1) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
+        loop (pc + 1) sp
+    | IStoreLocal (i, ty) ->
+        let v = coerce ty ost.(sp - 1) in
+        Array.unsafe_set locals i v;
+        ost.(sp - 1) <- v;
+        loop (pc + 1) sp
+    | IStoreLocalPop (i, ty) ->
+        Array.unsafe_set locals i (coerce ty ost.(sp - 1));
+        loop (pc + 1) (sp - 1)
+    | IStoreRawPop i ->
+        Array.unsafe_set locals i ost.(sp - 1);
+        loop (pc + 1) (sp - 1)
+    | IIncDecLocal (which, fix, i) ->
+        let old = Array.unsafe_get locals i in
+        let nv = incdec_new which old in
+        Array.unsafe_set locals i nv;
+        ost.(sp) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
+        loop (pc + 1) (sp + 1)
+    | IIncDecLocalPop (which, i) ->
+        Array.unsafe_set locals i (incdec_new which (Array.unsafe_get locals i));
+        loop (pc + 1) sp
+    | IJump t -> loop t sp
+    | IJumpIfFalse t ->
+        if truthy ost.(sp - 1) then loop (pc + 1) (sp - 1) else loop t (sp - 1)
+    | IJumpIfTrue t ->
+        if truthy ost.(sp - 1) then loop t (sp - 1) else loop (pc + 1) (sp - 1)
+    | IJumpCmpFalse (op, t) ->
+        if cmp_test op ost.(sp - 2) ost.(sp - 1) then loop (pc + 1) (sp - 2)
+        else loop t (sp - 2)
+    | IAndFalse t ->
+        if truthy ost.(sp - 1) then loop (pc + 1) (sp - 1)
+        else begin
+          ost.(sp - 1) <- VInt 0;
+          loop t sp
+        end
+    | IOrTrue t ->
+        if truthy ost.(sp - 1) then begin
+          ost.(sp - 1) <- VInt 1;
+          loop t sp
+        end
+        else loop (pc + 1) (sp - 1)
+    | IPushScope slots ->
+        scopes := slots :: !scopes;
+        loop (pc + 1) sp
+    | IPopScope ->
+        (match !scopes with
+        | slots :: rest ->
+            scopes := rest;
+            (try destroy_slots vm locals slots
+             with fe -> raise (Fun.Finally_raised fe))
+        | [] -> assert false);
+        loop (pc + 1) sp
+    | IExitScopes n ->
+        for _ = 1 to n do
+          match !scopes with
+          | slots :: rest ->
+              scopes := rest;
+              (try destroy_slots vm locals slots
+               with fe -> raise (Fun.Finally_raised fe))
+          | [] -> assert false
+        done;
+        loop (pc + 1) sp
+    | IReturn ->
+        let v = ost.(sp - 1) in
+        if b.b_scoped then ret_unwind vm locals scopes;
+        v
+    | IReturnUnit ->
+        if b.b_scoped then ret_unwind vm locals scopes;
+        VUnit
+    | IRaise msg -> runtime_error "%s" msg
+    | INewObj { n_cid; n_cls; n_ctor; n_argc } ->
+        let base = sp - n_argc in
+        let o =
+          construct_journalled vm ~kind:Profile.Heap n_cid n_cls n_ctor ost base
+            n_argc
+        in
+        ost.(base) <- VPtr (PObj o);
+        loop (pc + 1) (base + 1)
+    | INewScalar (bytes, ty) ->
+        ignore (Profile.record_scalar_alloc vm.profile ~bytes);
+        ost.(sp) <- VPtr (PArr ({ arr_id = -1; cells = [| default_value ty |] }, 0));
+        loop (pc + 1) (sp + 1)
+    | INewArrObj { w_cid; w_cls; w_ctor } ->
+        let n = as_int ost.(sp - 1) in
+        if n < 0 then runtime_error "negative array size in new[]";
+        let id = fresh_obj_id vm in
+        Profile.record_alloc vm.profile ~id ~kind:Profile.HeapArray ~cls:w_cls
+          ~count:n;
+        let cells =
+          Array.init n (fun _ ->
+              VObj (construct_raw vm w_cid w_cls w_ctor empty_vals 0 0))
+        in
+        ost.(sp - 1) <- VPtr (PArr ({ arr_id = id; cells }, 0));
+        loop (pc + 1) sp
+    | INewArrScalar (ty, elem_bytes) ->
+        let n = as_int ost.(sp - 1) in
+        if n < 0 then runtime_error "negative array size in new[]";
+        let id = Profile.record_scalar_alloc vm.profile ~bytes:(n * elem_bytes) in
+        let cells = Array.init n (fun _ -> default_value ty) in
+        ost.(sp - 1) <- VPtr (PArr ({ arr_id = id; cells }, 0));
+        loop (pc + 1) sp
+    | IDelete ->
+        (match ost.(sp - 1) with
+        | VNull -> ()
+        | VPtr (PObj o) ->
+            destroy_complete vm o;
+            Profile.record_free vm.profile o.obj_id
+        | VPtr (PArr (h, _)) ->
+            Array.iter
+              (function VObj o -> destroy_complete vm o | _ -> ())
+              h.cells;
+            if h.arr_id >= 0 then Profile.record_free vm.profile h.arr_id
+        | _ -> runtime_error "delete of a non-pointer value");
+        loop (pc + 1) (sp - 1)
+    | IDeclScalar (slot, ty) ->
+        Array.unsafe_set locals slot (default_value ty);
+        loop (pc + 1) sp
+    | IDeclStackArr { ds_slot; ds_cid; ds_cls; ds_ctor; ds_len } ->
+        let id = fresh_obj_id vm in
+        Profile.record_alloc vm.profile ~id ~kind:Profile.Stack ~cls:ds_cls
+          ~count:ds_len;
+        let cells =
+          Array.init ds_len (fun _ ->
+              VObj (construct_raw vm ds_cid ds_cls ds_ctor empty_vals 0 0))
+        in
+        locals.(ds_slot) <- VArr { arr_id = id; cells };
+        loop (pc + 1) sp
+    | IDeclCtor { dc_slot; dc_cid; dc_cls; dc_ctor; dc_argc } ->
+        let base = sp - dc_argc in
+        let o =
+          construct_journalled vm ~kind:Profile.Stack dc_cid dc_cls dc_ctor ost
+            base dc_argc
+        in
+        locals.(dc_slot) <- VObj o;
+        loop (pc + 1) base
+    | IBuiltin (bi, argc) ->
+        let base = sp - argc in
+        exec_builtin vm ost base bi argc;
+        ost.(base) <- VUnit;
+        loop (pc + 1) (base + 1)
+    | ICallFunc (fi, argc) ->
+        let base = sp - argc in
+        let v = call_function vm fi ~this:None ost base argc in
+        ost.(base) <- v;
+        loop (pc + 1) (base + 1)
+    | ICallMethod { m_func; m_argc; m_arrow } ->
+        let base = sp - m_argc in
+        let v =
+          match ost.(base - 1) with
+          | VNull when m_arrow -> runtime_error "method call on null pointer"
+          | VObj o | VPtr (PObj o) ->
+              call_function vm m_func ~this:(Some o) ost base m_argc
+          | _ ->
+              (* static member function *)
+              call_function vm m_func ~this:None ost base m_argc
+        in
+        ost.(base - 1) <- v;
+        loop (pc + 1) base
+    | ICallVirtual { v_name; v_table; v_argc } ->
+        let base = sp - v_argc in
+        let v =
+          match ost.(base - 1) with
+          | VObj o | VPtr (PObj o) ->
+              let fi = if o.obj_cid >= 0 then v_table.(o.obj_cid) else -1 in
+              if fi >= 0 then call_function vm fi ~this:(Some o) ost base v_argc
+              else
+                runtime_error "no virtual target for %s::%s" o.obj_class v_name
+          | VNull -> runtime_error "virtual call on null pointer"
+          | _ -> runtime_error "virtual call on a non-object"
+        in
+        ost.(base - 1) <- v;
+        loop (pc + 1) base
+    | ICallFunPtr argc ->
+        let base = sp - argc in
+        let v =
+          match ost.(base - 1) with
+          | VFunPtr id -> (
+              let this =
+                match id with Func_id.FMethod _ -> frame.this | _ -> None
+              in
+              match Hashtbl.find_opt vm.cp.cp_rp.rp_func_idx id with
+              | Some fi -> call_function vm fi ~this ost base argc
+              | None ->
+                  runtime_error "call to unknown function %s"
+                    (Func_id.to_string id))
+          | VNull -> runtime_error "call through a null function pointer"
+          | _ -> runtime_error "call through a non-function value"
+        in
+        ost.(base - 1) <- v;
+        loop (pc + 1) base
+    | ICallCtor (fi, argc) ->
+        let base = sp - argc in
+        run_ctor_idx vm (this_obj frame) fi ~most_derived:false ost base argc;
+        loop (pc + 1) base
+    | IInitField { if_slots; if_member; if_cid; if_cls; if_ctor; if_argc } ->
+        let base = sp - if_argc in
+        let o = this_obj frame in
+        let sub = construct_raw vm if_cid if_cls if_ctor ost base if_argc in
+        o.fields.cells.(field_slot o if_slots if_member) <- VObj sub;
+        loop (pc + 1) base
+    | IInitFieldArr { ia_slots; ia_member; ia_cid; ia_cls; ia_ctor; ia_len } ->
+        let o = this_obj frame in
+        let cells =
+          Array.init ia_len (fun _ ->
+              VObj (construct_raw vm ia_cid ia_cls ia_ctor empty_vals 0 0))
+        in
+        o.fields.cells.(field_slot o ia_slots ia_member) <-
+          VArr { arr_id = -1; cells };
+        loop (pc + 1) sp
+    | IInitFieldScalar { is_slots; is_member; is_coerce } ->
+        let v = coerce is_coerce ost.(sp - 1) in
+        let o = this_obj frame in
+        o.fields.cells.(field_slot o is_slots is_member) <- v;
+        loop (pc + 1) (sp - 1)
+    (* superinstructions: each arm is the exact concatenation of its
+       parts' arms — same evaluation order, ticks and errors *)
+    | ILoadField (i, slots, m) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) (sp + 1)
+    | ITickLoad i ->
+        tick vm;
+        ost.(sp) <- Array.get locals i;
+        loop (pc + 1) (sp + 1)
+    | ITickLoadField (i, slots, m) ->
+        tick vm;
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) (sp + 1)
+    | IThisField (slots, m) ->
+        (match frame.this with
+        | Some o -> ost.(sp) <- o.fields.cells.(field_slot o slots m)
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) (sp + 1)
+    | IIndexField (slots, m) ->
+        let iv = as_int ost.(sp - 1) in
+        let elem =
+          match ost.(sp - 2) with
+          | VArr h | VPtr (PArr (h, 0)) ->
+              if iv < 0 || iv >= Array.length h.cells then
+                runtime_error "array index %d out of bounds (size %d)" iv
+                  (Array.length h.cells);
+              h.cells.(iv)
+          | VPtr (PArr (h, off)) ->
+              let j = off + iv in
+              if j < 0 || j >= Array.length h.cells then
+                runtime_error "array index out of bounds";
+              h.cells.(j)
+          | VStr s ->
+              if iv < 0 || iv >= String.length s then VInt 0
+              else VInt (Char.code s.[iv])
+          | VNull -> runtime_error "indexing a null pointer"
+          | _ -> runtime_error "indexing a non-array value"
+        in
+        let o = as_obj elem in
+        ost.(sp - 2) <- o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) (sp - 1)
+    | ILoadIndex i ->
+        let iv = as_int (Array.get locals i) in
+        ost.(sp - 1) <-
+          (match ost.(sp - 1) with
+          | VArr h | VPtr (PArr (h, 0)) ->
+              if iv < 0 || iv >= Array.length h.cells then
+                runtime_error "array index %d out of bounds (size %d)" iv
+                  (Array.length h.cells);
+              h.cells.(iv)
+          | VPtr (PArr (h, off)) ->
+              let j = off + iv in
+              if j < 0 || j >= Array.length h.cells then
+                runtime_error "array index out of bounds";
+              h.cells.(j)
+          | VStr s ->
+              if iv < 0 || iv >= String.length s then VInt 0
+              else VInt (Char.code s.[iv])
+          | VNull -> runtime_error "indexing a null pointer"
+          | _ -> runtime_error "indexing a non-array value");
+        loop (pc + 1) sp
+    | ILoadLocField (i, slots, m) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- VPtr (PArr (o.fields, field_slot o slots m));
+        loop (pc + 1) (sp + 1)
+    | IFieldBinop (slots, m, op) ->
+        let o = as_obj ost.(sp - 1) in
+        ost.(sp - 2) <-
+          binop op ost.(sp - 2) o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) (sp - 1)
+    | ILoadFieldBinop (i, slots, m, op) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp - 1) <-
+          binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) sp
+    | IBinopConst (op, v) ->
+        ost.(sp - 1) <- binop op ost.(sp - 1) v;
+        loop (pc + 1) sp
+    | ITickN n ->
+        let s = vm.steps + n in
+        if s > vm.step_limit then begin
+          (* the raising tick leaves the same count the tree engine did *)
+          vm.steps <- vm.step_limit + 1;
+          limit_exceeded "step limit exceeded (%d): possible non-termination"
+            vm.step_limit
+        end;
+        vm.steps <- s;
+        loop (pc + 1) sp
+    | ITickPushScope slots ->
+        tick vm;
+        scopes := slots :: !scopes;
+        loop (pc + 1) sp
+    | IAssignPop ty ->
+        let v = coerce ty ost.(sp - 1) in
+        loc_write ost.(sp - 2) v;
+        loop (pc + 1) (sp - 2)
+    | IStoreLocalPopT (i, ty) ->
+        Array.set locals i (coerce ty ost.(sp - 1));
+        tick vm;
+        loop (pc + 1) (sp - 1)
+    | IStoreLocalPopJump (i, ty, t) ->
+        Array.set locals i (coerce ty ost.(sp - 1));
+        loop t (sp - 1)
+    | IIncDecLocalJump (w, i, t) ->
+        Array.set locals i (incdec_new w (Array.get locals i));
+        loop t sp
+    | IJumpIfFalseT t ->
+        if truthy ost.(sp - 1) then begin
+          tick vm;
+          loop (pc + 1) (sp - 1)
+        end
+        else loop t (sp - 1)
+    | IJumpCmpFalseT (op, t) ->
+        if cmp_test op ost.(sp - 2) ost.(sp - 1) then begin
+          tick vm;
+          loop (pc + 1) (sp - 2)
+        end
+        else loop t (sp - 2)
+    | IJumpCmpConstFalse (op, v, t) ->
+        if cmp_test op ost.(sp - 1) v then loop (pc + 1) (sp - 1)
+        else loop t (sp - 1)
+    | IJumpCmpConstFalseT (op, v, t) ->
+        if cmp_test op ost.(sp - 1) v then begin
+          tick vm;
+          loop (pc + 1) (sp - 1)
+        end
+        else loop t (sp - 1)
+    | IJumpLocCmpConstFalse (i, op, v, t) ->
+        if cmp_test op (Array.get locals i) v then loop (pc + 1) sp
+        else loop t sp
+    | IJumpLocCmpConstFalseT (i, op, v, t) ->
+        if cmp_test op (Array.get locals i) v then begin
+          tick vm;
+          loop (pc + 1) sp
+        end
+        else loop t sp
+    | IJumpLocCmpFalse (op, i, t) ->
+        if cmp_test op ost.(sp - 1) (Array.get locals i) then
+          loop (pc + 1) (sp - 1)
+        else loop t (sp - 1)
+    | IJumpLocCmpFalseT (op, i, t) ->
+        if cmp_test op ost.(sp - 1) (Array.get locals i) then begin
+          tick vm;
+          loop (pc + 1) (sp - 1)
+        end
+        else loop t (sp - 1)
+    | IJumpLoc2CmpFalse (op, x, y, t) ->
+        if cmp_test op (Array.get locals x) (Array.get locals y) then
+          loop (pc + 1) sp
+        else loop t sp
+    | IJumpLoc2CmpFalseT (op, x, y, t) ->
+        if cmp_test op (Array.get locals x) (Array.get locals y) then begin
+          tick vm;
+          loop (pc + 1) sp
+        end
+        else loop t sp
+    | ITickLoadFieldStore (i, slots, m, j, ty) ->
+        tick vm;
+        let o = as_obj (Array.get locals i) in
+        Array.set locals j (coerce ty o.fields.cells.(field_slot o slots m));
+        loop (pc + 1) sp
+    | ITickLoadFieldStoreJump (i, slots, m, j, ty, t) ->
+        tick vm;
+        let o = as_obj (Array.get locals i) in
+        Array.set locals j (coerce ty o.fields.cells.(field_slot o slots m));
+        loop t sp
+    | ILoadBinopConst (i, op, v) ->
+        ost.(sp) <- binop op (Array.get locals i) v;
+        loop (pc + 1) (sp + 1)
+    | ILoadFieldBC (i, slots, m, op, v) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- binop op o.fields.cells.(field_slot o slots m) v;
+        loop (pc + 1) (sp + 1)
+    | ILoadFieldLoadBC (i, slots, m, j, op, v) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- o.fields.cells.(field_slot o slots m);
+        ost.(sp + 1) <- binop op (Array.get locals j) v;
+        loop (pc + 1) (sp + 2)
+    | IFieldIdxField (i, slots, m, j, op, v, s2, m2) ->
+        let o = as_obj (Array.get locals i) in
+        let av = o.fields.cells.(field_slot o slots m) in
+        let iv = as_int (binop op (Array.get locals j) v) in
+        let eo = as_obj (index_read av iv) in
+        ost.(sp) <- eo.fields.cells.(field_slot eo s2 m2);
+        loop (pc + 1) (sp + 1)
+    | ILoadFieldBinop2 (i, slots, m, op1, op2) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp - 2) <-
+          binop op2 ost.(sp - 2)
+            (binop op1 ost.(sp - 1) o.fields.cells.(field_slot o slots m));
+        loop (pc + 1) (sp - 1)
+    | IBinopAssignPop (op, ty) ->
+        let v = coerce ty (binop op ost.(sp - 2) ost.(sp - 1)) in
+        loc_write ost.(sp - 3) v;
+        loop (pc + 1) (sp - 3)
+    | ITickThisField (slots, m) ->
+        tick vm;
+        (match frame.this with
+        | Some o -> ost.(sp) <- o.fields.cells.(field_slot o slots m)
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) (sp + 1)
+    | ILoad2FieldBinop (i, j, slots, m, op) ->
+        let o = as_obj (Array.get locals j) in
+        ost.(sp) <-
+          binop op (Array.get locals i) o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) (sp + 1)
+    | ILoadLoadField (i, j, slots, m) ->
+        ost.(sp) <- Array.get locals i;
+        let o = as_obj (Array.get locals j) in
+        ost.(sp + 1) <- o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) (sp + 2)
+    | ILocFieldLoadField (s1, m1, j, s2, m2) ->
+        let o = as_obj ost.(sp - 1) in
+        ost.(sp - 1) <- VPtr (PArr (o.fields, field_slot o s1 m1));
+        let o2 = as_obj (Array.get locals j) in
+        ost.(sp) <- o2.fields.cells.(field_slot o2 s2 m2);
+        loop (pc + 1) (sp + 1)
+    | IStoreTLoadField (i, ty, j, slots, m) ->
+        Array.set locals i (coerce ty ost.(sp - 1));
+        tick vm;
+        let o = as_obj (Array.get locals j) in
+        ost.(sp - 1) <- o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) sp
+    | ITickLoadFieldIndex (a, slots, m, i) ->
+        tick vm;
+        let o = as_obj (Array.get locals a) in
+        let av = o.fields.cells.(field_slot o slots m) in
+        let iv = as_int (Array.get locals i) in
+        ost.(sp) <- index_read av iv;
+        loop (pc + 1) (sp + 1)
+    | ITLFIndexStoreT (a, slots, m, i, x, ty) ->
+        tick vm;
+        let o = as_obj (Array.get locals a) in
+        let av = o.fields.cells.(field_slot o slots m) in
+        let iv = as_int (Array.get locals i) in
+        Array.set locals x (coerce ty (index_read av iv));
+        tick vm;
+        loop (pc + 1) sp
+    | ITickLoadFieldCmpLocFalse (j, slots, m, op, n, t) ->
+        tick vm;
+        let o = as_obj (Array.get locals j) in
+        if cmp_test op o.fields.cells.(field_slot o slots m) (Array.get locals n)
+        then loop (pc + 1) sp
+        else loop t sp
+    | ITickLoadFieldCmpLocFalseT (j, slots, m, op, n, t) ->
+        tick vm;
+        let o = as_obj (Array.get locals j) in
+        if cmp_test op o.fields.cells.(field_slot o slots m) (Array.get locals n)
+        then begin
+          tick vm;
+          loop (pc + 1) sp
+        end
+        else loop t sp
+    | IBinopConstAndFalse (op, v, t) ->
+        if truthy (binop op ost.(sp - 1) v) then loop (pc + 1) (sp - 1)
+        else begin
+          ost.(sp - 1) <- VInt 0;
+          loop t sp
+        end
+    | IJumpIfFalseTPushScope (t, slots) ->
+        if truthy ost.(sp - 1) then begin
+          tick vm;
+          scopes := slots :: !scopes;
+          loop (pc + 1) (sp - 1)
+        end
+        else loop t (sp - 1)
+    | ILoadFieldBinopJumpFalse (i, slots, m, op, t) ->
+        let o = as_obj (Array.get locals i) in
+        if truthy (binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m))
+        then loop (pc + 1) (sp - 1)
+        else loop t (sp - 1)
+    | ILoadFieldBinopJumpFalseT (i, slots, m, op, t) ->
+        let o = as_obj (Array.get locals i) in
+        if truthy (binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m))
+        then begin
+          tick vm;
+          loop (pc + 1) (sp - 1)
+        end
+        else loop t (sp - 1)
+    | IJumpBCCmpFalse (op1, v, op2, t) ->
+        let rhs = binop op1 ost.(sp - 1) v in
+        if cmp_test op2 ost.(sp - 2) rhs then loop (pc + 1) (sp - 2)
+        else loop t (sp - 2)
+    | IJumpBCCmpFalseT (op1, v, op2, t) ->
+        let rhs = binop op1 ost.(sp - 1) v in
+        if cmp_test op2 ost.(sp - 2) rhs then begin
+          tick vm;
+          loop (pc + 1) (sp - 2)
+        end
+        else loop t (sp - 2)
+    | IBinopLoadField (op, j, slots, m) ->
+        ost.(sp - 2) <- binop op ost.(sp - 2) ost.(sp - 1);
+        let o = as_obj (Array.get locals j) in
+        ost.(sp - 1) <- o.fields.cells.(field_slot o slots m);
+        loop (pc + 1) sp
+    | IBinop2 (op1, op2) ->
+        ost.(sp - 3) <-
+          binop op2 ost.(sp - 3) (binop op1 ost.(sp - 2) ost.(sp - 1));
+        loop (pc + 1) (sp - 2)
+    | IThisFieldBinop (slots, m, op) ->
+        (match frame.this with
+        | Some o ->
+            ost.(sp - 1) <-
+              binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m)
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) sp
+    | IFieldBinop2AssignPop (i, slots, m, op1, op2, ty) ->
+        let o = as_obj (Array.get locals i) in
+        let v =
+          coerce ty
+            (binop op2 ost.(sp - 2)
+               (binop op1 ost.(sp - 1) o.fields.cells.(field_slot o slots m)))
+        in
+        loc_write ost.(sp - 3) v;
+        loop (pc + 1) (sp - 3)
+    | IBinop2AssignPop (op1, op2, ty) ->
+        let v =
+          coerce ty
+            (binop op2 ost.(sp - 3) (binop op1 ost.(sp - 2) ost.(sp - 1)))
+        in
+        loc_write ost.(sp - 4) v;
+        loop (pc + 1) (sp - 4)
+    | IConstFieldBinop2 (v, i, slots, m, op1, op2) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp - 1) <-
+          binop op2 ost.(sp - 1)
+            (binop op1 v o.fields.cells.(field_slot o slots m));
+        loop (pc + 1) sp
+    | ILoadLocFieldLoadField (i, slots, m, j, s2, m2) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- VPtr (PArr (o.fields, field_slot o slots m));
+        let o2 = as_obj (Array.get locals j) in
+        ost.(sp + 1) <- o2.fields.cells.(field_slot o2 s2 m2);
+        loop (pc + 1) (sp + 2)
+    | ILoadFieldBCAndFalse (i, slots, m, op, v, t) ->
+        let o = as_obj (Array.get locals i) in
+        if truthy (binop op o.fields.cells.(field_slot o slots m) v) then
+          loop (pc + 1) sp
+        else begin
+          ost.(sp) <- VInt 0;
+          loop t (sp + 1)
+        end
+    | IJumpLocFCmpFalse (i, j, slots, m, op, t) ->
+        let o = as_obj (Array.get locals j) in
+        if cmp_test op (Array.get locals i) o.fields.cells.(field_slot o slots m)
+        then loop (pc + 1) sp
+        else loop t sp
+    | IJumpLocFCmpFalseT (i, j, slots, m, op, t) ->
+        let o = as_obj (Array.get locals j) in
+        if cmp_test op (Array.get locals i) o.fields.cells.(field_slot o slots m)
+        then begin
+          tick vm;
+          loop (pc + 1) sp
+        end
+        else loop t sp
+    | IJumpLL2FBCCmpFalse (i, j, slots, m, op1, v, op2, t) ->
+        let o = as_obj (Array.get locals j) in
+        let rhs = binop op1 o.fields.cells.(field_slot o slots m) v in
+        if cmp_test op2 (Array.get locals i) rhs then loop (pc + 1) sp
+        else loop t sp
+    | IJumpLL2FBCCmpFalseT (i, j, slots, m, op1, v, op2, t) ->
+        let o = as_obj (Array.get locals j) in
+        let rhs = binop op1 o.fields.cells.(field_slot o slots m) v in
+        if cmp_test op2 (Array.get locals i) rhs then begin
+          tick vm;
+          loop (pc + 1) sp
+        end
+        else loop t sp
+    | IScanStep (j, slots, m, op, n, a, s2, m2, bdst, ty, tback) ->
+        tick vm;
+        let o = as_obj (Array.get locals j) in
+        if cmp_test op o.fields.cells.(field_slot o slots m) (Array.get locals n)
+        then begin
+          tick vm;
+          loop (pc + 1) sp
+        end
+        else begin
+          tick vm;
+          let o2 = as_obj (Array.get locals a) in
+          Array.set locals bdst
+            (coerce ty o2.fields.cells.(field_slot o2 s2 m2));
+          loop tback sp
+        end
+    | ILoopScan (x, op0, v0, texit0, j, slots, m, op, n, a, s2, m2, bdst, ty)
+      ->
+        let rec scan () =
+          if cmp_test op0 (Array.get locals x) v0 then begin
+            tick vm;
+            tick vm;
+            let o = as_obj (Array.get locals j) in
+            if
+              cmp_test op
+                o.fields.cells.(field_slot o slots m)
+                (Array.get locals n)
+            then begin
+              tick vm;
+              -1
+            end
+            else begin
+              tick vm;
+              let o2 = as_obj (Array.get locals a) in
+              Array.set locals bdst
+                (coerce ty o2.fields.cells.(field_slot o2 s2 m2));
+              scan ()
+            end
+          end
+          else texit0
+        in
+        let t = scan () in
+        if t >= 0 then loop t sp else loop (pc + 2) sp
+  in
+  if not b.b_scoped then loop start 0
+  else
+    try loop start 0
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      let e = unwind_exn vm locals scopes e in
+      Printexc.raise_with_backtrace e bt
+
+(* -- entry points -------------------------------------------------------------- *)
+
+let make_vm ?(dead = Member.Set.empty) ~step_limit ~call_depth_limit
+    ~heap_object_limit (cp : cprogram) : vm =
+  let rp = cp.cp_rp in
+  {
+    cp;
+    funcs = cp.cp_funcs;
+    classes = rp.rp_classes;
+    destroy = cp.cp_destroy;
+    profile = Profile.create ~dead rp.rp_table;
+    globals =
+      { arr_id = -1; cells = Array.make (Array.length rp.rp_globals) VUnit };
+    statics = { arr_id = -1; cells = Array.map default_value rp.rp_static_tys };
+    output = Buffer.create 256;
+    obj_counter = 0;
+    steps = 0;
+    step_limit = max 1 step_limit;
+    call_depth = 0;
+    max_call_depth = 0;
+    call_depth_limit = max 1 call_depth_limit;
+    heap_object_limit = max 1 heap_object_limit;
+  }
+
+let execute (vm : vm) : value =
+  let cp = vm.cp in
+  let rp = cp.cp_rp in
+  (* native resource exhaustion becomes a structured limit error, as in
+     the tree engine *)
+  try
+    (* globals, in declaration order *)
+    Array.iteri
+      (fun i (g : rglobal) ->
+        vm.globals.cells.(i) <-
+          (match cp.cp_ginit.(i) with
+          | Some body ->
+              coerce g.rg_coerce (exec_code vm (mk_frame 0 None) body 0)
+          | None -> default_value g.rg_default))
+      rp.rp_globals;
+    (try call_function vm rp.rp_main ~this:None empty_vals 0 0
+     with Abort_called -> VInt 134)
+  with
+  | Stack_overflow ->
+      limit_exceeded "interpreter stack exhausted (call depth limit %d)"
+        vm.call_depth_limit
+  | Out_of_memory ->
+      limit_exceeded "interpreter heap exhausted (object limit %d)"
+        vm.heap_object_limit
+
+let output vm = Buffer.contents vm.output
+let steps vm = vm.steps
+let allocations vm = vm.obj_counter
+let max_call_depth vm = vm.max_call_depth
+let profile vm = vm.profile

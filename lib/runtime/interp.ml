@@ -27,31 +27,7 @@ open Resolve
 exception Return_exc of value
 exception Break_exc
 exception Continue_exc
-exception Abort_called
-
-(* An lvalue location: a slot of some backing array (frame, object,
-   globals, statics, or a program array), or a raw cell reached through
-   a legacy [PCell] pointer. *)
-type location = LRef of value ref | LSlot of harray * int
-
-let read_loc = function LRef r -> !r | LSlot (h, i) -> h.cells.(i)
-
-let write_loc loc v =
-  match loc with LRef r -> r := v | LSlot (h, i) -> h.cells.(i) <- v
-
-(* Pointers made from locations always carry [arr_id = -1], exactly as
-   the scope-chain interpreter's [ptr_of_loc] did: a pointer *into* a
-   heap array is not the allocation itself, so [free] through it never
-   journals a free. *)
-let ptr_of_loc = function
-  | LRef r -> VPtr (PCell r)
-  | LSlot (h, i) ->
-      VPtr (PArr ((if h.arr_id = -1 then h else { arr_id = -1; cells = h.cells }), i))
-
-type frame = { locals : harray; this : obj option }
-
-let mk_frame nslots this =
-  { locals = { arr_id = -1; cells = Array.make nslots VUnit }; this }
+exception Abort_called = Value.Abort_called
 
 type env = {
   rp : rprogram;
@@ -86,46 +62,12 @@ let tick env =
 
 (* -- objects ------------------------------------------------------------------- *)
 
-(* A fresh object of interned class [cid]: the member store is the
-   class's default template, with array-typed slots rebuilt so every
-   object owns its element cells. [cid] is negative only for classes
-   absent from the table (their constructor then fails before the object
-   escapes). *)
-let new_obj env cid cls id : obj =
-  if cid < 0 then
-    { obj_id = id; obj_class = cls; obj_cid = cid; fields = { arr_id = -1; cells = [||] } }
-  else begin
-    let ci = env.classes.(cid) in
-    let cells = Array.copy ci.ci_template in
-    Array.iter
-      (fun (slot, ty) -> cells.(slot) <- default_value ty)
-      ci.ci_fresh;
-    { obj_id = id; obj_class = ci.ci_name; obj_cid = cid; fields = { arr_id = -1; cells } }
-  end
-
-(* Slot of member [m] in [o], from the access site's per-class table.
-   [-1] (or an object of an unknown class) means objects of this dynamic
-   class have no such member. *)
-let field_slot (o : obj) (slots : slots_by_class) (m : Member.t) : int =
-  let cid = o.obj_cid in
-  let s = if cid >= 0 && cid < Array.length slots then slots.(cid) else -1 in
-  if s >= 0 then s
-  else
-    runtime_error "object of class %s has no member %s" o.obj_class
-      (Member.to_string m)
-
-(* Member-pointer accesses carry the member only as a runtime value, so
-   they go through the class's slot table instead of a per-site array. *)
+(* Object construction and slot lookup are shared with the bytecode VM;
+   see [Resolve.new_obj_of] / [Resolve.field_slot] /
+   [Resolve.memptr_slot_of]. *)
+let new_obj env cid cls id : obj = new_obj_of env.classes cid cls id
 let memptr_slot env (o : obj) (m : Member.t) : int =
-  let s =
-    if o.obj_cid < 0 then None
-    else Hashtbl.find_opt env.classes.(o.obj_cid).ci_slot m
-  in
-  match s with
-  | Some s -> s
-  | None ->
-      runtime_error "object of class %s has no member %s" o.obj_class
-        (Member.to_string m)
+  memptr_slot_of env.classes o m
 
 (* -- evaluation ----------------------------------------------------------------- *)
 
@@ -147,15 +89,7 @@ let rec eval env frame (e : rexpr) : value =
       match frame.this with
       | Some o -> VPtr (PObj o)
       | None -> runtime_error "'this' outside a method")
-  | RUnary (op, a) -> (
-      let v = eval env frame a in
-      match (op, v) with
-      | Ast.Neg, VInt n -> VInt (-n)
-      | Ast.Neg, VFloat f -> VFloat (-.f)
-      | Ast.UPlus, v -> v
-      | Ast.Not, v -> VInt (if truthy v then 0 else 1)
-      | Ast.BitNot, VInt n -> VInt (lnot n)
-      | _ -> runtime_error "invalid unary operand")
+  | RUnary (op, a) -> unary op (eval env frame a)
   | RBinary (op, a, b) -> eval_binary env frame op a b
   | RAssign (lhs, rhs, ty) ->
       let loc = eval_lval env frame lhs in
@@ -280,80 +214,6 @@ and eval_binary env frame op a b =
       | Ast.BXor | Ast.Shl | Ast.Shr ->
           arith op va vb
       | Ast.LAnd | Ast.LOr -> assert false)
-
-and compare_values op va vb =
-  let cmp =
-    match (va, vb) with
-    | VInt x, VInt y -> compare x y
-    | VFloat x, VFloat y -> compare x y
-    | VInt x, VFloat y -> compare (float_of_int x) y
-    | VFloat x, VInt y -> compare x (float_of_int y)
-    | VPtr (PArr (h1, i)), VPtr (PArr (h2, j)) when h1.cells == h2.cells ->
-        compare i j
-    | _ -> runtime_error "invalid comparison operands"
-  in
-  let r =
-    match op with
-    | Ast.Lt -> cmp < 0
-    | Ast.Gt -> cmp > 0
-    | Ast.Le -> cmp <= 0
-    | Ast.Ge -> cmp >= 0
-    | _ -> assert false
-  in
-  VInt (if r then 1 else 0)
-
-and arith op va vb =
-  match (va, vb) with
-  | VPtr (PArr (h, i)), VInt n -> (
-      match op with
-      | Ast.Add -> VPtr (PArr (h, i + n))
-      | Ast.Sub -> VPtr (PArr (h, i - n))
-      | _ -> runtime_error "invalid pointer arithmetic")
-  | VInt n, VPtr (PArr (h, i)) when op = Ast.Add -> VPtr (PArr (h, i + n))
-  | VPtr (PArr (h1, i)), VPtr (PArr (h2, j))
-    when op = Ast.Sub && h1.cells == h2.cells ->
-      VInt (i - j)
-  | VFloat _, _ | _, VFloat _ -> (
-      let x = as_float va and y = as_float vb in
-      match op with
-      | Ast.Add -> VFloat (x +. y)
-      | Ast.Sub -> VFloat (x -. y)
-      | Ast.Mul -> VFloat (x *. y)
-      | Ast.Div ->
-          if y = 0.0 then runtime_error "floating division by zero"
-          else VFloat (x /. y)
-      | _ -> runtime_error "invalid floating operands")
-  | _ -> (
-      let x = as_int va and y = as_int vb in
-      match op with
-      | Ast.Add -> VInt (x + y)
-      | Ast.Sub -> VInt (x - y)
-      | Ast.Mul -> VInt (x * y)
-      | Ast.Div -> if y = 0 then runtime_error "division by zero" else VInt (x / y)
-      | Ast.Mod -> if y = 0 then runtime_error "modulo by zero" else VInt (x mod y)
-      | Ast.BAnd -> VInt (x land y)
-      | Ast.BOr -> VInt (x lor y)
-      | Ast.BXor -> VInt (x lxor y)
-      | Ast.Shl -> VInt (x lsl y)
-      | Ast.Shr -> VInt (x asr y)
-      | _ -> assert false)
-
-and compound_op op old rv ty =
-  let binop =
-    match op with
-    | Ast.AddAssign -> Ast.Add
-    | Ast.SubAssign -> Ast.Sub
-    | Ast.MulAssign -> Ast.Mul
-    | Ast.DivAssign -> Ast.Div
-    | Ast.ModAssign -> Ast.Mod
-    | Ast.AndAssign -> Ast.BAnd
-    | Ast.OrAssign -> Ast.BOr
-    | Ast.XorAssign -> Ast.BXor
-    | Ast.ShlAssign -> Ast.Shl
-    | Ast.ShrAssign -> Ast.Shr
-    | Ast.Assign -> assert false
-  in
-  coerce ty (arith binop old rv)
 
 and eval_lval env frame (lv : rlval) : location =
   match lv with
@@ -801,9 +661,46 @@ type outcome = {
   steps : int;
 }
 
+type engine = Tree | Bytecode
+
 let default_step_limit = 200_000_000
 let default_call_depth_limit = 10_000
 let default_heap_object_limit = 10_000_000
+
+(* -- lowering cache ----------------------------------------------------------
+
+   Resolution and bytecode compilation are pure functions of the typed
+   program, so repeated [run]s of the same program (bench sampling, the
+   dead-vs-live differential, REPL-style reuse) share one lowering.
+   Keyed by physical identity of the typed program through ephemerons,
+   so a cached entry never outlives its program; the small FIFO cap
+   bounds the list walk. A mutex makes the cache safe under the
+   domains-parallel batch pipeline. *)
+
+type lowered = {
+  lo_rp : rprogram;
+  mutable lo_bc : Bytecode.cprogram option;  (* compiled on first VM run *)
+}
+
+let lower_mutex = Mutex.create ()
+let lower_cache : (program, lowered) Ephemeron.K1.t list ref = ref []
+let lower_cache_cap = 32
+
+let lower ~need_bc (p : program) : lowered =
+  Mutex.protect lower_mutex @@ fun () ->
+  let lo =
+    match List.find_map (fun e -> Ephemeron.K1.query e p) !lower_cache with
+    | Some lo -> lo
+    | None ->
+        let lo = { lo_rp = Resolve.program p; lo_bc = None } in
+        let keep = List.filteri (fun i _ -> i < lower_cache_cap - 1) !lower_cache in
+        lower_cache := Ephemeron.K1.make p lo :: keep;
+        lo
+  in
+  (match lo.lo_bc with
+  | Some _ -> ()
+  | None -> if need_bc then lo.lo_bc <- Some (Bytecode.compile lo.lo_rp));
+  lo
 
 (* telemetry instruments (no-ops unless collection is enabled); the
    per-step hot path is untouched — totals are recorded once per run.
@@ -818,11 +715,10 @@ let objects_pct_gauge = Telemetry.Gauge.make "interp.guard.objects_used_pct"
 
 let pct_of used limit = if limit <= 0 then 0 else used * 100 / limit
 
-let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
-    ?(call_depth_limit = default_call_depth_limit)
-    ?(heap_object_limit = default_heap_object_limit) (p : program) : outcome =
+let run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit
+    (p : program) : outcome =
   Telemetry.Span.with_ "interp" @@ fun () ->
-  let rp = Resolve.program p in
+  let rp = (lower ~need_bc:false p).lo_rp in
   let env =
     {
       rp;
@@ -893,3 +789,52 @@ let run ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
     snapshot = Profile.snapshot ~limits env.profile;
     steps = env.steps;
   }
+
+(* The bytecode engine: same observable contract, run through the flat
+   VM. Telemetry totals and guard proximity are recorded even when a
+   limit aborts the run, exactly as in the tree engine. *)
+let run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
+    (p : program) : outcome =
+  Telemetry.Span.with_ "interp" @@ fun () ->
+  let lo = lower ~need_bc:true p in
+  let cp = match lo.lo_bc with Some cp -> cp | None -> assert false in
+  let step_limit = max 1 step_limit in
+  let call_depth_limit = max 1 call_depth_limit in
+  let heap_object_limit = max 1 heap_object_limit in
+  let vm =
+    Bytecode.make_vm ~dead ~step_limit ~call_depth_limit ~heap_object_limit cp
+  in
+  let record_telemetry () =
+    Telemetry.Counter.incr runs_counter;
+    Telemetry.Counter.add steps_counter (Bytecode.steps vm);
+    Telemetry.Counter.add allocs_counter (Bytecode.allocations vm);
+    Telemetry.Gauge.set step_pct_gauge (pct_of (Bytecode.steps vm) step_limit);
+    Telemetry.Gauge.set depth_pct_gauge
+      (pct_of (Bytecode.max_call_depth vm) call_depth_limit);
+    Telemetry.Gauge.set objects_pct_gauge
+      (pct_of (Bytecode.allocations vm) heap_object_limit)
+  in
+  Fun.protect ~finally:record_telemetry @@ fun () ->
+  let ret = Bytecode.execute vm in
+  let limits =
+    {
+      Profile.l_step_limit = step_limit;
+      l_call_depth_limit = call_depth_limit;
+      l_heap_object_limit = heap_object_limit;
+    }
+  in
+  {
+    return_value = (match ret with VInt n -> n | _ -> 0);
+    output = Bytecode.output vm;
+    snapshot = Profile.snapshot ~limits (Bytecode.profile vm);
+    steps = Bytecode.steps vm;
+  }
+
+let run ?(engine = Bytecode) ?(dead = Member.Set.empty)
+    ?(step_limit = default_step_limit)
+    ?(call_depth_limit = default_call_depth_limit)
+    ?(heap_object_limit = default_heap_object_limit) (p : program) : outcome =
+  match engine with
+  | Tree -> run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit p
+  | Bytecode ->
+      run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit p

@@ -30,6 +30,14 @@ type outcome = {
   steps : int;  (** interpreter steps consumed *)
 }
 
+(** Execution engine. [Bytecode] (the default) lowers the resolved IR
+    once through {!Bytecode.compile} and runs the flat stack-machine VM;
+    [Tree] is the resolved-tree walker, kept as an escape hatch (and
+    differential oracle). Both produce identical observable outcomes —
+    output, return value, steps, allocations, snapshot, errors — pinned
+    by [test/test_bytecode.ml]. *)
+type engine = Tree | Bytecode
+
 val default_step_limit : int
 val default_call_depth_limit : int
 val default_heap_object_limit : int
@@ -49,6 +57,7 @@ val default_heap_object_limit : int
     division by zero, out-of-bounds access…).
     @raise Value.Limit_exceeded when a resource limit is hit. *)
 val run :
+  ?engine:engine ->
   ?dead:Member.Set.t ->
   ?step_limit:int ->
   ?call_depth_limit:int ->

@@ -938,3 +938,50 @@ let program (p : program) : rprogram =
     rp_static_tys = Array.of_list (List.rev ctx.static_tys);
     rp_main;
   }
+
+(* -- runtime object helpers ----------------------------------------------------
+
+   Shared by both execution engines (the tree-walker in [Interp] and the
+   bytecode VM in [Bytecode]); they only need the resolved class array,
+   not an engine's environment. *)
+
+(* A fresh object of interned class [cid]: the member store is the
+   class's default template, with array-typed slots rebuilt so every
+   object owns its element cells. [cid] is negative only for classes
+   absent from the table (their constructor then fails before the object
+   escapes). *)
+let new_obj_of (classes : class_info array) cid cls id : obj =
+  if cid < 0 then
+    { obj_id = id; obj_class = cls; obj_cid = cid; fields = { arr_id = -1; cells = [||] } }
+  else begin
+    let ci = classes.(cid) in
+    let cells = Array.copy ci.ci_template in
+    Array.iter
+      (fun (slot, ty) -> cells.(slot) <- default_value ty)
+      ci.ci_fresh;
+    { obj_id = id; obj_class = ci.ci_name; obj_cid = cid; fields = { arr_id = -1; cells } }
+  end
+
+(* Slot of member [m] in [o], from the access site's per-class table.
+   [-1] (or an object of an unknown class) means objects of this dynamic
+   class have no such member. *)
+let field_slot (o : obj) (slots : slots_by_class) (m : Member.t) : int =
+  let cid = o.obj_cid in
+  let s = if cid >= 0 && cid < Array.length slots then slots.(cid) else -1 in
+  if s >= 0 then s
+  else
+    runtime_error "object of class %s has no member %s" o.obj_class
+      (Member.to_string m)
+
+(* Member-pointer accesses carry the member only as a runtime value, so
+   they go through the class's slot table instead of a per-site array. *)
+let memptr_slot_of (classes : class_info array) (o : obj) (m : Member.t) : int =
+  let s =
+    if o.obj_cid < 0 then None
+    else Hashtbl.find_opt classes.(o.obj_cid).ci_slot m
+  in
+  match s with
+  | Some s -> s
+  | None ->
+      runtime_error "object of class %s has no member %s" o.obj_class
+        (Member.to_string m)

@@ -50,6 +50,20 @@ exception Limit_exceeded of string
 let runtime_error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
 let limit_exceeded fmt = Fmt.kstr (fun m -> raise (Limit_exceeded m)) fmt
 
+(* Shared [VInt] blocks for the values the interpreted programs actually
+   produce (loop counters, flags, small arithmetic): [VInt] is immutable,
+   so sharing one block per small integer is unobservable, and it keeps
+   the hot arithmetic/comparison paths of both engines off the minor
+   heap. *)
+let vint_cache = Array.init 1281 (fun i -> VInt (i - 256))
+
+let[@inline] vint n =
+  if n >= -256 && n <= 1024 then Array.unsafe_get vint_cache (n + 256)
+  else VInt n
+
+let vtrue = VInt 1
+let vfalse = VInt 0
+
 (* Truthiness for conditions. *)
 let truthy = function
   | VInt n -> n <> 0
@@ -124,15 +138,139 @@ let rec default_value (ty : Frontend.Ast.type_expr) : value =
    conversions on assignment and argument passing. *)
 let coerce (ty : Frontend.Ast.type_expr) (v : value) : value =
   match (ty, v) with
-  | (Frontend.Ast.TInt | Frontend.Ast.TLong), VFloat f -> VInt (int_of_float f)
-  | Frontend.Ast.TChar, VInt n -> VInt (n land 255)
-  | Frontend.Ast.TChar, VFloat f -> VInt (int_of_float f land 255)
-  | Frontend.Ast.TBool, VInt n -> VInt (if n <> 0 then 1 else 0)
-  | Frontend.Ast.TBool, VFloat f -> VInt (if f <> 0.0 then 1 else 0)
+  | (Frontend.Ast.TInt | Frontend.Ast.TLong), VFloat f -> vint (int_of_float f)
+  | Frontend.Ast.TChar, VInt n -> vint (n land 255)
+  | Frontend.Ast.TChar, VFloat f -> vint (int_of_float f land 255)
+  | Frontend.Ast.TBool, VInt n -> if n <> 0 then vtrue else vfalse
+  | Frontend.Ast.TBool, VFloat f -> if f <> 0.0 then vtrue else vfalse
   | (Frontend.Ast.TFloat | Frontend.Ast.TDouble), VInt n -> VFloat (float_of_int n)
   | Frontend.Ast.TPtr _, VArr h -> VPtr (PArr (h, 0))  (* array decay *)
   | Frontend.Ast.TPtr _, VObj o -> VPtr (PObj o)
   | _ -> v
+
+(* -- lvalue locations ----------------------------------------------------------
+
+   Shared by both execution engines (the tree-walker and the bytecode
+   VM): an lvalue location is a slot of some backing array (frame,
+   object, globals, statics, or a program array), or a raw cell reached
+   through a legacy [PCell] pointer. *)
+
+type location = LRef of value ref | LSlot of harray * int
+
+let read_loc = function LRef r -> !r | LSlot (h, i) -> h.cells.(i)
+
+let write_loc loc v =
+  match loc with LRef r -> r := v | LSlot (h, i) -> h.cells.(i) <- v
+
+(* Pointers made from locations always carry [arr_id = -1], exactly as
+   the scope-chain interpreter's [ptr_of_loc] did: a pointer *into* a
+   heap array is not the allocation itself, so [free] through it never
+   journals a free. *)
+let ptr_of_loc = function
+  | LRef r -> VPtr (PCell r)
+  | LSlot (h, i) ->
+      VPtr (PArr ((if h.arr_id = -1 then h else { arr_id = -1; cells = h.cells }), i))
+
+(* A call frame: flat slot-addressed locals plus the receiver. *)
+type frame = { locals : harray; this : obj option }
+
+let mk_frame nslots this =
+  { locals = { arr_id = -1; cells = Array.make nslots VUnit }; this }
+
+(* Raised by the [abort()] builtin; intercepted at the interpreter entry
+   point, where it becomes exit status 134. *)
+exception Abort_called
+
+(* -- operator semantics ----------------------------------------------------------
+
+   One copy of the arithmetic/comparison/unary semantics, shared by both
+   engines so error strings and edge cases cannot drift. *)
+
+let unary op v =
+  match (op, v) with
+  | Frontend.Ast.Neg, VInt n -> vint (-n)
+  | Frontend.Ast.Neg, VFloat f -> VFloat (-.f)
+  | Frontend.Ast.UPlus, v -> v
+  | Frontend.Ast.Not, v -> if truthy v then vfalse else vtrue
+  | Frontend.Ast.BitNot, VInt n -> vint (lnot n)
+  | _ -> runtime_error "invalid unary operand"
+
+(* The boolean result of a relational operator ([<] [>] [<=] [>=]). *)
+let compare_test op va vb =
+  let cmp =
+    match (va, vb) with
+    | VInt x, VInt y -> compare x y
+    | VFloat x, VFloat y -> compare x y
+    | VInt x, VFloat y -> compare (float_of_int x) y
+    | VFloat x, VInt y -> compare x (float_of_int y)
+    | VPtr (PArr (h1, i)), VPtr (PArr (h2, j)) when h1.cells == h2.cells ->
+        compare i j
+    | _ -> runtime_error "invalid comparison operands"
+  in
+  match op with
+  | Frontend.Ast.Lt -> cmp < 0
+  | Frontend.Ast.Gt -> cmp > 0
+  | Frontend.Ast.Le -> cmp <= 0
+  | Frontend.Ast.Ge -> cmp >= 0
+  | _ -> assert false
+
+let compare_values op va vb = if compare_test op va vb then vtrue else vfalse
+
+let arith op va vb =
+  match (va, vb) with
+  | VPtr (PArr (h, i)), VInt n -> (
+      match op with
+      | Frontend.Ast.Add -> VPtr (PArr (h, i + n))
+      | Frontend.Ast.Sub -> VPtr (PArr (h, i - n))
+      | _ -> runtime_error "invalid pointer arithmetic")
+  | VInt n, VPtr (PArr (h, i)) when op = Frontend.Ast.Add ->
+      VPtr (PArr (h, i + n))
+  | VPtr (PArr (h1, i)), VPtr (PArr (h2, j))
+    when op = Frontend.Ast.Sub && h1.cells == h2.cells ->
+      vint (i - j)
+  | VFloat _, _ | _, VFloat _ -> (
+      let x = as_float va and y = as_float vb in
+      match op with
+      | Frontend.Ast.Add -> VFloat (x +. y)
+      | Frontend.Ast.Sub -> VFloat (x -. y)
+      | Frontend.Ast.Mul -> VFloat (x *. y)
+      | Frontend.Ast.Div ->
+          if y = 0.0 then runtime_error "floating division by zero"
+          else VFloat (x /. y)
+      | _ -> runtime_error "invalid floating operands")
+  | _ -> (
+      let x = as_int va and y = as_int vb in
+      match op with
+      | Frontend.Ast.Add -> vint (x + y)
+      | Frontend.Ast.Sub -> vint (x - y)
+      | Frontend.Ast.Mul -> vint (x * y)
+      | Frontend.Ast.Div ->
+          if y = 0 then runtime_error "division by zero" else vint (x / y)
+      | Frontend.Ast.Mod ->
+          if y = 0 then runtime_error "modulo by zero" else vint (x mod y)
+      | Frontend.Ast.BAnd -> vint (x land y)
+      | Frontend.Ast.BOr -> vint (x lor y)
+      | Frontend.Ast.BXor -> vint (x lxor y)
+      | Frontend.Ast.Shl -> vint (x lsl y)
+      | Frontend.Ast.Shr -> vint (x asr y)
+      | _ -> assert false)
+
+let compound_op op old rv ty =
+  let binop =
+    match op with
+    | Frontend.Ast.AddAssign -> Frontend.Ast.Add
+    | Frontend.Ast.SubAssign -> Frontend.Ast.Sub
+    | Frontend.Ast.MulAssign -> Frontend.Ast.Mul
+    | Frontend.Ast.DivAssign -> Frontend.Ast.Div
+    | Frontend.Ast.ModAssign -> Frontend.Ast.Mod
+    | Frontend.Ast.AndAssign -> Frontend.Ast.BAnd
+    | Frontend.Ast.OrAssign -> Frontend.Ast.BOr
+    | Frontend.Ast.XorAssign -> Frontend.Ast.BXor
+    | Frontend.Ast.ShlAssign -> Frontend.Ast.Shl
+    | Frontend.Ast.ShrAssign -> Frontend.Ast.Shr
+    | Frontend.Ast.Assign -> assert false
+  in
+  coerce ty (arith binop old rv)
 
 let pp_value ppf = function
   | VUnit -> Fmt.string ppf "void"

@@ -18,6 +18,9 @@
    - [reset] clears recorded values but keeps registrations, so one
      process can measure several independent runs (the bench harness
      resets between benchmarks);
+   - instruments are domain-safe: counters and gauges are [Atomic]
+     cells and the span journal is mutex-protected, so parallel batch
+     analysis ([deadmem check --jobs]) records correct totals;
    - the [DEADMEM_TELEMETRY] environment variable force-enables
      collection at load time, for harnesses that cannot pass a flag
      through (e.g. timing [dune runtest] with instrumentation live). *)
@@ -37,48 +40,62 @@ let now_us () = Unix.gettimeofday () *. 1e6
 
 (* -- counters ----------------------------------------------------------------- *)
 
+(* Registration happens at module initialisation, but spawned domains
+   may race a late [make] against another domain's: one lock covers both
+   registries. *)
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 module Counter = struct
-  type t = { name : string; mutable value : int }
+  type t = { name : string; value : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
+    with_registry @@ fun () ->
     match Hashtbl.find_opt registry name with
     | Some c -> c
     | None ->
-        let c = { name; value = 0 } in
+        let c = { name; value = Atomic.make 0 } in
         Hashtbl.add registry name c;
         c
 
   (* monotone: negative deltas are ignored rather than subtracted *)
-  let add c n = if !enabled_flag && n > 0 then c.value <- c.value + n
-  let incr c = if !enabled_flag then c.value <- c.value + 1
-  let value c = c.value
+  let add c n =
+    if !enabled_flag && n > 0 then ignore (Atomic.fetch_and_add c.value n)
+
+  let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.value 1)
+  let value c = Atomic.get c.value
   let name c = c.name
 end
 
 (* -- gauges ------------------------------------------------------------------- *)
 
 module Gauge = struct
-  type t = { name : string; mutable value : int; mutable touched : bool }
+  (* last-writer-wins across domains; [touched] flips monotonically *)
+  type t = { name : string; value : int Atomic.t; touched : bool Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
   let make name =
+    with_registry @@ fun () ->
     match Hashtbl.find_opt registry name with
     | Some g -> g
     | None ->
-        let g = { name; value = 0; touched = false } in
+        let g = { name; value = Atomic.make 0; touched = Atomic.make false } in
         Hashtbl.add registry name g;
         g
 
   let set g v =
     if !enabled_flag then begin
-      g.value <- v;
-      g.touched <- true
+      Atomic.set g.value v;
+      Atomic.set g.touched true
     end
 
-  let value g = g.value
+  let value g = Atomic.get g.value
   let name g = g.name
 end
 
@@ -96,21 +113,29 @@ module Span = struct
 
   type t = { name : string; start_us : float; depth : int; live : bool }
 
+  (* the journal is shared across domains; [journal_mutex] covers both
+     the list and the nesting depth *)
   let completed_rev : completed list ref = ref []
   let cur_depth = ref 0
+  let journal_mutex = Mutex.create ()
+
+  let locked f =
+    Mutex.lock journal_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock journal_mutex) f
 
   let disabled = { name = ""; start_us = 0.0; depth = 0; live = false }
 
   let enter name =
     if not !enabled_flag then disabled
-    else begin
+    else
+      locked @@ fun () ->
       let s = { name; start_us = now_us (); depth = !cur_depth; live = true } in
       incr cur_depth;
       s
-    end
 
   let exit s =
-    if s.live then begin
+    if s.live then
+      locked @@ fun () ->
       decr cur_depth;
       completed_rev :=
         {
@@ -120,7 +145,6 @@ module Span = struct
           sp_depth = s.depth;
         }
         :: !completed_rev
-    end
 
   let with_ name f =
     let s = enter name in
@@ -128,7 +152,7 @@ module Span = struct
 
   (* completed spans in chronological (entry-order) … exit order is fine
      for trace export, which sorts by timestamp anyway *)
-  let completed () = List.rev !completed_rev
+  let completed () = locked @@ fun () -> List.rev !completed_rev
 end
 
 (* -- snapshots ----------------------------------------------------------------- *)
@@ -138,25 +162,33 @@ let sorted_bindings registry value =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counters () =
-  sorted_bindings Counter.registry (fun c -> c.Counter.value)
+  with_registry (fun () ->
+      sorted_bindings Counter.registry (fun c -> Atomic.get c.Counter.value))
   |> List.filter (fun (_, v) -> v > 0)
 
 let gauges () =
-  Hashtbl.fold
-    (fun name (g : Gauge.t) acc ->
-      if g.Gauge.touched then (name, g.Gauge.value) :: acc else acc)
-    Gauge.registry []
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun name (g : Gauge.t) acc ->
+          if Atomic.get g.Gauge.touched then
+            (name, Atomic.get g.Gauge.value) :: acc
+          else acc)
+        Gauge.registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
-  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.value <- 0) Counter.registry;
-  Hashtbl.iter
-    (fun _ (g : Gauge.t) ->
-      g.Gauge.value <- 0;
-      g.Gauge.touched <- false)
-    Gauge.registry;
-  Span.completed_rev := [];
-  Span.cur_depth := 0
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ (c : Counter.t) -> Atomic.set c.Counter.value 0)
+        Counter.registry;
+      Hashtbl.iter
+        (fun _ (g : Gauge.t) ->
+          Atomic.set g.Gauge.value 0;
+          Atomic.set g.Gauge.touched false)
+        Gauge.registry);
+  Span.locked (fun () ->
+      Span.completed_rev := [];
+      Span.cur_depth := 0)
 
 (* -- JSON rendering ------------------------------------------------------------ *)
 

@@ -11,6 +11,7 @@ let () =
       ("liveness", Test_liveness.suite);
       ("interp", Test_interp.suite);
       ("resolve", Test_resolve.suite);
+      ("bytecode", Test_bytecode.suite);
       ("profile", Test_profile.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("eliminate", Test_eliminate.suite);
