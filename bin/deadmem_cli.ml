@@ -303,7 +303,14 @@ let explain_cmd =
 let check_cmd =
   (* Renders one file's full report into [(status, stdout, stderr)]
      instead of printing, so the parallel path can emit results in input
-     order, byte-identical to a sequential run. *)
+     order, byte-identical to a sequential run.
+
+     The front half runs through the content-addressed [Server.Cache]
+     shared with the serve daemon: a batch containing the same
+     translation unit twice parses, checks and analyzes it once (the
+     [server.source_cache.*] / [server.analysis_cache.*] counters record
+     the hits), and the cached rendered diagnostics keep the output
+     byte-identical to an uncached run. *)
   let check_one ~format ~alg file =
     let out = Buffer.create 256 and err = Buffer.create 64 in
     let pr fmt = Fmt.pf (Fmt.with_buffer out) fmt
@@ -319,29 +326,41 @@ let check_cmd =
         else epr "%s: error: %s@." file m;
         `Io
     | src ->
-        let diags = Frontend.Source.Diagnostics.create () in
-        let analysis =
+        let entry =
           (* a failure here is a bug in the pipeline, not in the input;
-             report it as this file's result and keep the batch going *)
-          match Sema.Type_check.check_source_resilient ~file ~diags src with
-          | prog, unknown -> Some (prog, unknown)
-          | exception e ->
-              Frontend.Source.Diagnostics.error diags "internal error: %s"
-                (Printexc.to_string e);
-              None
+             report it as this file's result and keep the batch going
+             (crashed pipelines are never cached) *)
+          match Server.Cache.get ~file src with
+          | e, _hit -> Ok e
+          | exception e -> Error (Printexc.to_string e)
         in
-        let unknown = match analysis with Some (_, u) -> u | None -> [] in
-        let module D = Frontend.Source.Diagnostics in
+        let errors, suppressed, unknown, diags, diag_text =
+          match entry with
+          | Ok e ->
+              ( e.Server.Cache.e_errors,
+                e.Server.Cache.e_suppressed,
+                e.Server.Cache.e_unknown,
+                e.Server.Cache.e_diags,
+                e.Server.Cache.e_diag_text )
+          | Error m ->
+              let d = Frontend.Source.Diagnostics.create () in
+              Frontend.Source.Diagnostics.error d "internal error: %s" m;
+              ( Frontend.Source.Diagnostics.error_count d,
+                Frontend.Source.Diagnostics.suppressed_count d,
+                [],
+                Frontend.Source.Diagnostics.to_list d,
+                Fmt.str "%a" Frontend.Source.Diagnostics.pp d )
+        in
         (* dead-member summary for clean files, under the requested
            call-graph tier; analysis failures degrade to "no summary"
            rather than failing the batch *)
         let dead_count =
-          match analysis with
-          | Some (prog, unknown) when not (D.has_errors diags) -> (
+          match entry with
+          | Ok e when errors = 0 -> (
               let config =
                 config_of ~alg ~conservative:false ~library_classes:[]
               in
-              match Deadmem.Liveness.analyze ~config ~unknown prog with
+              match Server.Cache.analyze e ~config with
               | r -> Some (List.length (Deadmem.Liveness.dead_members r))
               | exception _ -> None)
           | _ -> None
@@ -350,16 +369,14 @@ let check_cmd =
           pr
             {|{"file":"%s","ok":%b,"errors":%d,"suppressed":%d,"unknown_regions":%d,"callgraph":"%s","dead_members":%s,"diagnostics":[%s]}@.|}
             (Frontend.Source.json_escape file)
-            (not (D.has_errors diags))
-            (D.error_count diags) (D.suppressed_count diags)
-            (List.length unknown)
+            (errors = 0) errors suppressed (List.length unknown)
             (Callgraph.algorithm_to_string alg)
             (match dead_count with Some n -> string_of_int n | None -> "null")
             (String.concat ","
-               (List.map Frontend.Source.diagnostic_to_json (D.to_list diags)))
-        else if D.has_errors diags then begin
-          pr "%a" D.pp diags;
-          pr "%s: %d error(s)@." file (D.error_count diags)
+               (List.map Frontend.Source.diagnostic_to_json diags))
+        else if errors > 0 then begin
+          pr "%s" diag_text;
+          pr "%s: %d error(s)@." file errors
         end
         else begin
           match dead_count with
@@ -369,7 +386,7 @@ let check_cmd =
                 (Callgraph.algorithm_to_string alg)
           | None -> pr "%s: ok@." file
         end;
-        if D.has_errors diags then `Diagnostics else `Ok
+        if errors > 0 then `Diagnostics else `Ok
     in
     (status, Buffer.contents out, Buffer.contents err)
   in
@@ -641,6 +658,103 @@ let precision_cmd =
   in
   Cmd.v (Cmd.info "precision" ~doc) Term.(const run $ format_arg)
 
+(* -- serve -------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run socket jobs queue_cap deadline_ms max_request_bytes fault_injection
+      step_limit call_depth_limit heap_object_limit =
+    handle_errors (fun () ->
+        let cfg =
+          {
+            Server.Serve.default_config with
+            Server.Serve.jobs;
+            queue_cap;
+            default_deadline_ms = deadline_ms;
+            max_request_bytes;
+            fault_injection;
+            step_limit;
+            call_depth_limit;
+            heap_object_limit;
+          }
+        in
+        Server.Serve.run ?socket cfg)
+    |> exit
+  in
+  let socket =
+    let doc =
+      "Listen on a Unix domain socket at $(docv) (an existing file is \
+       replaced; the file is removed on clean shutdown). Without this \
+       flag the daemon speaks the protocol on stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let jobs =
+    let doc = "Number of supervised worker domains." in
+    Arg.(value & opt int Server.Serve.default_config.Server.Serve.jobs
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue_cap =
+    let doc =
+      "Bounded work-queue capacity: requests beyond it are shed with a \
+       structured 'overloaded' error instead of stretching latency."
+    in
+    Arg.(value & opt int Server.Serve.default_config.Server.Serve.queue_cap
+         & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let deadline_ms =
+    let doc =
+      "Default per-request wall-clock budget in milliseconds, measured \
+       from enqueue and enforced at the interpreter's tick points; a \
+       request may lower or raise its own via 'deadline_ms'. 0 disables."
+    in
+    Arg.(value
+         & opt int Server.Serve.default_config.Server.Serve.default_deadline_ms
+         & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_request_bytes =
+    let doc =
+      "Request frame size cap; larger frames are answered with a \
+       'too_large' error and discarded."
+    in
+    Arg.(value
+         & opt int Server.Serve.default_config.Server.Serve.max_request_bytes
+         & info [ "max-request-bytes" ] ~docv:"N" ~doc)
+  in
+  let fault_injection =
+    let doc =
+      "Enable the 'crash' op, which kills a worker domain on purpose so \
+       supervision (quarantine + restart) can be exercised end to end."
+    in
+    Arg.(value & flag & info [ "fault-injection" ] ~doc)
+  in
+  let step_limit =
+    Arg.(value & opt int Runtime.Interp.default_step_limit
+         & info [ "step-limit" ] ~docv:"N"
+             ~doc:"Default interpreter step budget per run request.")
+  in
+  let call_depth_limit =
+    Arg.(value & opt int Runtime.Interp.default_call_depth_limit
+         & info [ "call-depth-limit" ] ~docv:"N"
+             ~doc:"Default maximum interpreter call depth per run request.")
+  in
+  let heap_object_limit =
+    Arg.(value & opt int Runtime.Interp.default_heap_object_limit
+         & info [ "object-limit" ] ~docv:"N"
+             ~doc:"Default maximum objects created per run request.")
+  in
+  let doc =
+    "Run the analysis daemon: JSONL requests (analyze, check, run, \
+     explain, precision, health, stats, shutdown) over stdin/stdout or \
+     a Unix socket, with per-request deadlines, bounded queueing with \
+     load shedding, supervised worker restart, and graceful drain on \
+     SIGTERM/SIGINT. Identical translation units are parsed, checked \
+     and compiled once (content-addressed caching)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket $ jobs $ queue_cap $ deadline_ms
+          $ max_request_bytes $ fault_injection $ step_limit
+          $ call_depth_limit $ heap_object_limit)
+
 let () =
   let doc = "dead data member detection for MiniC++ (Sweeney & Tip, PLDI'98)" in
   let info = Cmd.info "deadmem" ~version:"1.0.0" ~doc in
@@ -648,9 +762,11 @@ let () =
     Cmd.eval' ~term_err:exit_usage
       (Cmd.group info
          [ analyze_cmd; explain_cmd; check_cmd; run_cmd; callgraph_cmd;
-           strip_cmd; bench_cmd; precision_cmd ])
+           strip_cmd; bench_cmd; precision_cmd; serve_cmd ])
   in
-  (* cmdliner reports some CLI parse errors (e.g. a bad enum value) with its
-     own cli_error code rather than term_err; fold those into the usage code
-     so the 0/1/2/3 contract holds for every malformed invocation. *)
-  exit (if code = Cmd.Exit.cli_error then exit_usage else code)
+  (* cmdliner can report failures with exit codes outside our documented
+     contract: cli_error (124) for some parse errors (e.g. a bad enum
+     value), internal_error (125) for a broken term. Fold anything that
+     is not a documented code into the usage code, so every invocation —
+     however malformed — exits 0, 1, 2 or 3. *)
+  exit (match code with 0 | 1 | 2 | 3 -> code | _ -> exit_usage)

@@ -1188,6 +1188,9 @@ type vm = {
   mutable obj_counter : int;
   mutable steps : int;
   step_limit : int;
+  (* nearer of [step_limit] and the next deadline checkpoint: the hot
+     tick is one compare against it, everything else is cold *)
+  mutable next_stop : int;
   mutable call_depth : int;
   mutable max_call_depth : int;
   call_depth_limit : int;
@@ -1208,11 +1211,30 @@ let fresh_obj_id vm =
   vm.obj_counter <- id + 1;
   id
 
-let tick vm =
-  vm.steps <- vm.steps + 1;
+(* Reached every [deadline_check_interval] steps, or past the step
+   limit — never on the per-step fast path (same scheme, and so the
+   same raising step counts, as the tree engine). *)
+let[@inline never] slow_tick vm =
   if vm.steps > vm.step_limit then
     limit_exceeded "step limit exceeded (%d): possible non-termination"
+      vm.step_limit;
+  check_deadline ();
+  vm.next_stop <- min vm.step_limit (vm.steps + deadline_check_interval)
+
+(* [ITickN]'s cold half: [s] is the already-batched step count. *)
+let[@inline never] slow_tick_n vm s =
+  if s > vm.step_limit then begin
+    (* the raising tick leaves the same count the tree engine did *)
+    vm.steps <- vm.step_limit + 1;
+    limit_exceeded "step limit exceeded (%d): possible non-termination"
       vm.step_limit
+  end;
+  check_deadline ();
+  vm.next_stop <- min vm.step_limit (s + deadline_check_interval)
+
+let[@inline] tick vm =
+  vm.steps <- vm.steps + 1;
+  if vm.steps > vm.next_stop then slow_tick vm
 
 (* Locations on the operand stack are pointer values (see the
    instruction-set comment). *)
@@ -1535,9 +1557,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
     match Array.unsafe_get code pc with
     | ITick ->
         vm.steps <- vm.steps + 1;
-        if vm.steps > vm.step_limit then
-          limit_exceeded "step limit exceeded (%d): possible non-termination"
-            vm.step_limit;
+        if vm.steps > vm.next_stop then slow_tick vm;
         loop (pc + 1) sp
     | IConst v ->
         ost.(sp) <- v;
@@ -2005,12 +2025,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
         loop (pc + 1) sp
     | ITickN n ->
         let s = vm.steps + n in
-        if s > vm.step_limit then begin
-          (* the raising tick leaves the same count the tree engine did *)
-          vm.steps <- vm.step_limit + 1;
-          limit_exceeded "step limit exceeded (%d): possible non-termination"
-            vm.step_limit
-        end;
+        if s > vm.next_stop then slow_tick_n vm s;
         vm.steps <- s;
         loop (pc + 1) sp
     | ITickPushScope slots ->
@@ -2362,6 +2377,7 @@ let make_vm ?(dead = Member.Set.empty) ~step_limit ~call_depth_limit
     obj_counter = 0;
     steps = 0;
     step_limit = max 1 step_limit;
+    next_stop = min (max 1 step_limit) deadline_check_interval;
     call_depth = 0;
     max_call_depth = 0;
     call_depth_limit = max 1 call_depth_limit;

@@ -40,6 +40,9 @@ type env = {
   mutable obj_counter : int;
   mutable steps : int;
   step_limit : int;
+  (* nearer of [step_limit] and the next deadline checkpoint: the hot
+     tick is one compare against it, everything else is cold *)
+  mutable next_stop : int;
   mutable call_depth : int;
   mutable max_call_depth : int;
   call_depth_limit : int;
@@ -54,11 +57,18 @@ let fresh_obj_id env =
   env.obj_counter <- id + 1;
   id
 
-let tick env =
-  env.steps <- env.steps + 1;
+(* Reached every [deadline_check_interval] steps, or past the step
+   limit — never on the per-step fast path. *)
+let[@inline never] slow_tick env =
   if env.steps > env.step_limit then
     limit_exceeded "step limit exceeded (%d): possible non-termination"
-      env.step_limit
+      env.step_limit;
+  check_deadline ();
+  env.next_stop <- min env.step_limit (env.steps + deadline_check_interval)
+
+let[@inline] tick env =
+  env.steps <- env.steps + 1;
+  if env.steps > env.next_stop then slow_tick env
 
 (* -- objects ------------------------------------------------------------------- *)
 
@@ -671,11 +681,20 @@ let default_heap_object_limit = 10_000_000
 
    Resolution and bytecode compilation are pure functions of the typed
    program, so repeated [run]s of the same program (bench sampling, the
-   dead-vs-live differential, REPL-style reuse) share one lowering.
-   Keyed by physical identity of the typed program through ephemerons,
-   so a cached entry never outlives its program; the small FIFO cap
-   bounds the list walk. A mutex makes the cache safe under the
-   domains-parallel batch pipeline. *)
+   dead-vs-live differential, REPL-style reuse, serve-daemon traffic)
+   share one lowering. Two tiers, one mutex:
+
+   - the ephemeron tier is keyed by physical identity of the typed
+     program, so a cached entry never outlives its program; the small
+     FIFO cap bounds the list walk;
+   - the content tier is keyed by a caller-supplied source content hash
+     ([run ?cache_key]): identical translation units hit the same
+     lowering even when they were parsed into distinct ASTs (duplicate
+     files in a batch, repeated daemon requests after the front cache
+     evicted). Entries are held strongly, so the tier is FIFO-capped.
+
+   A mutex makes both tiers safe under the domains-parallel batch
+   pipeline and the serve daemon's worker domains. *)
 
 type lowered = {
   lo_rp : rprogram;
@@ -685,17 +704,46 @@ type lowered = {
 let lower_mutex = Mutex.create ()
 let lower_cache : (program, lowered) Ephemeron.K1.t list ref = ref []
 let lower_cache_cap = 32
+let content_cache : (string, lowered) Hashtbl.t = Hashtbl.create 64
+let content_order : string Queue.t = Queue.create ()
+let content_cache_cap = 64
+let lower_hits = Telemetry.Counter.make "runtime.lower_cache.hits"
+let lower_misses = Telemetry.Counter.make "runtime.lower_cache.misses"
 
-let lower ~need_bc (p : program) : lowered =
+let lookup_phys p = List.find_map (fun e -> Ephemeron.K1.query e p) !lower_cache
+
+let insert_phys p lo =
+  let keep = List.filteri (fun i _ -> i < lower_cache_cap - 1) !lower_cache in
+  lower_cache := Ephemeron.K1.make p lo :: keep
+
+let lower ~need_bc ?cache_key (p : program) : lowered =
   Mutex.protect lower_mutex @@ fun () ->
-  let lo =
-    match List.find_map (fun e -> Ephemeron.K1.query e p) !lower_cache with
-    | Some lo -> lo
-    | None ->
-        let lo = { lo_rp = Resolve.program p; lo_bc = None } in
-        let keep = List.filteri (fun i _ -> i < lower_cache_cap - 1) !lower_cache in
-        lower_cache := Ephemeron.K1.make p lo :: keep;
+  let build () =
+    match lookup_phys p with
+    | Some lo ->
+        Telemetry.Counter.incr lower_hits;
         lo
+    | None ->
+        Telemetry.Counter.incr lower_misses;
+        let lo = { lo_rp = Resolve.program p; lo_bc = None } in
+        insert_phys p lo;
+        lo
+  in
+  let lo =
+    match cache_key with
+    | None -> build ()
+    | Some k -> (
+        match Hashtbl.find_opt content_cache k with
+        | Some lo ->
+            Telemetry.Counter.incr lower_hits;
+            lo
+        | None ->
+            let lo = build () in
+            if Queue.length content_order >= content_cache_cap then
+              Hashtbl.remove content_cache (Queue.pop content_order);
+            Hashtbl.replace content_cache k lo;
+            Queue.push k content_order;
+            lo)
   in
   (match lo.lo_bc with
   | Some _ -> ()
@@ -715,10 +763,10 @@ let objects_pct_gauge = Telemetry.Gauge.make "interp.guard.objects_used_pct"
 
 let pct_of used limit = if limit <= 0 then 0 else used * 100 / limit
 
-let run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit
+let run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit ?cache_key
     (p : program) : outcome =
   Telemetry.Span.with_ "interp" @@ fun () ->
-  let rp = (lower ~need_bc:false p).lo_rp in
+  let rp = (lower ~need_bc:false ?cache_key p).lo_rp in
   let env =
     {
       rp;
@@ -733,6 +781,7 @@ let run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit
       obj_counter = 0;
       steps = 0;
       step_limit = max 1 step_limit;
+      next_stop = min (max 1 step_limit) deadline_check_interval;
       call_depth = 0;
       max_call_depth = 0;
       call_depth_limit = max 1 call_depth_limit;
@@ -794,9 +843,9 @@ let run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit
    VM. Telemetry totals and guard proximity are recorded even when a
    limit aborts the run, exactly as in the tree engine. *)
 let run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
-    (p : program) : outcome =
+    ?cache_key (p : program) : outcome =
   Telemetry.Span.with_ "interp" @@ fun () ->
-  let lo = lower ~need_bc:true p in
+  let lo = lower ~need_bc:true ?cache_key p in
   let cp = match lo.lo_bc with Some cp -> cp | None -> assert false in
   let step_limit = max 1 step_limit in
   let call_depth_limit = max 1 call_depth_limit in
@@ -833,8 +882,12 @@ let run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
 let run ?(engine = Bytecode) ?(dead = Member.Set.empty)
     ?(step_limit = default_step_limit)
     ?(call_depth_limit = default_call_depth_limit)
-    ?(heap_object_limit = default_heap_object_limit) (p : program) : outcome =
+    ?(heap_object_limit = default_heap_object_limit) ?cache_key (p : program) :
+    outcome =
   match engine with
-  | Tree -> run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit p
+  | Tree ->
+      run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit
+        ?cache_key p
   | Bytecode ->
-      run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit p
+      run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
+        ?cache_key p

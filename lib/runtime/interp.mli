@@ -51,7 +51,18 @@ val default_heap_object_limit : int
     native [Stack_overflow]/[Out_of_memory] escaping the evaluator — is
     reported as {!Value.Limit_exceeded} (the CLI maps it to exit code 3),
     never as an uncaught native exception. The limits in force are echoed
-    in the outcome's profile {!Profile.snapshot.limits}.
+    in the outcome's profile {!Profile.snapshot.limits}. A wall-clock
+    deadline armed with [Value.arm_deadline] (the serve daemon's
+    per-request budget) is checked at the same tick points and reported
+    the same way.
+
+    [cache_key] is a content hash of the source the program was checked
+    from. When given, the resolve+compile cache is keyed on it, so
+    identical translation units share one lowering even across distinct
+    typed ASTs (duplicate files in a batch, repeated daemon requests);
+    without it the cache falls back to physical AST identity. Hits and
+    misses are counted in the [runtime.lower_cache.hits]/[.misses]
+    telemetry counters.
 
     @raise Value.Runtime_error on dynamic errors (null dereference,
     division by zero, out-of-bounds access…).
@@ -62,5 +73,6 @@ val run :
   ?step_limit:int ->
   ?call_depth_limit:int ->
   ?heap_object_limit:int ->
+  ?cache_key:string ->
   Typed_ast.program ->
   outcome

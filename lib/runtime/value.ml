@@ -50,6 +50,39 @@ exception Limit_exceeded of string
 let runtime_error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
 let limit_exceeded fmt = Fmt.kstr (fun m -> raise (Limit_exceeded m)) fmt
 
+(* -- cooperative deadlines ----------------------------------------------------
+
+   A per-domain wall-clock deadline, checked by both engines at their
+   existing tick points (every few thousand steps, so the check stays
+   off the hot path). Domains cannot be interrupted asynchronously in
+   OCaml, so a hung request can only be cancelled cooperatively: the
+   serve daemon arms a deadline before running a request and the
+   interpreter raises [Limit_exceeded] — the same structured error as
+   the step/depth/object guards — once it passes. Domain-local state
+   keeps concurrent worker domains' deadlines independent. *)
+
+let deadline_key : float Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> infinity)
+
+(* [arm_deadline t] arms an absolute wall-clock deadline [t] (the
+   [Unix.gettimeofday] timebase, seconds) for the calling domain. *)
+let arm_deadline t = Domain.DLS.set deadline_key t
+let disarm_deadline () = Domain.DLS.set deadline_key infinity
+let deadline_expired () = Unix.gettimeofday () > Domain.DLS.get deadline_key
+
+let check_deadline () =
+  if deadline_expired () then
+    limit_exceeded "deadline exceeded: request wall-clock budget consumed"
+
+(* How many interpreter steps may pass between wall-clock reads. Both
+   engines fold this into their step-limit compare (a [next_stop]
+   checkpoint) so the hot tick path stays one increment + one test. *)
+let deadline_check_interval = 2048
+
+let with_deadline t f =
+  arm_deadline t;
+  Fun.protect ~finally:disarm_deadline f
+
 (* Shared [VInt] blocks for the values the interpreted programs actually
    produce (loop counters, flags, small arithmetic): [VInt] is immutable,
    so sharing one block per small integer is unobservable, and it keeps

@@ -37,6 +37,14 @@ let lookups_counter = Telemetry.Counter.make "sema.lookups"
 let cache_hits_counter = Telemetry.Counter.make "sema.lookup_cache_hits"
 let cache_misses_counter = Telemetry.Counter.make "sema.lookup_cache_misses"
 
+(* The memo Hashtbl lives in the class table, which the content-keyed
+   caches share across worker domains (serve daemon, duplicate files in
+   a parallel batch); unguarded concurrent mutation of a Hashtbl can
+   corrupt it. One short-held module lock covers the find and the add —
+   the search itself runs outside it, so at worst a result is computed
+   twice. *)
+let cache_mutex = Mutex.create ()
+
 (* The set of defining classes for (kind, start, name) depends only on
    the (immutable) hierarchy, so it is memoized in the class table's
    lookup cache; [own] must be the canonical extractor for [kind]. *)
@@ -44,14 +52,14 @@ let defining_classes table ~kind ~start ~name ~own : string list =
   Telemetry.Counter.incr lookups_counter;
   let cache = Class_table.lookup_cache table in
   let key = kind ^ ":" ^ start ^ ":" ^ name in
-  match Hashtbl.find_opt cache key with
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
   | Some ds ->
       Telemetry.Counter.incr cache_hits_counter;
       ds
   | None ->
       Telemetry.Counter.incr cache_misses_counter;
       let ds = StringSet.elements (search table ~start ~own) in
-      Hashtbl.add cache key ds;
+      Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key ds);
       ds
 
 let classify table ~kind ~start ~name ~own : 'a result =

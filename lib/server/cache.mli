@@ -1,0 +1,51 @@
+(** Content-addressed front cache over the resilient parse+sema
+    pipeline, shared by the serve daemon and the CLI's batch [check]:
+    identical (file, content) pairs are lexed, parsed and type-checked
+    once per process, and liveness analysis over a cached program is
+    memoized per configuration.
+
+    Hits and misses are counted in the [server.source_cache.*] and
+    [server.analysis_cache.*] telemetry counters. The table is bounded
+    (FIFO eviction) and domain-safe. *)
+
+open Frontend
+
+type entry = {
+  e_key : string;
+  e_prog : Sema.Typed_ast.program;
+  e_unknown : Source.unknown_region list;
+  e_diags : Source.diagnostic list;
+  e_errors : int;
+  e_suppressed : int;
+  e_diag_text : string;
+      (** the diagnostics exactly as [Diagnostics.pp] renders them, so
+          cached CLI output is byte-identical to an uncached run *)
+  e_lock : Mutex.t;
+  mutable e_analyses : (Deadmem.Config.t * Deadmem.Liveness.result) list;
+}
+
+(** Hash of file name + content (the cache key: diagnostics embed the
+    file name, so equal content under different names must not share
+    rendered output). *)
+val key : file:string -> string -> string
+
+(** Hash of the content alone — the key the daemon hands to
+    {!Runtime.Interp.run}'s resolve+compile cache. *)
+val content_key : string -> string
+
+(** [get ~file source] returns the cached entry (and whether it hit)
+    or runs the resilient checker and caches the result. Never caches
+    a crashed pipeline — exceptions propagate. Domain-safe. *)
+val get : file:string -> string -> entry * bool
+
+(** Memoized [Deadmem.Liveness.analyze] over the entry's program with
+    the entry's unknown regions. Serialized per entry, so concurrent
+    requests for one translation unit cannot race on the shared
+    program. *)
+val analyze : entry -> config:Deadmem.Config.t -> Deadmem.Liveness.result
+
+(** Number of cached translation units. *)
+val entries : unit -> int
+
+(** Drop every entry (the drain path flushes the caches). *)
+val clear : unit -> unit

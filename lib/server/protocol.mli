@@ -1,0 +1,76 @@
+(** Wire protocol of [deadmem serve]: JSONL requests and responses.
+
+    One request per line, one JSON object per request; one response
+    line per request, either [{"id":…,"ok":true,"cmd":…,"result":{…}}]
+    or [{"id":…,"ok":false,"error":{"kind":…,"message":…}}]. The
+    daemon never answers anything else: every malformed, oversized,
+    hostile or failing input maps to a structured error object. *)
+
+type op =
+  | Analyze
+  | Check
+  | Run
+  | Explain
+  | Precision
+  | Health
+  | Stats
+  | Shutdown
+  | Crash
+
+val op_name : op -> string
+
+type request = {
+  req_id : string option;
+  op : op;
+  source : string option;
+  member : string option;
+  callgraph : Callgraph.algorithm;
+  conservative : bool;
+  library_classes : string list;
+  keep_going : bool;
+  profile : bool;
+  engine : Runtime.Interp.engine;
+  deadline_ms : int option;
+  step_limit : int option;
+  call_depth_limit : int option;
+  heap_object_limit : int option;
+}
+
+type error_kind =
+  | Parse
+  | Protocol
+  | Too_large
+  | Overloaded
+  | Draining
+  | Diagnostics
+  | Runtime
+  | Limit
+  | Unknown_member
+  | Unsupported
+  | Internal
+
+val kind_name : error_kind -> string
+
+(** JSON rendering helpers used by the daemon's result builders:
+    [jstr] quotes and escapes, [jobj] takes (key, rendered value)
+    pairs, [jarr] joins rendered elements. *)
+val jstr : string -> string
+
+val jobj : (string * string) list -> string
+val jarr : string list -> string
+
+val ok_response : ?id:string -> op:op -> (string * string) list -> string
+
+val error_response :
+  ?id:string -> ?extra:(string * string) list -> error_kind -> string -> string
+
+type 'a parse_result = ('a, string option * error_kind * string) result
+
+(** [parse_request ~max_depth line] parses and validates one frame.
+    [max_depth] bounds JSON nesting. On error the result carries the
+    request id when one could be recovered, so the error response can
+    still be correlated. Never raises. *)
+val parse_request : max_depth:int -> string -> request parse_result
+
+(** ["Class::member"] → a member identity; [None] when malformed. *)
+val split_member : string -> Sema.Member.t option

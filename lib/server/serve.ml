@@ -1,0 +1,619 @@
+(* The `deadmem serve` daemon: a supervised, deadline-bounded,
+   backpressured analysis service speaking the JSONL protocol of
+   {!Protocol} over stdin/stdout or a Unix domain socket.
+
+   Request lifecycle:
+
+     reader thread                worker domain (Supervisor)
+     ─────────────                ──────────────────────────
+     bounded frame read
+     size cap check ──too large──▶ structured error, frame dropped
+     Protocol.parse ──malformed──▶ structured error
+     health/stats/shutdown ──────▶ answered inline (work even under
+                                   overload — that is the point of a
+                                   health endpoint)
+     submit ──queue full─────────▶ `overloaded` error (load shed)
+            ──draining───────────▶ `draining` error
+            ──accepted───────────▶ queued
+                                    deadline already spent in queue?
+                                      ──▶ `limit` error, never run
+                                    execute under Value.with_deadline
+                                      (checked at interpreter ticks)
+                                    expected failures ──▶ structured
+                                      diagnostics/runtime/limit errors
+                                    anything else escapes ──▶ worker
+                                      dies; Supervisor quarantines the
+                                      request, answers `internal`, and
+                                      restarts the worker
+
+   Every accepted non-blank frame produces exactly one response line;
+   nothing the client sends can produce zero, two, or a crash. The
+   per-request deadline starts at *enqueue* time, so queue wait counts
+   against the budget — under sustained overload requests fail fast
+   with `limit`/`overloaded` instead of silently stretching latency.
+
+   Graceful drain (SIGTERM, SIGINT, or a `shutdown` request): intake
+   stops, queued and in-flight requests finish and are answered, worker
+   domains and reader threads are joined, final stats go to stderr, the
+   caches are flushed, and the socket file is removed. *)
+
+module P = Protocol
+open P
+
+exception Fault_injected
+(** Raised by the [crash] op when fault injection is enabled: takes the
+    expected escape path through the supervisor. *)
+
+type config = {
+  jobs : int;  (** worker domains *)
+  queue_cap : int;  (** bounded queue: beyond this, shed load *)
+  default_deadline_ms : int;  (** per-request budget; 0 disables *)
+  max_request_bytes : int;  (** frame size cap *)
+  max_json_depth : int;  (** JSON nesting cap (depth bombs) *)
+  fault_injection : bool;  (** enable the [crash] op *)
+  step_limit : int;
+  call_depth_limit : int;
+  heap_object_limit : int;
+}
+
+let default_config =
+  {
+    jobs = 2;
+    queue_cap = 64;
+    default_deadline_ms = 10_000;
+    max_request_bytes = 4 * 1024 * 1024;
+    max_json_depth = 64;
+    fault_injection = false;
+    step_limit = Runtime.Interp.default_step_limit;
+    call_depth_limit = Runtime.Interp.default_call_depth_limit;
+    heap_object_limit = Runtime.Interp.default_heap_object_limit;
+  }
+
+(* -- telemetry --------------------------------------------------------------- *)
+
+let all_ops =
+  [ Analyze; Check; Run; Explain; Precision; Health; Stats; Shutdown; Crash ]
+
+let request_counters =
+  List.map
+    (fun op -> (op, Telemetry.Counter.make ("server.requests." ^ op_name op)))
+    all_ops
+
+let count_request op =
+  match List.assq_opt op request_counters with
+  | Some c -> Telemetry.Counter.incr c
+  | None -> ()
+
+let ok_responses = Telemetry.Counter.make "server.responses.ok"
+let error_responses = Telemetry.Counter.make "server.responses.error"
+let frames_oversized = Telemetry.Counter.make "server.frames.oversized"
+let queue_gauge = Telemetry.Gauge.make "server.queue_depth"
+
+(* -- request execution ------------------------------------------------------- *)
+
+let request_file = "<request>"
+
+let config_of (req : request) =
+  let base =
+    if req.conservative then Deadmem.Config.default else Deadmem.Config.paper
+  in
+  let base = { base with Deadmem.Config.call_graph = req.callgraph } in
+  Deadmem.Config.with_library_classes req.library_classes base
+
+let jint = string_of_int
+let jbool = string_of_bool
+let jfloat f = Printf.sprintf "%.4f" f
+let alg_name alg = String.lowercase_ascii (Callgraph.algorithm_to_string alg)
+
+let diagnostics_json (e : Cache.entry) =
+  jarr (List.map Frontend.Source.diagnostic_to_json e.e_diags)
+
+let snapshot_json (s : Runtime.Profile.snapshot) =
+  jobj
+    [
+      ("object_space", jint s.object_space);
+      ("dead_space", jint s.dead_space);
+      ("high_water_mark", jint s.high_water_mark);
+      ("high_water_mark_reduced", jint s.high_water_mark_reduced);
+      ("num_objects", jint s.num_objects);
+      ("scalar_bytes", jint s.scalar_bytes);
+      ("leaked_objects", jint s.leaked_objects);
+      ("dead_space_pct", jfloat (Runtime.Profile.dead_space_pct s));
+      ("hwm_reduction_pct", jfloat (Runtime.Profile.hwm_reduction_pct s));
+    ]
+
+let members_json ms = jarr (List.map (fun m -> jstr (Sema.Member.to_string m)) ms)
+
+(* Fetch the (cached) front half of the pipeline and fail with a
+   structured [diagnostics] error when the unit has compile errors and
+   the request did not opt into conservative degradation. *)
+let checked_entry (req : request) source =
+  let e, hit = Cache.get ~file:request_file source in
+  if e.e_errors > 0 && not req.keep_going then
+    Error
+      (error_response ?id:req.req_id
+         ~extra:
+           [
+             ("errors", jint e.e_errors);
+             ("diagnostics", diagnostics_json e);
+           ]
+         Diagnostics
+         (Printf.sprintf "source has %d compile error(s)" e.e_errors))
+  else Ok (e, hit)
+
+let do_analyze (req : request) source =
+  match checked_entry req source with
+  | Error resp -> resp
+  | Ok (e, cached) ->
+      let config = config_of req in
+      let result = Cache.analyze e ~config in
+      let report = Deadmem.Report.of_result e.e_prog result in
+      ok_response ?id:req.req_id ~op:Analyze
+        [
+          ("callgraph", jstr (alg_name req.callgraph));
+          ("dead_members", members_json (Deadmem.Liveness.dead_members result));
+          ("num_classes", jint report.Deadmem.Report.num_classes);
+          ("num_used_classes", jint report.Deadmem.Report.num_used_classes);
+          ("members_in_used", jint report.Deadmem.Report.members_in_used);
+          ("dead_in_used", jint report.Deadmem.Report.dead_in_used);
+          ("dead_pct", jfloat report.Deadmem.Report.dead_pct);
+          ("errors", jint e.e_errors);
+          ("unknown_regions", jint (List.length e.e_unknown));
+          ("diagnostics", diagnostics_json e);
+          ("cached", jbool cached);
+        ]
+
+(* [check] mirrors `deadmem check --format json`: diagnostics are data,
+   not an error — only transport/pipeline failures are errors. *)
+let do_check (req : request) source =
+  let e, cached = Cache.get ~file:request_file source in
+  let dead_count =
+    if e.e_errors > 0 then None
+    else
+      let config =
+        config_of { req with conservative = false; library_classes = [] }
+      in
+      Some (List.length (Deadmem.Liveness.dead_members (Cache.analyze e ~config)))
+  in
+  ok_response ?id:req.req_id ~op:Check
+    [
+      ("clean", jbool (e.e_errors = 0));
+      ("errors", jint e.e_errors);
+      ("suppressed", jint e.e_suppressed);
+      ("unknown_regions", jint (List.length e.e_unknown));
+      ("callgraph", jstr (alg_name req.callgraph));
+      ( "dead_members",
+        match dead_count with Some n -> jint n | None -> "null" );
+      ("diagnostics", diagnostics_json e);
+      ("cached", jbool cached);
+    ]
+
+let do_run cfg (req : request) source =
+  match checked_entry req source with
+  | Error resp -> resp
+  | Ok (e, cached) ->
+      let dead =
+        if req.profile then
+          Deadmem.Liveness.dead_set (Cache.analyze e ~config:(config_of req))
+        else Sema.Member.Set.empty
+      in
+      let pick v d = Option.value v ~default:d in
+      let outcome =
+        Runtime.Interp.run ~engine:req.engine ~dead
+          ~step_limit:(pick req.step_limit cfg.step_limit)
+          ~call_depth_limit:(pick req.call_depth_limit cfg.call_depth_limit)
+          ~heap_object_limit:(pick req.heap_object_limit cfg.heap_object_limit)
+          ~cache_key:(Cache.content_key source) e.e_prog
+      in
+      ok_response ?id:req.req_id ~op:Run
+        [
+          ("return_value", jint outcome.Runtime.Interp.return_value);
+          ("steps", jint outcome.Runtime.Interp.steps);
+          ("output", jstr outcome.Runtime.Interp.output);
+          ("profiled", jbool req.profile);
+          ("snapshot", snapshot_json outcome.Runtime.Interp.snapshot);
+          ("cached", jbool cached);
+        ]
+
+let do_explain (req : request) source member_str =
+  match P.split_member member_str with
+  | None ->
+      error_response ?id:req.req_id Protocol
+        (Printf.sprintf "'member' must have the form 'Class::member' (got '%s')"
+           member_str)
+  | Some m -> (
+      match checked_entry req source with
+      | Error resp -> resp
+      | Ok (e, cached) ->
+          let result = Cache.analyze e ~config:(config_of req) in
+          if not (Deadmem.Liveness.known_member result m) then
+            error_response ?id:req.req_id Unknown_member
+              (Printf.sprintf
+                 "'%s' is not an instance data member the analysis classifies"
+                 (Sema.Member.to_string m))
+          else
+            ok_response ?id:req.req_id ~op:Explain
+              [
+                ("member", jstr (Sema.Member.to_string m));
+                ("dead", jbool (Deadmem.Liveness.is_dead result m));
+                ("explanation", jstr (Deadmem.Liveness.explain result m));
+                ("cached", jbool cached);
+              ])
+
+let do_precision (req : request) =
+  let tiers = [ Callgraph.Cha; Callgraph.Rta; Callgraph.Pta ] in
+  let measure prog alg =
+    let config =
+      { Deadmem.Config.paper with Deadmem.Config.call_graph = alg }
+    in
+    let cg = Callgraph.build ~algorithm:alg prog in
+    let r = Deadmem.Liveness.analyze ~config prog in
+    ( Callgraph.num_nodes cg,
+      Callgraph.num_edges cg,
+      List.length (Deadmem.Liveness.dead_members r) )
+  in
+  let row (b : Benchmarks.Suite.t) =
+    let prog = Benchmarks.Suite.program b in
+    jobj
+      (("benchmark", jstr b.name)
+      :: List.map
+           (fun alg ->
+             let n, e, d = measure prog alg in
+             ( alg_name alg,
+               jobj
+                 [
+                   ("nodes", jint n); ("edges", jint e); ("dead_members", jint d);
+                 ] ))
+           tiers)
+  in
+  ok_response ?id:req.req_id ~op:Precision
+    [ ("benchmarks", jarr (List.map row Benchmarks.Suite.all)) ]
+
+(* Execute one work request synchronously. Expected failure modes map to
+   structured errors; anything else escapes deliberately — under the
+   supervisor that is a worker restart plus an [internal] response, in a
+   synchronous test harness it is a visible bug. [enqueued] anchors the
+   deadline: time spent queued counts against the budget. *)
+let execute cfg (req : request) ~enqueued =
+  let id = req.req_id in
+  let deadline_ms =
+    match req.deadline_ms with Some ms -> ms | None -> cfg.default_deadline_ms
+  in
+  let deadline =
+    if deadline_ms <= 0 then infinity
+    else enqueued +. (float_of_int deadline_ms /. 1000.)
+  in
+  if Unix.gettimeofday () > deadline then
+    error_response ?id Limit
+      (Printf.sprintf
+         "deadline exceeded: request spent its %dms budget waiting in the queue"
+         deadline_ms)
+  else
+    let source () = Option.value req.source ~default:"" in
+    try
+      Runtime.Value.with_deadline deadline @@ fun () ->
+      match req.op with
+      | Analyze -> do_analyze req (source ())
+      | Check -> do_check req (source ())
+      | Run -> do_run cfg req (source ())
+      | Explain ->
+          do_explain req (source ()) (Option.value req.member ~default:"")
+      | Precision -> do_precision req
+      | Crash ->
+          if cfg.fault_injection then raise Fault_injected
+          else
+            error_response ?id Unsupported
+              "fault injection is disabled (start the server with \
+               --fault-injection to enable the crash op)"
+      | Health | Stats | Shutdown ->
+          (* unreachable through [handle_line]; kept total for direct
+             callers (tests) *)
+          error_response ?id Unsupported
+            (Printf.sprintf "'%s' is a control op answered by the server loop"
+               (op_name req.op))
+    with
+    | Runtime.Value.Limit_exceeded m ->
+        error_response ?id Limit ("resource limit: " ^ m)
+    | Runtime.Value.Runtime_error m ->
+        error_response ?id Runtime ("runtime error: " ^ m)
+    | Runtime.Interp.Abort_called ->
+        error_response ?id Runtime "runtime error: abort() called"
+    | Frontend.Source.Compile_error d ->
+        error_response ?id
+          ~extra:
+            [ ("diagnostics", jarr [ Frontend.Source.diagnostic_to_json d ]) ]
+          Diagnostics
+          (Frontend.Source.diagnostic_to_string d)
+    | Stack_overflow ->
+        error_response ?id Limit "resource limit: native stack exhausted"
+    | Out_of_memory -> error_response ?id Limit "resource limit: out of memory"
+
+(* -- the server -------------------------------------------------------------- *)
+
+type job = {
+  j_line : string;  (** raw frame, for the quarantine log *)
+  j_req : request;
+  j_enqueued : float;
+  j_respond : string -> unit;
+}
+
+type t = {
+  cfg : config;
+  started : float;
+  stop : bool Atomic.t;  (** set by SIGTERM/SIGINT/shutdown: drain *)
+  pool : job Supervisor.t;
+}
+
+(* Count a response as ok/error by its "ok":true/false tag (responses
+   are built by exactly two constructors, so sniffing is reliable). *)
+let reply respond resp =
+  let is_err =
+    let tag = {|"ok":false|} in
+    let n = String.length tag in
+    let rec find i =
+      i + n <= String.length resp
+      && (String.sub resp i n = tag || find (i + 1))
+    in
+    find 0
+  in
+  Telemetry.Counter.incr (if is_err then error_responses else ok_responses);
+  respond resp
+
+let create cfg =
+  let process j = reply j.j_respond (execute cfg j.j_req ~enqueued:j.j_enqueued) in
+  let on_poison j e =
+    reply j.j_respond
+      (error_response ?id:j.j_req.req_id
+         ~extra:[ ("exception", jstr (Printexc.to_string e)) ]
+         Internal
+         "internal error: request quarantined, worker restarted")
+  in
+  {
+    cfg;
+    started = Unix.gettimeofday ();
+    stop = Atomic.make false;
+    pool =
+      Supervisor.create ~jobs:cfg.jobs ~queue_cap:cfg.queue_cap
+        ~describe:(fun j -> j.j_line)
+        ~on_poison ~process;
+  }
+
+let uptime_ms t = int_of_float ((Unix.gettimeofday () -. t.started) *. 1000.)
+
+let health_fields t =
+  [
+    ("status", jstr (if Atomic.get t.stop then "draining" else "ok"));
+    ("pid", jint (Unix.getpid ()));
+    ("uptime_ms", jint (uptime_ms t));
+    ("workers", jint (Supervisor.worker_count t.pool));
+    ("queue_depth", jint (Supervisor.queue_depth t.pool));
+  ]
+
+let stats_fields t =
+  let quarantined =
+    jarr
+      (List.map
+         (fun (frame, exn) ->
+           jobj [ ("request", jstr frame); ("exception", jstr exn) ])
+         (Supervisor.quarantined t.pool))
+  in
+  health_fields t
+  @ [
+      ("worker_restarts", jint (Supervisor.restarts t.pool));
+      ("quarantined", quarantined);
+      ("source_cache_entries", jint (Cache.entries ()));
+      ("spans_dropped", jint (Telemetry.spans_dropped ()));
+      ( "counters",
+        jobj (List.map (fun (n, v) -> (n, jint v)) (Telemetry.counters ())) );
+    ]
+
+let stats_json t = jobj (stats_fields t)
+
+(* Dispatch one frame. Control ops are answered inline on the calling
+   (reader) thread so they keep working when the queue is full — a
+   health probe that itself queues is useless under exactly the load it
+   exists to diagnose. Every non-blank frame gets exactly one response. *)
+let handle_line t ~respond line =
+  Telemetry.Gauge.set queue_gauge (Supervisor.queue_depth t.pool);
+  if String.length line > t.cfg.max_request_bytes then begin
+    Telemetry.Counter.incr frames_oversized;
+    reply respond
+      (error_response
+         ~extra:[ ("max_request_bytes", jint t.cfg.max_request_bytes) ]
+         Too_large
+         (Printf.sprintf "request frame of %d bytes exceeds the %d byte cap"
+            (String.length line) t.cfg.max_request_bytes))
+  end
+  else
+    match P.parse_request ~max_depth:t.cfg.max_json_depth line with
+    | Error (id, kind, msg) -> reply respond (error_response ?id kind msg)
+    | Ok req -> (
+        count_request req.op;
+        match req.op with
+        | Health ->
+            reply respond (ok_response ?id:req.req_id ~op:Health (health_fields t))
+        | Stats ->
+            reply respond (ok_response ?id:req.req_id ~op:Stats (stats_fields t))
+        | Shutdown ->
+            reply respond
+              (ok_response ?id:req.req_id ~op:Shutdown
+                 [ ("draining", jbool true) ]);
+            Atomic.set t.stop true
+        | Analyze | Check | Run | Explain | Precision | Crash -> (
+            let job =
+              {
+                j_line = line;
+                j_req = req;
+                j_enqueued = Unix.gettimeofday ();
+                j_respond = respond;
+              }
+            in
+            match Supervisor.submit t.pool job with
+            | Supervisor.Accepted -> ()
+            | Supervisor.Overloaded ->
+                reply respond
+                  (error_response ?id:req.req_id
+                     ~extra:[ ("queue_cap", jint t.cfg.queue_cap) ]
+                     Overloaded
+                     "work queue is full: load shed, retry later")
+            | Supervisor.Draining ->
+                reply respond
+                  (error_response ?id:req.req_id Draining
+                     "server is draining: no new work accepted")))
+
+let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+(* -- transports -------------------------------------------------------------- *)
+
+(* Write one response line. Serialized per destination (worker domains
+   and the reader thread share the fd); EPIPE and friends are swallowed
+   — a client that hung up forfeits its responses, nothing else. *)
+let writer fd =
+  let mu = Mutex.create () in
+  fun line ->
+    let b = Bytes.of_string (line ^ "\n") in
+    let rec wr off len =
+      if len > 0 then
+        match Unix.write fd b off len with
+        | n -> wr (off + n) (len - n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wr off len
+    in
+    Mutex.protect mu (fun () ->
+        try wr 0 (Bytes.length b) with Unix.Unix_error _ | Sys_error _ -> ())
+
+(* Bounded frame reader: polls [input] with a short select timeout so
+   the stop flag (signal- or shutdown-driven) is honored promptly; a
+   frame that outgrows the size cap is answered [too_large] once and
+   discarded up to its terminating newline, so one hostile frame cannot
+   hold memory or desynchronize the stream. A truncated final frame
+   (EOF without newline) is still processed. *)
+let read_loop t ~input ~respond =
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let discarding = ref false in
+  let eof = ref false in
+  let feed line =
+    if !discarding then discarding := false
+    else if not (is_blank line) then handle_line t ~respond line
+  in
+  let drain_frames () =
+    let rec go () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | Some i ->
+          let line = String.sub s 0 i in
+          Buffer.clear buf;
+          Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+          feed line;
+          go ()
+      | None ->
+          if (not !discarding) && Buffer.length buf > t.cfg.max_request_bytes
+          then begin
+            (* oversized frame still in flight: answer once, then skip
+               to its newline *)
+            Telemetry.Counter.incr frames_oversized;
+            reply respond
+              (error_response
+                 ~extra:[ ("max_request_bytes", jint t.cfg.max_request_bytes) ]
+                 Too_large "request frame exceeds the size cap");
+            Buffer.clear buf;
+            discarding := true
+          end
+    in
+    go ()
+  in
+  while (not !eof) && not (Atomic.get t.stop) do
+    match Unix.select [ input ] [] [] 0.15 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.read input chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            eof := true;
+            if Buffer.length buf > 0 && not !discarding then
+              feed (Buffer.contents buf)
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain_frames ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.ECONNRESET), _, _) ->
+        eof := true
+  done
+
+(* stdio transport: one reader on the calling thread. *)
+let serve_stdio t =
+  read_loop t ~input:Unix.stdin ~respond:(writer Unix.stdout)
+
+let drain_pool t =
+  Atomic.set t.stop true;
+  Supervisor.drain t.pool
+
+(* Unix-socket transport: accept loop on the calling thread, one reader
+   thread per connection. Returns a cleanup closure to run AFTER the
+   pool has drained — connections must stay open until every in-flight
+   response for them has been written. *)
+let serve_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conns = ref [] in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  while not (Atomic.get t.stop) do
+    match Unix.select [ sock ] [] [] 0.15 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept sock with
+        | fd, _ ->
+            let th =
+              Thread.create
+                (fun () -> read_loop t ~input:fd ~respond:(writer fd))
+                ()
+            in
+            conns := (th, fd) :: !conns
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Atomic.set t.stop true;
+  List.iter (fun (th, _) -> Thread.join th) !conns;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  fun () ->
+    List.iter
+      (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ())
+      !conns;
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+
+(* -- entry point ------------------------------------------------------------- *)
+
+(* Run the daemon until EOF, SIGTERM/SIGINT, or a shutdown request; then
+   drain gracefully. Returns the exit code. *)
+let run ?socket cfg =
+  Telemetry.set_enabled true;
+  (* a long-lived process must bound its span journal *)
+  Telemetry.set_span_cap (Some 4096);
+  (* a client hanging up must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let t = create cfg in
+  let request_stop _ = Atomic.set t.stop true in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle request_stop)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  let cleanup =
+    match socket with
+    | None ->
+        serve_stdio t;
+        fun () -> ()
+    | Some path -> serve_socket t ~path
+  in
+  Atomic.set t.stop true;
+  (* in-flight and queued requests finish and are answered… *)
+  Supervisor.drain t.pool;
+  (* …before their connections are torn down *)
+  cleanup ();
+  (* final stats on stderr: the smoke test asserts this parses *)
+  prerr_endline (stats_json t);
+  flush stderr;
+  Cache.clear ();
+  0

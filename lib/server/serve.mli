@@ -1,0 +1,63 @@
+(** The [deadmem serve] daemon: a supervised, deadline-bounded,
+    backpressured analysis service speaking {!Protocol}'s JSONL over
+    stdin/stdout or a Unix domain socket.
+
+    Robustness contract: every non-blank request frame produces exactly
+    one response line — an [ok] result or a structured error — no
+    client input can crash the daemon, produce no answer, or produce
+    two. Work requests run on supervised worker domains under a
+    per-request wall-clock deadline (measured from enqueue, enforced at
+    the interpreter's tick points); a request that kills its worker is
+    quarantined and answered with an [internal] error while the worker
+    is restarted. *)
+
+exception Fault_injected
+(** Raised by the [crash] op when fault injection is enabled. *)
+
+type config = {
+  jobs : int;  (** worker domains *)
+  queue_cap : int;  (** bounded queue: beyond this, shed load *)
+  default_deadline_ms : int;  (** per-request budget; 0 disables *)
+  max_request_bytes : int;  (** frame size cap *)
+  max_json_depth : int;  (** JSON nesting cap (depth bombs) *)
+  fault_injection : bool;  (** enable the [crash] op *)
+  step_limit : int;
+  call_depth_limit : int;
+  heap_object_limit : int;
+}
+
+val default_config : config
+
+(** [execute cfg req ~enqueued] runs one work request synchronously and
+    returns its response line. Expected failures (diagnostics, runtime
+    errors, limits, expired deadlines) map to structured errors;
+    internal faults escape as exceptions — the supervisor turns those
+    into quarantine + restart, a test harness sees them directly. *)
+val execute : config -> Protocol.request -> enqueued:float -> string
+
+type t
+
+(** Spawn the worker pool (does not read any transport yet). *)
+val create : config -> t
+
+(** Dispatch one frame: control ops ([health]/[stats]/[shutdown]) are
+    answered inline via [respond] on the calling thread; work ops are
+    queued (or shed with [overloaded]/[draining]) and answered from a
+    worker. [respond] must be thread-safe. *)
+val handle_line : t -> respond:(string -> unit) -> string -> unit
+
+(** The live stats object (also what [stats] requests answer with). *)
+val stats_json : t -> string
+
+(** Serve stdin/stdout until EOF or stop; used by tests over pipes. *)
+val serve_stdio : t -> unit
+
+(** Finish accepted work and join every worker domain; intake stops. *)
+val drain_pool : t -> unit
+
+(** Run the daemon until EOF, SIGTERM/SIGINT or a [shutdown] request,
+    then drain gracefully (in-flight requests answered, domains and
+    threads joined, final stats on stderr, caches flushed, socket file
+    removed). [socket] selects the Unix-socket transport; without it
+    the daemon speaks stdin/stdout. Returns the process exit code. *)
+val run : ?socket:string -> config -> int

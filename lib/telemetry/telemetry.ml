@@ -116,8 +116,17 @@ module Span = struct
   (* the journal is shared across domains; [journal_mutex] covers both
      the list and the nesting depth *)
   let completed_rev : completed list ref = ref []
+  let completed_count = ref 0
   let cur_depth = ref 0
   let journal_mutex = Mutex.create ()
+
+  (* Journal cap for long-lived processes (the serve daemon): with no
+     cap the journal grows one record per span forever. When a cap is
+     set, the *newest* [cap] spans are retained — a live stats endpoint
+     cares about recent activity — and the trim runs only once the
+     journal reaches twice the cap, so it is amortized O(1) per span. *)
+  let cap = ref None
+  let dropped = ref 0
 
   let locked f =
     Mutex.lock journal_mutex;
@@ -144,7 +153,15 @@ module Span = struct
           sp_dur_us = now_us () -. s.start_us;
           sp_depth = s.depth;
         }
-        :: !completed_rev
+        :: !completed_rev;
+      incr completed_count;
+      match !cap with
+      | Some c when !completed_count >= 2 * c ->
+          (* newest-first list: keep the first [c] records *)
+          completed_rev := List.filteri (fun i _ -> i < c) !completed_rev;
+          dropped := !dropped + (!completed_count - c);
+          completed_count := c
+      | _ -> ()
 
   let with_ name f =
     let s = enter name in
@@ -153,7 +170,22 @@ module Span = struct
   (* completed spans in chronological (entry-order) … exit order is fine
      for trace export, which sorts by timestamp anyway *)
   let completed () = locked @@ fun () -> List.rev !completed_rev
+
+  let set_cap c =
+    locked @@ fun () ->
+    cap := c;
+    match c with
+    | Some c when !completed_count > c ->
+        completed_rev := List.filteri (fun i _ -> i < c) !completed_rev;
+        dropped := !dropped + (!completed_count - c);
+        completed_count := c
+    | _ -> ()
+
+  let dropped_count () = locked @@ fun () -> !dropped
 end
+
+let set_span_cap = Span.set_cap
+let spans_dropped = Span.dropped_count
 
 (* -- snapshots ----------------------------------------------------------------- *)
 
@@ -188,6 +220,8 @@ let reset () =
         Gauge.registry);
   Span.locked (fun () ->
       Span.completed_rev := [];
+      Span.completed_count := 0;
+      Span.dropped := 0;
       Span.cur_depth := 0)
 
 (* -- JSON rendering ------------------------------------------------------------ *)
@@ -260,8 +294,9 @@ module Json = struct
 
   exception Bad of string
 
-  let parse (input : string) : (t, string) Stdlib.result =
+  let parse ?max_depth (input : string) : (t, string) Stdlib.result =
     let n = String.length input in
+    let depth_cap = match max_depth with Some d -> d | None -> max_int in
     let pos = ref 0 in
     let peek () = if !pos < n then Some input.[!pos] else None in
     let advance () = Stdlib.incr pos in
@@ -344,7 +379,8 @@ module Json = struct
       | Some f -> f
       | None -> fail "malformed number"
     in
-    let rec parse_value () =
+    let rec parse_value depth =
+      if depth > depth_cap then fail "nesting too deep";
       skip_ws ();
       match peek () with
       | None -> fail "unexpected end of input"
@@ -361,7 +397,7 @@ module Json = struct
               let key = parse_string () in
               skip_ws ();
               expect ':';
-              let v = parse_value () in
+              let v = parse_value (depth + 1) in
               skip_ws ();
               match peek () with
               | Some ',' ->
@@ -382,7 +418,7 @@ module Json = struct
           end
           else
             let rec elements acc =
-              let v = parse_value () in
+              let v = parse_value (depth + 1) in
               skip_ws ();
               match peek () with
               | Some ',' ->
@@ -401,7 +437,7 @@ module Json = struct
       | Some _ -> Num (parse_number ())
     in
     match
-      let v = parse_value () in
+      let v = parse_value 0 in
       skip_ws ();
       if !pos <> n then fail "trailing garbage";
       v

@@ -74,6 +74,15 @@ module Span : sig
   val completed : unit -> completed list
 end
 
+(** Cap the completed-span journal at the newest [n] records ([None],
+    the default, keeps everything). A long-lived process (the serve
+    daemon) must set a cap or the journal grows without bound; the trim
+    is amortized O(1) per span. *)
+val set_span_cap : int option -> unit
+
+(** Spans discarded by the cap since the last {!reset}. *)
+val spans_dropped : unit -> int
+
 (** Nonzero counters, sorted by name. *)
 val counters : unit -> (string * int) list
 
@@ -103,7 +112,10 @@ module Json : sig
     | Arr of t list
     | Obj of (string * t) list
 
-  val parse : string -> (t, string) result
+  (** [parse ?max_depth s] parses one JSON document. [max_depth] bounds
+      container nesting (objects/arrays); exceeding it is a parse error,
+      so adversarial depth bombs cannot exhaust the native stack. *)
+  val parse : ?max_depth:int -> string -> (t, string) result
 
   val member : string -> t -> t option
   val to_int : t -> int option

@@ -20,4 +20,6 @@ let () =
       ("robustness", Test_robustness.suite);
       ("telemetry", Test_telemetry.suite);
       ("pta", Test_pta.suite);
+      ("server", Test_server.suite);
+      ("cli", Test_cli.suite);
     ]

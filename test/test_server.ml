@@ -1,0 +1,628 @@
+(* Server tests: the JSONL protocol, the supervised worker pool, and the
+   dispatcher's robustness contract — every non-blank frame gets exactly
+   one structured JSON response, whatever the client sends.
+
+   Layers:
+   - protocol unit tests (parsing, validation, response shape);
+   - supervisor unit tests (overload shedding, restart-on-poison,
+     quarantine, graceful drain);
+   - dispatcher semantics through [Serve.execute] and
+     [Serve.handle_line]: deadlines (in-queue and mid-run), resource
+     limits, engine error parity, caching, fault injection;
+   - the serve crash corpus (examples/corpus/serve/), in-process;
+   - a QCheck fuzzer over the request protocol. *)
+
+open QCheck
+module P = Server.Protocol
+module Serve = Server.Serve
+module Sup = Server.Supervisor
+module J = Telemetry.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* -- helpers ---------------------------------------------------------------- *)
+
+let test_cfg =
+  {
+    Serve.default_config with
+    Serve.jobs = 1;
+    queue_cap = 8;
+    default_deadline_ms = 10_000;
+    max_request_bytes = 4096;
+  }
+
+let parse_ok line =
+  match P.parse_request ~max_depth:64 line with
+  | Ok r -> r
+  | Error (_, _, msg) -> Alcotest.failf "unexpected parse error: %s" msg
+
+let parse_err line =
+  match P.parse_request ~max_depth:64 line with
+  | Ok _ -> Alcotest.failf "parsed, expected an error: %s" line
+  | Error (id, kind, _) -> (id, kind)
+
+let json_of resp =
+  match J.parse resp with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "response is not JSON (%s): %s" m resp
+
+(* response → (ok, error kind when not ok) *)
+let shape resp =
+  let v = json_of resp in
+  match J.member "ok" v with
+  | Some (J.Bool true) -> (true, None)
+  | Some (J.Bool false) -> (
+      match J.member "error" v with
+      | Some err -> (
+          match J.member "kind" err with
+          | Some (J.Str k) -> (false, Some k)
+          | _ -> Alcotest.failf "error without kind: %s" resp)
+      | None -> Alcotest.failf "ok:false without error: %s" resp)
+  | _ -> Alcotest.failf "response without ok: %s" resp
+
+let resp_id resp =
+  match J.member "id" (json_of resp) with
+  | Some (J.Str s) -> Some s
+  | _ -> None
+
+let exec ?(cfg = test_cfg) line =
+  Serve.execute cfg (parse_ok line) ~enqueued:(Unix.gettimeofday ())
+
+(* In-process harness: a live server pool plus a response collector that
+   lets tests await the 1-response-per-frame contract. *)
+type harness = {
+  h_t : Serve.t;
+  h_mu : Mutex.t;
+  mutable h_responses : string list;  (* newest first *)
+}
+
+let make_harness ?(cfg = test_cfg) () =
+  { h_t = Serve.create cfg; h_mu = Mutex.create (); h_responses = [] }
+
+let feed h line =
+  Serve.handle_line h.h_t
+    ~respond:(fun s ->
+      Mutex.protect h.h_mu (fun () -> h.h_responses <- s :: h.h_responses))
+    line
+
+let count h = Mutex.protect h.h_mu (fun () -> List.length h.h_responses)
+
+let responses h = Mutex.protect h.h_mu (fun () -> List.rev h.h_responses)
+
+(* Wait until [n] responses arrived; a stuck daemon fails loudly instead
+   of hanging the suite. *)
+let await ?(timeout = 30.) h n =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while count h < n && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if count h < n then
+    Alcotest.failf "timed out: %d of %d responses after %.0fs" (count h) n
+      timeout
+
+let stop h = Serve.drain_pool h.h_t
+
+let loop_src = "int main() { while (1) { } return 0; }"
+
+(* -- protocol --------------------------------------------------------------- *)
+
+let t_parse_minimal () =
+  let r = parse_ok {|{"id":"1","cmd":"health"}|} in
+  check_string "id" "1" (Option.get r.P.req_id);
+  check_string "op" "health" (P.op_name r.P.op)
+
+let t_parse_integer_id () =
+  let r = parse_ok {|{"id":7,"cmd":"stats"}|} in
+  check_string "id" "7" (Option.get r.P.req_id)
+
+let t_parse_full () =
+  let r =
+    parse_ok
+      {|{"id":"x","cmd":"run","source":"int main(){return 0;}","engine":"tree","deadline_ms":250,"step_limit":100,"conservative":true,"library_classes":["List","String"],"callgraph":"pta"}|}
+  in
+  check_bool "engine" true (r.P.engine = Runtime.Interp.Tree);
+  check_int "deadline" 250 (Option.get r.P.deadline_ms);
+  check_int "step limit" 100 (Option.get r.P.step_limit);
+  check_bool "conservative" true r.P.conservative;
+  check_bool "pta" true (r.P.callgraph = Callgraph.Pta);
+  check_int "library classes" 2 (List.length r.P.library_classes)
+
+let t_parse_errors () =
+  let cases =
+    [
+      ("not json", "garbage", P.Parse);
+      ("non-object", "[1,2]", P.Protocol);
+      ("missing cmd", {|{"id":"a"}|}, P.Protocol);
+      ("unknown cmd", {|{"id":"a","cmd":"frobnicate"}|}, P.Protocol);
+      ("cmd not string", {|{"cmd":3}|}, P.Protocol);
+      ("unknown field", {|{"cmd":"health","nope":1}|}, P.Protocol);
+      ("bad type", {|{"cmd":"analyze","source":42}|}, P.Protocol);
+      ("missing source", {|{"cmd":"analyze"}|}, P.Protocol);
+      ("missing member", {|{"cmd":"explain","source":"x"}|}, P.Protocol);
+      ("negative limit", {|{"cmd":"run","source":"x","step_limit":-1}|},
+       P.Protocol);
+      ("bad callgraph", {|{"cmd":"check","source":"x","callgraph":"psychic"}|},
+       P.Protocol);
+    ]
+  in
+  List.iter
+    (fun (name, line, want) ->
+      let _, kind = parse_err line in
+      check_string name (P.kind_name want) (P.kind_name kind))
+    cases
+
+let t_parse_error_keeps_id () =
+  (* shape errors still recover the id so the client can correlate *)
+  let id, _ = parse_err {|{"id":"req-9","cmd":"analyze"}|} in
+  check_string "id recovered" "req-9" (Option.get id)
+
+let t_parse_depth_bomb () =
+  let bomb =
+    {|{"id":"d","cmd":"health","x":|} ^ String.make 500 '[' ^ "1"
+    ^ String.make 500 ']' ^ "}"
+  in
+  let _, kind = parse_err bomb in
+  check_string "depth bomb is a parse error" "parse" (P.kind_name kind)
+
+let t_responses_are_json () =
+  List.iter
+    (fun resp -> ignore (json_of resp))
+    [
+      P.ok_response ~id:"a" ~op:P.Analyze [ ("n", "1") ];
+      P.ok_response ~op:P.Health [];
+      P.error_response ~id:{|we"ird\id|} P.Parse "bad \"quotes\" and \\ stuff";
+      P.error_response ~extra:[ ("queue_cap", "4") ] P.Overloaded "full";
+    ]
+
+(* -- supervisor ------------------------------------------------------------- *)
+
+let t_sup_processes_all () =
+  let done_ = Atomic.make 0 in
+  let pool =
+    Sup.create ~jobs:2 ~queue_cap:64
+      ~describe:(fun i -> string_of_int i)
+      ~on_poison:(fun _ _ -> ())
+      ~process:(fun _ -> Atomic.incr done_)
+  in
+  for i = 1 to 20 do
+    check_bool "accepted" true (Sup.submit pool i = Sup.Accepted)
+  done;
+  Sup.drain pool;
+  check_int "all jobs processed" 20 (Atomic.get done_);
+  check_int "no workers left" 0 (Sup.worker_count pool)
+
+let t_sup_overload_and_drain_reject () =
+  let pool =
+    Sup.create ~jobs:1 ~queue_cap:2
+      ~describe:(fun _ -> "job")
+      ~on_poison:(fun _ _ -> ())
+      ~process:(fun _ -> Thread.delay 0.2)
+  in
+  let results = List.init 8 (fun i -> Sup.submit pool i) in
+  check_bool "some jobs shed" true (List.mem Sup.Overloaded results);
+  check_bool "some jobs accepted" true (List.mem Sup.Accepted results);
+  Sup.drain pool;
+  check_bool "rejects after drain" true (Sup.submit pool 9 = Sup.Draining)
+
+let t_sup_restart_and_quarantine () =
+  let processed = Atomic.make 0 in
+  let pool =
+    Sup.create ~jobs:1 ~queue_cap:8
+      ~describe:(fun s -> s)
+      ~on_poison:(fun _ _ -> ())
+      ~process:(fun s ->
+        if s = "poison" then failwith "boom" else Atomic.incr processed)
+  in
+  check_bool "poison accepted" true (Sup.submit pool "poison" = Sup.Accepted);
+  (* the replacement worker must process jobs submitted after the death *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  while Sup.restarts pool < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_int "one restart" 1 (Sup.restarts pool);
+  check_bool "ok accepted" true (Sup.submit pool "ok" = Sup.Accepted);
+  Sup.drain pool;
+  check_int "survivor processed" 1 (Atomic.get processed);
+  match Sup.quarantined pool with
+  | [ (job, exn) ] ->
+      check_string "quarantined job" "poison" job;
+      check_bool "exception recorded" true
+        (Util.contains_sub ~sub:"boom" exn)
+  | q -> Alcotest.failf "expected one quarantined job, got %d" (List.length q)
+
+(* -- dispatcher semantics ---------------------------------------------------- *)
+
+let t_exec_deadline_cancels_loop () =
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    exec
+      (Printf.sprintf
+         {|{"id":"dl","cmd":"run","source":%s,"deadline_ms":300}|}
+         (P.jstr loop_src))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let ok, kind = shape resp in
+  check_bool "not ok" false ok;
+  check_string "limit kind" "limit" (Option.get kind);
+  check_bool "mentions deadline" true
+    (Util.contains_sub ~sub:"deadline" resp);
+  check_bool "cancelled promptly" true (elapsed < 10.)
+
+let t_exec_deadline_expired_in_queue () =
+  let req =
+    parse_ok
+      (Printf.sprintf {|{"id":"q","cmd":"run","source":%s,"deadline_ms":100}|}
+         (P.jstr loop_src))
+  in
+  (* enqueued long ago: must be answered without running at all *)
+  let t0 = Unix.gettimeofday () in
+  let resp = Serve.execute test_cfg req ~enqueued:(t0 -. 5.) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let ok, kind = shape resp in
+  check_bool "not ok" false ok;
+  check_string "limit kind" "limit" (Option.get kind);
+  check_bool "mentions queue" true (Util.contains_sub ~sub:"queue" resp);
+  check_bool "never ran" true (elapsed < 1.)
+
+let t_exec_zero_deadline_disables () =
+  let resp =
+    exec
+      {|{"id":"z","cmd":"run","source":"int main() { return 5; }","deadline_ms":0}|}
+  in
+  let ok, _ = shape resp in
+  check_bool "ok" true ok
+
+(* The paper's resource guards surface as structured [limit] errors, and
+   the error strings are engine-independent — byte-identical responses
+   from the tree walker and the bytecode VM. *)
+let t_exec_engine_error_parity () =
+  let cases =
+    [
+      ("step limit", loop_src, {|"step_limit":5000|});
+      ( "call depth",
+        "int f(int n) { return f(n + 1); }\nint main() { return f(0); }",
+        {|"call_depth_limit":64|} );
+      ( "heap objects",
+        "class A { public: int x; };\n\
+         int main() { while (1) { A* a = new A(); } return 0; }",
+        {|"heap_object_limit":1000|} );
+      ("div by zero", "int main() { int z = 0; return 1 / z; }", {|"profile":false|});
+      ( "null deref",
+        "class A { public: int x; };\nint main() { A *a = NULL; return a->x; }",
+        {|"profile":false|} );
+    ]
+  in
+  List.iter
+    (fun (name, src, extra) ->
+      let line engine =
+        Printf.sprintf {|{"id":"p","cmd":"run","source":%s,"engine":"%s",%s}|}
+          (P.jstr src) engine extra
+      in
+      let tree = exec (line "tree") and bc = exec (line "bytecode") in
+      check_string (name ^ ": engines agree") tree bc;
+      let ok, kind = shape tree in
+      check_bool (name ^ ": is an error") false ok;
+      check_bool
+        (name ^ ": limit or runtime kind")
+        true
+        (match Option.get kind with "limit" | "runtime" -> true | _ -> false))
+    cases
+
+let t_exec_diagnostics () =
+  let broken = "class A { int x; ;;; garbage\nint main( { return }" in
+  let resp =
+    exec (Printf.sprintf {|{"id":"d","cmd":"analyze","source":%s}|} (P.jstr broken))
+  in
+  let ok, kind = shape resp in
+  check_bool "not ok" false ok;
+  check_string "diagnostics kind" "diagnostics" (Option.get kind);
+  (* keep_going degrades instead of failing *)
+  let resp =
+    exec
+      (Printf.sprintf {|{"id":"k","cmd":"analyze","keep_going":true,"source":%s}|}
+         (P.jstr broken))
+  in
+  let ok, _ = shape resp in
+  check_bool "keep-going ok" true ok;
+  (* check treats diagnostics as data *)
+  let resp =
+    exec (Printf.sprintf {|{"id":"c","cmd":"check","source":%s}|} (P.jstr broken))
+  in
+  let ok, _ = shape resp in
+  check_bool "check ok" true ok;
+  check_bool "check reports errors" true
+    (match J.member "result" (json_of resp) with
+    | Some r -> (
+        match J.member "clean" r with Some (J.Bool b) -> not b | _ -> false)
+    | None -> false)
+
+let t_exec_explain () =
+  let src = "class A { public: int x; int y; };\nint main() { A a; return a.x; }" in
+  let resp =
+    exec
+      (Printf.sprintf {|{"id":"e","cmd":"explain","member":"A::y","source":%s}|}
+         (P.jstr src))
+  in
+  let ok, _ = shape resp in
+  check_bool "explain ok" true ok;
+  let resp =
+    exec
+      (Printf.sprintf
+         {|{"id":"u","cmd":"explain","member":"Ghost::haunt","source":%s}|}
+         (P.jstr src))
+  in
+  let _, kind = shape resp in
+  check_string "unknown member" "unknown_member" (Option.get kind);
+  let resp =
+    exec
+      (Printf.sprintf {|{"id":"b","cmd":"explain","member":"nocolons","source":%s}|}
+         (P.jstr src))
+  in
+  let _, kind = shape resp in
+  check_string "bad member form" "protocol" (Option.get kind)
+
+let t_exec_crash_gated () =
+  let resp = exec {|{"id":"c","cmd":"crash"}|} in
+  let _, kind = shape resp in
+  check_string "crash disabled" "unsupported" (Option.get kind);
+  let cfg = { test_cfg with Serve.fault_injection = true } in
+  check_bool "crash raises under fault injection" true
+    (match exec ~cfg {|{"id":"c","cmd":"crash"}|} with
+    | exception Serve.Fault_injected -> true
+    | _ -> false)
+
+let t_exec_caching () =
+  let src = "class C { int a; int b; };\nint main() { C c; return 0; }" in
+  let line = Printf.sprintf {|{"id":"m","cmd":"analyze","source":%s}|} (P.jstr src) in
+  let cached resp =
+    match J.member "result" (json_of resp) with
+    | Some r -> (
+        match J.member "cached" r with Some (J.Bool b) -> b | _ -> false)
+    | None -> false
+  in
+  ignore (exec line);
+  check_bool "second request hits the cache" true (cached (exec line));
+  (* the deadmem Config participates in the analysis memo key *)
+  let conservative =
+    Printf.sprintf
+      {|{"id":"m2","cmd":"analyze","conservative":true,"source":%s}|}
+      (P.jstr src)
+  in
+  let ok, _ = shape (exec conservative) in
+  check_bool "different config still answers" true ok
+
+(* -- the full dispatch path (handle_line) ------------------------------------ *)
+
+let t_handle_worker_restart_end_to_end () =
+  let h =
+    make_harness ~cfg:{ test_cfg with Serve.fault_injection = true } ()
+  in
+  feed h {|{"id":"boom","cmd":"crash"}|};
+  feed h {|{"id":"after","cmd":"run","source":"int main() { return 3; }"}|};
+  await h 2;
+  stop h;
+  let internal, after =
+    match responses h with
+    | [ a; b ] when resp_id a = Some "boom" -> (a, b)
+    | [ a; b ] -> (b, a)
+    | r -> Alcotest.failf "expected 2 responses, got %d" (List.length r)
+  in
+  let _, kind = shape internal in
+  check_string "poison answered internal" "internal" (Option.get kind);
+  let ok, _ = shape after in
+  check_bool "replacement worker served the next request" true ok
+
+let t_handle_overload_sheds () =
+  let h = make_harness ~cfg:{ test_cfg with Serve.queue_cap = 1 } () in
+  let slow =
+    Printf.sprintf {|{"id":"s","cmd":"run","source":%s,"deadline_ms":400}|}
+      (P.jstr loop_src)
+  in
+  for _ = 1 to 6 do
+    feed h slow
+  done;
+  (* health must be answered inline even while the queue is full *)
+  feed h {|{"id":"h","cmd":"health"}|};
+  let kinds_now =
+    List.filter_map (fun r -> snd (shape r)) (responses h)
+  in
+  check_bool "shed synchronously" true (List.mem "overloaded" kinds_now);
+  await h 7;
+  stop h;
+  check_int "every frame answered" 7 (count h);
+  let healths =
+    List.filter (fun r -> resp_id r = Some "h") (responses h)
+  in
+  check_int "health answered" 1 (List.length healths)
+
+let t_handle_drain_finishes_accepted_work () =
+  let h = make_harness () in
+  for i = 1 to 3 do
+    feed h
+      (Printf.sprintf
+         {|{"id":"w%d","cmd":"run","source":"int main() { return %d; }"}|} i i)
+  done;
+  stop h;
+  check_int "accepted work answered before drain returns" 3 (count h);
+  feed h {|{"id":"late","cmd":"run","source":"int main() { return 0; }"}|};
+  await h 4;
+  let _, kind = shape (List.hd (List.filter
+    (fun r -> resp_id r = Some "late") (responses h))) in
+  check_string "late request refused" "draining" (Option.get kind)
+
+let t_handle_oversized_frame () =
+  let h = make_harness () in
+  let big =
+    Printf.sprintf {|{"id":"big","cmd":"check","source":%s}|}
+      (P.jstr (String.make (2 * test_cfg.Serve.max_request_bytes) 'x'))
+  in
+  feed h big;
+  await h 1;
+  stop h;
+  let _, kind = shape (List.hd (responses h)) in
+  check_string "too large" "too_large" (Option.get kind)
+
+let t_handle_stats_shape () =
+  let h = make_harness () in
+  feed h {|{"id":"s","cmd":"stats"}|};
+  await h 1;
+  stop h;
+  let v = json_of (List.hd (responses h)) in
+  let result = Option.get (J.member "result" v) in
+  List.iter
+    (fun field ->
+      check_bool ("stats has " ^ field) true (J.member field result <> None))
+    [
+      "status"; "workers"; "queue_depth"; "worker_restarts"; "quarantined";
+      "source_cache_entries"; "counters"; "uptime_ms";
+    ]
+
+(* -- crash corpus ------------------------------------------------------------ *)
+
+(* Resolve build artifacts relative to the test executable so the suite
+   works both under `dune runtest` (cwd = test dir) and `dune exec`
+   (cwd = invocation dir). *)
+let build_path rel =
+  Filename.concat (Filename.dirname Sys.executable_name) rel
+
+let corpus_lines file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+let t_corpus file () =
+  let lines =
+    List.filter
+      (fun l -> not (is_blank l))
+      (corpus_lines (build_path ("../examples/corpus/serve/" ^ file)))
+  in
+  Alcotest.(check bool) "corpus is not empty" true (lines <> []);
+  let h = make_harness () in
+  List.iter (feed h) lines;
+  await h (List.length lines);
+  stop h;
+  check_int "exactly one response per frame" (List.length lines) (count h);
+  List.iter (fun r -> ignore (shape r)) (responses h)
+
+(* -- protocol fuzzer --------------------------------------------------------- *)
+
+(* Random frames: byte junk, JSON-ish junk, and mutations of valid
+   requests. The property: the dispatcher answers every non-blank frame
+   with exactly one parseable JSON response and never raises. One shared
+   pool absorbs the whole hostile stream — closer to a long-lived daemon
+   than a pool per case, and the stream is deterministic (fixed seed) so
+   a failure reproduces. *)
+let frame_gen =
+  let valid =
+    [
+      {|{"id":"v1","cmd":"health"}|};
+      {|{"id":"v2","cmd":"stats"}|};
+      {|{"id":"v3","cmd":"check","source":"int main() { return 0; }"}|};
+      {|{"id":"v4","cmd":"analyze","source":"class A { int x; };\nint main() { A a; return 0; }"}|};
+      {|{"id":"v5","cmd":"run","source":"int main() { print_int(1); return 0; }","step_limit":100000}|};
+      {|{"id":"v6","cmd":"explain","member":"A::x","source":"class A { public: int x; };\nint main() { A a; return a.x; }"}|};
+      {|{"id":"v7","cmd":"crash"}|};
+    ]
+  in
+  let mutate (s, seed) =
+    let n = String.length s in
+    if n = 0 then s
+    else
+      match seed mod 4 with
+      | 0 -> String.sub s 0 (seed mod n) (* truncate *)
+      | 1 ->
+          (* flip one byte *)
+          let b = Bytes.of_string s in
+          Bytes.set b (seed mod n) (Char.chr (Char.code s.[seed mod n] lxor 32));
+          Bytes.to_string b
+      | 2 ->
+          String.sub s 0 (seed mod n) ^ "}"
+          ^ String.sub s (seed mod n) (n - (seed mod n))
+      | _ -> s ^ String.make 1 (Char.chr (seed mod 256))
+  in
+  let any_byte = Gen.map Char.chr (Gen.int_bound 255) in
+  Gen.oneof
+    [
+      Gen.map mutate (Gen.pair (Gen.oneofl valid) Gen.nat);
+      Gen.oneofl valid;
+      Gen.string_size ~gen:Gen.printable (Gen.int_bound 80);
+      Gen.string_size ~gen:any_byte (Gen.int_bound 40);
+    ]
+
+let t_fuzz_every_frame_answered () =
+  let rand = Random.State.make [| 0x5eed |] in
+  let frames = Gen.generate ~n:150 ~rand frame_gen in
+  let h = make_harness () in
+  let seen = ref 0 in
+  List.iter
+    (fun frame ->
+      (* shutdown is the one frame allowed to change server state *)
+      let frame =
+        if Util.contains_sub ~sub:"shutdown" frame then "shutdown-disarmed"
+        else frame
+      in
+      if not (is_blank frame || String.contains frame '\n') then begin
+        feed h frame;
+        incr seen;
+        await h !seen;
+        let resp = List.hd (Mutex.protect h.h_mu (fun () -> h.h_responses)) in
+        ignore (shape resp)
+      end)
+    frames;
+  stop h;
+  check_int "one response per non-blank frame" !seen (count h)
+
+let suite =
+  [
+    Util.test "protocol: minimal request" t_parse_minimal;
+    Util.test "protocol: integer id" t_parse_integer_id;
+    Util.test "protocol: full request" t_parse_full;
+    Util.test "protocol: rejects bad shapes" t_parse_errors;
+    Util.test "protocol: shape errors keep the id" t_parse_error_keeps_id;
+    Util.test "protocol: depth bomb is a parse error" t_parse_depth_bomb;
+    Util.test "protocol: responses are valid JSON" t_responses_are_json;
+    Util.test "supervisor: processes every accepted job" t_sup_processes_all;
+    Util.test "supervisor: sheds overload, rejects after drain"
+      t_sup_overload_and_drain_reject;
+    Util.test "supervisor: restarts and quarantines on poison"
+      t_sup_restart_and_quarantine;
+    Util.test "execute: deadline cancels a runaway program"
+      t_exec_deadline_cancels_loop;
+    Util.test "execute: deadline spent in queue never runs"
+      t_exec_deadline_expired_in_queue;
+    Util.test "execute: deadline 0 disables the budget"
+      t_exec_zero_deadline_disables;
+    Util.test "execute: limit/runtime errors identical across engines"
+      t_exec_engine_error_parity;
+    Util.test "execute: diagnostics are structured" t_exec_diagnostics;
+    Util.test "execute: explain verdicts and errors" t_exec_explain;
+    Util.test "execute: crash op is gated" t_exec_crash_gated;
+    Util.test "execute: content-addressed caching" t_exec_caching;
+    Util.test "serve: poison request restarts worker, next request served"
+      t_handle_worker_restart_end_to_end;
+    Util.test "serve: overload sheds with structured errors"
+      t_handle_overload_sheds;
+    Util.test "serve: drain answers accepted work, refuses late work"
+      t_handle_drain_finishes_accepted_work;
+    Util.test "serve: oversized frame answered too_large"
+      t_handle_oversized_frame;
+    Util.test "serve: stats response shape" t_handle_stats_shape;
+    Util.test "serve corpus: malformed frames" (t_corpus "malformed.jsonl");
+    Util.test "serve corpus: hostile programs"
+      (t_corpus "hostile_programs.jsonl");
+    Util.test "serve corpus: oversized frame" (t_corpus "oversized.jsonl");
+    Util.test "serve corpus: truncated stream" (t_corpus "truncated.jsonl");
+    Util.test "serve fuzz: every random frame answered"
+      t_fuzz_every_frame_answered;
+  ]
