@@ -158,19 +158,21 @@ let parse_request ~max_depth (line : string) : request parse_result =
   match J.parse ~max_depth line with
   | Error msg -> Error (None, Parse, "request is not valid JSON: " ^ msg)
   | Ok (J.Obj fields as obj) -> (
-      (* pull the id out first so even shape errors can echo it *)
+      (* pull the id out first so even shape errors can echo it;
+         [J.to_int] bounds the float so a huge integral id (1e30) is a
+         protocol error instead of an undefined [int_of_float] echo *)
       let req_id =
         match J.member "id" obj with
         | Some (J.Str s) -> Some s
-        | Some (J.Num n) when Float.is_integer n ->
-            Some (string_of_int (int_of_float n))
+        | Some (J.Num _ as v) -> Option.map string_of_int (J.to_int v)
         | _ -> None
       in
       try
         (match J.member "id" obj with
         | None | Some (J.Str _) -> ()
-        | Some (J.Num n) when Float.is_integer n -> ()
-        | Some _ -> reject Protocol "'id' must be a string or an integer");
+        | Some (J.Num _ as v) when J.to_int v <> None -> ()
+        | Some _ ->
+            reject Protocol "'id' must be a string or an integer within +-2^53");
         let op =
           match J.member "cmd" obj with
           | None -> reject Protocol "missing 'cmd'"

@@ -405,6 +405,8 @@ let stats_fields t =
       ("spans_dropped", jint (Telemetry.spans_dropped ()));
       ( "counters",
         jobj (List.map (fun (n, v) -> (n, jint v)) (Telemetry.counters ())) );
+      ( "gauges",
+        jobj (List.map (fun (n, v) -> (n, jint v)) (Telemetry.gauges ())) );
     ]
 
 let stats_json t = jobj (stats_fields t)
@@ -483,40 +485,97 @@ let writer fd =
 
 (* Bounded frame reader: polls [input] with a short select timeout so
    the stop flag (signal- or shutdown-driven) is honored promptly; a
-   frame that outgrows the size cap is answered [too_large] once and
-   discarded up to its terminating newline, so one hostile frame cannot
-   hold memory or desynchronize the stream. A truncated final frame
-   (EOF without newline) is still processed. *)
-let read_loop t ~input ~respond =
-  let buf = Buffer.create 8192 in
+   frame that outgrows the size cap is answered [too_large] once and its
+   bytes are dropped as they stream in — with or without a terminating
+   newline — so one hostile frame cannot hold memory or desynchronize
+   the stream. A truncated final frame (EOF without newline) is still
+   processed. [on_frame] fires once per frame that will produce a
+   response, before that response can be written; the socket transport
+   uses it to count a connection's outstanding replies. *)
+let read_loop ?(on_frame = fun () -> ()) t ~input ~respond =
+  (* Live bytes are data.[start .. start+len); [scanned] bytes at the
+     head of the live region are known newline-free, so each byte is
+     examined once however the frame is chunked — no per-chunk
+     re-materialization of the whole buffer. *)
+  let data = ref (Bytes.create 8192) in
+  let start = ref 0 in
+  let len = ref 0 in
+  let scanned = ref 0 in
   let chunk = Bytes.create 8192 in
   let discarding = ref false in
   let eof = ref false in
+  let drop_live () =
+    start := 0;
+    len := 0;
+    scanned := 0;
+    (* an oversized frame may have grown the storage up to the cap;
+       don't keep holding it per idle connection *)
+    if Bytes.length !data > 65536 then data := Bytes.create 8192
+  in
+  let add n =
+    let cap = Bytes.length !data in
+    if !start + !len + n > cap then begin
+      (* compact; grow only when the live bytes themselves outgrow the
+         storage *)
+      let need = !len + n in
+      let d = if need > cap then Bytes.create (max need (2 * cap)) else !data in
+      Bytes.blit !data !start d 0 !len;
+      data := d;
+      start := 0
+    end;
+    Bytes.blit chunk 0 !data (!start + !len) n;
+    len := !len + n
+  in
+  (* consume through the newline at absolute index [i] *)
+  let take i =
+    let line = Bytes.sub_string !data !start (i - !start) in
+    let consumed = i - !start + 1 in
+    start := !start + consumed;
+    len := !len - consumed;
+    scanned := 0;
+    if !len = 0 then drop_live ();
+    line
+  in
   let feed line =
     if !discarding then discarding := false
-    else if not (is_blank line) then handle_line t ~respond line
+    else if not (is_blank line) then begin
+      on_frame ();
+      handle_line t ~respond line
+    end
+  in
+  let find_newline () =
+    let b = !data in
+    let limit = !start + !len in
+    let rec go i =
+      if i >= limit then None
+      else if Bytes.get b i = '\n' then Some i
+      else go (i + 1)
+    in
+    let r = go (!start + !scanned) in
+    if r = None then scanned := !len;
+    r
   in
   let drain_frames () =
     let rec go () =
-      let s = Buffer.contents buf in
-      match String.index_opt s '\n' with
+      match find_newline () with
       | Some i ->
-          let line = String.sub s 0 i in
-          Buffer.clear buf;
-          Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
-          feed line;
+          feed (take i);
           go ()
       | None ->
-          if (not !discarding) && Buffer.length buf > t.cfg.max_request_bytes
-          then begin
+          if !discarding then
+            (* mid-discard bytes are dropped as they arrive, not
+               accumulated until the newline shows up *)
+            drop_live ()
+          else if !len > t.cfg.max_request_bytes then begin
             (* oversized frame still in flight: answer once, then skip
                to its newline *)
             Telemetry.Counter.incr frames_oversized;
+            on_frame ();
             reply respond
               (error_response
                  ~extra:[ ("max_request_bytes", jint t.cfg.max_request_bytes) ]
                  Too_large "request frame exceeds the size cap");
-            Buffer.clear buf;
+            drop_live ();
             discarding := true
           end
     in
@@ -529,10 +588,10 @@ let read_loop t ~input ~respond =
         match Unix.read input chunk 0 (Bytes.length chunk) with
         | 0 ->
             eof := true;
-            if Buffer.length buf > 0 && not !discarding then
-              feed (Buffer.contents buf)
+            if !len > 0 && not !discarding then
+              feed (Bytes.sub_string !data !start !len)
         | n ->
-            Buffer.add_subbytes buf chunk 0 n;
+            add n;
             drain_frames ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -549,37 +608,88 @@ let drain_pool t =
   Supervisor.drain t.pool
 
 (* Unix-socket transport: accept loop on the calling thread, one reader
-   thread per connection. Returns a cleanup closure to run AFTER the
-   pool has drained — connections must stay open until every in-flight
-   response for them has been written. *)
+   thread per connection. A connection is reaped — thread joined, fd
+   closed — once its reader has returned AND every frame it accepted has
+   been answered, so a long-lived daemon serving many short connections
+   does not accumulate fds until accept(2) dies of EMFILE. Connections
+   still live at shutdown are closed by the returned cleanup closure,
+   which must run AFTER the pool has drained — their in-flight
+   responses must be written first. *)
+type conn = {
+  c_thread : Thread.t;
+  c_fd : Unix.file_descr;
+  c_pending : int Atomic.t;  (** accepted frames not yet answered *)
+  c_done : bool Atomic.t;  (** reader thread has returned *)
+}
+
+let connections_gauge = Telemetry.Gauge.make "server.connections"
+
 let serve_socket t ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let conns = ref [] in
+  let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let reap () =
+    let dead, live =
+      List.partition
+        (fun c -> Atomic.get c.c_done && Atomic.get c.c_pending = 0)
+        !conns
+    in
+    conns := live;
+    Telemetry.Gauge.set connections_gauge (List.length live);
+    List.iter
+      (fun c ->
+        Thread.join c.c_thread;
+        close_fd c.c_fd)
+      dead
+  in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 16;
   while not (Atomic.get t.stop) do
-    match Unix.select [ sock ] [] [] 0.15 with
+    (match Unix.select [ sock ] [] [] 0.15 with
     | [], _, _ -> ()
     | _ -> (
         match Unix.accept sock with
         | fd, _ ->
-            let th =
+            let pending = Atomic.make 0 in
+            let done_ = Atomic.make false in
+            let write = writer fd in
+            (* write first, decrement after: the reaper cannot close
+               the fd under an in-flight response *)
+            let respond line =
+              write line;
+              Atomic.decr pending
+            in
+            let c_thread =
               Thread.create
-                (fun () -> read_loop t ~input:fd ~respond:(writer fd))
+                (fun () ->
+                  Fun.protect
+                    ~finally:(fun () -> Atomic.set done_ true)
+                    (fun () ->
+                      read_loop t ~input:fd ~respond
+                        ~on_frame:(fun () -> Atomic.incr pending)))
                 ()
             in
-            conns := (th, fd) :: !conns
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            conns :=
+              { c_thread; c_fd = fd; c_pending = pending; c_done = done_ }
+              :: !conns
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+            (* client hung up between connect and accept: not our loss *)
+            ()
+        | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+            (* fd exhaustion: shed this accept and back off instead of
+               dying; the reap below frees descriptors and waiting
+               clients sit in the listen backlog *)
+            Thread.delay 0.05)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    reap ()
   done;
   Atomic.set t.stop true;
-  List.iter (fun (th, _) -> Thread.join th) !conns;
+  List.iter (fun c -> Thread.join c.c_thread) !conns;
   (try Unix.close sock with Unix.Unix_error _ -> ());
   fun () ->
-    List.iter
-      (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ())
-      !conns;
+    List.iter (fun c -> close_fd c.c_fd) !conns;
     try Unix.unlink path with Unix.Unix_error _ -> ()
 
 (* -- entry point ------------------------------------------------------------- *)

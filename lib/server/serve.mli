@@ -49,6 +49,21 @@ val handle_line : t -> respond:(string -> unit) -> string -> unit
 (** The live stats object (also what [stats] requests answer with). *)
 val stats_json : t -> string
 
+(** Read JSONL frames from [input] and dispatch them until EOF or stop.
+    Frames are size-capped: an oversized frame is answered [too_large]
+    once and its bytes are dropped as they stream in, even when the
+    terminating newline never arrives, so a hostile frame cannot hold
+    memory. [on_frame] (default: no-op) fires once per frame that will
+    produce a response, before that response can be written — the
+    socket transport uses it to count a connection's outstanding
+    replies. Used by both transports and by tests over pipes. *)
+val read_loop :
+  ?on_frame:(unit -> unit) ->
+  t ->
+  input:Unix.file_descr ->
+  respond:(string -> unit) ->
+  unit
+
 (** Serve stdin/stdout until EOF or stop; used by tests over pipes. *)
 val serve_stdio : t -> unit
 

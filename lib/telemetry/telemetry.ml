@@ -449,8 +449,14 @@ module Json = struct
     | Obj bs -> List.assoc_opt key bs
     | _ -> None
 
+  (* [int_of_float] is unspecified outside [min_int, max_int], and
+     above 2^53 a float no longer represents every integer — so only
+     integral values within +-2^53 convert; anything else is None. *)
+  let max_exact_int = 9007199254740992. (* 2^53 *)
+
   let to_int = function
-    | Num f when Float.is_integer f -> Some (int_of_float f)
+    | Num f when Float.is_integer f && Float.abs f <= max_exact_int ->
+        Some (int_of_float f)
     | _ -> None
 
   let to_string = function Str s -> Some s | _ -> None

@@ -117,6 +117,21 @@ let t_parse_integer_id () =
   let r = parse_ok {|{"id":7,"cmd":"stats"}|} in
   check_string "id" "7" (Option.get r.P.req_id)
 
+let t_parse_huge_numbers () =
+  (* int_of_float is unspecified past the int range: a 1e30 id must be
+     a protocol error, not a garbage echo that breaks correlation *)
+  let id, kind = parse_err {|{"id":1e30,"cmd":"health"}|} in
+  check_bool "no garbage id echoed" true (id = None);
+  check_string "huge id is a protocol error" "protocol" (P.kind_name kind);
+  let _, kind = parse_err {|{"cmd":"run","source":"x","step_limit":1e300}|} in
+  check_string "huge limit is a protocol error" "protocol" (P.kind_name kind);
+  (* boundary: 2^53 is the last float that exactly represents its int *)
+  let r = parse_ok {|{"id":9007199254740992,"cmd":"health"}|} in
+  check_string "2^53 converts exactly" "9007199254740992"
+    (Option.get r.P.req_id);
+  let _, kind = parse_err {|{"id":9007199254740994,"cmd":"health"}|} in
+  check_string "past 2^53 rejected" "protocol" (P.kind_name kind)
+
 let t_parse_full () =
   let r =
     parse_ok
@@ -464,6 +479,61 @@ let t_handle_oversized_frame () =
   let _, kind = shape (List.hd (responses h)) in
   check_string "too large" "too_large" (Option.get kind)
 
+(* The byte-level transport: a newline-free frame streamed past the size
+   cap is answered [too_large] exactly once and dropped chunk by chunk
+   (not buffered until a newline that may never come); the next newline
+   resynchronizes the stream, and a truncated final frame is still
+   answered at EOF. *)
+let t_read_loop_oversized_stream () =
+  let cfg = { test_cfg with Serve.max_request_bytes = 1024 } in
+  let t = Serve.create cfg in
+  let r, w = Unix.pipe () in
+  let mu = Mutex.create () in
+  let resps = ref [] in
+  let respond s = Mutex.protect mu (fun () -> resps := s :: !resps) in
+  let got () = Mutex.protect mu (fun () -> List.rev !resps) in
+  let await_n n =
+    let deadline = Unix.gettimeofday () +. 30. in
+    while List.length (got ()) < n && Unix.gettimeofday () < deadline do
+      Thread.delay 0.01
+    done;
+    if List.length (got ()) < n then
+      Alcotest.failf "timed out at %d of %d responses" (List.length (got ())) n
+  in
+  let reader = Thread.create (fun () -> Serve.read_loop t ~input:r ~respond) () in
+  let write_all s =
+    let b = Bytes.of_string s in
+    let rec go off =
+      if off < Bytes.length b then
+        go (off + Unix.write w b off (Bytes.length b - off))
+    in
+    go 0
+  in
+  (* 64x the cap, no newline anywhere: answered while still in flight *)
+  for _ = 1 to 64 do
+    write_all (String.make 1024 'x')
+  done;
+  await_n 1;
+  (let _, kind = shape (List.hd (got ())) in
+   check_string "too_large" "too_large" (Option.get kind));
+  (* the newline ends the discarded frame; the next frame is served *)
+  write_all "\n{\"id\":\"after\",\"cmd\":\"health\"}\n";
+  await_n 2;
+  check_int "oversized frame answered exactly once" 2 (List.length (got ()));
+  (let resp = List.nth (got ()) 1 in
+   check_bool "next frame ok" true (fst (shape resp));
+   check_bool "next frame correlated" true (resp_id resp = Some "after"));
+  (* truncated final frame: EOF without newline still gets its answer *)
+  write_all {|{"id":"tail","cmd":"health"}|};
+  Unix.close w;
+  await_n 3;
+  Thread.join reader;
+  Serve.drain_pool t;
+  Unix.close r;
+  check_int "exactly three responses" 3 (List.length (got ()));
+  check_bool "truncated frame correlated" true
+    (resp_id (List.nth (got ()) 2) = Some "tail")
+
 let t_handle_stats_shape () =
   let h = make_harness () in
   feed h {|{"id":"s","cmd":"stats"}|};
@@ -476,7 +546,7 @@ let t_handle_stats_shape () =
       check_bool ("stats has " ^ field) true (J.member field result <> None))
     [
       "status"; "workers"; "queue_depth"; "worker_restarts"; "quarantined";
-      "source_cache_entries"; "counters"; "uptime_ms";
+      "source_cache_entries"; "counters"; "gauges"; "uptime_ms";
     ]
 
 (* -- crash corpus ------------------------------------------------------------ *)
@@ -587,6 +657,8 @@ let suite =
   [
     Util.test "protocol: minimal request" t_parse_minimal;
     Util.test "protocol: integer id" t_parse_integer_id;
+    Util.test "protocol: huge numbers rejected, not mangled"
+      t_parse_huge_numbers;
     Util.test "protocol: full request" t_parse_full;
     Util.test "protocol: rejects bad shapes" t_parse_errors;
     Util.test "protocol: shape errors keep the id" t_parse_error_keeps_id;
@@ -617,6 +689,8 @@ let suite =
       t_handle_drain_finishes_accepted_work;
     Util.test "serve: oversized frame answered too_large"
       t_handle_oversized_frame;
+    Util.test "serve: newline-free oversized stream dropped as it arrives"
+      t_read_loop_oversized_stream;
     Util.test "serve: stats response shape" t_handle_stats_shape;
     Util.test "serve corpus: malformed frames" (t_corpus "malformed.jsonl");
     Util.test "serve corpus: hostile programs"
