@@ -342,6 +342,9 @@ type measurement = {
   m_name : string;
   m_loc : int;
   m_phases : (string * float) list;  (* phase name -> median wall ms *)
+  m_run_hist : Telemetry.Histogram.snap;
+      (* run-phase latency distribution over the samples (µs), built
+         offline with [Histogram.of_values] — telemetry stays off *)
   m_dead : int;
   m_objspace : int;
   m_deadspace : int;
@@ -485,6 +488,14 @@ let measure ?(runs = 1) () : measurement list =
               algorithms
           in
           let s = outcome.Runtime.Interp.snapshot in
+          let run_us =
+            List.filter_map
+              (fun (ps, _, _) ->
+                Option.map
+                  (fun ms -> int_of_float (ms *. 1000.))
+                  (List.assoc_opt "run" ps))
+              samples
+          in
           {
             m_name = b.Suite.name;
             m_loc = Suite.loc b;
@@ -492,6 +503,10 @@ let measure ?(runs = 1) () : measurement list =
               List.map
                 (fun p -> (p, med_phase p))
                 [ "parse"; "typecheck"; "analyze"; "run" ];
+            m_run_hist =
+              Telemetry.Histogram.of_values
+                ~name:("bench.run_us." ^ b.Suite.name)
+                run_us;
             m_dead = List.length (Deadmem.Liveness.dead_members result);
             m_objspace = s.Runtime.Profile.object_space;
             m_deadspace = s.Runtime.Profile.dead_space;
@@ -519,6 +534,7 @@ let bench_json () =
            "\n\
            \    {\"name\":\"%s\",\"loc\":%d,\n\
            \     \"wall_ms\":{%s},\n\
+           \     \"run_us_hist\":%s,\n\
            \     \"dead_members\":%d,\"object_space\":%d,\"dead_space\":%d,\n\
            \     \"callgraph\":{%s},\n\
            \     \"counters\":{%s}}"
@@ -529,6 +545,7 @@ let bench_json () =
                  (fun (p, v) ->
                    Fmt.str "\"%s\":%.3f" (Frontend.Source.json_escape p) v)
                  m.m_phases))
+           (Telemetry.histogram_json m.m_run_hist)
            m.m_dead m.m_objspace m.m_deadspace
            (String.concat ","
               (List.map

@@ -6,6 +6,8 @@
      check FILE...   batch-diagnose translation units (text or JSON)
      run FILE        execute a MiniC++ program under the instrumented
                      interpreter and print the object-space profile
+     profile FILE    execute on the bytecode VM with the hot-site profiler
+                     and print per-opcode / per-function / loop-site counts
      callgraph FILE  print (or dot-dump) the program's call graph
      bench NAME      analyze + run one of the built-in paper benchmarks
 
@@ -128,13 +130,22 @@ let engine_opt =
 
 let metrics_opt =
   let doc =
-    "Switch telemetry on and write a JSON snapshot of every counter, gauge \
-     and phase span to $(docv) when the command completes ('-', the default \
-     when the flag is given bare, writes to standard output)."
+    "Switch telemetry on and write a snapshot of every counter, gauge, \
+     histogram and phase span to $(docv) when the command completes ('-', \
+     the default when the flag is given bare, writes to standard output)."
   in
   Arg.(value
        & opt ~vopt:(Some "-") (some string) None
        & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let metrics_format_opt =
+  let doc =
+    "Rendering of the --metrics snapshot: 'json' (default; one object with \
+     counters, gauges, histograms and spans) or 'prometheus' (the text \
+     exposition format, instrument names prefixed 'deadmem_')."
+  in
+  let fmt = Arg.enum [ ("json", `Json); ("prometheus", `Prometheus) ] in
+  Arg.(value & opt fmt `Json & info [ "metrics-format" ] ~docv:"FORMAT" ~doc)
 
 let trace_out_opt =
   let doc =
@@ -154,12 +165,17 @@ let write_file path contents =
    the requested snapshots afterwards. Dumps happen only on completed runs:
    [handle_errors] sits outside, so a diagnosed failure exits before we get
    here — the snapshot of a half-run pipeline would mislead more than help. *)
-let with_telemetry ~metrics ~trace_out f =
+let with_telemetry ?(metrics_format = `Json) ~metrics ~trace_out f =
   if metrics <> None || trace_out <> None then Telemetry.set_enabled true;
   let code = f () in
+  let render () =
+    match metrics_format with
+    | `Json -> Telemetry.metrics_json ()
+    | `Prometheus -> Telemetry.prometheus_text ()
+  in
   (match metrics with
-  | Some "-" -> print_string (Telemetry.metrics_json ()); print_newline ()
-  | Some path -> write_file path (Telemetry.metrics_json ())
+  | Some "-" -> print_string (render ()); print_newline ()
+  | Some path -> write_file path (render ())
   | None -> ());
   (match trace_out with
   | Some path -> write_file path (Telemetry.trace_json ())
@@ -170,9 +186,9 @@ let with_telemetry ~metrics ~trace_out f =
 
 let analyze_cmd =
   let run file alg conservative library_classes verbose keep_going metrics
-      trace_out =
+      metrics_format trace_out =
     handle_errors (fun () ->
-        with_telemetry ~metrics ~trace_out @@ fun () ->
+        with_telemetry ~metrics_format ~metrics ~trace_out @@ fun () ->
         let config = config_of ~alg ~conservative ~library_classes in
         let prog, unknown, code =
           if keep_going then begin
@@ -215,7 +231,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ file_arg $ callgraph_alg $ conservative_flag
           $ library_classes_opt $ verbose $ keep_going_flag $ metrics_opt
-          $ trace_out_opt)
+          $ metrics_format_opt $ trace_out_opt)
 
 (* -- explain ------------------------------------------------------------------ *)
 
@@ -234,9 +250,9 @@ let split_member s =
 
 let explain_cmd =
   let run member file alg conservative library_classes keep_going metrics
-      trace_out =
+      metrics_format trace_out =
     handle_errors (fun () ->
-        with_telemetry ~metrics ~trace_out @@ fun () ->
+        with_telemetry ~metrics_format ~metrics ~trace_out @@ fun () ->
         match split_member member with
         | None ->
             Fmt.epr "error: MEMBER must have the form 'Class::member' (got '%s')@."
@@ -294,7 +310,7 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(const run $ member_arg $ file_arg1 $ callgraph_alg
           $ conservative_flag $ library_classes_opt $ keep_going_flag
-          $ metrics_opt $ trace_out_opt)
+          $ metrics_opt $ metrics_format_opt $ trace_out_opt)
 
 (* -- check -------------------------------------------------------------------- *)
 
@@ -425,9 +441,9 @@ let check_cmd =
     flush stderr;
     Array.to_list (Array.map (fun (st, _, _) -> st) slots)
   in
-  let run files format alg jobs metrics trace_out =
+  let run files format alg jobs metrics metrics_format trace_out =
     handle_errors (fun () ->
-        with_telemetry ~metrics ~trace_out @@ fun () ->
+        with_telemetry ~metrics_format ~metrics ~trace_out @@ fun () ->
         let results = check_all ~format ~alg ~jobs files in
         if List.mem `Io results then exit_usage
         else if List.mem `Diagnostics results then exit_diagnostics
@@ -459,7 +475,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ files_arg $ format_arg $ callgraph_alg $ jobs_arg
-          $ metrics_opt $ trace_out_opt)
+          $ metrics_opt $ metrics_format_opt $ trace_out_opt)
 
 (* -- run ---------------------------------------------------------------------- *)
 
@@ -506,6 +522,97 @@ let run_cmd =
   let doc = "Execute a MiniC++ program under the instrumented interpreter." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ file_arg $ profile $ engine_opt $ step_limit
+          $ call_depth_limit $ heap_object_limit)
+
+(* -- profile ------------------------------------------------------------------- *)
+
+(* VM hot-site profiler: run the program on the bytecode engine with the
+   counting profiler attached and print where the time goes — per-opcode
+   dispatch counts, per-function instruction/call counts, and the
+   back-branch sites that identify hot loops. *)
+let profile_cmd =
+  let run file bench format top step_limit call_depth_limit heap_object_limit =
+    handle_errors (fun () ->
+        let prog =
+          match (bench, file) with
+          | Some name, _ -> (
+              match Benchmarks.Suite.find name with
+              | Some b -> Some (Benchmarks.Suite.program b)
+              | None ->
+                  Fmt.epr "unknown benchmark '%s'; available: %s@." name
+                    (String.concat ", "
+                       (List.map
+                          (fun (b : Benchmarks.Suite.t) -> b.name)
+                          Benchmarks.Suite.all));
+                  None)
+          | None, Some f -> Some (load f)
+          | None, None ->
+              Fmt.epr "error: provide a FILE or --bench NAME@.";
+              None
+        in
+        match prog with
+        | None -> exit_usage
+        | Some prog ->
+            let outcome, report =
+              Runtime.Interp.run_profiled ~step_limit ~call_depth_limit
+                ~heap_object_limit prog
+            in
+            (match format with
+            | `Text ->
+                Fmt.pr "-- exit %d after %d steps --@."
+                  outcome.Runtime.Interp.return_value
+                  outcome.Runtime.Interp.steps;
+                print_string (Runtime.Vm_profile.to_text ~top report)
+            | `Json -> print_endline (Runtime.Vm_profile.to_json report));
+            exit_ok)
+    |> exit
+  in
+  let file_arg =
+    let doc =
+      "MiniC++ source file to profile ('-' reads standard input). Omit it \
+       when profiling a built-in benchmark with --bench."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let bench_arg =
+    let doc =
+      "Profile a built-in paper benchmark (e.g. richards, sched) instead of \
+       a source file."
+    in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: 'text' (default) or 'json'." in
+    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let top_arg =
+    let doc = "Rows per table in text output." in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let step_limit =
+    Arg.(value & opt int Runtime.Interp.default_step_limit
+         & info [ "step-limit" ] ~docv:"N" ~doc:"Interpreter step budget.")
+  in
+  let call_depth_limit =
+    Arg.(value & opt int Runtime.Interp.default_call_depth_limit
+         & info [ "call-depth-limit" ] ~docv:"N"
+             ~doc:"Maximum interpreter call depth (exit 3 when exceeded).")
+  in
+  let heap_object_limit =
+    Arg.(value & opt int Runtime.Interp.default_heap_object_limit
+         & info [ "object-limit" ] ~docv:"N"
+             ~doc:"Maximum number of objects created (exit 3 when exceeded).")
+  in
+  let doc =
+    "Execute a MiniC++ program on the bytecode VM with the hot-site \
+     profiler attached and report per-opcode dispatch counts, per-function \
+     instruction and call counts, and the hottest back-branch (loop) \
+     sites. Fused loop instructions count once per iteration, so \
+     superinstructions do not hide hot loops."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ file_arg $ bench_arg $ format_arg $ top_arg $ step_limit
           $ call_depth_limit $ heap_object_limit)
 
 (* -- callgraph ---------------------------------------------------------------- *)
@@ -555,9 +662,9 @@ let strip_cmd =
 (* -- bench -------------------------------------------------------------------- *)
 
 let bench_cmd =
-  let run name alg engine metrics trace_out =
+  let run name alg engine metrics metrics_format trace_out =
     handle_errors (fun () ->
-        with_telemetry ~metrics ~trace_out @@ fun () ->
+        with_telemetry ~metrics_format ~metrics ~trace_out @@ fun () ->
         match Benchmarks.Suite.find name with
         | None ->
             Fmt.epr "unknown benchmark '%s'; available: %s@." name
@@ -591,7 +698,7 @@ let bench_cmd =
   let doc = "Analyze and run one of the built-in paper benchmarks." in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ name_arg $ callgraph_alg $ engine_opt $ metrics_opt
-          $ trace_out_opt)
+          $ metrics_format_opt $ trace_out_opt)
 
 (* -- precision ----------------------------------------------------------------- *)
 
@@ -662,7 +769,7 @@ let precision_cmd =
 
 let serve_cmd =
   let run socket jobs queue_cap deadline_ms max_request_bytes fault_injection
-      step_limit call_depth_limit heap_object_limit =
+      step_limit call_depth_limit heap_object_limit slow_ms =
     handle_errors (fun () ->
         let cfg =
           {
@@ -675,6 +782,7 @@ let serve_cmd =
             step_limit;
             call_depth_limit;
             heap_object_limit;
+            slow_ms;
           }
         in
         Server.Serve.run ?socket cfg)
@@ -742,6 +850,15 @@ let serve_cmd =
          & info [ "object-limit" ] ~docv:"N"
              ~doc:"Default maximum objects created per run request.")
   in
+  let slow_ms =
+    let doc =
+      "Log every request whose end-to-end latency (queue wait included) \
+       reaches $(docv) milliseconds as one structured JSONL line on \
+       stderr, with its per-phase breakdown and trace id. 0 disables."
+    in
+    Arg.(value & opt int Server.Serve.default_config.Server.Serve.slow_ms
+         & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
   let doc =
     "Run the analysis daemon: JSONL requests (analyze, check, run, \
      explain, precision, health, stats, shutdown) over stdin/stdout or \
@@ -753,7 +870,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket $ jobs $ queue_cap $ deadline_ms
           $ max_request_bytes $ fault_injection $ step_limit
-          $ call_depth_limit $ heap_object_limit)
+          $ call_depth_limit $ heap_object_limit $ slow_ms)
 
 let () =
   let doc = "dead data member detection for MiniC++ (Sweeney & Tip, PLDI'98)" in
@@ -761,8 +878,8 @@ let () =
   let code =
     Cmd.eval' ~term_err:exit_usage
       (Cmd.group info
-         [ analyze_cmd; explain_cmd; check_cmd; run_cmd; callgraph_cmd;
-           strip_cmd; bench_cmd; precision_cmd; serve_cmd ])
+         [ analyze_cmd; explain_cmd; check_cmd; run_cmd; profile_cmd;
+           callgraph_cmd; strip_cmd; bench_cmd; precision_cmd; serve_cmd ])
   in
   (* cmdliner can report failures with exit codes outside our documented
      contract: cli_error (124) for some parse errors (e.g. a bad enum

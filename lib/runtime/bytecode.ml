@@ -280,8 +280,15 @@ type instr =
 (* A compiled code body. [b_omax] bounds the operand stack the body can
    ever need (computed conservatively during emission); [b_scoped] says
    whether any destroy scope is opened, so scope-free bodies skip the
-   unwinding machinery entirely. *)
-type cbody = { b_code : instr array; b_omax : int; b_scoped : bool }
+   unwinding machinery entirely. [b_id] is the body's index into
+   [cp_bodies]/[cp_owners], assigned during [compile]; the profiler
+   uses it to find the body's counter row. *)
+type cbody = {
+  b_code : instr array;
+  b_omax : int;
+  b_scoped : bool;
+  mutable b_id : int;
+}
 
 type ckind =
   | KBody of cbody
@@ -313,6 +320,11 @@ type cprogram = {
   cp_funcs : cfunc array;
   cp_destroy : cdestroy array;
   cp_ginit : cbody option array;  (* global initializers, by global index *)
+  (* every compiled body, indexed by [b_id], with its owner: a display
+     label plus the owning function's index when the body belongs to
+     one (profiler call counts attach there) *)
+  cp_bodies : cbody array;
+  cp_owners : (string * int option) array;
 }
 
 (* -- telemetry (no-ops unless collection is enabled) -------------------------- *)
@@ -1046,6 +1058,7 @@ let finish (b : buf) : cbody =
     b_code = code;
     b_omax = b.omax + 8;  (* slack over the conservative linear estimate *)
     b_scoped = b.scoped;
+    b_id = -1;
   }
 
 (* A statement body (function, constructor tail, destructor): falls off
@@ -1122,21 +1135,29 @@ let compile_ginit (e : rexpr) : cbody =
 let compile (rp : rprogram) : cprogram =
   Telemetry.Span.with_ "bytecode" @@ fun () ->
   let total = ref 0 in
+  let bodies_rev = ref [] in
+  let owners_rev = ref [] in
   let nbodies = ref 0 in
-  let fin (cb : cbody) =
+  (* register a compiled body: assign its id and remember its owner so
+     the profiler can attribute per-pc counts back to a name *)
+  let fin ~owner ?fidx (cb : cbody) =
     total := !total + Array.length cb.b_code;
+    cb.b_id <- !nbodies;
     incr nbodies;
+    bodies_rev := cb :: !bodies_rev;
+    owners_rev := (owner, fidx) :: !owners_rev;
     cb
   in
   let cp_funcs =
-    Array.map
-      (fun (rf : rfunc) ->
+    Array.mapi
+      (fun fidx (rf : rfunc) ->
+        let owner = Func_id.to_string rf.rf_id in
         let kind =
           match rf.rf_code with
-          | CBody s -> KBody (fin (compile_body_stmt s))
+          | CBody s -> KBody (fin ~owner ~fidx (compile_body_stmt s))
           | CCtor plan ->
               let entry, cb = compile_ctor plan in
-              KCtor { kc_body = fin cb; kc_entry = entry }
+              KCtor { kc_body = fin ~owner ~fidx cb; kc_entry = entry }
           | CDtor -> KDtor
           | CUnknown -> KUnknown
           | CUndefined -> KUndefined
@@ -1157,7 +1178,11 @@ let compile (rp : rprogram) : cprogram =
         {
           cd_dtor =
             Option.map
-              (fun (fsize, body) -> (fsize, fin (compile_body_stmt body)))
+              (fun (fsize, body) ->
+                ( fsize,
+                  fin
+                    ~owner:(Printf.sprintf "%s::~%s" ci.ci_name ci.ci_name)
+                    (compile_body_stmt body) ))
               dp.dp_dtor;
           cd_fields = dp.dp_fields;
           cd_nv_bases = dp.dp_nv_bases;
@@ -1167,12 +1192,25 @@ let compile (rp : rprogram) : cprogram =
   in
   let cp_ginit =
     Array.map
-      (fun (g : rglobal) -> Option.map (fun e -> fin (compile_ginit e)) g.rg_init)
+      (fun (g : rglobal) ->
+        Option.map
+          (fun e ->
+            fin
+              ~owner:(Printf.sprintf "global-init:%s" g.rg_name)
+              (compile_ginit e))
+          g.rg_init)
       rp.rp_globals
   in
   Telemetry.Counter.add instrs_counter !total;
   Telemetry.Counter.add bodies_counter !nbodies;
-  { cp_rp = rp; cp_funcs; cp_destroy; cp_ginit }
+  {
+    cp_rp = rp;
+    cp_funcs;
+    cp_destroy;
+    cp_ginit;
+    cp_bodies = Array.of_list (List.rev !bodies_rev);
+    cp_owners = Array.of_list (List.rev !owners_rev);
+  }
 
 (* == virtual machine ========================================================== *)
 
@@ -1195,9 +1233,17 @@ type vm = {
   mutable max_call_depth : int;
   call_depth_limit : int;
   heap_object_limit : int;
+  (* hot-site profiler rows, or [[||]] when profiling is off: the
+     dispatch loop tests emptiness once per body entry, the call path
+     once per call — one predictable branch each when disabled *)
+  prof_counts : int array array;
+  prof_calls : int array;
 }
 
 let empty_vals : value array = [||]
+
+(* shared sentinel: "no profiling rows for this body" *)
+let no_prof_row : int array = [||]
 
 (* Shared scope stack for bodies that never open a destroy scope
    ([b_scoped = false] implies no [IPushScope] in the code). *)
@@ -1361,6 +1407,8 @@ let rec bind_params vm frame (cf : cfunc) (src : value array) base argc =
    limit hit there leaves the depth incremented, exactly as the tree
    engine's pre-[Fun.protect] tick did. *)
 and call_function vm fi ~this (src : value array) base argc : value =
+  if Array.length vm.prof_calls <> 0 then
+    Array.unsafe_set vm.prof_calls fi (Array.unsafe_get vm.prof_calls fi + 1);
   vm.call_depth <- vm.call_depth + 1;
   if vm.call_depth > vm.max_call_depth then
     vm.max_call_depth <- vm.call_depth;
@@ -1553,7 +1601,14 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
   let ost = if b.b_omax > 0 then Array.make b.b_omax VUnit else empty_vals in
   let locals = frame.locals.cells in
   let scopes = if b.b_scoped then ref [] else no_scopes in
+  let prow =
+    if Array.length vm.prof_counts = 0 || b.b_id < 0 then no_prof_row
+    else Array.unsafe_get vm.prof_counts b.b_id
+  in
+  let profiling = prow != no_prof_row in
   let rec loop pc sp : value =
+    if profiling then
+      Array.unsafe_set prow pc (Array.unsafe_get prow pc + 1);
     match Array.unsafe_get code pc with
     | ITick ->
         vm.steps <- vm.steps + 1;
@@ -2343,6 +2398,12 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               let o2 = as_obj (Array.get locals a) in
               Array.set locals bdst
                 (coerce ty o2.fields.cells.(field_slot o2 s2 m2));
+              (* profiled count = guard evaluations, one per iteration:
+                 the whole loop runs in this single dispatch, and a
+                 count of 1 would hide exactly the hot loops the
+                 profiler exists to surface *)
+              if profiling then
+                Array.unsafe_set prow pc (Array.unsafe_get prow pc + 1);
               scan ()
             end
           end
@@ -2361,9 +2422,19 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
 
 (* -- entry points -------------------------------------------------------------- *)
 
-let make_vm ?(dead = Member.Set.empty) ~step_limit ~call_depth_limit
+let make_profiler (cp : cprogram) : Vm_profile.t =
+  Vm_profile.create
+    ~body_sizes:(Array.map (fun b -> Array.length b.b_code) cp.cp_bodies)
+    ~nfuncs:(Array.length cp.cp_funcs)
+
+let make_vm ?(dead = Member.Set.empty) ?profiler ~step_limit ~call_depth_limit
     ~heap_object_limit (cp : cprogram) : vm =
   let rp = cp.cp_rp in
+  let prof_counts, prof_calls =
+    match profiler with
+    | None -> ([||], [||])
+    | Some (p : Vm_profile.t) -> (p.Vm_profile.body_counts, p.Vm_profile.call_counts)
+  in
   {
     cp;
     funcs = cp.cp_funcs;
@@ -2382,6 +2453,8 @@ let make_vm ?(dead = Member.Set.empty) ~step_limit ~call_depth_limit
     max_call_depth = 0;
     call_depth_limit = max 1 call_depth_limit;
     heap_object_limit = max 1 heap_object_limit;
+    prof_counts;
+    prof_calls;
   }
 
 let execute (vm : vm) : value =
@@ -2414,3 +2487,246 @@ let steps vm = vm.steps
 let allocations vm = vm.obj_counter
 let max_call_depth vm = vm.max_call_depth
 let profile vm = vm.profile
+
+(* == hot-site profiler report ================================================= *)
+
+let mnemonic (i : instr) : string =
+  match i with
+  | IConst _ -> "IConst"
+  | ILoad _ -> "ILoad"
+  | ILoadRef _ -> "ILoadRef"
+  | IGlobal _ -> "IGlobal"
+  | IStatic _ -> "IStatic"
+  | IThis -> "IThis"
+  | IPop -> "IPop"
+  | IUnary _ -> "IUnary"
+  | IBinop _ -> "IBinop"
+  | IToBool -> "IToBool"
+  | ICastInt -> "ICastInt"
+  | ICastFloat -> "ICastFloat"
+  | IField _ -> "IField"
+  | IDeref -> "IDeref"
+  | IIndex -> "IIndex"
+  | IAsObj -> "IAsObj"
+  | IMemPtrDeref -> "IMemPtrDeref"
+  | IAddrOf -> "IAddrOf"
+  | ILocLocal _ -> "ILocLocal"
+  | ILocLocalRef _ -> "ILocLocalRef"
+  | ILocGlobal _ -> "ILocGlobal"
+  | ILocStatic _ -> "ILocStatic"
+  | ILocField _ -> "ILocField"
+  | ILocDeref -> "ILocDeref"
+  | ILocIndex -> "ILocIndex"
+  | ILocMemPtr -> "ILocMemPtr"
+  | ILocToPtr -> "ILocToPtr"
+  | IObjToPtr -> "IObjToPtr"
+  | IAssign _ -> "IAssign"
+  | ICompound _ -> "ICompound"
+  | IIncDec _ -> "IIncDec"
+  | IStoreLocal _ -> "IStoreLocal"
+  | IStoreLocalPop _ -> "IStoreLocalPop"
+  | IStoreRawPop _ -> "IStoreRawPop"
+  | IIncDecLocal _ -> "IIncDecLocal"
+  | IIncDecLocalPop _ -> "IIncDecLocalPop"
+  | IJump _ -> "IJump"
+  | IJumpIfFalse _ -> "IJumpIfFalse"
+  | IJumpIfTrue _ -> "IJumpIfTrue"
+  | IJumpCmpFalse _ -> "IJumpCmpFalse"
+  | IAndFalse _ -> "IAndFalse"
+  | IOrTrue _ -> "IOrTrue"
+  | ITick -> "ITick"
+  | IPushScope _ -> "IPushScope"
+  | IPopScope -> "IPopScope"
+  | IExitScopes _ -> "IExitScopes"
+  | IReturn -> "IReturn"
+  | IReturnUnit -> "IReturnUnit"
+  | IRaise _ -> "IRaise"
+  | INewObj _ -> "INewObj"
+  | INewScalar _ -> "INewScalar"
+  | INewArrObj _ -> "INewArrObj"
+  | INewArrScalar _ -> "INewArrScalar"
+  | IDelete -> "IDelete"
+  | IDeclScalar _ -> "IDeclScalar"
+  | IDeclStackArr _ -> "IDeclStackArr"
+  | IDeclCtor _ -> "IDeclCtor"
+  | IBuiltin _ -> "IBuiltin"
+  | ICallFunc _ -> "ICallFunc"
+  | ICallMethod _ -> "ICallMethod"
+  | ICallVirtual _ -> "ICallVirtual"
+  | ICallFunPtr _ -> "ICallFunPtr"
+  | ICallCtor _ -> "ICallCtor"
+  | IInitField _ -> "IInitField"
+  | IInitFieldArr _ -> "IInitFieldArr"
+  | IInitFieldScalar _ -> "IInitFieldScalar"
+  | ILoadField _ -> "ILoadField"
+  | ITickLoad _ -> "ITickLoad"
+  | ITickLoadField _ -> "ITickLoadField"
+  | IThisField _ -> "IThisField"
+  | IIndexField _ -> "IIndexField"
+  | ILoadLocField _ -> "ILoadLocField"
+  | ILoadIndex _ -> "ILoadIndex"
+  | IFieldBinop _ -> "IFieldBinop"
+  | ILoadFieldBinop _ -> "ILoadFieldBinop"
+  | IBinopConst _ -> "IBinopConst"
+  | ITickN _ -> "ITickN"
+  | ITickPushScope _ -> "ITickPushScope"
+  | IAssignPop _ -> "IAssignPop"
+  | IStoreLocalPopT _ -> "IStoreLocalPopT"
+  | IStoreLocalPopJump _ -> "IStoreLocalPopJump"
+  | IIncDecLocalJump _ -> "IIncDecLocalJump"
+  | IJumpIfFalseT _ -> "IJumpIfFalseT"
+  | IJumpCmpFalseT _ -> "IJumpCmpFalseT"
+  | IJumpCmpConstFalse _ -> "IJumpCmpConstFalse"
+  | IJumpCmpConstFalseT _ -> "IJumpCmpConstFalseT"
+  | IJumpLocCmpConstFalse _ -> "IJumpLocCmpConstFalse"
+  | IJumpLocCmpConstFalseT _ -> "IJumpLocCmpConstFalseT"
+  | IJumpLocCmpFalse _ -> "IJumpLocCmpFalse"
+  | IJumpLocCmpFalseT _ -> "IJumpLocCmpFalseT"
+  | IJumpLoc2CmpFalse _ -> "IJumpLoc2CmpFalse"
+  | IJumpLoc2CmpFalseT _ -> "IJumpLoc2CmpFalseT"
+  | ITickLoadFieldStore _ -> "ITickLoadFieldStore"
+  | ITickLoadFieldStoreJump _ -> "ITickLoadFieldStoreJump"
+  | ILoadBinopConst _ -> "ILoadBinopConst"
+  | ILoadFieldBC _ -> "ILoadFieldBC"
+  | ILoadFieldLoadBC _ -> "ILoadFieldLoadBC"
+  | IFieldIdxField _ -> "IFieldIdxField"
+  | ILoadFieldBinop2 _ -> "ILoadFieldBinop2"
+  | IBinopAssignPop _ -> "IBinopAssignPop"
+  | ITickThisField _ -> "ITickThisField"
+  | ILoad2FieldBinop _ -> "ILoad2FieldBinop"
+  | ILoadLoadField _ -> "ILoadLoadField"
+  | ILocFieldLoadField _ -> "ILocFieldLoadField"
+  | IStoreTLoadField _ -> "IStoreTLoadField"
+  | ITickLoadFieldIndex _ -> "ITickLoadFieldIndex"
+  | ITLFIndexStoreT _ -> "ITLFIndexStoreT"
+  | ITickLoadFieldCmpLocFalse _ -> "ITickLoadFieldCmpLocFalse"
+  | ITickLoadFieldCmpLocFalseT _ -> "ITickLoadFieldCmpLocFalseT"
+  | IBinopConstAndFalse _ -> "IBinopConstAndFalse"
+  | IJumpIfFalseTPushScope _ -> "IJumpIfFalseTPushScope"
+  | ILoadFieldBinopJumpFalse _ -> "ILoadFieldBinopJumpFalse"
+  | ILoadFieldBinopJumpFalseT _ -> "ILoadFieldBinopJumpFalseT"
+  | IJumpBCCmpFalse _ -> "IJumpBCCmpFalse"
+  | IJumpBCCmpFalseT _ -> "IJumpBCCmpFalseT"
+  | IScanStep _ -> "IScanStep"
+  | ILoopScan _ -> "ILoopScan"
+  | IBinopLoadField _ -> "IBinopLoadField"
+  | IBinop2 _ -> "IBinop2"
+  | IThisFieldBinop _ -> "IThisFieldBinop"
+  | IFieldBinop2AssignPop _ -> "IFieldBinop2AssignPop"
+  | IBinop2AssignPop _ -> "IBinop2AssignPop"
+  | IConstFieldBinop2 _ -> "IConstFieldBinop2"
+  | ILoadLocFieldLoadField _ -> "ILoadLocFieldLoadField"
+  | ILoadFieldBCAndFalse _ -> "ILoadFieldBCAndFalse"
+  | IJumpLocFCmpFalse _ -> "IJumpLocFCmpFalse"
+  | IJumpLocFCmpFalseT _ -> "IJumpLocFCmpFalseT"
+  | IJumpLL2FBCCmpFalse _ -> "IJumpLL2FBCCmpFalse"
+  | IJumpLL2FBCCmpFalseT _ -> "IJumpLL2FBCCmpFalseT"
+
+(* The branch target carried by an instruction, for back-branch (loop)
+   detection — the same constructor enumeration [patch_to] maintains.
+   [ILoopScan] is handled separately: its back edge is internal. *)
+let branch_target (i : instr) : int option =
+  match i with
+  | IJump t | IJumpIfFalse t | IJumpIfTrue t | IJumpIfFalseT t
+  | IAndFalse t | IOrTrue t
+  | IJumpCmpFalse (_, t) | IJumpCmpFalseT (_, t)
+  | IJumpCmpConstFalse (_, _, t) | IJumpCmpConstFalseT (_, _, t)
+  | IJumpLocCmpConstFalse (_, _, _, t) | IJumpLocCmpConstFalseT (_, _, _, t)
+  | IJumpLocCmpFalse (_, _, t) | IJumpLocCmpFalseT (_, _, t)
+  | IJumpLoc2CmpFalse (_, _, _, t) | IJumpLoc2CmpFalseT (_, _, _, t)
+  | ITickLoadFieldStoreJump (_, _, _, _, _, t)
+  | IStoreLocalPopJump (_, _, t)
+  | IIncDecLocalJump (_, _, t)
+  | ITickLoadFieldCmpLocFalse (_, _, _, _, _, t)
+  | ITickLoadFieldCmpLocFalseT (_, _, _, _, _, t)
+  | IBinopConstAndFalse (_, _, t)
+  | IJumpIfFalseTPushScope (t, _)
+  | ILoadFieldBinopJumpFalse (_, _, _, _, t)
+  | ILoadFieldBinopJumpFalseT (_, _, _, _, t)
+  | IJumpBCCmpFalse (_, _, _, t) | IJumpBCCmpFalseT (_, _, _, t)
+  | ILoadFieldBCAndFalse (_, _, _, _, _, t)
+  | IJumpLocFCmpFalse (_, _, _, _, _, t)
+  | IJumpLocFCmpFalseT (_, _, _, _, _, t)
+  | IJumpLL2FBCCmpFalse (_, _, _, _, _, _, _, t)
+  | IJumpLL2FBCCmpFalseT (_, _, _, _, _, _, _, t)
+  | IScanStep (_, _, _, _, _, _, _, _, _, _, t) ->
+      Some t
+  | _ -> None
+
+(* A loop site: a branch whose target is at or before itself, or a
+   whole-loop superinstruction. *)
+let is_loop_site (i : instr) ~pc =
+  match i with
+  | ILoopScan _ -> true
+  | _ -> ( match branch_target i with Some t -> t <= pc | None -> false)
+
+let profile_report (cp : cprogram) (p : Vm_profile.t) ~steps :
+    Vm_profile.report =
+  let opcodes : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0 in
+  let funcs = ref [] in
+  let sites = ref [] in
+  Array.iteri
+    (fun bid (body : cbody) ->
+      let counts = p.Vm_profile.body_counts.(bid) in
+      let owner, fidx = cp.cp_owners.(bid) in
+      let body_total = ref 0 in
+      Array.iteri
+        (fun pc n ->
+          if n > 0 then begin
+            body_total := !body_total + n;
+            let ins = body.b_code.(pc) in
+            let m = mnemonic ins in
+            (match Hashtbl.find_opt opcodes m with
+            | Some r -> r := !r + n
+            | None -> Hashtbl.add opcodes m (ref n));
+            if is_loop_site ins ~pc then
+              sites :=
+                {
+                  Vm_profile.sr_func = owner;
+                  sr_pc = pc;
+                  sr_op = m;
+                  sr_count = n;
+                }
+                :: !sites
+          end)
+        counts;
+      total := !total + !body_total;
+      let calls =
+        match fidx with
+        | Some fi -> p.Vm_profile.call_counts.(fi)
+        | None -> 0
+      in
+      if !body_total > 0 || calls > 0 then
+        funcs :=
+          {
+            Vm_profile.fr_name = owner;
+            fr_instrs = !body_total;
+            fr_calls = calls;
+          }
+          :: !funcs)
+    cp.cp_bodies;
+  let by_count_desc name count a b =
+    let c = compare (count b) (count a) in
+    if c <> 0 then c else String.compare (name a) (name b)
+  in
+  {
+    Vm_profile.r_steps = steps;
+    r_dispatches = !total;
+    r_opcodes =
+      Hashtbl.fold (fun m r acc -> (m, !r) :: acc) opcodes []
+      |> List.sort (by_count_desc fst snd);
+    r_functions =
+      List.sort
+        (by_count_desc
+           (fun (f : Vm_profile.func_row) -> f.Vm_profile.fr_name)
+           (fun (f : Vm_profile.func_row) -> f.Vm_profile.fr_instrs))
+        !funcs;
+    r_sites =
+      List.sort
+        (by_count_desc
+           (fun (s : Vm_profile.site_row) ->
+             Printf.sprintf "%s@%d" s.Vm_profile.sr_func s.Vm_profile.sr_pc)
+           (fun (s : Vm_profile.site_row) -> s.Vm_profile.sr_count))
+        !sites;
+  }

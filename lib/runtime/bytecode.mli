@@ -34,11 +34,23 @@ val compile : Resolve.rprogram -> cprogram
     runs. *)
 type vm
 
+(** Preallocate hot-site profiler state sized for [cprogram]'s bodies
+    and function table; pass it to {!make_vm} to enable profiling, then
+    aggregate with {!profile_report} after {!execute}. *)
+val make_profiler : cprogram -> Vm_profile.t
+
 (** [dead] only affects the snapshot's measurement columns, exactly as
     in [Interp.run]. The limits mirror [Interp.run]'s guards; violations
-    raise {!Value.Limit_exceeded} with the tree engine's messages. *)
+    raise {!Value.Limit_exceeded} with the tree engine's messages.
+
+    [profiler] enables the hot-site profiler for this run: every
+    dispatch bumps the profiler's per-body-per-pc counter ([ILoopScan]
+    counts one per loop iteration, so fused loops stay visible) and
+    every function-protocol call bumps its per-function counter. When
+    absent, the only residue is one predictable branch per dispatch. *)
 val make_vm :
   ?dead:Member.Set.t ->
+  ?profiler:Vm_profile.t ->
   step_limit:int ->
   call_depth_limit:int ->
   heap_object_limit:int ->
@@ -58,3 +70,10 @@ val allocations : vm -> int
 val max_call_depth : vm -> int
 
 val profile : vm -> Profile.t
+
+(** Aggregate a filled profiler into a {!Vm_profile.report}: per-opcode
+    dispatch counts, per-function instruction and call counts, and
+    back-branch (loop) sites, each sorted descending. [steps] is the
+    finished VM's step counter, carried in the report for
+    cross-checking. *)
+val profile_report : cprogram -> Vm_profile.t -> steps:int -> Vm_profile.report

@@ -843,7 +843,7 @@ let run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit ?cache_key
    VM. Telemetry totals and guard proximity are recorded even when a
    limit aborts the run, exactly as in the tree engine. *)
 let run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
-    ?cache_key (p : program) : outcome =
+    ?cache_key ?profiler (p : program) : outcome =
   Telemetry.Span.with_ "interp" @@ fun () ->
   let lo = lower ~need_bc:true ?cache_key p in
   let cp = match lo.lo_bc with Some cp -> cp | None -> assert false in
@@ -851,7 +851,8 @@ let run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
   let call_depth_limit = max 1 call_depth_limit in
   let heap_object_limit = max 1 heap_object_limit in
   let vm =
-    Bytecode.make_vm ~dead ~step_limit ~call_depth_limit ~heap_object_limit cp
+    Bytecode.make_vm ~dead ?profiler ~step_limit ~call_depth_limit
+      ~heap_object_limit cp
   in
   let record_telemetry () =
     Telemetry.Counter.incr runs_counter;
@@ -891,3 +892,20 @@ let run ?(engine = Bytecode) ?(dead = Member.Set.empty)
   | Bytecode ->
       run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
         ?cache_key p
+
+(* Profiled run: always the bytecode engine (the profiler counts its
+   dispatches). The extra [lower] here is a guaranteed cache hit — the
+   compiled program is needed up front to size the profiler's counter
+   rows. *)
+let run_profiled ?(dead = Member.Set.empty) ?(step_limit = default_step_limit)
+    ?(call_depth_limit = default_call_depth_limit)
+    ?(heap_object_limit = default_heap_object_limit) ?cache_key (p : program) :
+    outcome * Vm_profile.report =
+  let lo = lower ~need_bc:true ?cache_key p in
+  let cp = match lo.lo_bc with Some cp -> cp | None -> assert false in
+  let profiler = Bytecode.make_profiler cp in
+  let outcome =
+    run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
+      ?cache_key ~profiler p
+  in
+  (outcome, Bytecode.profile_report cp profiler ~steps:outcome.steps)

@@ -76,3 +76,18 @@ val run :
   ?cache_key:string ->
   Typed_ast.program ->
   outcome
+
+(** Like {!run} with the bytecode engine, but with the hot-site
+    profiler attached: returns the outcome plus a {!Vm_profile.report}
+    of per-opcode dispatch counts, per-function instruction/call counts
+    and back-branch loop sites for the run. Profiling only affects the
+    report — semantics, tick points and the outcome are identical to an
+    unprofiled run. *)
+val run_profiled :
+  ?dead:Member.Set.t ->
+  ?step_limit:int ->
+  ?call_depth_limit:int ->
+  ?heap_object_limit:int ->
+  ?cache_key:string ->
+  Typed_ast.program ->
+  outcome * Vm_profile.report

@@ -42,9 +42,15 @@ let op_name = function
   | Shutdown -> "shutdown"
   | Crash -> "crash"
 
+type stats_format = Stats_json | Stats_prometheus
+
 type request = {
   req_id : string option;
   op : op;
+  trace_id : string option;
+      (** client-supplied trace id; the server generates one for work
+          ops when absent, and echoes it in the response either way *)
+  stats_format : stats_format;  (** stats: snapshot rendering *)
   source : string option;  (** the MiniC++ translation unit *)
   member : string option;  (** explain: "Class::member" *)
   callgraph : Callgraph.algorithm;
@@ -97,12 +103,17 @@ let jobj fields =
 
 let jarr vs = "[" ^ String.concat "," vs ^ "]"
 
-let ok_response ?id ~op fields =
-  Printf.sprintf {|{"id":%s,"ok":true,"cmd":%s,"result":%s}|} (jid id)
+let jtrace = function
+  | None -> ""
+  | Some t -> Printf.sprintf {|,"trace_id":%s|} (jstr t)
+
+let ok_response ?id ?trace ~op fields =
+  Printf.sprintf {|{"id":%s%s,"ok":true,"cmd":%s,"result":%s}|} (jid id)
+    (jtrace trace)
     (jstr (op_name op)) (jobj fields)
 
-let error_response ?id ?(extra = []) kind msg =
-  Printf.sprintf {|{"id":%s,"ok":false,"error":%s}|} (jid id)
+let error_response ?id ?trace ?(extra = []) kind msg =
+  Printf.sprintf {|{"id":%s%s,"ok":false,"error":%s}|} (jid id) (jtrace trace)
     (jobj ([ ("kind", jstr (kind_name kind)); ("message", jstr msg) ] @ extra))
 
 (* -- request parsing --------------------------------------------------------- *)
@@ -115,6 +126,8 @@ let default_request op =
   {
     req_id = None;
     op;
+    trace_id = None;
+    stats_format = Stats_json;
     source = None;
     member = None;
     callgraph = Callgraph.Rta;
@@ -189,6 +202,20 @@ let parse_request ~max_depth (line : string) : request parse_result =
           (fun (key, v) ->
             match key with
             | "id" | "cmd" -> ()
+            | "trace_id" ->
+                let t = get_string ~what:key v in
+                if t = "" then reject Protocol "'trace_id' must be non-empty";
+                r := { !r with trace_id = Some t }
+            | "format" -> (
+                if op <> Stats then
+                  reject Protocol "'format' is only valid for cmd 'stats'";
+                match get_string ~what:key v with
+                | "json" -> r := { !r with stats_format = Stats_json }
+                | "prometheus" ->
+                    r := { !r with stats_format = Stats_prometheus }
+                | s ->
+                    reject Protocol
+                      "unknown format '%s' (expected json or prometheus)" s)
             | "source" -> r := { !r with source = Some (get_string ~what:key v) }
             | "member" -> r := { !r with member = Some (get_string ~what:key v) }
             | "callgraph" -> (

@@ -19,9 +19,17 @@ type op =
 
 val op_name : op -> string
 
+(** Rendering of the [stats] snapshot: structured JSON (default) or
+    the Prometheus text exposition format embedded as a string. *)
+type stats_format = Stats_json | Stats_prometheus
+
 type request = {
   req_id : string option;
   op : op;
+  trace_id : string option;
+      (** client-supplied trace id; the server generates one for work
+          ops when absent, and echoes it in the response either way *)
+  stats_format : stats_format;
   source : string option;
   member : string option;
   callgraph : Callgraph.algorithm;
@@ -59,10 +67,17 @@ val jstr : string -> string
 val jobj : (string * string) list -> string
 val jarr : string list -> string
 
-val ok_response : ?id:string -> op:op -> (string * string) list -> string
+(** [trace] adds a top-level ["trace_id"] echo to the response. *)
+val ok_response :
+  ?id:string -> ?trace:string -> op:op -> (string * string) list -> string
 
 val error_response :
-  ?id:string -> ?extra:(string * string) list -> error_kind -> string -> string
+  ?id:string ->
+  ?trace:string ->
+  ?extra:(string * string) list ->
+  error_kind ->
+  string ->
+  string
 
 type 'a parse_result = ('a, string option * error_kind * string) result
 

@@ -54,6 +54,7 @@ type config = {
   step_limit : int;
   call_depth_limit : int;
   heap_object_limit : int;
+  slow_ms : int;  (** log requests slower than this; 0 disables *)
 }
 
 let default_config =
@@ -67,12 +68,15 @@ let default_config =
     step_limit = Runtime.Interp.default_step_limit;
     call_depth_limit = Runtime.Interp.default_call_depth_limit;
     heap_object_limit = Runtime.Interp.default_heap_object_limit;
+    slow_ms = 0;
   }
 
 (* -- telemetry --------------------------------------------------------------- *)
 
 let all_ops =
   [ Analyze; Check; Run; Explain; Precision; Health; Stats; Shutdown; Crash ]
+
+let work_ops = [ Analyze; Check; Run; Explain; Precision; Crash ]
 
 let request_counters =
   List.map
@@ -88,6 +92,75 @@ let ok_responses = Telemetry.Counter.make "server.responses.ok"
 let error_responses = Telemetry.Counter.make "server.responses.error"
 let frames_oversized = Telemetry.Counter.make "server.frames.oversized"
 let queue_gauge = Telemetry.Gauge.make "server.queue_depth"
+let uptime_gauge = Telemetry.Gauge.make "server.uptime_seconds"
+
+(* Per-op request-latency histograms (microseconds): time spent waiting
+   in the bounded queue, and time spent being served. Observed once per
+   work request at the worker; control ops are answered inline and never
+   queue, so they are not measured. *)
+let queue_hists =
+  List.map
+    (fun op -> (op, Telemetry.Histogram.make ("server.queue_us." ^ op_name op)))
+    work_ops
+
+let service_hists =
+  List.map
+    (fun op ->
+      (op, Telemetry.Histogram.make ("server.service_us." ^ op_name op)))
+    work_ops
+
+let observe_hist hists op v =
+  match List.assq_opt op hists with
+  | Some h -> Telemetry.Histogram.observe h v
+  | None -> ()
+
+(* One counter per structured-error kind, bumped at the [reply] choke
+   point so every path that can answer a client — parse errors, load
+   shedding, worker poisonings, expected failures — is counted. *)
+let error_kind_counters =
+  List.map
+    (fun k -> (kind_name k, Telemetry.Counter.make ("server.errors." ^ kind_name k)))
+    [
+      Parse; Protocol; Too_large; Overloaded; Draining; Diagnostics; Runtime;
+      Limit; Unknown_member; Unsupported; Internal;
+    ]
+
+(* -- per-request tracing ----------------------------------------------------- *)
+
+let trace_counter = Atomic.make 0
+
+let gen_trace () =
+  Printf.sprintf "t%d-%d" (Unix.getpid ())
+    (Atomic.fetch_and_add trace_counter 1)
+
+(* Phase timings of one request (reverse order, milliseconds), for the
+   slow-request log. Span tagging rides along when telemetry is on; the
+   phase list itself is recorded unconditionally — a slow request must
+   be explainable even when nobody enabled metrics. *)
+type timing = {
+  tr_trace : string option;
+  mutable tr_phases : (string * float) list;
+}
+
+let phase tr name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      tr.tr_phases <-
+        (name, (Unix.gettimeofday () -. t0) *. 1000.) :: tr.tr_phases)
+    (fun () -> Telemetry.Span.with_ ?trace:tr.tr_trace ("serve." ^ name) f)
+
+(* The slow-request sink: one JSONL line per offending request. Tests
+   substitute a capturing sink; the default writes stderr under a mutex
+   (worker domains log concurrently). *)
+let slow_log_sink : (string -> unit) ref =
+  let mu = Mutex.create () in
+  ref (fun line ->
+      Mutex.protect mu (fun () ->
+          output_string stderr (line ^ "\n");
+          flush stderr))
+
+let set_slow_log_sink f = slow_log_sink := f
 
 (* -- request execution ------------------------------------------------------- *)
 
@@ -127,11 +200,11 @@ let members_json ms = jarr (List.map (fun m -> jstr (Sema.Member.to_string m)) m
 (* Fetch the (cached) front half of the pipeline and fail with a
    structured [diagnostics] error when the unit has compile errors and
    the request did not opt into conservative degradation. *)
-let checked_entry (req : request) source =
-  let e, hit = Cache.get ~file:request_file source in
+let checked_entry tr (req : request) source =
+  let e, hit = phase tr "parse" (fun () -> Cache.get ~file:request_file source) in
   if e.e_errors > 0 && not req.keep_going then
     Error
-      (error_response ?id:req.req_id
+      (error_response ?id:req.req_id ?trace:req.trace_id
          ~extra:
            [
              ("errors", jint e.e_errors);
@@ -141,14 +214,14 @@ let checked_entry (req : request) source =
          (Printf.sprintf "source has %d compile error(s)" e.e_errors))
   else Ok (e, hit)
 
-let do_analyze (req : request) source =
-  match checked_entry req source with
+let do_analyze tr (req : request) source =
+  match checked_entry tr req source with
   | Error resp -> resp
   | Ok (e, cached) ->
       let config = config_of req in
-      let result = Cache.analyze e ~config in
+      let result = phase tr "analyze" (fun () -> Cache.analyze e ~config) in
       let report = Deadmem.Report.of_result e.e_prog result in
-      ok_response ?id:req.req_id ~op:Analyze
+      ok_response ?id:req.req_id ?trace:req.trace_id ~op:Analyze
         [
           ("callgraph", jstr (alg_name req.callgraph));
           ("dead_members", members_json (Deadmem.Liveness.dead_members result));
@@ -165,17 +238,22 @@ let do_analyze (req : request) source =
 
 (* [check] mirrors `deadmem check --format json`: diagnostics are data,
    not an error — only transport/pipeline failures are errors. *)
-let do_check (req : request) source =
-  let e, cached = Cache.get ~file:request_file source in
+let do_check tr (req : request) source =
+  let e, cached =
+    phase tr "parse" (fun () -> Cache.get ~file:request_file source)
+  in
   let dead_count =
     if e.e_errors > 0 then None
     else
       let config =
         config_of { req with conservative = false; library_classes = [] }
       in
-      Some (List.length (Deadmem.Liveness.dead_members (Cache.analyze e ~config)))
+      Some
+        (phase tr "analyze" (fun () ->
+             List.length
+               (Deadmem.Liveness.dead_members (Cache.analyze e ~config))))
   in
-  ok_response ?id:req.req_id ~op:Check
+  ok_response ?id:req.req_id ?trace:req.trace_id ~op:Check
     [
       ("clean", jbool (e.e_errors = 0));
       ("errors", jint e.e_errors);
@@ -188,24 +266,28 @@ let do_check (req : request) source =
       ("cached", jbool cached);
     ]
 
-let do_run cfg (req : request) source =
-  match checked_entry req source with
+let do_run cfg tr (req : request) source =
+  match checked_entry tr req source with
   | Error resp -> resp
   | Ok (e, cached) ->
       let dead =
         if req.profile then
-          Deadmem.Liveness.dead_set (Cache.analyze e ~config:(config_of req))
+          phase tr "analyze" (fun () ->
+              Deadmem.Liveness.dead_set
+                (Cache.analyze e ~config:(config_of req)))
         else Sema.Member.Set.empty
       in
       let pick v d = Option.value v ~default:d in
       let outcome =
-        Runtime.Interp.run ~engine:req.engine ~dead
-          ~step_limit:(pick req.step_limit cfg.step_limit)
-          ~call_depth_limit:(pick req.call_depth_limit cfg.call_depth_limit)
-          ~heap_object_limit:(pick req.heap_object_limit cfg.heap_object_limit)
-          ~cache_key:(Cache.content_key source) e.e_prog
+        phase tr "run" (fun () ->
+            Runtime.Interp.run ~engine:req.engine ~dead
+              ~step_limit:(pick req.step_limit cfg.step_limit)
+              ~call_depth_limit:(pick req.call_depth_limit cfg.call_depth_limit)
+              ~heap_object_limit:
+                (pick req.heap_object_limit cfg.heap_object_limit)
+              ~cache_key:(Cache.content_key source) e.e_prog)
       in
-      ok_response ?id:req.req_id ~op:Run
+      ok_response ?id:req.req_id ?trace:req.trace_id ~op:Run
         [
           ("return_value", jint outcome.Runtime.Interp.return_value);
           ("steps", jint outcome.Runtime.Interp.steps);
@@ -215,24 +297,27 @@ let do_run cfg (req : request) source =
           ("cached", jbool cached);
         ]
 
-let do_explain (req : request) source member_str =
+let do_explain tr (req : request) source member_str =
   match P.split_member member_str with
   | None ->
-      error_response ?id:req.req_id Protocol
+      error_response ?id:req.req_id ?trace:req.trace_id Protocol
         (Printf.sprintf "'member' must have the form 'Class::member' (got '%s')"
            member_str)
   | Some m -> (
-      match checked_entry req source with
+      match checked_entry tr req source with
       | Error resp -> resp
       | Ok (e, cached) ->
-          let result = Cache.analyze e ~config:(config_of req) in
+          let result =
+            phase tr "analyze" (fun () ->
+                Cache.analyze e ~config:(config_of req))
+          in
           if not (Deadmem.Liveness.known_member result m) then
-            error_response ?id:req.req_id Unknown_member
+            error_response ?id:req.req_id ?trace:req.trace_id Unknown_member
               (Printf.sprintf
                  "'%s' is not an instance data member the analysis classifies"
                  (Sema.Member.to_string m))
           else
-            ok_response ?id:req.req_id ~op:Explain
+            ok_response ?id:req.req_id ?trace:req.trace_id ~op:Explain
               [
                 ("member", jstr (Sema.Member.to_string m));
                 ("dead", jbool (Deadmem.Liveness.is_dead result m));
@@ -240,7 +325,7 @@ let do_explain (req : request) source member_str =
                 ("cached", jbool cached);
               ])
 
-let do_precision (req : request) =
+let do_precision tr (req : request) =
   let tiers = [ Callgraph.Cha; Callgraph.Rta; Callgraph.Pta ] in
   let measure prog alg =
     let config =
@@ -266,16 +351,32 @@ let do_precision (req : request) =
                  ] ))
            tiers)
   in
-  ok_response ?id:req.req_id ~op:Precision
-    [ ("benchmarks", jarr (List.map row Benchmarks.Suite.all)) ]
+  let rows =
+    phase tr "analyze" (fun () -> List.map row Benchmarks.Suite.all)
+  in
+  ok_response ?id:req.req_id ?trace:req.trace_id ~op:Precision
+    [ ("benchmarks", jarr rows) ]
 
 (* Execute one work request synchronously. Expected failure modes map to
    structured errors; anything else escapes deliberately — under the
    supervisor that is a worker restart plus an [internal] response, in a
    synchronous test harness it is a visible bug. [enqueued] anchors the
-   deadline: time spent queued counts against the budget. *)
-let execute cfg (req : request) ~enqueued =
+   deadline: time spent queued counts against the budget.
+
+   Every work request carries a trace id from here on — the client's if
+   it sent one, a generated [tPID-N] otherwise — echoed in the response
+   and tagged on every phase span, so one request's spans can be pulled
+   out of the journal of a busy multi-domain server. Returns the
+   response plus the normalized request and its phase timings (for the
+   slow-request log). *)
+let execute_timed cfg (req : request) ~enqueued =
+  let req =
+    if req.trace_id = None then { req with trace_id = Some (gen_trace ()) }
+    else req
+  in
+  let tr = { tr_trace = req.trace_id; tr_phases = [] } in
   let id = req.req_id in
+  let trace = req.trace_id in
   let deadline_ms =
     match req.deadline_ms with Some ms -> ms | None -> cfg.default_deadline_ms
   in
@@ -283,50 +384,59 @@ let execute cfg (req : request) ~enqueued =
     if deadline_ms <= 0 then infinity
     else enqueued +. (float_of_int deadline_ms /. 1000.)
   in
-  if Unix.gettimeofday () > deadline then
-    error_response ?id Limit
-      (Printf.sprintf
-         "deadline exceeded: request spent its %dms budget waiting in the queue"
-         deadline_ms)
-  else
-    let source () = Option.value req.source ~default:"" in
-    try
-      Runtime.Value.with_deadline deadline @@ fun () ->
-      match req.op with
-      | Analyze -> do_analyze req (source ())
-      | Check -> do_check req (source ())
-      | Run -> do_run cfg req (source ())
-      | Explain ->
-          do_explain req (source ()) (Option.value req.member ~default:"")
-      | Precision -> do_precision req
-      | Crash ->
-          if cfg.fault_injection then raise Fault_injected
-          else
-            error_response ?id Unsupported
-              "fault injection is disabled (start the server with \
-               --fault-injection to enable the crash op)"
-      | Health | Stats | Shutdown ->
-          (* unreachable through [handle_line]; kept total for direct
-             callers (tests) *)
-          error_response ?id Unsupported
-            (Printf.sprintf "'%s' is a control op answered by the server loop"
-               (op_name req.op))
-    with
-    | Runtime.Value.Limit_exceeded m ->
-        error_response ?id Limit ("resource limit: " ^ m)
-    | Runtime.Value.Runtime_error m ->
-        error_response ?id Runtime ("runtime error: " ^ m)
-    | Runtime.Interp.Abort_called ->
-        error_response ?id Runtime "runtime error: abort() called"
-    | Frontend.Source.Compile_error d ->
-        error_response ?id
-          ~extra:
-            [ ("diagnostics", jarr [ Frontend.Source.diagnostic_to_json d ]) ]
-          Diagnostics
-          (Frontend.Source.diagnostic_to_string d)
-    | Stack_overflow ->
-        error_response ?id Limit "resource limit: native stack exhausted"
-    | Out_of_memory -> error_response ?id Limit "resource limit: out of memory"
+  let resp =
+    if Unix.gettimeofday () > deadline then
+      error_response ?id ?trace Limit
+        (Printf.sprintf
+           "deadline exceeded: request spent its %dms budget waiting in the \
+            queue"
+           deadline_ms)
+    else
+      let source () = Option.value req.source ~default:"" in
+      try
+        Runtime.Value.with_deadline deadline @@ fun () ->
+        match req.op with
+        | Analyze -> do_analyze tr req (source ())
+        | Check -> do_check tr req (source ())
+        | Run -> do_run cfg tr req (source ())
+        | Explain ->
+            do_explain tr req (source ()) (Option.value req.member ~default:"")
+        | Precision -> do_precision tr req
+        | Crash ->
+            if cfg.fault_injection then raise Fault_injected
+            else
+              error_response ?id ?trace Unsupported
+                "fault injection is disabled (start the server with \
+                 --fault-injection to enable the crash op)"
+        | Health | Stats | Shutdown ->
+            (* unreachable through [handle_line]; kept total for direct
+               callers (tests) *)
+            error_response ?id ?trace Unsupported
+              (Printf.sprintf "'%s' is a control op answered by the server loop"
+                 (op_name req.op))
+      with
+      | Runtime.Value.Limit_exceeded m ->
+          error_response ?id ?trace Limit ("resource limit: " ^ m)
+      | Runtime.Value.Runtime_error m ->
+          error_response ?id ?trace Runtime ("runtime error: " ^ m)
+      | Runtime.Interp.Abort_called ->
+          error_response ?id ?trace Runtime "runtime error: abort() called"
+      | Frontend.Source.Compile_error d ->
+          error_response ?id ?trace
+            ~extra:
+              [ ("diagnostics", jarr [ Frontend.Source.diagnostic_to_json d ]) ]
+            Diagnostics
+            (Frontend.Source.diagnostic_to_string d)
+      | Stack_overflow ->
+          error_response ?id ?trace Limit "resource limit: native stack exhausted"
+      | Out_of_memory ->
+          error_response ?id ?trace Limit "resource limit: out of memory"
+  in
+  (resp, req, tr)
+
+let execute cfg (req : request) ~enqueued =
+  let resp, _, _ = execute_timed cfg req ~enqueued in
+  resp
 
 (* -- the server -------------------------------------------------------------- *)
 
@@ -344,26 +454,70 @@ type t = {
   pool : job Supervisor.t;
 }
 
-(* Count a response as ok/error by its "ok":true/false tag (responses
-   are built by exactly two constructors, so sniffing is reliable). *)
-let reply respond resp =
-  let is_err =
-    let tag = {|"ok":false|} in
-    let n = String.length tag in
-    let rec find i =
-      i + n <= String.length resp
-      && (String.sub resp i n = tag || find (i + 1))
-    in
-    find 0
+(* Count a response as ok/error by its "ok":true/false tag, and an
+   error by its kind tag (responses are built by exactly two
+   constructors, so sniffing is reliable: inside a JSON string every
+   '"' is escaped, so the raw tags below cannot occur in payloads). *)
+let find_sub s tag =
+  let n = String.length tag in
+  let rec go i =
+    if i + n > String.length s then None
+    else if String.sub s i n = tag then Some (i + n)
+    else go (i + 1)
   in
-  Telemetry.Counter.incr (if is_err then error_responses else ok_responses);
+  go 0
+
+let reply respond resp =
+  (match find_sub resp {|"ok":false|} with
+  | None -> Telemetry.Counter.incr ok_responses
+  | Some _ -> (
+      Telemetry.Counter.incr error_responses;
+      match find_sub resp {|"error":{"kind":"|} with
+      | None -> ()
+      | Some j -> (
+          match String.index_from_opt resp j '"' with
+          | None -> ()
+          | Some k -> (
+              match List.assoc_opt (String.sub resp j (k - j)) error_kind_counters with
+              | Some c -> Telemetry.Counter.incr c
+              | None -> ()))));
   respond resp
 
+(* One structured line per request that blew the [slow_ms] budget:
+   end-to-end latency with its queue/phase breakdown, correlated by id
+   and trace id. JSONL on stderr by default so it survives where the
+   span journal's cap would have evicted it. *)
+let slow_line (req : request) tr ~queue_ms ~total_ms =
+  jobj
+    ([ ("slow_request", jbool true); ("cmd", jstr (op_name req.op)) ]
+    @ (match req.req_id with Some i -> [ ("id", jstr i) ] | None -> [])
+    @ (match tr.tr_trace with Some t -> [ ("trace_id", jstr t) ] | None -> [])
+    @ [
+        ("total_ms", jfloat total_ms);
+        ("queue_ms", jfloat queue_ms);
+        ( "phases",
+          jobj (List.rev_map (fun (n, ms) -> (n, jfloat ms)) tr.tr_phases) );
+      ])
+
 let create cfg =
-  let process j = reply j.j_respond (execute cfg j.j_req ~enqueued:j.j_enqueued) in
+  let process j =
+    let started = Unix.gettimeofday () in
+    let queue_s = started -. j.j_enqueued in
+    observe_hist queue_hists j.j_req.op (int_of_float (queue_s *. 1e6));
+    let resp, req, tr = execute_timed cfg j.j_req ~enqueued:j.j_enqueued in
+    let finished = Unix.gettimeofday () in
+    observe_hist service_hists req.op
+      (int_of_float ((finished -. started) *. 1e6));
+    (if cfg.slow_ms > 0 then
+       let total_ms = (finished -. j.j_enqueued) *. 1000. in
+       if total_ms >= float_of_int cfg.slow_ms then
+         !slow_log_sink
+           (slow_line req tr ~queue_ms:(queue_s *. 1000.) ~total_ms));
+    reply j.j_respond resp
+  in
   let on_poison j e =
     reply j.j_respond
-      (error_response ?id:j.j_req.req_id
+      (error_response ?id:j.j_req.req_id ?trace:j.j_req.trace_id
          ~extra:[ ("exception", jstr (Printexc.to_string e)) ]
          Internal
          "internal error: request quarantined, worker restarted")
@@ -397,11 +551,46 @@ let stats_fields t =
            jobj [ ("request", jstr frame); ("exception", jstr exn) ])
          (Supervisor.quarantined t.pool))
   in
+  (* per-op queue-wait and service-time quantiles, for ops that have
+     actually served something *)
+  let latency =
+    jobj
+      (List.filter_map
+         (fun op ->
+           let snap hists =
+             match List.assq_opt op hists with
+             | Some h -> Telemetry.Histogram.snapshot h
+             | None -> Telemetry.Histogram.empty_snap (op_name op)
+           in
+           let q = snap queue_hists and s = snap service_hists in
+           if q.Telemetry.Histogram.h_count = 0 && s.Telemetry.Histogram.h_count = 0
+           then None
+           else
+             Some
+               ( op_name op,
+                 jobj
+                   [
+                     ("queue_us", Telemetry.histogram_json q);
+                     ("service_us", Telemetry.histogram_json s);
+                   ] ))
+         work_ops)
+  in
+  let by_error_kind =
+    jobj
+      (List.filter_map
+         (fun (name, c) ->
+           let v = Telemetry.Counter.value c in
+           if v > 0 then Some (name, jint v) else None)
+         error_kind_counters)
+  in
   health_fields t
   @ [
+      ("uptime_seconds", jint (uptime_ms t / 1000));
       ("worker_restarts", jint (Supervisor.restarts t.pool));
       ("quarantined", quarantined);
       ("source_cache_entries", jint (Cache.entries ()));
+      ("requests_by_error_kind", by_error_kind);
+      ("latency", latency);
       ("spans_dropped", jint (Telemetry.spans_dropped ()));
       ( "counters",
         jobj (List.map (fun (n, v) -> (n, jint v)) (Telemetry.counters ())) );
@@ -410,6 +599,15 @@ let stats_fields t =
     ]
 
 let stats_json t = jobj (stats_fields t)
+
+(* The Prometheus rendering of the same snapshot: refresh the derived
+   gauges, then let the telemetry registry expose everything — request
+   counters, error-kind counters, queue/connection gauges and the
+   latency histograms all live there already. *)
+let prometheus_stats t =
+  Telemetry.Gauge.set uptime_gauge (uptime_ms t / 1000);
+  Telemetry.Gauge.set queue_gauge (Supervisor.queue_depth t.pool);
+  Telemetry.prometheus_text ()
 
 (* Dispatch one frame. Control ops are answered inline on the calling
    (reader) thread so they keep working when the queue is full — a
@@ -433,12 +631,24 @@ let handle_line t ~respond line =
         count_request req.op;
         match req.op with
         | Health ->
-            reply respond (ok_response ?id:req.req_id ~op:Health (health_fields t))
+            reply respond
+              (ok_response ?id:req.req_id ?trace:req.trace_id ~op:Health
+                 (health_fields t))
         | Stats ->
-            reply respond (ok_response ?id:req.req_id ~op:Stats (stats_fields t))
+            let fields =
+              match req.stats_format with
+              | P.Stats_json -> stats_fields t
+              | P.Stats_prometheus ->
+                  [
+                    ("format", jstr "prometheus");
+                    ("body", jstr (prometheus_stats t));
+                  ]
+            in
+            reply respond
+              (ok_response ?id:req.req_id ?trace:req.trace_id ~op:Stats fields)
         | Shutdown ->
             reply respond
-              (ok_response ?id:req.req_id ~op:Shutdown
+              (ok_response ?id:req.req_id ?trace:req.trace_id ~op:Shutdown
                  [ ("draining", jbool true) ]);
             Atomic.set t.stop true
         | Analyze | Check | Run | Explain | Precision | Crash -> (
@@ -454,13 +664,13 @@ let handle_line t ~respond line =
             | Supervisor.Accepted -> ()
             | Supervisor.Overloaded ->
                 reply respond
-                  (error_response ?id:req.req_id
+                  (error_response ?id:req.req_id ?trace:req.trace_id
                      ~extra:[ ("queue_cap", jint t.cfg.queue_cap) ]
                      Overloaded
                      "work queue is full: load shed, retry later")
             | Supervisor.Draining ->
                 reply respond
-                  (error_response ?id:req.req_id Draining
+                  (error_response ?id:req.req_id ?trace:req.trace_id Draining
                      "server is draining: no new work accepted")))
 
 let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line

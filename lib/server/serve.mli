@@ -24,15 +24,30 @@ type config = {
   step_limit : int;
   call_depth_limit : int;
   heap_object_limit : int;
+  slow_ms : int;
+      (** emit one structured JSONL line (stderr by default) for every
+          request whose end-to-end latency — queue wait included —
+          reaches this many milliseconds; [0] (the default) disables *)
 }
 
 val default_config : config
+
+(** Replace the slow-request log sink (default: stderr, one JSONL line
+    per slow request, serialized under a mutex). Tests capture lines
+    with this. *)
+val set_slow_log_sink : (string -> unit) -> unit
 
 (** [execute cfg req ~enqueued] runs one work request synchronously and
     returns its response line. Expected failures (diagnostics, runtime
     errors, limits, expired deadlines) map to structured errors;
     internal faults escape as exceptions — the supervisor turns those
-    into quarantine + restart, a test harness sees them directly. *)
+    into quarantine + restart, a test harness sees them directly.
+
+    A work request without a client-supplied [trace_id] is assigned a
+    generated one; either way the id is echoed as the response's
+    top-level ["trace_id"] and tagged on the request's phase spans
+    ([serve.parse], [serve.analyze], [serve.run]) in the span
+    journal. *)
 val execute : config -> Protocol.request -> enqueued:float -> string
 
 type t

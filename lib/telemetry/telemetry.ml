@@ -99,7 +99,183 @@ module Gauge = struct
   let name g = g.name
 end
 
-(* -- spans -------------------------------------------------------------------- *)
+(* -- histograms ---------------------------------------------------------------- *)
+
+module Histogram = struct
+  (* Log-bucketed (HDR-style) latency histograms over non-negative
+     integers (microseconds by convention).
+
+     Bucketing: values 0..3 get exact buckets; above that each
+     power-of-two octave is split into [sub_per_octave] sub-buckets
+     keyed by the two bits below the leading bit, so every recorded
+     value lands in a bucket whose upper bound overshoots it by < 25%.
+     With 63-bit ints the leading bit position is at most 61, so 248
+     buckets cover the whole range.
+
+     Recording is wait-free: one [Atomic.fetch_and_add] on the bucket
+     plus one on the running sum and a CAS loop on the max. The
+     disabled path is the same single load-and-branch as counters. *)
+
+  let sub_per_octave = 4
+  let nbuckets = 4 + (60 * sub_per_octave)
+
+  (* position of the most significant set bit; [msb 4 = 2] *)
+  let msb v =
+    let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+
+  let bucket_index v =
+    if v < 4 then if v < 0 then 0 else v
+    else
+      let m = msb v in
+      let sub = (v lsr (m - 2)) land 3 in
+      let i = 4 + ((m - 2) * sub_per_octave) + sub in
+      if i >= nbuckets then nbuckets - 1 else i
+
+  (* inclusive upper bound of bucket [i] — the value reported for any
+     quantile that falls in the bucket *)
+  let bucket_upper i =
+    if i < 4 then i
+    else
+      let oct = 2 + ((i - 4) / sub_per_octave) in
+      let sub = (i - 4) mod sub_per_octave in
+      let width = 1 lsl (oct - 2) in
+      (1 lsl oct) + ((sub + 1) * width) - 1
+
+  type t = {
+    name : string;
+    buckets : int Atomic.t array;
+    sum : int Atomic.t;
+    max : int Atomic.t;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name =
+    with_registry @@ fun () ->
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            name;
+            buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+            sum = Atomic.make 0;
+            max = Atomic.make 0;
+          }
+        in
+        Hashtbl.add registry name h;
+        h
+
+  let rec bump_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
+
+  let record h v =
+    let v = if v < 0 then 0 else v in
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1);
+    ignore (Atomic.fetch_and_add h.sum v);
+    bump_max h.max v
+
+  let observe h v = if !enabled_flag then record h v
+  let name h = h.name
+
+  (* A snapshot is a plain value: sparse (bucket index, count) pairs in
+     ascending index order. The count is the sum of the bucket counts,
+     so a quiescent snapshot always agrees with the number of observes
+     that landed. *)
+  type snap = {
+    h_name : string;
+    h_count : int;
+    h_sum : int;
+    h_max : int;  (** 0 when empty *)
+    h_buckets : (int * int) list;
+  }
+
+  let snapshot h =
+    let buckets = ref [] and count = ref 0 in
+    for i = nbuckets - 1 downto 0 do
+      let c = Atomic.get h.buckets.(i) in
+      if c > 0 then begin
+        buckets := (i, c) :: !buckets;
+        count := !count + c
+      end
+    done;
+    {
+      h_name = h.name;
+      h_count = !count;
+      h_sum = Atomic.get h.sum;
+      h_max = Atomic.get h.max;
+      h_buckets = !buckets;
+    }
+
+  (* merge two sorted sparse bucket lists, summing shared indices —
+     associative and commutative, so worker-domain snapshots can be
+     folded together in any order *)
+  let merge a b =
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], r | r, [] -> r
+      | (i, c) :: xs', (j, d) :: ys' ->
+          if i = j then (i, c + d) :: go xs' ys'
+          else if i < j then (i, c) :: go xs' ys
+          else (j, d) :: go xs ys'
+    in
+    {
+      h_name = a.h_name;
+      h_count = a.h_count + b.h_count;
+      h_sum = a.h_sum + b.h_sum;
+      h_max = (if a.h_max >= b.h_max then a.h_max else b.h_max);
+      h_buckets = go a.h_buckets b.h_buckets;
+    }
+
+  let empty_snap name =
+    { h_name = name; h_count = 0; h_sum = 0; h_max = 0; h_buckets = [] }
+
+  (* offline builder for harnesses that already hold raw samples *)
+  let of_values ~name values =
+    let s =
+      List.fold_left
+        (fun s v ->
+          let v = if v < 0 then 0 else v in
+          merge s
+            {
+              h_name = name;
+              h_count = 1;
+              h_sum = v;
+              h_max = v;
+              h_buckets = [ (bucket_index v, 1) ];
+            })
+        (empty_snap name) values
+    in
+    s
+
+  (* quantile estimate: the upper bound of the bucket holding the
+     rank-[ceil q*count] observation, clamped to the exact max so
+     p99 <= max always holds *)
+  let quantile s q =
+    if s.h_count = 0 then 0
+    else
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int s.h_count)) in
+        if r < 1 then 1 else if r > s.h_count then s.h_count else r
+      in
+      let rec go cum = function
+        | [] -> s.h_max
+        | (i, c) :: rest ->
+            let cum = cum + c in
+            if cum >= rank then
+              let u = bucket_upper i in
+              if u > s.h_max then s.h_max else u
+            else go cum rest
+      in
+      go 0 s.h_buckets
+
+  let mean s =
+    if s.h_count = 0 then 0.0
+    else float_of_int s.h_sum /. float_of_int s.h_count
+end
 
 module Span = struct
   (* A completed span; [depth] is the nesting level at entry, recorded so
@@ -109,9 +285,16 @@ module Span = struct
     sp_start_us : float;
     sp_dur_us : float;
     sp_depth : int;
+    sp_trace : string option;
   }
 
-  type t = { name : string; start_us : float; depth : int; live : bool }
+  type t = {
+    name : string;
+    start_us : float;
+    depth : int;
+    live : bool;
+    trace : string option;
+  }
 
   (* the journal is shared across domains; [journal_mutex] covers both
      the list and the nesting depth *)
@@ -132,13 +315,16 @@ module Span = struct
     Mutex.lock journal_mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock journal_mutex) f
 
-  let disabled = { name = ""; start_us = 0.0; depth = 0; live = false }
+  let disabled =
+    { name = ""; start_us = 0.0; depth = 0; live = false; trace = None }
 
-  let enter name =
+  let enter ?trace name =
     if not !enabled_flag then disabled
     else
       locked @@ fun () ->
-      let s = { name; start_us = now_us (); depth = !cur_depth; live = true } in
+      let s =
+        { name; start_us = now_us (); depth = !cur_depth; live = true; trace }
+      in
       incr cur_depth;
       s
 
@@ -152,6 +338,7 @@ module Span = struct
           sp_start_us = s.start_us;
           sp_dur_us = now_us () -. s.start_us;
           sp_depth = s.depth;
+          sp_trace = s.trace;
         }
         :: !completed_rev;
       incr completed_count;
@@ -163,9 +350,11 @@ module Span = struct
           completed_count := c
       | _ -> ()
 
-  let with_ name f =
-    let s = enter name in
+  let with_ ?trace name f =
+    let s = enter ?trace name in
     Fun.protect ~finally:(fun () -> exit s) f
+
+  let cap_setting () = locked @@ fun () -> !cap
 
   (* completed spans in chronological (entry-order) … exit order is fine
      for trace export, which sorts by timestamp anyway *)
@@ -186,6 +375,7 @@ end
 
 let set_span_cap = Span.set_cap
 let spans_dropped = Span.dropped_count
+let span_cap = Span.cap_setting
 
 (* -- snapshots ----------------------------------------------------------------- *)
 
@@ -208,6 +398,16 @@ let gauges () =
         Gauge.registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* snapshots of every histogram with at least one observation, by name *)
+let histograms () =
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun _ (h : Histogram.t) acc -> Histogram.snapshot h :: acc)
+        Histogram.registry [])
+  |> List.filter (fun (s : Histogram.snap) -> s.Histogram.h_count > 0)
+  |> List.sort (fun (a : Histogram.snap) b ->
+         String.compare a.Histogram.h_name b.Histogram.h_name)
+
 let reset () =
   with_registry (fun () ->
       Hashtbl.iter
@@ -217,7 +417,13 @@ let reset () =
         (fun _ (g : Gauge.t) ->
           Atomic.set g.Gauge.value 0;
           Atomic.set g.Gauge.touched false)
-        Gauge.registry);
+        Gauge.registry;
+      Hashtbl.iter
+        (fun _ (h : Histogram.t) ->
+          Array.iter (fun b -> Atomic.set b 0) h.Histogram.buckets;
+          Atomic.set h.Histogram.sum 0;
+          Atomic.set h.Histogram.max 0)
+        Histogram.registry);
   Span.locked (fun () ->
       Span.completed_rev := [];
       Span.completed_count := 0;
@@ -252,15 +458,94 @@ let obj_of_bindings bs =
    floating-point notation with an exponent is valid JSON but annoys
    line-oriented consumers. *)
 let span_json (s : Span.completed) =
-  Printf.sprintf "{\"name\":\"%s\",\"start_us\":%.1f,\"dur_us\":%.1f,\"depth\":%d}"
+  let trace =
+    match s.Span.sp_trace with
+    | None -> ""
+    | Some t -> Printf.sprintf ",\"trace\":\"%s\"" (json_escape t)
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"start_us\":%.1f,\"dur_us\":%.1f,\"depth\":%d%s}"
     (json_escape s.Span.sp_name) s.Span.sp_start_us s.Span.sp_dur_us
-    s.Span.sp_depth
+    s.Span.sp_depth trace
+
+(* One histogram snapshot as a JSON object: headline stats plus the
+   sparse buckets as [[upper_bound, count], ...]. *)
+let histogram_json (s : Histogram.snap) =
+  Printf.sprintf
+    "{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"buckets\":[%s]}"
+    s.Histogram.h_count s.Histogram.h_sum s.Histogram.h_max
+    (Histogram.quantile s 0.5) (Histogram.quantile s 0.9)
+    (Histogram.quantile s 0.99)
+    (String.concat ","
+       (List.map
+          (fun (i, c) -> Printf.sprintf "[%d,%d]" (Histogram.bucket_upper i) c)
+          s.Histogram.h_buckets))
 
 let metrics_json () =
-  Printf.sprintf "{\"counters\":%s,\"gauges\":%s,\"spans\":[%s]}"
+  let hists =
+    histograms ()
+    |> List.map (fun (s : Histogram.snap) ->
+           Printf.sprintf "\"%s\":%s"
+             (json_escape s.Histogram.h_name)
+             (histogram_json s))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"counters\":%s,\"gauges\":%s,\"histograms\":{%s},\"spans_dropped\":%d,\"span_cap\":%s,\"spans\":[%s]}"
     (obj_of_bindings (counters ()))
     (obj_of_bindings (gauges ()))
+    hists (spans_dropped ())
+    (match span_cap () with Some c -> string_of_int c | None -> "null")
     (String.concat "," (List.map span_json (Span.completed ())))
+
+(* -- Prometheus text exposition -------------------------------------------------
+
+   The standard text format scrapers ingest: one [# TYPE] line per
+   metric followed by its samples. Instrument names use '.' as a
+   namespace separator; Prometheus only allows [a-zA-Z0-9_:], so dots
+   (and any other illegal character) become underscores and everything
+   is prefixed [deadmem_]. Histogram buckets are rendered cumulatively
+   with integer [le] upper bounds (values are microseconds). *)
+
+let prometheus_name s =
+  let b = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "deadmem_" ^ Bytes.to_string b
+
+let prometheus_text () =
+  let buf = Buffer.create 1024 in
+  let sample ty name v =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n%s %d\n" name ty name v)
+  in
+  List.iter (fun (n, v) -> sample "counter" (prometheus_name n) v) (counters ());
+  List.iter (fun (n, v) -> sample "gauge" (prometheus_name n) v) (gauges ());
+  sample "counter" "deadmem_spans_dropped" (spans_dropped ());
+  List.iter
+    (fun (s : Histogram.snap) ->
+      let name = prometheus_name s.Histogram.h_name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+      let cum = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name
+               (Histogram.bucket_upper i)
+               !cum))
+        s.Histogram.h_buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name s.Histogram.h_count);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %d\n" name s.Histogram.h_sum);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" name s.Histogram.h_count))
+    (histograms ());
+  Buffer.contents buf
 
 (* Chrome trace-event format, JSON-array flavour: one complete ("X")
    event per span. chrome://tracing and https://ui.perfetto.dev load

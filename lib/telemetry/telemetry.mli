@@ -50,6 +50,63 @@ module Gauge : sig
   val name : t -> string
 end
 
+(** Log-bucketed (HDR-style) latency histograms over non-negative
+    integers (microseconds by convention). Recording is wait-free
+    (atomic bucket increments) and a no-op costing one load-and-branch
+    while collection is disabled. Values 0..3 get exact buckets; above
+    that each power-of-two octave splits into 4 sub-buckets, so any
+    bucket's upper bound overshoots the values inside it by < 25%. *)
+module Histogram : sig
+  type t
+
+  (** [make name] registers (or retrieves) the histogram [name].
+      Idempotent, like {!Counter.make}. *)
+  val make : string -> t
+
+  (** Record one observation. Negative values clamp to 0. No-op while
+      disabled. *)
+  val observe : t -> int -> unit
+
+  val name : t -> string
+
+  (** An immutable snapshot: sparse [(bucket index, count)] pairs in
+      ascending index order, plus total count/sum and the exact max. *)
+  type snap = {
+    h_name : string;
+    h_count : int;
+    h_sum : int;
+    h_max : int;  (** 0 when empty *)
+    h_buckets : (int * int) list;
+  }
+
+  val snapshot : t -> snap
+
+  (** Inclusive upper bound of a bucket index — the value reported for
+      any quantile falling in that bucket. *)
+  val bucket_upper : int -> int
+
+  (** Merge two snapshots bucket-wise; associative and commutative, so
+      per-domain snapshots fold together in any order. The result keeps
+      the first snapshot's name. *)
+  val merge : snap -> snap -> snap
+
+  (** An empty snapshot (identity for {!merge}). *)
+  val empty_snap : string -> snap
+
+  (** Build a snapshot offline from raw samples, bypassing the
+      registry and the enabled flag (for harnesses that already hold
+      their samples). *)
+  val of_values : name:string -> int list -> snap
+
+  (** [quantile s q] estimates the [q]-quantile ([0. <= q <= 1.]) as
+      the upper bound of the bucket holding the rank-[ceil q*count]
+      observation, clamped to the exact max. 0 when empty. *)
+  val quantile : snap -> float -> int
+
+  (** Arithmetic mean of the observations; [0.] when empty. *)
+  val mean : snap -> float
+end
+
 (** Wall-clock phase spans. *)
 module Span : sig
   type completed = {
@@ -57,18 +114,20 @@ module Span : sig
     sp_start_us : float;
     sp_dur_us : float;
     sp_depth : int;  (** nesting level at entry *)
+    sp_trace : string option;  (** request trace id, if tagged *)
   }
 
   type t
 
-  (** Start a span. Returns a no-op token while disabled. *)
-  val enter : string -> t
+  (** Start a span, optionally tagged with a request trace id. Returns
+      a no-op token while disabled. *)
+  val enter : ?trace:string -> string -> t
 
   val exit : t -> unit
 
   (** [with_ name f] runs [f ()] inside a span; the span is closed even
       if [f] raises. *)
-  val with_ : string -> (unit -> 'a) -> 'a
+  val with_ : ?trace:string -> string -> (unit -> 'a) -> 'a
 
   (** Completed spans, oldest first. *)
   val completed : unit -> completed list
@@ -83,19 +142,41 @@ val set_span_cap : int option -> unit
 (** Spans discarded by the cap since the last {!reset}. *)
 val spans_dropped : unit -> int
 
+(** The current span-journal cap, if any. *)
+val span_cap : unit -> int option
+
 (** Nonzero counters, sorted by name. *)
 val counters : unit -> (string * int) list
 
 (** Gauges set since the last {!reset}, sorted by name. *)
 val gauges : unit -> (string * int) list
 
+(** Snapshots of every histogram with at least one observation, sorted
+    by name. *)
+val histograms : unit -> Histogram.snap list
+
 (** Clear all recorded values and spans; registrations (and outstanding
     handles) stay valid. *)
 val reset : unit -> unit
 
+(** Escape a string for inclusion in a JSON string literal (quotes,
+    backslashes, control characters). *)
+val json_escape : string -> string
+
 (** The whole state as one JSON object:
-    [{"counters":{...},"gauges":{...},"spans":[...]}]. *)
+    [{"counters":{...},"gauges":{...},"histograms":{...},
+      "spans_dropped":N,"span_cap":N|null,"spans":[...]}]. *)
 val metrics_json : unit -> string
+
+(** One histogram snapshot as a JSON object (headline quantiles plus
+    sparse [[upper_bound, count]] buckets). *)
+val histogram_json : Histogram.snap -> string
+
+(** Counters, gauges and histograms in the Prometheus text exposition
+    format. Instrument names are prefixed [deadmem_] with characters
+    outside [A-Za-z0-9_:] mapped to '_'; histogram buckets are rendered
+    cumulatively with integer [le] bounds (microseconds). *)
+val prometheus_text : unit -> string
 
 (** Completed spans in the Chrome trace-event JSON-array format — loads
     directly in [chrome://tracing] and Perfetto. *)

@@ -13,6 +13,7 @@ let () =
       ("resolve", Test_resolve.suite);
       ("bytecode", Test_bytecode.suite);
       ("profile", Test_profile.suite);
+      ("vm_profile", Test_vm_profile.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("eliminate", Test_eliminate.suite);
       ("properties", Test_properties.suite);

@@ -311,8 +311,11 @@ let t_exec_engine_error_parity () =
   in
   List.iter
     (fun (name, src, extra) ->
+      (* pin the trace id: a generated one would differ per request and
+         break the byte-identical comparison for server metadata *)
       let line engine =
-        Printf.sprintf {|{"id":"p","cmd":"run","source":%s,"engine":"%s",%s}|}
+        Printf.sprintf
+          {|{"id":"p","cmd":"run","trace_id":"tp","source":%s,"engine":"%s",%s}|}
           (P.jstr src) engine extra
       in
       let tree = exec (line "tree") and bc = exec (line "bytecode") in
@@ -549,6 +552,182 @@ let t_handle_stats_shape () =
       "source_cache_entries"; "counters"; "gauges"; "uptime_ms";
     ]
 
+(* -- observability: tracing, the slow-request log, latency stats ------------- *)
+
+let t_parse_trace_and_format () =
+  let r = parse_ok {|{"id":"t","cmd":"health","trace_id":"t1"}|} in
+  check_string "trace id parsed" "t1" (Option.get r.P.trace_id);
+  let _, kind = parse_err {|{"cmd":"health","trace_id":""}|} in
+  check_string "empty trace id rejected" "protocol" (P.kind_name kind);
+  let r = parse_ok {|{"cmd":"stats","format":"prometheus"}|} in
+  check_bool "prometheus format parsed" true
+    (r.P.stats_format = P.Stats_prometheus);
+  let _, kind = parse_err {|{"cmd":"health","format":"prometheus"}|} in
+  check_string "format is stats-only" "protocol" (P.kind_name kind);
+  let _, kind = parse_err {|{"cmd":"stats","format":"xml"}|} in
+  check_string "unknown format rejected" "protocol" (P.kind_name kind)
+
+let trace_of resp =
+  match J.member "trace_id" (json_of resp) with
+  | Some (J.Str t) -> Some t
+  | _ -> None
+
+let t_trace_echo () =
+  (* a client-supplied trace id is echoed verbatim *)
+  let resp =
+    exec
+      {|{"id":"t","cmd":"run","source":"int main() { return 0; }","trace_id":"t1"}|}
+  in
+  check_bool "ok" true (fst (shape resp));
+  check_string "client trace echoed" "t1" (Option.get (trace_of resp));
+  (* errors carry it too — the client correlates failures the same way *)
+  let resp = exec {|{"id":"e","cmd":"analyze","source":"garbage((","trace_id":"t2"}|} in
+  check_bool "error response" false (fst (shape resp));
+  check_string "trace echoed on error" "t2" (Option.get (trace_of resp));
+  (* without one, the server generates a trace id and still echoes it *)
+  let resp = exec {|{"id":"g","cmd":"run","source":"int main() { return 0; }"}|} in
+  let t = Option.get (trace_of resp) in
+  check_bool "generated trace nonempty" true (String.length t > 1);
+  check_bool "generated trace has the t prefix" true (t.[0] = 't');
+  (* control ops echo through the dispatcher *)
+  let h = make_harness () in
+  feed h {|{"id":"h","cmd":"health","trace_id":"th"}|};
+  await h 1;
+  stop h;
+  check_string "health echoes trace" "th"
+    (Option.get (trace_of (List.hd (responses h))))
+
+let t_slow_log_exactly_once () =
+  let captured = ref [] in
+  let mu = Mutex.create () in
+  Serve.set_slow_log_sink (fun l ->
+      Mutex.protect mu (fun () -> captured := l :: !captured));
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.set_slow_log_sink (fun l ->
+          output_string stderr (l ^ "\n");
+          flush stderr))
+    (fun () ->
+      let h = make_harness ~cfg:{ test_cfg with Serve.slow_ms = 1 } () in
+      (* long enough to clear 1ms in any build; bounded so it terminates *)
+      feed h
+        {|{"id":"slow1","cmd":"run","source":"int main() { int i = 0; while (i < 300000) { i = i + 1; } return 0; }"}|};
+      (* control ops never queue, so they are never slow-logged *)
+      feed h {|{"id":"fast","cmd":"health"}|};
+      await h 2;
+      stop h;
+      let lines = Mutex.protect mu (fun () -> List.rev !captured) in
+      check_int "exactly one slow-log line" 1 (List.length lines);
+      let v = json_of (List.hd lines) in
+      check_bool "marked slow_request" true
+        (J.member "slow_request" v = Some (J.Bool true));
+      check_bool "correlated by id" true
+        (J.member "id" v = Some (J.Str "slow1"));
+      check_bool "carries a trace id" true
+        (match J.member "trace_id" v with Some (J.Str _) -> true | _ -> false);
+      check_bool "total_ms present" true (J.member "total_ms" v <> None);
+      check_bool "queue_ms present" true (J.member "queue_ms" v <> None);
+      match J.member "phases" v with
+      | Some phases ->
+          check_bool "run phase timed" true (J.member "run" phases <> None)
+      | None -> Alcotest.fail "slow line without phases")
+
+let t_stats_latency_quantiles () =
+  let was = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled was)
+    (fun () ->
+      let h = make_harness () in
+      feed h {|{"id":"w","cmd":"run","source":"int main() { return 0; }"}|};
+      await h 1;
+      feed h {|{"id":"s","cmd":"stats"}|};
+      await h 2;
+      stop h;
+      let stats =
+        List.hd (List.filter (fun r -> resp_id r = Some "s") (responses h))
+      in
+      let result = Option.get (J.member "result" (json_of stats)) in
+      check_bool "uptime_seconds present" true
+        (J.member "uptime_seconds" result <> None);
+      check_bool "spans_dropped present" true
+        (J.member "spans_dropped" result <> None);
+      check_bool "requests_by_error_kind present" true
+        (J.member "requests_by_error_kind" result <> None);
+      let run_lat =
+        match J.member "latency" result with
+        | Some lat -> (
+            match J.member "run" lat with
+            | Some r -> r
+            | None -> Alcotest.fail "no latency entry for run")
+        | None -> Alcotest.fail "stats without latency"
+      in
+      let service = Option.get (J.member "service_us" run_lat) in
+      let num field =
+        match J.member field service with
+        | Some (J.Num f) -> f
+        | _ -> Alcotest.failf "service_us.%s missing" field
+      in
+      check_bool "served at least once" true (num "count" >= 1.);
+      check_bool "p50 positive" true (num "p50" >= 1.);
+      check_bool "p99 >= p50" true (num "p99" >= num "p50");
+      check_bool "queue_us measured too" true
+        (J.member "queue_us" run_lat <> None))
+
+let t_stats_prometheus () =
+  let was = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled was)
+    (fun () ->
+      let h = make_harness () in
+      feed h {|{"id":"w","cmd":"run","source":"int main() { return 1; }"}|};
+      await h 1;
+      feed h {|{"id":"p","cmd":"stats","format":"prometheus"}|};
+      await h 2;
+      stop h;
+      let stats =
+        List.hd (List.filter (fun r -> resp_id r = Some "p") (responses h))
+      in
+      let result = Option.get (J.member "result" (json_of stats)) in
+      check_bool "format field" true
+        (J.member "format" result = Some (J.Str "prometheus"));
+      let body =
+        match J.member "body" result with
+        | Some (J.Str b) -> b
+        | _ -> Alcotest.fail "prometheus stats without body"
+      in
+      (* every non-comment line is `name[{labels}] value` with our prefix *)
+      let lines =
+        List.filter
+          (fun l -> l <> "" && l.[0] <> '#')
+          (String.split_on_char '\n' body)
+      in
+      check_bool "exposition is not empty" true (lines <> []);
+      List.iter
+        (fun line ->
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "unparseable sample: %s" line
+          | Some i ->
+              let name = String.sub line 0 i in
+              let value =
+                String.sub line (i + 1) (String.length line - i - 1)
+              in
+              check_bool
+                ("prefixed: " ^ line)
+                true
+                (String.length name > 8
+                && String.sub name 0 8 = "deadmem_");
+              check_bool ("numeric: " ^ line) true
+                (match float_of_string_opt value with
+                | Some _ -> true
+                | None -> false))
+        lines;
+      check_bool "service histogram exported" true
+        (Util.contains_sub ~sub:"deadmem_server_service_us_run_bucket" body);
+      check_bool "cumulative +Inf bucket present" true
+        (Util.contains_sub ~sub:{|_bucket{le="+Inf"}|} body))
+
 (* -- crash corpus ------------------------------------------------------------ *)
 
 (* Resolve build artifacts relative to the test executable so the suite
@@ -692,6 +871,14 @@ let suite =
     Util.test "serve: newline-free oversized stream dropped as it arrives"
       t_read_loop_oversized_stream;
     Util.test "serve: stats response shape" t_handle_stats_shape;
+    Util.test "protocol: trace_id and stats format fields"
+      t_parse_trace_and_format;
+    Util.test "serve: trace ids echoed (supplied and generated)" t_trace_echo;
+    Util.test "serve: slow request logged exactly once"
+      t_slow_log_exactly_once;
+    Util.test "serve: stats exposes latency quantiles"
+      t_stats_latency_quantiles;
+    Util.test "serve: prometheus stats exposition" t_stats_prometheus;
     Util.test "serve corpus: malformed frames" (t_corpus "malformed.jsonl");
     Util.test "serve corpus: hostile programs"
       (t_corpus "hostile_programs.jsonl");

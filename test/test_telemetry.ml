@@ -75,6 +75,126 @@ let t_gauge_untouched_omitted () =
   Util.check_bool "touched gauge kept even at zero" true
     (List.mem_assoc "test.set_once" (T.gauges ()))
 
+(* -- histograms --------------------------------------------------------------- *)
+
+module H = T.Histogram
+
+(* Snapshot equality modulo the name (merge keeps the left name). *)
+let same_snap (a : H.snap) (b : H.snap) =
+  a.H.h_count = b.H.h_count && a.H.h_sum = b.H.h_sum && a.H.h_max = b.H.h_max
+  && a.H.h_buckets = b.H.h_buckets
+
+let t_hist_observe_snapshot () =
+  with_telemetry @@ fun () ->
+  let h = H.make "test.hist" in
+  List.iter (H.observe h) [ 0; 1; 5; 5; 100; 10_000 ];
+  let s = H.snapshot h in
+  Util.check_int "count" 6 s.H.h_count;
+  Util.check_int "sum" 10_111 s.H.h_sum;
+  Util.check_int "max exact" 10_000 s.H.h_max;
+  Util.check_int "p100 is the exact max" 10_000 (H.quantile s 1.0);
+  Util.check_bool "mean" true (abs_float (H.mean s -. 10_111.0 /. 6.0) < 1e-9)
+
+let t_hist_disabled_noop () =
+  T.reset ();
+  T.set_enabled false;
+  let h = H.make "test.hist_disabled" in
+  H.observe h 42;
+  Util.check_int "disabled: nothing recorded" 0 (H.snapshot h).H.h_count;
+  Util.check_bool "disabled: not in registry snapshot" true
+    (T.histograms () = [])
+
+let t_hist_quantiles_known_distribution () =
+  let s = H.of_values ~name:"t" (List.init 1000 (fun i -> i + 1)) in
+  Util.check_int "count" 1000 s.H.h_count;
+  let p50 = H.quantile s 0.5 and p90 = H.quantile s 0.9 in
+  (* a bucket's upper bound overshoots its values by < 25% *)
+  Util.check_bool "p50 in [500, 625)" true (p50 >= 500 && p50 < 625);
+  Util.check_bool "p90 in [900, 1125)" true (p90 >= 900 && p90 < 1125);
+  Util.check_int "p100 exact" 1000 (H.quantile s 1.0);
+  Util.check_int "p0 positive" 1 (H.quantile s 0.0)
+
+(* merge: associative and commutative, with of_values as the oracle *)
+let values_gen = QCheck.Gen.(list_size (int_bound 40) (int_bound 200_000))
+
+let snap_of vs = H.of_values ~name:"t" vs
+
+let prop_hist_merge_assoc_comm =
+  QCheck.Test.make ~count:100 ~name:"histogram merge assoc + comm"
+    QCheck.(
+      make
+        Gen.(triple values_gen values_gen values_gen))
+    (fun (xs, ys, zs) ->
+      let a = snap_of xs and b = snap_of ys and c = snap_of zs in
+      same_snap (H.merge (H.merge a b) c) (H.merge a (H.merge b c))
+      && same_snap (H.merge a b) (H.merge b a)
+      && same_snap (H.merge a (H.empty_snap "t")) a
+      && same_snap (H.merge a b) (snap_of (xs @ ys)))
+
+let prop_hist_quantile_monotone =
+  QCheck.Test.make ~count:100 ~name:"histogram quantiles monotone, bounded"
+    QCheck.(make values_gen)
+    (fun vs ->
+      let s = snap_of vs in
+      let qs = [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let estimates = List.map (H.quantile s) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono estimates
+      && List.for_all (fun e -> e <= s.H.h_max) estimates
+      && (vs = [] || H.quantile s 1.0 = List.fold_left max 0 (List.map (max 0) vs)))
+
+let prop_hist_bucket_overshoot =
+  QCheck.Test.make ~count:200 ~name:"histogram bucket overshoot < 25%"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun v ->
+      let s = snap_of [ v ] in
+      match s.H.h_buckets with
+      | [ (i, 1) ] ->
+          let ub = H.bucket_upper i in
+          ub >= v && float_of_int ub <= (float_of_int v *. 1.25) +. 1.0
+      | _ -> false)
+
+(* concurrent observers: the quiescent snapshot equals the offline oracle *)
+let prop_hist_concurrent_observe =
+  QCheck.Test.make ~count:20 ~name:"histogram snapshot consistent across domains"
+    QCheck.(make values_gen)
+    (fun vs ->
+      T.reset ();
+      T.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          T.set_enabled false;
+          T.reset ())
+        (fun () ->
+          let h = H.make "test.hist_domains" in
+          let n = List.length vs in
+          let arr = Array.of_list vs in
+          let chunk k =
+            (* domain k observes indices k, k+4, k+8, … *)
+            let rec go i = if i < n then (H.observe h arr.(i); go (i + 4)) in
+            go k
+          in
+          let doms = List.init 3 (fun k -> Domain.spawn (fun () -> chunk (k + 1))) in
+          chunk 0;
+          List.iter Domain.join doms;
+          same_snap (H.snapshot h) (snap_of vs)))
+
+let t_span_trace_tag () =
+  with_telemetry @@ fun () ->
+  ignore (T.Span.with_ ~trace:"t-42" "test.traced" (fun () -> ()));
+  ignore (T.Span.with_ "test.untraced" (fun () -> ()));
+  let by_name n =
+    List.find (fun (s : T.Span.completed) -> s.T.Span.sp_name = n)
+      (T.Span.completed ())
+  in
+  Util.check_bool "trace recorded" true
+    ((by_name "test.traced").T.Span.sp_trace = Some "t-42");
+  Util.check_bool "absent when untagged" true
+    ((by_name "test.untraced").T.Span.sp_trace = None)
+
 (* -- snapshot formats -------------------------------------------------------- *)
 
 let json_exn s =
@@ -137,6 +257,60 @@ let t_trace_json_valid () =
     (fun phase ->
       Util.check_bool (phase ^ " span present") true (List.mem phase names))
     [ "lex"; "parse"; "typecheck"; "callgraph"; "liveness" ]
+
+let t_metrics_json_histograms () =
+  with_telemetry @@ fun () ->
+  let h = H.make "test.mj_hist" in
+  List.iter (H.observe h) [ 1; 2; 3; 500 ];
+  let j = json_exn (T.metrics_json ()) in
+  (match T.Json.(Option.bind (member "histograms" j) (member "test.mj_hist")) with
+  | Some hist ->
+      Util.check_bool "count" true
+        (T.Json.(Option.bind (member "count" hist) to_int) = Some 4);
+      Util.check_bool "max exact" true
+        (T.Json.(Option.bind (member "max" hist) to_int) = Some 500);
+      List.iter
+        (fun q ->
+          Util.check_bool (q ^ " present") true (T.Json.member q hist <> None))
+        [ "p50"; "p90"; "p99"; "buckets" ]
+  | None -> Alcotest.fail "histograms.test.mj_hist missing");
+  Util.check_bool "spans_dropped exported" true
+    (T.Json.member "spans_dropped" j <> None);
+  Util.check_bool "span_cap exported" true (T.Json.member "span_cap" j <> None)
+
+let t_prometheus_text () =
+  with_telemetry @@ fun () ->
+  let c = T.Counter.make "test.prom_counter" in
+  T.Counter.add c 3;
+  let h = H.make "test.prom_hist.us" in
+  List.iter (H.observe h) [ 1; 10; 100 ];
+  let text = T.prometheus_text () in
+  Util.check_bool "counter sample" true
+    (Util.contains_sub ~sub:"# TYPE deadmem_test_prom_counter counter\ndeadmem_test_prom_counter 3\n" text);
+  Util.check_bool "histogram TYPE line" true
+    (Util.contains_sub ~sub:"# TYPE deadmem_test_prom_hist_us histogram" text);
+  Util.check_bool "+Inf bucket closes the series" true
+    (Util.contains_sub ~sub:{|deadmem_test_prom_hist_us_bucket{le="+Inf"} 3|} text);
+  Util.check_bool "sum sample" true
+    (Util.contains_sub ~sub:"deadmem_test_prom_hist_us_sum 111\n" text);
+  Util.check_bool "count sample" true
+    (Util.contains_sub ~sub:"deadmem_test_prom_hist_us_count 3\n" text);
+  (* every non-comment line is "name[{labels}] value" with an integer value *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "unparseable exposition line: %s" line
+        | Some i -> (
+            let name = String.sub line 0 i in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            Util.check_bool ("prefixed: " ^ name) true
+              (String.length name > 8 && String.sub name 0 8 = "deadmem_");
+            match int_of_string_opt v with
+            | Some _ -> ()
+            | None -> Alcotest.failf "non-integer sample value: %s" line)
+      end)
+    (String.split_on_char '\n' text)
 
 let t_json_parser_rejects_garbage () =
   Util.check_bool "trailing garbage" true
@@ -252,6 +426,18 @@ let suite =
     Util.test "disabled telemetry is a no-op" t_disabled_noop;
     Util.test "reset keeps registrations" t_reset_keeps_registrations;
     Util.test "untouched gauges omitted" t_gauge_untouched_omitted;
+    Util.test "histogram observe/snapshot/quantile" t_hist_observe_snapshot;
+    Util.test "histogram disabled is a no-op" t_hist_disabled_noop;
+    Util.test "histogram quantiles on a known distribution"
+      t_hist_quantiles_known_distribution;
+    QCheck_alcotest.to_alcotest prop_hist_merge_assoc_comm;
+    QCheck_alcotest.to_alcotest prop_hist_quantile_monotone;
+    QCheck_alcotest.to_alcotest prop_hist_bucket_overshoot;
+    QCheck_alcotest.to_alcotest prop_hist_concurrent_observe;
+    Util.test "span trace tags recorded" t_span_trace_tag;
+    Util.test "metrics JSON exports histograms and span caps"
+      t_metrics_json_histograms;
+    Util.test "prometheus exposition parses" t_prometheus_text;
     Util.test "metrics JSON round-trips" t_metrics_json_roundtrip;
     Util.test "trace JSON is valid Chrome trace" t_trace_json_valid;
     Util.test "JSON parser rejects garbage" t_json_parser_rejects_garbage;

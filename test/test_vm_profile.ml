@@ -1,0 +1,155 @@
+(* VM hot-site profiler tests: the counting invariants that make the
+   report trustworthy, and the stability of its two renderings.
+
+   The core invariant: [r_opcodes] and [r_functions] are two groupings
+   of the same per-site dispatch counters, so both sum to
+   [r_dispatches]; [r_steps] is the interpreter's own step counter,
+   carried alongside for cross-checking (dispatches and steps diverge
+   only through superinstruction fusion). A profiled run must also be
+   observationally identical to an unprofiled one. *)
+
+module I = Runtime.Interp
+module VP = Runtime.Vm_profile
+module J = Telemetry.Json
+
+let check_int = Util.check_int
+let check_bool = Util.check_bool
+let check_string = Util.check_string
+
+let run_profiled ?step_limit src =
+  I.run_profiled ?step_limit (Sema.Type_check.check_source src)
+
+let loopy_src =
+  {|
+int helper(int n) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  return acc;
+}
+int main() {
+  int total = 0;
+  int j = 0;
+  while (j < 50) {
+    total = total + helper(j);
+    j = j + 1;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sum f xs = List.fold_left (fun a x -> a + f x) 0 xs
+
+let t_counts_consistent () =
+  let outcome, r = run_profiled loopy_src in
+  check_int "profiled run agrees with steps counter" outcome.I.steps r.VP.r_steps;
+  check_bool "dispatched something" true (r.VP.r_dispatches > 0);
+  check_int "opcode counts sum to dispatches" r.VP.r_dispatches
+    (sum snd r.VP.r_opcodes);
+  check_int "function instr counts sum to dispatches" r.VP.r_dispatches
+    (sum (fun f -> f.VP.fr_instrs) r.VP.r_functions);
+  (* fusion means dispatches never exceed steps on straight-line code,
+     but each grouping must stay internally consistent regardless *)
+  List.iter
+    (fun (op, c) ->
+      check_bool ("opcode count positive: " ^ op) true (c > 0))
+    r.VP.r_opcodes;
+  check_bool "opcodes sorted descending" true
+    (let rec mono = function
+       | (_, a) :: ((_, b) :: _ as rest) -> a >= b && mono rest
+       | _ -> true
+     in
+     mono r.VP.r_opcodes)
+
+let t_functions_and_calls () =
+  let _, r = run_profiled loopy_src in
+  let find name =
+    List.find_opt (fun f -> f.VP.fr_name = name) r.VP.r_functions
+  in
+  (match find "helper" with
+  | Some f ->
+      check_int "helper called 50 times" 50 f.VP.fr_calls;
+      check_bool "helper dispatched instructions" true (f.VP.fr_instrs > 0)
+  | None -> Alcotest.fail "helper missing from the function table");
+  match find "main" with
+  | Some f -> check_int "main called once" 1 f.VP.fr_calls
+  | None -> Alcotest.fail "main missing from the function table"
+
+let t_loop_sites_found () =
+  let _, r = run_profiled loopy_src in
+  check_bool "back-branch sites recorded" true (r.VP.r_sites <> []);
+  check_bool "a loop site lives in helper or main" true
+    (List.exists
+       (fun s -> s.VP.sr_func = "helper" || s.VP.sr_func = "main")
+       r.VP.r_sites);
+  List.iter
+    (fun s -> check_bool "site count positive" true (s.VP.sr_count > 0))
+    r.VP.r_sites;
+  (* the hottest site belongs to the inner loop: it runs ~50x more *)
+  match r.VP.r_sites with
+  | hot :: _ -> check_string "hottest site is the inner loop" "helper" hot.VP.sr_func
+  | [] -> ()
+
+let t_profiled_run_identical () =
+  let prog = Sema.Type_check.check_source loopy_src in
+  let plain = I.run prog in
+  let profiled, _ = I.run_profiled prog in
+  check_int "same return value" plain.I.return_value profiled.I.return_value;
+  check_string "same output" plain.I.output profiled.I.output;
+  check_int "same step count" plain.I.steps profiled.I.steps
+
+let t_limits_respected () =
+  (* a profiled run under a step limit raises exactly like a plain one *)
+  check_bool "step limit enforced while profiling" true
+    (match run_profiled ~step_limit:100 loopy_src with
+    | exception Runtime.Value.Limit_exceeded _ -> true
+    | _ -> false)
+
+let t_json_rendering () =
+  let _, r = run_profiled loopy_src in
+  let v =
+    match J.parse (VP.to_json r) with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "profile json does not parse: %s" m
+  in
+  let num field =
+    match J.member field v with
+    | Some (J.Num f) -> int_of_float f
+    | _ -> Alcotest.failf "missing numeric field %s" field
+  in
+  check_int "json steps" r.VP.r_steps (num "steps");
+  check_int "json dispatches" r.VP.r_dispatches (num "dispatches");
+  List.iter
+    (fun field ->
+      check_bool ("json has " ^ field) true (J.member field v <> None))
+    [ "opcodes"; "functions"; "hot_sites" ];
+  match J.member "functions" v with
+  | Some (J.Arr fns) ->
+      check_int "json function rows" (List.length r.VP.r_functions)
+        (List.length fns)
+  | _ -> Alcotest.fail "functions is not an array"
+
+let t_text_rendering () =
+  let _, r = run_profiled loopy_src in
+  let text = VP.to_text ~top:5 r in
+  List.iter
+    (fun sub ->
+      check_bool ("text mentions " ^ sub) true (Util.contains_sub ~sub text))
+    [ "hot opcodes"; "hot functions"; "hot loops"; "helper" ]
+
+let suite =
+  [
+    Util.test "profiler: opcode and function counts sum to dispatches"
+      t_counts_consistent;
+    Util.test "profiler: per-function call counts" t_functions_and_calls;
+    Util.test "profiler: back-branch loop sites" t_loop_sites_found;
+    Util.test "profiler: profiled run observationally identical"
+      t_profiled_run_identical;
+    Util.test "profiler: resource limits still enforced" t_limits_respected;
+    Util.test "profiler: json report parses and agrees" t_json_rendering;
+    Util.test "profiler: text report sections" t_text_rendering;
+  ]
