@@ -24,11 +24,21 @@ open Benchmarks
    Both are plain refs set once by the driver before any measurement. *)
 let engine = ref Runtime.Interp.Bytecode
 let jobs = ref 1
+let json_out = ref "BENCH_deadmem.json"
 
+(* DEADMEM_BOXED=1 (the resolve knob that pins every slot to the boxed
+   bank) effectively measures a different engine, so the snapshot says
+   so: the CI generic-engine gate compares boxed runs against a boxed
+   baseline and the engine field keeps the two files honest. *)
 let engine_name () =
-  match !engine with
-  | Runtime.Interp.Bytecode -> "bytecode"
-  | Runtime.Interp.Tree -> "tree"
+  let base =
+    match !engine with
+    | Runtime.Interp.Bytecode -> "bytecode"
+    | Runtime.Interp.Tree -> "tree"
+  in
+  match Sys.getenv_opt "DEADMEM_BOXED" with
+  | Some ("1" | "true") -> base ^ "+boxed"
+  | _ -> base
 
 type row = {
   bench : Suite.t;
@@ -520,8 +530,22 @@ let measure ?(runs = 1) () : measurement list =
    always matches the table the gate printed. *)
 let measured = lazy (measure ~runs:5 ())
 
+(* Derived throughput: interpreter steps per microsecond of run-phase
+   wall. Steps are pinned across engines (identical observable
+   semantics), so this figure isolates representation wins from
+   step-count drift: a faster value representation raises it even when
+   the step counter is byte-identical. *)
+let steps_per_us m =
+  match
+    ( List.assoc_opt "interp.steps" m.m_counters,
+      List.assoc_opt "run" m.m_phases )
+  with
+  | Some steps, Some run_ms when run_ms > 0.0 ->
+      float_of_int steps /. (run_ms *. 1000.0)
+  | _ -> 0.0
+
 let bench_json () =
-  let out = "BENCH_deadmem.json" in
+  let out = !json_out in
   let ms = Lazy.force measured in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf
@@ -534,6 +558,7 @@ let bench_json () =
            "\n\
            \    {\"name\":\"%s\",\"loc\":%d,\n\
            \     \"wall_ms\":{%s},\n\
+           \     \"steps_per_us\":%.2f,\n\
            \     \"run_us_hist\":%s,\n\
            \     \"dead_members\":%d,\"object_space\":%d,\"dead_space\":%d,\n\
            \     \"callgraph\":{%s},\n\
@@ -545,6 +570,7 @@ let bench_json () =
                  (fun (p, v) ->
                    Fmt.str "\"%s\":%.3f" (Frontend.Source.json_escape p) v)
                  m.m_phases))
+           (steps_per_us m)
            (Telemetry.histogram_json m.m_run_hist)
            m.m_dead m.m_objspace m.m_deadspace
            (String.concat ","
@@ -651,6 +677,22 @@ let compare_baseline path contents =
                     now delta_pct
               end)
             m.m_phases;
+          (* derived throughput: steps/us of run-phase wall. Reported
+             next to the gated phases so representation wins stay
+             visible even when the step counter is byte-identical;
+             informational (run wall above already carries the gate).
+             Old baselines predate the field and print '-'. *)
+          let now_tput = steps_per_us m in
+          let base_tput = num row "steps_per_us" in
+          if Float.is_nan base_tput then
+            Fmt.pr "%-10s %-9s %9s %9.2f %8s@." m.m_name "steps/us" "-"
+              now_tput ""
+          else
+            Fmt.pr "%-10s %-9s %9.2f %9.2f %+7.1f%%@." m.m_name "steps/us"
+              base_tput now_tput
+              (if base_tput > 0.0 then
+                 (now_tput -. base_tput) /. base_tput *. 100.0
+               else 0.0);
           (* result shape must not drift *)
           let same key now =
             let base = num row key in
@@ -748,6 +790,9 @@ let () =
           | _ ->
               Fmt.epr "--jobs expects a positive integer@.";
               exit 2);
+          go acc rest
+      | "--out" :: path :: rest ->
+          json_out := path;
           go acc rest
       | a :: rest -> go (a :: acc) rest
       | [] -> List.rev acc

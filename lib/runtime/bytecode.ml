@@ -50,6 +50,100 @@ module Array = struct
   external set : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
 end
 
+(* -- typed slots ---------------------------------------------------------------
+
+   The resolve pass banks every local slot and object member by static
+   type ([Resolve.bank]); the compiler mirrors that with a static
+   *shape* for every expression: which operand stack its value lives
+   on. [SBox] is the legacy tagged stack; [SInt]/[SFlt] are the
+   untagged int/float stacks added by this pass. Typed opcodes are
+   emitted only when every operand's shape is known at compile time;
+   anything polymorphic falls back to the generic opcodes through the
+   explicit box bridges, so semantics can never depend on a shape
+   guess. *)
+
+type shape = SBox | SInt | SFlt
+
+(* The integer image of [Value.coerce] for stores into an integral
+   bank: the rhs is already an int, so only the narrowing step
+   remains. [CChar] is [land 255], [CBool] is [<> 0]. *)
+type icoerce = CNone | CChar | CBool
+
+let ic_of_ty (ty : Ast.type_expr) : icoerce =
+  match ty with
+  | Ast.TChar -> CChar
+  | Ast.TBool -> CBool
+  | _ -> CNone
+
+let[@inline] apply_ic ic n =
+  match ic with
+  | CNone -> n
+  | CChar -> n land 255
+  | CBool -> if n <> 0 then 1 else 0
+
+(* Compile-time image of the int rhs transform folded into
+   [IThisXAssignI]: either a chain of three constant binops (the
+   [IBinopConst3I] shape) or a unary operator. A separate payload type
+   rather than more constructors, to stay under the variant-size
+   limit. *)
+type ixform =
+  | XBc3 of Ast.binop * int * Ast.binop * int * Ast.binop * int
+  | XUn of Ast.unop
+
+(* One slot of a fused constructor field-init run ([IInitFieldsI]):
+   initialize an int-bank member from a local ([FInitL]) or from a
+   constant ([FInitC]). *)
+type finit =
+  | FInitL of slots_by_class * Member.t * icoerce * int
+  | FInitC of slots_by_class * Member.t * icoerce * int
+
+(* Index operand of a fused [this->arr[ix]->f = rhs] store
+   ([IThisIdxFieldStoreI]): an unboxed int local, or an int member of
+   an object held in a local. *)
+type idxsrc =
+  | IxLocal of int
+  | IxLocField of int * slots_by_class * Member.t
+
+(* Right-hand side of the same fused store: a constant, an unboxed int
+   local, or another this-rooted indexed member read folded with a
+   constant binop ([op]=Add,[k]=0 when the source had no binop). *)
+type irhs =
+  | RConst of int
+  | RLocal of int
+  | RThisIdxField of
+      slots_by_class * Member.t * idxsrc * slots_by_class * Member.t
+      * Ast.binop * int
+
+(* Micro-ops of a fused int-RPN store ([IRpnStoreI]): the settled tail
+   of a pure-int assignment statement, re-expressed as pushes and
+   combines over the untagged int stack. Each variant replays exactly
+   one step of the unfused opcodes' evaluation (same reads, same error
+   order), so a fused statement is observably identical. *)
+type irpn =
+  | RpConst of int
+  | RpLocal of int
+  | RpLoadField of int * slots_by_class * Member.t
+  | RpThisField of slots_by_class * Member.t
+  | RpFieldIdxField of
+      int * slots_by_class * Member.t * int * Ast.binop * int
+      * slots_by_class * Member.t
+  | RpFieldField of
+      int * slots_by_class * Member.t * slots_by_class * Member.t
+  | RpBinop of Ast.binop
+  | RpBinopConst of Ast.binop * int
+
+(* Destination of a fused int-RPN store: the member slot resolves fully
+   before any rhs leaf is read, exactly as the unfused sequence did.
+   [DTickLocField] carries the statement tick ([ITickLocFieldI]);
+   [DFieldIdx] is the [ILoadFieldIndexI; ILocFieldI] pair (tickless —
+   the statement tick was already folded upstream). *)
+type rdst =
+  | DTickLocField of int * slots_by_class * Member.t
+  | DFieldIdx of
+      int * slots_by_class * Member.t * int * slots_by_class * Member.t
+  | DTickFieldLocField of
+      int * slots_by_class * Member.t * slots_by_class * Member.t
+
 (* -- instruction set ----------------------------------------------------------
 
    Lvalue locations are encoded as pointer values on the one operand
@@ -237,8 +331,8 @@ type instr =
       int * slots_by_class * Member.t * Ast.binop * int
   | ILoadFieldBinopJumpFalseT of
       int * slots_by_class * Member.t * Ast.binop * int
-  | IJumpBCCmpFalse of Ast.binop * value * Ast.binop * int
-  | IJumpBCCmpFalseT of Ast.binop * value * Ast.binop * int
+  | IJumpBCCmpFalse of Ast.binop * value * Ast.binop * bool * int
+      (* the bool folds the fall-through tick (the former ...T form) *)
   (* a scan loop's hot cycle [guard-branch -> p = p->f -> back edge]
      with the step on the branch's false edge: [finish]'s branch-target
      peephole inlines the step into the false arm; the step's own slot
@@ -276,6 +370,270 @@ type instr =
   | IJumpLL2FBCCmpFalseT of
       int * int * slots_by_class * Member.t * Ast.binop * value * Ast.binop
       * int
+  (* -- typed (untagged) instructions -----------------------------------
+     These run on the per-invocation int/float operand stacks instead of
+     the boxed one: zero allocation and no tag dispatch on int/float hot
+     paths. Each arm is the exact image of its generic counterpart —
+     same evaluation order, tick points, coercions and error strings —
+     with the tag test resolved at compile time by the resolve pass's
+     bank classification. Suffix conventions: [..I]/[..F] name the stack
+     an instruction's operands live on; [..IB]/[..FB]/[..B] are bridge
+     forms whose rhs stays boxed (polymorphic) but whose destination is
+     an unboxed bank slot. *)
+  (* pushes / reads *)
+  | IConstI of int
+  | IConstF of float
+  | ILoadI of int         (* push int local *)
+  | ILoadF of int         (* push float local *)
+  | IFieldI of slots_by_class * Member.t   (* pop obj; push int member *)
+  | IFieldF of slots_by_class * Member.t
+  | IIndexI               (* a[i] with an untagged index; result boxed *)
+  (* bridges between the typed stacks and the boxed stack *)
+  | IBoxI                 (* pop int stack; push boxed *)
+  | IBoxF
+  | IBoxIU                (* pop int stack; insert *under* the boxed top *)
+  | IBoxFU
+  | IPopI
+  | IPopF
+  | ILoadIB of int        (* ILoadI; IBoxI *)
+  | ILoadFB of int
+  | ILoadFieldIB of int * slots_by_class * Member.t
+  | ILoadFieldFB of int * slots_by_class * Member.t
+  | ICastFI               (* float stack -> int stack (int_of_float) *)
+  | ICastIF               (* int stack -> float stack (float_of_int) *)
+  (* pure typed operators *)
+  | IUnaryI of Ast.unop
+  | INegF
+  | INotF                 (* float !x: push int 0/1 *)
+  | IToBoolI
+  | IBinopII of Ast.binop (* int OP int -> int, incl. compares *)
+  | IArithFF of Ast.binop (* float OP float -> float *)
+  | ICmpFF of Ast.binop   (* float CMP float -> int 0/1 *)
+  | IArithIF of Ast.binop (* int (under) OP float (top) -> float *)
+  | IArithFI of Ast.binop (* float (under) OP int (top) -> float *)
+  | ICmpIF of Ast.binop
+  | ICmpFI of Ast.binop
+  (* typed local stores *)
+  | IStoreLocalI of icoerce * int           (* coerce, store, keep value *)
+  | IStoreLocalPopI of icoerce * int
+  | IStoreLocalF of int
+  | IStoreLocalPopF of int
+  | IStoreLocalIB of Ast.type_expr * int    (* boxed rhs -> int bank slot *)
+  | IStoreLocalIBPop of Ast.type_expr * int
+  | IStoreLocalFB of Ast.type_expr * int
+  | IStoreLocalFBPop of Ast.type_expr * int
+  | IIncDecLocalI of Ast.incdec * Ast.fixity * int
+  | IIncDecLocalPopI of Ast.incdec * int
+  | IIncDecLocalF of Ast.incdec * Ast.fixity * int
+  | IIncDecLocalPopF of Ast.incdec * int
+  | ICompoundLocalI of Ast.binop * icoerce * int
+  | ICompoundLocalIPop of Ast.binop * icoerce * int
+  | ICompoundLocalF of Ast.binop * int
+  | ICompoundLocalFPop of Ast.binop * int
+  | ICompoundLocalB of Ast.assign_op * Ast.type_expr * int * bank
+  | ICompoundLocalBPop of Ast.assign_op * Ast.type_expr * int * bank
+  (* unboxed member lvalues. [ILocFieldI]/[ILocFieldF] keep the object
+     on the boxed stack and push the resolved bank index onto the int
+     stack, so the member lookup (and its missing-member error) happens
+     before the rhs is evaluated, exactly as the tree engine orders it. *)
+  | ILocFieldI of slots_by_class * Member.t
+  | ILocFieldF of slots_by_class * Member.t
+  | IAssignFieldI of icoerce       (* pop rhs(int), slot, obj; keep value *)
+  | IAssignFieldIPop of icoerce
+  | IAssignFieldF
+  | IAssignFieldFPop
+  | IAssignFieldIB of Ast.type_expr    (* boxed rhs -> int bank member *)
+  | IAssignFieldIBPop of Ast.type_expr
+  | IAssignFieldFB of Ast.type_expr
+  | IAssignFieldFBPop of Ast.type_expr
+  | ICompoundFieldI of Ast.binop * icoerce
+  | ICompoundFieldIPop of Ast.binop * icoerce
+  | ICompoundFieldF of Ast.binop
+  | ICompoundFieldFPop of Ast.binop
+  | ICompoundFieldB of Ast.assign_op * Ast.type_expr * bank
+  | ICompoundFieldBPop of Ast.assign_op * Ast.type_expr * bank
+  | IIncDecFieldI of Ast.incdec * Ast.fixity
+  | IIncDecFieldIPop of Ast.incdec
+  | IIncDecFieldF of Ast.incdec * Ast.fixity
+  | IIncDecFieldFPop of Ast.incdec
+  (* typed declarations / ctor member initializers *)
+  | IDeclScalarI of int
+  | IDeclScalarF of int
+  | IInitFieldScalarI of slots_by_class * Member.t * icoerce
+  | IInitFieldScalarF of slots_by_class * Member.t
+  | IInitFieldScalarB of slots_by_class * Member.t * Ast.type_expr * bank
+  (* typed control *)
+  | IJumpIfFalseI of bool * int
+  | IJumpIfTrueI of int
+  | IJumpIfFalseF of bool * int
+  | IJumpIfTrueF of int
+  | IAndFalseI of int
+  | IOrTrueI of int
+  | IJumpCmpFalseI of Ast.binop * bool * int
+  (* in every branch form below, a [bool] right before the target folds
+     the fall-through tick (the former ...T / ...TI twin constructor) *)
+  | IJumpCmpConstFalseI of Ast.binop * int * bool * int
+  | IJumpLocCmpConstFalseI of int * Ast.binop * int * bool * int
+  | IJumpLocCmpFalseI of Ast.binop * int * bool * int
+  | IJumpLoc2CmpFalseI of Ast.binop * int * int * bool * int
+  | IJumpLocFCmpFalseI of
+      int * int * slots_by_class * Member.t * Ast.binop * bool * int
+  (* typed superinstructions, mirroring the generic fusion set *)
+  | ITickLoadI of int
+  | ILoadFieldI of int * slots_by_class * Member.t
+  | ILoadFieldF of int * slots_by_class * Member.t
+  | ITickLoadFieldI of int * slots_by_class * Member.t
+  | IThisFieldI of slots_by_class * Member.t
+  | IThisFieldF of slots_by_class * Member.t
+  | ITickThisFieldI of slots_by_class * Member.t
+  | IIndexFieldI of slots_by_class * Member.t
+  | ILoadLoadFieldI of int * int * slots_by_class * Member.t
+  | IBinopConstI of Ast.binop * int
+  | ILoadBinopConstI of int * Ast.binop * int
+  | ILoadFieldBCI of int * slots_by_class * Member.t * Ast.binop * int
+  | ILoadFieldLoadBCI of
+      int * slots_by_class * Member.t * int * Ast.binop * int
+      (* boxed l.f; typed [l' op k] index *)
+  | ILoadFieldBinopI of int * slots_by_class * Member.t * Ast.binop
+  | IBinopLoadFieldI of Ast.binop * int * slots_by_class * Member.t
+  | IThisFieldBinopI of slots_by_class * Member.t * Ast.binop
+  | IBinopConstAndFalseI of Ast.binop * int * int
+  | IStoreLocalPopTI of icoerce * int
+  | IStoreLocalPopJumpI of icoerce * int * int
+  | IIncDecLocalJumpI of Ast.incdec * int * int
+  | IFieldIdxFieldI of
+      int * slots_by_class * Member.t * int * Ast.binop * int
+      * slots_by_class * Member.t
+  | ITickLoadFieldCmpLocFalseI of
+      int * slots_by_class * Member.t * Ast.binop * int * bool * int
+  | ILoadFieldBinopJumpFalseI of
+      int * slots_by_class * Member.t * Ast.binop * bool * int
+  | IJumpBCCmpFalseI of Ast.binop * int * Ast.binop * bool * int
+      (* the bool folds the fall-through tick (the former ...TI form) *)
+  | IJumpLL2FBCCmpFalseI of
+      int * int * slots_by_class * Member.t * Ast.binop * int * Ast.binop
+      * bool * int
+  (* the scan loop with an int guard member: guard read is unboxed, the
+     pointer step stays boxed (the step member is a reference bank) *)
+  | IScanStepI of
+      int * slots_by_class * Member.t * Ast.binop * int
+      * int * slots_by_class * Member.t * int * Ast.type_expr * int
+  | ILoopScanI of
+      int * Ast.binop * int * int
+      * int * slots_by_class * Member.t * Ast.binop * int
+      * int * slots_by_class * Member.t * int * Ast.type_expr
+  (* typed index/store chains and field-copy superinstructions: the
+     typed images of fusion coverage the generic engine already had
+     ([ITickLoadFieldIndex], [ITLFIndexStoreT], [ILoadFieldBCAndFalse]),
+     plus store-from-source forms that collapse whole assignment
+     statements into one dispatch *)
+  | ILoadIndexI of int
+  | ILoadFieldIndexI of int * slots_by_class * Member.t * int
+  | ITickLoadFieldIndexI of int * slots_by_class * Member.t * int
+  | ITLFIndexIStoreT of
+      int * slots_by_class * Member.t * int * int * Ast.type_expr
+  | ILoadBinopI of Ast.binop * int
+  | ILoadLoadFieldBinopI of
+      int * int * slots_by_class * Member.t * Ast.binop
+  | ILoadFieldBCAndFalseI of
+      int * slots_by_class * Member.t * Ast.binop * int * int
+  | ILoadLocFieldI of int * slots_by_class * Member.t
+  | ITickLocFieldI of int * slots_by_class * Member.t
+  | IAssignFieldLIPop of icoerce * int
+  | IAssignFieldLFIPop of icoerce * int * slots_by_class * Member.t
+  | IFieldStoreLI of bool * icoerce * int * slots_by_class * Member.t * int
+  | IFieldCopyII of
+      bool * icoerce * int * slots_by_class * Member.t * int * slots_by_class
+      * Member.t
+  (* this-rooted lvalues, constructor field initialization from a local
+     or constant, folded constant-operator chains, and the
+     [local CMP this.f] loop guard *)
+  | IThisLocFieldI of slots_by_class * Member.t
+  | IAssignFieldCIPop of icoerce * int
+  | IInitFieldLI of slots_by_class * Member.t * icoerce * int
+  | IInitFieldConstI of slots_by_class * Member.t * icoerce * int
+  | IBinopConst2I of Ast.binop * int * Ast.binop * int
+  | IBinopConst3I of
+      Ast.binop * int * Ast.binop * int * Ast.binop * int
+  | ILoadFieldBCBinopI of
+      int * slots_by_class * Member.t * Ast.binop * int * Ast.binop
+  | ITickLoadBCI of int * Ast.binop * int
+  | IJumpLocTFCmpFalseI of
+      Ast.binop * int * slots_by_class * Member.t * bool * int
+  (* [if (local->f BINOP const)] in branch position: the whole guard in
+     one dispatch. The two bools fold a tick before the test (statement
+     tick) and on fall-through (next statement's tick) — flags rather
+     than four constructors to stay under the variant-size limit *)
+  | IJumpLocFieldBCFalseI of
+      bool * int * slots_by_class * Member.t * Ast.binop * int * bool * int
+  (* [if (this->f BINOP const)], same tick-flag scheme *)
+  | IJumpThisFieldBCFalseI of
+      bool * slots_by_class * Member.t * Ast.binop * int * bool * int
+  (* [this->dst = xform(this->src)] in one dispatch: dst slot resolves
+     first, then the src read — the order the unfused sequence used *)
+  | IThisXAssignI of
+      int * slots_by_class * Member.t * slots_by_class * Member.t * ixform
+      * icoerce
+  (* [return this->f] on an int member, statement tick included *)
+  | IReturnThisFieldI of slots_by_class * Member.t
+  (* a run of consecutive int-member initializers in a constructor
+     prologue, executed left to right exactly as the unfused ops *)
+  | IInitFieldsI of finit array
+  (* [this->arr[ix]->f = rhs] as one dispatch (the dependency-graph
+     edge stores in hot loops). The bool folds the statement tick.
+     Destination resolves fully (array read, index, element, slot)
+     before the rhs is evaluated — the unfused order *)
+  | IThisIdxFieldStoreI of
+      bool * slots_by_class * Member.t * idxsrc * slots_by_class
+      * Member.t * icoerce * irhs
+  (* [local = localA->arr[i]; if (localN->f BINOP const)] — the
+     statement-plus-guard prefix of the hot list-walk loops, one
+     dispatch. First tuple is the [ITLFIndexIStoreT] payload (both its
+     ticks included), second the [IJumpLocFieldBCFalseI] test; the bool
+     folds the fall-through tick *)
+  | ITLFIndexIStoreJumpFBCI of
+      (int * slots_by_class * Member.t * int * int * Ast.type_expr)
+      * (int * slots_by_class * Member.t * Ast.binop * int)
+      * bool
+      * int
+  (* a whole pure-int assignment statement (destination resolution, an
+     RPN chain of int reads/combines, the store) in one dispatch — the
+     stencil-update statements dominating numeric kernels *)
+  | IRpnStoreI of rdst * irpn array * icoerce
+  (* [intlocal = (int)(BOXED binop const)] — the post-call coercion of
+     a method result into an unboxed local, one dispatch *)
+  | IBinopConstCastStoreI of Ast.binop * value * Ast.type_expr * int
+  (* a run of adjacent [ILoadIB]s — arg pushes for calls/ctors *)
+  | ILoadIBn of int array
+  (* [tick?; this->m()] with no arguments, one dispatch *)
+  | ITickThisCallM of bool * int
+  (* [tick?; intlocal = (int)(this->m() binop const)] *)
+  | IThisCallMStoreI of bool * int * Ast.binop * value * Ast.type_expr * int
+  (* loop back edges with the guard replicated into the increment
+     (branch-target inlining, built in [finish]): the payload tuple is
+     the guard's own payload, the trailing int the guard's fall-through
+     pc. The guard instruction stays in place for fall-in entries. *)
+  | IIncDecJumpLocFCmpI of
+      Ast.incdec * int
+      * (int * int * slots_by_class * Member.t * Ast.binop * bool * int)
+      * int
+  | IIncDecJumpLL2FBCI of
+      Ast.incdec * int
+      * (int * int * slots_by_class * Member.t * Ast.binop * int * Ast.binop
+         * bool * int)
+      * int
+  (* [tick; objlocal2 = arr-field[intlocal]; tick;
+        objlocalA->fI = objlocalB->fI] — the two statements heading the
+        field-solver's innermost loop, one dispatch *)
+  | ITLFIStoreFieldCopyII of
+      (int * slots_by_class * Member.t * int * int * Ast.type_expr)
+      * (icoerce * int * slots_by_class * Member.t * int * slots_by_class
+         * Member.t)
+  (* [intlocal = this->arr[objlocal->idx]->field] — the dependency-chase
+     statement; leading/trailing tick flags *)
+  | IThisFieldIdxFStoreI of
+      bool * slots_by_class * Member.t * int * slots_by_class * Member.t
+      * slots_by_class * Member.t * icoerce * int * bool
 
 (* A compiled code body. [b_omax] bounds the operand stack the body can
    ever need (computed conservatively during emission); [b_scoped] says
@@ -286,6 +644,8 @@ type instr =
 type cbody = {
   b_code : instr array;
   b_omax : int;
+  b_imax : int;  (* untagged int operand-stack bound *)
+  b_fmax : int;  (* untagged float operand-stack bound *)
   b_scoped : bool;
   mutable b_id : int;
 }
@@ -302,14 +662,14 @@ type ckind =
 
 type cfunc = {
   c_id : Func_id.t;
-  c_frame : int;
+  c_frame : fshape;
   c_params : rparam array;
   c_kind : ckind;
 }
 
 (* Per-class destruction plan with the destructor body compiled. *)
 type cdestroy = {
-  cd_dtor : (int * cbody) option;
+  cd_dtor : (fshape * cbody) option;
   cd_fields : dfield array;
   cd_nv_bases : int array;
   cd_vbases_rev : int array;
@@ -380,7 +740,7 @@ let delta = function
   | ILoadFieldBinop2 _ | IJumpIfFalseTPushScope _ | ILoadFieldBinopJumpFalse _
   | ILoadFieldBinopJumpFalseT _ | IBinopConstAndFalse _ ->
       -1
-  | IJumpBCCmpFalse _ | IJumpBCCmpFalseT _ -> -2
+  | IJumpBCCmpFalse _ -> -2
   | IScanStep _ | ILoopScan _
   | IBinopLoadField _ | IThisFieldBinop _ | IConstFieldBinop2 _
   | ILoadFieldBCAndFalse _ | IJumpLocFCmpFalse _ | IJumpLocFCmpFalseT _
@@ -393,17 +753,118 @@ let delta = function
   | IBinopAssignPop _ -> -3
   | IBuiltin (_, n) | ICallFunc (_, n) | INewObj { n_argc = n; _ } -> 1 - n
   | ICallMethod { m_argc = n; _ } -> -n  (* receiver consumed, result pushed *)
+  | ILoadIBn a -> Array.length a
+  | ITickThisCallM _ -> 1
   | ICallVirtual { v_argc = n; _ } -> -n
   | ICallFunPtr n -> -n
   | ICallCtor (_, n) -> -n
   | IInitField { if_argc = n; _ } -> -n
   | IDeclCtor { dc_argc = n; _ } -> -n
+  (* typed instructions: boxed-stack effect only (their int/float stack
+     effects live in [idelta]/[fdelta]) *)
+  | IBoxI | IBoxF | IBoxIU | IBoxFU | ILoadIB _ | ILoadFB _ | ILoadFieldIB _
+  | ILoadFieldFB _ | ILoadFieldLoadBCI _ | ILoadFieldIndexI _
+  | ITickLoadFieldIndexI _ | ILoadLocFieldI _ | ITickLocFieldI _
+  | IThisLocFieldI _ ->
+      1
+  | IFieldI _ | IFieldF _ | IIndexFieldI _ | IAssignFieldI _
+  | IAssignFieldIPop _ | IAssignFieldF | IAssignFieldFPop | IAssignFieldIB _
+  | IAssignFieldFB _ | ICompoundFieldI _ | ICompoundFieldIPop _
+  | ICompoundFieldF _ | ICompoundFieldFPop _ | ICompoundFieldB _
+  | IIncDecFieldI _ | IIncDecFieldIPop _ | IIncDecFieldF _
+  | IIncDecFieldFPop _ | IInitFieldScalarB _ | IStoreLocalIBPop _
+  | IStoreLocalFBPop _ | ICompoundLocalBPop _ | IAssignFieldLIPop _
+  | IAssignFieldLFIPop _ | IAssignFieldCIPop _ | IBinopConstCastStoreI _ ->
+      -1
+  | IAssignFieldIBPop _ | IAssignFieldFBPop _ | ICompoundFieldBPop _ -> -2
+  | IConstI _ | IConstF _ | ILoadI _ | ILoadF _ | IIndexI | IPopI | IPopF
+  | ICastFI | ICastIF | IUnaryI _ | INegF | INotF | IToBoolI | IBinopII _
+  | IArithFF _ | ICmpFF _ | IArithIF _ | IArithFI _ | ICmpIF _ | ICmpFI _
+  | IStoreLocalI _ | IStoreLocalPopI _ | IStoreLocalF _ | IStoreLocalPopF _
+  | IStoreLocalIB _ | IStoreLocalFB _ | IIncDecLocalI _ | IIncDecLocalPopI _
+  | IIncDecLocalF _ | IIncDecLocalPopF _ | ICompoundLocalI _
+  | ICompoundLocalIPop _ | ICompoundLocalF _ | ICompoundLocalFPop _
+  | ICompoundLocalB _ | ILocFieldI _ | ILocFieldF _ | IDeclScalarI _
+  | IDeclScalarF _ | IInitFieldScalarI _ | IInitFieldScalarF _
+  | IJumpIfFalseI _ | IJumpIfTrueI _ | IJumpIfFalseF _
+  | IJumpIfTrueF _ | IAndFalseI _ | IOrTrueI _
+  | IJumpCmpFalseI _ | IJumpCmpConstFalseI _
+  | IJumpLocCmpConstFalseI _
+  | IJumpLocCmpFalseI _
+  | IJumpLoc2CmpFalseI _ | IJumpLocFCmpFalseI _
+  | ITickLoadI _ | ILoadFieldI _ | ILoadFieldF _
+  | ITickLoadFieldI _ | IThisFieldI _ | IThisFieldF _ | ITickThisFieldI _
+  | ILoadLoadFieldI _ | IBinopConstI _ | ILoadBinopConstI _ | ILoadFieldBCI _
+  | ILoadFieldBinopI _ | IBinopLoadFieldI _ | IThisFieldBinopI _
+  | IBinopConstAndFalseI _ | IStoreLocalPopTI _ | IStoreLocalPopJumpI _
+  | IIncDecLocalJumpI _ | IFieldIdxFieldI _ | ITickLoadFieldCmpLocFalseI _
+  | ILoadFieldBinopJumpFalseI _
+  | IJumpBCCmpFalseI _
+  | IJumpLL2FBCCmpFalseI _ | IScanStepI _
+  | ILoopScanI _ | ILoadIndexI _ | ITLFIndexIStoreT _ | ILoadBinopI _
+  | ILoadLoadFieldBinopI _ | ILoadFieldBCAndFalseI _ | IFieldStoreLI _
+  | IFieldCopyII _
+  | IInitFieldLI _ | IInitFieldConstI _ | IBinopConst2I _ | IBinopConst3I _
+  | ILoadFieldBCBinopI _ | ITickLoadBCI _ | IJumpLocTFCmpFalseI _
+  | IJumpLocFieldBCFalseI _ | IJumpThisFieldBCFalseI _ | IThisXAssignI _
+  | IReturnThisFieldI _ | IInitFieldsI _ | IThisIdxFieldStoreI _
+  | ITLFIndexIStoreJumpFBCI _ | IRpnStoreI _ | IThisFieldIdxFStoreI _
+  | ITLFIStoreFieldCopyII _ | IThisCallMStoreI _ | IIncDecJumpLocFCmpI _
+  | IIncDecJumpLL2FBCI _ ->
+      0
+
+(* Net effect on the untagged int operand stack. Only typed instructions
+   touch it, so the wildcard covers the whole generic set. *)
+let idelta = function
+  | IConstI _ | ILoadI _ | ITickLoadI _ | IFieldI _ | ILoadFieldI _
+  | ITickLoadFieldI _ | IThisFieldI _ | ITickThisFieldI _ | ILoadBinopConstI _
+  | ILoadFieldBCI _ | ILoadFieldLoadBCI _ | IIncDecLocalI _ | ICastFI
+  | ILocFieldI _ | ILocFieldF _ | INotF | ICmpFF _ | IFieldIdxFieldI _
+  | ILoadLocFieldI _ | ITickLocFieldI _ | ILoadLoadFieldBinopI _
+  | IThisLocFieldI _ | ITickLoadBCI _ ->
+      1
+  | ILoadLoadFieldI _ -> 2
+  | IBoxI | IBoxIU | IPopI | IBinopII _ | IStoreLocalPopI _
+  | IStoreLocalPopTI _ | IStoreLocalPopJumpI _ | ICompoundLocalIPop _
+  | IJumpIfFalseI _ | IJumpIfTrueI _ | IAndFalseI _
+  | IOrTrueI _ | IJumpCmpConstFalseI _
+  | IJumpLocCmpFalseI _ | IAssignFieldI _
+  | IAssignFieldF | IAssignFieldIB _ | IAssignFieldIBPop _ | IAssignFieldFB _
+  | IAssignFieldFBPop _ | ICompoundFieldI _ | ICompoundFieldF _
+  | ICompoundFieldFPop _ | ICompoundFieldB _ | ICompoundFieldBPop _
+  | IIncDecFieldIPop _ | IIncDecFieldF _ | IIncDecFieldFPop _
+  | IInitFieldScalarI _ | ICastIF | IArithIF _ | IArithFI _
+  | IBinopConstAndFalseI _ | ILoadFieldBinopJumpFalseI _
+  | IAssignFieldFPop | IIndexI
+  | IAssignFieldLIPop _ | IAssignFieldLFIPop _ | IAssignFieldCIPop _ ->
+      -1
+  | IJumpCmpFalseI _ | IAssignFieldIPop _
+  | ICompoundFieldIPop _ | IJumpBCCmpFalseI _ ->
+      -2
+  | _ -> 0
+
+(* Net effect on the untagged float operand stack. *)
+let fdelta = function
+  | IConstF _ | ILoadF _ | IFieldF _ | ILoadFieldF _ | IThisFieldF _
+  | ICastIF | IIncDecLocalF _ | IIncDecFieldF _ ->
+      1
+  | IArithFF _ | ICmpIF _ | ICmpFI _ | INotF | IBoxF | IBoxFU | IPopF
+  | IStoreLocalPopF _ | ICompoundLocalFPop _ | IAssignFieldFPop
+  | IJumpIfFalseF _ | IJumpIfTrueF _
+  | IInitFieldScalarF _ | ICastFI | ICompoundFieldFPop _ ->
+      -1
+  | ICmpFF _ -> -2
+  | _ -> 0
 
 type buf = {
   mutable code : instr array;
   mutable len : int;
   mutable od : int;    (* linear-scan operand depth *)
   mutable omax : int;
+  mutable iod : int;   (* untagged int stack depth *)
+  mutable iomax : int;
+  mutable fod : int;   (* untagged float stack depth *)
+  mutable fomax : int;
   mutable sdepth : int;  (* open destroy scopes at the frontier *)
   mutable scoped : bool;
   mutable lastlab : int;
@@ -421,10 +882,39 @@ let mk_buf () =
     len = 0;
     od = 0;
     omax = 0;
+    iod = 0;
+    iomax = 0;
+    fod = 0;
+    fomax = 0;
     sdepth = 0;
     scoped = false;
     lastlab = -1;
   }
+
+(* Track all three stack depths for one appended/fused instruction. The
+   typed maxima track reached depth only (no +1 floor): a body that
+   never touches a typed stack keeps a 0 bound and the VM skips that
+   stack's allocation entirely. *)
+let bump (b : buf) (i : instr) =
+  b.od <- b.od + delta i;
+  if b.od + 1 > b.omax then b.omax <- b.od + 1;
+  b.iod <- b.iod + idelta i;
+  if b.iod > b.iomax then b.iomax <- b.iod;
+  b.fod <- b.fod + fdelta i;
+  if b.fod > b.fomax then b.fomax <- b.fod
+
+let is_cmp = function
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> true
+  | _ -> false
+
+(* Operators whose [ibinop_i] image is symmetric in its arguments, so a
+   pushed constant may be folded as the *right* operand of a fused
+   field-op form. Division, subtraction, shifts and orderings are
+   excluded; [Eq]/[Ne] on ints are plain equality. *)
+let commutes = function
+  | Ast.Add | Ast.Mul | Ast.Eq | Ast.Ne | Ast.BAnd | Ast.BOr | Ast.BXor ->
+      true
+  | _ -> false
 
 (* The pair-fusion table: [fuse prev i] is the single instruction
    equivalent to [prev; i], or [None]. Every fusion preserves the exact
@@ -480,8 +970,8 @@ let fuse (prev : instr) (i : instr) : instr option =
       Some (ILoadFieldBinopJumpFalse (n, s, m, op, t))
   | ILoadFieldBinopJumpFalse (n, s, m, op, t), ITick ->
       Some (ILoadFieldBinopJumpFalseT (n, s, m, op, t))
-  | IJumpBCCmpFalse (o1, v, o2, t), ITick ->
-      Some (IJumpBCCmpFalseT (o1, v, o2, t))
+  | IJumpBCCmpFalse (o1, v, o2, false, t), ITick ->
+      Some (IJumpBCCmpFalse (o1, v, o2, true, t))
   | IThisField (s, m), IBinop op -> Some (IThisFieldBinop (s, m, op))
   | IBinop op1, IBinop op2 -> Some (IBinop2 (op1, op2))
   | ILoadFieldBC (n, s, m, op, v), IAndFalse t ->
@@ -490,6 +980,143 @@ let fuse (prev : instr) (i : instr) : instr option =
       Some (IJumpLocFCmpFalseT (i, j, s, m, op, t))
   | IJumpLL2FBCCmpFalse (i, j, s, m, op1, v, op2, t), ITick ->
       Some (IJumpLL2FBCCmpFalseT (i, j, s, m, op1, v, op2, t))
+  (* -- typed mirrors ---------------------------------------------------- *)
+  | IConstI n, IBoxI -> Some (IConst (vint n))
+  | IConstF f, IBoxF -> Some (IConst (VFloat f))
+  | ILoadI n, IBoxI -> Some (ILoadIB n)
+  | ILoadF n, IBoxF -> Some (ILoadFB n)
+  | ILoadFieldI (n, s, m), IBoxI -> Some (ILoadFieldIB (n, s, m))
+  | ILoadFieldF (n, s, m), IBoxF -> Some (ILoadFieldFB (n, s, m))
+  | IConstI n, ICastIF -> Some (IConstF (float_of_int n))
+  | IConstF f, ICastFI -> Some (IConstI (int_of_float f))
+  | ITick, ILoadI n -> Some (ITickLoadI n)
+  | ILoad n, IFieldI (s, m) -> Some (ILoadFieldI (n, s, m))
+  | ILoad n, IFieldF (s, m) -> Some (ILoadFieldF (n, s, m))
+  | ITickLoad n, IFieldI (s, m) -> Some (ITickLoadFieldI (n, s, m))
+  | IThis, IFieldI (s, m) -> Some (IThisFieldI (s, m))
+  | IThis, IFieldF (s, m) -> Some (IThisFieldF (s, m))
+  | IIndexI, IFieldI (s, m) -> Some (IIndexFieldI (s, m))
+  | IConstI k, IBinopII op -> Some (IBinopConstI (op, k))
+  | ILoadFieldI (n, s, m), IBinopII op -> Some (ILoadFieldBinopI (n, s, m, op))
+  | IThisFieldI (s, m), IBinopII op -> Some (IThisFieldBinopI (s, m, op))
+  | IBinopConstI (op, k), IAndFalseI t -> Some (IBinopConstAndFalseI (op, k, t))
+  | IStoreLocalI (ic, n), IPopI -> Some (IStoreLocalPopI (ic, n))
+  | IStoreLocalF n, IPopF -> Some (IStoreLocalPopF n)
+  | IStoreLocalIB (ty, n), IPop -> Some (IStoreLocalIBPop (ty, n))
+  | IStoreLocalFB (ty, n), IPop -> Some (IStoreLocalFBPop (ty, n))
+  | IIncDecLocalI (w, _, n), IPopI -> Some (IIncDecLocalPopI (w, n))
+  | IIncDecLocalF (w, _, n), IPopF -> Some (IIncDecLocalPopF (w, n))
+  | ICompoundLocalI (op, ic, n), IPopI -> Some (ICompoundLocalIPop (op, ic, n))
+  | ICompoundLocalF (op, n), IPopF -> Some (ICompoundLocalFPop (op, n))
+  | ICompoundLocalB (op, ty, n, bk), IPop ->
+      Some (ICompoundLocalBPop (op, ty, n, bk))
+  | IAssignFieldI ic, IPopI -> Some (IAssignFieldIPop ic)
+  | IAssignFieldF, IPopF -> Some IAssignFieldFPop
+  | IAssignFieldIB ty, IPop -> Some (IAssignFieldIBPop ty)
+  | IAssignFieldFB ty, IPop -> Some (IAssignFieldFBPop ty)
+  | ICompoundFieldI (op, ic), IPopI -> Some (ICompoundFieldIPop (op, ic))
+  | ICompoundFieldF op, IPopF -> Some (ICompoundFieldFPop op)
+  | ICompoundFieldB (op, ty, bk), IPop -> Some (ICompoundFieldBPop (op, ty, bk))
+  | IIncDecFieldI (w, _), IPopI -> Some (IIncDecFieldIPop w)
+  | IIncDecFieldF (w, _), IPopF -> Some (IIncDecFieldFPop w)
+  | IStoreLocalPopI (ic, n), ITick -> Some (IStoreLocalPopTI (ic, n))
+  | IStoreLocalPopI (ic, n), IJump t -> Some (IStoreLocalPopJumpI (ic, n, t))
+  | IIncDecLocalPopI (w, n), IJump t -> Some (IIncDecLocalJumpI (w, n, t))
+  | IJumpIfFalseI (false, t), ITick -> Some (IJumpIfFalseI (true, t))
+  | IJumpIfFalseF (false, t), ITick -> Some (IJumpIfFalseF (true, t))
+  | IJumpCmpFalseI (op, false, t), ITick -> Some (IJumpCmpFalseI (op, true, t))
+  | IJumpCmpConstFalseI (op, k, false, t), ITick ->
+      Some (IJumpCmpConstFalseI (op, k, true, t))
+  | IJumpLocCmpConstFalseI (n, op, k, false, t), ITick ->
+      Some (IJumpLocCmpConstFalseI (n, op, k, true, t))
+  | IJumpLocCmpFalseI (op, n, false, t), ITick ->
+      Some (IJumpLocCmpFalseI (op, n, true, t))
+  | IJumpLoc2CmpFalseI (op, x, y, false, t), ITick ->
+      Some (IJumpLoc2CmpFalseI (op, x, y, true, t))
+  | IJumpLocFCmpFalseI (i, j, s, m, op, false, t), ITick ->
+      Some (IJumpLocFCmpFalseI (i, j, s, m, op, true, t))
+  | IJumpBCCmpFalseI (o1, k, o2, false, t), ITick ->
+      Some (IJumpBCCmpFalseI (o1, k, o2, true, t))
+  | IJumpLL2FBCCmpFalseI (i, j, s, m, op1, k, op2, false, t), ITick ->
+      Some (IJumpLL2FBCCmpFalseI (i, j, s, m, op1, k, op2, true, t))
+  | IJumpLocFieldBCFalseI (tp, n, s, m, op, k, false, t), ITick ->
+      Some (IJumpLocFieldBCFalseI (tp, n, s, m, op, k, true, t))
+  | ITLFIndexIStoreJumpFBCI (st, br, false, t), ITick ->
+      Some (ITLFIndexIStoreJumpFBCI (st, br, true, t))
+  | IJumpThisFieldBCFalseI (tp, s, m, op, k, false, t), ITick ->
+      Some (IJumpThisFieldBCFalseI (tp, s, m, op, k, true, t))
+  | ILoadFieldBCI (n, s, m, op, k), IJumpIfFalseI (false, t) ->
+      Some (IJumpLocFieldBCFalseI (false, n, s, m, op, k, false, t))
+  | ITickLoadFieldI (n, s, m), IJumpLocCmpFalseI (op, y, tk, t) ->
+      Some (ITickLoadFieldCmpLocFalseI (n, s, m, op, y, tk, t))
+  | ITickLoadFieldCmpLocFalseI (n, s, m, op, y, false, t), ITick ->
+      Some (ITickLoadFieldCmpLocFalseI (n, s, m, op, y, true, t))
+  | ILoadFieldBinopI (n, s, m, op), IJumpIfFalseI (false, t) ->
+      Some (ILoadFieldBinopJumpFalseI (n, s, m, op, false, t))
+  | ILoadFieldBinopJumpFalseI (n, s, m, op, false, t), ITick ->
+      Some (ILoadFieldBinopJumpFalseI (n, s, m, op, true, t))
+  | ILoadI i, IIndexI -> Some (ILoadIndexI i)
+  | ILoadI i, IBinopII op -> Some (ILoadBinopI (op, i))
+  | ILoadLoadFieldI (x, y, s, m), IBinopII op ->
+      Some (ILoadLoadFieldBinopI (x, y, s, m, op))
+  | ILoad n, ILocFieldI (s, m) -> Some (ILoadLocFieldI (n, s, m))
+  | ITickLoad n, ILocFieldI (s, m) -> Some (ITickLocFieldI (n, s, m))
+  | IThis, ILocFieldI (s, m) -> Some (IThisLocFieldI (s, m))
+  | IThis, ICallMethod { m_func; m_argc = 0; m_arrow = _ } ->
+      Some (ITickThisCallM (false, m_func))
+  | ITick, IThisXAssignI (0, sd, md, ss, ms, xf, ic) ->
+      Some (IThisXAssignI (1, sd, md, ss, ms, xf, ic))
+  | ITickN n, IThisXAssignI (0, sd, md, ss, ms, xf, ic) ->
+      Some (IThisXAssignI (n, sd, md, ss, ms, xf, ic))
+  | ITickThisCallM (tk, f), IBinopConstCastStoreI (op, v, ty, i) ->
+      Some (IThisCallMStoreI (tk, f, op, v, ty, i))
+  | IThisFieldIdxFStoreI (lt, s, m, j, s2, m2, s3, m3, ic, i, false), ITick ->
+      Some (IThisFieldIdxFStoreI (lt, s, m, j, s2, m2, s3, m3, ic, i, true))
+  | ILoadFieldBCI (n, s, m, op, k), IAndFalseI t ->
+      Some (ILoadFieldBCAndFalseI (n, s, m, op, k, t))
+  (* assignment/initialization whose rhs is a local or a constant *)
+  | ILoadI i, IAssignFieldIPop ic -> Some (IAssignFieldLIPop (ic, i))
+  | ILoadFieldI (j, s, m), IAssignFieldIPop ic ->
+      Some (IAssignFieldLFIPop (ic, j, s, m))
+  | IConstI k, IAssignFieldIPop ic -> Some (IAssignFieldCIPop (ic, k))
+  | ILoadI i, IInitFieldScalarI (s, m, ic) -> Some (IInitFieldLI (s, m, ic, i))
+  | IConstI k, IInitFieldScalarI (s, m, ic) ->
+      Some (IInitFieldConstI (s, m, ic, k))
+  (* unary operators on an int literal fold at compile time; the images
+     below are exactly the [IUnaryI] arm's *)
+  | IConstI k, IUnaryI op ->
+      Some
+        (IConstI
+           (match op with
+           | Ast.Neg -> -k
+           | Ast.Not -> if k = 0 then 1 else 0
+           | Ast.BitNot -> lnot k
+           | Ast.UPlus -> k))
+  | ILoadFieldBCI (n, s, m, op1, k), IBinopII op2 ->
+      Some (ILoadFieldBCBinopI (n, s, m, op1, k, op2))
+  | IJumpLocTFCmpFalseI (op, x, s, m, false, t), ITick ->
+      Some (IJumpLocTFCmpFalseI (op, x, s, m, true, t))
+  (* a comparison already leaves exactly 0/1 on the int stack, so the
+     [&&]/[||] rhs normalization to bool is the identity on it *)
+  | IBinopII op, IToBoolI when is_cmp op -> Some (IBinopII op)
+  | IBinopConstI (op, k), IToBoolI when is_cmp op -> Some (IBinopConstI (op, k))
+  | ILoadBinopConstI (n, op, k), IToBoolI when is_cmp op ->
+      Some (ILoadBinopConstI (n, op, k))
+  | ILoadFieldBCI (n, s, m, op, k), IToBoolI when is_cmp op ->
+      Some (ILoadFieldBCI (n, s, m, op, k))
+  | ILoadBinopI (op, i), IToBoolI when is_cmp op -> Some (ILoadBinopI (op, i))
+  | ILoadFieldBinopI (n, s, m, op), IToBoolI when is_cmp op ->
+      Some (ILoadFieldBinopI (n, s, m, op))
+  | ILoadLoadFieldBinopI (x, y, s, m, op), IToBoolI when is_cmp op ->
+      Some (ILoadLoadFieldBinopI (x, y, s, m, op))
+  | (IBinopConst2I (_, _, op, _) as p), IToBoolI when is_cmp op -> Some p
+  | (IBinopConst3I (_, _, _, _, op, _) as p), IToBoolI when is_cmp op -> Some p
+  | (ILoadFieldBCBinopI (_, _, _, _, _, op) as p), IToBoolI when is_cmp op ->
+      Some p
+  | (ITickLoadBCI (_, op, _) as p), IToBoolI when is_cmp op -> Some p
+  | ((ICmpFF _ | ICmpIF _ | ICmpFI _ | INotF | IToBoolI) as p), IToBoolI ->
+      Some p
+  | IUnaryI Ast.Not, IToBoolI -> Some (IUnaryI Ast.Not)
   | _ -> None
 
 (* The cascade table: after [fuse] lands a combined instruction, try
@@ -508,6 +1135,9 @@ let fuse2 (prev : instr) (f : instr) : instr option =
       Some (IFieldIdxField (n, s, m, j, op, v, s2, m2))
   | IBinop op, IAssignPop ty -> Some (IBinopAssignPop (op, ty))
   | ITick, IThisField (s, m) -> Some (ITickThisField (s, m))
+  | ITick, ITickThisCallM (false, f) -> Some (ITickThisCallM (true, f))
+  | ILoadIB a, ILoadIB c -> Some (ILoadIBn [| a; c |])
+  | ILoadIBn a, ILoadIB c -> Some (ILoadIBn (Array.append a [| c |]))
   | ILoad i, ILoadFieldBinop (j, s, m, op) ->
       Some (ILoad2FieldBinop (i, j, s, m, op))
   | ILoad i, ILoadField (j, s, m) -> Some (ILoadLoadField (i, j, s, m))
@@ -527,6 +1157,65 @@ let fuse2 (prev : instr) (f : instr) : instr option =
       Some (IConstFieldBinop2 (v, n, s, m, op1, op2))
   | ILoadLocField (n, s, m), ILoadField (j, s2, m2) ->
       Some (ILoadLocFieldLoadField (n, s, m, j, s2, m2))
+  (* -- typed mirrors ---------------------------------------------------- *)
+  | ILoadI n, IBinopConstI (op, k) -> Some (ILoadBinopConstI (n, op, k))
+  | ILoadFieldI (n, s, m), IBinopConstI (op, k) ->
+      Some (ILoadFieldBCI (n, s, m, op, k))
+  | ILoadField (n, s, m), ILoadBinopConstI (j, op, k) ->
+      Some (ILoadFieldLoadBCI (n, s, m, j, op, k))
+  | ILoadFieldLoadBCI (n, s, m, j, op, k), IIndexFieldI (s2, m2) ->
+      Some (IFieldIdxFieldI (n, s, m, j, op, k, s2, m2))
+  | ILoadI i, ILoadFieldI (j, s, m) -> Some (ILoadLoadFieldI (i, j, s, m))
+  | IBinopII op, ILoadFieldI (j, s, m) -> Some (IBinopLoadFieldI (op, j, s, m))
+  | ITick, IThisFieldI (s, m) -> Some (ITickThisFieldI (s, m))
+  | ILoadField (a, s, m), ILoadIndexI i -> Some (ILoadFieldIndexI (a, s, m, i))
+  | ITickLoadField (a, s, m), ILoadIndexI i ->
+      Some (ITickLoadFieldIndexI (a, s, m, i))
+  | ITickLoadFieldIndexI (a, s, m, i), IStoreLocalPopT (x, ty) ->
+      Some (ITLFIndexIStoreT (a, s, m, i, x, ty))
+  | IConstI k, ILoadFieldBinopI (j, s, m, op) when commutes op ->
+      Some (ILoadFieldBCI (j, s, m, op, k))
+  | ILoadI i, IAssignFieldIPop ic -> Some (IAssignFieldLIPop (ic, i))
+  | ILoadFieldI (j, s, m), IAssignFieldIPop ic ->
+      Some (IAssignFieldLFIPop (ic, j, s, m))
+  | ILoadLocFieldI (n, s, m), IAssignFieldLIPop (ic, i) ->
+      Some (IFieldStoreLI (false, ic, n, s, m, i))
+  | ITickLocFieldI (n, s, m), IAssignFieldLIPop (ic, i) ->
+      Some (IFieldStoreLI (true, ic, n, s, m, i))
+  | ILoadLocFieldI (a, s1, m1), IAssignFieldLFIPop (ic, j, s2, m2) ->
+      Some (IFieldCopyII (false, ic, a, s1, m1, j, s2, m2))
+  | ITickLocFieldI (a, s1, m1), IAssignFieldLFIPop (ic, j, s2, m2) ->
+      Some (IFieldCopyII (true, ic, a, s1, m1, j, s2, m2))
+  | IBinopConstI (o1, k1), IBinopConstI (o2, k2) ->
+      Some (IBinopConst2I (o1, k1, o2, k2))
+  | IBinopConst2I (o1, k1, o2, k2), IBinopConstI (o3, k3) ->
+      Some (IBinopConst3I (o1, k1, o2, k2, o3, k3))
+  | ITickLoadI n, IBinopConstI (op, k) -> Some (ITickLoadBCI (n, op, k))
+  (* constructor-prologue init runs: [IInitFieldLI]/[IInitFieldConstI]
+     only ever appear via fusion, so the chain rules live here (the
+     [settle] cascade) rather than in the pairwise table *)
+  | IInitFieldLI (s1, m1, c1, i1), IInitFieldLI (s2, m2, c2, i2) ->
+      Some (IInitFieldsI [| FInitL (s1, m1, c1, i1); FInitL (s2, m2, c2, i2) |])
+  | IInitFieldLI (s1, m1, c1, i1), IInitFieldConstI (s2, m2, c2, k2) ->
+      Some (IInitFieldsI [| FInitL (s1, m1, c1, i1); FInitC (s2, m2, c2, k2) |])
+  | IInitFieldConstI (s1, m1, c1, k1), IInitFieldLI (s2, m2, c2, i2) ->
+      Some (IInitFieldsI [| FInitC (s1, m1, c1, k1); FInitL (s2, m2, c2, i2) |])
+  | IInitFieldConstI (s1, m1, c1, k1), IInitFieldConstI (s2, m2, c2, k2) ->
+      Some (IInitFieldsI [| FInitC (s1, m1, c1, k1); FInitC (s2, m2, c2, k2) |])
+  | IInitFieldsI a, IInitFieldLI (s, m, c, i) ->
+      Some (IInitFieldsI (Array.append a [| FInitL (s, m, c, i) |]))
+  | IInitFieldsI a, IInitFieldConstI (s, m, c, k) ->
+      Some (IInitFieldsI (Array.append a [| FInitC (s, m, c, k) |]))
+  | ( ITLFIndexIStoreT (a, s, m, i, x, ty),
+      IFieldCopyII (false, ic, a2, s1, m1, j, s2, m2) ) ->
+      Some (ITLFIStoreFieldCopyII ((a, s, m, i, x, ty), (ic, a2, s1, m1, j, s2, m2)))
+  | ( ITLFIndexIStoreT (a, s0, m0, i0, x0, ty0),
+      IJumpLocFieldBCFalseI (false, n, s, m, op, k, ta, t) ) ->
+      (* the indexed-load statement supplies the guard's leading tick
+         itself (its trailing tick), so only the tickless form fuses *)
+      Some
+        (ITLFIndexIStoreJumpFBCI
+           ((a, s0, m0, i0, x0, ty0), (n, s, m, op, k), ta, t))
   | _ -> None
 
 let emit (b : buf) (i : instr) =
@@ -536,8 +1225,7 @@ let emit (b : buf) (i : instr) =
   | Some f ->
       b.code.(b.len - 1) <- f;
       (* [prev]'s delta is already in [od]; the fused form adds [i]'s *)
-      b.od <- b.od + delta i;
-      if b.od + 1 > b.omax then b.omax <- b.od + 1;
+      bump b i;
       (* cascade: the combined instruction may fuse again with its own
          predecessor. A label on the surviving slot is fine (the fused
          run starts there); one on the vacated slot blocks it. *)
@@ -559,14 +1247,225 @@ let emit (b : buf) (i : instr) =
       end;
       b.code.(b.len) <- i;
       b.len <- b.len + 1;
-      b.od <- b.od + delta i;
-      if b.od + 1 > b.omax then b.omax <- b.od + 1
+      bump b i
 
 (* Emit a forward jump with a placeholder target; returns the patch site
    (the fused slot, when the jump merged into its predecessor). *)
 let emit_patch b i =
   emit b i;
   b.len - 1
+
+(* Collapse a settled [this->arr[ix]->f = rhs] statement tail into one
+   [IThisIdxFieldStoreI] dispatch. Runs right after the statement's
+   final store lands (and its pairwise fusions settle), so the tail
+   shapes below are exactly what the disassembly shows for the hot
+   dependency-edge stores. Every matched run is stack-neutral, so
+   [b.od]/[b.iod] need no rollback; a label is allowed only on the
+   first collapsed slot. *)
+let fuse_this_idx_store b =
+  let n = b.len in
+  if n >= 4 && b.lastlab < n - 3 then
+    match (b.code.(n - 4), b.code.(n - 3), b.code.(n - 2), b.code.(n - 1)) with
+    | ( (ITickThisField (s1, m1) | IThisField (s1, m1)),
+        ILoadIndexI i,
+        ILocFieldI (s2, m2),
+        IAssignFieldCIPop (ic, k) ) ->
+        let tk =
+          match b.code.(n - 4) with ITickThisField _ -> true | _ -> false
+        in
+        b.len <- n - 4;
+        emit b
+          (IThisIdxFieldStoreI (tk, s1, m1, IxLocal i, s2, m2, ic, RConst k))
+    | ( (ITickThisField (s1, m1) | IThisField (s1, m1)),
+        ILoadIndexI i,
+        ILocFieldI (s2, m2),
+        IAssignFieldLIPop (ic, j) ) ->
+        let tk =
+          match b.code.(n - 4) with ITickThisField _ -> true | _ -> false
+        in
+        b.len <- n - 4;
+        emit b
+          (IThisIdxFieldStoreI (tk, s1, m1, IxLocal i, s2, m2, ic, RLocal j))
+    | _ ->
+        if n >= 5 && b.lastlab < n - 4 then
+          match
+            ( b.code.(n - 5),
+              b.code.(n - 4),
+              b.code.(n - 3),
+              b.code.(n - 2),
+              b.code.(n - 1) )
+          with
+          | ( ITickThisField (s1, m1),
+              ILoadFieldI (j, s2, m2),
+              IIndexI,
+              ILocFieldI (s3, m3),
+              IAssignFieldLIPop (ic, i) ) ->
+              b.len <- n - 5;
+              emit b
+                (IThisIdxFieldStoreI
+                   (true, s1, m1, IxLocField (j, s2, m2), s3, m3, ic, RLocal i))
+          | ( ITickThisField (s1, m1),
+              ILoadFieldI (j, s2, m2),
+              IIndexI,
+              ILocFieldI (s3, m3),
+              IAssignFieldCIPop (ic, k) ) ->
+              b.len <- n - 5;
+              emit b
+                (IThisIdxFieldStoreI
+                   (true, s1, m1, IxLocField (j, s2, m2), s3, m3, ic, RConst k))
+          | _ ->
+              if n >= 9 && b.lastlab < n - 8 then
+                match
+                  ( b.code.(n - 9),
+                    b.code.(n - 8),
+                    b.code.(n - 7),
+                    b.code.(n - 6),
+                    b.code.(n - 5),
+                    b.code.(n - 4),
+                    b.code.(n - 3),
+                    b.code.(n - 2),
+                    b.code.(n - 1) )
+                with
+                | ( ITickThisField (s1, m1),
+                    ILoadFieldI (j, s2, m2),
+                    IIndexI,
+                    ILocFieldI (s3, m3),
+                    IThisField (s4, m4),
+                    ILoadFieldI (j2, s5, m5),
+                    IIndexFieldI (s6, m6),
+                    IBinopConstI (op, k),
+                    IAssignFieldIPop ic ) ->
+                    b.len <- n - 9;
+                    emit b
+                      (IThisIdxFieldStoreI
+                         ( true,
+                           s1,
+                           m1,
+                           IxLocField (j, s2, m2),
+                           s3,
+                           m3,
+                           ic,
+                           RThisIdxField
+                             (s4, m4, IxLocField (j2, s5, m5), s6, m6, op, k) ))
+                | _ -> ()
+
+(* RPN decomposition of the opcodes allowed inside a fused int store.
+   Ticked variants are deliberately absent: the destination carries the
+   statement tick, and no other tick may move. *)
+let rpn_of_instr = function
+  | IConstI k -> Some [ RpConst k ]
+  | ILoadI i -> Some [ RpLocal i ]
+  | ILoadFieldI (j, s, m) -> Some [ RpLoadField (j, s, m) ]
+  | IThisFieldI (s, m) -> Some [ RpThisField (s, m) ]
+  | IFieldIdxFieldI (i, s, m, j, op, k, s2, m2) ->
+      Some [ RpFieldIdxField (i, s, m, j, op, k, s2, m2) ]
+  | IBinopII op -> Some [ RpBinop op ]
+  | IBinopConstI (op, k) -> Some [ RpBinopConst (op, k) ]
+  | IBinopLoadFieldI (op, j, s, m) ->
+      Some [ RpBinop op; RpLoadField (j, s, m) ]
+  | IThisFieldBinopI (s, m, op) -> Some [ RpThisField (s, m); RpBinop op ]
+  | ILoadFieldBinopI (j, s, m, op) ->
+      Some [ RpLoadField (j, s, m); RpBinop op ]
+  | ILoadFieldBCBinopI (n, s, m, op1, k, op2) ->
+      Some [ RpLoadField (n, s, m); RpBinopConst (op1, k); RpBinop op2 ]
+  | ILoadFieldBCI (n, s, m, op, k) ->
+      Some [ RpLoadField (n, s, m); RpBinopConst (op, k) ]
+  | ILoadLoadFieldI (i, j, s, m) ->
+      Some [ RpLocal i; RpLoadField (j, s, m) ]
+  | _ -> None
+
+let rpn_delta = function
+  | RpConst _ | RpLocal _ | RpLoadField _ | RpThisField _
+  | RpFieldIdxField _ | RpFieldField _ ->
+      1
+  | RpBinop _ -> -1
+  | RpBinopConst _ -> 0
+
+(* Collapse a settled pure-int assignment statement into one
+   [IRpnStoreI]. Walks back from the just-landed [IAssignFieldIPop]
+   over rpn-able opcodes until the destination-resolution shape, then
+   replaces the whole run. Fires only when it saves at least four
+   dispatches, so the short statements keep their specialized
+   superinstructions. The collapsed run is stack-neutral, so no depth
+   rollback; a label is allowed only on the first collapsed slot. *)
+let fuse_rpn_store b =
+  let n = b.len in
+  match if n >= 1 then b.code.(n - 1) else IReturnUnit with
+  | IAssignFieldIPop ic ->
+      let rec walk p acc =
+        if p < 1 || n - 1 - p > 16 then None
+        else
+          match rpn_of_instr b.code.(p) with
+          | Some ops -> walk (p - 1) (ops @ acc)
+          | None
+            when p >= 2
+                 &&
+                 (match (b.code.(p - 1), b.code.(p)) with
+                 | ILoadField _, IFieldI _ -> true
+                 | _ -> false) -> (
+              (* the boxed-intermediate pair [l->a->b]: one int leaf *)
+              match (b.code.(p - 1), b.code.(p)) with
+              | ILoadField (j, s, m), IFieldI (s2, m2) ->
+                  walk (p - 2) (RpFieldField (j, s, m, s2, m2) :: acc)
+              | _ -> None)
+          | None -> (
+              (* [p] must be the destination shape, fully before [acc],
+                 and the rhs run must produce exactly one int *)
+              if List.fold_left (fun d r -> d + rpn_delta r) 0 acc <> 1 then
+                None
+              else
+                match b.code.(p) with
+                | ITickLocFieldI (a, s, m) when b.lastlab <= p ->
+                    Some (p, DTickLocField (a, s, m), acc)
+                | ILocFieldI (s2, m2) when p >= 1 && b.lastlab <= p - 1 -> (
+                    match b.code.(p - 1) with
+                    | ILoadFieldIndexI (a, s, m, i) ->
+                        Some (p - 1, DFieldIdx (a, s, m, i, s2, m2), acc)
+                    | ITickLoadField (i, s, m) ->
+                        Some (p - 1, DTickFieldLocField (i, s, m, s2, m2), acc)
+                    | _ -> None)
+                | _ -> None)
+      in
+      if n >= 6 && b.lastlab < n - 1 then begin
+        match walk (n - 2) [] with
+        | Some (p, dst, ops) when n - p >= 5 ->
+            b.len <- p;
+            emit b (IRpnStoreI (dst, Array.of_list ops, ic))
+        | _ -> ()
+      end
+  | _ -> ()
+
+(* Store a boxed value into an int local, collapsing the
+   [IBinopConst; ICastInt] coercion tail (the post-call shape) into the
+   store when present. *)
+let emit_store_ib_pop b ty i =
+  if b.len >= 2 && b.lastlab < b.len - 1 then
+    match (b.code.(b.len - 2), b.code.(b.len - 1)) with
+    | IBinopConst (op, v), ICastInt ->
+        b.len <- b.len - 2;
+        emit b (IBinopConstCastStoreI (op, v, ty, i))
+    | _ -> emit b (IStoreLocalIBPop (ty, i))
+  else emit b (IStoreLocalIBPop (ty, i))
+
+(* After an int-local store lands, collapse the dependency-chase shape
+   [tick?; push this->arr; push objlocal->idx; index-and-read ->field;
+   store intlocal] into one [IThisFieldIdxFStoreI] dispatch. All four
+   instructions are stack-neutral as a group, so no depth rollback is
+   needed. *)
+let fuse_tfield_idx_store b =
+  let n = b.len - 1 in
+  if n >= 3 && b.lastlab <= n - 3 then
+    match (b.code.(n - 3), b.code.(n - 2), b.code.(n - 1), b.code.(n)) with
+    | ( (ITickThisField (s, m) | IThisField (s, m)),
+        ILoadFieldI (j, s2, m2),
+        IIndexFieldI (s3, m3),
+        IStoreLocalPopI (ic, i) ) ->
+        let lt =
+          match b.code.(n - 3) with ITickThisField _ -> true | _ -> false
+        in
+        b.len <- b.len - 4;
+        emit b (IThisFieldIdxFStoreI (lt, s, m, j, s2, m2, s3, m3, ic, i, false))
+    | _ -> ()
 
 (* Mark the frontier as a jump target (blocks fusion across it). *)
 let here b =
@@ -606,8 +1505,7 @@ let patch_to (b : buf) (t : int) (i : int) =
         ILoadFieldBinopJumpFalse (n, s, m, op, t)
     | ILoadFieldBinopJumpFalseT (n, s, m, op, _) ->
         ILoadFieldBinopJumpFalseT (n, s, m, op, t)
-    | IJumpBCCmpFalse (o1, v, o2, _) -> IJumpBCCmpFalse (o1, v, o2, t)
-    | IJumpBCCmpFalseT (o1, v, o2, _) -> IJumpBCCmpFalseT (o1, v, o2, t)
+    | IJumpBCCmpFalse (o1, v, o2, tk, _) -> IJumpBCCmpFalse (o1, v, o2, tk, t)
     | ILoadFieldBCAndFalse (n, s, m, op, v, _) ->
         ILoadFieldBCAndFalse (n, s, m, op, v, t)
     | IJumpLocFCmpFalse (i, j, s, m, op, _) ->
@@ -619,6 +1517,42 @@ let patch_to (b : buf) (t : int) (i : int) =
     | IJumpLL2FBCCmpFalseT (i, j, s, m, op1, v, op2, _) ->
         IJumpLL2FBCCmpFalseT (i, j, s, m, op1, v, op2, t)
     | IOrTrue _ -> IOrTrue t
+    (* typed branch forms *)
+    | IJumpIfFalseI (tk, _) -> IJumpIfFalseI (tk, t)
+    | IJumpIfTrueI _ -> IJumpIfTrueI t
+    | IJumpIfFalseF (tk, _) -> IJumpIfFalseF (tk, t)
+    | IJumpIfTrueF _ -> IJumpIfTrueF t
+    | IAndFalseI _ -> IAndFalseI t
+    | IOrTrueI _ -> IOrTrueI t
+    | IJumpCmpFalseI (op, tk, _) -> IJumpCmpFalseI (op, tk, t)
+    | IJumpCmpConstFalseI (op, k, tk, _) -> IJumpCmpConstFalseI (op, k, tk, t)
+    | IJumpLocCmpConstFalseI (n, op, k, tk, _) ->
+        IJumpLocCmpConstFalseI (n, op, k, tk, t)
+    | IJumpLocCmpFalseI (op, n, tk, _) -> IJumpLocCmpFalseI (op, n, tk, t)
+    | IJumpLoc2CmpFalseI (op, x, y, tk, _) ->
+        IJumpLoc2CmpFalseI (op, x, y, tk, t)
+    | IJumpLocFCmpFalseI (i, j, s, m, op, tk, _) ->
+        IJumpLocFCmpFalseI (i, j, s, m, op, tk, t)
+    | IJumpBCCmpFalseI (o1, k, o2, tk, _) -> IJumpBCCmpFalseI (o1, k, o2, tk, t)
+    | IJumpLL2FBCCmpFalseI (i, j, s, m, op1, k, op2, tk, _) ->
+        IJumpLL2FBCCmpFalseI (i, j, s, m, op1, k, op2, tk, t)
+    | IBinopConstAndFalseI (op, k, _) -> IBinopConstAndFalseI (op, k, t)
+    | ILoadFieldBCAndFalseI (n, s, m, op, k, _) ->
+        ILoadFieldBCAndFalseI (n, s, m, op, k, t)
+    | IJumpLocTFCmpFalseI (op, x, s, m, tk, _) ->
+        IJumpLocTFCmpFalseI (op, x, s, m, tk, t)
+    | IJumpLocFieldBCFalseI (tp, n, s, m, op, k, ta, _) ->
+        IJumpLocFieldBCFalseI (tp, n, s, m, op, k, ta, t)
+    | ITLFIndexIStoreJumpFBCI (st, br, ta, _) ->
+        ITLFIndexIStoreJumpFBCI (st, br, ta, t)
+    | IJumpThisFieldBCFalseI (tp, s, m, op, k, ta, _) ->
+        IJumpThisFieldBCFalseI (tp, s, m, op, k, ta, t)
+    | ITickLoadFieldCmpLocFalseI (n, s, m, op, y, tk, _) ->
+        ITickLoadFieldCmpLocFalseI (n, s, m, op, y, tk, t)
+    | ILoadFieldBinopJumpFalseI (n, s, m, op, tk, _) ->
+        ILoadFieldBinopJumpFalseI (n, s, m, op, tk, t)
+    | IStoreLocalPopJumpI (ic, n, _) -> IStoreLocalPopJumpI (ic, n, t)
+    | IIncDecLocalJumpI (w, n, _) -> IIncDecLocalJumpI (w, n, t)
     | _ -> assert false)
 
 (* Land the given patch sites on the frontier. *)
@@ -628,10 +1562,6 @@ let land_patches b sites =
     List.iter (patch_to b t) sites;
     b.lastlab <- b.len
   end
-
-let is_cmp = function
-  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> true
-  | _ -> false
 
 (* Branch on a falsy condition, fusing the comparison just emitted into
    the branch: [a CMP b] becomes one compare-and-branch, [a CMP const]
@@ -687,7 +1617,7 @@ let emit_branch_false b =
                branch (the scrutinee guard excludes a label here) *)
             b.len <- b.len - 1;
             b.od <- b.od - 1;  (* 0 -1 applied; the fused branch is -2 *)
-            b.code.(b.len - 1) <- IJumpBCCmpFalse (op1, cv, op, -1);
+            b.code.(b.len - 1) <- IJumpBCCmpFalse (op1, cv, op, false, -1);
             b.len - 1
         | _ ->
             b.code.(b.len - 1) <- IJumpCmpFalse (op, -1);
@@ -717,87 +1647,414 @@ let emit_branch_false b =
     | _ -> emit_patch b (IJumpIfFalse (-1))
   else emit_patch b (IJumpIfFalse (-1))
 
+(* The typed image of [emit_branch_false] for an int-shaped condition:
+   same folds, same label guards, with the depth bookkeeping on the
+   untagged int stack. *)
+let emit_branch_false_i b =
+  if b.len > 0 && b.lastlab <> b.len then
+    match b.code.(b.len - 1) with
+    | IBinopII op when is_cmp op -> (
+        match
+          if b.lastlab < b.len - 1 then b.code.(b.len - 2) else IReturnUnit
+        with
+        | ILoadI y
+          when b.len >= 3 && b.lastlab < b.len - 2
+               && (match b.code.(b.len - 3) with ILoadI _ -> true | _ -> false)
+          ->
+            let x =
+              match b.code.(b.len - 3) with ILoadI x -> x | _ -> assert false
+            in
+            b.len <- b.len - 3;
+            b.iod <- b.iod - 1;
+            emit_patch b (IJumpLoc2CmpFalseI (op, x, y, false, -1))
+        | ILoadI y ->
+            b.len <- b.len - 2;
+            emit_patch b (IJumpLocCmpFalseI (op, y, false, -1))
+        | ILoadLoadFieldI (x, y, s, m) ->
+            b.len <- b.len - 1;
+            b.iod <- b.iod - 1;
+            b.code.(b.len - 1) <- IJumpLocFCmpFalseI (x, y, s, m, op, false, -1);
+            b.len - 1
+        | IBinopConstI (op1, k)
+          when b.len >= 3
+               && b.lastlab < b.len - 2
+               && match b.code.(b.len - 3) with
+                  | ILoadLoadFieldI _ -> true
+                  | _ -> false -> (
+            match b.code.(b.len - 3) with
+            | ILoadLoadFieldI (x, y, s, m) ->
+                b.len <- b.len - 2;
+                b.iod <- b.iod - 1;
+                b.code.(b.len - 1) <-
+                  IJumpLL2FBCCmpFalseI (x, y, s, m, op1, k, op, false, -1);
+                b.len - 1
+            | _ -> assert false)
+        | IBinopConstI (op1, k) ->
+            b.len <- b.len - 1;
+            b.iod <- b.iod - 1;
+            b.code.(b.len - 1) <- IJumpBCCmpFalseI (op1, k, op, false, -1);
+            b.len - 1
+        | _ ->
+            b.code.(b.len - 1) <- IJumpCmpFalseI (op, false, -1);
+            b.iod <- b.iod - 1;
+            b.len - 1)
+    | ILoadBinopConstI (n, op, k) when is_cmp op ->
+        b.code.(b.len - 1) <- IJumpLocCmpConstFalseI (n, op, k, false, -1);
+        b.iod <- b.iod - 1;
+        b.len - 1
+    | IBinopConstI (op, k) when is_cmp op -> (
+        match
+          if b.len >= 2 && b.lastlab < b.len - 1 then b.code.(b.len - 2)
+          else IReturnUnit
+        with
+        | ILoadI n ->
+            b.len <- b.len - 2;
+            b.iod <- b.iod - 1;
+            emit_patch b (IJumpLocCmpConstFalseI (n, op, k, false, -1))
+        | ILoadFieldI (n, s, m) -> (
+            (* a preceding indexed-load statement fuses in too: the
+               list-walk loops test a member of the object the previous
+               statement just fetched *)
+            match
+              if b.len >= 3 && b.lastlab < b.len - 2 then b.code.(b.len - 3)
+              else IReturnUnit
+            with
+            | ITLFIndexIStoreT (a, s0, m0, i0, x0, ty0) ->
+                b.len <- b.len - 3;
+                b.iod <- b.iod - 1;
+                emit_patch b
+                  (ITLFIndexIStoreJumpFBCI
+                     ((a, s0, m0, i0, x0, ty0), (n, s, m, op, k), false, -1))
+            | _ ->
+                b.len <- b.len - 2;
+                b.iod <- b.iod - 1;
+                emit_patch b
+                  (IJumpLocFieldBCFalseI (false, n, s, m, op, k, false, -1)))
+        | ITickLoadFieldI (n, s, m) ->
+            b.len <- b.len - 2;
+            b.iod <- b.iod - 1;
+            emit_patch b (IJumpLocFieldBCFalseI (true, n, s, m, op, k, false, -1))
+        | IThisFieldI (s, m) ->
+            b.len <- b.len - 2;
+            b.iod <- b.iod - 1;
+            emit_patch b (IJumpThisFieldBCFalseI (false, s, m, op, k, false, -1))
+        | ITickThisFieldI (s, m) ->
+            b.len <- b.len - 2;
+            b.iod <- b.iod - 1;
+            emit_patch b (IJumpThisFieldBCFalseI (true, s, m, op, k, false, -1))
+        | _ ->
+            b.code.(b.len - 1) <- IJumpCmpConstFalseI (op, k, false, -1);
+            b.iod <- b.iod - 1;
+            b.len - 1)
+    | ILoadBinopI (op, y) when is_cmp op -> (
+        (* eager fusion already folded [ILoadI y; CMP]; recover the
+           local-compare branches it used to feed *)
+        match
+          if b.lastlab < b.len - 1 then b.code.(b.len - 2) else IReturnUnit
+        with
+        | ILoadI x ->
+            b.len <- b.len - 2;
+            b.iod <- b.iod - 1;
+            emit_patch b (IJumpLoc2CmpFalseI (op, x, y, false, -1))
+        | _ ->
+            (* re-emit (rather than replace in place) so the branch can
+               still fuse with its new predecessor, e.g. into
+               [ITickLoadFieldCmpLocFalseI] *)
+            b.len <- b.len - 1;
+            emit_patch b (IJumpLocCmpFalseI (op, y, false, -1)))
+    | ILoadLoadFieldBinopI (x, y, s, m, op) when is_cmp op ->
+        b.code.(b.len - 1) <- IJumpLocFCmpFalseI (x, y, s, m, op, false, -1);
+        b.iod <- b.iod - 1;
+        b.len - 1
+    | IThisFieldBinopI (s, m, op)
+      when is_cmp op && b.len >= 2
+           && b.lastlab < b.len - 1
+           && (match b.code.(b.len - 2) with ILoadI _ -> true | _ -> false) ->
+        (* [local CMP this.f] — the canonical [i < this->n] loop guard *)
+        let x =
+          match b.code.(b.len - 2) with ILoadI x -> x | _ -> assert false
+        in
+        b.len <- b.len - 2;
+        b.iod <- b.iod - 1;
+        emit_patch b (IJumpLocTFCmpFalseI (op, x, s, m, false, -1))
+    | _ -> emit_patch b (IJumpIfFalseI (false, -1))
+  else emit_patch b (IJumpIfFalseI (false, -1))
+
+(* Branch on a falsy condition whose compiled shape is [sh]. *)
+let emit_cond_false b (sh : shape) =
+  match sh with
+  | SBox -> emit_branch_false b
+  | SInt -> emit_branch_false_i b
+  | SFlt -> emit_patch b (IJumpIfFalseF (false, -1))
+
+(* Move the top of a typed stack over to the boxed stack. *)
+let box_top b (sh : shape) =
+  match sh with SBox -> () | SInt -> emit b IBoxI | SFlt -> emit b IBoxF
+
+(* Same, but the boxed stack already holds one later value on top: the
+   bridged value is inserted *under* it (pure stack juggling, used when
+   a binop's lhs turned out typed while its rhs is boxed). *)
+let box_under b (sh : shape) =
+  match sh with SBox -> () | SInt -> emit b IBoxIU | SFlt -> emit b IBoxFU
+
+let bop_of_assign (op : Ast.assign_op) : Ast.binop =
+  match op with
+  | Ast.AddAssign -> Ast.Add
+  | Ast.SubAssign -> Ast.Sub
+  | Ast.MulAssign -> Ast.Mul
+  | Ast.DivAssign -> Ast.Div
+  | Ast.ModAssign -> Ast.Mod
+  | Ast.AndAssign -> Ast.BAnd
+  | Ast.OrAssign -> Ast.BOr
+  | Ast.XorAssign -> Ast.BXor
+  | Ast.ShlAssign -> Ast.Shl
+  | Ast.ShrAssign -> Ast.Shr
+  | Ast.Assign -> assert false
+
+(* Static shape prediction. Needed only where the compiler must commit
+   to a stack before a subexpression is emitted (the lhs of a binop
+   whose rhs is boxed, [&&]/[||] arms). It is syntax-directed over the
+   same cases as [compile_expr], so the two always agree; even if they
+   ever diverged, the cost would be an extra box bridge, never a
+   semantic change — [compile_expr]'s returned shape is authoritative. *)
+let rec shape_of (e : rexpr) : shape =
+  match e with
+  | RConst (VInt _) -> SInt
+  | RConst (VFloat _) -> SFlt
+  | RLocalI _ | RFieldI _ -> SInt
+  | RLocalF _ | RFieldF _ -> SFlt
+  | RUnary (op, a) -> (
+      match shape_of a with
+      | SInt -> SInt
+      | SFlt -> (
+          match op with
+          | Ast.Neg | Ast.UPlus -> SFlt
+          | Ast.Not -> SInt
+          | Ast.BitNot -> SBox)
+      | SBox -> SBox)
+  | RBinary ((Ast.LAnd | Ast.LOr), x, y) ->
+      if shape_of x = SInt && shape_of y = SInt then SInt else SBox
+  | RBinary (op, x, y) -> (
+      match (shape_of x, shape_of y) with
+      | SInt, SInt -> SInt
+      | (SInt | SFlt), (SInt | SFlt) -> if is_cmp op then SInt else SFlt
+      | _ -> SBox)
+  | RAssign (lhs, rhs, _) | RCompound (_, lhs, rhs, _) -> (
+      match lhs with
+      | LvLocalI _ | LvFieldI _ -> if shape_of rhs = SInt then SInt else SBox
+      | LvLocalF _ | LvFieldF _ -> (
+          match shape_of rhs with SInt | SFlt -> SFlt | SBox -> SBox)
+      | _ -> SBox)
+  | RIncDec (_, _, (LvLocalI _ | LvFieldI _)) -> SInt
+  | RIncDec (_, _, (LvLocalF _ | LvFieldF _)) -> SFlt
+  | RCastInt a -> ( match shape_of a with SBox -> SBox | _ -> SInt)
+  | RCastFloat a -> ( match shape_of a with SBox -> SBox | _ -> SFlt)
+  | _ -> SBox
+
 type loopctx = { mutable brk : int list; mutable cont : int list; base : int }
 
-let rec compile_expr b (e : rexpr) =
+(* [compile_expr] returns the shape of the value it left behind: which
+   operand stack holds the result. Typed results stay untagged until a
+   consumer genuinely needs a boxed value ([compile_expr_box]); the box
+   bridges are ordinary instructions, so a conservative prediction can
+   only cost a bridge dispatch, never change semantics. *)
+let rec compile_expr b (e : rexpr) : shape =
   match e with
-  | RConst v -> emit b (IConst v)
-  | RLocal i -> emit b (ILoad i)
-  | RLocalRef i -> emit b (ILoadRef i)
-  | RGlobal i -> emit b (IGlobal i)
-  | RStatic i -> emit b (IStatic i)
-  | RThis -> emit b IThis
-  | RUnary (op, a) ->
-      compile_expr b a;
-      emit b (IUnary op)
+  | RConst (VInt n) -> emit b (IConstI n); SInt
+  | RConst (VFloat f) -> emit b (IConstF f); SFlt
+  | RConst v -> emit b (IConst v); SBox
+  | RLocal i -> emit b (ILoad i); SBox
+  | RLocalI i -> emit b (ILoadI i); SInt
+  | RLocalF i -> emit b (ILoadF i); SFlt
+  | RLocalRef i -> emit b (ILoadRef i); SBox
+  | RGlobal i -> emit b (IGlobal i); SBox
+  | RStatic i -> emit b (IStatic i); SBox
+  | RThis -> emit b IThis; SBox
+  | RUnary (op, a) -> (
+      match compile_expr b a with
+      | SInt ->
+          emit b (IUnaryI op);
+          SInt
+      | SFlt -> (
+          match op with
+          | Ast.Neg ->
+              emit b INegF;
+              SFlt
+          | Ast.UPlus -> SFlt
+          | Ast.Not ->
+              emit b INotF;
+              SInt
+          | Ast.BitNot ->
+              (* "invalid unary operand" comes from the generic arm *)
+              emit b IBoxF;
+              emit b (IUnary op);
+              SBox)
+      | SBox ->
+          emit b (IUnary op);
+          SBox)
   | RBinary (Ast.LAnd, x, y) ->
-      compile_expr b x;
-      let j = emit_patch b (IAndFalse (-1)) in
-      compile_expr b y;
-      emit b IToBool;
-      land_patches b [ j ]
+      if shape_of x = SInt && shape_of y = SInt then begin
+        (match compile_expr b x with SInt -> () | _ -> assert false);
+        let j = emit_patch b (IAndFalseI (-1)) in
+        (match compile_expr b y with SInt -> () | _ -> assert false);
+        emit b IToBoolI;
+        land_patches b [ j ];
+        SInt
+      end
+      else begin
+        compile_expr_box b x;
+        let j = emit_patch b (IAndFalse (-1)) in
+        compile_expr_box b y;
+        emit b IToBool;
+        land_patches b [ j ];
+        SBox
+      end
   | RBinary (Ast.LOr, x, y) ->
-      compile_expr b x;
-      let j = emit_patch b (IOrTrue (-1)) in
-      compile_expr b y;
-      emit b IToBool;
-      land_patches b [ j ]
-  | RBinary (op, x, y) ->
-      compile_expr b x;
-      compile_expr b y;
-      emit b (IBinop op)
-  | RAssign (LvLocal i, rhs, ty) ->
-      compile_expr b rhs;
-      emit b (IStoreLocal (i, ty))
-  | RAssign (lhs, rhs, ty) ->
-      compile_lval b lhs;
-      compile_expr b rhs;
-      emit b (IAssign ty)
-  | RCompound (op, lhs, rhs, ty) ->
-      compile_lval b lhs;
-      compile_expr b rhs;
-      emit b (ICompound (op, ty))
-  | RIncDec (w, fx, LvLocal i) -> emit b (IIncDecLocal (w, fx, i))
-  | RIncDec (w, fx, lv) ->
-      compile_lval b lv;
-      emit b (IIncDec (w, fx))
+      if shape_of x = SInt && shape_of y = SInt then begin
+        (match compile_expr b x with SInt -> () | _ -> assert false);
+        let j = emit_patch b (IOrTrueI (-1)) in
+        (match compile_expr b y with SInt -> () | _ -> assert false);
+        emit b IToBoolI;
+        land_patches b [ j ];
+        SInt
+      end
+      else begin
+        compile_expr_box b x;
+        let j = emit_patch b (IOrTrue (-1)) in
+        compile_expr_box b y;
+        emit b IToBool;
+        land_patches b [ j ];
+        SBox
+      end
+  | RBinary (op, x, y) -> (
+      let sx = compile_expr b x in
+      (* if the rhs will be boxed, bridge the lhs now so the two reach
+         the boxed stack in evaluation order (boxing is pure) *)
+      let sx =
+        if sx <> SBox && shape_of y = SBox then begin
+          box_top b sx;
+          SBox
+        end
+        else sx
+      in
+      let sy = compile_expr b y in
+      match (sx, sy) with
+      | SBox, sy ->
+          box_top b sy;
+          emit b (IBinop op);
+          SBox
+      | SInt, SInt ->
+          emit b (IBinopII op);
+          SInt
+      | SFlt, SFlt ->
+          if is_cmp op then begin
+            emit b (ICmpFF op);
+            SInt
+          end
+          else begin
+            emit b (IArithFF op);
+            SFlt
+          end
+      | SInt, SFlt ->
+          if is_cmp op then begin
+            emit b (ICmpIF op);
+            SInt
+          end
+          else begin
+            emit b (IArithIF op);
+            SFlt
+          end
+      | SFlt, SInt ->
+          if is_cmp op then begin
+            emit b (ICmpFI op);
+            SInt
+          end
+          else begin
+            emit b (IArithFI op);
+            SFlt
+          end
+      | (SInt | SFlt), SBox ->
+          (* the prediction promised a typed rhs; bridge the lhs under
+             the boxed rhs instead *)
+          box_under b sx;
+          emit b (IBinop op);
+          SBox)
+  | RAssign (lhs, rhs, ty) -> compile_assign b lhs rhs ty ~keep:true
+  | RCompound (op, lhs, rhs, ty) -> compile_compound b op lhs rhs ty ~keep:true
+  | RIncDec (w, fx, lv) -> compile_incdec b w fx lv ~keep:true
   | RCond (c, t, f) ->
-      compile_expr b c;
-      let j1 = emit_branch_false b in
-      let d0 = b.od in
-      compile_expr b t;
+      let shc = compile_expr b c in
+      let j1 = emit_cond_false b shc in
+      let d0 = b.od and di0 = b.iod and df0 = b.fod in
+      compile_expr_box b t;
       let j2 = emit_patch b (IJump (-1)) in
       land_patches b [ j1 ];
-      b.od <- d0;  (* the two arms join at the same depth *)
-      compile_expr b f;
-      land_patches b [ j2 ]
-  | RCastInt a ->
-      compile_expr b a;
-      emit b ICastInt
-  | RCastFloat a ->
-      compile_expr b a;
-      emit b ICastFloat
+      (* the two arms join at the same depth on all three stacks *)
+      b.od <- d0;
+      b.iod <- di0;
+      b.fod <- df0;
+      compile_expr_box b f;
+      land_patches b [ j2 ];
+      SBox
+  | RCastInt a -> (
+      match compile_expr b a with
+      | SInt -> SInt
+      | SFlt ->
+          emit b ICastFI;
+          SInt
+      | SBox ->
+          emit b ICastInt;
+          SBox)
+  | RCastFloat a -> (
+      match compile_expr b a with
+      | SFlt -> SFlt
+      | SInt ->
+          emit b ICastIF;
+          SFlt
+      | SBox ->
+          emit b ICastFloat;
+          SBox)
   | RField (oe, slots, m) ->
-      compile_expr b oe;
-      emit b (IField (slots, m))
-  | RCall c -> compile_call b c
+      compile_expr_box b oe;
+      emit b (IField (slots, m));
+      SBox
+  | RFieldI (oe, slots, m) ->
+      compile_expr_box b oe;
+      emit b (IFieldI (slots, m));
+      SInt
+  | RFieldF (oe, slots, m) ->
+      compile_expr_box b oe;
+      emit b (IFieldF (slots, m));
+      SFlt
+  | RCall c ->
+      compile_call b c;
+      SBox
   | RAddrOf lv ->
       compile_lval b lv;
-      emit b IAddrOf
+      emit b IAddrOf;
+      SBox
   | RDeref a ->
-      compile_expr b a;
-      emit b IDeref
+      compile_expr_box b a;
+      emit b IDeref;
+      SBox
   | RIndex (a, i) ->
-      compile_expr b a;
-      compile_expr b i;
-      emit b IIndex
+      compile_expr_box b a;
+      (match compile_expr b i with
+      | SInt -> emit b IIndexI
+      | SFlt ->
+          (* as_int (VFloat f) = int_of_float f *)
+          emit b ICastFI;
+          emit b IIndexI
+      | SBox -> emit b IIndex);
+      SBox
   | RMemPtrDeref (recv, pm) ->
       (* the receiver must be an object before the member pointer is even
          evaluated — same error order as the tree engine *)
-      compile_expr b recv;
+      compile_expr_box b recv;
       emit b IAsObj;
-      compile_expr b pm;
-      emit b IMemPtrDeref
+      compile_expr_box b pm;
+      emit b IMemPtrDeref;
+      SBox
   | RNewObj { no_cid; no_cls; no_ctor; no_args } ->
       compile_args b no_args;
       emit b
@@ -807,15 +2064,231 @@ let rec compile_expr b (e : rexpr) =
              n_cls = no_cls;
              n_ctor = no_ctor;
              n_argc = Array.length no_args;
-           })
-  | RNewScalar { ns_bytes; ns_ty } -> emit b (INewScalar (ns_bytes, ns_ty))
+           });
+      SBox
+  | RNewScalar { ns_bytes; ns_ty } ->
+      emit b (INewScalar (ns_bytes, ns_ty));
+      SBox
   | RNewArrObj { na_cid; na_cls; na_ctor; na_len } ->
-      compile_expr b na_len;
-      emit b (INewArrObj { w_cid = na_cid; w_cls = na_cls; w_ctor = na_ctor })
+      compile_expr_box b na_len;
+      emit b (INewArrObj { w_cid = na_cid; w_cls = na_cls; w_ctor = na_ctor });
+      SBox
   | RNewArrScalar { nas_ty; nas_elem_bytes; nas_len } ->
-      compile_expr b nas_len;
-      emit b (INewArrScalar (nas_ty, nas_elem_bytes))
-  | RInvalid msg -> emit b (IRaise msg)
+      compile_expr_box b nas_len;
+      emit b (INewArrScalar (nas_ty, nas_elem_bytes));
+      SBox
+  | RInvalid msg ->
+      emit b (IRaise msg);
+      SBox
+
+and compile_expr_box b (e : rexpr) = box_top b (compile_expr b e)
+
+(* Assignment, in expression ([~keep:true]: the stored value stays for
+   the surrounding expression) or statement position. The lhs location
+   is established before the rhs runs, exactly as the tree engine's
+   [eval_lval]-then-[eval] order; for unboxed members that means
+   [ILocFieldI]/[ILocFieldF] resolve the slot (and raise any
+   missing-member error) first. Cross-shape stores bridge through the
+   boxed instruction forms, which run the same [coerce] the tree engine
+   ran. *)
+and compile_assign b (lhs : rlval) rhs ty ~keep : shape =
+  match lhs with
+  | LvLocal i ->
+      compile_expr_box b rhs;
+      emit b (if keep then IStoreLocal (i, ty) else IStoreLocalPop (i, ty));
+      SBox
+  | LvLocalI i -> (
+      match compile_expr b rhs with
+      | SInt ->
+          let ic = ic_of_ty ty in
+          emit b
+            (if keep then IStoreLocalI (ic, i) else IStoreLocalPopI (ic, i));
+          if not keep then fuse_tfield_idx_store b;
+          SInt
+      | sh ->
+          box_top b sh;
+          if keep then emit b (IStoreLocalIB (ty, i))
+          else emit_store_ib_pop b ty i;
+          SBox)
+  | LvLocalF i -> (
+      match compile_expr b rhs with
+      | SBox ->
+          emit b
+            (if keep then IStoreLocalFB (ty, i) else IStoreLocalFBPop (ty, i));
+          SBox
+      | sh ->
+          (* coerce to float = float_of_int on an int rhs *)
+          if sh = SInt then emit b ICastIF;
+          emit b (if keep then IStoreLocalF i else IStoreLocalPopF i);
+          SFlt)
+  | LvFieldI (oe, s, m) -> (
+      compile_expr_box b oe;
+      emit b (ILocFieldI (s, m));
+      match compile_expr b rhs with
+      | SInt ->
+          let ic = ic_of_ty ty in
+          (* [this->dst = xform(this->src)]: fold the whole statement
+             into one dispatch (the PRNG-step shape in hot loops) *)
+          let fused =
+            (not keep) && b.len >= 3
+            && b.lastlab < b.len - 2
+            &&
+            match
+              (b.code.(b.len - 3), b.code.(b.len - 2), b.code.(b.len - 1))
+            with
+            | ( IThisLocFieldI (sd, md),
+                IThisFieldI (ss, ms),
+                IBinopConst3I (o1, k1, o2, k2, o3, k3) ) ->
+                b.len <- b.len - 3;
+                b.od <- b.od - 1;
+                b.iod <- b.iod - 2;
+                emit b
+                  (IThisXAssignI
+                     (0, sd, md, ss, ms, XBc3 (o1, k1, o2, k2, o3, k3), ic));
+                true
+            | IThisLocFieldI (sd, md), IThisFieldI (ss, ms), IUnaryI op ->
+                b.len <- b.len - 3;
+                b.od <- b.od - 1;
+                b.iod <- b.iod - 2;
+                emit b (IThisXAssignI (0, sd, md, ss, ms, XUn op, ic));
+                true
+            | _ -> false
+          in
+          if not fused then begin
+            emit b (if keep then IAssignFieldI ic else IAssignFieldIPop ic);
+            (* [this->arr[ix]->f = rhs]: after the tail fusions above
+               settle, collapse the whole statement (the dependency-edge
+               stores dominating hot graph-building loops). The removed
+               run is stack-neutral, so no depth rollback is needed. *)
+            if not keep then begin
+              fuse_this_idx_store b;
+              fuse_rpn_store b
+            end
+          end;
+          SInt
+      | sh ->
+          box_top b sh;
+          emit b (if keep then IAssignFieldIB ty else IAssignFieldIBPop ty);
+          SBox)
+  | LvFieldF (oe, s, m) -> (
+      compile_expr_box b oe;
+      emit b (ILocFieldF (s, m));
+      match compile_expr b rhs with
+      | SBox ->
+          emit b (if keep then IAssignFieldFB ty else IAssignFieldFBPop ty);
+          SBox
+      | sh ->
+          if sh = SInt then emit b ICastIF;
+          emit b (if keep then IAssignFieldF else IAssignFieldFPop);
+          SFlt)
+  | _ ->
+      compile_lval b lhs;
+      compile_expr_box b rhs;
+      emit b (IAssign ty);
+      if not keep then emit b IPop;
+      SBox
+
+and compile_compound b op (lhs : rlval) rhs ty ~keep : shape =
+  match lhs with
+  | LvLocalI i -> (
+      match compile_expr b rhs with
+      | SInt ->
+          let bop = bop_of_assign op and ic = ic_of_ty ty in
+          emit b
+            (if keep then ICompoundLocalI (bop, ic, i)
+             else ICompoundLocalIPop (bop, ic, i));
+          SInt
+      | sh ->
+          box_top b sh;
+          emit b
+            (if keep then ICompoundLocalB (op, ty, i, BInt)
+             else ICompoundLocalBPop (op, ty, i, BInt));
+          SBox)
+  | LvLocalF i -> (
+      match compile_expr b rhs with
+      | SBox ->
+          emit b
+            (if keep then ICompoundLocalB (op, ty, i, BFlt)
+             else ICompoundLocalBPop (op, ty, i, BFlt));
+          SBox
+      | sh ->
+          (* float-bank compound: [arith] converts an int rhs with
+             [as_float] before the float operation *)
+          if sh = SInt then emit b ICastIF;
+          let bop = bop_of_assign op in
+          emit b
+            (if keep then ICompoundLocalF (bop, i)
+             else ICompoundLocalFPop (bop, i));
+          SFlt)
+  | LvFieldI (oe, s, m) -> (
+      compile_expr_box b oe;
+      emit b (ILocFieldI (s, m));
+      match compile_expr b rhs with
+      | SInt ->
+          let bop = bop_of_assign op and ic = ic_of_ty ty in
+          emit b
+            (if keep then ICompoundFieldI (bop, ic)
+             else ICompoundFieldIPop (bop, ic));
+          SInt
+      | sh ->
+          box_top b sh;
+          emit b
+            (if keep then ICompoundFieldB (op, ty, BInt)
+             else ICompoundFieldBPop (op, ty, BInt));
+          SBox)
+  | LvFieldF (oe, s, m) -> (
+      compile_expr_box b oe;
+      emit b (ILocFieldF (s, m));
+      match compile_expr b rhs with
+      | SBox ->
+          emit b
+            (if keep then ICompoundFieldB (op, ty, BFlt)
+             else ICompoundFieldBPop (op, ty, BFlt));
+          SBox
+      | sh ->
+          if sh = SInt then emit b ICastIF;
+          let bop = bop_of_assign op in
+          emit b
+            (if keep then ICompoundFieldF bop else ICompoundFieldFPop bop);
+          SFlt)
+  | _ ->
+      compile_lval b lhs;
+      compile_expr_box b rhs;
+      emit b (ICompound (op, ty));
+      if not keep then emit b IPop;
+      SBox
+
+and compile_incdec b w fx (lv : rlval) ~keep : shape =
+  match lv with
+  | LvLocal i ->
+      if keep then emit b (IIncDecLocal (w, fx, i))
+      else emit b (IIncDecLocalPop (w, i));
+      SBox
+  | LvLocalI i ->
+      if keep then emit b (IIncDecLocalI (w, fx, i))
+      else emit b (IIncDecLocalPopI (w, i));
+      SInt
+  | LvLocalF i ->
+      if keep then emit b (IIncDecLocalF (w, fx, i))
+      else emit b (IIncDecLocalPopF (w, i));
+      SFlt
+  | LvFieldI (oe, s, m) ->
+      compile_expr_box b oe;
+      emit b (ILocFieldI (s, m));
+      if keep then emit b (IIncDecFieldI (w, fx))
+      else emit b (IIncDecFieldIPop w);
+      SInt
+  | LvFieldF (oe, s, m) ->
+      compile_expr_box b oe;
+      emit b (ILocFieldF (s, m));
+      if keep then emit b (IIncDecFieldF (w, fx))
+      else emit b (IIncDecFieldFPop w);
+      SFlt
+  | _ ->
+      compile_lval b lv;
+      emit b (IIncDec (w, fx));
+      if not keep then emit b IPop;
+      SBox
 
 and compile_lval b (lv : rlval) =
   match lv with
@@ -824,30 +2297,36 @@ and compile_lval b (lv : rlval) =
   | LvGlobal i -> emit b (ILocGlobal i)
   | LvStatic i -> emit b (ILocStatic i)
   | LvField (oe, slots, m) ->
-      compile_expr b oe;
+      compile_expr_box b oe;
       emit b (ILocField (slots, m))
+  | LvLocalI _ | LvLocalF _ | LvFieldI _ | LvFieldF _ ->
+      (* unreachable from well-banked IR: resolve demotes every
+         address-taken or reference-bound slot to the boxed bank, and
+         the typed store/compound/incdec paths intercept the rest. The
+         tree engine would fail at [ptr_of_loc] with this message. *)
+      emit b (IRaise "cannot take the address of an unboxed slot")
   | LvDeref a ->
-      compile_expr b a;
+      compile_expr_box b a;
       emit b ILocDeref
   | LvIndex (a, i) ->
-      compile_expr b a;
-      compile_expr b i;
+      compile_expr_box b a;
+      compile_expr_box b i;
       emit b ILocIndex
   | LvMemPtrDeref (recv, pm) ->
-      compile_expr b recv;
+      compile_expr_box b recv;
       emit b IAsObj;
-      compile_expr b pm;
+      compile_expr_box b pm;
       emit b ILocMemPtr
   | LvInvalid msg -> emit b (IRaise msg)
 
 and compile_arg b (a : arg_mode) =
   match a with
-  | AVal e -> compile_expr b e
+  | AVal e -> compile_expr_box b e
   | ARefScalar lv ->
       compile_lval b lv;
       emit b ILocToPtr
   | ARefObj e ->
-      compile_expr b e;
+      compile_expr_box b e;
       emit b IObjToPtr
 
 and compile_args b (args : arg_mode array) = Array.iter (compile_arg b) args
@@ -855,31 +2334,33 @@ and compile_args b (args : arg_mode array) = Array.iter (compile_arg b) args
 and compile_call b (c : rcall) =
   match c with
   | RBuiltin (bi, args) ->
-      Array.iter (compile_expr b) args;
+      Array.iter (compile_expr_box b) args;
       emit b (IBuiltin (bi, Array.length args))
   | RCallFunc { cf_func; cf_args } ->
       compile_args b cf_args;
       emit b (ICallFunc (cf_func, Array.length cf_args))
   | RCallMethod { cm_recv; cm_arrow; cm_func; cm_args } ->
-      compile_expr b cm_recv;
+      compile_expr_box b cm_recv;
       compile_args b cm_args;
       emit b
         (ICallMethod
            { m_func = cm_func; m_argc = Array.length cm_args; m_arrow = cm_arrow })
   | RCallVirtual { cv_recv; cv_name; cv_table; cv_args } ->
-      compile_expr b cv_recv;
+      compile_expr_box b cv_recv;
       compile_args b cv_args;
       emit b
         (ICallVirtual
            { v_name = cv_name; v_table = cv_table; v_argc = Array.length cv_args })
   | RCallFunPtr { fp_fn; fp_args } ->
-      compile_expr b fp_fn;
+      compile_expr_box b fp_fn;
       compile_args b fp_args;
       emit b (ICallFunPtr (Array.length fp_args))
 
 and compile_decl b (d : rdecl) =
   match d with
   | DScalar { d_slot; d_ty } -> emit b (IDeclScalar (d_slot, d_ty))
+  | DScalarI d_slot -> emit b (IDeclScalarI d_slot)
+  | DScalarF d_slot -> emit b (IDeclScalarF d_slot)
   | DStackArrObj { d_slot; d_cid; d_cls; d_ctor; d_len } ->
       emit b
         (IDeclStackArr
@@ -891,12 +2372,26 @@ and compile_decl b (d : rdecl) =
              ds_len = d_len;
            })
   | DExpr { d_slot; d_coerce; d_init } ->
-      compile_expr b d_init;
+      compile_expr_box b d_init;
       emit b (IStoreLocalPop (d_slot, d_coerce))
+  | DExprI { d_slot; d_coerce; d_init } -> (
+      match compile_expr b d_init with
+      | SInt ->
+          emit b (IStoreLocalPopI (ic_of_ty d_coerce, d_slot));
+          fuse_tfield_idx_store b
+      | sh ->
+          box_top b sh;
+          emit_store_ib_pop b d_coerce d_slot)
+  | DExprF { d_slot; d_coerce; d_init } -> (
+      match compile_expr b d_init with
+      | SBox -> emit b (IStoreLocalFBPop (d_coerce, d_slot))
+      | sh ->
+          if sh = SInt then emit b ICastIF;
+          emit b (IStoreLocalPopF d_slot))
   | DRefExpr { d_slot; d_init; d_lv } ->
       (* the initializer is evaluated for its value first, then again as
          a location, exactly as the tree engine did *)
-      compile_expr b d_init;
+      compile_expr_box b d_init;
       emit b IPop;
       compile_lval b d_lv;
       emit b ILocToPtr;
@@ -914,16 +2409,42 @@ and compile_decl b (d : rdecl) =
            })
   | DFail msg -> emit b (IRaise msg)
 
+(* An expression in statement position: its value is dropped, so route
+   stores/compounds/incdecs to their pop forms directly (the direct
+   forms keep the statement-level superinstruction fusions reachable). *)
+(* Compile a condition in branch context: fall through when [c] is
+   true, jump via the returned patch sites when it is false. A typed
+   [&&] chain becomes cascaded branch-falses instead of a materialized
+   boolean: each arm short-circuits straight to the join, and every
+   comparison lands adjacent to its own branch, where
+   [emit_branch_false_i] can fuse it. Restricted to int-shaped arms so
+   falsiness is exactly [= 0] on both paths. *)
+and compile_cond_false b (c : rexpr) : int list =
+  match c with
+  | RBinary (Ast.LAnd, x, y) when shape_of x = SInt && shape_of y = SInt ->
+      let jx = compile_cond_false b x in
+      let jy = compile_cond_false b y in
+      jx @ jy
+  | _ ->
+      let sh = compile_expr b c in
+      [ emit_cond_false b sh ]
+
+and compile_expr_stmt b (e : rexpr) =
+  match e with
+  | RAssign (lhs, rhs, ty) -> ignore (compile_assign b lhs rhs ty ~keep:false)
+  | RCompound (op, lhs, rhs, ty) ->
+      ignore (compile_compound b op lhs rhs ty ~keep:false)
+  | RIncDec (w, fx, lv) -> ignore (compile_incdec b w fx lv ~keep:false)
+  | e -> (
+      match compile_expr b e with
+      | SBox -> emit b IPop
+      | SInt -> emit b IPopI
+      | SFlt -> emit b IPopF)
+
 and compile_stmt b (lc : loopctx option) (s : rstmt) =
   emit b ITick;
   match s with
-  | RSExpr (RAssign (LvLocal i, rhs, ty)) ->
-      compile_expr b rhs;
-      emit b (IStoreLocalPop (i, ty))
-  | RSExpr (RIncDec (w, _, LvLocal i)) -> emit b (IIncDecLocalPop (w, i))
-  | RSExpr e ->
-      compile_expr b e;
-      emit b IPop
+  | RSExpr e -> compile_expr_stmt b e
   | RSDecl ds -> List.iter (compile_decl b) ds
   | RSBlock (body, destroy) ->
       if Array.length destroy = 0 then Array.iter (compile_stmt b lc) body
@@ -936,32 +2457,32 @@ and compile_stmt b (lc : loopctx option) (s : rstmt) =
         emit b IPopScope
       end
   | RSIf (c, t, e) -> (
-      compile_expr b c;
-      let j = emit_branch_false b in
+      let js = compile_cond_false b c in
       compile_stmt b lc t;
       match e with
-      | None -> land_patches b [ j ]
+      | None -> land_patches b js
       | Some es ->
           let j2 = emit_patch b (IJump (-1)) in
-          land_patches b [ j ];
+          land_patches b js;
           compile_stmt b lc es;
           land_patches b [ j2 ])
   | RSWhile (c, body) ->
       let top = here b in
-      compile_expr b c;
-      let jend = emit_branch_false b in
+      let jend = compile_cond_false b c in
       let lc' = { brk = []; cont = []; base = b.sdepth } in
       compile_stmt b (Some lc') body;
       emit b (IJump top);
       List.iter (patch_to b top) lc'.cont;  (* continue re-tests the condition *)
-      land_patches b (jend :: lc'.brk)
+      land_patches b (jend @ lc'.brk)
   | RSDoWhile (body, c) ->
       let top = here b in
       let lc' = { brk = []; cont = []; base = b.sdepth } in
       compile_stmt b (Some lc') body;
       land_patches b lc'.cont;  (* continue falls into the condition *)
-      compile_expr b c;
-      emit b (IJumpIfTrue top);
+      (match compile_expr b c with
+      | SBox -> emit b (IJumpIfTrue top)
+      | SInt -> emit b (IJumpIfTrueI top)
+      | SFlt -> emit b (IJumpIfTrueF top));
       land_patches b lc'.brk
   | RSFor { rf_init; rf_cond; rf_step; rf_body; rf_destroy } ->
       (* the destroy scope covers init + body, as the tree engine's
@@ -976,30 +2497,33 @@ and compile_stmt b (lc : loopctx option) (s : rstmt) =
       Option.iter (compile_stmt b lc) rf_init;
       let top = here b in
       let jend =
-        match rf_cond with
-        | Some c ->
-            compile_expr b c;
-            Some (emit_branch_false b)
-        | None -> None
+        match rf_cond with Some c -> compile_cond_false b c | None -> []
       in
       let lc' = { brk = []; cont = []; base = b.sdepth } in
       compile_stmt b (Some lc') rf_body;
       land_patches b lc'.cont;
-      (match rf_step with
-      | Some e ->
-          compile_expr b e;
-          emit b IPop
-      | None -> ());
+      (match rf_step with Some e -> compile_expr_stmt b e | None -> ());
       emit b (IJump top);
-      land_patches b (match jend with Some j -> j :: lc'.brk | None -> lc'.brk);
+      land_patches b (jend @ lc'.brk);
       if scoped then begin
         b.sdepth <- b.sdepth - 1;
         emit b IPopScope
       end
   | RSReturn None -> emit b IReturnUnit
-  | RSReturn (Some e) ->
-      compile_expr b e;
-      emit b IReturn
+  | RSReturn (Some e) -> (
+      compile_expr_box b e;
+      (* [return this->f] on an int member compiles to
+         [ITickThisFieldI; IBoxI]; fold the box and the return in *)
+      match
+        if b.len >= 2 && b.lastlab < b.len - 1 then
+          (b.code.(b.len - 2), b.code.(b.len - 1))
+        else (IReturnUnit, IReturnUnit)
+      with
+      | ITickThisFieldI (s, m), IBoxI ->
+          b.len <- b.len - 2;
+          b.od <- b.od - 1;
+          emit b (IReturnThisFieldI (s, m))
+      | _ -> emit b IReturn)
   | RSBreak -> (
       match lc with
       | Some l ->
@@ -1015,7 +2539,7 @@ and compile_stmt b (lc : loopctx option) (s : rstmt) =
           l.cont <- emit_patch b (IJump (-1)) :: l.cont
       | None -> emit b (IRaise "continue outside a loop"))
   | RSDelete e ->
-      compile_expr b e;
+      compile_expr_box b e;
       emit b IDelete
   | RSEmpty -> ()
 
@@ -1054,9 +2578,58 @@ let finish (b : buf) : cbody =
           | _ -> ())
       | _ -> ())
     code;
+  (* The typed images of the two scan peepholes: an int guard member
+     with a boxed (pointer) step member. *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | ITickLoadFieldCmpLocFalseI (j, s, m, op, n, true, texit)
+        when texit >= 0 && texit < Array.length code -> (
+          match code.(texit) with
+          | ITickLoadFieldStoreJump (a, s2, m2, bdst, ty, tback) ->
+              code.(i) <-
+                IScanStepI (j, s, m, op, n, a, s2, m2, bdst, ty, tback)
+          | _ -> ())
+      | _ -> ())
+    code;
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | IJumpLocCmpConstFalseI (x, op0, k0, true, texit0)
+        when i + 1 < Array.length code -> (
+          match code.(i + 1) with
+          | IScanStepI (j, s, m, op, n, a, s2, m2, bdst, ty, tback)
+            when tback = i ->
+              code.(i) <-
+                ILoopScanI
+                  (x, op0, k0, texit0, j, s, m, op, n, a, s2, m2, bdst, ty)
+          | _ -> ())
+      | _ -> ())
+    code;
+  (* Back-edge guard inlining: a counted loop runs
+     [guard -> body -> inc-and-jump-to-guard]; replicate the guard into
+     the back edge so each iteration costs one dispatch less. The guard
+     slot stays for the fall-in (loop entry) path. *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | IIncDecLocalJumpI (w, n, t) when t >= 0 && t < Array.length code -> (
+          match code.(t) with
+          | IJumpLocFCmpFalseI (x, y, s, m, op, tk, texit) ->
+              code.(i) <-
+                IIncDecJumpLocFCmpI (w, n, (x, y, s, m, op, tk, texit), t + 1)
+          | IJumpLL2FBCCmpFalseI (x, y, s, m, op1, k, op2, tk, texit) ->
+              code.(i) <-
+                IIncDecJumpLL2FBCI
+                  (w, n, (x, y, s, m, op1, k, op2, tk, texit), t + 1)
+          | _ -> ())
+      | _ -> ())
+    code;
   {
     b_code = code;
     b_omax = b.omax + 8;  (* slack over the conservative linear estimate *)
+    b_imax = (if b.iomax = 0 then 0 else b.iomax + 8);
+    b_fmax = (if b.fomax = 0 then 0 else b.fomax + 8);
     b_scoped = b.scoped;
     b_id = -1;
   }
@@ -1111,13 +2684,36 @@ let compile_ctor (plan : ctor_plan) : int * cbody =
                  ia_ctor = fa_ctor;
                  ia_len = fa_len;
                })
-      | FPScalar { fs_slots; fs_member; fs_coerce; fs_init } ->
+      | FPScalar { fs_slots; fs_member; fs_bank; fs_coerce; fs_init } -> (
           (* initializer evaluated and coerced before the slot lookup,
              matching the tree engine's store order *)
-          compile_expr b fs_init;
-          emit b
-            (IInitFieldScalar
-               { is_slots = fs_slots; is_member = fs_member; is_coerce = fs_coerce })
+          match fs_bank with
+          | BBox ->
+              compile_expr_box b fs_init;
+              emit b
+                (IInitFieldScalar
+                   {
+                     is_slots = fs_slots;
+                     is_member = fs_member;
+                     is_coerce = fs_coerce;
+                   })
+          | BInt -> (
+              match compile_expr b fs_init with
+              | SInt ->
+                  emit b
+                    (IInitFieldScalarI (fs_slots, fs_member, ic_of_ty fs_coerce))
+              | sh ->
+                  box_top b sh;
+                  emit b
+                    (IInitFieldScalarB (fs_slots, fs_member, fs_coerce, BInt)))
+          | BFlt -> (
+              match compile_expr b fs_init with
+              | SBox ->
+                  emit b
+                    (IInitFieldScalarB (fs_slots, fs_member, fs_coerce, BFlt))
+              | sh ->
+                  if sh = SInt then emit b ICastIF;
+                  emit b (IInitFieldScalarF (fs_slots, fs_member))))
       | FPBadInit -> emit b (IRaise "bad scalar member initializer"))
     plan.cp_fields;
   (match plan.cp_body with None -> () | Some body -> compile_stmt b None body);
@@ -1128,7 +2724,7 @@ let compile_ctor (plan : ctor_plan) : int * cbody =
    evaluated these outside any statement). *)
 let compile_ginit (e : rexpr) : cbody =
   let b = mk_buf () in
-  compile_expr b e;
+  compile_expr_box b e;
   emit b IReturn;
   finish b
 
@@ -1390,6 +2986,71 @@ let[@inline] index_read av iv =
   | VNull -> runtime_error "indexing a null pointer"
   | _ -> runtime_error "indexing a non-array value"
 
+(* ------------------------------------------------------------------ *)
+(* Typed (untagged) operator semantics: the unboxed images of [binop], *)
+(* [cmp_test] and [Value.arith] on operands whose tags the compiler    *)
+(* already proved. Same results, same error strings, no dispatch.      *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] ibinop_i op (x : int) (y : int) : int =
+  match op with
+  | Ast.Add -> x + y
+  | Ast.Sub -> x - y
+  | Ast.Mul -> x * y
+  | Ast.Div -> if y = 0 then runtime_error "division by zero" else x / y
+  | Ast.Mod -> if y = 0 then runtime_error "modulo by zero" else x mod y
+  | Ast.Lt -> if x < y then 1 else 0
+  | Ast.Gt -> if x > y then 1 else 0
+  | Ast.Le -> if x <= y then 1 else 0
+  | Ast.Ge -> if x >= y then 1 else 0
+  | Ast.Eq -> if x = y then 1 else 0
+  | Ast.Ne -> if x <> y then 1 else 0
+  | Ast.BAnd -> x land y
+  | Ast.BOr -> x lor y
+  | Ast.BXor -> x lxor y
+  | Ast.Shl -> x lsl y
+  | Ast.Shr -> x asr y
+  | Ast.LAnd | Ast.LOr -> assert false (* never emitted as a binop *)
+
+let[@inline] icmp op (x : int) (y : int) : bool =
+  match op with
+  | Ast.Lt -> x < y
+  | Ast.Gt -> x > y
+  | Ast.Le -> x <= y
+  | Ast.Ge -> x >= y
+  | Ast.Eq -> x = y
+  | Ast.Ne -> x <> y
+  | _ -> assert false
+
+(* Float relationals go through [compare] (total order, nan smallest)
+   and equality through IEEE [=]/[<>], exactly like [Value.compare_test]
+   and [value_eq] on two [VFloat]s. *)
+let[@inline] fcmp_test op (x : float) (y : float) : bool =
+  match op with
+  | Ast.Eq -> x = y
+  | Ast.Ne -> x <> y
+  | Ast.Lt -> compare x y < 0
+  | Ast.Gt -> compare x y > 0
+  | Ast.Le -> compare x y <= 0
+  | Ast.Ge -> compare x y >= 0
+  | _ -> assert false
+
+(* [Value.arith]'s float branch: only these four exist there. *)
+let[@inline] fbinop op (x : float) (y : float) : float =
+  match op with
+  | Ast.Add -> x +. y
+  | Ast.Sub -> x -. y
+  | Ast.Mul -> x *. y
+  | Ast.Div ->
+      if y = 0.0 then runtime_error "floating division by zero" else x /. y
+  | _ -> runtime_error "invalid floating operands"
+
+let[@inline] incdec_delta which =
+  match which with Ast.Incr -> 1 | Ast.Decr -> -1
+
+let frame_of_shape (sh : fshape) this =
+  mk_frame ~ints:sh.nint ~flts:sh.nflt sh.nbox this
+
 let rec bind_params vm frame (cf : cfunc) (src : value array) base argc =
   ignore vm;
   let n = Array.length cf.c_params in
@@ -1397,9 +3058,14 @@ let rec bind_params vm frame (cf : cfunc) (src : value array) base argc =
     runtime_error "arity mismatch calling %s" (Func_id.to_string cf.c_id);
   for i = 0 to n - 1 do
     let p = cf.c_params.(i) in
-    frame.locals.cells.(p.rp_slot) <-
-      (if p.rp_ref then src.(base + i) (* references carry locations *)
-       else coerce p.rp_coerce src.(base + i))
+    match p.rp_bank with
+    | BInt -> frame.ilocals.(p.rp_slot) <- as_int (coerce p.rp_coerce src.(base + i))
+    | BFlt ->
+        frame.flocals.(p.rp_slot) <- as_float (coerce p.rp_coerce src.(base + i))
+    | BBox ->
+        frame.locals.cells.(p.rp_slot) <-
+          (if p.rp_ref then src.(base + i) (* references carry locations *)
+           else coerce p.rp_coerce src.(base + i))
   done
 
 (* Same protocol as the tree engine's [call_function]: depth guard and
@@ -1429,7 +3095,7 @@ and invoke vm fi ~this (src : value array) base argc : value =
   let cf = vm.funcs.(fi) in
   match cf.c_kind with
   | KBody body ->
-      let frame = mk_frame cf.c_frame this in
+      let frame = frame_of_shape cf.c_frame this in
       bind_params vm frame cf src base argc;
       exec_code vm frame body 0
   | KCtor { kc_body; kc_entry } -> (
@@ -1461,7 +3127,7 @@ and invoke vm fi ~this (src : value array) base argc : value =
 and run_ctor vm (o : obj) (cf : cfunc) kc_body kc_entry ~most_derived
     (src : value array) base argc =
   tick vm;
-  let frame = mk_frame cf.c_frame (Some o) in
+  let frame = frame_of_shape cf.c_frame (Some o) in
   bind_params vm frame cf src base argc;
   ignore (exec_code vm frame kc_body (if most_derived then 0 else kc_entry))
 
@@ -1499,7 +3165,7 @@ and destroy_from vm (o : obj) cid ~most_derived =
     let cd = vm.destroy.(cid) in
     (match cd.cd_dtor with
     | Some (fsize, body) ->
-        let frame = mk_frame fsize (Some o) in
+        let frame = frame_of_shape fsize (Some o) in
         ignore (exec_code vm frame body 0)
     | None -> ());
     (* member subobjects, reverse declaration order *)
@@ -1599,27 +3265,34 @@ and exec_builtin vm (ost : value array) base (b : builtin) argc : unit =
 and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
   let code = b.b_code in
   let ost = if b.b_omax > 0 then Array.make b.b_omax VUnit else empty_vals in
+  (* Untagged operand stacks: int and float operands live here, never
+     boxed; purely generic bodies keep both bounds at 0 and share the
+     empty arrays. *)
+  let ist = if b.b_imax > 0 then Array.make b.b_imax 0 else no_ints in
+  let fstk = if b.b_fmax > 0 then Array.make b.b_fmax 0.0 else no_floats in
   let locals = frame.locals.cells in
+  let ilocals = frame.ilocals in
+  let flocals = frame.flocals in
   let scopes = if b.b_scoped then ref [] else no_scopes in
   let prow =
     if Array.length vm.prof_counts = 0 || b.b_id < 0 then no_prof_row
     else Array.unsafe_get vm.prof_counts b.b_id
   in
   let profiling = prow != no_prof_row in
-  let rec loop pc sp : value =
+  let rec loop pc sp isp fsp : value =
     if profiling then
       Array.unsafe_set prow pc (Array.unsafe_get prow pc + 1);
     match Array.unsafe_get code pc with
     | ITick ->
         vm.steps <- vm.steps + 1;
         if vm.steps > vm.next_stop then slow_tick vm;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IConst v ->
         ost.(sp) <- v;
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILoad i ->
         ost.(sp) <- Array.unsafe_get locals i;
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILoadRef i ->
         ost.(sp) <-
           (match Array.unsafe_get locals i with
@@ -1627,41 +3300,41 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
           | VPtr (PArr (h, j)) -> h.cells.(j)
           | VPtr (PObj o) -> VObj o
           | v -> v);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IGlobal i ->
         ost.(sp) <- vm.globals.cells.(i);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IStatic i ->
         ost.(sp) <- vm.statics.cells.(i);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IThis ->
         ost.(sp) <-
           (match frame.this with
           | Some o -> VPtr (PObj o)
           | None -> runtime_error "'this' outside a method");
-        loop (pc + 1) (sp + 1)
-    | IPop -> loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp + 1) isp fsp
+    | IPop -> loop (pc + 1) (sp - 1) isp fsp
     | IUnary op ->
         ost.(sp - 1) <- unary op ost.(sp - 1);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IBinop op ->
         ost.(sp - 2) <- binop op ost.(sp - 2) ost.(sp - 1);
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IToBool ->
         ost.(sp - 1) <- (if truthy ost.(sp - 1) then vtrue else vfalse);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ICastInt ->
         (match ost.(sp - 1) with
         | VInt _ -> ()
         | v -> ost.(sp - 1) <- vint (as_int v));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ICastFloat ->
         ost.(sp - 1) <- VFloat (as_float ost.(sp - 1));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IField (slots, m) ->
         let o = as_obj ost.(sp - 1) in
         ost.(sp - 1) <- o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IDeref ->
         ost.(sp - 1) <-
           (match ost.(sp - 1) with
@@ -1675,7 +3348,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
           | VStr s ->
               if String.length s > 0 then VInt (Char.code s.[0]) else VInt 0
           | _ -> runtime_error "dereference of a non-pointer");
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IIndex ->
         let iv = as_int ost.(sp - 1) in
         ost.(sp - 2) <-
@@ -1695,10 +3368,10 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               else VInt (Char.code s.[iv])
           | VNull -> runtime_error "indexing a null pointer"
           | _ -> runtime_error "indexing a non-array value");
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IAsObj ->
         ost.(sp - 1) <- VObj (as_obj ost.(sp - 1));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IMemPtrDeref ->
         let o = as_obj ost.(sp - 2) in
         ost.(sp - 2) <-
@@ -1706,34 +3379,34 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
           | VMemPtr m -> o.fields.cells.(memptr_slot_of vm.classes o m)
           | VNull -> runtime_error "null member pointer dereference"
           | _ -> runtime_error ".*/->* with a non-member-pointer");
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IAddrOf ->
         let l = ost.(sp - 1) in
         ost.(sp - 1) <-
           (* taking the address of an embedded object yields an object
              pointer, not a cell pointer *)
           (match loc_read l with VObj o -> VPtr (PObj o) | _ -> loc_to_ptr l);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ILocLocal i ->
         ost.(sp) <- VPtr (PArr (frame.locals, i));
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILocLocalRef i ->
         ost.(sp) <-
           (match Array.unsafe_get locals i with
           | VPtr (PCell _) as p -> p
           | VPtr (PArr _) as p -> p
           | _ -> VPtr (PArr (frame.locals, i)));
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILocGlobal i ->
         ost.(sp) <- VPtr (PArr (vm.globals, i));
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILocStatic i ->
         ost.(sp) <- VPtr (PArr (vm.statics, i));
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILocField (slots, m) ->
         let o = as_obj ost.(sp - 1) in
         ost.(sp - 1) <- VPtr (PArr (o.fields, field_slot o slots m));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ILocDeref ->
         ost.(sp - 1) <-
           (match ost.(sp - 1) with
@@ -1743,7 +3416,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               runtime_error "cannot assign whole objects through a pointer"
           | VNull -> runtime_error "null pointer dereference"
           | _ -> runtime_error "dereference of a non-pointer");
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ILocIndex ->
         let iv = as_int ost.(sp - 1) in
         ost.(sp - 2) <-
@@ -1751,83 +3424,85 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
           | VArr h -> VPtr (PArr (h, iv))
           | VPtr (PArr (h, off)) -> VPtr (PArr (h, off + iv))
           | _ -> runtime_error "indexing a non-array value");
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | ILocMemPtr ->
         let o = as_obj ost.(sp - 2) in
         ost.(sp - 2) <-
           (match ost.(sp - 1) with
           | VMemPtr m -> VPtr (PArr (o.fields, memptr_slot_of vm.classes o m))
           | _ -> runtime_error ".*/->* with a non-member-pointer");
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | ILocToPtr ->
         ost.(sp - 1) <- loc_to_ptr ost.(sp - 1);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IObjToPtr ->
         (match ost.(sp - 1) with
         | VObj o -> ost.(sp - 1) <- VPtr (PObj o)
         | _ -> ());
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IAssign ty ->
         let v = coerce ty ost.(sp - 1) in
         loc_write ost.(sp - 2) v;
         ost.(sp - 2) <- v;
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | ICompound (op, ty) ->
         let l = ost.(sp - 2) in
         let v = compound_op op (loc_read l) ost.(sp - 1) ty in
         loc_write l v;
         ost.(sp - 2) <- v;
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IIncDec (which, fix) ->
         let l = ost.(sp - 1) in
         let old = loc_read l in
         let nv = incdec_new which old in
         loc_write l nv;
         ost.(sp - 1) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IStoreLocal (i, ty) ->
         let v = coerce ty ost.(sp - 1) in
         Array.unsafe_set locals i v;
         ost.(sp - 1) <- v;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IStoreLocalPop (i, ty) ->
         Array.unsafe_set locals i (coerce ty ost.(sp - 1));
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IStoreRawPop i ->
         Array.unsafe_set locals i ost.(sp - 1);
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IIncDecLocal (which, fix, i) ->
         let old = Array.unsafe_get locals i in
         let nv = incdec_new which old in
         Array.unsafe_set locals i nv;
         ost.(sp) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IIncDecLocalPop (which, i) ->
         Array.unsafe_set locals i (incdec_new which (Array.unsafe_get locals i));
-        loop (pc + 1) sp
-    | IJump t -> loop t sp
+        loop (pc + 1) sp isp fsp
+    | IJump t -> loop t sp isp fsp
     | IJumpIfFalse t ->
-        if truthy ost.(sp - 1) then loop (pc + 1) (sp - 1) else loop t (sp - 1)
+        if truthy ost.(sp - 1) then loop (pc + 1) (sp - 1) isp fsp
+        else loop t (sp - 1) isp fsp
     | IJumpIfTrue t ->
-        if truthy ost.(sp - 1) then loop t (sp - 1) else loop (pc + 1) (sp - 1)
+        if truthy ost.(sp - 1) then loop t (sp - 1) isp fsp
+        else loop (pc + 1) (sp - 1) isp fsp
     | IJumpCmpFalse (op, t) ->
-        if cmp_test op ost.(sp - 2) ost.(sp - 1) then loop (pc + 1) (sp - 2)
-        else loop t (sp - 2)
+        if cmp_test op ost.(sp - 2) ost.(sp - 1) then loop (pc + 1) (sp - 2) isp fsp
+        else loop t (sp - 2) isp fsp
     | IAndFalse t ->
-        if truthy ost.(sp - 1) then loop (pc + 1) (sp - 1)
+        if truthy ost.(sp - 1) then loop (pc + 1) (sp - 1) isp fsp
         else begin
           ost.(sp - 1) <- VInt 0;
-          loop t sp
+          loop t sp isp fsp
         end
     | IOrTrue t ->
         if truthy ost.(sp - 1) then begin
           ost.(sp - 1) <- VInt 1;
-          loop t sp
+          loop t sp isp fsp
         end
-        else loop (pc + 1) (sp - 1)
+        else loop (pc + 1) (sp - 1) isp fsp
     | IPushScope slots ->
         scopes := slots :: !scopes;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IPopScope ->
         (match !scopes with
         | slots :: rest ->
@@ -1835,7 +3510,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
             (try destroy_slots vm locals slots
              with fe -> raise (Fun.Finally_raised fe))
         | [] -> assert false);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IExitScopes n ->
         for _ = 1 to n do
           match !scopes with
@@ -1845,7 +3520,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
                with fe -> raise (Fun.Finally_raised fe))
           | [] -> assert false
         done;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IReturn ->
         let v = ost.(sp - 1) in
         if b.b_scoped then ret_unwind vm locals scopes;
@@ -1861,11 +3536,11 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
             n_argc
         in
         ost.(base) <- VPtr (PObj o);
-        loop (pc + 1) (base + 1)
+        loop (pc + 1) (base + 1) isp fsp
     | INewScalar (bytes, ty) ->
         ignore (Profile.record_scalar_alloc vm.profile ~bytes);
         ost.(sp) <- VPtr (PArr ({ arr_id = -1; cells = [| default_value ty |] }, 0));
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | INewArrObj { w_cid; w_cls; w_ctor } ->
         let n = as_int ost.(sp - 1) in
         if n < 0 then runtime_error "negative array size in new[]";
@@ -1877,14 +3552,14 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               VObj (construct_raw vm w_cid w_cls w_ctor empty_vals 0 0))
         in
         ost.(sp - 1) <- VPtr (PArr ({ arr_id = id; cells }, 0));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | INewArrScalar (ty, elem_bytes) ->
         let n = as_int ost.(sp - 1) in
         if n < 0 then runtime_error "negative array size in new[]";
         let id = Profile.record_scalar_alloc vm.profile ~bytes:(n * elem_bytes) in
         let cells = Array.init n (fun _ -> default_value ty) in
         ost.(sp - 1) <- VPtr (PArr ({ arr_id = id; cells }, 0));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IDelete ->
         (match ost.(sp - 1) with
         | VNull -> ()
@@ -1897,10 +3572,10 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               h.cells;
             if h.arr_id >= 0 then Profile.record_free vm.profile h.arr_id
         | _ -> runtime_error "delete of a non-pointer value");
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IDeclScalar (slot, ty) ->
         Array.unsafe_set locals slot (default_value ty);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IDeclStackArr { ds_slot; ds_cid; ds_cls; ds_ctor; ds_len } ->
         let id = fresh_obj_id vm in
         Profile.record_alloc vm.profile ~id ~kind:Profile.Stack ~cls:ds_cls
@@ -1910,7 +3585,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               VObj (construct_raw vm ds_cid ds_cls ds_ctor empty_vals 0 0))
         in
         locals.(ds_slot) <- VArr { arr_id = id; cells };
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IDeclCtor { dc_slot; dc_cid; dc_cls; dc_ctor; dc_argc } ->
         let base = sp - dc_argc in
         let o =
@@ -1918,17 +3593,17 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
             base dc_argc
         in
         locals.(dc_slot) <- VObj o;
-        loop (pc + 1) base
+        loop (pc + 1) base isp fsp
     | IBuiltin (bi, argc) ->
         let base = sp - argc in
         exec_builtin vm ost base bi argc;
         ost.(base) <- VUnit;
-        loop (pc + 1) (base + 1)
+        loop (pc + 1) (base + 1) isp fsp
     | ICallFunc (fi, argc) ->
         let base = sp - argc in
         let v = call_function vm fi ~this:None ost base argc in
         ost.(base) <- v;
-        loop (pc + 1) (base + 1)
+        loop (pc + 1) (base + 1) isp fsp
     | ICallMethod { m_func; m_argc; m_arrow } ->
         let base = sp - m_argc in
         let v =
@@ -1941,7 +3616,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               call_function vm m_func ~this:None ost base m_argc
         in
         ost.(base - 1) <- v;
-        loop (pc + 1) base
+        loop (pc + 1) base isp fsp
     | ICallVirtual { v_name; v_table; v_argc } ->
         let base = sp - v_argc in
         let v =
@@ -1955,7 +3630,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
           | _ -> runtime_error "virtual call on a non-object"
         in
         ost.(base - 1) <- v;
-        loop (pc + 1) base
+        loop (pc + 1) base isp fsp
     | ICallFunPtr argc ->
         let base = sp - argc in
         let v =
@@ -1973,17 +3648,17 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
           | _ -> runtime_error "call through a non-function value"
         in
         ost.(base - 1) <- v;
-        loop (pc + 1) base
+        loop (pc + 1) base isp fsp
     | ICallCtor (fi, argc) ->
         let base = sp - argc in
         run_ctor_idx vm (this_obj frame) fi ~most_derived:false ost base argc;
-        loop (pc + 1) base
+        loop (pc + 1) base isp fsp
     | IInitField { if_slots; if_member; if_cid; if_cls; if_ctor; if_argc } ->
         let base = sp - if_argc in
         let o = this_obj frame in
         let sub = construct_raw vm if_cid if_cls if_ctor ost base if_argc in
         o.fields.cells.(field_slot o if_slots if_member) <- VObj sub;
-        loop (pc + 1) base
+        loop (pc + 1) base isp fsp
     | IInitFieldArr { ia_slots; ia_member; ia_cid; ia_cls; ia_ctor; ia_len } ->
         let o = this_obj frame in
         let cells =
@@ -1992,32 +3667,32 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
         in
         o.fields.cells.(field_slot o ia_slots ia_member) <-
           VArr { arr_id = -1; cells };
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IInitFieldScalar { is_slots; is_member; is_coerce } ->
         let v = coerce is_coerce ost.(sp - 1) in
         let o = this_obj frame in
         o.fields.cells.(field_slot o is_slots is_member) <- v;
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     (* superinstructions: each arm is the exact concatenation of its
        parts' arms — same evaluation order, ticks and errors *)
     | ILoadField (i, slots, m) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp) <- o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ITickLoad i ->
         tick vm;
         ost.(sp) <- Array.get locals i;
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ITickLoadField (i, slots, m) ->
         tick vm;
         let o = as_obj (Array.get locals i) in
         ost.(sp) <- o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IThisField (slots, m) ->
         (match frame.this with
         | Some o -> ost.(sp) <- o.fields.cells.(field_slot o slots m)
         | None -> runtime_error "'this' outside a method");
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IIndexField (slots, m) ->
         let iv = as_int ost.(sp - 1) in
         let elem =
@@ -2040,7 +3715,7 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
         in
         let o = as_obj elem in
         ost.(sp - 2) <- o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | ILoadIndex i ->
         let iv = as_int (Array.get locals i) in
         ost.(sp - 1) <-
@@ -2060,171 +3735,171 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
               else VInt (Char.code s.[iv])
           | VNull -> runtime_error "indexing a null pointer"
           | _ -> runtime_error "indexing a non-array value");
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ILoadLocField (i, slots, m) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp) <- VPtr (PArr (o.fields, field_slot o slots m));
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IFieldBinop (slots, m, op) ->
         let o = as_obj ost.(sp - 1) in
         ost.(sp - 2) <-
           binop op ost.(sp - 2) o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | ILoadFieldBinop (i, slots, m, op) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp - 1) <-
           binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IBinopConst (op, v) ->
         ost.(sp - 1) <- binop op ost.(sp - 1) v;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ITickN n ->
         let s = vm.steps + n in
         if s > vm.next_stop then slow_tick_n vm s;
         vm.steps <- s;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ITickPushScope slots ->
         tick vm;
         scopes := slots :: !scopes;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IAssignPop ty ->
         let v = coerce ty ost.(sp - 1) in
         loc_write ost.(sp - 2) v;
-        loop (pc + 1) (sp - 2)
+        loop (pc + 1) (sp - 2) isp fsp
     | IStoreLocalPopT (i, ty) ->
         Array.set locals i (coerce ty ost.(sp - 1));
         tick vm;
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IStoreLocalPopJump (i, ty, t) ->
         Array.set locals i (coerce ty ost.(sp - 1));
-        loop t (sp - 1)
+        loop t (sp - 1) isp fsp
     | IIncDecLocalJump (w, i, t) ->
         Array.set locals i (incdec_new w (Array.get locals i));
-        loop t sp
+        loop t sp isp fsp
     | IJumpIfFalseT t ->
         if truthy ost.(sp - 1) then begin
           tick vm;
-          loop (pc + 1) (sp - 1)
+          loop (pc + 1) (sp - 1) isp fsp
         end
-        else loop t (sp - 1)
+        else loop t (sp - 1) isp fsp
     | IJumpCmpFalseT (op, t) ->
         if cmp_test op ost.(sp - 2) ost.(sp - 1) then begin
           tick vm;
-          loop (pc + 1) (sp - 2)
+          loop (pc + 1) (sp - 2) isp fsp
         end
-        else loop t (sp - 2)
+        else loop t (sp - 2) isp fsp
     | IJumpCmpConstFalse (op, v, t) ->
-        if cmp_test op ost.(sp - 1) v then loop (pc + 1) (sp - 1)
-        else loop t (sp - 1)
+        if cmp_test op ost.(sp - 1) v then loop (pc + 1) (sp - 1) isp fsp
+        else loop t (sp - 1) isp fsp
     | IJumpCmpConstFalseT (op, v, t) ->
         if cmp_test op ost.(sp - 1) v then begin
           tick vm;
-          loop (pc + 1) (sp - 1)
+          loop (pc + 1) (sp - 1) isp fsp
         end
-        else loop t (sp - 1)
+        else loop t (sp - 1) isp fsp
     | IJumpLocCmpConstFalse (i, op, v, t) ->
-        if cmp_test op (Array.get locals i) v then loop (pc + 1) sp
-        else loop t sp
+        if cmp_test op (Array.get locals i) v then loop (pc + 1) sp isp fsp
+        else loop t sp isp fsp
     | IJumpLocCmpConstFalseT (i, op, v, t) ->
         if cmp_test op (Array.get locals i) v then begin
           tick vm;
-          loop (pc + 1) sp
+          loop (pc + 1) sp isp fsp
         end
-        else loop t sp
+        else loop t sp isp fsp
     | IJumpLocCmpFalse (op, i, t) ->
         if cmp_test op ost.(sp - 1) (Array.get locals i) then
-          loop (pc + 1) (sp - 1)
-        else loop t (sp - 1)
+          loop (pc + 1) (sp - 1) isp fsp
+        else loop t (sp - 1) isp fsp
     | IJumpLocCmpFalseT (op, i, t) ->
         if cmp_test op ost.(sp - 1) (Array.get locals i) then begin
           tick vm;
-          loop (pc + 1) (sp - 1)
+          loop (pc + 1) (sp - 1) isp fsp
         end
-        else loop t (sp - 1)
+        else loop t (sp - 1) isp fsp
     | IJumpLoc2CmpFalse (op, x, y, t) ->
         if cmp_test op (Array.get locals x) (Array.get locals y) then
-          loop (pc + 1) sp
-        else loop t sp
+          loop (pc + 1) sp isp fsp
+        else loop t sp isp fsp
     | IJumpLoc2CmpFalseT (op, x, y, t) ->
         if cmp_test op (Array.get locals x) (Array.get locals y) then begin
           tick vm;
-          loop (pc + 1) sp
+          loop (pc + 1) sp isp fsp
         end
-        else loop t sp
+        else loop t sp isp fsp
     | ITickLoadFieldStore (i, slots, m, j, ty) ->
         tick vm;
         let o = as_obj (Array.get locals i) in
         Array.set locals j (coerce ty o.fields.cells.(field_slot o slots m));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ITickLoadFieldStoreJump (i, slots, m, j, ty, t) ->
         tick vm;
         let o = as_obj (Array.get locals i) in
         Array.set locals j (coerce ty o.fields.cells.(field_slot o slots m));
-        loop t sp
+        loop t sp isp fsp
     | ILoadBinopConst (i, op, v) ->
         ost.(sp) <- binop op (Array.get locals i) v;
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILoadFieldBC (i, slots, m, op, v) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp) <- binop op o.fields.cells.(field_slot o slots m) v;
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILoadFieldLoadBC (i, slots, m, j, op, v) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp) <- o.fields.cells.(field_slot o slots m);
         ost.(sp + 1) <- binop op (Array.get locals j) v;
-        loop (pc + 1) (sp + 2)
+        loop (pc + 1) (sp + 2) isp fsp
     | IFieldIdxField (i, slots, m, j, op, v, s2, m2) ->
         let o = as_obj (Array.get locals i) in
         let av = o.fields.cells.(field_slot o slots m) in
         let iv = as_int (binop op (Array.get locals j) v) in
         let eo = as_obj (index_read av iv) in
         ost.(sp) <- eo.fields.cells.(field_slot eo s2 m2);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILoadFieldBinop2 (i, slots, m, op1, op2) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp - 2) <-
           binop op2 ost.(sp - 2)
             (binop op1 ost.(sp - 1) o.fields.cells.(field_slot o slots m));
-        loop (pc + 1) (sp - 1)
+        loop (pc + 1) (sp - 1) isp fsp
     | IBinopAssignPop (op, ty) ->
         let v = coerce ty (binop op ost.(sp - 2) ost.(sp - 1)) in
         loc_write ost.(sp - 3) v;
-        loop (pc + 1) (sp - 3)
+        loop (pc + 1) (sp - 3) isp fsp
     | ITickThisField (slots, m) ->
         tick vm;
         (match frame.this with
         | Some o -> ost.(sp) <- o.fields.cells.(field_slot o slots m)
         | None -> runtime_error "'this' outside a method");
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILoad2FieldBinop (i, j, slots, m, op) ->
         let o = as_obj (Array.get locals j) in
         ost.(sp) <-
           binop op (Array.get locals i) o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ILoadLoadField (i, j, slots, m) ->
         ost.(sp) <- Array.get locals i;
         let o = as_obj (Array.get locals j) in
         ost.(sp + 1) <- o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) (sp + 2)
+        loop (pc + 1) (sp + 2) isp fsp
     | ILocFieldLoadField (s1, m1, j, s2, m2) ->
         let o = as_obj ost.(sp - 1) in
         ost.(sp - 1) <- VPtr (PArr (o.fields, field_slot o s1 m1));
         let o2 = as_obj (Array.get locals j) in
         ost.(sp) <- o2.fields.cells.(field_slot o2 s2 m2);
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | IStoreTLoadField (i, ty, j, slots, m) ->
         Array.set locals i (coerce ty ost.(sp - 1));
         tick vm;
         let o = as_obj (Array.get locals j) in
         ost.(sp - 1) <- o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ITickLoadFieldIndex (a, slots, m, i) ->
         tick vm;
         let o = as_obj (Array.get locals a) in
         let av = o.fields.cells.(field_slot o slots m) in
         let iv = as_int (Array.get locals i) in
         ost.(sp) <- index_read av iv;
-        loop (pc + 1) (sp + 1)
+        loop (pc + 1) (sp + 1) isp fsp
     | ITLFIndexStoreT (a, slots, m, i, x, ty) ->
         tick vm;
         let o = as_obj (Array.get locals a) in
@@ -2232,75 +3907,71 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
         let iv = as_int (Array.get locals i) in
         Array.set locals x (coerce ty (index_read av iv));
         tick vm;
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ITickLoadFieldCmpLocFalse (j, slots, m, op, n, t) ->
         tick vm;
         let o = as_obj (Array.get locals j) in
         if cmp_test op o.fields.cells.(field_slot o slots m) (Array.get locals n)
-        then loop (pc + 1) sp
-        else loop t sp
+        then loop (pc + 1) sp isp fsp
+        else loop t sp isp fsp
     | ITickLoadFieldCmpLocFalseT (j, slots, m, op, n, t) ->
         tick vm;
         let o = as_obj (Array.get locals j) in
         if cmp_test op o.fields.cells.(field_slot o slots m) (Array.get locals n)
         then begin
           tick vm;
-          loop (pc + 1) sp
+          loop (pc + 1) sp isp fsp
         end
-        else loop t sp
+        else loop t sp isp fsp
     | IBinopConstAndFalse (op, v, t) ->
-        if truthy (binop op ost.(sp - 1) v) then loop (pc + 1) (sp - 1)
+        if truthy (binop op ost.(sp - 1) v) then loop (pc + 1) (sp - 1) isp fsp
         else begin
           ost.(sp - 1) <- VInt 0;
-          loop t sp
+          loop t sp isp fsp
         end
     | IJumpIfFalseTPushScope (t, slots) ->
         if truthy ost.(sp - 1) then begin
           tick vm;
           scopes := slots :: !scopes;
-          loop (pc + 1) (sp - 1)
+          loop (pc + 1) (sp - 1) isp fsp
         end
-        else loop t (sp - 1)
+        else loop t (sp - 1) isp fsp
     | ILoadFieldBinopJumpFalse (i, slots, m, op, t) ->
         let o = as_obj (Array.get locals i) in
         if truthy (binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m))
-        then loop (pc + 1) (sp - 1)
-        else loop t (sp - 1)
+        then loop (pc + 1) (sp - 1) isp fsp
+        else loop t (sp - 1) isp fsp
     | ILoadFieldBinopJumpFalseT (i, slots, m, op, t) ->
         let o = as_obj (Array.get locals i) in
         if truthy (binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m))
         then begin
           tick vm;
-          loop (pc + 1) (sp - 1)
+          loop (pc + 1) (sp - 1) isp fsp
         end
-        else loop t (sp - 1)
-    | IJumpBCCmpFalse (op1, v, op2, t) ->
-        let rhs = binop op1 ost.(sp - 1) v in
-        if cmp_test op2 ost.(sp - 2) rhs then loop (pc + 1) (sp - 2)
-        else loop t (sp - 2)
-    | IJumpBCCmpFalseT (op1, v, op2, t) ->
+        else loop t (sp - 1) isp fsp
+    | IJumpBCCmpFalse (op1, v, op2, tk, t) ->
         let rhs = binop op1 ost.(sp - 1) v in
         if cmp_test op2 ost.(sp - 2) rhs then begin
-          tick vm;
-          loop (pc + 1) (sp - 2)
+          if tk then tick vm;
+          loop (pc + 1) (sp - 2) isp fsp
         end
-        else loop t (sp - 2)
+        else loop t (sp - 2) isp fsp
     | IBinopLoadField (op, j, slots, m) ->
         ost.(sp - 2) <- binop op ost.(sp - 2) ost.(sp - 1);
         let o = as_obj (Array.get locals j) in
         ost.(sp - 1) <- o.fields.cells.(field_slot o slots m);
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IBinop2 (op1, op2) ->
         ost.(sp - 3) <-
           binop op2 ost.(sp - 3) (binop op1 ost.(sp - 2) ost.(sp - 1));
-        loop (pc + 1) (sp - 2)
+        loop (pc + 1) (sp - 2) isp fsp
     | IThisFieldBinop (slots, m, op) ->
         (match frame.this with
         | Some o ->
             ost.(sp - 1) <-
               binop op ost.(sp - 1) o.fields.cells.(field_slot o slots m)
         | None -> runtime_error "'this' outside a method");
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | IFieldBinop2AssignPop (i, slots, m, op1, op2, ty) ->
         let o = as_obj (Array.get locals i) in
         let v =
@@ -2309,74 +3980,74 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
                (binop op1 ost.(sp - 1) o.fields.cells.(field_slot o slots m)))
         in
         loc_write ost.(sp - 3) v;
-        loop (pc + 1) (sp - 3)
+        loop (pc + 1) (sp - 3) isp fsp
     | IBinop2AssignPop (op1, op2, ty) ->
         let v =
           coerce ty
             (binop op2 ost.(sp - 3) (binop op1 ost.(sp - 2) ost.(sp - 1)))
         in
         loc_write ost.(sp - 4) v;
-        loop (pc + 1) (sp - 4)
+        loop (pc + 1) (sp - 4) isp fsp
     | IConstFieldBinop2 (v, i, slots, m, op1, op2) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp - 1) <-
           binop op2 ost.(sp - 1)
             (binop op1 v o.fields.cells.(field_slot o slots m));
-        loop (pc + 1) sp
+        loop (pc + 1) sp isp fsp
     | ILoadLocFieldLoadField (i, slots, m, j, s2, m2) ->
         let o = as_obj (Array.get locals i) in
         ost.(sp) <- VPtr (PArr (o.fields, field_slot o slots m));
         let o2 = as_obj (Array.get locals j) in
         ost.(sp + 1) <- o2.fields.cells.(field_slot o2 s2 m2);
-        loop (pc + 1) (sp + 2)
+        loop (pc + 1) (sp + 2) isp fsp
     | ILoadFieldBCAndFalse (i, slots, m, op, v, t) ->
         let o = as_obj (Array.get locals i) in
         if truthy (binop op o.fields.cells.(field_slot o slots m) v) then
-          loop (pc + 1) sp
+          loop (pc + 1) sp isp fsp
         else begin
           ost.(sp) <- VInt 0;
-          loop t (sp + 1)
+          loop t (sp + 1) isp fsp
         end
     | IJumpLocFCmpFalse (i, j, slots, m, op, t) ->
         let o = as_obj (Array.get locals j) in
         if cmp_test op (Array.get locals i) o.fields.cells.(field_slot o slots m)
-        then loop (pc + 1) sp
-        else loop t sp
+        then loop (pc + 1) sp isp fsp
+        else loop t sp isp fsp
     | IJumpLocFCmpFalseT (i, j, slots, m, op, t) ->
         let o = as_obj (Array.get locals j) in
         if cmp_test op (Array.get locals i) o.fields.cells.(field_slot o slots m)
         then begin
           tick vm;
-          loop (pc + 1) sp
+          loop (pc + 1) sp isp fsp
         end
-        else loop t sp
+        else loop t sp isp fsp
     | IJumpLL2FBCCmpFalse (i, j, slots, m, op1, v, op2, t) ->
         let o = as_obj (Array.get locals j) in
         let rhs = binop op1 o.fields.cells.(field_slot o slots m) v in
-        if cmp_test op2 (Array.get locals i) rhs then loop (pc + 1) sp
-        else loop t sp
+        if cmp_test op2 (Array.get locals i) rhs then loop (pc + 1) sp isp fsp
+        else loop t sp isp fsp
     | IJumpLL2FBCCmpFalseT (i, j, slots, m, op1, v, op2, t) ->
         let o = as_obj (Array.get locals j) in
         let rhs = binop op1 o.fields.cells.(field_slot o slots m) v in
         if cmp_test op2 (Array.get locals i) rhs then begin
           tick vm;
-          loop (pc + 1) sp
+          loop (pc + 1) sp isp fsp
         end
-        else loop t sp
+        else loop t sp isp fsp
     | IScanStep (j, slots, m, op, n, a, s2, m2, bdst, ty, tback) ->
         tick vm;
         let o = as_obj (Array.get locals j) in
         if cmp_test op o.fields.cells.(field_slot o slots m) (Array.get locals n)
         then begin
           tick vm;
-          loop (pc + 1) sp
+          loop (pc + 1) sp isp fsp
         end
         else begin
           tick vm;
           let o2 = as_obj (Array.get locals a) in
           Array.set locals bdst
             (coerce ty o2.fields.cells.(field_slot o2 s2 m2));
-          loop tback sp
+          loop tback sp isp fsp
         end
     | ILoopScan (x, op0, v0, texit0, j, slots, m, op, n, a, s2, m2, bdst, ty)
       ->
@@ -2410,11 +4081,986 @@ and exec_code vm (frame : frame) (b : cbody) (start : int) : value =
           else texit0
         in
         let t = scan () in
-        if t >= 0 then loop t sp else loop (pc + 2) sp
+        if t >= 0 then loop t sp isp fsp else loop (pc + 2) sp isp fsp
+    (* -- typed (untagged) arms: pushes, bridges ---------------------- *)
+    | IConstI n ->
+        ist.(isp) <- n;
+        loop (pc + 1) sp (isp + 1) fsp
+    | IConstF f ->
+        fstk.(fsp) <- f;
+        loop (pc + 1) sp isp (fsp + 1)
+    | ILoadI i ->
+        ist.(isp) <- Array.unsafe_get ilocals i;
+        loop (pc + 1) sp (isp + 1) fsp
+    | ILoadF i ->
+        fstk.(fsp) <- Array.unsafe_get flocals i;
+        loop (pc + 1) sp isp (fsp + 1)
+    | IFieldI (slots, m) ->
+        let o = as_obj ost.(sp - 1) in
+        ist.(isp) <- o.ifields.(field_slot o slots m);
+        loop (pc + 1) (sp - 1) (isp + 1) fsp
+    | IFieldF (slots, m) ->
+        let o = as_obj ost.(sp - 1) in
+        fstk.(fsp) <- o.ffields.(field_slot o slots m);
+        loop (pc + 1) (sp - 1) isp (fsp + 1)
+    | IIndexI ->
+        ost.(sp - 1) <- index_read ost.(sp - 1) ist.(isp - 1);
+        loop (pc + 1) sp (isp - 1) fsp
+    | IBoxI ->
+        ost.(sp) <- vint ist.(isp - 1);
+        loop (pc + 1) (sp + 1) (isp - 1) fsp
+    | IBoxF ->
+        ost.(sp) <- VFloat fstk.(fsp - 1);
+        loop (pc + 1) (sp + 1) isp (fsp - 1)
+    | IBoxIU ->
+        ost.(sp) <- ost.(sp - 1);
+        ost.(sp - 1) <- vint ist.(isp - 1);
+        loop (pc + 1) (sp + 1) (isp - 1) fsp
+    | IBoxFU ->
+        ost.(sp) <- ost.(sp - 1);
+        ost.(sp - 1) <- VFloat fstk.(fsp - 1);
+        loop (pc + 1) (sp + 1) isp (fsp - 1)
+    | IPopI -> loop (pc + 1) sp (isp - 1) fsp
+    | IPopF -> loop (pc + 1) sp isp (fsp - 1)
+    | ILoadIB i ->
+        ost.(sp) <- vint (Array.unsafe_get ilocals i);
+        loop (pc + 1) (sp + 1) isp fsp
+    | ILoadFB i ->
+        ost.(sp) <- VFloat (Array.unsafe_get flocals i);
+        loop (pc + 1) (sp + 1) isp fsp
+    | ILoadFieldIB (i, slots, m) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- vint o.ifields.(field_slot o slots m);
+        loop (pc + 1) (sp + 1) isp fsp
+    | ILoadFieldFB (i, slots, m) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- VFloat o.ffields.(field_slot o slots m);
+        loop (pc + 1) (sp + 1) isp fsp
+    | ICastFI ->
+        ist.(isp) <- int_of_float fstk.(fsp - 1);
+        loop (pc + 1) sp (isp + 1) (fsp - 1)
+    | ICastIF ->
+        fstk.(fsp) <- float_of_int ist.(isp - 1);
+        loop (pc + 1) sp (isp - 1) (fsp + 1)
+    (* -- typed operators --------------------------------------------- *)
+    | IUnaryI op ->
+        (match op with
+        | Ast.Neg -> ist.(isp - 1) <- -ist.(isp - 1)
+        | Ast.Not -> ist.(isp - 1) <- (if ist.(isp - 1) = 0 then 1 else 0)
+        | Ast.BitNot -> ist.(isp - 1) <- lnot ist.(isp - 1)
+        | Ast.UPlus -> ());
+        loop (pc + 1) sp isp fsp
+    | INegF ->
+        fstk.(fsp - 1) <- -.fstk.(fsp - 1);
+        loop (pc + 1) sp isp fsp
+    | INotF ->
+        (* [truthy (VFloat f)] is [f <> 0.0], so nan is truthy: [!nan]
+           must be 0, which [= 0.0] gives for free *)
+        ist.(isp) <- (if fstk.(fsp - 1) = 0.0 then 1 else 0);
+        loop (pc + 1) sp (isp + 1) (fsp - 1)
+    | IToBoolI ->
+        ist.(isp - 1) <- (if ist.(isp - 1) <> 0 then 1 else 0);
+        loop (pc + 1) sp isp fsp
+    | IBinopII op ->
+        ist.(isp - 2) <- ibinop_i op ist.(isp - 2) ist.(isp - 1);
+        loop (pc + 1) sp (isp - 1) fsp
+    | IArithFF op ->
+        fstk.(fsp - 2) <- fbinop op fstk.(fsp - 2) fstk.(fsp - 1);
+        loop (pc + 1) sp isp (fsp - 1)
+    | ICmpFF op ->
+        ist.(isp) <- (if fcmp_test op fstk.(fsp - 2) fstk.(fsp - 1) then 1 else 0);
+        loop (pc + 1) sp (isp + 1) (fsp - 2)
+    | IArithIF op ->
+        fstk.(fsp - 1) <- fbinop op (float_of_int ist.(isp - 1)) fstk.(fsp - 1);
+        loop (pc + 1) sp (isp - 1) fsp
+    | IArithFI op ->
+        fstk.(fsp - 1) <- fbinop op fstk.(fsp - 1) (float_of_int ist.(isp - 1));
+        loop (pc + 1) sp (isp - 1) fsp
+    | ICmpIF op ->
+        ist.(isp - 1) <-
+          (if fcmp_test op (float_of_int ist.(isp - 1)) fstk.(fsp - 1) then 1
+           else 0);
+        loop (pc + 1) sp isp (fsp - 1)
+    | ICmpFI op ->
+        ist.(isp - 1) <-
+          (if fcmp_test op fstk.(fsp - 1) (float_of_int ist.(isp - 1)) then 1
+           else 0);
+        loop (pc + 1) sp isp (fsp - 1)
+    (* -- typed local stores ------------------------------------------ *)
+    | IStoreLocalI (ic, i) ->
+        let v = apply_ic ic ist.(isp - 1) in
+        Array.unsafe_set ilocals i v;
+        ist.(isp - 1) <- v;
+        loop (pc + 1) sp isp fsp
+    | IStoreLocalPopI (ic, i) ->
+        Array.unsafe_set ilocals i (apply_ic ic ist.(isp - 1));
+        loop (pc + 1) sp (isp - 1) fsp
+    | IStoreLocalF i ->
+        Array.unsafe_set flocals i fstk.(fsp - 1);
+        loop (pc + 1) sp isp fsp
+    | IStoreLocalPopF i ->
+        Array.unsafe_set flocals i fstk.(fsp - 1);
+        loop (pc + 1) sp isp (fsp - 1)
+    | IStoreLocalIB (ty, i) ->
+        let v = coerce ty ost.(sp - 1) in
+        Array.unsafe_set ilocals i (as_int v);
+        ost.(sp - 1) <- v;
+        loop (pc + 1) sp isp fsp
+    | IStoreLocalIBPop (ty, i) ->
+        Array.unsafe_set ilocals i (as_int (coerce ty ost.(sp - 1)));
+        loop (pc + 1) (sp - 1) isp fsp
+    | IStoreLocalFB (ty, i) ->
+        let v = coerce ty ost.(sp - 1) in
+        Array.unsafe_set flocals i (as_float v);
+        ost.(sp - 1) <- v;
+        loop (pc + 1) sp isp fsp
+    | IStoreLocalFBPop (ty, i) ->
+        Array.unsafe_set flocals i (as_float (coerce ty ost.(sp - 1)));
+        loop (pc + 1) (sp - 1) isp fsp
+    | IIncDecLocalI (which, fix, i) ->
+        let old = Array.unsafe_get ilocals i in
+        let nv = old + incdec_delta which in
+        Array.unsafe_set ilocals i nv;
+        ist.(isp) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
+        loop (pc + 1) sp (isp + 1) fsp
+    | IIncDecLocalPopI (which, i) ->
+        Array.unsafe_set ilocals i
+          (Array.unsafe_get ilocals i + incdec_delta which);
+        loop (pc + 1) sp isp fsp
+    | IIncDecLocalF (which, fix, i) ->
+        let old = Array.unsafe_get flocals i in
+        let nv = old +. float_of_int (incdec_delta which) in
+        Array.unsafe_set flocals i nv;
+        fstk.(fsp) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
+        loop (pc + 1) sp isp (fsp + 1)
+    | IIncDecLocalPopF (which, i) ->
+        Array.unsafe_set flocals i
+          (Array.unsafe_get flocals i +. float_of_int (incdec_delta which));
+        loop (pc + 1) sp isp fsp
+    | ICompoundLocalI (op, ic, i) ->
+        let v =
+          apply_ic ic (ibinop_i op (Array.unsafe_get ilocals i) ist.(isp - 1))
+        in
+        Array.unsafe_set ilocals i v;
+        ist.(isp - 1) <- v;
+        loop (pc + 1) sp isp fsp
+    | ICompoundLocalIPop (op, ic, i) ->
+        Array.unsafe_set ilocals i
+          (apply_ic ic (ibinop_i op (Array.unsafe_get ilocals i) ist.(isp - 1)));
+        loop (pc + 1) sp (isp - 1) fsp
+    | ICompoundLocalF (op, i) ->
+        let v = fbinop op (Array.unsafe_get flocals i) fstk.(fsp - 1) in
+        Array.unsafe_set flocals i v;
+        fstk.(fsp - 1) <- v;
+        loop (pc + 1) sp isp fsp
+    | ICompoundLocalFPop (op, i) ->
+        Array.unsafe_set flocals i
+          (fbinop op (Array.unsafe_get flocals i) fstk.(fsp - 1));
+        loop (pc + 1) sp isp (fsp - 1)
+    | ICompoundLocalB (aop, ty, i, bk) ->
+        let old =
+          match bk with
+          | BInt -> vint ilocals.(i)
+          | BFlt -> VFloat flocals.(i)
+          | BBox -> assert false
+        in
+        let v = compound_op aop old ost.(sp - 1) ty in
+        (match bk with
+        | BInt -> ilocals.(i) <- as_int v
+        | BFlt -> flocals.(i) <- as_float v
+        | BBox -> assert false);
+        ost.(sp - 1) <- v;
+        loop (pc + 1) sp isp fsp
+    | ICompoundLocalBPop (aop, ty, i, bk) ->
+        let old =
+          match bk with
+          | BInt -> vint ilocals.(i)
+          | BFlt -> VFloat flocals.(i)
+          | BBox -> assert false
+        in
+        let v = compound_op aop old ost.(sp - 1) ty in
+        (match bk with
+        | BInt -> ilocals.(i) <- as_int v
+        | BFlt -> flocals.(i) <- as_float v
+        | BBox -> assert false);
+        loop (pc + 1) (sp - 1) isp fsp
+    (* -- typed member lvalues ---------------------------------------- *)
+    | ILocFieldI (slots, m) ->
+        let o = as_obj ost.(sp - 1) in
+        ist.(isp) <- field_slot o slots m;
+        ost.(sp - 1) <- VObj o;
+        loop (pc + 1) sp (isp + 1) fsp
+    | ILocFieldF (slots, m) ->
+        let o = as_obj ost.(sp - 1) in
+        ist.(isp) <- field_slot o slots m;
+        ost.(sp - 1) <- VObj o;
+        loop (pc + 1) sp (isp + 1) fsp
+    | IAssignFieldI ic ->
+        let v = apply_ic ic ist.(isp - 1) in
+        let o = as_obj ost.(sp - 1) in
+        o.ifields.(ist.(isp - 2)) <- v;
+        ist.(isp - 2) <- v;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IAssignFieldIPop ic ->
+        let o = as_obj ost.(sp - 1) in
+        o.ifields.(ist.(isp - 2)) <- apply_ic ic ist.(isp - 1);
+        loop (pc + 1) (sp - 1) (isp - 2) fsp
+    | IAssignFieldF ->
+        let o = as_obj ost.(sp - 1) in
+        o.ffields.(ist.(isp - 1)) <- fstk.(fsp - 1);
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IAssignFieldFPop ->
+        let o = as_obj ost.(sp - 1) in
+        o.ffields.(ist.(isp - 1)) <- fstk.(fsp - 1);
+        loop (pc + 1) (sp - 1) (isp - 1) (fsp - 1)
+    | IAssignFieldIB ty ->
+        let v = coerce ty ost.(sp - 1) in
+        let o = as_obj ost.(sp - 2) in
+        o.ifields.(ist.(isp - 1)) <- as_int v;
+        ost.(sp - 2) <- v;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IAssignFieldIBPop ty ->
+        let o = as_obj ost.(sp - 2) in
+        o.ifields.(ist.(isp - 1)) <- as_int (coerce ty ost.(sp - 1));
+        loop (pc + 1) (sp - 2) (isp - 1) fsp
+    | IAssignFieldFB ty ->
+        let v = coerce ty ost.(sp - 1) in
+        let o = as_obj ost.(sp - 2) in
+        o.ffields.(ist.(isp - 1)) <- as_float v;
+        ost.(sp - 2) <- v;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IAssignFieldFBPop ty ->
+        let o = as_obj ost.(sp - 2) in
+        o.ffields.(ist.(isp - 1)) <- as_float (coerce ty ost.(sp - 1));
+        loop (pc + 1) (sp - 2) (isp - 1) fsp
+    | ICompoundFieldI (op, ic) ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 2) in
+        let v = apply_ic ic (ibinop_i op o.ifields.(s) ist.(isp - 1)) in
+        o.ifields.(s) <- v;
+        ist.(isp - 2) <- v;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | ICompoundFieldIPop (op, ic) ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 2) in
+        o.ifields.(s) <- apply_ic ic (ibinop_i op o.ifields.(s) ist.(isp - 1));
+        loop (pc + 1) (sp - 1) (isp - 2) fsp
+    | ICompoundFieldF op ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 1) in
+        let v = fbinop op o.ffields.(s) fstk.(fsp - 1) in
+        o.ffields.(s) <- v;
+        fstk.(fsp - 1) <- v;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | ICompoundFieldFPop op ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 1) in
+        o.ffields.(s) <- fbinop op o.ffields.(s) fstk.(fsp - 1);
+        loop (pc + 1) (sp - 1) (isp - 1) (fsp - 1)
+    | ICompoundFieldB (aop, ty, bk) ->
+        let o = as_obj ost.(sp - 2) in
+        let s = ist.(isp - 1) in
+        let old =
+          match bk with
+          | BInt -> vint o.ifields.(s)
+          | BFlt -> VFloat o.ffields.(s)
+          | BBox -> assert false
+        in
+        let v = compound_op aop old ost.(sp - 1) ty in
+        (match bk with
+        | BInt -> o.ifields.(s) <- as_int v
+        | BFlt -> o.ffields.(s) <- as_float v
+        | BBox -> assert false);
+        ost.(sp - 2) <- v;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | ICompoundFieldBPop (aop, ty, bk) ->
+        let o = as_obj ost.(sp - 2) in
+        let s = ist.(isp - 1) in
+        let old =
+          match bk with
+          | BInt -> vint o.ifields.(s)
+          | BFlt -> VFloat o.ffields.(s)
+          | BBox -> assert false
+        in
+        let v = compound_op aop old ost.(sp - 1) ty in
+        (match bk with
+        | BInt -> o.ifields.(s) <- as_int v
+        | BFlt -> o.ffields.(s) <- as_float v
+        | BBox -> assert false);
+        loop (pc + 1) (sp - 2) (isp - 1) fsp
+    | IIncDecFieldI (which, fix) ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 1) in
+        let old = o.ifields.(s) in
+        let nv = old + incdec_delta which in
+        o.ifields.(s) <- nv;
+        ist.(isp - 1) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
+        loop (pc + 1) (sp - 1) isp fsp
+    | IIncDecFieldIPop which ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 1) in
+        o.ifields.(s) <- o.ifields.(s) + incdec_delta which;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IIncDecFieldF (which, fix) ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 1) in
+        let old = o.ffields.(s) in
+        let nv = old +. float_of_int (incdec_delta which) in
+        o.ffields.(s) <- nv;
+        fstk.(fsp) <- (match fix with Ast.Prefix -> nv | Ast.Postfix -> old);
+        loop (pc + 1) (sp - 1) (isp - 1) (fsp + 1)
+    | IIncDecFieldFPop which ->
+        let o = as_obj ost.(sp - 1) in
+        let s = ist.(isp - 1) in
+        o.ffields.(s) <- o.ffields.(s) +. float_of_int (incdec_delta which);
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    (* -- typed declarations / ctor member initializers ---------------- *)
+    | IDeclScalarI i ->
+        Array.unsafe_set ilocals i 0;
+        loop (pc + 1) sp isp fsp
+    | IDeclScalarF i ->
+        Array.unsafe_set flocals i 0.0;
+        loop (pc + 1) sp isp fsp
+    | IInitFieldScalarI (slots, m, ic) ->
+        let o = this_obj frame in
+        o.ifields.(field_slot o slots m) <- apply_ic ic ist.(isp - 1);
+        loop (pc + 1) sp (isp - 1) fsp
+    | IInitFieldScalarF (slots, m) ->
+        let o = this_obj frame in
+        o.ffields.(field_slot o slots m) <- fstk.(fsp - 1);
+        loop (pc + 1) sp isp (fsp - 1)
+    | IInitFieldScalarB (slots, m, ty, bk) ->
+        let v = coerce ty ost.(sp - 1) in
+        let o = this_obj frame in
+        let s = field_slot o slots m in
+        (match bk with
+        | BInt -> o.ifields.(s) <- as_int v
+        | BFlt -> o.ffields.(s) <- as_float v
+        | BBox -> assert false);
+        loop (pc + 1) (sp - 1) isp fsp
+    (* -- typed control ------------------------------------------------ *)
+    | IJumpIfFalseI (tk, t) ->
+        if ist.(isp - 1) <> 0 then begin
+          if tk then tick vm;
+          loop (pc + 1) sp (isp - 1) fsp
+        end
+        else loop t sp (isp - 1) fsp
+    | IJumpIfTrueI t ->
+        if ist.(isp - 1) <> 0 then loop t sp (isp - 1) fsp
+        else loop (pc + 1) sp (isp - 1) fsp
+    | IJumpIfFalseF (tk, t) ->
+        if fstk.(fsp - 1) <> 0.0 then begin
+          if tk then tick vm;
+          loop (pc + 1) sp isp (fsp - 1)
+        end
+        else loop t sp isp (fsp - 1)
+    | IJumpIfTrueF t ->
+        if fstk.(fsp - 1) <> 0.0 then loop t sp isp (fsp - 1)
+        else loop (pc + 1) sp isp (fsp - 1)
+    | IAndFalseI t ->
+        if ist.(isp - 1) <> 0 then loop (pc + 1) sp (isp - 1) fsp
+        else begin
+          ist.(isp - 1) <- 0;
+          loop t sp isp fsp
+        end
+    | IOrTrueI t ->
+        if ist.(isp - 1) <> 0 then begin
+          ist.(isp - 1) <- 1;
+          loop t sp isp fsp
+        end
+        else loop (pc + 1) sp (isp - 1) fsp
+    | IJumpCmpFalseI (op, tk, t) ->
+        if icmp op ist.(isp - 2) ist.(isp - 1) then begin
+          if tk then tick vm;
+          loop (pc + 1) sp (isp - 2) fsp
+        end
+        else loop t sp (isp - 2) fsp
+    | IJumpCmpConstFalseI (op, k, tk, t) ->
+        if icmp op ist.(isp - 1) k then begin
+          if tk then tick vm;
+          loop (pc + 1) sp (isp - 1) fsp
+        end
+        else loop t sp (isp - 1) fsp
+    | IJumpLocCmpConstFalseI (i, op, k, tk, t) ->
+        if icmp op (Array.unsafe_get ilocals i) k then begin
+          if tk then tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else loop t sp isp fsp
+    | IJumpLocCmpFalseI (op, i, tk, t) ->
+        if icmp op ist.(isp - 1) (Array.unsafe_get ilocals i) then begin
+          if tk then tick vm;
+          loop (pc + 1) sp (isp - 1) fsp
+        end
+        else loop t sp (isp - 1) fsp
+    | IJumpLoc2CmpFalseI (op, x, y, tk, t) ->
+        if icmp op (Array.unsafe_get ilocals x) (Array.unsafe_get ilocals y)
+        then begin
+          if tk then tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else loop t sp isp fsp
+    | IJumpLocFCmpFalseI (x, y, slots, m, op, tk, t) ->
+        let o = as_obj (Array.get locals y) in
+        if icmp op (Array.unsafe_get ilocals x) o.ifields.(field_slot o slots m)
+        then begin
+          if tk then tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else loop t sp isp fsp
+    | IJumpLocFieldBCFalseI (tp, n, slots, m, op, k, ta, t) ->
+        if tp then tick vm;
+        let o = as_obj (Array.get locals n) in
+        if ibinop_i op o.ifields.(field_slot o slots m) k <> 0 then begin
+          if ta then tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else loop t sp isp fsp
+    | IJumpThisFieldBCFalseI (tp, slots, m, op, k, ta, t) -> (
+        if tp then tick vm;
+        match frame.this with
+        | Some o ->
+            if ibinop_i op o.ifields.(field_slot o slots m) k <> 0 then begin
+              if ta then tick vm;
+              loop (pc + 1) sp isp fsp
+            end
+            else loop t sp isp fsp
+        | None -> runtime_error "'this' outside a method")
+    (* -- typed superinstructions -------------------------------------- *)
+    | ITickLoadI i ->
+        tick vm;
+        ist.(isp) <- Array.unsafe_get ilocals i;
+        loop (pc + 1) sp (isp + 1) fsp
+    | ILoadFieldI (i, slots, m) ->
+        let o = as_obj (Array.get locals i) in
+        ist.(isp) <- o.ifields.(field_slot o slots m);
+        loop (pc + 1) sp (isp + 1) fsp
+    | ILoadFieldF (i, slots, m) ->
+        let o = as_obj (Array.get locals i) in
+        fstk.(fsp) <- o.ffields.(field_slot o slots m);
+        loop (pc + 1) sp isp (fsp + 1)
+    | ITickLoadFieldI (i, slots, m) ->
+        tick vm;
+        let o = as_obj (Array.get locals i) in
+        ist.(isp) <- o.ifields.(field_slot o slots m);
+        loop (pc + 1) sp (isp + 1) fsp
+    | IThisFieldI (slots, m) ->
+        (match frame.this with
+        | Some o -> ist.(isp) <- o.ifields.(field_slot o slots m)
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) sp (isp + 1) fsp
+    | IThisFieldF (slots, m) ->
+        (match frame.this with
+        | Some o -> fstk.(fsp) <- o.ffields.(field_slot o slots m)
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) sp isp (fsp + 1)
+    | ITickThisFieldI (slots, m) ->
+        tick vm;
+        (match frame.this with
+        | Some o -> ist.(isp) <- o.ifields.(field_slot o slots m)
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) sp (isp + 1) fsp
+    | IIndexFieldI (slots, m) ->
+        let elem = index_read ost.(sp - 1) ist.(isp - 1) in
+        let o = as_obj elem in
+        ist.(isp - 1) <- o.ifields.(field_slot o slots m);
+        loop (pc + 1) (sp - 1) isp fsp
+    | ILoadLoadFieldI (i, j, slots, m) ->
+        ist.(isp) <- Array.unsafe_get ilocals i;
+        let o = as_obj (Array.get locals j) in
+        ist.(isp + 1) <- o.ifields.(field_slot o slots m);
+        loop (pc + 1) sp (isp + 2) fsp
+    | IBinopConstI (op, k) ->
+        ist.(isp - 1) <- ibinop_i op ist.(isp - 1) k;
+        loop (pc + 1) sp isp fsp
+    | ILoadBinopConstI (i, op, k) ->
+        ist.(isp) <- ibinop_i op (Array.unsafe_get ilocals i) k;
+        loop (pc + 1) sp (isp + 1) fsp
+    | ILoadFieldBCI (i, slots, m, op, k) ->
+        let o = as_obj (Array.get locals i) in
+        ist.(isp) <- ibinop_i op o.ifields.(field_slot o slots m) k;
+        loop (pc + 1) sp (isp + 1) fsp
+    | ILoadFieldLoadBCI (i, slots, m, j, op, k) ->
+        let o = as_obj (Array.get locals i) in
+        ost.(sp) <- o.fields.cells.(field_slot o slots m);
+        ist.(isp) <- ibinop_i op (Array.unsafe_get ilocals j) k;
+        loop (pc + 1) (sp + 1) (isp + 1) fsp
+    | ILoadFieldBinopI (i, slots, m, op) ->
+        let o = as_obj (Array.get locals i) in
+        ist.(isp - 1) <-
+          ibinop_i op ist.(isp - 1) o.ifields.(field_slot o slots m);
+        loop (pc + 1) sp isp fsp
+    | IBinopLoadFieldI (op, j, slots, m) ->
+        ist.(isp - 2) <- ibinop_i op ist.(isp - 2) ist.(isp - 1);
+        let o = as_obj (Array.get locals j) in
+        ist.(isp - 1) <- o.ifields.(field_slot o slots m);
+        loop (pc + 1) sp isp fsp
+    | IThisFieldBinopI (slots, m, op) ->
+        (match frame.this with
+        | Some o ->
+            ist.(isp - 1) <-
+              ibinop_i op ist.(isp - 1) o.ifields.(field_slot o slots m)
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) sp isp fsp
+    | IBinopConstAndFalseI (op, k, t) ->
+        if ibinop_i op ist.(isp - 1) k <> 0 then loop (pc + 1) sp (isp - 1) fsp
+        else begin
+          ist.(isp - 1) <- 0;
+          loop t sp isp fsp
+        end
+    | IStoreLocalPopTI (ic, i) ->
+        Array.unsafe_set ilocals i (apply_ic ic ist.(isp - 1));
+        tick vm;
+        loop (pc + 1) sp (isp - 1) fsp
+    | IStoreLocalPopJumpI (ic, i, t) ->
+        Array.unsafe_set ilocals i (apply_ic ic ist.(isp - 1));
+        loop t sp (isp - 1) fsp
+    | IIncDecLocalJumpI (which, i, t) ->
+        Array.unsafe_set ilocals i
+          (Array.unsafe_get ilocals i + incdec_delta which);
+        loop t sp isp fsp
+    | IFieldIdxFieldI (i, slots, m, j, op, k, s2, m2) ->
+        let o = as_obj (Array.get locals i) in
+        let av = o.fields.cells.(field_slot o slots m) in
+        let iv = ibinop_i op (Array.unsafe_get ilocals j) k in
+        let eo = as_obj (index_read av iv) in
+        ist.(isp) <- eo.ifields.(field_slot eo s2 m2);
+        loop (pc + 1) sp (isp + 1) fsp
+    | ITickLoadFieldCmpLocFalseI (j, slots, m, op, n, tk, t) ->
+        tick vm;
+        let o = as_obj (Array.get locals j) in
+        if
+          icmp op o.ifields.(field_slot o slots m) (Array.unsafe_get ilocals n)
+        then begin
+          if tk then tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else loop t sp isp fsp
+    | ILoadFieldBinopJumpFalseI (i, slots, m, op, tk, t) ->
+        let o = as_obj (Array.get locals i) in
+        if ibinop_i op ist.(isp - 1) o.ifields.(field_slot o slots m) <> 0
+        then begin
+          if tk then tick vm;
+          loop (pc + 1) sp (isp - 1) fsp
+        end
+        else loop t sp (isp - 1) fsp
+    | IJumpBCCmpFalseI (op1, k, op2, tk, t) ->
+        let rhs = ibinop_i op1 ist.(isp - 1) k in
+        if icmp op2 ist.(isp - 2) rhs then begin
+          if tk then tick vm;
+          loop (pc + 1) sp (isp - 2) fsp
+        end
+        else loop t sp (isp - 2) fsp
+    | IJumpLL2FBCCmpFalseI (i, j, slots, m, op1, k, op2, tk, t) ->
+        let o = as_obj (Array.get locals j) in
+        let rhs = ibinop_i op1 o.ifields.(field_slot o slots m) k in
+        if icmp op2 (Array.unsafe_get ilocals i) rhs then begin
+          if tk then tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else loop t sp isp fsp
+    | ILoadIndexI i ->
+        ost.(sp - 1) <- index_read ost.(sp - 1) (Array.unsafe_get ilocals i);
+        loop (pc + 1) sp isp fsp
+    | ILoadFieldIndexI (a, slots, m, i) ->
+        let o = as_obj (Array.get locals a) in
+        let av = o.fields.cells.(field_slot o slots m) in
+        ost.(sp) <- index_read av (Array.unsafe_get ilocals i);
+        loop (pc + 1) (sp + 1) isp fsp
+    | ITickLoadFieldIndexI (a, slots, m, i) ->
+        tick vm;
+        let o = as_obj (Array.get locals a) in
+        let av = o.fields.cells.(field_slot o slots m) in
+        ost.(sp) <- index_read av (Array.unsafe_get ilocals i);
+        loop (pc + 1) (sp + 1) isp fsp
+    | ITLFIndexIStoreT (a, slots, m, i, x, ty) ->
+        tick vm;
+        let o = as_obj (Array.get locals a) in
+        let av = o.fields.cells.(field_slot o slots m) in
+        Array.set locals x
+          (coerce ty (index_read av (Array.unsafe_get ilocals i)));
+        tick vm;
+        loop (pc + 1) sp isp fsp
+    | ILoadBinopI (op, i) ->
+        ist.(isp - 1) <- ibinop_i op ist.(isp - 1) (Array.unsafe_get ilocals i);
+        loop (pc + 1) sp isp fsp
+    | ILoadLoadFieldBinopI (x, y, slots, m, op) ->
+        let a = Array.unsafe_get ilocals x in
+        let o = as_obj (Array.get locals y) in
+        ist.(isp) <- ibinop_i op a o.ifields.(field_slot o slots m);
+        loop (pc + 1) sp (isp + 1) fsp
+    | ILoadFieldBCAndFalseI (j, slots, m, op, k, t) ->
+        let o = as_obj (Array.get locals j) in
+        if ibinop_i op o.ifields.(field_slot o slots m) k <> 0 then
+          loop (pc + 1) sp isp fsp
+        else begin
+          ist.(isp) <- 0;
+          loop t sp (isp + 1) fsp
+        end
+    | ILoadLocFieldI (a, slots, m) ->
+        let o = as_obj (Array.get locals a) in
+        ist.(isp) <- field_slot o slots m;
+        ost.(sp) <- VObj o;
+        loop (pc + 1) (sp + 1) (isp + 1) fsp
+    | ITickLocFieldI (a, slots, m) ->
+        tick vm;
+        let o = as_obj (Array.get locals a) in
+        ist.(isp) <- field_slot o slots m;
+        ost.(sp) <- VObj o;
+        loop (pc + 1) (sp + 1) (isp + 1) fsp
+    | IAssignFieldLIPop (ic, i) ->
+        let o = as_obj ost.(sp - 1) in
+        o.ifields.(ist.(isp - 1)) <- apply_ic ic (Array.unsafe_get ilocals i);
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IAssignFieldLFIPop (ic, j, slots, m) ->
+        let o2 = as_obj (Array.get locals j) in
+        let v = apply_ic ic o2.ifields.(field_slot o2 slots m) in
+        let o = as_obj ost.(sp - 1) in
+        o.ifields.(ist.(isp - 1)) <- v;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IFieldStoreLI (tk, ic, n, slots, m, i) ->
+        if tk then tick vm;
+        let o = as_obj (Array.get locals n) in
+        o.ifields.(field_slot o slots m) <-
+          apply_ic ic (Array.unsafe_get ilocals i);
+        loop (pc + 1) sp isp fsp
+    | IFieldCopyII (tk, ic, a, s1, m1, j, s2, m2) ->
+        if tk then tick vm;
+        let o1 = as_obj (Array.get locals a) in
+        let d = field_slot o1 s1 m1 in
+        let o2 = as_obj (Array.get locals j) in
+        o1.ifields.(d) <- apply_ic ic o2.ifields.(field_slot o2 s2 m2);
+        loop (pc + 1) sp isp fsp
+    | IThisLocFieldI (slots, m) ->
+        (match frame.this with
+        | Some o ->
+            ist.(isp) <- field_slot o slots m;
+            ost.(sp) <- VObj o
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) (sp + 1) (isp + 1) fsp
+    | IAssignFieldCIPop (ic, k) ->
+        let o = as_obj ost.(sp - 1) in
+        o.ifields.(ist.(isp - 1)) <- apply_ic ic k;
+        loop (pc + 1) (sp - 1) (isp - 1) fsp
+    | IInitFieldLI (slots, m, ic, i) ->
+        let o = this_obj frame in
+        o.ifields.(field_slot o slots m) <-
+          apply_ic ic (Array.unsafe_get ilocals i);
+        loop (pc + 1) sp isp fsp
+    | IInitFieldConstI (slots, m, ic, k) ->
+        let o = this_obj frame in
+        o.ifields.(field_slot o slots m) <- apply_ic ic k;
+        loop (pc + 1) sp isp fsp
+    | IInitFieldsI inits ->
+        let o = this_obj frame in
+        Array.iter
+          (fun f ->
+            match f with
+            | FInitL (slots, m, ic, i) ->
+                o.ifields.(field_slot o slots m) <-
+                  apply_ic ic (Array.unsafe_get ilocals i)
+            | FInitC (slots, m, ic, k) ->
+                o.ifields.(field_slot o slots m) <- apply_ic ic k)
+          inits;
+        loop (pc + 1) sp isp fsp
+    | IThisIdxFieldStoreI (tk, s1, m1, ix, s2, m2, ic, rhs) ->
+        if tk then tick vm;
+        (match frame.this with
+        | Some o ->
+            (* destination resolves fully before the rhs, matching the
+               unfused evaluation order (and its error order) *)
+            let av = o.fields.cells.(field_slot o s1 m1) in
+            let idx =
+              match ix with
+              | IxLocal i -> Array.unsafe_get ilocals i
+              | IxLocField (j, s, m) ->
+                  let oj = as_obj (Array.get locals j) in
+                  oj.ifields.(field_slot oj s m)
+            in
+            let o2 = as_obj (index_read av idx) in
+            let d = field_slot o2 s2 m2 in
+            let v =
+              match rhs with
+              | RConst k -> k
+              | RLocal i -> Array.unsafe_get ilocals i
+              | RThisIdxField (s4, m4, ix2, s6, m6, op, k) ->
+                  let av2 = o.fields.cells.(field_slot o s4 m4) in
+                  let idx2 =
+                    match ix2 with
+                    | IxLocal i -> Array.unsafe_get ilocals i
+                    | IxLocField (j, s, m) ->
+                        let oj = as_obj (Array.get locals j) in
+                        oj.ifields.(field_slot oj s m)
+                  in
+                  let o3 = as_obj (index_read av2 idx2) in
+                  ibinop_i op o3.ifields.(field_slot o3 s6 m6) k
+            in
+            o2.ifields.(d) <- apply_ic ic v
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) sp isp fsp
+    | ITLFIndexIStoreJumpFBCI ((a, s0, m0, i0, x0, ty0), (n, s, m, op, k), ta, t)
+      ->
+        tick vm;
+        let o = as_obj (Array.get locals a) in
+        let av = o.fields.cells.(field_slot o s0 m0) in
+        Array.set locals x0
+          (coerce ty0 (index_read av (Array.unsafe_get ilocals i0)));
+        tick vm;
+        let o2 = as_obj (Array.get locals n) in
+        if ibinop_i op o2.ifields.(field_slot o2 s m) k <> 0 then begin
+          if ta then tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else loop t sp isp fsp
+    | IRpnStoreI (dst, ops, ic) ->
+        (* destination resolves first, then the rpn leaves left to
+           right — the unfused statement's evaluation and error order.
+           The int stack above [isp] is free scratch: the collapsed run
+           was stack-neutral, so the recorded bound still covers it. *)
+        let o, d =
+          match dst with
+          | DTickLocField (a, s, m) ->
+              tick vm;
+              let o = as_obj (Array.get locals a) in
+              (o, field_slot o s m)
+          | DFieldIdx (a, s, m, i, s2, m2) ->
+              let oa = as_obj (Array.get locals a) in
+              let av = oa.fields.cells.(field_slot oa s m) in
+              let o = as_obj (index_read av (Array.unsafe_get ilocals i)) in
+              (o, field_slot o s2 m2)
+          | DTickFieldLocField (i, s, m, s2, m2) ->
+              tick vm;
+              let oi = as_obj (Array.get locals i) in
+              let o = as_obj oi.fields.cells.(field_slot oi s m) in
+              (o, field_slot o s2 m2)
+        in
+        let top =
+          Array.fold_left
+            (fun p r ->
+              match r with
+              | RpConst k ->
+                  ist.(p) <- k;
+                  p + 1
+              | RpLocal i ->
+                  ist.(p) <- Array.unsafe_get ilocals i;
+                  p + 1
+              | RpLoadField (j, s, m) ->
+                  let oj = as_obj (Array.get locals j) in
+                  ist.(p) <- oj.ifields.(field_slot oj s m);
+                  p + 1
+              | RpThisField (s, m) -> (
+                  match frame.this with
+                  | Some t ->
+                      ist.(p) <- t.ifields.(field_slot t s m);
+                      p + 1
+                  | None -> runtime_error "'this' outside a method")
+              | RpFieldIdxField (i, s, m, j, op, k, s2, m2) ->
+                  let oi = as_obj (Array.get locals i) in
+                  let av = oi.fields.cells.(field_slot oi s m) in
+                  let iv = ibinop_i op (Array.unsafe_get ilocals j) k in
+                  let eo = as_obj (index_read av iv) in
+                  ist.(p) <- eo.ifields.(field_slot eo s2 m2);
+                  p + 1
+              | RpFieldField (j, s, m, s2, m2) ->
+                  let oj = as_obj (Array.get locals j) in
+                  let eo = as_obj oj.fields.cells.(field_slot oj s m) in
+                  ist.(p) <- eo.ifields.(field_slot eo s2 m2);
+                  p + 1
+              | RpBinop op ->
+                  ist.(p - 2) <- ibinop_i op ist.(p - 2) ist.(p - 1);
+                  p - 1
+              | RpBinopConst (op, k) ->
+                  ist.(p - 1) <- ibinop_i op ist.(p - 1) k;
+                  p)
+            isp ops
+        in
+        o.ifields.(d) <- apply_ic ic ist.(top - 1);
+        loop (pc + 1) sp isp fsp
+    | IBinopConstCastStoreI (op, v, ty, i) ->
+        let r = binop op ost.(sp - 1) v in
+        let r = match r with VInt _ -> r | x -> vint (as_int x) in
+        Array.unsafe_set ilocals i (as_int (coerce ty r));
+        loop (pc + 1) (sp - 1) isp fsp
+    | ILoadIBn idxs ->
+        let k = Array.length idxs in
+        for j = 0 to k - 1 do
+          ost.(sp + j) <-
+            vint (Array.unsafe_get ilocals (Array.unsafe_get idxs j))
+        done;
+        loop (pc + 1) (sp + k) isp fsp
+    | ITickThisCallM (tk, f) ->
+        if tk then tick vm;
+        let o =
+          match frame.this with
+          | Some o -> o
+          | None -> runtime_error "'this' outside a method"
+        in
+        ost.(sp) <- call_function vm f ~this:(Some o) ost (sp + 1) 0;
+        loop (pc + 1) (sp + 1) isp fsp
+    | IThisCallMStoreI (tk, f, op, v, ty, i) ->
+        if tk then tick vm;
+        let o =
+          match frame.this with
+          | Some o -> o
+          | None -> runtime_error "'this' outside a method"
+        in
+        let r = binop op (call_function vm f ~this:(Some o) ost (sp + 1) 0) v in
+        let r = match r with VInt _ -> r | x -> vint (as_int x) in
+        Array.unsafe_set ilocals i (as_int (coerce ty r));
+        loop (pc + 1) sp isp fsp
+    | IIncDecJumpLocFCmpI (w, n, (x, y, slots, m, op, tk, texit), tb) ->
+        Array.unsafe_set ilocals n
+          (Array.unsafe_get ilocals n + incdec_delta w);
+        let o = as_obj (Array.get locals y) in
+        if icmp op (Array.unsafe_get ilocals x) o.ifields.(field_slot o slots m)
+        then begin
+          if tk then tick vm;
+          loop tb sp isp fsp
+        end
+        else loop texit sp isp fsp
+    | IIncDecJumpLL2FBCI (w, n, (x, y, slots, m, op1, k, op2, tk, texit), tb)
+      ->
+        Array.unsafe_set ilocals n
+          (Array.unsafe_get ilocals n + incdec_delta w);
+        let o = as_obj (Array.get locals y) in
+        let rhs = ibinop_i op1 o.ifields.(field_slot o slots m) k in
+        if icmp op2 (Array.unsafe_get ilocals x) rhs then begin
+          if tk then tick vm;
+          loop tb sp isp fsp
+        end
+        else loop texit sp isp fsp
+    | ITLFIStoreFieldCopyII ((a, s, m, i, x, ty), (ic, a2, s1, m1, j, s2, m2))
+      ->
+        tick vm;
+        let o = as_obj (Array.get locals a) in
+        let av = o.fields.cells.(field_slot o s m) in
+        Array.set locals x
+          (coerce ty (index_read av (Array.unsafe_get ilocals i)));
+        tick vm;
+        let o1 = as_obj (Array.get locals a2) in
+        let d = field_slot o1 s1 m1 in
+        let o2 = as_obj (Array.get locals j) in
+        o1.ifields.(d) <- apply_ic ic o2.ifields.(field_slot o2 s2 m2);
+        loop (pc + 1) sp isp fsp
+    | IThisFieldIdxFStoreI (lt, s, m, j, s2, m2, s3, m3, ic, i, tt) ->
+        if lt then tick vm;
+        let av =
+          match frame.this with
+          | Some o -> o.fields.cells.(field_slot o s m)
+          | None -> runtime_error "'this' outside a method"
+        in
+        let oj = as_obj (Array.get locals j) in
+        let idx = oj.ifields.(field_slot oj s2 m2) in
+        let eo = as_obj (index_read av idx) in
+        Array.unsafe_set ilocals i (apply_ic ic eo.ifields.(field_slot eo s3 m3));
+        if tt then tick vm;
+        loop (pc + 1) sp isp fsp
+    | IThisXAssignI (tn, sd, md, ss, ms, xf, ic) ->
+        for _ = 1 to tn do
+          tick vm
+        done;
+        (match frame.this with
+        | Some o ->
+            let d = field_slot o sd md in
+            let v = o.ifields.(field_slot o ss ms) in
+            let v =
+              match xf with
+              | XBc3 (o1, k1, o2, k2, o3, k3) ->
+                  ibinop_i o3 (ibinop_i o2 (ibinop_i o1 v k1) k2) k3
+              | XUn op -> (
+                  match op with
+                  | Ast.Neg -> -v
+                  | Ast.Not -> if v = 0 then 1 else 0
+                  | Ast.BitNot -> lnot v
+                  | Ast.UPlus -> v)
+            in
+            o.ifields.(d) <- apply_ic ic v
+        | None -> runtime_error "'this' outside a method");
+        loop (pc + 1) sp isp fsp
+    | IReturnThisFieldI (slots, m) -> (
+        tick vm;
+        match frame.this with
+        | Some o ->
+            let v = vint o.ifields.(field_slot o slots m) in
+            if b.b_scoped then ret_unwind vm locals scopes;
+            v
+        | None -> runtime_error "'this' outside a method")
+    | IBinopConst2I (o1, k1, o2, k2) ->
+        ist.(isp - 1) <- ibinop_i o2 (ibinop_i o1 ist.(isp - 1) k1) k2;
+        loop (pc + 1) sp isp fsp
+    | IBinopConst3I (o1, k1, o2, k2, o3, k3) ->
+        ist.(isp - 1) <-
+          ibinop_i o3 (ibinop_i o2 (ibinop_i o1 ist.(isp - 1) k1) k2) k3;
+        loop (pc + 1) sp isp fsp
+    | ILoadFieldBCBinopI (n, slots, m, op1, k, op2) ->
+        let o = as_obj (Array.get locals n) in
+        let rhs = ibinop_i op1 o.ifields.(field_slot o slots m) k in
+        ist.(isp - 1) <- ibinop_i op2 ist.(isp - 1) rhs;
+        loop (pc + 1) sp isp fsp
+    | ITickLoadBCI (n, op, k) ->
+        tick vm;
+        ist.(isp) <- ibinop_i op (Array.unsafe_get ilocals n) k;
+        loop (pc + 1) sp (isp + 1) fsp
+    | IJumpLocTFCmpFalseI (op, x, slots, m, tk, t) -> (
+        match frame.this with
+        | Some o ->
+            if icmp op (Array.unsafe_get ilocals x) o.ifields.(field_slot o slots m)
+            then begin
+              if tk then tick vm;
+              loop (pc + 1) sp isp fsp
+            end
+            else loop t sp isp fsp
+        | None -> runtime_error "'this' outside a method")
+    | IScanStepI (j, slots, m, op, n, a, s2, m2, bdst, ty, tback) ->
+        tick vm;
+        let o = as_obj (Array.get locals j) in
+        if
+          icmp op o.ifields.(field_slot o slots m) (Array.unsafe_get ilocals n)
+        then begin
+          tick vm;
+          loop (pc + 1) sp isp fsp
+        end
+        else begin
+          tick vm;
+          let o2 = as_obj (Array.get locals a) in
+          Array.set locals bdst
+            (coerce ty o2.fields.cells.(field_slot o2 s2 m2));
+          loop tback sp isp fsp
+        end
+    | ILoopScanI
+        (x, op0, k0, texit0, j, slots, m, op, n, a, s2, m2, bdst, ty) ->
+        let rec scan () =
+          if icmp op0 (Array.unsafe_get ilocals x) k0 then begin
+            tick vm;
+            tick vm;
+            let o = as_obj (Array.get locals j) in
+            if
+              icmp op
+                o.ifields.(field_slot o slots m)
+                (Array.unsafe_get ilocals n)
+            then begin
+              tick vm;
+              -1
+            end
+            else begin
+              tick vm;
+              let o2 = as_obj (Array.get locals a) in
+              Array.set locals bdst
+                (coerce ty o2.fields.cells.(field_slot o2 s2 m2));
+              (* same per-iteration profiling rule as [ILoopScan] *)
+              if profiling then
+                Array.unsafe_set prow pc (Array.unsafe_get prow pc + 1);
+              scan ()
+            end
+          end
+          else texit0
+        in
+        let t = scan () in
+        if t >= 0 then loop t sp isp fsp else loop (pc + 2) sp isp fsp
   in
-  if not b.b_scoped then loop start 0
+  if not b.b_scoped then loop start 0 0 0
   else
-    try loop start 0
+    try loop start 0 0 0
     with e ->
       let bt = Printexc.get_raw_backtrace () in
       let e = unwind_exn vm locals scopes e in
@@ -2469,7 +5115,8 @@ let execute (vm : vm) : value =
         vm.globals.cells.(i) <-
           (match cp.cp_ginit.(i) with
           | Some body ->
-              coerce g.rg_coerce (exec_code vm (mk_frame 0 None) body 0)
+              coerce g.rg_coerce
+                (exec_code vm (mk_frame ~ints:0 ~flts:0 0 None) body 0)
           | None -> default_value g.rg_default))
       rp.rp_globals;
     (try call_function vm rp.rp_main ~this:None empty_vals 0 0
@@ -2605,8 +5252,8 @@ let mnemonic (i : instr) : string =
   | IJumpIfFalseTPushScope _ -> "IJumpIfFalseTPushScope"
   | ILoadFieldBinopJumpFalse _ -> "ILoadFieldBinopJumpFalse"
   | ILoadFieldBinopJumpFalseT _ -> "ILoadFieldBinopJumpFalseT"
-  | IJumpBCCmpFalse _ -> "IJumpBCCmpFalse"
-  | IJumpBCCmpFalseT _ -> "IJumpBCCmpFalseT"
+  | IJumpBCCmpFalse (_, _, _, tk, _) ->
+      if tk then "IJumpBCCmpFalseT" else "IJumpBCCmpFalse"
   | IScanStep _ -> "IScanStep"
   | ILoopScan _ -> "ILoopScan"
   | IBinopLoadField _ -> "IBinopLoadField"
@@ -2621,6 +5268,242 @@ let mnemonic (i : instr) : string =
   | IJumpLocFCmpFalseT _ -> "IJumpLocFCmpFalseT"
   | IJumpLL2FBCCmpFalse _ -> "IJumpLL2FBCCmpFalse"
   | IJumpLL2FBCCmpFalseT _ -> "IJumpLL2FBCCmpFalseT"
+  (* typed (untagged) instructions *)
+  | IConstI _ -> "IConstI"
+  | IConstF _ -> "IConstF"
+  | ILoadI _ -> "ILoadI"
+  | ILoadF _ -> "ILoadF"
+  | IFieldI _ -> "IFieldI"
+  | IFieldF _ -> "IFieldF"
+  | IIndexI -> "IIndexI"
+  | IBoxI -> "IBoxI"
+  | IBoxF -> "IBoxF"
+  | IBoxIU -> "IBoxIU"
+  | IBoxFU -> "IBoxFU"
+  | IPopI -> "IPopI"
+  | IPopF -> "IPopF"
+  | ILoadIB _ -> "ILoadIB"
+  | ILoadFB _ -> "ILoadFB"
+  | ILoadFieldIB _ -> "ILoadFieldIB"
+  | ILoadFieldFB _ -> "ILoadFieldFB"
+  | ICastFI -> "ICastFI"
+  | ICastIF -> "ICastIF"
+  | IUnaryI _ -> "IUnaryI"
+  | INegF -> "INegF"
+  | INotF -> "INotF"
+  | IToBoolI -> "IToBoolI"
+  | IBinopII _ -> "IBinopII"
+  | IArithFF _ -> "IArithFF"
+  | ICmpFF _ -> "ICmpFF"
+  | IArithIF _ -> "IArithIF"
+  | IArithFI _ -> "IArithFI"
+  | ICmpIF _ -> "ICmpIF"
+  | ICmpFI _ -> "ICmpFI"
+  | IStoreLocalI _ -> "IStoreLocalI"
+  | IStoreLocalPopI _ -> "IStoreLocalPopI"
+  | IStoreLocalF _ -> "IStoreLocalF"
+  | IStoreLocalPopF _ -> "IStoreLocalPopF"
+  | IStoreLocalIB _ -> "IStoreLocalIB"
+  | IStoreLocalIBPop _ -> "IStoreLocalIBPop"
+  | IStoreLocalFB _ -> "IStoreLocalFB"
+  | IStoreLocalFBPop _ -> "IStoreLocalFBPop"
+  | IIncDecLocalI _ -> "IIncDecLocalI"
+  | IIncDecLocalPopI _ -> "IIncDecLocalPopI"
+  | IIncDecLocalF _ -> "IIncDecLocalF"
+  | IIncDecLocalPopF _ -> "IIncDecLocalPopF"
+  | ICompoundLocalI _ -> "ICompoundLocalI"
+  | ICompoundLocalIPop _ -> "ICompoundLocalIPop"
+  | ICompoundLocalF _ -> "ICompoundLocalF"
+  | ICompoundLocalFPop _ -> "ICompoundLocalFPop"
+  | ICompoundLocalB _ -> "ICompoundLocalB"
+  | ICompoundLocalBPop _ -> "ICompoundLocalBPop"
+  | ILocFieldI _ -> "ILocFieldI"
+  | ILocFieldF _ -> "ILocFieldF"
+  | IAssignFieldI _ -> "IAssignFieldI"
+  | IAssignFieldIPop _ -> "IAssignFieldIPop"
+  | IAssignFieldF -> "IAssignFieldF"
+  | IAssignFieldFPop -> "IAssignFieldFPop"
+  | IAssignFieldIB _ -> "IAssignFieldIB"
+  | IAssignFieldIBPop _ -> "IAssignFieldIBPop"
+  | IAssignFieldFB _ -> "IAssignFieldFB"
+  | IAssignFieldFBPop _ -> "IAssignFieldFBPop"
+  | ICompoundFieldI _ -> "ICompoundFieldI"
+  | ICompoundFieldIPop _ -> "ICompoundFieldIPop"
+  | ICompoundFieldF _ -> "ICompoundFieldF"
+  | ICompoundFieldFPop _ -> "ICompoundFieldFPop"
+  | ICompoundFieldB _ -> "ICompoundFieldB"
+  | ICompoundFieldBPop _ -> "ICompoundFieldBPop"
+  | IIncDecFieldI _ -> "IIncDecFieldI"
+  | IIncDecFieldIPop _ -> "IIncDecFieldIPop"
+  | IIncDecFieldF _ -> "IIncDecFieldF"
+  | IIncDecFieldFPop _ -> "IIncDecFieldFPop"
+  | IDeclScalarI _ -> "IDeclScalarI"
+  | IDeclScalarF _ -> "IDeclScalarF"
+  | IInitFieldScalarI _ -> "IInitFieldScalarI"
+  | IInitFieldScalarF _ -> "IInitFieldScalarF"
+  | IInitFieldScalarB _ -> "IInitFieldScalarB"
+  | IJumpIfFalseI (tk, _) -> if tk then "IJumpIfFalseTI" else "IJumpIfFalseI"
+  | IJumpIfTrueI _ -> "IJumpIfTrueI"
+  | IJumpIfFalseF (tk, _) -> if tk then "IJumpIfFalseTF" else "IJumpIfFalseF"
+  | IJumpIfTrueF _ -> "IJumpIfTrueF"
+  | IAndFalseI _ -> "IAndFalseI"
+  | IOrTrueI _ -> "IOrTrueI"
+  | IJumpCmpFalseI (_, tk, _) ->
+      if tk then "IJumpCmpFalseTI" else "IJumpCmpFalseI"
+  | IJumpCmpConstFalseI (_, _, tk, _) ->
+      if tk then "IJumpCmpConstFalseTI" else "IJumpCmpConstFalseI"
+  | IJumpLocCmpConstFalseI (_, _, _, tk, _) ->
+      if tk then "IJumpLocCmpConstFalseTI" else "IJumpLocCmpConstFalseI"
+  | IJumpLocCmpFalseI (_, _, tk, _) ->
+      if tk then "IJumpLocCmpFalseTI" else "IJumpLocCmpFalseI"
+  | IJumpLoc2CmpFalseI (_, _, _, tk, _) ->
+      if tk then "IJumpLoc2CmpFalseTI" else "IJumpLoc2CmpFalseI"
+  | IJumpLocFCmpFalseI (_, _, _, _, _, tk, _) ->
+      if tk then "IJumpLocFCmpFalseTI" else "IJumpLocFCmpFalseI"
+  | ITickLoadI _ -> "ITickLoadI"
+  | ILoadFieldI _ -> "ILoadFieldI"
+  | ILoadFieldF _ -> "ILoadFieldF"
+  | ITickLoadFieldI _ -> "ITickLoadFieldI"
+  | IThisFieldI _ -> "IThisFieldI"
+  | IThisFieldF _ -> "IThisFieldF"
+  | ITickThisFieldI _ -> "ITickThisFieldI"
+  | IIndexFieldI _ -> "IIndexFieldI"
+  | ILoadLoadFieldI _ -> "ILoadLoadFieldI"
+  | IBinopConstI _ -> "IBinopConstI"
+  | ILoadBinopConstI _ -> "ILoadBinopConstI"
+  | ILoadFieldBCI _ -> "ILoadFieldBCI"
+  | ILoadFieldLoadBCI _ -> "ILoadFieldLoadBCI"
+  | ILoadFieldBinopI _ -> "ILoadFieldBinopI"
+  | IBinopLoadFieldI _ -> "IBinopLoadFieldI"
+  | IThisFieldBinopI _ -> "IThisFieldBinopI"
+  | IBinopConstAndFalseI _ -> "IBinopConstAndFalseI"
+  | IStoreLocalPopTI _ -> "IStoreLocalPopTI"
+  | IStoreLocalPopJumpI _ -> "IStoreLocalPopJumpI"
+  | IIncDecLocalJumpI _ -> "IIncDecLocalJumpI"
+  | IFieldIdxFieldI _ -> "IFieldIdxFieldI"
+  | ITickLoadFieldCmpLocFalseI (_, _, _, _, _, tk, _) ->
+      if tk then "ITickLoadFieldCmpLocFalseTI" else "ITickLoadFieldCmpLocFalseI"
+  | ILoadFieldBinopJumpFalseI (_, _, _, _, tk, _) ->
+      if tk then "ILoadFieldBinopJumpFalseTI" else "ILoadFieldBinopJumpFalseI"
+  | IJumpBCCmpFalseI (_, _, _, tk, _) ->
+      if tk then "IJumpBCCmpFalseTI" else "IJumpBCCmpFalseI"
+  | IJumpLL2FBCCmpFalseI (_, _, _, _, _, _, _, tk, _) ->
+      if tk then "IJumpLL2FBCCmpFalseTI" else "IJumpLL2FBCCmpFalseI"
+  | IScanStepI _ -> "IScanStepI"
+  | ILoopScanI _ -> "ILoopScanI"
+  | ILoadIndexI _ -> "ILoadIndexI"
+  | ILoadFieldIndexI _ -> "ILoadFieldIndexI"
+  | ITickLoadFieldIndexI _ -> "ITickLoadFieldIndexI"
+  | ITLFIndexIStoreT _ -> "ITLFIndexIStoreT"
+  | ILoadBinopI _ -> "ILoadBinopI"
+  | ILoadLoadFieldBinopI _ -> "ILoadLoadFieldBinopI"
+  | ILoadFieldBCAndFalseI _ -> "ILoadFieldBCAndFalseI"
+  | ILoadLocFieldI _ -> "ILoadLocFieldI"
+  | ITickLocFieldI _ -> "ITickLocFieldI"
+  | IAssignFieldLIPop _ -> "IAssignFieldLIPop"
+  | IAssignFieldLFIPop _ -> "IAssignFieldLFIPop"
+  | IFieldStoreLI (tk, _, _, _, _, _) ->
+      if tk then "ITickFieldStoreLI" else "IFieldStoreLI"
+  | IFieldCopyII (tk, _, _, _, _, _, _, _) ->
+      if tk then "ITickFieldCopyII" else "IFieldCopyII"
+  | IThisLocFieldI _ -> "IThisLocFieldI"
+  | IAssignFieldCIPop _ -> "IAssignFieldCIPop"
+  | IInitFieldLI _ -> "IInitFieldLI"
+  | IInitFieldConstI _ -> "IInitFieldConstI"
+  | IBinopConst2I _ -> "IBinopConst2I"
+  | IBinopConst3I _ -> "IBinopConst3I"
+  | ILoadFieldBCBinopI _ -> "ILoadFieldBCBinopI"
+  | ITickLoadBCI _ -> "ITickLoadBCI"
+  | IJumpLocTFCmpFalseI (_, _, _, _, tk, _) ->
+      if tk then "IJumpLocTFCmpFalseTI" else "IJumpLocTFCmpFalseI"
+  | IJumpLocFieldBCFalseI (tp, _, _, _, _, _, ta, _) -> (
+      match (tp, ta) with
+      | false, false -> "IJumpLocFieldBCFalseI"
+      | false, true -> "IJumpLocFieldBCFalseTI"
+      | true, false -> "ITickJumpLocFieldBCFalseI"
+      | true, true -> "ITickJumpLocFieldBCFalseTI")
+  | IJumpThisFieldBCFalseI (tp, _, _, _, _, ta, _) -> (
+      match (tp, ta) with
+      | false, false -> "IJumpThisFieldBCFalseI"
+      | false, true -> "IJumpThisFieldBCFalseTI"
+      | true, false -> "ITickJumpThisFieldBCFalseI"
+      | true, true -> "ITickJumpThisFieldBCFalseTI")
+  | IThisXAssignI (tn, _, _, _, _, _, _) ->
+      if tn > 0 then "ITickThisXAssignI" else "IThisXAssignI"
+  | IReturnThisFieldI _ -> "IReturnThisFieldI"
+  | IInitFieldsI _ -> "IInitFieldsI"
+  | IThisIdxFieldStoreI (tk, _, _, _, _, _, _, _) ->
+      if tk then "ITickThisIdxFieldStoreI" else "IThisIdxFieldStoreI"
+  | ITLFIndexIStoreJumpFBCI (_, _, ta, _) ->
+      if ta then "ITLFIndexIStoreJumpFBCTI" else "ITLFIndexIStoreJumpFBCI"
+  | IRpnStoreI ((DTickLocField _ | DTickFieldLocField _), _, _) ->
+      "ITickRpnStoreI"
+  | IRpnStoreI _ -> "IRpnStoreI"
+  | IBinopConstCastStoreI _ -> "IBinopConstCastStoreI"
+  | ILoadIBn _ -> "ILoadIBn"
+  | ITLFIStoreFieldCopyII _ -> "ITLFIStoreFieldCopyII"
+  | IThisCallMStoreI (tk, _, _, _, _, _) ->
+      if tk then "ITickThisCallMStoreI" else "IThisCallMStoreI"
+  | IIncDecJumpLocFCmpI _ -> "IIncDecJumpLocFCmpI"
+  | IIncDecJumpLL2FBCI _ -> "IIncDecJumpLL2FBCI"
+  | ITickThisCallM (tk, _) -> if tk then "ITickThisCallM" else "IThisCallM"
+  | IThisFieldIdxFStoreI (lt, _, _, _, _, _, _, _, _, _, _) ->
+      if lt then "ITickThisFieldIdxFStoreI" else "IThisFieldIdxFStoreI"
+
+(* Typed (untagged) opcodes, for the profiler's typed-vs-generic
+   dispatch split. Bridge boxing instructions count as typed: they only
+   exist on classified paths. *)
+let is_typed (i : instr) : bool =
+  match i with
+  | IConstI _ | IConstF _ | ILoadI _ | ILoadF _ | IFieldI _ | IFieldF _
+  | IIndexI | IBoxI | IBoxF | IBoxIU | IBoxFU | IPopI | IPopF | ILoadIB _
+  | ILoadIBn _ | IThisFieldIdxFStoreI _ | ITLFIStoreFieldCopyII _
+  | IIncDecJumpLocFCmpI _ | IIncDecJumpLL2FBCI _
+  | ILoadFB _ | ILoadFieldIB _ | ILoadFieldFB _ | ICastFI | ICastIF
+  | IUnaryI _ | INegF | INotF | IToBoolI | IBinopII _ | IArithFF _
+  | ICmpFF _ | IArithIF _ | IArithFI _ | ICmpIF _ | ICmpFI _
+  | IStoreLocalI _ | IStoreLocalPopI _ | IStoreLocalF _ | IStoreLocalPopF _
+  | IStoreLocalIB _ | IStoreLocalIBPop _ | IStoreLocalFB _
+  | IStoreLocalFBPop _ | IIncDecLocalI _ | IIncDecLocalPopI _
+  | IIncDecLocalF _ | IIncDecLocalPopF _ | ICompoundLocalI _
+  | ICompoundLocalIPop _ | ICompoundLocalF _ | ICompoundLocalFPop _
+  | ICompoundLocalB _ | ICompoundLocalBPop _ | ILocFieldI _ | ILocFieldF _
+  | IAssignFieldI _ | IAssignFieldIPop _ | IAssignFieldF | IAssignFieldFPop
+  | IAssignFieldIB _ | IAssignFieldIBPop _ | IAssignFieldFB _
+  | IAssignFieldFBPop _ | ICompoundFieldI _ | ICompoundFieldIPop _
+  | ICompoundFieldF _ | ICompoundFieldFPop _ | ICompoundFieldB _
+  | ICompoundFieldBPop _ | IIncDecFieldI _ | IIncDecFieldIPop _
+  | IIncDecFieldF _ | IIncDecFieldFPop _ | IDeclScalarI _ | IDeclScalarF _
+  | IInitFieldScalarI _ | IInitFieldScalarF _ | IInitFieldScalarB _
+  | IJumpIfFalseI _ | IJumpIfTrueI _ | IJumpIfFalseF _
+  | IJumpIfTrueF _ | IAndFalseI _ | IOrTrueI _
+  | IJumpCmpFalseI _ | IJumpCmpConstFalseI _
+  | IJumpLocCmpConstFalseI _
+  | IJumpLocCmpFalseI _
+  | IJumpLoc2CmpFalseI _ | IJumpLocFCmpFalseI _
+  | ITickLoadI _ | ILoadFieldI _ | ILoadFieldF _
+  | ITickLoadFieldI _ | IThisFieldI _ | IThisFieldF _ | ITickThisFieldI _
+  | IIndexFieldI _ | ILoadLoadFieldI _ | IBinopConstI _ | ILoadBinopConstI _
+  | ILoadFieldBCI _ | ILoadFieldLoadBCI _ | ILoadFieldBinopI _
+  | IBinopLoadFieldI _ | IThisFieldBinopI _ | IBinopConstAndFalseI _
+  | IStoreLocalPopTI _ | IStoreLocalPopJumpI _ | IIncDecLocalJumpI _
+  | IFieldIdxFieldI _ | ITickLoadFieldCmpLocFalseI _
+  | ILoadFieldBinopJumpFalseI _
+  | IJumpBCCmpFalseI _
+  | IJumpLL2FBCCmpFalseI _ | IScanStepI _
+  | ILoopScanI _ | ILoadIndexI _ | ILoadFieldIndexI _ | ITickLoadFieldIndexI _
+  | ITLFIndexIStoreT _ | ILoadBinopI _ | ILoadLoadFieldBinopI _
+  | ILoadFieldBCAndFalseI _ | ILoadLocFieldI _ | ITickLocFieldI _
+  | IAssignFieldLIPop _ | IAssignFieldLFIPop _ | IFieldStoreLI _
+  | IFieldCopyII _
+  | IThisLocFieldI _ | IAssignFieldCIPop _ | IInitFieldLI _
+  | IInitFieldConstI _ | IBinopConst2I _ | IBinopConst3I _
+  | ILoadFieldBCBinopI _ | ITickLoadBCI _ | IJumpLocTFCmpFalseI _
+  | IJumpLocFieldBCFalseI _ | IJumpThisFieldBCFalseI _ | IThisXAssignI _
+  | IReturnThisFieldI _ | IInitFieldsI _ | IThisIdxFieldStoreI _
+  | ITLFIndexIStoreJumpFBCI _ | IRpnStoreI _ | IBinopConstCastStoreI _ ->
+      true
+  | _ -> false
 
 (* The branch target carried by an instruction, for back-branch (loop)
    detection — the same constructor enumeration [patch_to] maintains.
@@ -2643,13 +5526,37 @@ let branch_target (i : instr) : int option =
   | IJumpIfFalseTPushScope (t, _)
   | ILoadFieldBinopJumpFalse (_, _, _, _, t)
   | ILoadFieldBinopJumpFalseT (_, _, _, _, t)
-  | IJumpBCCmpFalse (_, _, _, t) | IJumpBCCmpFalseT (_, _, _, t)
+  | IJumpBCCmpFalse (_, _, _, _, t)
   | ILoadFieldBCAndFalse (_, _, _, _, _, t)
   | IJumpLocFCmpFalse (_, _, _, _, _, t)
   | IJumpLocFCmpFalseT (_, _, _, _, _, t)
   | IJumpLL2FBCCmpFalse (_, _, _, _, _, _, _, t)
   | IJumpLL2FBCCmpFalseT (_, _, _, _, _, _, _, t)
-  | IScanStep (_, _, _, _, _, _, _, _, _, _, t) ->
+  | IScanStep (_, _, _, _, _, _, _, _, _, _, t)
+  (* typed branch forms *)
+  | IJumpIfFalseI (_, t) | IJumpIfTrueI t
+  | IJumpIfFalseF (_, t) | IJumpIfTrueF t
+  | IAndFalseI t | IOrTrueI t
+  | IJumpCmpFalseI (_, _, t)
+  | IJumpCmpConstFalseI (_, _, _, t)
+  | IJumpLocCmpConstFalseI (_, _, _, _, t)
+  | IJumpLocCmpFalseI (_, _, _, t)
+  | IJumpLoc2CmpFalseI (_, _, _, _, t)
+  | IJumpLocFCmpFalseI (_, _, _, _, _, _, t)
+  | IBinopConstAndFalseI (_, _, t)
+  | ILoadFieldBCAndFalseI (_, _, _, _, _, t)
+  | IJumpLocTFCmpFalseI (_, _, _, _, _, t)
+  | IStoreLocalPopJumpI (_, _, t)
+  | IIncDecLocalJumpI (_, _, t)
+  | ITickLoadFieldCmpLocFalseI (_, _, _, _, _, _, t)
+  | ILoadFieldBinopJumpFalseI (_, _, _, _, _, t)
+  | IJumpBCCmpFalseI (_, _, _, _, t)
+  | IJumpLL2FBCCmpFalseI (_, _, _, _, _, _, _, _, t)
+  | IScanStepI (_, _, _, _, _, _, _, _, _, _, t)
+  | IJumpLocFieldBCFalseI (_, _, _, _, _, _, _, t)
+  | ITLFIndexIStoreJumpFBCI (_, _, _, t)
+  | IIncDecJumpLocFCmpI (_, _, _, t) | IIncDecJumpLL2FBCI (_, _, _, t)
+  | IJumpThisFieldBCFalseI (_, _, _, _, _, _, t) ->
       Some t
   | _ -> None
 
@@ -2657,13 +5564,14 @@ let branch_target (i : instr) : int option =
    whole-loop superinstruction. *)
 let is_loop_site (i : instr) ~pc =
   match i with
-  | ILoopScan _ -> true
+  | ILoopScan _ | ILoopScanI _ -> true
   | _ -> ( match branch_target i with Some t -> t <= pc | None -> false)
 
 let profile_report (cp : cprogram) (p : Vm_profile.t) ~steps :
     Vm_profile.report =
   let opcodes : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
   let total = ref 0 in
+  let typed = ref 0 in
   let funcs = ref [] in
   let sites = ref [] in
   Array.iteri
@@ -2676,6 +5584,7 @@ let profile_report (cp : cprogram) (p : Vm_profile.t) ~steps :
           if n > 0 then begin
             body_total := !body_total + n;
             let ins = body.b_code.(pc) in
+            if is_typed ins then typed := !typed + n;
             let m = mnemonic ins in
             (match Hashtbl.find_opt opcodes m with
             | Some r -> r := !r + n
@@ -2713,6 +5622,7 @@ let profile_report (cp : cprogram) (p : Vm_profile.t) ~steps :
   {
     Vm_profile.r_steps = steps;
     r_dispatches = !total;
+    r_typed = !typed;
     r_opcodes =
       Hashtbl.fold (fun m r acc -> (m, !r) :: acc) opcodes []
       |> List.sort (by_count_desc fst snd);
@@ -2730,3 +5640,28 @@ let profile_report (cp : cprogram) (p : Vm_profile.t) ~steps :
            (fun (s : Vm_profile.site_row) -> s.Vm_profile.sr_count))
         !sites;
   }
+
+(* Debug aid (surfaced via DEADMEM_DISASM in [Interp.run_bytecode]):
+   every compiled body as one [pc mnemonic [-> target]] line per
+   instruction. Operand detail is deliberately omitted — the mnemonic
+   stream with branch structure is what superinstruction work needs. *)
+let disassemble (cp : cprogram) : string =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun bid (body : cbody) ->
+      let owner, _ = cp.cp_owners.(bid) in
+      Buffer.add_string buf
+        (Printf.sprintf "== %s (body %d, omax %d imax %d fmax %d) ==\n" owner
+           bid body.b_omax body.b_imax body.b_fmax);
+      Array.iteri
+        (fun pc ins ->
+          let tgt =
+            match branch_target ins with
+            | Some t -> Printf.sprintf " -> %d" t
+            | None -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %4d  %s%s\n" pc (mnemonic ins) tgt))
+        body.b_code)
+    cp.cp_bodies;
+  Buffer.contents buf

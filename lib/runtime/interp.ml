@@ -49,6 +49,9 @@ type env = {
   heap_object_limit : int;
 }
 
+let frame_of_shape (sh : fshape) this =
+  mk_frame ~ints:sh.nint ~flts:sh.nflt sh.nbox this
+
 let fresh_obj_id env =
   let id = env.obj_counter in
   if id >= env.heap_object_limit then
@@ -85,6 +88,8 @@ let rec eval env frame (e : rexpr) : value =
   match e with
   | RConst v -> v
   | RLocal i -> frame.locals.cells.(i)
+  | RLocalI i -> vint frame.ilocals.(i)
+  | RLocalF i -> VFloat frame.flocals.(i)
   | RLocalRef i -> (
       (* reference locals and parameters transparently read their
          referent *)
@@ -132,6 +137,12 @@ let rec eval env frame (e : rexpr) : value =
   | RField (oe, slots, m) ->
       let o = as_obj (eval env frame oe) in
       o.fields.cells.(field_slot o slots m)
+  | RFieldI (oe, slots, m) ->
+      let o = as_obj (eval env frame oe) in
+      vint o.ifields.(field_slot o slots m)
+  | RFieldF (oe, slots, m) ->
+      let o = as_obj (eval env frame oe) in
+      VFloat o.ffields.(field_slot o slots m)
   | RCall c -> eval_call env frame c
   | RAddrOf lv -> (
       let loc = eval_lval env frame lv in
@@ -228,6 +239,8 @@ and eval_binary env frame op a b =
 and eval_lval env frame (lv : rlval) : location =
   match lv with
   | LvLocal i -> LSlot (frame.locals, i)
+  | LvLocalI i -> LInt (frame.ilocals, i)
+  | LvLocalF i -> LFloat (frame.flocals, i)
   | LvLocalRef i -> (
       (* a reference local aliases its referent *)
       match frame.locals.cells.(i) with
@@ -239,6 +252,12 @@ and eval_lval env frame (lv : rlval) : location =
   | LvField (oe, slots, m) ->
       let o = as_obj (eval env frame oe) in
       LSlot (o.fields, field_slot o slots m)
+  | LvFieldI (oe, slots, m) ->
+      let o = as_obj (eval env frame oe) in
+      LInt (o.ifields, field_slot o slots m)
+  | LvFieldF (oe, slots, m) ->
+      let o = as_obj (eval env frame oe) in
+      LFloat (o.ffields, field_slot o slots m)
   | LvDeref a -> (
       match eval env frame a with
       | VPtr (PCell r) -> LRef r
@@ -379,7 +398,7 @@ and call_function env fi ~this argv : value =
       let rf = env.funcs.(fi) in
       match rf.rf_code with
       | CBody body -> (
-          let frame = mk_frame rf.rf_frame this in
+          let frame = frame_of_shape rf.rf_frame this in
           bind_params frame rf argv;
           try
             exec_stmt env frame body;
@@ -418,9 +437,15 @@ and bind_params frame (rf : rfunc) argv =
     runtime_error "arity mismatch calling %s" (Func_id.to_string rf.rf_id);
   for i = 0 to n - 1 do
     let p = rf.rf_params.(i) in
-    frame.locals.cells.(p.rp_slot) <-
-      (if p.rp_ref then argv.(i) (* references carry locations *)
-       else coerce p.rp_coerce argv.(i))
+    if p.rp_ref then
+      (* references carry locations; always boxed *)
+      frame.locals.cells.(p.rp_slot) <- argv.(i)
+    else
+      match p.rp_bank with
+      | BBox -> frame.locals.cells.(p.rp_slot) <- coerce p.rp_coerce argv.(i)
+      | BInt -> frame.ilocals.(p.rp_slot) <- as_int (coerce p.rp_coerce argv.(i))
+      | BFlt ->
+          frame.flocals.(p.rp_slot) <- as_float (coerce p.rp_coerce argv.(i))
   done
 
 (* -- construction / destruction -------------------------------------------------- *)
@@ -450,7 +475,7 @@ and run_ctor_idx env (o : obj) fi argv ~most_derived =
 
 and run_ctor env (o : obj) (rf : rfunc) (plan : ctor_plan) argv ~most_derived =
   tick env;
-  let frame = mk_frame rf.rf_frame (Some o) in
+  let frame = frame_of_shape rf.rf_frame (Some o) in
   bind_params frame rf argv;
   (* 1. virtual bases are constructed by the most-derived object only,
      using this constructor's initializer when it names them *)
@@ -482,9 +507,17 @@ and run_ctor env (o : obj) (rf : rfunc) (plan : ctor_plan) argv ~most_derived =
           in
           o.fields.cells.(field_slot o fa_slots fa_member) <-
             VArr { arr_id = -1; cells }
-      | FPScalar { fs_slots; fs_member; fs_coerce; fs_init } ->
-          o.fields.cells.(field_slot o fs_slots fs_member) <-
-            coerce fs_coerce (eval env frame fs_init)
+      | FPScalar { fs_slots; fs_member; fs_bank; fs_coerce; fs_init } -> (
+          match fs_bank with
+          | BBox ->
+              o.fields.cells.(field_slot o fs_slots fs_member) <-
+                coerce fs_coerce (eval env frame fs_init)
+          | BInt ->
+              o.ifields.(field_slot o fs_slots fs_member) <-
+                as_int (coerce fs_coerce (eval env frame fs_init))
+          | BFlt ->
+              o.ffields.(field_slot o fs_slots fs_member) <-
+                as_float (coerce fs_coerce (eval env frame fs_init)))
       | FPBadInit -> runtime_error "bad scalar member initializer")
     plan.cp_fields;
   (* 4. the constructor body *)
@@ -505,8 +538,8 @@ and destroy_from env (o : obj) cid ~most_derived =
     let ci = env.classes.(cid) in
     let dp = ci.ci_destroy in
     (match dp.dp_dtor with
-    | Some (fsize, body) -> (
-        let frame = mk_frame fsize (Some o) in
+    | Some (fsh, body) -> (
+        let frame = frame_of_shape fsh (Some o) in
         try exec_stmt env frame body with Return_exc _ -> ())
     | None -> ());
     (* member subobjects, reverse declaration order *)
@@ -601,6 +634,8 @@ and exec_decl env frame (d : rdecl) =
   match d with
   | DScalar { d_slot; d_ty } ->
       frame.locals.cells.(d_slot) <- default_value d_ty
+  | DScalarI d_slot -> frame.ilocals.(d_slot) <- 0
+  | DScalarF d_slot -> frame.flocals.(d_slot) <- 0.0
   | DStackArrObj { d_slot; d_cid; d_cls; d_ctor; d_len } ->
       (* a stack array of class objects: default-construct every
          element; journalled as one allocation *)
@@ -614,6 +649,11 @@ and exec_decl env frame (d : rdecl) =
       frame.locals.cells.(d_slot) <- VArr { arr_id = id; cells }
   | DExpr { d_slot; d_coerce; d_init } ->
       frame.locals.cells.(d_slot) <- coerce d_coerce (eval env frame d_init)
+  | DExprI { d_slot; d_coerce; d_init } ->
+      frame.ilocals.(d_slot) <- as_int (coerce d_coerce (eval env frame d_init))
+  | DExprF { d_slot; d_coerce; d_init } ->
+      frame.flocals.(d_slot) <-
+        as_float (coerce d_coerce (eval env frame d_init))
   | DRefExpr { d_slot; d_init; d_lv } ->
       (* bind the reference to the initializer's location; the
          initializer is evaluated for its value first, as before *)
@@ -801,7 +841,7 @@ let run_tree ~dead ~step_limit ~call_depth_limit ~heap_object_limit ?cache_key
   (* totals and guard proximity are recorded even when a limit aborts
      the run — that is exactly when guard proximity matters *)
   Fun.protect ~finally:record_telemetry @@ fun () ->
-  let init_frame = mk_frame 0 None in
+  let init_frame = mk_frame ~ints:0 ~flts:0 0 None in
   let ret =
     (* native resource exhaustion (a Stack_overflow the depth guard did
        not preempt, or the allocator running dry) becomes a structured
@@ -854,6 +894,8 @@ let run_bytecode ~dead ~step_limit ~call_depth_limit ~heap_object_limit
     Bytecode.make_vm ~dead ?profiler ~step_limit ~call_depth_limit
       ~heap_object_limit cp
   in
+  if Sys.getenv_opt "DEADMEM_DISASM" <> None then
+    prerr_string (Bytecode.disassemble cp);
   let record_telemetry () =
     Telemetry.Counter.incr runs_counter;
     Telemetry.Counter.add steps_counter (Bytecode.steps vm);

@@ -31,11 +31,26 @@ open Value
    -1 when objects of that class have no such member. *)
 type slots_by_class = int array
 
-(* -- resolved IR ------------------------------------------------------------- *)
+(* Which representation bank a local slot or data member lives in.
+   Integral slots (int/long/char/bool) whose address is never taken go
+   in an unboxed [int array]; floating slots likewise in a [float
+   array]; everything else — objects, arrays, pointers, references,
+   address-taken scalars, member-pointer-reachable members — stays in
+   the boxed [value array]. *)
+type bank = BBox | BInt | BFlt
+
+(* -- resolved IR -------------------------------------------------------------
+
+   Slot references come in per-bank constructor variants ([RLocal] /
+   [RLocalI] / [RLocalF], [RField] / [RFieldI] / [RFieldF], …), assigned
+   by the retyping pass at the end of [program]; the integer payload is
+   the slot's index *within its bank*. *)
 
 type rexpr =
   | RConst of value
   | RLocal of int
+  | RLocalI of int  (* unboxed integral local *)
+  | RLocalF of int  (* unboxed floating local *)
   | RLocalRef of int  (* reference-typed local: reads its referent *)
   | RGlobal of int
   | RStatic of int
@@ -49,6 +64,8 @@ type rexpr =
   | RCastInt of rexpr
   | RCastFloat of rexpr
   | RField of rexpr * slots_by_class * Member.t
+  | RFieldI of rexpr * slots_by_class * Member.t  (* unboxed integral member *)
+  | RFieldF of rexpr * slots_by_class * Member.t  (* unboxed floating member *)
   | RCall of rcall
   | RAddrOf of rlval
   | RDeref of rexpr
@@ -67,10 +84,14 @@ type rexpr =
 
 and rlval =
   | LvLocal of int
+  | LvLocalI of int  (* unboxed integral local *)
+  | LvLocalF of int  (* unboxed floating local *)
   | LvLocalRef of int  (* reference-typed local: location of its referent *)
   | LvGlobal of int
   | LvStatic of int
   | LvField of rexpr * slots_by_class * Member.t
+  | LvFieldI of rexpr * slots_by_class * Member.t  (* unboxed integral member *)
+  | LvFieldF of rexpr * slots_by_class * Member.t  (* unboxed floating member *)
   | LvDeref of rexpr
   | LvIndex of rexpr * rexpr
   | LvMemPtrDeref of rexpr * rexpr
@@ -103,6 +124,8 @@ and rcall =
 
 type rdecl =
   | DScalar of { d_slot : int; d_ty : Ast.type_expr }
+  | DScalarI of int  (* unboxed integral local: zero-initialised *)
+  | DScalarF of int  (* unboxed floating local: zero-initialised *)
   | DStackArrObj of {
       d_slot : int;
       d_cid : int;
@@ -111,6 +134,8 @@ type rdecl =
       d_len : int;
     }
   | DExpr of { d_slot : int; d_coerce : Ast.type_expr; d_init : rexpr }
+  | DExprI of { d_slot : int; d_coerce : Ast.type_expr; d_init : rexpr }
+  | DExprF of { d_slot : int; d_coerce : Ast.type_expr; d_init : rexpr }
   (* reference decl: the old interpreter evaluated the initializer for
      its value first, then again as an lvalue — both are kept *)
   | DRefExpr of { d_slot : int; d_init : rexpr; d_lv : rlval }
@@ -145,7 +170,17 @@ type rstmt =
   | RSDelete of rexpr
   | RSEmpty
 
-type rparam = { rp_slot : int; rp_ref : bool; rp_coerce : Ast.type_expr }
+type rparam = {
+  rp_slot : int;  (* index within the param's bank after retyping *)
+  rp_bank : bank;
+  rp_ref : bool;
+  rp_coerce : Ast.type_expr;
+}
+
+(* Per-bank frame sizes of one body. *)
+type fshape = { nbox : int; nint : int; nflt : int }
+
+let zero_shape = { nbox = 0; nint = 0; nflt = 0 }
 
 (* Constructor execution plan: everything [run_ctor] needs, precomputed.
    Member slots still go through [slots_by_class] because the same
@@ -179,6 +214,7 @@ and field_plan =
   | FPScalar of {
       fs_slots : slots_by_class;
       fs_member : Member.t;
+      fs_bank : bank;  (* which object bank the member lives in *)
       fs_coerce : Ast.type_expr;
       fs_init : rexpr;
     }
@@ -194,7 +230,7 @@ type rcode =
 
 type rfunc = {
   rf_id : Func_id.t;
-  rf_frame : int;  (* flat frame size: params + every local declaration *)
+  rf_frame : fshape;  (* per-bank frame sizes: params + every local declaration *)
   rf_params : rparam array;
   rf_code : rcode;
 }
@@ -203,7 +239,7 @@ type rfunc = {
    old [destroy_from] re-derived all of this from the class table on
    every destruction). *)
 type destroy_plan = {
-  dp_dtor : (int * rstmt) option;  (* dtor body: frame size, body *)
+  dp_dtor : (fshape * rstmt) option;  (* dtor body: frame shape, body *)
   dp_fields : dfield array;        (* reverse declaration order *)
   dp_nv_bases : int array;         (* direct non-virtual base cids, reversed *)
 }
@@ -215,11 +251,18 @@ and dfield =
 type class_info = {
   ci_name : string;
   ci_id : int;
+  (* boxed-bank slot of every *boxed* member, for member-pointer
+     dereference; unboxed members cannot be reached through a member
+     pointer (naming one in a member-pointer constant demotes it to the
+     boxed bank). *)
   ci_slot : (Member.t, int) Hashtbl.t;
-  (* default member values, copied per object. Slots whose default is
-     mutable (arrays) hold VUnit in the template and are rebuilt fresh
-     per object from [ci_fresh]. *)
+  (* default member values of the boxed bank, copied per object. Slots
+     whose default is mutable (arrays) hold VUnit in the template and are
+     rebuilt fresh per object from [ci_fresh]. The unboxed banks need no
+     template: integral/floating members always default to 0 / 0.0. *)
   ci_template : value array;
+  ci_nints : int;  (* unboxed integral bank size *)
+  ci_nflts : int;  (* unboxed floating bank size *)
   ci_fresh : (int * Ast.type_expr) array;
   ci_vbases : int array;      (* virtual base cids, construction order *)
   ci_vbases_rev : int array;  (* and reversed, for destruction *)
@@ -624,8 +667,16 @@ let rparams f (params : (string * Ast.type_expr) list) : rparam array =
        (fun (name, ty) ->
          let slot = alloc_local f name in
          match ty with
-         | Ast.TRef _ -> { rp_slot = slot; rp_ref = true; rp_coerce = ty }
-         | _ -> { rp_slot = slot; rp_ref = false; rp_coerce = Ctype.decay ty })
+         (* rp_bank is provisional: the retyping pass reassigns it *)
+         | Ast.TRef _ ->
+             { rp_slot = slot; rp_bank = BBox; rp_ref = true; rp_coerce = ty }
+         | _ ->
+             {
+               rp_slot = slot;
+               rp_bank = BBox;
+               rp_ref = false;
+               rp_coerce = Ctype.decay ty;
+             })
        params)
 
 let ctor_plan ctx f (fn : tfunc) cls : ctor_plan =
@@ -718,6 +769,7 @@ let ctor_plan ctx f (fn : tfunc) cls : ctor_plan =
                               {
                                 fs_slots = member_slots ctx m;
                                 fs_member = m;
+                                fs_bank = BBox;  (* reassigned by retyping *)
                                 fs_coerce = Ctype.decay ty;
                                 fs_init = rexpr ctx f a;
                               })
@@ -741,7 +793,12 @@ let resolve_func ctx (fn : tfunc) : rfunc =
         | None -> CUndefined)
   in
   Telemetry.Counter.incr funcs_counter;
-  { rf_id = fn.tf_id; rf_frame = f.nslots; rf_params = params; rf_code = code }
+  {
+    rf_id = fn.tf_id;
+    rf_frame = { nbox = f.nslots; nint = 0; nflt = 0 };  (* split by retyping *)
+    rf_params = params;
+    rf_code = code;
+  }
 
 (* -- classes --------------------------------------------------------------------- *)
 
@@ -787,6 +844,8 @@ let build_class table class_id (name : string) (id : int) : class_info =
     ci_id = id;
     ci_slot = slot_tbl;
     ci_template = Array.of_list (List.rev !defaults);
+    ci_nints = 0;  (* banks split by the retyping pass *)
+    ci_nflts = 0;
     ci_fresh = Array.of_list (List.rev !fresh);
     ci_vbases = Array.of_list vbases;
     ci_vbases_rev = Array.of_list (List.rev vbases);
@@ -800,7 +859,7 @@ let destroy_plan ctx (c : Class_table.cls) : destroy_plan =
         let f = new_fctx () in
         push_scope f;
         let rbody = rstmt ctx f body in
-        Some (f.nslots, rbody)
+        Some ({ nbox = f.nslots; nint = 0; nflt = 0 }, rbody)
     | Some _ | None -> None
   in
   let dp_fields =
@@ -825,6 +884,544 @@ let destroy_plan ctx (c : Class_table.cls) : destroy_plan =
          (List.rev c.c_bases))
   in
   { dp_dtor; dp_fields; dp_nv_bases }
+
+(* -- retyping: bank classification and slot splitting --------------------------
+
+   Runs once everything is resolved, when every escape site is visible.
+   Phase A scans the whole program: each local slot's declared bank
+   (from its declaration or parameter type) and each data member's bank
+   (from its declared type), demoting to the boxed bank every slot whose
+   location can escape — address-taken ([RAddrOf]), bound to a scalar
+   reference parameter ([ARefScalar]) or a reference local ([DRefExpr]),
+   or, for members, named in a member-pointer constant. Phase B rewrites
+   the IR: slot references become per-bank constructor variants carrying
+   bank-local indices, destroy lists shrink to their owning boxed slots
+   (unboxed slots can never hold objects, and a boxed pointer/reference/
+   scalar slot is a guaranteed no-op for [destroy_slots], so scanning
+   either was always wasted work — scopes with no owning slot compile
+   away entirely),
+   per-class layouts are rebuilt with per-bank numbering, and the
+   memoized [slots_by_class] arrays are remapped *in place* so every
+   access site and destroy plan sees the new numbering without being
+   rebuilt. The pass changes only addressing: evaluation order, tick
+   points, construction/destruction order and error messages are
+   untouched. *)
+
+(* DEADMEM_BOXED=1 pins every slot to the boxed bank, turning the
+   bytecode engine into its pure generic (tagged) form. Diagnostic
+   knob: the differential suite uses it to pit typed emission against
+   the generic opcodes it replaces, and it isolates representation
+   effects when profiling. Read per call so tests can flip it between
+   compiles; it only runs at resolve time. *)
+let force_boxed () =
+  match Sys.getenv_opt "DEADMEM_BOXED" with
+  | Some ("1" | "true") -> true
+  | _ -> false
+
+let bank_of_type (ty : Ast.type_expr) : bank =
+  if force_boxed () then BBox
+  else
+    match ty with
+    | Ast.TRef _ -> BBox
+    | _ when Ctype.is_integral ty -> BInt
+    | _ when Ctype.is_floating ty -> BFlt
+    | _ -> BBox
+
+let unboxed_int_counter = Telemetry.Counter.make "runtime.slots.unboxed_int"
+let unboxed_float_counter = Telemetry.Counter.make "runtime.slots.unboxed_float"
+let boxed_fallback_counter = Telemetry.Counter.make "runtime.slots.boxed_fallback"
+
+let count_bank = function
+  | BInt -> Telemetry.Counter.incr unboxed_int_counter
+  | BFlt -> Telemetry.Counter.incr unboxed_float_counter
+  | BBox -> Telemetry.Counter.incr boxed_fallback_counter
+
+(* A full structural walk of one code unit, firing [on_decl] at
+   declaration sites and [on_escape_local] / [demote_member] wherever a
+   slot's location is exposed. *)
+type scanner = {
+  sc_stmt : rstmt -> unit;
+  sc_expr : rexpr -> unit;
+  sc_args : arg_mode array -> unit;
+}
+
+let make_scanner ~(demote_member : Member.t -> unit) ~(on_decl : rdecl -> unit)
+    ~(on_escape_local : int -> unit) : scanner =
+  let demote_lv = function
+    | LvLocal i -> on_escape_local i
+    | LvField (_, _, m) -> demote_member m
+    | _ -> ()
+    (* LvLocalRef/LvDeref/LvIndex/LvGlobal/LvStatic/LvMemPtrDeref reach
+       storage that is already boxed (referents are demoted where the
+       reference is bound; member-pointer targets where the constant is
+       formed) *)
+  in
+  let rec expr = function
+    | RConst (VMemPtr m) -> demote_member m
+    | RConst _ | RLocal _ | RLocalI _ | RLocalF _ | RLocalRef _ | RGlobal _
+    | RStatic _ | RThis | RInvalid _ | RNewScalar _ ->
+        ()
+    | RUnary (_, e)
+    | RCastInt e
+    | RCastFloat e
+    | RDeref e
+    | RField (e, _, _)
+    | RFieldI (e, _, _)
+    | RFieldF (e, _, _) ->
+        expr e
+    | RBinary (_, a, b) | RIndex (a, b) | RMemPtrDeref (a, b) ->
+        expr a;
+        expr b
+    | RAssign (lv, e, _) | RCompound (_, lv, e, _) ->
+        lval lv;
+        expr e
+    | RIncDec (_, _, lv) -> lval lv
+    | RCond (a, b, c) ->
+        expr a;
+        expr b;
+        expr c
+    | RAddrOf lv ->
+        demote_lv lv;
+        lval lv
+    | RCall c -> call c
+    | RNewObj { no_args; _ } -> args no_args
+    | RNewArrObj { na_len; _ } -> expr na_len
+    | RNewArrScalar { nas_len; _ } -> expr nas_len
+  and lval = function
+    | LvLocal _ | LvLocalI _ | LvLocalF _ | LvLocalRef _ | LvGlobal _
+    | LvStatic _ | LvInvalid _ ->
+        ()
+    | LvField (e, _, _) | LvFieldI (e, _, _) | LvFieldF (e, _, _) | LvDeref e ->
+        expr e
+    | LvIndex (a, b) | LvMemPtrDeref (a, b) ->
+        expr a;
+        expr b
+  and args a = Array.iter arg a
+  and arg = function
+    | AVal e -> expr e
+    | ARefScalar lv ->
+        demote_lv lv;
+        lval lv
+    | ARefObj e -> expr e
+  and call = function
+    | RBuiltin (_, es) -> Array.iter expr es
+    | RCallFunc { cf_args; _ } -> args cf_args
+    | RCallMethod { cm_recv; cm_args; _ } ->
+        expr cm_recv;
+        args cm_args
+    | RCallVirtual { cv_recv; cv_args; _ } ->
+        expr cv_recv;
+        args cv_args
+    | RCallFunPtr { fp_fn; fp_args } ->
+        expr fp_fn;
+        args fp_args
+  and decl d =
+    on_decl d;
+    match d with
+    | DScalar _ | DScalarI _ | DScalarF _ | DStackArrObj _ | DFail _ -> ()
+    | DExpr { d_init; _ } | DExprI { d_init; _ } | DExprF { d_init; _ } ->
+        expr d_init
+    | DRefExpr { d_init; d_lv; _ } ->
+        demote_lv d_lv;
+        expr d_init;
+        lval d_lv
+    | DCtor { d_args; _ } -> args d_args
+  and stmt = function
+    | RSExpr e -> expr e
+    | RSDecl ds -> List.iter decl ds
+    | RSBlock (ss, _) -> Array.iter stmt ss
+    | RSIf (c, t, f) ->
+        expr c;
+        stmt t;
+        Option.iter stmt f
+    | RSWhile (c, b) ->
+        expr c;
+        stmt b
+    | RSDoWhile (b, c) ->
+        stmt b;
+        expr c
+    | RSFor { rf_init; rf_cond; rf_step; rf_body; _ } ->
+        Option.iter stmt rf_init;
+        Option.iter expr rf_cond;
+        Option.iter expr rf_step;
+        stmt rf_body
+    | RSReturn e -> Option.iter expr e
+    | RSDelete e -> expr e
+    | RSBreak | RSContinue | RSEmpty -> ()
+  in
+  { sc_stmt = stmt; sc_expr = expr; sc_args = args }
+
+(* The structural rewrite of one code unit: local slots through the
+   final bank/index maps, members through the global bank table. *)
+type rewriter = {
+  rw_stmt : rstmt -> rstmt;
+  rw_expr : rexpr -> rexpr;
+  rw_args : arg_mode array -> arg_mode array;
+}
+
+let make_rewriter ~(lb : bank array) ~(lx : int array) ~(owns : bool array)
+    ~(mb : Member.t -> bank) : rewriter =
+  let rec expr = function
+    | RConst _ as e -> e
+    | RLocal i -> (
+        match lb.(i) with
+        | BBox -> RLocal lx.(i)
+        | BInt -> RLocalI lx.(i)
+        | BFlt -> RLocalF lx.(i))
+    | RLocalRef i -> RLocalRef lx.(i)
+    | (RGlobal _ | RStatic _ | RThis | RInvalid _ | RNewScalar _) as e -> e
+    | RUnary (op, e) -> RUnary (op, expr e)
+    | RBinary (op, a, b) -> RBinary (op, expr a, expr b)
+    | RAssign (lv, e, ty) -> RAssign (lval lv, expr e, ty)
+    | RCompound (op, lv, e, ty) -> RCompound (op, lval lv, expr e, ty)
+    | RIncDec (k, fx, lv) -> RIncDec (k, fx, lval lv)
+    | RCond (a, b, c) -> RCond (expr a, expr b, expr c)
+    | RCastInt e -> RCastInt (expr e)
+    | RCastFloat e -> RCastFloat (expr e)
+    | RField (e, slots, m) -> (
+        let e = expr e in
+        match mb m with
+        | BBox -> RField (e, slots, m)
+        | BInt -> RFieldI (e, slots, m)
+        | BFlt -> RFieldF (e, slots, m))
+    | RCall c -> RCall (call c)
+    | RAddrOf lv -> RAddrOf (lval lv)
+    | RDeref e -> RDeref (expr e)
+    | RIndex (a, b) -> RIndex (expr a, expr b)
+    | RMemPtrDeref (a, b) -> RMemPtrDeref (expr a, expr b)
+    | RNewObj r -> RNewObj { r with no_args = args r.no_args }
+    | RNewArrObj r -> RNewArrObj { r with na_len = expr r.na_len }
+    | RNewArrScalar r -> RNewArrScalar { r with nas_len = expr r.nas_len }
+    | RLocalI _ | RLocalF _ | RFieldI _ | RFieldF _ ->
+        assert false (* introduced only by this pass *)
+  and lval = function
+    | LvLocal i -> (
+        match lb.(i) with
+        | BBox -> LvLocal lx.(i)
+        | BInt -> LvLocalI lx.(i)
+        | BFlt -> LvLocalF lx.(i))
+    | LvLocalRef i -> LvLocalRef lx.(i)
+    | (LvGlobal _ | LvStatic _ | LvInvalid _) as lv -> lv
+    | LvField (e, slots, m) -> (
+        let e = expr e in
+        match mb m with
+        | BBox -> LvField (e, slots, m)
+        | BInt -> LvFieldI (e, slots, m)
+        | BFlt -> LvFieldF (e, slots, m))
+    | LvDeref e -> LvDeref (expr e)
+    | LvIndex (a, b) -> LvIndex (expr a, expr b)
+    | LvMemPtrDeref (a, b) -> LvMemPtrDeref (expr a, expr b)
+    | LvLocalI _ | LvLocalF _ | LvFieldI _ | LvFieldF _ -> assert false
+  and args a = Array.map arg a
+  and arg = function
+    | AVal e -> AVal (expr e)
+    | ARefScalar lv -> ARefScalar (lval lv)
+    | ARefObj e -> ARefObj (expr e)
+  and call = function
+    | RBuiltin (b, es) -> RBuiltin (b, Array.map expr es)
+    | RCallFunc r -> RCallFunc { r with cf_args = args r.cf_args }
+    | RCallMethod r ->
+        RCallMethod { r with cm_recv = expr r.cm_recv; cm_args = args r.cm_args }
+    | RCallVirtual r ->
+        RCallVirtual { r with cv_recv = expr r.cv_recv; cv_args = args r.cv_args }
+    | RCallFunPtr r ->
+        RCallFunPtr { fp_fn = expr r.fp_fn; fp_args = args r.fp_args }
+  and decl = function
+    | DScalar { d_slot; d_ty } -> (
+        match lb.(d_slot) with
+        | BBox -> DScalar { d_slot = lx.(d_slot); d_ty }
+        | BInt -> DScalarI lx.(d_slot)
+        | BFlt -> DScalarF lx.(d_slot))
+    | DExpr { d_slot; d_coerce; d_init } -> (
+        let d_init = expr d_init in
+        match lb.(d_slot) with
+        | BBox -> DExpr { d_slot = lx.(d_slot); d_coerce; d_init }
+        | BInt -> DExprI { d_slot = lx.(d_slot); d_coerce; d_init }
+        | BFlt -> DExprF { d_slot = lx.(d_slot); d_coerce; d_init })
+    | DStackArrObj r -> DStackArrObj { r with d_slot = lx.(r.d_slot) }
+    | DRefExpr r ->
+        DRefExpr
+          { d_slot = lx.(r.d_slot); d_init = expr r.d_init; d_lv = lval r.d_lv }
+    | DCtor r -> DCtor { r with d_slot = lx.(r.d_slot); d_args = args r.d_args }
+    | DFail _ as d -> d
+    | DScalarI _ | DScalarF _ | DExprI _ | DExprF _ -> assert false
+  and destroy a =
+    (* owning boxed survivors only, remapped; reverse-declaration order
+       kept. A slot that can never hold a [VObj] or a journalled [VArr]
+       is a guaranteed no-op for [destroy_slots], so dropping it here
+       lets scopes of pointer/scalar declarations compile away
+       entirely. *)
+    Array.of_list
+      (List.filter_map
+         (fun s -> if lb.(s) = BBox && owns.(s) then Some lx.(s) else None)
+         (Array.to_list a))
+  and stmt = function
+    | RSExpr e -> RSExpr (expr e)
+    | RSDecl ds -> RSDecl (List.map decl ds)
+    | RSBlock (ss, d) -> RSBlock (Array.map stmt ss, destroy d)
+    | RSIf (c, t, f) -> RSIf (expr c, stmt t, Option.map stmt f)
+    | RSWhile (c, b) -> RSWhile (expr c, stmt b)
+    | RSDoWhile (b, c) -> RSDoWhile (stmt b, expr c)
+    | RSFor r ->
+        RSFor
+          {
+            rf_init = Option.map stmt r.rf_init;
+            rf_cond = Option.map expr r.rf_cond;
+            rf_step = Option.map expr r.rf_step;
+            rf_body = stmt r.rf_body;
+            rf_destroy = destroy r.rf_destroy;
+          }
+    | RSReturn e -> RSReturn (Option.map expr e)
+    | RSDelete e -> RSDelete (expr e)
+    | (RSBreak | RSContinue | RSEmpty) as s -> s
+  in
+  { rw_stmt = stmt; rw_expr = expr; rw_args = args }
+
+let retype_program ~(table : Class_table.t) ~(classes : class_info array)
+    ~(member_slots_memo : (Member.t, slots_by_class) Hashtbl.t)
+    ~(rp_funcs : rfunc array) ~(rp_globals : rglobal array) : unit =
+  (* provisional member banks, by declared type *)
+  let mbank : (Member.t, bank) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Class_table.cls) ->
+      List.iter
+        (fun (f : Class_table.field) ->
+          if not f.f_static then
+            Hashtbl.replace mbank (f.f_class, f.f_name) (bank_of_type f.f_type))
+        c.c_fields)
+    (Class_table.all_classes table);
+  let demote_member m =
+    if Hashtbl.mem mbank m then Hashtbl.replace mbank m BBox
+  in
+  let mb m = match Hashtbl.find_opt mbank m with Some b -> b | None -> BBox in
+  (* -- phase A: declared banks + escapes, per code unit ---------------------- *)
+  let decl_banks banks = function
+    | DScalar { d_slot; d_ty } -> banks.(d_slot) <- bank_of_type d_ty
+    | DExpr { d_slot; d_coerce; _ } -> banks.(d_slot) <- bank_of_type d_coerce
+    | DStackArrObj { d_slot; _ } -> banks.(d_slot) <- BBox
+    | DRefExpr { d_slot; _ } -> banks.(d_slot) <- BBox
+    | DCtor { d_slot; _ } -> banks.(d_slot) <- BBox
+    | DFail _ -> ()
+    | DScalarI _ | DScalarF _ | DExprI _ | DExprF _ -> assert false
+  in
+  (* Slots a scope exit can actually destroy: only a by-value object or
+     a constructed stack array ever puts a [VObj] / journalled [VArr]
+     in a local slot — [coerce] turns pointers into [VPtr], references
+     bind as [ptr_of_loc] results, and scalar-array defaults carry
+     [arr_id = -1]. Everything else is invisible to [destroy_slots]. *)
+  let decl_owns owns = function
+    | DCtor { d_slot; _ } | DStackArrObj { d_slot; _ } ->
+        owns.(d_slot) <- true
+    | DScalar { d_slot; d_ty = Ast.TNamed _ | Ast.TArr _ }
+    | DExpr { d_slot; d_coerce = Ast.TNamed _ | Ast.TArr _; _ } ->
+        owns.(d_slot) <- true
+    | _ -> ()
+  in
+  let scan_ctor_plan sc (p : ctor_plan) =
+    let base (bp : base_plan) = sc.sc_args bp.bp_args in
+    Array.iter base p.cp_vbases;
+    Array.iter base p.cp_bases;
+    Array.iter
+      (function
+        | FPClass { fc_args; _ } -> sc.sc_args fc_args
+        | FPScalar { fs_init; _ } -> sc.sc_expr fs_init
+        | FPClassArr _ | FPBadInit -> ())
+      p.cp_fields;
+    Option.iter sc.sc_stmt p.cp_body
+  in
+  let unit_banks frame (params : rparam array) scan_body =
+    let banks = Array.make frame.nbox BBox in
+    let dem = Array.make frame.nbox false in
+    let owns = Array.make frame.nbox false in
+    Array.iter
+      (fun p ->
+        banks.(p.rp_slot) <-
+          (if p.rp_ref then BBox else bank_of_type p.rp_coerce))
+      params;
+    let sc =
+      make_scanner ~demote_member
+        ~on_decl:(fun d ->
+          decl_banks banks d;
+          decl_owns owns d)
+        ~on_escape_local:(fun s -> dem.(s) <- true)
+    in
+    scan_body sc;
+    (banks, dem, owns)
+  in
+  let fbanks =
+    Array.map
+      (fun rf ->
+        unit_banks rf.rf_frame rf.rf_params (fun sc ->
+            match rf.rf_code with
+            | CBody b -> sc.sc_stmt b
+            | CCtor p -> scan_ctor_plan sc p
+            | CDtor | CUnknown | CUndefined | CMissingCtor -> ()))
+      rp_funcs
+  in
+  let dbanks =
+    Array.map
+      (fun ci ->
+        match ci.ci_destroy.dp_dtor with
+        | None -> None
+        | Some (shape, body) ->
+            Some (unit_banks shape [||] (fun sc -> sc.sc_stmt body)))
+      classes
+  in
+  (* global initializers run in an empty frame but can still demote
+     members (member-pointer constants, address-taken fields) *)
+  let gscan =
+    make_scanner ~demote_member
+      ~on_decl:(fun _ -> assert false)
+      ~on_escape_local:(fun _ -> assert false)
+  in
+  Array.iter (fun g -> Option.iter gscan.sc_expr g.rg_init) rp_globals;
+  Hashtbl.iter (fun _ b -> count_bank b) mbank;
+  (* -- rebuild per-class layouts with per-bank numbering ---------------------- *)
+  let nclasses = Array.length classes in
+  let newslot : (Member.t, bank * int) Hashtbl.t array =
+    Array.init nclasses (fun _ -> Hashtbl.create 16)
+  in
+  Array.iteri
+    (fun cidx ci ->
+      let chain = ci.ci_name :: Class_table.all_base_names table ci.ci_name in
+      let defaults = ref [] (* reversed *) in
+      let fresh = ref [] in
+      let nb = ref 0 and ni = ref 0 and nf = ref 0 in
+      List.iter
+        (fun c ->
+          match Class_table.find table c with
+          | None -> ()
+          | Some cls ->
+              List.iter
+                (fun (f : Class_table.field) ->
+                  if not f.f_static then begin
+                    let m = (f.f_class, f.f_name) in
+                    match mb m with
+                    | BInt ->
+                        Hashtbl.replace newslot.(cidx) m (BInt, !ni);
+                        incr ni
+                    | BFlt ->
+                        Hashtbl.replace newslot.(cidx) m (BFlt, !nf);
+                        incr nf
+                    | BBox -> (
+                        let slot = !nb in
+                        incr nb;
+                        Hashtbl.replace newslot.(cidx) m (BBox, slot);
+                        match f.f_type with
+                        | Ast.TArr _ ->
+                            defaults := VUnit :: !defaults;
+                            fresh := (slot, f.f_type) :: !fresh
+                        | ty -> defaults := default_value ty :: !defaults)
+                  end)
+                cls.c_fields)
+        chain;
+      let slot_tbl = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun m (b, s) -> if b = BBox then Hashtbl.replace slot_tbl m s)
+        newslot.(cidx);
+      classes.(cidx) <-
+        {
+          ci with
+          ci_slot = slot_tbl;
+          ci_template = Array.of_list (List.rev !defaults);
+          ci_nints = !ni;
+          ci_nflts = !nf;
+          ci_fresh = Array.of_list (List.rev !fresh);
+        })
+    classes;
+  (* remap every memoized per-member slot table in place: all access
+     sites and destroy plans share these arrays *)
+  Hashtbl.iter
+    (fun m arr ->
+      Array.iteri
+        (fun c _ ->
+          arr.(c) <-
+            (match Hashtbl.find_opt newslot.(c) m with
+            | Some (_, s) -> s
+            | None -> -1))
+        arr)
+    member_slots_memo;
+  (* -- phase B: rewrite every code unit over the final maps ------------------- *)
+  let bank_maps (banks, dem, owns) =
+    let n = Array.length banks in
+    let lb =
+      Array.init n (fun s -> if dem.(s) then BBox else banks.(s))
+    in
+    let lx = Array.make n (-1) in
+    let nbo = ref 0 and ni = ref 0 and nf = ref 0 in
+    for s = 0 to n - 1 do
+      (match lb.(s) with
+      | BBox ->
+          lx.(s) <- !nbo;
+          incr nbo
+      | BInt ->
+          lx.(s) <- !ni;
+          incr ni
+      | BFlt ->
+          lx.(s) <- !nf;
+          incr nf);
+      count_bank lb.(s)
+    done;
+    (lb, lx, owns, { nbox = !nbo; nint = !ni; nflt = !nf })
+  in
+  let rewrite_ctor_plan rw (p : ctor_plan) =
+    let base (bp : base_plan) = { bp with bp_args = rw.rw_args bp.bp_args } in
+    {
+      cp_vbases = Array.map base p.cp_vbases;
+      cp_bases = Array.map base p.cp_bases;
+      cp_fields =
+        Array.map
+          (function
+            | FPClass r -> FPClass { r with fc_args = rw.rw_args r.fc_args }
+            | FPScalar r ->
+                FPScalar
+                  { r with fs_bank = mb r.fs_member; fs_init = rw.rw_expr r.fs_init }
+            | (FPClassArr _ | FPBadInit) as fp -> fp)
+          p.cp_fields;
+      cp_body = Option.map rw.rw_stmt p.cp_body;
+    }
+  in
+  Array.iteri
+    (fun i rf ->
+      match rf.rf_code with
+      | CUnknown | CUndefined | CMissingCtor -> ()
+      | CBody _ | CCtor _ | CDtor ->
+          let lb, lx, owns, shape = bank_maps fbanks.(i) in
+          let rw = make_rewriter ~lb ~lx ~owns ~mb in
+          let params =
+            Array.map
+              (fun p -> { p with rp_slot = lx.(p.rp_slot); rp_bank = lb.(p.rp_slot) })
+              rf.rf_params
+          in
+          let code =
+            match rf.rf_code with
+            | CBody b -> CBody (rw.rw_stmt b)
+            | CCtor p -> CCtor (rewrite_ctor_plan rw p)
+            | c -> c
+          in
+          rp_funcs.(i) <-
+            { rf with rf_frame = shape; rf_params = params; rf_code = code })
+    rp_funcs;
+  Array.iteri
+    (fun cidx info ->
+      match (dbanks.(cidx), classes.(cidx).ci_destroy.dp_dtor) with
+      | Some u, Some (_, body) ->
+          let lb, lx, owns, shape = bank_maps u in
+          let rw = make_rewriter ~lb ~lx ~owns ~mb in
+          classes.(cidx).ci_destroy <-
+            {
+              (classes.(cidx).ci_destroy) with
+              dp_dtor = Some (shape, rw.rw_stmt body);
+            }
+      | _ -> ignore info)
+    classes;
+  let rw0 = make_rewriter ~lb:[||] ~lx:[||] ~owns:[||] ~mb in
+  Array.iteri
+    (fun i g ->
+      match g.rg_init with
+      | None -> ()
+      | Some e -> rp_globals.(i) <- { g with rg_init = Some (rw0.rw_expr e) })
+    rp_globals
 
 (* -- entry point ------------------------------------------------------------------ *)
 
@@ -920,14 +1517,17 @@ let program (p : program) : rprogram =
   let rp_main = fidx ctx main_id in
   (* assemble the function array: resolved bodies, then on-demand stubs *)
   let placeholder =
-    { rf_id = main_id; rf_frame = 0; rf_params = [||]; rf_code = CUnknown }
+    { rf_id = main_id; rf_frame = zero_shape; rf_params = [||]; rf_code = CUnknown }
   in
   let rp_funcs = Array.make (max 1 ctx.next_fidx) placeholder in
   List.iteri (fun i rf -> rp_funcs.(i) <- rf) resolved;
   List.iter
     (fun (i, id, code) ->
-      rp_funcs.(i) <- { rf_id = id; rf_frame = 0; rf_params = [||]; rf_code = code })
+      rp_funcs.(i) <-
+        { rf_id = id; rf_frame = zero_shape; rf_params = [||]; rf_code = code })
     ctx.stubs;
+  retype_program ~table ~classes ~member_slots_memo:ctx.member_slots_memo
+    ~rp_funcs ~rp_globals;
   {
     rp_table = table;
     rp_classes = classes;
@@ -952,14 +1552,28 @@ let program (p : program) : rprogram =
    escapes). *)
 let new_obj_of (classes : class_info array) cid cls id : obj =
   if cid < 0 then
-    { obj_id = id; obj_class = cls; obj_cid = cid; fields = { arr_id = -1; cells = [||] } }
+    {
+      obj_id = id;
+      obj_class = cls;
+      obj_cid = cid;
+      fields = { arr_id = -1; cells = [||] };
+      ifields = no_ints;
+      ffields = no_floats;
+    }
   else begin
     let ci = classes.(cid) in
     let cells = Array.copy ci.ci_template in
     Array.iter
       (fun (slot, ty) -> cells.(slot) <- default_value ty)
       ci.ci_fresh;
-    { obj_id = id; obj_class = ci.ci_name; obj_cid = cid; fields = { arr_id = -1; cells } }
+    {
+      obj_id = id;
+      obj_class = ci.ci_name;
+      obj_cid = cid;
+      fields = { arr_id = -1; cells };
+      ifields = (if ci.ci_nints = 0 then no_ints else Array.make ci.ci_nints 0);
+      ffields = (if ci.ci_nflts = 0 then no_floats else Array.make ci.ci_nflts 0.0);
+    }
   end
 
 (* Slot of member [m] in [o], from the access site's per-class table.

@@ -38,6 +38,7 @@ type site_row = {
 type report = {
   r_steps : int;  (* the interpreter's statement-step counter *)
   r_dispatches : int;  (* total recorded dispatches across all bodies *)
+  r_typed : int;  (* dispatches of typed (untagged-stack) opcodes *)
   r_opcodes : (string * int) list;  (* per-opcode counts, descending *)
   r_functions : func_row list;  (* per-body counts, descending by instrs *)
   r_sites : site_row list;  (* back-branch (loop) sites, descending *)
@@ -60,6 +61,11 @@ let to_text ?(top = 20) (r : report) : string =
   in
   Buffer.add_string buf
     (Printf.sprintf "steps: %d\ndispatches: %d\n" r.r_steps r.r_dispatches);
+  Buffer.add_string buf
+    (Printf.sprintf "dispatch mix: typed %d (%.1f%%) / generic %d (%.1f%%)\n"
+       r.r_typed (pct r.r_typed)
+       (r.r_dispatches - r.r_typed)
+       (pct (r.r_dispatches - r.r_typed)));
   Buffer.add_string buf (Printf.sprintf "\nhot opcodes (top %d):\n" top);
   List.iter
     (fun (op, n) ->
@@ -104,8 +110,9 @@ let to_json (r : report) : string =
       r.r_sites
   in
   Printf.sprintf
-    "{\"steps\":%d,\"dispatches\":%d,\"opcodes\":[%s],\"functions\":[%s],\"hot_sites\":[%s]}"
-    r.r_steps r.r_dispatches
+    "{\"steps\":%d,\"dispatches\":%d,\"typed_dispatches\":%d,\"generic_dispatches\":%d,\"opcodes\":[%s],\"functions\":[%s],\"hot_sites\":[%s]}"
+    r.r_steps r.r_dispatches r.r_typed
+    (r.r_dispatches - r.r_typed)
     (String.concat "," opcodes)
     (String.concat "," funcs)
     (String.concat "," sites)

@@ -45,6 +45,9 @@ type site_row = {
 type report = {
   r_steps : int;
   r_dispatches : int;
+  r_typed : int;
+      (** dispatches of typed (untagged-stack) opcodes; the generic
+          count is [r_dispatches - r_typed] *)
   r_opcodes : (string * int) list;  (** descending by count *)
   r_functions : func_row list;  (** descending by instruction count *)
   r_sites : site_row list;  (** back-branch (loop) sites, descending *)

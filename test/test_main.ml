@@ -12,6 +12,7 @@ let () =
       ("interp", Test_interp.suite);
       ("resolve", Test_resolve.suite);
       ("bytecode", Test_bytecode.suite);
+      ("typed_slots", Test_typed_slots.suite);
       ("profile", Test_profile.suite);
       ("vm_profile", Test_vm_profile.suite);
       ("benchmarks", Test_benchmarks.suite);
