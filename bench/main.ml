@@ -333,6 +333,140 @@ let perf () =
     "@.(the analysis is O(N + C*M) after call-graph construction — paper@.\
     \ section 3.4; the timings above scale with benchmark size.)@."
 
+(* -- points-to stress (--pta-stress) ---------------------------------------------- *)
+
+(* The scalability gate of the rebuilt solver: one ≥50k-constraint
+   synthetic input at a pinned seed (Synth.stress), solved by the frozen
+   PR 4 solver (Pta_legacy) and by the current solver, measuring wall
+   clock, total allocation, and live heap retained by the solution.
+   Sharing + difference propagation must beat the eager baseline by 5x
+   on all three axes ([--gate]); the numbers land in the bench JSON so
+   the trajectory is visible across PRs. *)
+
+type stress_result = {
+  st_constraints : int;
+  st_legacy_wall_ms : float;
+  st_legacy_alloc_w : float;  (* words allocated during the solve *)
+  st_legacy_live_w : int;  (* words retained by the solution *)
+  st_new_wall_ms : float;
+  st_new_alloc_w : float;
+  st_new_live_w : int;
+  st_pta1_wall_ms : float;
+  st_stats : Pta.stats;
+  st_pta1_stats : Pta.stats;
+}
+
+(* Run [f], returning its result plus wall ms, words allocated, and the
+   live-word delta it retains (solution kept alive across the final
+   compaction). *)
+let measure_solver f =
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let sol = f () in
+  let wall = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let alloc = (Gc.allocated_bytes () -. a0) /. 8.0 in
+  Gc.compact ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  (sol, wall, alloc, live1 - live0)
+
+let pta_stress_result : stress_result Lazy.t =
+  lazy
+    (let prog = Synth.program Synth.stress in
+     let leg, lw, la, ll =
+       measure_solver (fun () -> Pta_legacy.analyze prog)
+     in
+     ignore (Sys.opaque_identity (Pta_legacy.num_nodes leg));
+     let sol, nw, na, nl = measure_solver (fun () -> Pta.analyze prog) in
+     let stats = Pta.stats sol in
+     ignore (Sys.opaque_identity (Pta.num_nodes sol));
+     let sol1, w1, _, _ =
+       measure_solver (fun () -> Pta.analyze ~mode:Pta.OneCfa prog)
+     in
+     let stats1 = Pta.stats sol1 in
+     {
+       st_constraints = Pta.num_constraints sol;
+       st_legacy_wall_ms = lw;
+       st_legacy_alloc_w = la;
+       st_legacy_live_w = ll;
+       st_new_wall_ms = nw;
+       st_new_alloc_w = na;
+       st_new_live_w = nl;
+       st_pta1_wall_ms = w1;
+       st_stats = stats;
+       st_pta1_stats = stats1;
+     })
+
+let ratio a b = if b > 0.0 then a /. b else infinity
+
+let pta_stress ~gate () =
+  let r = Lazy.force pta_stress_result in
+  let speedup = ratio r.st_legacy_wall_ms r.st_new_wall_ms in
+  let alloc_ratio = ratio r.st_legacy_alloc_w r.st_new_alloc_w in
+  let live_ratio =
+    ratio (float_of_int r.st_legacy_live_w) (float_of_int r.st_new_live_w)
+  in
+  Fmt.pr "@.PTA stress (seed %d): %d constraints, %d nodes, %d objects@."
+    Synth.stress.Synth.seed r.st_constraints r.st_stats.Pta.p_nodes
+    r.st_stats.Pta.p_objects;
+  Fmt.pr "%-22s %12s %14s %14s@." "solver" "wall ms" "alloc words"
+    "live words";
+  Fmt.pr "%s@." (String.make 66 '-');
+  Fmt.pr "%-22s %12.1f %14.0f %14d@." "legacy (PR 4)" r.st_legacy_wall_ms
+    r.st_legacy_alloc_w r.st_legacy_live_w;
+  Fmt.pr "%-22s %12.1f %14.0f %14d@." "shared+delta"
+    r.st_new_wall_ms r.st_new_alloc_w r.st_new_live_w;
+  Fmt.pr "%-22s %12.1f@." "shared+delta (1-CFA)" r.st_pta1_wall_ms;
+  Fmt.pr "ratios: %.1fx faster, %.1fx less allocation, %.1fx less live heap@."
+    speedup alloc_ratio live_ratio;
+  Fmt.pr
+    "solver: %d sets interned, %d memo hits, %d delta props, %d rounds@."
+    r.st_stats.Pta.p_sets_interned r.st_stats.Pta.p_memo_hits
+    r.st_stats.Pta.p_delta_props r.st_stats.Pta.p_solver_iters;
+  if gate then begin
+    let failures = ref [] in
+    let need what v =
+      if v < 5.0 then
+        failures := Fmt.str "%s %.1fx below the 5x gate" what v :: !failures
+    in
+    if r.st_constraints < 50_000 then
+      failures :=
+        Fmt.str "only %d constraints (gate needs >= 50000)" r.st_constraints
+        :: !failures;
+    need "speedup" speedup;
+    need "allocation ratio" alloc_ratio;
+    need "live-heap ratio" live_ratio;
+    match !failures with
+    | [] -> Fmt.pr "stress gate OK@."
+    | fs ->
+        List.iter (fun f -> Fmt.epr "stress gate FAILED: %s@." f) fs;
+        exit 1
+  end
+
+let stress_json () =
+  let r = Lazy.force pta_stress_result in
+  let stats_json (s : Pta.stats) =
+    Fmt.str
+      "{\"sets_interned\":%d,\"memo_hits\":%d,\"delta_props\":%d,\"solver_iters\":%d,\"contexts\":%d,\"fallback_sites\":%d}"
+      s.Pta.p_sets_interned s.Pta.p_memo_hits s.Pta.p_delta_props
+      s.Pta.p_solver_iters s.Pta.p_contexts s.Pta.p_fallback_sites
+  in
+  Fmt.str
+    "{\n\
+    \    \"seed\": %d,\n\
+    \    \"constraints\": %d,\n\
+    \    \"legacy\": {\"wall_ms\": %.1f, \"alloc_words\": %.0f, \"live_words\": %d},\n\
+    \    \"shared_delta\": {\"wall_ms\": %.1f, \"alloc_words\": %.0f, \"live_words\": %d, \"stats\": %s},\n\
+    \    \"pta1\": {\"wall_ms\": %.1f, \"stats\": %s}\n\
+    \  }"
+    Synth.stress.Synth.seed r.st_constraints r.st_legacy_wall_ms
+    r.st_legacy_alloc_w r.st_legacy_live_w r.st_new_wall_ms r.st_new_alloc_w
+    r.st_new_live_w
+    (stats_json r.st_stats)
+    r.st_pta1_wall_ms
+    (stats_json r.st_pta1_stats)
+
 (* -- machine-readable results (BENCH_deadmem.json) --------------------------------- *)
 
 (* One record per benchmark: wall time of each pipeline phase (the
@@ -549,7 +683,8 @@ let bench_json () =
   let ms = Lazy.force measured in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf
-    (Fmt.str "{\n  \"engine\": \"%s\",\n  \"benchmarks\": [" (engine_name ()));
+    (Fmt.str "{\n  \"engine\": \"%s\",\n  \"pta_stress\": %s,\n  \"benchmarks\": ["
+       (engine_name ()) (stress_json ()));
   List.iteri
     (fun i m ->
       if i > 0 then Buffer.add_char buf ',';
@@ -794,6 +929,15 @@ let () =
       | "--out" :: path :: rest ->
           json_out := path;
           go acc rest
+      | "--stress-src" :: path :: rest ->
+          (* the pinned stress input as MiniC++ source, so the CLI can
+             run the very same program through the analysis pipeline *)
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Synth.source Synth.stress));
+          Fmt.pr "wrote %s@." path;
+          go acc rest
       | a :: rest -> go (a :: acc) rest
       | [] -> List.rev acc
     in
@@ -831,6 +975,8 @@ let () =
   if all || List.mem "figure4" args then figure4 ();
   if all || List.mem "ablation" args then ablation ();
   if all || List.mem "perf" args then perf ();
+  if all || List.mem "pta-stress" args || List.mem "--pta-stress" args then
+    pta_stress ~gate:(List.mem "--gate" args) ();
   if all || List.mem "json" args then bench_json ();
   match baseline with
   | Some (path, contents) ->

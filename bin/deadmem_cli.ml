@@ -72,14 +72,29 @@ let file_arg =
 let callgraph_alg =
   let doc =
     "Call-graph construction algorithm: 'cha' (class hierarchy), 'rta' \
-     (rapid type analysis, default) or 'pta' (Andersen points-to; most \
-     precise, falls back to RTA per site when a receiver is unknown)."
+     (rapid type analysis, default), 'pta' (Andersen points-to; falls \
+     back to RTA per site when a receiver is unknown) or 'pta1' (points-to \
+     refined with 1-CFA allocation-site cloning; never more targets than \
+     'pta')."
   in
   let alg =
     Arg.enum
-      [ ("rta", Callgraph.Rta); ("cha", Callgraph.Cha); ("pta", Callgraph.Pta) ]
+      [
+        ("rta", Callgraph.Rta);
+        ("cha", Callgraph.Cha);
+        ("pta", Callgraph.Pta);
+        ("pta1", Callgraph.Pta1);
+      ]
   in
   Arg.(value & opt alg Callgraph.Rta & info [ "callgraph" ] ~docv:"ALG" ~doc)
+
+let pta_jobs_opt =
+  let doc =
+    "Domains used by the points-to solver's parallel phase (with \
+     --callgraph=pta or pta1). The solution is byte-identical for every \
+     value; this only trades wall-clock for cores."
+  in
+  Arg.(value & opt int 1 & info [ "pta-jobs" ] ~docv:"N" ~doc)
 
 let conservative_flag =
   let doc =
@@ -107,9 +122,9 @@ let keep_going_flag =
   in
   Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
 
-let config_of ~alg ~conservative ~library_classes =
+let config_of ?(pta_jobs = 1) ~alg ~conservative ~library_classes () =
   let base = if conservative then Deadmem.Config.default else Deadmem.Config.paper in
-  let base = { base with Deadmem.Config.call_graph = alg } in
+  let base = { base with Deadmem.Config.call_graph = alg; pta_jobs } in
   Deadmem.Config.with_library_classes library_classes base
 
 let engine_opt =
@@ -185,11 +200,11 @@ let with_telemetry ?(metrics_format = `Json) ~metrics ~trace_out f =
 (* -- analyze ----------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run file alg conservative library_classes verbose keep_going metrics
-      metrics_format trace_out =
+  let run file alg pta_jobs conservative library_classes verbose keep_going
+      metrics metrics_format trace_out =
     handle_errors (fun () ->
         with_telemetry ~metrics_format ~metrics ~trace_out @@ fun () ->
-        let config = config_of ~alg ~conservative ~library_classes in
+        let config = config_of ~pta_jobs ~alg ~conservative ~library_classes () in
         let prog, unknown, code =
           if keep_going then begin
             let src = read_source file in
@@ -229,9 +244,10 @@ let analyze_cmd =
   in
   let doc = "Detect dead data members in a MiniC++ program." in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ file_arg $ callgraph_alg $ conservative_flag
-          $ library_classes_opt $ verbose $ keep_going_flag $ metrics_opt
-          $ metrics_format_opt $ trace_out_opt)
+    Term.(const run $ file_arg $ callgraph_alg $ pta_jobs_opt
+          $ conservative_flag $ library_classes_opt $ verbose
+          $ keep_going_flag $ metrics_opt $ metrics_format_opt
+          $ trace_out_opt)
 
 (* -- explain ------------------------------------------------------------------ *)
 
@@ -249,8 +265,8 @@ let split_member s =
   | _ -> None
 
 let explain_cmd =
-  let run member file alg conservative library_classes keep_going metrics
-      metrics_format trace_out =
+  let run member file alg pta_jobs conservative library_classes keep_going
+      metrics metrics_format trace_out =
     handle_errors (fun () ->
         with_telemetry ~metrics_format ~metrics ~trace_out @@ fun () ->
         match split_member member with
@@ -259,7 +275,9 @@ let explain_cmd =
               member;
             exit_usage
         | Some m ->
-            let config = config_of ~alg ~conservative ~library_classes in
+            let config =
+              config_of ~pta_jobs ~alg ~conservative ~library_classes ()
+            in
             let prog, unknown, code =
               if keep_going then begin
                 let src = read_source file in
@@ -308,7 +326,7 @@ let explain_cmd =
      that no derivation exists (the member is dead)."
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ member_arg $ file_arg1 $ callgraph_alg
+    Term.(const run $ member_arg $ file_arg1 $ callgraph_alg $ pta_jobs_opt
           $ conservative_flag $ library_classes_opt $ keep_going_flag
           $ metrics_opt $ metrics_format_opt $ trace_out_opt)
 
@@ -374,7 +392,7 @@ let check_cmd =
           match entry with
           | Ok e when errors = 0 -> (
               let config =
-                config_of ~alg ~conservative:false ~library_classes:[]
+                config_of ~alg ~conservative:false ~library_classes:[] ()
               in
               match Server.Cache.analyze e ~config with
               | r -> Some (List.length (Deadmem.Liveness.dead_members r))
@@ -639,7 +657,7 @@ let strip_cmd =
   let run file alg conservative library_classes =
     handle_errors (fun () ->
         let src = read_source file in
-        let config = config_of ~alg ~conservative ~library_classes in
+        let config = config_of ~alg ~conservative ~library_classes () in
         let text, removed =
           Deadmem.Eliminate.strip_to_source ~config ~source:src ~file ()
         in
@@ -702,11 +720,11 @@ let bench_cmd =
 
 (* -- precision ----------------------------------------------------------------- *)
 
-(* The three call-graph tiers side by side on every built-in benchmark:
+(* The call-graph tiers side by side on every built-in benchmark:
    the precision trajectory the paper's §3.1 observation predicts
    (call-graph precision bounds analysis precision). *)
 let precision_cmd =
-  let tiers = [ Callgraph.Cha; Callgraph.Rta; Callgraph.Pta ] in
+  let tiers = [ Callgraph.Cha; Callgraph.Rta; Callgraph.Pta; Callgraph.Pta1 ] in
   let measure prog alg =
     let config =
       { Deadmem.Config.paper with Deadmem.Config.call_graph = alg }
@@ -715,7 +733,8 @@ let precision_cmd =
     let r = Deadmem.Liveness.analyze ~config prog in
     ( Callgraph.num_nodes cg,
       Callgraph.num_edges cg,
-      List.length (Deadmem.Liveness.dead_members r) )
+      List.length (Deadmem.Liveness.dead_members r),
+      cg.Callgraph.pta_stats )
   in
   let run format =
     handle_errors (fun () ->
@@ -728,24 +747,55 @@ let precision_cmd =
         in
         (match format with
         | `Text ->
-            Fmt.pr "%-10s %28s %28s %28s@." "benchmark" "CHA" "RTA" "PTA";
-            Fmt.pr "%-10s %28s %28s %28s@." "" "nodes/edges/dead"
-              "nodes/edges/dead" "nodes/edges/dead";
+            Fmt.pr "%-10s %22s %22s %22s %22s@." "benchmark" "CHA" "RTA" "PTA"
+              "PTA1";
+            Fmt.pr "%-10s %22s %22s %22s %22s@." "" "nodes/edges/dead"
+              "nodes/edges/dead" "nodes/edges/dead" "nodes/edges/dead";
             List.iter
               (fun (name, cells) ->
                 Fmt.pr "%-10s" name;
                 List.iter
-                  (fun (n, e, d) -> Fmt.pr " %28s" (Fmt.str "%d/%d/%d" n e d))
+                  (fun (n, e, d, _) ->
+                    Fmt.pr " %22s" (Fmt.str "%d/%d/%d" n e d))
                   cells;
                 Fmt.pr "@.")
+              rows;
+            (* solver detail: where each points-to tier lost precision
+               (fallback sites) and what the solve cost *)
+            Fmt.pr "@.%-10s %5s %9s %6s %6s %6s %6s %6s@." "solver" "tier"
+              "fallback" "sets" "memo" "delta" "iters" "ctxs";
+            List.iter
+              (fun (name, cells) ->
+                List.iter2
+                  (fun alg (_, _, _, stats) ->
+                    match stats with
+                    | None -> ()
+                    | Some (s : Pta.stats) ->
+                        Fmt.pr "%-10s %5s %9d %6d %6d %6d %6d %6d@." name
+                          (String.lowercase_ascii
+                             (Callgraph.algorithm_to_string alg))
+                          s.Pta.p_fallback_sites s.Pta.p_sets_interned
+                          s.Pta.p_memo_hits s.Pta.p_delta_props
+                          s.Pta.p_solver_iters s.Pta.p_contexts)
+                  tiers cells)
               rows
         | `Json ->
             let row_json (name, cells) =
-              let cell alg (n, e, d) =
-                Fmt.str
-                  {|"%s":{"nodes":%d,"edges":%d,"dead_members":%d}|}
+              let cell alg (n, e, d, stats) =
+                let solver =
+                  match stats with
+                  | None -> ""
+                  | Some (s : Pta.stats) ->
+                      Fmt.str
+                        {|,"solver":{"fallback_sites":%d,"sets_interned":%d,"memo_hits":%d,"delta_props":%d,"solver_iters":%d,"contexts":%d,"constraints":%d}|}
+                        s.Pta.p_fallback_sites s.Pta.p_sets_interned
+                        s.Pta.p_memo_hits s.Pta.p_delta_props
+                        s.Pta.p_solver_iters s.Pta.p_contexts
+                        s.Pta.p_constraints
+                in
+                Fmt.str {|"%s":{"nodes":%d,"edges":%d,"dead_members":%d%s}|}
                   (String.lowercase_ascii (Callgraph.algorithm_to_string alg))
-                  n e d
+                  n e d solver
               in
               Fmt.str {|{"benchmark":"%s",%s}|} name
                 (String.concat "," (List.map2 cell tiers cells))
@@ -761,7 +811,8 @@ let precision_cmd =
   in
   let doc =
     "Print per-benchmark dead-member counts and call-graph sizes for the \
-     CHA, RTA and PTA tiers side by side."
+     CHA, RTA, PTA and PTA1 tiers side by side, plus points-to solver \
+     statistics (fallback sites, set sharing, difference propagation)."
   in
   Cmd.v (Cmd.info "precision" ~doc) Term.(const run $ format_arg)
 

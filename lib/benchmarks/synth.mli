@@ -1,0 +1,27 @@
+(** Seeded synthetic MiniC++ generator for points-to stress inputs.
+
+    Emits programs dominated by what real points-to workloads are
+    dominated by: many allocation sites flowing through long copy
+    chains, with virtual calls and field traffic mixed in — large
+    repetitive sets and repetitive set operations. Deterministic: the
+    same {!params} always produce the same source text, so a pinned
+    {!stress} seed yields comparable measurements across runs. *)
+
+type params = {
+  seed : int;
+  classes : int;  (** [Node] subclasses in the hierarchy *)
+  sites : int;  (** allocation-site factory functions *)
+  chains : int;  (** copy-chain functions *)
+  chain_len : int;  (** pointer locals per chain *)
+}
+
+(** The pinned stress configuration used by [bench --pta-stress] and the
+    CI gate: ≥50k points-to constraints at seed 42. *)
+val stress : params
+
+(** The program text. *)
+val source : params -> string
+
+(** Parse and type-check {!source} (raises on generator bugs — the
+    output must always be a valid MiniC++ translation unit). *)
+val program : params -> Sema.Typed_ast.program

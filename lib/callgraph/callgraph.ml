@@ -26,9 +26,19 @@ open Sema
 open Sema.Typed_ast
 module StringSet = Set.Make (String)
 
-type algorithm = Cha | Rta | Pta
+type algorithm = Cha | Rta | Pta | Pta1
 
-let algorithm_to_string = function Cha -> "CHA" | Rta -> "RTA" | Pta -> "PTA"
+let algorithm_to_string = function
+  | Cha -> "CHA"
+  | Rta -> "RTA"
+  | Pta -> "PTA"
+  | Pta1 -> "PTA1"
+
+module EdgeMap = Map.Make (struct
+  type t = Func_id.t * Func_id.t
+
+  let compare = Stdlib.compare
+end)
 
 type t = {
   algorithm : algorithm;
@@ -37,9 +47,16 @@ type t = {
   roots : FuncSet.t;
   instantiated : StringSet.t;  (* classes whose ctor is reachable *)
   address_taken : FuncSet.t;
+  edge_sites : (string * Source.span) list EdgeMap.t;
+      (* dispatch edges resolved from points-to sets -> the allocation
+         sites of the receiver objects that produced them *)
+  pta_stats : Pta.stats option;  (* solver stats of the deciding solution *)
 }
 
 let reachable t id = FuncSet.mem id t.nodes
+
+let dispatch_sites t ~src dst =
+  Option.value ~default:[] (EdgeMap.find_opt (src, dst) t.edge_sites)
 let callees t id = Option.value ~default:FuncSet.empty (FuncMap.find_opt id t.edges)
 let num_nodes t = FuncSet.cardinal t.nodes
 
@@ -205,7 +222,7 @@ let candidate_classes ~algorithm ~instantiated table s =
   let all = s :: Class_table.subclasses table s in
   match algorithm with
   | Cha -> all
-  | Rta | Pta -> List.filter (fun c -> StringSet.mem c instantiated) all
+  | Rta | Pta | Pta1 -> List.filter (fun c -> StringSet.mem c instantiated) all
 
 let resolve_virtual_among table ~candidates name : FuncSet.t =
   List.fold_left
@@ -271,13 +288,13 @@ let edges_gauge = Telemetry.Gauge.make "callgraph.edges"
 let pta_resolved_counter = Telemetry.Counter.make "callgraph.pta_resolved_sites"
 let pta_fallback_counter = Telemetry.Counter.make "callgraph.pta_fallback_sites"
 
-let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
+let build ?(algorithm = Rta) ?(jobs = 1) ?(library_classes = StringSet.empty)
     ?(extra_roots = []) (p : program) : t =
   Telemetry.Span.with_ "callgraph" @@ fun () ->
   let table = p.table in
   (* Sites resolve with this algorithm when points-to information is
      absent or inconclusive: PTA degrades to RTA, never worse. *)
-  let fallback = match algorithm with Pta -> Rta | a -> a in
+  let fallback = match algorithm with Pta | Pta1 -> Rta | a -> a in
   (* memoize per-function events *)
   let events_cache : (Func_id.t, event list) Hashtbl.t = Hashtbl.create 64 in
   let events_of id =
@@ -308,11 +325,45 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
   in
   (* The points-to solution is computed once, over the same root set the
      replay below uses; its per-expression sets then resolve the
-     dispatch events. *)
+     dispatch events. [Pta1] additionally computes the 1-CFA refinement
+     and intersects both answers per site: each is an over-approximation
+     on its own, so the intersection is sound and the refined tier can
+     never resolve to {e more} targets than plain PTA — the subset chain
+     dead(PTA) ⊆ dead(PTA1) holds by construction. *)
+  let roots = FuncSet.elements base_roots in
   let pta =
     match algorithm with
-    | Pta -> Some (Pta.analyze ~roots:(FuncSet.elements base_roots) p)
+    | Pta | Pta1 -> Some (Pta.analyze ~jobs ~roots p)
     | Cha | Rta -> None
+  in
+  let pta_refined =
+    match algorithm with
+    | Pta1 -> Some (Pta.analyze ~mode:Pta.OneCfa ~jobs ~roots p)
+    | Cha | Rta | Pta -> None
+  in
+  (* Per-site receiver classes / function targets, both tiers combined. *)
+  let combined query e =
+    match pta with
+    | None -> None
+    | Some plain -> (
+        let base = query plain e in
+        match pta_refined with
+        | None -> base
+        | Some refined -> (
+            match (query refined e, base) with
+            | Some a, Some b -> Some (List.filter (fun c -> List.mem c b) a)
+            | Some a, None -> Some a
+            | None, b -> b))
+  in
+  let recv_classes e = combined Pta.receiver_classes e in
+  let funptr_of e = combined Pta.funptr_targets e in
+  (* Allocation-site provenance for a resolved receiver: the refined
+     solution's answer when it has one (fewer, sharper sites). *)
+  let alloc_sites e =
+    let q sol = Pta.receiver_alloc_sites sol e in
+    match (Option.map q pta_refined, Option.map q pta) with
+    | Some (Some s), _ | (None | Some None), Some (Some s) -> s
+    | _ -> []
   in
   (* Iterate reachability to a fixpoint over (instantiated, address_taken):
      both sets only grow, and each enlargement can only add reachable
@@ -327,68 +378,72 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
       resolve_virtual ~algorithm:fallback ~instantiated:!instantiated table cls
         name
     in
-    match pta with
-    | None -> fb ()
-    | Some sol -> (
-        match Pta.receiver_classes sol recv with
-        | Some cs ->
-            Telemetry.Counter.incr pta_resolved_counter;
-            resolve_virtual_among table
-              ~candidates:
-                (List.filter
-                   (fun c -> List.mem c cs)
-                   (candidate_classes ~algorithm:Rta
-                      ~instantiated:!instantiated table cls))
-              name
-        | None ->
-            Telemetry.Counter.incr pta_fallback_counter;
-            fb ())
+    if pta = None then fb ()
+    else
+      match recv_classes recv with
+      | Some cs ->
+          Telemetry.Counter.incr pta_resolved_counter;
+          resolve_virtual_among table
+            ~candidates:
+              (List.filter
+                 (fun c -> List.mem c cs)
+                 (candidate_classes ~algorithm:Rta ~instantiated:!instantiated
+                    table cls))
+            name
+      | None ->
+          Telemetry.Counter.incr pta_fallback_counter;
+          fb ()
   in
   let resolve_vdelete_event cls e : FuncSet.t =
     let fb () =
       resolve_virtual_delete ~algorithm:fallback ~instantiated:!instantiated
         table cls
     in
-    match pta with
-    | None -> fb ()
-    | Some sol -> (
-        match Pta.receiver_classes sol e with
-        | Some cs ->
-            Telemetry.Counter.incr pta_resolved_counter;
-            List.fold_left
-              (fun acc c ->
-                if List.mem c cs then FuncSet.add (Func_id.FDtor c) acc
-                else acc)
-              FuncSet.empty
-              (candidate_classes ~algorithm:Rta ~instantiated:!instantiated
-                 table cls)
-        | None ->
-            Telemetry.Counter.incr pta_fallback_counter;
-            fb ())
+    if pta = None then fb ()
+    else
+      match recv_classes e with
+      | Some cs ->
+          Telemetry.Counter.incr pta_resolved_counter;
+          List.fold_left
+            (fun acc c ->
+              if List.mem c cs then FuncSet.add (Func_id.FDtor c) acc else acc)
+            FuncSet.empty
+            (candidate_classes ~algorithm:Rta ~instantiated:!instantiated table
+               cls)
+      | None ->
+          Telemetry.Counter.incr pta_fallback_counter;
+          fb ()
   in
   let funptr_candidates fe : FuncSet.t =
-    match pta with
-    | None -> !address_taken
-    | Some sol -> (
-        match Pta.funptr_targets sol fe with
-        | Some fs ->
-            Telemetry.Counter.incr pta_resolved_counter;
-            FuncSet.filter
-              (fun id -> FuncSet.mem id !address_taken)
-              (FuncSet.of_list fs)
-        | None ->
-            Telemetry.Counter.incr pta_fallback_counter;
-            !address_taken)
+    if pta = None then !address_taken
+    else
+      match funptr_of fe with
+      | Some fs ->
+          Telemetry.Counter.incr pta_resolved_counter;
+          FuncSet.filter
+            (fun id -> FuncSet.mem id !address_taken)
+            (FuncSet.of_list fs)
+      | None ->
+          Telemetry.Counter.incr pta_fallback_counter;
+          !address_taken
   in
   let final_nodes = ref FuncSet.empty in
   let final_edges = ref FuncMap.empty in
   let final_roots = ref base_roots in
+  let final_sites = ref EdgeMap.empty in
   let stable = ref false in
   while not !stable do
     Telemetry.Counter.incr iterations_counter;
     let inst0 = !instantiated and addr0 = !address_taken in
     let nodes = ref FuncSet.empty in
     let edges = ref FuncMap.empty in
+    let sites = ref EdgeMap.empty in
+    let record_sites src dst e =
+      if pta <> None then
+        match alloc_sites e with
+        | [] -> ()
+        | ss -> sites := EdgeMap.add (src, dst) ss !sites
+    in
     let add_edge src dst =
       edges :=
         FuncMap.update src
@@ -421,12 +476,14 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
               FuncSet.iter
                 (fun id ->
                   add_edge src id;
+                  record_sites src id recv;
                   enqueue id)
                 (resolve_virtual_event cls name recv)
           | EVirtualDelete (cls, e) ->
               FuncSet.iter
                 (fun id ->
                   add_edge src id;
+                  record_sites src id e;
                   enqueue id)
                 (resolve_vdelete_event cls e)
           | EStaticDelete cls ->
@@ -473,6 +530,7 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
     final_nodes := !nodes;
     final_edges := !edges;
     final_roots := roots;
+    final_sites := !sites;
     stable :=
       StringSet.equal inst0 !instantiated && FuncSet.equal addr0 !address_taken
   done;
@@ -484,6 +542,11 @@ let build ?(algorithm = Rta) ?(library_classes = StringSet.empty)
       roots = !final_roots;
       instantiated = !instantiated;
       address_taken = !address_taken;
+      edge_sites = !final_sites;
+      pta_stats =
+        (match (pta_refined, pta) with
+        | Some sol, _ | None, Some sol -> Some (Pta.stats sol)
+        | None, None -> None);
     }
   in
   Telemetry.Gauge.set nodes_gauge (num_nodes t);

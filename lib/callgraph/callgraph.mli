@@ -15,6 +15,11 @@
       computed points-to set intersected with the RTA candidate cone, so
       the reachable set is always a subset of RTA's. Unknown receivers
       fall back to RTA resolution per site.
+    - {!Pta1} — PTA refined with 1-CFA allocation-site cloning
+      ({!Pta.OneCfa}): callees are analyzed per receiver allocation site
+      so factory-style merges stop polluting receiver sets. Each site
+      resolves to the intersection of the plain and refined answers, so
+      [Pta1] never yields more targets than [Pta].
 
     All honour the paper's conservative extra roots (§3.3): functions
     whose address is taken in reachable code, and methods of user classes
@@ -26,9 +31,11 @@
 open Sema.Typed_ast
 module StringSet : Set.S with type elt = string and type t = Set.Make(String).t
 
-type algorithm = Cha | Rta | Pta
+type algorithm = Cha | Rta | Pta | Pta1
 
 val algorithm_to_string : algorithm -> string
+
+module EdgeMap : Map.S with type key = Func_id.t * Func_id.t
 
 type t = {
   algorithm : algorithm;
@@ -37,16 +44,33 @@ type t = {
   roots : FuncSet.t;  (** [main] + extra roots *)
   instantiated : StringSet.t;  (** classes whose ctor is reachable *)
   address_taken : FuncSet.t;
+  edge_sites : (string * Frontend.Source.span) list EdgeMap.t;
+      (** for dispatch edges resolved from points-to sets: the
+          allocation sites of the receiver objects that produced the
+          edge, as [(class, span)] pairs *)
+  pta_stats : Pta.stats option;
+      (** solver statistics of the points-to solution that decided
+          dispatch ([Pta]: the plain solution; [Pta1]: the 1-CFA
+          refinement); [None] for [Cha]/[Rta] *)
 }
 
 (** Build the call graph of a program. [library_classes] triggers the
-    override-root rule; [extra_roots] adds entry points beyond [main]. *)
+    override-root rule; [extra_roots] adds entry points beyond [main];
+    [jobs] bounds the points-to solver's parallelism (result-invariant,
+    meaningful only for [Pta]/[Pta1]). *)
 val build :
   ?algorithm:algorithm ->
+  ?jobs:int ->
   ?library_classes:StringSet.t ->
   ?extra_roots:Func_id.t list ->
   program ->
   t
+
+(** [dispatch_sites t ~src dst] is the allocation-site provenance of the
+    call edge [src -> dst], or [[]] when the edge was not resolved from
+    a points-to set. *)
+val dispatch_sites :
+  t -> src:Func_id.t -> Func_id.t -> (string * Frontend.Source.span) list
 
 val reachable : t -> Func_id.t -> bool
 val callees : t -> Func_id.t -> FuncSet.t

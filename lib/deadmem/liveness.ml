@@ -369,6 +369,7 @@ let analyze ?(config = Config.default) ?(unknown = []) (p : program) : result =
   in
   let cg =
     Callgraph.build ~algorithm:config.Config.call_graph
+      ~jobs:config.Config.pta_jobs
       ~library_classes:config.Config.library_classes
       ~extra_roots p
   in
@@ -509,6 +510,29 @@ let pp_call_path ppf (chain : Func_id.t list) =
   Fmt.pf ppf "%s"
     (String.concat " -> " (List.map Func_id.to_string chain))
 
+(* Under a points-to call graph, dispatch edges carry the allocation
+   sites of the receiver objects that produced them: name them, so the
+   explanation says *which object* kept the path alive, not just that
+   some rule fired. *)
+let pp_path_dispatch_sites ppf cg (chain : Func_id.t list) =
+  let rec edges = function
+    | a :: (b :: _ as rest) -> (a, b) :: edges rest
+    | _ -> []
+  in
+  List.iter
+    (fun (src, dst) ->
+      match Callgraph.dispatch_sites cg ~src dst with
+      | [] -> ()
+      | sites ->
+          Fmt.pf ppf "    %a -> %a dispatches on object%s allocated at:@."
+            Func_id.pp src Func_id.pp dst
+            (if List.length sites > 1 then "s" else "");
+          List.iter
+            (fun (cls, sp) ->
+              Fmt.pf ppf "      new %s at %a@." cls Source.pp_span sp)
+            sites)
+    (edges chain)
+
 (* The full derivation chain of one member's classification, as printed
    by `deadmem explain`: verdict, rule, marking site, enclosing function
    and a shortest call chain that makes that function reachable. *)
@@ -550,7 +574,9 @@ let pp_explanation ppf r (m : Member.t) =
       | Some fn ->
           Fmt.pf ppf "  in: %a@." Func_id.pp fn;
           (match Callgraph.path_from_root r.callgraph fn with
-          | Some chain -> Fmt.pf ppf "  call path: %a@." pp_call_path chain
+          | Some chain ->
+              Fmt.pf ppf "  call path: %a@." pp_call_path chain;
+              pp_path_dispatch_sites ppf r.callgraph chain
           | None -> Fmt.pf ppf "  call path: (root)@.");
           Fmt.pf ppf "  reachability justified by: %s call graph@."
             (Callgraph.algorithm_to_string r.callgraph.Callgraph.algorithm)

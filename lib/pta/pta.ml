@@ -1,7 +1,7 @@
 (* Andersen-style inclusion-based points-to analysis for MiniC++.
 
-   Subset constraints are generated from the typed AST and solved with a
-   worklist; copy-edge cycles are collapsed with a union-find (direct
+   Subset constraints are generated from the typed AST and solved to a
+   fixpoint; copy-edge cycles are collapsed with a union-find (direct
    2-cycles eagerly, longer cycles by a periodic Tarjan pass). The
    abstraction is flow-insensitive and *field-based*: one node per
    (defining class, member) identity — the same [Member.t] the
@@ -14,7 +14,37 @@
    ⊤ (unknown) fall back to RTA-style resolution over the instantiated
    cone, so the solution is never less conservative than RTA; stores the
    language cannot model raise a global [havoc] flag that degrades every
-   dispatch site. *)
+   dispatch site.
+
+   The solver core (rebuilt from the PR 4 version, which is frozen as
+   {!Pta_legacy}):
+
+   - Points-to sets are hash-consed {!Ptset} values: equal contents are
+     one shared array, set identity is pointer identity, and union/diff
+     between previously-seen operands are memo-table hits. Each node
+     carries [pts] (everything known) plus [delta] (not yet propagated),
+     and only deltas flow along edges — a new edge replays the full
+     source set against just that edge once, at attach time.
+
+   - The worklist runs in bulk-synchronous rounds. At a round boundary
+     the pending nodes are drained into a frontier, each node's
+     (delta, top) snapshot is taken and cleared, and then phase A scans
+     the frontier's copy edges *read-only* — filtering out edges whose
+     target already covers the delta — before phase B applies the
+     surviving work sequentially in frontier order. Phase A never
+     mutates, so slicing it across [jobs] domains cannot change any
+     state-mutation order: the solution and every counter are
+     byte-identical for all job counts.
+
+   - [OneCfa] mode refines the abstraction by cloning callees one level
+     deep: method calls are analyzed per receiver allocation site
+     ([CObj] — the callee instance's [this] holds exactly that object),
+     direct free-function calls per call site ([CSite]), and everything
+     the analysis cannot attribute (roots, address-taken functions,
+     degraded sites) lands in the shared [CRoot] instance with ⊤
+     inputs. Heap objects themselves stay one-per-static-occurrence, so
+     the instance space is finite; a hard cap collapses further
+     contexts to [CRoot] deterministically. *)
 
 open Frontend
 open Sema
@@ -29,8 +59,43 @@ let copy_counter = Telemetry.Counter.make "pta.copy_edges"
 let complex_counter = Telemetry.Counter.make "pta.complex_constraints"
 let iter_counter = Telemetry.Counter.make "pta.solve_iterations"
 let cycle_counter = Telemetry.Counter.make "pta.cycles_collapsed"
+let sets_counter = Telemetry.Counter.make "pta.sets_interned"
+let memo_counter = Telemetry.Counter.make "pta.memo_hits"
+let delta_counter = Telemetry.Counter.make "pta.delta_props"
+let round_counter = Telemetry.Counter.make "pta.solver_iters"
 let reach_gauge = Telemetry.Gauge.make "pta.reachable_functions"
 let fallback_gauge = Telemetry.Gauge.make "pta.fallback_sites"
+let ctx_gauge = Telemetry.Gauge.make "pta.contexts"
+
+type mode = Insensitive | OneCfa
+
+(* -- contexts ----------------------------------------------------------------
+
+   A function instance is a (function, context) pair. [Insensitive]
+   analysis uses the single [CRoot] instance per function; [OneCfa]
+   clones per receiver allocation site / call site, bounded by
+   [ctx_cap] total instances (overflow collapses to [CRoot]). *)
+type ctx =
+  | CRoot  (* no context: roots, fallback, overflow *)
+  | CSite of int  (* direct call, by static call-site serial *)
+  | CObj of int  (* method call, by receiver object id *)
+
+type fctx = Func_id.t * ctx
+
+module FctxTbl = Hashtbl.Make (struct
+  type t = fctx
+
+  let equal (a : t) b = a = b
+  let hash = Hashtbl.hash
+end)
+
+module FctxSet = Set.Make (struct
+  type t = fctx
+
+  let compare = Stdlib.compare
+end)
+
+let ctx_cap = 200_000
 
 (* -- abstract objects --------------------------------------------------------
 
@@ -39,22 +104,35 @@ let fallback_gauge = Telemetry.Gauge.make "pta.fallback_sites"
    members); [o_fn] identifies function "objects" (address-taken
    functions); [o_payload] is the node holding the contents of scalar
    memory cells (scalar allocations, address-taken variables), or -1
-   when the object has no modelled payload. *)
-type obj = { o_class : string option; o_fn : Func_id.t option; o_payload : int }
+   when the object has no modelled payload. [o_site] is the source span
+   of the allocation for sites the program text names. *)
+type obj = {
+  o_class : string option;
+  o_fn : Func_id.t option;
+  o_payload : int;
+  o_site : Source.span option;
+}
 
-(* A virtual-call site attached to its receiver node. *)
+(* A virtual-call site attached to its receiver node. [vs_serial]
+   identifies the static occurrence, shared by every context clone;
+   [vs_fixed] is the statically-resolved target of non-virtual method
+   calls routed through receiver objects in [OneCfa] mode. *)
 type vsite = {
+  vs_serial : int;
+  vs_fixed : Func_id.t option;
   vs_static : string;  (* static receiver class *)
   vs_name : string;
   vs_args : (int * int option) list;  (* value node, write-back sink *)
   vs_ret : int;
   mutable vs_classes : StringSet.t;  (* dynamic classes already dispatched *)
-  mutable vs_bound : FuncSet.t;  (* targets already bound *)
+  mutable vs_seen : StringSet.t;  (* receiver classes seen from objects *)
+  mutable vs_bound : FctxSet.t;  (* instances already bound *)
   mutable vs_top : bool;  (* degraded to RTA-cone fallback *)
 }
 
 (* A function-pointer call site attached to its pointer node. *)
 type fsite = {
+  fs_serial : int;
   fs_arity : int;
   fs_ret : int;
   mutable fs_bound : FuncSet.t;
@@ -63,19 +141,30 @@ type fsite = {
 
 (* A [delete] through a class with a virtual destructor. *)
 type dsite = {
+  ds_serial : int;
   ds_static : string;
   mutable ds_classes : StringSet.t;
+  mutable ds_seen : StringSet.t;  (* receiver classes seen from objects *)
   mutable ds_top : bool;
 }
 
 type node = {
   mutable parent : int;  (* union-find *)
   mutable rank : int;
-  mutable pts : IntSet.t;  (* object ids *)
+  mutable pts : Ptset.t;  (* object ids: everything known *)
+  mutable delta : Ptset.t;  (* object ids: not yet propagated *)
   mutable top : bool;  (* may point anywhere (⊤) *)
+  mutable top_pending : bool;  (* ⊤ not yet propagated *)
   mutable succ : IntSet.t;  (* inclusion edges: pts(succ) ⊇ pts(self) *)
   mutable loads : IntSet.t;  (* dst nodes: dst ⊇ *self *)
   mutable stores : IntSet.t;  (* src nodes: *self ⊇ src *)
+  (* array views of the three edge sets, rebuilt lazily after mutation:
+     a node enters the frontier once per delta arrival, and walking the
+     AVL sets into fresh arrays at every drain dominates solving time
+     on long pipelined propagations *)
+  mutable succ_c : int array option;
+  mutable loads_c : int array option;
+  mutable stores_c : int array option;
   mutable vsites : vsite list;
   mutable fsites : fsite list;
   mutable dsites : dsite list;
@@ -91,24 +180,39 @@ module ExprTbl = Hashtbl.Make (struct
   let hash (e : texpr) = Hashtbl.hash e.tloc
 end)
 
+module DeclTbl = Hashtbl.Make (struct
+  type t = tvar_decl
+
+  let equal = ( == )
+  let hash (d : tvar_decl) = Hashtbl.hash d.tv_loc
+end)
+
 type solution = {
   prog : program;
   table : Class_table.t;
+  mode : mode;
+  jobs : int;
+  it : Ptset.interner;
   mutable nodes : node array;
   mutable n_nodes : int;
   mutable objs : obj array;
   mutable n_objs : int;
-  expr_node : int ExprTbl.t;
-  var_node : (Func_id.t * string, int) Hashtbl.t;
-  this_node : (Func_id.t, int) Hashtbl.t;
-  ret_node : (Func_id.t, int) Hashtbl.t;
+  expr_node : (ctx * int) list ExprTbl.t;
+  site_obj : int ExprTbl.t;  (* allocation expr -> its one object *)
+  decl_obj : int DeclTbl.t;  (* stack decl -> its one object *)
+  serial_tbl : int ExprTbl.t;  (* static call-site serials *)
+  mutable n_serials : int;
+  var_node : (fctx * string, int) Hashtbl.t;
+  this_node : int FctxTbl.t;
+  ret_node : int FctxTbl.t;
   global_node : (string, int) Hashtbl.t;
   field_node : (Member.t, int) Hashtbl.t;
   fun_obj : (Func_id.t, int) Hashtbl.t;
   class_obj : (string, int) Hashtbl.t;
   cell_obj : (int, int) Hashtbl.t;  (* payload node -> object *)
   worklist : int Queue.t;
-  gen_queue : Func_id.t Queue.t;
+  gen_queue : fctx Queue.t;
+  instances : unit FctxTbl.t;  (* generated (function, context) pairs *)
   mutable reached : FuncSet.t;
   mutable inst : StringSet.t;  (* classes whose ctor is reachable *)
   mutable addr_taken : FuncSet.t;
@@ -122,7 +226,10 @@ type solution = {
   mutable havoc : bool;
   mutable n_copy : int;
   mutable n_complex : int;
-  mutable pops : int;  (* worklist pops, for periodic cycle collapse *)
+  mutable n_delta : int;  (* objects moved by difference propagation *)
+  mutable rounds : int;  (* solver rounds *)
+  mutable pops : int;  (* frontier nodes, for periodic cycle collapse *)
+  mutable last_collapse : int;
 }
 
 (* -- node / object stores ----------------------------------------------------- *)
@@ -139,11 +246,16 @@ let fresh_node st =
              {
                parent = i;
                rank = 0;
-               pts = IntSet.empty;
+               pts = Ptset.empty;
+               delta = Ptset.empty;
                top = false;
+               top_pending = false;
                succ = IntSet.empty;
                loads = IntSet.empty;
                stores = IntSet.empty;
+               succ_c = None;
+               loads_c = None;
+               stores_c = None;
                vsites = [];
                fsites = [];
                dsites = [];
@@ -156,11 +268,16 @@ let fresh_node st =
     {
       parent = id;
       rank = 0;
-      pts = IntSet.empty;
+      pts = Ptset.empty;
+      delta = Ptset.empty;
       top = false;
+      top_pending = false;
       succ = IntSet.empty;
       loads = IntSet.empty;
       stores = IntSet.empty;
+      succ_c = None;
+      loads_c = None;
+      stores_c = None;
       vsites = [];
       fsites = [];
       dsites = [];
@@ -170,17 +287,17 @@ let fresh_node st =
   Telemetry.Counter.incr nodes_counter;
   id
 
-let new_obj st ~cls ~fn ~payload =
+let new_obj st ~cls ~fn ~payload ~site =
   (if st.n_objs >= Array.length st.objs then
      let cap = max 256 (2 * Array.length st.objs) in
      let nu =
        Array.init cap (fun i ->
            if i < st.n_objs then st.objs.(i)
-           else { o_class = None; o_fn = None; o_payload = -1 })
+           else { o_class = None; o_fn = None; o_payload = -1; o_site = None })
      in
      st.objs <- nu);
   let id = st.n_objs in
-  st.objs.(id) <- { o_class = cls; o_fn = fn; o_payload = payload };
+  st.objs.(id) <- { o_class = cls; o_fn = fn; o_payload = payload; o_site = site };
   st.n_objs <- id + 1;
   Telemetry.Counter.incr objects_counter;
   id
@@ -194,6 +311,12 @@ let rec find st i =
     r
   end
 
+(* Non-compressing find for the read-only parallel phase: no mutation,
+   safe from any domain while no unions are in flight. *)
+let rec find_ro st i =
+  let p = (st.nodes.(i)).parent in
+  if p = i then i else find_ro st p
+
 let push st i =
   let r = find st i in
   let n = st.nodes.(r) in
@@ -203,7 +326,8 @@ let push st i =
   end
 
 (* Merge two nodes (cycle collapse). All constraint sets are unioned into
-   the winner, which is re-queued so the merged constraints re-fire. *)
+   the winner; its delta becomes the full merged set (one full replay
+   re-fires the merged constraints). *)
 let union st a b =
   let a = find st a and b = find st b in
   if a = b then a
@@ -213,17 +337,51 @@ let union st a b =
     let nw = st.nodes.(w) and nl = st.nodes.(l) in
     if nw.rank = nl.rank then nw.rank <- nw.rank + 1;
     nl.parent <- w;
-    nw.pts <- IntSet.union nw.pts nl.pts;
-    nw.top <- nw.top || nl.top;
+    nw.pts <- Ptset.union st.it nw.pts nl.pts;
+    nw.delta <- nw.pts;
+    if nl.top then nw.top <- true;
+    if nw.top then nw.top_pending <- true;
     nw.succ <- IntSet.union nw.succ nl.succ;
     nw.loads <- IntSet.union nw.loads nl.loads;
     nw.stores <- IntSet.union nw.stores nl.stores;
+    nw.succ_c <- None;
+    nw.loads_c <- None;
+    nw.stores_c <- None;
     nw.vsites <- nl.vsites @ nw.vsites;
     nw.fsites <- nl.fsites @ nw.fsites;
     nw.dsites <- nl.dsites @ nw.dsites;
     Telemetry.Counter.incr cycle_counter;
     push st w;
     w
+  end
+
+(* Grow [i]'s set by [s]: only the genuinely new part enters [delta]. *)
+let add_objs st i s =
+  if not (Ptset.is_empty s) then begin
+    let r = find st i in
+    let n = st.nodes.(r) in
+    let d = Ptset.diff st.it s n.pts in
+    if not (Ptset.is_empty d) then begin
+      n.pts <- Ptset.union st.it n.pts d;
+      n.delta <- Ptset.union st.it n.delta d;
+      let moved = Ptset.cardinal d in
+      st.n_delta <- st.n_delta + moved;
+      Telemetry.Counter.add delta_counter moved;
+      push st r
+    end
+  end
+
+let add_obj st i o = add_objs st i (Ptset.singleton st.it o)
+
+let set_top st i =
+  if i >= 0 then begin
+    let r = find st i in
+    let n = st.nodes.(r) in
+    if not n.top then begin
+      n.top <- true;
+      n.top_pending <- true;
+      push st r
+    end
   end
 
 let add_edge st src dst =
@@ -237,45 +395,39 @@ let add_edge st src dst =
         if IntSet.mem src (st.nodes.(dst)).succ then ignore (union st src dst)
         else begin
           n.succ <- IntSet.add dst n.succ;
+          n.succ_c <- None;
           st.n_copy <- st.n_copy + 1;
           Telemetry.Counter.incr copy_counter;
-          if (not (IntSet.is_empty n.pts)) || n.top then push st src
+          (* replay the full current set against just the new edge;
+             future growth arrives via difference propagation *)
+          if n.top then set_top st dst;
+          add_objs st dst n.pts
         end
       end
     end
   end
 
-let set_top st i =
-  if i >= 0 then begin
-    let r = find st i in
-    let n = st.nodes.(r) in
-    if not n.top then begin
-      n.top <- true;
-      push st r
-    end
-  end
+let payload st o =
+  let p = (st.objs.(o)).o_payload in
+  if p >= 0 then Some p else None
 
-let add_obj st i o =
-  let r = find st i in
-  let n = st.nodes.(r) in
-  if not (IntSet.mem o n.pts) then begin
-    n.pts <- IntSet.add o n.pts;
-    push st r
-  end
-
+(* Loads and stores replay the full current set against just the new
+   complex edge at attach time; deltas cover the rest. *)
 let add_load st p dst =
   let r = find st p in
-  (st.nodes.(r)).loads <- IntSet.add dst (st.nodes.(r)).loads;
+  let n = st.nodes.(r) in
+  n.loads <- IntSet.add dst n.loads;
+  n.loads_c <- None;
   st.n_complex <- st.n_complex + 1;
   Telemetry.Counter.incr complex_counter;
-  push st r
-
-let add_store st p src =
-  let r = find st p in
-  (st.nodes.(r)).stores <- IntSet.add src (st.nodes.(r)).stores;
-  st.n_complex <- st.n_complex + 1;
-  Telemetry.Counter.incr complex_counter;
-  push st r
+  if n.top then set_top st dst
+  else
+    Ptset.iter
+      (fun o ->
+        match payload st o with
+        | Some p -> add_edge st p dst
+        | None -> set_top st dst)
+      n.pts
 
 (* -- named nodes -------------------------------------------------------------- *)
 
@@ -287,23 +439,49 @@ let memo tbl key mk =
       Hashtbl.add tbl key v;
       v
 
-let node_of_var st fn name = memo st.var_node (fn, name) (fun () -> fresh_node st)
-let node_of_this st fn = memo st.this_node fn (fun () -> fresh_node st)
-let node_of_ret st fn = memo st.ret_node fn (fun () -> fresh_node st)
+let memo_expr tbl key mk =
+  match ExprTbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      ExprTbl.add tbl key v;
+      v
+
+let memo_decl tbl key mk =
+  match DeclTbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      DeclTbl.add tbl key v;
+      v
+
+let memo_fctx tbl key mk =
+  match FctxTbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      FctxTbl.add tbl key v;
+      v
+
+let node_of_var st fx name = memo st.var_node (fx, name) (fun () -> fresh_node st)
+let node_of_this st fx = memo_fctx st.this_node fx (fun () -> fresh_node st)
+let node_of_ret st fx = memo_fctx st.ret_node fx (fun () -> fresh_node st)
 let node_of_global st g = memo st.global_node g (fun () -> fresh_node st)
 
 let fun_object st id =
-  memo st.fun_obj id (fun () -> new_obj st ~cls:None ~fn:(Some id) ~payload:(-1))
+  memo st.fun_obj id (fun () ->
+      new_obj st ~cls:None ~fn:(Some id) ~payload:(-1) ~site:None)
 
 let class_object st cls =
   memo st.class_obj cls (fun () ->
-      new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1))
+      new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) ~site:None)
 
 (* The cell object for an address-taken location whose contents live in
    node [n]: pts(&x) = { cell(x) }, payload(cell(x)) = node(x). *)
 let cell_object st n =
   let r = find st n in
-  memo st.cell_obj r (fun () -> new_obj st ~cls:None ~fn:None ~payload:r)
+  memo st.cell_obj r (fun () ->
+      new_obj st ~cls:None ~fn:None ~payload:r ~site:None)
 
 (* One node per (defining class, member). Class-typed members denote the
    subobject itself: the node is pre-seeded with an object of the
@@ -319,11 +497,31 @@ let node_of_field st (m : Member.t) =
               | Ast.TNamed k | Ast.TArr (Ast.TNamed k, _) ->
                   if Class_table.mem st.table k then
                     add_obj st n
-                      (new_obj st ~cls:(Some k) ~fn:None ~payload:(-1))
+                      (new_obj st ~cls:(Some k) ~fn:None ~payload:(-1)
+                         ~site:None)
               | _ -> ())
           | None -> ())
       | None -> ());
       n)
+
+(* A stable serial per static call / allocation / delete occurrence,
+   shared by every context clone of the enclosing function. *)
+let serial_of st (e : texpr) =
+  memo_expr st.serial_tbl e (fun () ->
+      let s = st.n_serials in
+      st.n_serials <- s + 1;
+      s)
+
+(* The instance a call with context [c] lands in: [Insensitive] folds
+   everything into [CRoot]; [OneCfa] admits new contexts until the cap,
+   then collapses deterministically. *)
+let ctx_for st fn c =
+  match st.mode with
+  | Insensitive -> CRoot
+  | OneCfa ->
+      if c = CRoot || FctxTbl.mem st.instances (fn, c) then c
+      else if FctxTbl.length st.instances >= ctx_cap then CRoot
+      else c
 
 (* -- type classification ------------------------------------------------------- *)
 
@@ -384,11 +582,12 @@ let dtor_is_virtual table cls =
    so this cluster (dispatch, fallback resolution, instantiation) stays
    free of recursion into the generator. *)
 
-let rec reach st id =
-  if not (FuncSet.mem id st.reached) then begin
-    st.reached <- FuncSet.add id st.reached;
-    Queue.add id st.gen_queue;
-    match id with
+let rec reach st ((fn, _) as fx : fctx) =
+  if not (FctxTbl.mem st.instances fx) then begin
+    FctxTbl.add st.instances fx ();
+    st.reached <- FuncSet.add fn st.reached;
+    Queue.add fx st.gen_queue;
+    match fn with
     | Func_id.FCtor (cls, _) -> instantiate st cls
     | _ -> ()
   end
@@ -402,35 +601,63 @@ and instantiate st cls =
     List.iter (resolve_dsite_fallback st) st.top_dsites
   end
 
+and vsite_target st (vs : vsite) cls =
+  match vs.vs_fixed with
+  | Some t -> Some t
+  | None -> (
+      match Member_lookup.dispatch st.table ~dyn:cls ~name:vs.vs_name with
+      | Some (def, _) -> Some (Func_id.FMethod (def, vs.vs_name))
+      | None -> None)
+
+(* Class-level dispatch with the seed solver's dedup: used by
+   [Insensitive] site processing and by the fallback paths of both
+   modes (receiver [None] = ⊤ inputs into the [CRoot] instance). *)
 and dispatch_to st (vs : vsite) ~recv cls =
   if not (StringSet.mem cls vs.vs_classes) then begin
     vs.vs_classes <- StringSet.add cls vs.vs_classes;
-    match Member_lookup.dispatch st.table ~dyn:cls ~name:vs.vs_name with
-    | Some (def, _) -> bind_virtual st vs ~recv (Func_id.FMethod (def, vs.vs_name))
+    match vsite_target st vs cls with
+    | Some target -> bind_virtual st vs ~recv target
     | None -> ()
   end
 
 and bind_virtual st (vs : vsite) ~recv target =
-  if not (FuncSet.mem target vs.vs_bound) then begin
-    vs.vs_bound <- FuncSet.add target vs.vs_bound;
-    reach st target;
+  let fx = (target, CRoot) in
+  if not (FctxSet.mem fx vs.vs_bound) then begin
+    vs.vs_bound <- FctxSet.add fx vs.vs_bound;
+    reach st fx;
     (match recv with
-    | Some rn -> add_edge st rn (node_of_this st target)
-    | None -> set_top st (node_of_this st target));
-    bind_args st target vs.vs_args vs.vs_ret
+    | Some rn -> add_edge st rn (node_of_this st fx)
+    | None -> set_top st (node_of_this st fx));
+    bind_args st fx vs.vs_args vs.vs_ret
   end
+
+(* Object-level dispatch ([OneCfa]): the callee instance is keyed by the
+   receiver object, and its [this] holds exactly that object. *)
+and dispatch_obj st (vs : vsite) o cls =
+  vs.vs_seen <- StringSet.add cls vs.vs_seen;
+  match vsite_target st vs cls with
+  | None -> ()
+  | Some target ->
+      let cx = ctx_for st target (CObj o) in
+      let fx = (target, cx) in
+      if not (FctxSet.mem fx vs.vs_bound) then begin
+        vs.vs_bound <- FctxSet.add fx vs.vs_bound;
+        reach st fx;
+        bind_args st fx vs.vs_args vs.vs_ret
+      end;
+      add_obj st (node_of_this st fx) o
 
 (* Bind already-generated argument nodes to a target's formals, with
    write-back for reference-to-pointer parameters, and its return to the
    call's result node. Unknown externals yield an unknown result. *)
-and bind_args st target args ret =
-  match find_func st.prog target with
+and bind_args st (fx : fctx) args ret =
+  match find_func st.prog (fst fx) with
   | Some f ->
       List.iteri
         (fun i (pname, pty) ->
           match List.nth_opt args i with
           | Some (av, sb) ->
-              let pn = node_of_var st target pname in
+              let pn = node_of_var st fx pname in
               add_edge st av pn;
               if ref_needs_writeback pty then begin
                 match sb with
@@ -439,13 +666,19 @@ and bind_args st target args ret =
               end
           | None -> ())
         f.tf_params;
-      add_edge st (node_of_ret st target) ret
+      add_edge st (node_of_ret st fx) ret
   | None -> set_top st ret
 
 and resolve_vsite_fallback st (vs : vsite) =
-  List.iter
-    (fun c -> if StringSet.mem c st.inst then dispatch_to st vs ~recv:None c)
-    (vs.vs_static :: Class_table.subclasses st.table vs.vs_static)
+  match vs.vs_fixed with
+  | Some target ->
+      (* statically-resolved call with an unknown receiver: the [CRoot]
+         instance runs with ⊤ [this] *)
+      bind_virtual st vs ~recv:None target
+  | None ->
+      List.iter
+        (fun c -> if StringSet.mem c st.inst then dispatch_to st vs ~recv:None c)
+        (vs.vs_static :: Class_table.subclasses st.table vs.vs_static)
 
 and degrade_vsite st (vs : vsite) =
   if not vs.vs_top then begin
@@ -459,12 +692,12 @@ and bind_fsite_target st (fs : fsite) id =
     fs.fs_bound <- FuncSet.add id fs.fs_bound;
     match find_func st.prog id with
     | Some f when List.length f.tf_params = fs.fs_arity ->
-        reach st id;
+        reach st (id, CRoot);
         (* formals of address-taken functions are already ⊤ *)
-        add_edge st (node_of_ret st id) fs.fs_ret
+        add_edge st (node_of_ret st (id, CRoot)) fs.fs_ret
     | Some _ -> ()  (* arity mismatch: not a possible target *)
     | None ->
-        reach st id;
+        reach st (id, CRoot);
         set_top st fs.fs_ret
   end
 
@@ -483,7 +716,7 @@ and resolve_dsite_fallback st (ds : dsite) =
     (fun c ->
       if StringSet.mem c st.inst && not (StringSet.mem c ds.ds_classes) then begin
         ds.ds_classes <- StringSet.add c ds.ds_classes;
-        reach st (Func_id.FDtor c)
+        reach st (Func_id.FDtor c, CRoot)
       end)
     (ds.ds_static :: Class_table.subclasses st.table ds.ds_static)
 
@@ -508,16 +741,17 @@ and do_havoc st =
 (* Conservative roots (paper §3.3 and entry points): inputs are unknown,
    so formals and receiver are ⊤. *)
 and make_root st id =
-  reach st id;
+  let fx = (id, CRoot) in
+  reach st fx;
   (match find_func st.prog id with
   | Some f ->
       List.iter
         (fun (p, ty) ->
-          if tracked st ty then set_top st (node_of_var st id p))
+          if tracked st ty then set_top st (node_of_var st fx p))
         f.tf_params
   | None -> ());
   match Func_id.class_of id with
-  | Some _ -> set_top st (node_of_this st id)
+  | Some _ -> set_top st (node_of_this st fx)
   | None -> ()
 
 and take_address st id =
@@ -527,96 +761,259 @@ and take_address st id =
     List.iter (fun fs -> bind_fsite_target st fs id) st.top_fsites
   end
 
-(* -- site processing (driven by the solver) ---------------------------------- *)
+(* -- site processing (driven by the solver) ----------------------------------
 
-let process_vsite st (vs : vsite) rnode =
-  let n = st.nodes.(find st rnode) in
+   [feed_*] processes one batch of receiver objects through a site: the
+   full current set at attach time, the delta afterwards. *)
+
+let feed_vsite st (vs : vsite) ~rnode ~objs ~is_top =
   if vs.vs_top then ()
-  else if n.top || st.havoc then degrade_vsite st vs
+  else if is_top || st.havoc then degrade_vsite st vs
   else
-    IntSet.iter
+    Ptset.iter
       (fun o ->
         match (st.objs.(o)).o_class with
-        | Some c -> dispatch_to st vs ~recv:(Some rnode) c
+        | Some c -> (
+            match st.mode with
+            | Insensitive ->
+                vs.vs_seen <- StringSet.add c vs.vs_seen;
+                dispatch_to st vs ~recv:(Some rnode) c
+            | OneCfa -> dispatch_obj st vs o c)
         | None -> degrade_vsite st vs)
-      n.pts
+      objs
 
-let process_fsite st (fs : fsite) fnode =
-  let n = st.nodes.(find st fnode) in
+let feed_fsite st (fs : fsite) ~objs ~is_top =
   if fs.fs_top then ()
-  else if n.top || st.havoc then degrade_fsite st fs
+  else if is_top || st.havoc then degrade_fsite st fs
   else
-    IntSet.iter
+    Ptset.iter
       (fun o ->
         match (st.objs.(o)).o_fn with
         | Some id -> bind_fsite_target st fs id
         | None -> degrade_fsite st fs)
-      n.pts
+      objs
 
-let process_dsite st (ds : dsite) dnode =
-  let n = st.nodes.(find st dnode) in
+let feed_dsite st (ds : dsite) ~objs ~is_top =
   if ds.ds_top then ()
-  else if n.top || st.havoc then degrade_dsite st ds
+  else if is_top || st.havoc then degrade_dsite st ds
   else
-    IntSet.iter
+    Ptset.iter
       (fun o ->
         match (st.objs.(o)).o_class with
         | Some c ->
+            ds.ds_seen <- StringSet.add c ds.ds_seen;
             if not (StringSet.mem c ds.ds_classes) then begin
               ds.ds_classes <- StringSet.add c ds.ds_classes;
-              reach st (Func_id.FDtor c)
+              reach st (Func_id.FDtor c, CRoot)
             end
         | None -> degrade_dsite st ds)
+      objs
+
+(* Stores replay like loads, but need [feed]-style havoc handling. *)
+let add_store st p src =
+  let r = find st p in
+  let n = st.nodes.(r) in
+  n.stores <- IntSet.add src (st.nodes.(r)).stores;
+  n.stores_c <- None;
+  st.n_complex <- st.n_complex + 1;
+  Telemetry.Counter.incr complex_counter;
+  if n.top then do_havoc st
+  else
+    Ptset.iter
+      (fun o ->
+        match payload st o with
+        | Some pl -> add_edge st src pl
+        | None -> do_havoc st)
       n.pts
 
-let payload st o =
-  let p = (st.objs.(o)).o_payload in
-  if p >= 0 then Some p else None
-
-(* Propagate everything pending at representative [r]. Monotone: stale
-   work after a merge only causes redundant (deduplicated) re-firing. *)
-let propagate st r =
+let attach_vsite st (vs : vsite) rnode =
+  let r = find st rnode in
   let n = st.nodes.(r) in
-  let pts = n.pts and top = n.top in
-  IntSet.iter
-    (fun s ->
-      let s' = find st s in
-      if s' <> r then begin
-        let ns = st.nodes.(s') in
-        let nu = IntSet.union ns.pts pts in
-        let topped = top && not ns.top in
-        if topped then ns.top <- true;
-        if topped || not (IntSet.equal nu ns.pts) then begin
-          ns.pts <- nu;
-          push st s'
-        end
-      end)
-    n.succ;
-  IntSet.iter
+  n.vsites <- vs :: n.vsites;
+  feed_vsite st vs ~rnode ~objs:n.pts ~is_top:n.top
+
+let attach_fsite st (fs : fsite) fnode =
+  let r = find st fnode in
+  let n = st.nodes.(r) in
+  n.fsites <- fs :: n.fsites;
+  feed_fsite st fs ~objs:n.pts ~is_top:n.top
+
+let attach_dsite st (ds : dsite) dnode =
+  let r = find st dnode in
+  let n = st.nodes.(r) in
+  n.dsites <- ds :: n.dsites;
+  feed_dsite st ds ~objs:n.pts ~is_top:n.top
+
+(* -- the round-based solver ---------------------------------------------------
+
+   One round: drain the worklist into a frontier of (node, delta, ⊤)
+   snapshots, filter the frontier's copy edges read-only (phase A,
+   parallel when [jobs] allows), then apply the surviving work in
+   frontier order (phase B, sequential). Every mutation happens in
+   phase B or generation, in a deterministic order. *)
+
+type entry = {
+  en_node : int;
+  en_delta : Ptset.t;
+  en_top : bool;
+  en_succ : int array;
+  mutable en_keep : int array;
+  en_loads : int array;
+  en_stores : int array;
+  en_vsites : vsite list;
+  en_fsites : fsite list;
+  en_dsites : dsite list;
+}
+
+let no_edges = [||]
+
+let succ_view n =
+  match n.succ_c with
+  | Some a -> a
+  | None ->
+      let a =
+        if IntSet.is_empty n.succ then no_edges
+        else Array.of_list (IntSet.elements n.succ)
+      in
+      n.succ_c <- Some a;
+      a
+
+let loads_view n =
+  match n.loads_c with
+  | Some a -> a
+  | None ->
+      let a =
+        if IntSet.is_empty n.loads then no_edges
+        else Array.of_list (IntSet.elements n.loads)
+      in
+      n.loads_c <- Some a;
+      a
+
+let stores_view n =
+  match n.stores_c with
+  | Some a -> a
+  | None ->
+      let a =
+        if IntSet.is_empty n.stores then no_edges
+        else Array.of_list (IntSet.elements n.stores)
+      in
+      n.stores_c <- Some a;
+      a
+
+let drain st =
+  let acc = ref [] in
+  while not (Queue.is_empty st.worklist) do
+    let i = Queue.pop st.worklist in
+    let n = st.nodes.(i) in
+    n.queued <- false;
+    if find st i = i && ((not (Ptset.is_empty n.delta)) || n.top_pending) then begin
+      let e =
+        {
+          en_node = i;
+          en_delta = n.delta;
+          en_top = n.top_pending;
+          en_succ = succ_view n;
+          en_keep = no_edges;
+          en_loads = loads_view n;
+          en_stores = stores_view n;
+          en_vsites = n.vsites;
+          en_fsites = n.fsites;
+          en_dsites = n.dsites;
+        }
+      in
+      n.delta <- Ptset.empty;
+      n.top_pending <- false;
+      acc := e :: !acc
+    end
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Phase A: strictly read-only. A copy edge is kept when the delta is
+   not already covered by the target's set; a skip stays valid because
+   sets only grow. The filter's output is a pure function of the
+   frontier snapshot, so parallel and sequential runs agree exactly. *)
+let compute_keeps st frontier =
+  let keep e s =
+    let r = find_ro st s in
+    r <> e.en_node
+    && (e.en_top || not (Ptset.subset e.en_delta (st.nodes.(r)).pts))
+  in
+  let work lo hi =
+    for k = lo to hi - 1 do
+      let e = frontier.(k) in
+      let nsucc = Array.length e.en_succ in
+      let m = ref 0 in
+      for j = 0 to nsucc - 1 do
+        if keep e e.en_succ.(j) then incr m
+      done;
+      (* count first, then fill exactly — and when everything survives
+         (the common case) reuse the cached edge array outright *)
+      if !m = nsucc then e.en_keep <- e.en_succ
+      else if !m > 0 then begin
+        let buf = Array.make !m 0 in
+        let w = ref 0 in
+        for j = 0 to nsucc - 1 do
+          let s = e.en_succ.(j) in
+          if keep e s then begin
+            buf.(!w) <- s;
+            incr w
+          end
+        done;
+        e.en_keep <- buf
+      end
+    done
+  in
+  let nf = Array.length frontier in
+  if st.jobs > 1 && nf >= 64 then begin
+    let chunk = (nf + st.jobs - 1) / st.jobs in
+    let doms =
+      List.init (st.jobs - 1) (fun k ->
+          let lo = min nf ((k + 1) * chunk) in
+          let hi = min nf (lo + chunk) in
+          Domain.spawn (fun () -> work lo hi))
+    in
+    work 0 (min chunk nf);
+    List.iter Domain.join doms
+  end
+  else work 0 nf
+
+(* Phase B: apply one frontier entry. Monotone: stale snapshots after a
+   mid-round merge only cause redundant (deduplicated) re-firing. *)
+let apply_entry st e =
+  Telemetry.Counter.incr iter_counter;
+  let is_top = e.en_top || (st.nodes.(find st e.en_node)).top in
+  Array.iter
     (fun dst ->
-      if top then set_top st dst
+      if e.en_top then set_top st dst;
+      add_objs st dst e.en_delta)
+    e.en_keep;
+  Array.iter
+    (fun dst ->
+      if is_top then set_top st dst
       else
-        IntSet.iter
+        Ptset.iter
           (fun o ->
             match payload st o with
             | Some p -> add_edge st p dst
             | None -> set_top st dst)
-          pts)
-    n.loads;
-  IntSet.iter
+          e.en_delta)
+    e.en_loads;
+  Array.iter
     (fun src ->
-      if top then do_havoc st
+      if is_top then do_havoc st
       else
-        IntSet.iter
+        Ptset.iter
           (fun o ->
             match payload st o with
             | Some p -> add_edge st src p
             | None -> do_havoc st)
-          pts)
-    n.stores;
-  List.iter (fun vs -> process_vsite st vs r) n.vsites;
-  List.iter (fun fs -> process_fsite st fs r) n.fsites;
-  List.iter (fun ds -> process_dsite st ds r) n.dsites
+          e.en_delta)
+    e.en_stores;
+  List.iter
+    (fun vs -> feed_vsite st vs ~rnode:e.en_node ~objs:e.en_delta ~is_top)
+    e.en_vsites;
+  List.iter (fun fs -> feed_fsite st fs ~objs:e.en_delta ~is_top) e.en_fsites;
+  List.iter (fun ds -> feed_dsite st ds ~objs:e.en_delta ~is_top) e.en_dsites
 
 (* Periodic Tarjan pass over copy edges: collapse multi-node cycles the
    eager 2-cycle check misses. Purely an acceleration; unions performed
@@ -655,7 +1052,8 @@ let collapse_cycles st =
       in
       match pop [] with
       | _ :: _ :: _ as scc ->
-          ignore (List.fold_left (fun a b -> union st a b) (List.hd scc) (List.tl scc))
+          ignore
+            (List.fold_left (fun a b -> union st a b) (List.hd scc) (List.tl scc))
       | _ -> ()
     end
   in
@@ -665,10 +1063,10 @@ let collapse_cycles st =
 
 (* -- constraint generation ----------------------------------------------------
 
-   Each reachable function's body is walked exactly once; every
-   tracked-typed expression occurrence is mapped (physically) to the
-   node holding its value, so clients can query receivers after the
-   solve. *)
+   Each reachable function instance's body is walked exactly once; every
+   tracked-typed expression occurrence is mapped (physically, per
+   context) to the node holding its value, so clients can query
+   receivers after the solve. *)
 
 (* Where a write to an lvalue lands. *)
 type lv =
@@ -677,11 +1075,14 @@ type lv =
   | LTop  (* unmodelable: writes of tracked values havoc *)
   | LNone  (* untracked or not an lvalue *)
 
-let rec gen_expr st fn (e : texpr) : int =
-  match ExprTbl.find_opt st.expr_node e with
+let rec gen_expr st (fx : fctx) (e : texpr) : int =
+  let prior =
+    match ExprTbl.find_opt st.expr_node e with Some l -> l | None -> []
+  in
+  match List.assoc_opt (snd fx) prior with
   | Some n -> n
   | None ->
-      let n = gen_expr_raw st fn e in
+      let n = gen_expr_raw st fx e in
       (* safety net: a tracked expression must always have a node — an
          unmodelled corner becomes ⊤, never a silent drop *)
       let n =
@@ -692,10 +1093,10 @@ let rec gen_expr st fn (e : texpr) : int =
         end
         else n
       in
-      if n >= 0 then ExprTbl.replace st.expr_node e n;
+      if n >= 0 then ExprTbl.replace st.expr_node e ((snd fx, n) :: prior);
       n
 
-and gen_expr_raw st fn (e : texpr) : int =
+and gen_expr_raw st fx (e : texpr) : int =
   match e.te with
   | TInt _ | TBool _ | TChar _ | TFloat _ | TEnumConst _ | TSizeofType _ ->
       nonode
@@ -703,35 +1104,35 @@ and gen_expr_raw st fn (e : texpr) : int =
       (* a value that points to nothing the analysis tracks *)
       if tracked st e.ty then fresh_node st else nonode
   | TSizeofExpr _ -> nonode  (* operand is unevaluated *)
-  | TLocal x -> if tracked st e.ty then node_of_var st fn x else nonode
+  | TLocal x -> if tracked st e.ty then node_of_var st fx x else nonode
   | TGlobalVar g -> if tracked st e.ty then node_of_global st g else nonode
-  | TThis _ -> node_of_this st fn
+  | TThis _ -> node_of_this st fx
   | TStaticField (c, f) ->
       if tracked st e.ty then node_of_field st (Member.make ~cls:c ~name:f)
       else nonode
   | TField fa ->
-      ignore (gen_expr st fn fa.fa_obj);
+      ignore (gen_expr st fx fa.fa_obj);
       if tracked st e.ty then
         node_of_field st (Member.make ~cls:fa.fa_def_class ~name:fa.fa_field)
       else nonode
   | TUnary (_, a) ->
-      ignore (gen_expr st fn a);
+      ignore (gen_expr st fx a);
       nonode
   | TBinary (_, a, b) ->
       (* pointer arithmetic preserves the pointed-to objects *)
-      let ga = gen_rval st fn a and gb = gen_rval st fn b in
+      let ga = gen_rval st fx a and gb = gen_rval st fx b in
       if tracked st e.ty then if ga >= 0 then ga else gb else nonode
   | TAssign (op, lhs, rhs) ->
-      let gr = gen_rval st fn rhs in
-      let lvs = gen_lval st fn lhs in
+      let gr = gen_rval st fx rhs in
+      let lvs = gen_lval st fx lhs in
       if op = Ast.Assign && tracked st rhs.ty then do_assign st lvs gr;
       if tracked st e.ty then gr else nonode
   | TIncDec (_, _, a) ->
-      let ga = gen_expr st fn a in
+      let ga = gen_expr st fx a in
       if tracked st e.ty then ga else nonode
   | TCond (c, t, f) ->
-      ignore (gen_expr st fn c);
-      let gt = gen_rval st fn t and gf = gen_rval st fn f in
+      ignore (gen_expr st fx c);
+      let gt = gen_rval st fx t and gf = gen_rval st fx f in
       if tracked st e.ty then begin
         let n = fresh_node st in
         add_edge st gt n;
@@ -740,7 +1141,7 @@ and gen_expr_raw st fn (e : texpr) : int =
       end
       else nonode
   | TCast (_, _, a, _) ->
-      let ga = gen_rval st fn a in
+      let ga = gen_rval st fx a in
       if tracked st e.ty then
         if ga >= 0 then ga
         else begin
@@ -752,9 +1153,9 @@ and gen_expr_raw st fn (e : texpr) : int =
       else nonode
   | TAddrOf a -> (
       match Ctype.class_name a.ty with
-      | Some _ -> gen_expr st fn a  (* &object = the object's identity *)
+      | Some _ -> gen_expr st fx a  (* &object = the object's identity *)
       | None ->
-          let lvs = gen_lval st fn a in
+          let lvs = gen_lval st fx a in
           let n = fresh_node st in
           List.iter
             (function
@@ -772,9 +1173,9 @@ and gen_expr_raw st fn (e : texpr) : int =
   | TMemPtr _ -> nonode
   | TDeref a | TIndex (a, _) ->
       (match e.te with
-      | TIndex (_, i) -> ignore (gen_expr st fn i)
+      | TIndex (_, i) -> ignore (gen_expr st fx i)
       | _ -> ());
-      let ga = gen_expr st fn a in
+      let ga = gen_expr st fx a in
       if Ctype.class_name e.ty <> None then ga
         (* objects are second-class: denoting one denotes the pointer's
            targets *)
@@ -788,8 +1189,8 @@ and gen_expr_raw st fn (e : texpr) : int =
       end
       else nonode
   | TMemPtrDeref (recv, mp, _) ->
-      ignore (gen_expr st fn recv);
-      ignore (gen_expr st fn mp);
+      ignore (gen_expr st fx recv);
+      ignore (gen_expr st fx mp);
       if tracked st e.ty then begin
         let n = fresh_node st in
         set_top st n;
@@ -797,35 +1198,53 @@ and gen_expr_raw st fn (e : texpr) : int =
       end
       else nonode
   | TNewObj { cls; ctor; args } ->
-      let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
-      let gargs = gen_args st fn args in
-      reach st ctor;
-      add_obj st (node_of_this st ctor) o;
+      (* one object per static occurrence, shared by all clones *)
+      let o =
+        memo_expr st.site_obj e (fun () ->
+            new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1)
+              ~site:(Some e.tloc))
+      in
+      let gargs = gen_args st fx args in
+      let cfx = (ctor, ctx_for st ctor (CObj o)) in
+      reach st cfx;
+      add_obj st (node_of_this st cfx) o;
       let n = fresh_node st in
       add_obj st n o;
-      bind_args st ctor gargs (fresh_node st);
+      bind_args st cfx gargs (fresh_node st);
       n
   | TNewScalar _ ->
-      let p = fresh_node st in
-      let o = new_obj st ~cls:None ~fn:None ~payload:p in
+      let o =
+        memo_expr st.site_obj e (fun () ->
+            let p = fresh_node st in
+            new_obj st ~cls:None ~fn:None ~payload:p ~site:(Some e.tloc))
+      in
       let n = fresh_node st in
       add_obj st n o;
       n
   | TNewArr (ty, len) ->
-      ignore (gen_expr st fn len);
+      ignore (gen_expr st fx len);
       let n = fresh_node st in
       (match ty with
       | Ast.TNamed cls when Class_table.mem st.table cls ->
-          let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
+          let o =
+            memo_expr st.site_obj e (fun () ->
+                new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1)
+                  ~site:(Some e.tloc))
+          in
           let ctor = Func_id.FCtor (cls, 0) in
-          reach st ctor;
-          add_obj st (node_of_this st ctor) o;
+          let cfx = (ctor, ctx_for st ctor (CObj o)) in
+          reach st cfx;
+          add_obj st (node_of_this st cfx) o;
           add_obj st n o
       | _ ->
-          let p = fresh_node st in
-          add_obj st n (new_obj st ~cls:None ~fn:None ~payload:p));
+          let o =
+            memo_expr st.site_obj e (fun () ->
+                let p = fresh_node st in
+                new_obj st ~cls:None ~fn:None ~payload:p ~site:(Some e.tloc))
+          in
+          add_obj st n o);
       n
-  | TCall c -> gen_call st fn e c
+  | TCall c -> gen_call st fx e c
 
 and do_assign st lvs rhs_node =
   List.iter
@@ -836,9 +1255,9 @@ and do_assign st lvs rhs_node =
       | LNone -> ())
     lvs
 
-and gen_lval st fn (e : texpr) : lv list =
+and gen_lval st fx (e : texpr) : lv list =
   match e.te with
-  | TLocal x -> [ (if tracked st e.ty then LNode (node_of_var st fn x) else LNone) ]
+  | TLocal x -> [ (if tracked st e.ty then LNode (node_of_var st fx x) else LNone) ]
   | TGlobalVar g ->
       [ (if tracked st e.ty then LNode (node_of_global st g) else LNone) ]
   | TStaticField (c, f) ->
@@ -848,7 +1267,7 @@ and gen_lval st fn (e : texpr) : lv list =
          else LNone);
       ]
   | TField fa ->
-      ignore (gen_expr st fn fa.fa_obj);
+      ignore (gen_expr st fx fa.fa_obj);
       [
         (if tracked st e.ty then
            LNode (node_of_field st (Member.make ~cls:fa.fa_def_class ~name:fa.fa_field))
@@ -856,34 +1275,34 @@ and gen_lval st fn (e : texpr) : lv list =
       ]
   | TDeref a | TIndex (a, _) ->
       (match e.te with
-      | TIndex (_, i) -> ignore (gen_expr st fn i)
+      | TIndex (_, i) -> ignore (gen_expr st fx i)
       | _ -> ());
-      let ga = gen_expr st fn a in
+      let ga = gen_expr st fx a in
       if is_array_ty a.ty then
         (* arrays are collapsed: an element write is a direct write *)
         [ (if ga >= 0 then LNode ga else LNone) ]
       else [ (if ga >= 0 then LIndirect ga else LNone) ]
   | TCond (c, t, f) ->
-      ignore (gen_expr st fn c);
-      gen_lval st fn t @ gen_lval st fn f
-  | TCast (_, _, a, _) -> gen_lval st fn a
+      ignore (gen_expr st fx c);
+      gen_lval st fx t @ gen_lval st fx f
+  | TCast (_, _, a, _) -> gen_lval st fx a
   | TMemPtrDeref (recv, mp, _) ->
-      ignore (gen_expr st fn recv);
-      ignore (gen_expr st fn mp);
+      ignore (gen_expr st fx recv);
+      ignore (gen_expr st fx mp);
       [ LTop ]
   | _ ->
-      ignore (gen_expr st fn e);
+      ignore (gen_expr st fx e);
       [ LTop ]
 
 (* The write-back sink for an argument that may bind to a
    reference-to-pointer formal: writes to the formal flow back here. *)
-and arg_backflow st fn (a : texpr) : int option =
+and arg_backflow st fx (a : texpr) : int option =
   match a.ty with
   | Ast.TPtr _ | Ast.TFun _ -> (
       match a.te with
       | TLocal _ | TGlobalVar _ | TField _ | TStaticField _ | TDeref _
       | TIndex _ -> (
-          match gen_lval st fn a with
+          match gen_lval st fx a with
           | [ LNode n ] -> Some n
           | [ LIndirect p ] ->
               let bk = fresh_node st in
@@ -895,8 +1314,8 @@ and arg_backflow st fn (a : texpr) : int option =
 
 (* An array used as a value decays to a pointer to its collapsed
    element node. *)
-and gen_rval st fn (e : texpr) : int =
-  let n = gen_expr st fn e in
+and gen_rval st fx (e : texpr) : int =
+  let n = gen_expr st fx e in
   if n >= 0 && is_decaying_array e.ty then begin
     let p = fresh_node st in
     add_obj st p (cell_object st n);
@@ -904,79 +1323,104 @@ and gen_rval st fn (e : texpr) : int =
   end
   else n
 
-and gen_args st fn args =
-  List.map (fun a -> (gen_rval st fn a, arg_backflow st fn a)) args
+and gen_args st fx args =
+  List.map (fun a -> (gen_rval st fx a, arg_backflow st fx a)) args
 
-and gen_static_call st fn ~recv ~target ~args ret_ty =
-  let gargs = gen_args st fn args in
-  reach st target;
+and gen_static_call st fx ~recv ~callee ~args ret_ty =
+  let gargs = gen_args st fx args in
+  reach st callee;
   (match recv with
-  | Some r -> add_edge st r (node_of_this st target)
+  | Some r -> add_edge st r (node_of_this st callee)
   | None -> ());
   let rn = fresh_node st in
-  bind_args st target gargs rn;
+  bind_args st callee gargs rn;
   if tracked st ret_ty then rn else nonode
 
-and gen_call st fn (e : texpr) (c : call) : int =
+(* A method call routed through its receiver's objects: virtual calls
+   always; statically-resolved calls too in [OneCfa] mode, so the callee
+   is cloned per receiver allocation site. *)
+and gen_method_site st fx (e : texpr) (mc : method_call) ~fixed ~static_cls
+    grecv =
+  let gargs = gen_args st fx mc.mc_args in
+  let rn = fresh_node st in
+  let vs =
+    {
+      vs_serial = serial_of st e;
+      vs_fixed = fixed;
+      vs_static = static_cls;
+      vs_name = mc.mc_name;
+      vs_args = gargs;
+      vs_ret = rn;
+      vs_classes = StringSet.empty;
+      vs_seen = StringSet.empty;
+      vs_bound = FctxSet.empty;
+      vs_top = false;
+    }
+  in
+  st.all_vsites <- vs :: st.all_vsites;
+  let rnode =
+    if grecv >= 0 then grecv
+    else begin
+      let t = fresh_node st in
+      set_top st t;
+      t
+    end
+  in
+  attach_vsite st vs rnode;
+  if tracked st e.ty then rn else nonode
+
+and gen_call st fx (e : texpr) (c : call) : int =
   match c with
   | CBuiltin (_, args) ->
-      List.iter (fun a -> ignore (gen_expr st fn a)) args;
+      List.iter (fun a -> ignore (gen_expr st fx a)) args;
       nonode
   | CFree (name, args) ->
-      gen_static_call st fn ~recv:None ~target:(Func_id.FFree name) ~args e.ty
+      let target = Func_id.FFree name in
+      let cfx = (target, ctx_for st target (CSite (serial_of st e))) in
+      gen_static_call st fx ~recv:None ~callee:cfx ~args e.ty
   | CMethod mc -> (
-      let grecv = gen_expr st fn mc.mc_recv in
+      let grecv = gen_expr st fx mc.mc_recv in
+      let static_target = Func_id.FMethod (mc.mc_class, mc.mc_name) in
+      let static_call () =
+        let cx =
+          match st.mode with
+          | Insensitive -> CRoot
+          | OneCfa -> ctx_for st static_target (CSite (serial_of st e))
+        in
+        gen_static_call st fx
+          ~recv:(if grecv >= 0 then Some grecv else None)
+          ~callee:(static_target, cx) ~args:mc.mc_args e.ty
+      in
       match mc.mc_dispatch with
-      | DStatic ->
-          gen_static_call st fn
-            ~recv:(if grecv >= 0 then Some grecv else None)
-            ~target:(Func_id.FMethod (mc.mc_class, mc.mc_name))
-            ~args:mc.mc_args e.ty
+      | DStatic -> (
+          match st.mode with
+          | OneCfa when grecv >= 0 ->
+              let scls =
+                match receiver_static_class mc with
+                | Some s -> s
+                | None -> mc.mc_class
+              in
+              gen_method_site st fx e mc ~fixed:(Some static_target)
+                ~static_cls:scls grecv
+          | _ -> static_call ())
       | DVirtual -> (
           match receiver_static_class mc with
-          | None ->
-              gen_static_call st fn
-                ~recv:(if grecv >= 0 then Some grecv else None)
-                ~target:(Func_id.FMethod (mc.mc_class, mc.mc_name))
-                ~args:mc.mc_args e.ty
+          | None -> static_call ()
           | Some scls ->
-              let gargs = gen_args st fn mc.mc_args in
-              let rn = fresh_node st in
-              let vs =
-                {
-                  vs_static = scls;
-                  vs_name = mc.mc_name;
-                  vs_args = gargs;
-                  vs_ret = rn;
-                  vs_classes = StringSet.empty;
-                  vs_bound = FuncSet.empty;
-                  vs_top = false;
-                }
-              in
-              st.all_vsites <- vs :: st.all_vsites;
-              let rnode =
-                if grecv >= 0 then grecv
-                else begin
-                  let t = fresh_node st in
-                  set_top st t;
-                  t
-                end
-              in
-              let r = find st rnode in
-              (st.nodes.(r)).vsites <- vs :: (st.nodes.(r)).vsites;
-              process_vsite st vs rnode;
-              if tracked st e.ty then rn else nonode))
+              gen_method_site st fx e mc ~fixed:None ~static_cls:scls grecv))
   | CFunPtr (fnx, args) -> (
       match fnx.te with
       | TFunAddr id ->
           (* direct call through a literal address: no indirection *)
-          gen_static_call st fn ~recv:None ~target:id ~args e.ty
+          let cfx = (id, ctx_for st id (CSite (serial_of st e))) in
+          gen_static_call st fx ~recv:None ~callee:cfx ~args e.ty
       | _ ->
-          let gf = gen_expr st fn fnx in
-          List.iter (fun a -> ignore (gen_expr st fn a)) args;
+          let gf = gen_expr st fx fnx in
+          List.iter (fun a -> ignore (gen_expr st fx a)) args;
           let rn = fresh_node st in
           let fs =
             {
+              fs_serial = serial_of st e;
               fs_arity = List.length args;
               fs_ret = rn;
               fs_bound = FuncSet.empty;
@@ -992,47 +1436,56 @@ and gen_call st fn (e : texpr) (c : call) : int =
               t
             end
           in
-          let r = find st fnode in
-          (st.nodes.(r)).fsites <- fs :: (st.nodes.(r)).fsites;
-          process_fsite st fs fnode;
+          attach_fsite st fs fnode;
           if tracked st e.ty then rn else nonode)
 
 (* -- statements and functions -------------------------------------------------- *)
 
-and gen_decl st fn (d : tvar_decl) =
+and gen_decl st fx (d : tvar_decl) =
   match d.tv_type with
   | Ast.TNamed cls when Class_table.mem st.table cls ->
       (* a stack object: exact dynamic class, destroyed at scope exit *)
-      let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
-      add_obj st (node_of_var st fn d.tv_name) o;
+      let o =
+        memo_decl st.decl_obj d (fun () ->
+            new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1)
+              ~site:(Some d.tv_loc))
+      in
+      add_obj st (node_of_var st fx d.tv_name) o;
       (match d.tv_init with
       | TInitCtor (ctor, args) ->
-          let gargs = gen_args st fn args in
-          reach st ctor;
-          add_obj st (node_of_this st ctor) o;
-          bind_args st ctor gargs (fresh_node st)
+          let gargs = gen_args st fx args in
+          let cfx = (ctor, ctx_for st ctor (CObj o)) in
+          reach st cfx;
+          add_obj st (node_of_this st cfx) o;
+          bind_args st cfx gargs (fresh_node st)
       | TInitNone ->
           let ctor = Func_id.FCtor (cls, 0) in
-          reach st ctor;
-          add_obj st (node_of_this st ctor) o
-      | TInitExpr e -> ignore (gen_expr st fn e));
-      reach st (Func_id.FDtor cls)
+          let cfx = (ctor, ctx_for st ctor (CObj o)) in
+          reach st cfx;
+          add_obj st (node_of_this st cfx) o
+      | TInitExpr e -> ignore (gen_expr st fx e));
+      reach st (Func_id.FDtor cls, CRoot)
   | Ast.TArr (Ast.TNamed cls, _) when Class_table.mem st.table cls ->
-      let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
-      add_obj st (node_of_var st fn d.tv_name) o;
+      let o =
+        memo_decl st.decl_obj d (fun () ->
+            new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1)
+              ~site:(Some d.tv_loc))
+      in
+      add_obj st (node_of_var st fx d.tv_name) o;
       let ctor = Func_id.FCtor (cls, 0) in
-      reach st ctor;
-      add_obj st (node_of_this st ctor) o;
-      reach st (Func_id.FDtor cls);
+      let cfx = (ctor, ctx_for st ctor (CObj o)) in
+      reach st cfx;
+      add_obj st (node_of_this st cfx) o;
+      reach st (Func_id.FDtor cls, CRoot);
       (match d.tv_init with
-      | TInitExpr e -> ignore (gen_expr st fn e)
+      | TInitExpr e -> ignore (gen_expr st fx e)
       | _ -> ())
   | _ -> (
       match d.tv_init with
       | TInitExpr e ->
-          let ge = gen_rval st fn e in
+          let ge = gen_rval st fx e in
           if tracked st d.tv_type then begin
-            let v = node_of_var st fn d.tv_name in
+            let v = node_of_var st fx d.tv_name in
             add_edge st ge v;
             if ref_needs_writeback d.tv_type then
               (* the local is an alias: writes through it must reach the
@@ -1043,35 +1496,41 @@ and gen_decl st fn (d : tvar_decl) =
                   | LIndirect p -> add_store st p v
                   | LTop -> do_havoc st
                   | LNone -> ())
-                (gen_lval st fn e)
+                (gen_lval st fx e)
           end
       | TInitCtor (_, args) -> (
           match args with
           | [ a ] when tracked st d.tv_type ->
-              let ga = gen_rval st fn a in
-              add_edge st ga (node_of_var st fn d.tv_name)
-          | _ -> List.iter (fun a -> ignore (gen_expr st fn a)) args)
+              let ga = gen_rval st fx a in
+              add_edge st ga (node_of_var st fx d.tv_name)
+          | _ -> List.iter (fun a -> ignore (gen_expr st fx a)) args)
       | TInitNone -> ())
 
-and gen_stmt st fn (s : tstmt) =
+and gen_stmt st fx (s : tstmt) =
   match s.ts with
-  | TSExpr e -> ignore (gen_expr st fn e)
-  | TSDecl ds -> List.iter (gen_decl st fn) ds
+  | TSExpr e -> ignore (gen_expr st fx e)
+  | TSDecl ds -> List.iter (gen_decl st fx) ds
   | TSIf (c, _, _) | TSWhile (c, _) | TSDoWhile (_, c) ->
-      ignore (gen_expr st fn c)
+      ignore (gen_expr st fx c)
   | TSFor (_, cond, step, _) ->
-      Option.iter (fun e -> ignore (gen_expr st fn e)) cond;
-      Option.iter (fun e -> ignore (gen_expr st fn e)) step
+      Option.iter (fun e -> ignore (gen_expr st fx e)) cond;
+      Option.iter (fun e -> ignore (gen_expr st fx e)) step
   | TSReturn (Some e) ->
-      let ge = gen_rval st fn e in
-      if tracked st e.ty then add_edge st ge (node_of_ret st fn)
+      let ge = gen_rval st fx e in
+      if tracked st e.ty then add_edge st ge (node_of_ret st fx)
   | TSDelete (_, e) -> (
-      let ge = gen_expr st fn e in
+      let ge = gen_expr st fx e in
       match Ctype.pointee e.ty with
       | Some (Ast.TNamed cls) when Class_table.mem st.table cls ->
           if dtor_is_virtual st.table cls then begin
             let ds =
-              { ds_static = cls; ds_classes = StringSet.empty; ds_top = false }
+              {
+                ds_serial = serial_of st e;
+                ds_static = cls;
+                ds_classes = StringSet.empty;
+                ds_seen = StringSet.empty;
+                ds_top = false;
+              }
             in
             st.all_dsites <- ds :: st.all_dsites;
             let dnode =
@@ -1082,18 +1541,17 @@ and gen_stmt st fn (s : tstmt) =
                 t
               end
             in
-            let r = find st dnode in
-            (st.nodes.(r)).dsites <- ds :: (st.nodes.(r)).dsites;
-            process_dsite st ds dnode
+            attach_dsite st ds dnode
           end
-          else reach st (Func_id.FDtor cls)
+          else reach st (Func_id.FDtor cls, CRoot)
       | _ -> ())
   | TSReturn None | TSBlock _ | TSBreak | TSContinue | TSEmpty -> ()
 
-(* Generate the constraints of one newly-reached function: structural
-   constructor/destructor obligations (mirroring the call-graph
-   builder's [structural_events]), then the body. *)
-and gen_func st id =
+(* Generate the constraints of one newly-reached function instance:
+   structural constructor/destructor obligations (mirroring the
+   call-graph builder's [structural_events]), then the body. *)
+and gen_func st (fx : fctx) =
+  let id, cx = fx in
   match find_func st.prog id with
   | None -> ()
   | Some f ->
@@ -1101,17 +1559,23 @@ and gen_func st id =
       | Func_id.FCtor (cls, _) ->
           (* while a constructor runs, the dynamic type is the class
              itself (C++ dispatch-during-construction) *)
-          add_obj st (node_of_this st id) (class_object st cls);
+          add_obj st (node_of_this st fx) (class_object st cls);
           List.iter
             (fun (bi : base_init) ->
               let bctor = Func_id.FCtor (bi.bi_class, List.length bi.bi_args) in
-              let gargs = gen_args st id bi.bi_args in
-              reach st bctor;
+              let gargs = gen_args st fx bi.bi_args in
+              (* the base subobject is the same object under
+                 construction: its clone keeps the caller's context *)
+              let bcx =
+                match cx with CObj _ -> ctx_for st bctor cx | _ -> CRoot
+              in
+              let bfx = (bctor, bcx) in
+              reach st bfx;
               (* the object under construction is the base ctor's receiver
                  too: if [this] escapes from the base ctor, it carries the
                  derived object's identity *)
-              add_edge st (node_of_this st id) (node_of_this st bctor);
-              bind_args st bctor gargs (fresh_node st))
+              add_edge st (node_of_this st fx) (node_of_this st bfx);
+              bind_args st bfx gargs (fresh_node st))
             f.tf_base_inits;
           let c = Class_table.find_exn st.table cls in
           List.iter
@@ -1131,39 +1595,40 @@ and gen_func st id =
                     in
                     let gargs =
                       match explicit with
-                      | Some fi -> gen_args st id fi.fi_args
+                      | Some fi -> gen_args st fx fi.fi_args
                       | None -> []
                     in
                     let fctor = Func_id.FCtor (fcls, nargs) in
-                    reach st fctor;
-                    bind_args st fctor gargs (fresh_node st)
+                    let ffx = (fctor, CRoot) in
+                    reach st ffx;
+                    bind_args st ffx gargs (fresh_node st)
                 | Ast.TArr (Ast.TNamed fcls, _)
                   when Class_table.mem st.table fcls ->
-                    reach st (Func_id.FCtor (fcls, 0))
+                    reach st (Func_id.FCtor (fcls, 0), CRoot)
                 | _ -> (
                     match explicit with
                     | Some fi when tracked st fl.f_type -> (
                         match fi.fi_args with
                         | [ a ] ->
-                            let ga = gen_expr st id a in
+                            let ga = gen_expr st fx a in
                             add_edge st ga
                               (node_of_field st
                                  (Member.make ~cls ~name:fl.f_name))
                         | args ->
                             List.iter
-                              (fun a -> ignore (gen_expr st id a))
+                              (fun a -> ignore (gen_expr st fx a))
                               args)
                     | Some fi ->
                         List.iter
-                          (fun a -> ignore (gen_expr st id a))
+                          (fun a -> ignore (gen_expr st fx a))
                           fi.fi_args
                     | None -> ()))
             c.c_fields
       | Func_id.FDtor cls ->
-          add_obj st (node_of_this st id) (class_object st cls);
+          add_obj st (node_of_this st fx) (class_object st cls);
           let c = Class_table.find_exn st.table cls in
           List.iter
-            (fun (b : Ast.base_spec) -> reach st (Func_id.FDtor b.b_name))
+            (fun (b : Ast.base_spec) -> reach st (Func_id.FDtor b.b_name, CRoot))
             c.c_bases;
           List.iter
             (fun vb ->
@@ -1172,7 +1637,7 @@ and gen_func st id =
                   (List.exists
                      (fun (b : Ast.base_spec) -> b.b_name = vb)
                      c.c_bases)
-              then reach st (Func_id.FDtor vb))
+              then reach st (Func_id.FDtor vb, CRoot))
             (Class_table.virtual_base_names st.table cls);
           List.iter
             (fun (fl : Class_table.field) ->
@@ -1180,12 +1645,12 @@ and gen_func st id =
                 match fl.f_type with
                 | Ast.TNamed fcls | Ast.TArr (Ast.TNamed fcls, _) ->
                     if Class_table.mem st.table fcls then
-                      reach st (Func_id.FDtor fcls)
+                      reach st (Func_id.FDtor fcls, CRoot)
                 | _ -> ())
             c.c_fields
       | Func_id.FFree _ | Func_id.FMethod _ -> ());
       (match f.tf_body with
-      | Some body -> fold_stmts (fun () s -> gen_stmt st id s) () body
+      | Some body -> fold_stmts (fun () s -> gen_stmt st fx s) () body
       | None -> ())
 
 (* -- driver -------------------------------------------------------------------- *)
@@ -1193,34 +1658,115 @@ and gen_func st id =
 let solve st =
   let running = ref true in
   while !running do
-    if not (Queue.is_empty st.gen_queue) then gen_func st (Queue.pop st.gen_queue)
-    else if not (Queue.is_empty st.worklist) then begin
-      let r = Queue.pop st.worklist in
-      (st.nodes.(r)).queued <- false;
-      if find st r = r then begin
-        Telemetry.Counter.incr iter_counter;
-        st.pops <- st.pops + 1;
-        if st.pops mod 4096 = 0 then collapse_cycles st;
-        propagate st r
+    while not (Queue.is_empty st.gen_queue) do
+      gen_func st (Queue.pop st.gen_queue)
+    done;
+    if Queue.is_empty st.worklist then running := false
+    else begin
+      st.rounds <- st.rounds + 1;
+      Telemetry.Counter.incr round_counter;
+      let frontier = drain st in
+      compute_keeps st frontier;
+      Array.iter (apply_entry st) frontier;
+      st.pops <- st.pops + Array.length frontier;
+      (* the collapse pass is O(V+E); scale the trigger with graph size
+         so long pipelined propagations don't drown in Tarjan walks *)
+      if st.pops - st.last_collapse >= max 4096 (4 * st.n_nodes) then begin
+        st.last_collapse <- st.pops;
+        collapse_cycles st
       end
     end
-    else running := false
   done
 
-let analyze ?(roots = [ main_id ]) (p : program) : solution =
+(* A converged solution should retain the answer, not the machinery
+   that produced it: drop the capacity slack of the node/object stores,
+   the lazily built edge-array views, and the interner's operation
+   memos (interned sets survive — queries re-dedup on demand). *)
+let shrink st =
+  if Array.length st.nodes > st.n_nodes then
+    st.nodes <- Array.sub st.nodes 0 st.n_nodes;
+  if Array.length st.objs > st.n_objs then
+    st.objs <- Array.sub st.objs 0 st.n_objs;
+  let live = ref [] in
+  Array.iteri
+    (fun i n ->
+      n.succ_c <- None;
+      n.loads_c <- None;
+      n.stores_c <- None;
+      (* the constraint graph exists to reach the fixpoint; the
+         solution keeps only per-node answers ([pts], [top]) and the
+         site registries ([all_vsites] & co). Merged-away nodes keep
+         just their forwarding pointer. *)
+      n.delta <- Ptset.empty;
+      n.succ <- IntSet.empty;
+      n.loads <- IntSet.empty;
+      n.stores <- IntSet.empty;
+      n.vsites <- [];
+      n.fsites <- [];
+      n.dsites <- [];
+      if n.parent <> i then n.pts <- Ptset.empty
+      else if not (Ptset.is_empty n.pts) then live := n.pts :: !live)
+    st.nodes;
+  Ptset.compact st.it !live;
+  (* generation-time memos: nothing after the solve reads them *)
+  Hashtbl.reset st.var_node;
+  Hashtbl.reset st.global_node;
+  Hashtbl.reset st.field_node;
+  Hashtbl.reset st.fun_obj;
+  Hashtbl.reset st.class_obj;
+  Hashtbl.reset st.cell_obj;
+  FctxTbl.reset st.this_node;
+  FctxTbl.reset st.ret_node;
+  ExprTbl.reset st.serial_tbl;
+  DeclTbl.reset st.decl_obj
+
+(* A dispatch site (one static occurrence, all clones) counts as a
+   fallback when the analysis could not pin it to a single receiver in
+   some context: a clone degraded to ⊤, or a clone saw more than one
+   receiver class (more than one bound target for function pointers).
+   Statically-resolved sites routed through objects are not counted. *)
+let count_fallback_sites st =
+  let status : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let mark serial fb =
+    let prev = try Hashtbl.find status serial with Not_found -> false in
+    Hashtbl.replace status serial (prev || fb)
+  in
+  List.iter
+    (fun vs ->
+      if vs.vs_fixed = None then
+        mark vs.vs_serial (vs.vs_top || StringSet.cardinal vs.vs_seen > 1))
+    st.all_vsites;
+  List.iter
+    (fun fs -> mark fs.fs_serial (fs.fs_top || FuncSet.cardinal fs.fs_bound > 1))
+    st.all_fsites;
+  List.iter
+    (fun ds ->
+      mark ds.ds_serial (ds.ds_top || StringSet.cardinal ds.ds_seen > 1))
+    st.all_dsites;
+  Hashtbl.fold (fun _ fb acc -> if fb then acc + 1 else acc) status 0
+
+let analyze ?(mode = Insensitive) ?(jobs = 1) ?(roots = [ main_id ])
+    (p : program) : solution =
   Telemetry.Span.with_ "pta" @@ fun () ->
   let st =
     {
       prog = p;
       table = p.table;
+      mode;
+      jobs = max 1 jobs;
+      it = Ptset.create ();
       nodes = [||];
       n_nodes = 0;
       objs = [||];
       n_objs = 0;
       expr_node = ExprTbl.create 1024;
+      site_obj = ExprTbl.create 64;
+      decl_obj = DeclTbl.create 64;
+      serial_tbl = ExprTbl.create 64;
+      n_serials = 0;
       var_node = Hashtbl.create 256;
-      this_node = Hashtbl.create 64;
-      ret_node = Hashtbl.create 64;
+      this_node = FctxTbl.create 64;
+      ret_node = FctxTbl.create 64;
       global_node = Hashtbl.create 16;
       field_node = Hashtbl.create 64;
       fun_obj = Hashtbl.create 16;
@@ -1228,6 +1774,7 @@ let analyze ?(roots = [ main_id ]) (p : program) : solution =
       cell_obj = Hashtbl.create 16;
       worklist = Queue.create ();
       gen_queue = Queue.create ();
+      instances = FctxTbl.create 256;
       reached = FuncSet.empty;
       inst = StringSet.empty;
       addr_taken = FuncSet.empty;
@@ -1240,7 +1787,10 @@ let analyze ?(roots = [ main_id ]) (p : program) : solution =
       havoc = false;
       n_copy = 0;
       n_complex = 0;
+      n_delta = 0;
+      rounds = 0;
       pops = 0;
+      last_collapse = 0;
     }
   in
   Telemetry.Span.with_ "pta.seed" (fun () ->
@@ -1248,34 +1798,47 @@ let analyze ?(roots = [ main_id ]) (p : program) : solution =
         (fun (g : global) ->
           match g.g_init with
           | Some e ->
-              let n = gen_rval st main_id e in
+              let n = gen_rval st (main_id, CRoot) e in
               if tracked st g.g_type then
                 add_edge st n (node_of_global st g.g_name)
           | None -> ())
         p.globals;
       List.iter (make_root st) roots);
   Telemetry.Span.with_ "pta.solve" (fun () -> solve st);
+  shrink st;
+  Telemetry.Counter.add sets_counter (Ptset.interned_count st.it);
+  Telemetry.Counter.add memo_counter (Ptset.memo_hits st.it);
   Telemetry.Gauge.set reach_gauge (FuncSet.cardinal st.reached);
-  Telemetry.Gauge.set fallback_gauge
-    (List.length st.top_vsites + List.length st.top_fsites
-   + List.length st.top_dsites);
+  Telemetry.Gauge.set ctx_gauge (FctxTbl.length st.instances);
+  Telemetry.Gauge.set fallback_gauge (count_fallback_sites st);
   st
 
 (* -- queries -------------------------------------------------------------------- *)
 
+let mode st = st.mode
 let reachable st = st.reached
 let instantiated st = StringSet.elements st.inst
 let address_taken st = st.addr_taken
 let havoc st = st.havoc
 
+(* The union over every context clone of the expression occurrence:
+   [None] when any clone's node degraded to ⊤ (or the store havocked). *)
 let node_objects st e =
   if st.havoc then None
   else
     match ExprTbl.find_opt st.expr_node e with
-    | None -> None
-    | Some n ->
-        let nd = st.nodes.(find st n) in
-        if nd.top then None else Some nd.pts
+    | None | Some [] -> None
+    | Some entries ->
+        let ok = ref true in
+        let pts =
+          List.fold_left
+            (fun acc (_, n) ->
+              let nd = st.nodes.(find st n) in
+              if nd.top then ok := false;
+              Ptset.union st.it acc nd.pts)
+            Ptset.empty entries
+        in
+        if !ok then Some pts else None
 
 let receiver_classes st e =
   match node_objects st e with
@@ -1283,7 +1846,7 @@ let receiver_classes st e =
   | Some pts ->
       let ok = ref true in
       let cs =
-        IntSet.fold
+        Ptset.fold
           (fun o acc ->
             match (st.objs.(o)).o_class with
             | Some c -> StringSet.add c acc
@@ -1300,7 +1863,7 @@ let funptr_targets st e =
   | Some pts ->
       let ok = ref true in
       let fs =
-        IntSet.fold
+        Ptset.fold
           (fun o acc ->
             match (st.objs.(o)).o_fn with
             | Some f -> FuncSet.add f acc
@@ -1311,6 +1874,91 @@ let funptr_targets st e =
       in
       if !ok then Some (FuncSet.elements fs) else None
 
+(* The allocation sites behind an expression's objects — the provenance
+   the [explain] command names. Sites without a textual location
+   (class-identity and cell objects) are skipped. *)
+let receiver_alloc_sites st e =
+  match node_objects st e with
+  | None -> None
+  | Some pts ->
+      let sites =
+        Ptset.fold
+          (fun o acc ->
+            let ob = st.objs.(o) in
+            match ob.o_site with
+            | Some sp ->
+                let cls =
+                  match ob.o_class with Some c -> c | None -> "<scalar>"
+                in
+                (cls, sp) :: acc
+            | None -> acc)
+          pts []
+      in
+      Some (List.sort_uniq Stdlib.compare sites)
+
 let num_nodes st = st.n_nodes
 let num_objects st = st.n_objs
 let num_constraints st = st.n_copy + st.n_complex
+
+type stats = {
+  p_nodes : int;
+  p_objects : int;
+  p_constraints : int;
+  p_sets_interned : int;
+  p_memo_hits : int;
+  p_delta_props : int;
+  p_solver_iters : int;
+  p_contexts : int;
+  p_fallback_sites : int;
+  p_reachable : int;
+}
+
+let stats st =
+  {
+    p_nodes = st.n_nodes;
+    p_objects = st.n_objs;
+    p_constraints = st.n_copy + st.n_complex;
+    p_sets_interned = Ptset.interned_count st.it;
+    p_memo_hits = Ptset.memo_hits st.it;
+    p_delta_props = st.n_delta;
+    p_solver_iters = st.rounds;
+    p_contexts = FctxTbl.length st.instances;
+    p_fallback_sites = count_fallback_sites st;
+    p_reachable = FuncSet.cardinal st.reached;
+  }
+
+(* A digest of everything the solver computed: per-node sets and flags,
+   reachability, and the deterministic counters. Byte-identical across
+   [jobs] settings by construction — pinned by tests. *)
+let fingerprint st =
+  let b = Buffer.create 4096 in
+  for i = 0 to st.n_nodes - 1 do
+    if find st i = i then begin
+      let n = st.nodes.(i) in
+      Buffer.add_string b (string_of_int i);
+      Buffer.add_char b (if n.top then 'T' else '=');
+      Ptset.iter
+        (fun o ->
+          Buffer.add_string b (string_of_int o);
+          Buffer.add_char b ',')
+        n.pts;
+      Buffer.add_char b ';'
+    end
+  done;
+  FuncSet.iter
+    (fun f ->
+      Buffer.add_string b (Func_id.to_string f);
+      Buffer.add_char b ';')
+    st.reached;
+  StringSet.iter
+    (fun c ->
+      Buffer.add_string b c;
+      Buffer.add_char b ';')
+    st.inst;
+  Buffer.add_string b
+    (Printf.sprintf "|d%d|r%d|s%d|m%d|n%d|o%d|c%d|i%d" st.n_delta st.rounds
+       (Ptset.interned_count st.it)
+       (Ptset.memo_hits st.it) st.n_nodes st.n_objs
+       (st.n_copy + st.n_complex)
+       (FctxTbl.length st.instances));
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -20,17 +20,36 @@
     through an unknown pointer, a member-pointer store — raises a global
     {!havoc} flag; clients must then fall back to RTA behaviour for
     every dispatch site. Per-expression unknowns are tracked with a
-    [⊤] element that individual queries report as [None]. *)
+    [⊤] element that individual queries report as [None].
+
+    The solver propagates {e differences} over hash-consed {!Ptset}
+    sets, in bulk-synchronous rounds whose read-only filtering phase can
+    be sliced across [jobs] domains; the solution (and every counter
+    derived from it) is byte-identical for all job counts — see
+    {!fingerprint}. *)
 
 open Sema.Typed_ast
 
 type solution
 
+(** Context sensitivity. [Insensitive] is the classic Andersen analysis
+    (one instance per function). [OneCfa] clones callees one level deep:
+    method calls are analyzed per receiver {e allocation site} and
+    direct free-function calls per call site, so objects that merely
+    share a factory or a registration helper no longer merge. Heap
+    objects themselves remain one per static allocation occurrence in
+    both modes. *)
+type mode = Insensitive | OneCfa
+
 (** Analyze a program, computing points-to sets for every pointer-valued
-    expression reachable from [roots] (default: [main] alone). Runs
-    under a ["pta"] telemetry span with nested ["pta.seed"] and
-    ["pta.solve"] phases. *)
-val analyze : ?roots:Func_id.t list -> program -> solution
+    expression reachable from [roots] (default: [main] alone). [jobs]
+    bounds the domains used by the solver's parallel phase (default 1 =
+    sequential); the result does not depend on it. Runs under a ["pta"]
+    telemetry span with nested ["pta.seed"] and ["pta.solve"] phases. *)
+val analyze :
+  ?mode:mode -> ?jobs:int -> ?roots:Func_id.t list -> program -> solution
+
+val mode : solution -> mode
 
 (** Functions reachable under the PTA call graph (including targets
     reached through fallback dispatch). *)
@@ -50,13 +69,46 @@ val havoc : solution -> bool
     the receiver expression [e] may point to, or [None] when the set is
     unknown ([⊤], havoc, or [e] not part of the analyzed program). [e]
     is identified {e physically}: pass the very expression node from the
-    program given to {!analyze}. *)
+    program given to {!analyze}. In [OneCfa] mode the answer is the
+    union over every context clone of the occurrence. *)
 val receiver_classes : solution -> texpr -> string list option
 
 (** [funptr_targets sol e] is the set of functions the pointer
     expression [e] may reference, or [None] when unknown. *)
 val funptr_targets : solution -> texpr -> Func_id.t list option
 
+(** [receiver_alloc_sites sol e] names the allocation sites of the
+    objects [e] may point to, as [(class, site span)] pairs — the
+    provenance behind a dispatch decision. Objects without a textual
+    allocation (class-identity objects, address-taken cells) are
+    omitted. [None] when the set is unknown. *)
+val receiver_alloc_sites :
+  solution -> texpr -> (string * Frontend.Source.span) list option
+
 val num_nodes : solution -> int
 val num_objects : solution -> int
 val num_constraints : solution -> int
+
+(** Deterministic solver statistics, independent of [jobs]. *)
+type stats = {
+  p_nodes : int;
+  p_objects : int;
+  p_constraints : int;
+  p_sets_interned : int;  (** distinct hash-consed sets created *)
+  p_memo_hits : int;  (** set operations answered from the memo table *)
+  p_delta_props : int;  (** objects moved by difference propagation *)
+  p_solver_iters : int;  (** bulk-synchronous solver rounds *)
+  p_contexts : int;  (** function instances generated *)
+  p_fallback_sites : int;
+      (** static dispatch sites the analysis could not pin to a single
+          receiver in some context *)
+  p_reachable : int;
+}
+
+val stats : solution -> stats
+
+(** A digest of the full solution — per-node points-to sets, flags,
+    reachability, and the deterministic counters. Equal fingerprints
+    mean byte-identical solver results; used to pin that parallel and
+    sequential runs agree. *)
+val fingerprint : solution -> string

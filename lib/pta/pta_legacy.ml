@@ -1,0 +1,1316 @@
+(* Andersen-style inclusion-based points-to analysis for MiniC++.
+
+   Subset constraints are generated from the typed AST and solved with a
+   worklist; copy-edge cycles are collapsed with a union-find (direct
+   2-cycles eagerly, longer cycles by a periodic Tarjan pass). The
+   abstraction is flow-insensitive and *field-based*: one node per
+   (defining class, member) identity — the same [Member.t] the
+   dead-member analysis classifies — so stores to [p->f] and loads of
+   [q->f] meet in the node for [C::f].
+
+   Reachability is on the fly: constraints for a function are generated
+   the first time it becomes reachable, and dispatch discovered during
+   solving feeds new functions back in. Receivers whose set degrades to
+   ⊤ (unknown) fall back to RTA-style resolution over the instantiated
+   cone, so the solution is never less conservative than RTA; stores the
+   language cannot model raise a global [havoc] flag that degrades every
+   dispatch site. *)
+
+open Frontend
+open Sema
+open Sema.Typed_ast
+module StringSet = Set.Make (String)
+module IntSet = Set.Make (Int)
+
+(* telemetry instruments (no-ops unless collection is enabled) *)
+let nodes_counter = Telemetry.Counter.make "pta_legacy.nodes"
+let objects_counter = Telemetry.Counter.make "pta_legacy.objects"
+let copy_counter = Telemetry.Counter.make "pta_legacy.copy_edges"
+let complex_counter = Telemetry.Counter.make "pta_legacy.complex_constraints"
+let iter_counter = Telemetry.Counter.make "pta_legacy.solve_iterations"
+let cycle_counter = Telemetry.Counter.make "pta_legacy.cycles_collapsed"
+let reach_gauge = Telemetry.Gauge.make "pta_legacy.reachable_functions"
+let fallback_gauge = Telemetry.Gauge.make "pta_legacy.fallback_sites"
+
+(* -- abstract objects --------------------------------------------------------
+
+   [o_class] is the dynamic class of class-typed allocations (heap and
+   stack sites, constructed-object identities, class-typed subobject
+   members); [o_fn] identifies function "objects" (address-taken
+   functions); [o_payload] is the node holding the contents of scalar
+   memory cells (scalar allocations, address-taken variables), or -1
+   when the object has no modelled payload. *)
+type obj = { o_class : string option; o_fn : Func_id.t option; o_payload : int }
+
+(* A virtual-call site attached to its receiver node. *)
+type vsite = {
+  vs_static : string;  (* static receiver class *)
+  vs_name : string;
+  vs_args : (int * int option) list;  (* value node, write-back sink *)
+  vs_ret : int;
+  mutable vs_classes : StringSet.t;  (* dynamic classes already dispatched *)
+  mutable vs_bound : FuncSet.t;  (* targets already bound *)
+  mutable vs_top : bool;  (* degraded to RTA-cone fallback *)
+}
+
+(* A function-pointer call site attached to its pointer node. *)
+type fsite = {
+  fs_arity : int;
+  fs_ret : int;
+  mutable fs_bound : FuncSet.t;
+  mutable fs_top : bool;
+}
+
+(* A [delete] through a class with a virtual destructor. *)
+type dsite = {
+  ds_static : string;
+  mutable ds_classes : StringSet.t;
+  mutable ds_top : bool;
+}
+
+type node = {
+  mutable parent : int;  (* union-find *)
+  mutable rank : int;
+  mutable pts : IntSet.t;  (* object ids *)
+  mutable top : bool;  (* may point anywhere (⊤) *)
+  mutable succ : IntSet.t;  (* inclusion edges: pts(succ) ⊇ pts(self) *)
+  mutable loads : IntSet.t;  (* dst nodes: dst ⊇ *self *)
+  mutable stores : IntSet.t;  (* src nodes: *self ⊇ src *)
+  mutable vsites : vsite list;
+  mutable fsites : fsite list;
+  mutable dsites : dsite list;
+  mutable queued : bool;
+}
+
+module ExprTbl = Hashtbl.Make (struct
+  type t = texpr
+
+  (* expression occurrences are identified physically: the client passes
+     the very nodes of the program value it analyzed *)
+  let equal = ( == )
+  let hash (e : texpr) = Hashtbl.hash e.tloc
+end)
+
+type solution = {
+  prog : program;
+  table : Class_table.t;
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  mutable objs : obj array;
+  mutable n_objs : int;
+  expr_node : int ExprTbl.t;
+  var_node : (Func_id.t * string, int) Hashtbl.t;
+  this_node : (Func_id.t, int) Hashtbl.t;
+  ret_node : (Func_id.t, int) Hashtbl.t;
+  global_node : (string, int) Hashtbl.t;
+  field_node : (Member.t, int) Hashtbl.t;
+  fun_obj : (Func_id.t, int) Hashtbl.t;
+  class_obj : (string, int) Hashtbl.t;
+  cell_obj : (int, int) Hashtbl.t;  (* payload node -> object *)
+  worklist : int Queue.t;
+  gen_queue : Func_id.t Queue.t;
+  mutable reached : FuncSet.t;
+  mutable inst : StringSet.t;  (* classes whose ctor is reachable *)
+  mutable addr_taken : FuncSet.t;
+  mutable all_vsites : vsite list;
+  mutable all_fsites : fsite list;
+  mutable all_dsites : dsite list;
+  mutable top_vsites : vsite list;  (* degraded sites, re-resolved as
+                                       [inst]/[addr_taken] grow *)
+  mutable top_fsites : fsite list;
+  mutable top_dsites : dsite list;
+  mutable havoc : bool;
+  mutable n_copy : int;
+  mutable n_complex : int;
+  mutable pops : int;  (* worklist pops, for periodic cycle collapse *)
+}
+
+(* -- node / object stores ----------------------------------------------------- *)
+
+let nonode = -1
+
+let fresh_node st =
+  (if st.n_nodes >= Array.length st.nodes then
+     let cap = max 256 (2 * Array.length st.nodes) in
+     let nu =
+       Array.init cap (fun i ->
+           if i < st.n_nodes then st.nodes.(i)
+           else
+             {
+               parent = i;
+               rank = 0;
+               pts = IntSet.empty;
+               top = false;
+               succ = IntSet.empty;
+               loads = IntSet.empty;
+               stores = IntSet.empty;
+               vsites = [];
+               fsites = [];
+               dsites = [];
+               queued = false;
+             })
+     in
+     st.nodes <- nu);
+  let id = st.n_nodes in
+  st.nodes.(id) <-
+    {
+      parent = id;
+      rank = 0;
+      pts = IntSet.empty;
+      top = false;
+      succ = IntSet.empty;
+      loads = IntSet.empty;
+      stores = IntSet.empty;
+      vsites = [];
+      fsites = [];
+      dsites = [];
+      queued = false;
+    };
+  st.n_nodes <- id + 1;
+  Telemetry.Counter.incr nodes_counter;
+  id
+
+let new_obj st ~cls ~fn ~payload =
+  (if st.n_objs >= Array.length st.objs then
+     let cap = max 256 (2 * Array.length st.objs) in
+     let nu =
+       Array.init cap (fun i ->
+           if i < st.n_objs then st.objs.(i)
+           else { o_class = None; o_fn = None; o_payload = -1 })
+     in
+     st.objs <- nu);
+  let id = st.n_objs in
+  st.objs.(id) <- { o_class = cls; o_fn = fn; o_payload = payload };
+  st.n_objs <- id + 1;
+  Telemetry.Counter.incr objects_counter;
+  id
+
+let rec find st i =
+  let n = st.nodes.(i) in
+  if n.parent = i then i
+  else begin
+    let r = find st n.parent in
+    n.parent <- r;
+    r
+  end
+
+let push st i =
+  let r = find st i in
+  let n = st.nodes.(r) in
+  if not n.queued then begin
+    n.queued <- true;
+    Queue.add r st.worklist
+  end
+
+(* Merge two nodes (cycle collapse). All constraint sets are unioned into
+   the winner, which is re-queued so the merged constraints re-fire. *)
+let union st a b =
+  let a = find st a and b = find st b in
+  if a = b then a
+  else begin
+    let na = st.nodes.(a) and nb = st.nodes.(b) in
+    let w, l = if na.rank >= nb.rank then (a, b) else (b, a) in
+    let nw = st.nodes.(w) and nl = st.nodes.(l) in
+    if nw.rank = nl.rank then nw.rank <- nw.rank + 1;
+    nl.parent <- w;
+    nw.pts <- IntSet.union nw.pts nl.pts;
+    nw.top <- nw.top || nl.top;
+    nw.succ <- IntSet.union nw.succ nl.succ;
+    nw.loads <- IntSet.union nw.loads nl.loads;
+    nw.stores <- IntSet.union nw.stores nl.stores;
+    nw.vsites <- nl.vsites @ nw.vsites;
+    nw.fsites <- nl.fsites @ nw.fsites;
+    nw.dsites <- nl.dsites @ nw.dsites;
+    Telemetry.Counter.incr cycle_counter;
+    push st w;
+    w
+  end
+
+let add_edge st src dst =
+  if src >= 0 && dst >= 0 then begin
+    let src = find st src and dst = find st dst in
+    if src <> dst then begin
+      let n = st.nodes.(src) in
+      if not (IntSet.mem dst n.succ) then begin
+        (* eager direct-cycle collapse: bidirectional edges (reference
+           aliasing) unify immediately *)
+        if IntSet.mem src (st.nodes.(dst)).succ then ignore (union st src dst)
+        else begin
+          n.succ <- IntSet.add dst n.succ;
+          st.n_copy <- st.n_copy + 1;
+          Telemetry.Counter.incr copy_counter;
+          if (not (IntSet.is_empty n.pts)) || n.top then push st src
+        end
+      end
+    end
+  end
+
+let set_top st i =
+  if i >= 0 then begin
+    let r = find st i in
+    let n = st.nodes.(r) in
+    if not n.top then begin
+      n.top <- true;
+      push st r
+    end
+  end
+
+let add_obj st i o =
+  let r = find st i in
+  let n = st.nodes.(r) in
+  if not (IntSet.mem o n.pts) then begin
+    n.pts <- IntSet.add o n.pts;
+    push st r
+  end
+
+let add_load st p dst =
+  let r = find st p in
+  (st.nodes.(r)).loads <- IntSet.add dst (st.nodes.(r)).loads;
+  st.n_complex <- st.n_complex + 1;
+  Telemetry.Counter.incr complex_counter;
+  push st r
+
+let add_store st p src =
+  let r = find st p in
+  (st.nodes.(r)).stores <- IntSet.add src (st.nodes.(r)).stores;
+  st.n_complex <- st.n_complex + 1;
+  Telemetry.Counter.incr complex_counter;
+  push st r
+
+(* -- named nodes -------------------------------------------------------------- *)
+
+let memo tbl key mk =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      Hashtbl.add tbl key v;
+      v
+
+let node_of_var st fn name = memo st.var_node (fn, name) (fun () -> fresh_node st)
+let node_of_this st fn = memo st.this_node fn (fun () -> fresh_node st)
+let node_of_ret st fn = memo st.ret_node fn (fun () -> fresh_node st)
+let node_of_global st g = memo st.global_node g (fun () -> fresh_node st)
+
+let fun_object st id =
+  memo st.fun_obj id (fun () -> new_obj st ~cls:None ~fn:(Some id) ~payload:(-1))
+
+let class_object st cls =
+  memo st.class_obj cls (fun () ->
+      new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1))
+
+(* The cell object for an address-taken location whose contents live in
+   node [n]: pts(&x) = { cell(x) }, payload(cell(x)) = node(x). *)
+let cell_object st n =
+  let r = find st n in
+  memo st.cell_obj r (fun () -> new_obj st ~cls:None ~fn:None ~payload:r)
+
+(* One node per (defining class, member). Class-typed members denote the
+   subobject itself: the node is pre-seeded with an object of the
+   member's class (its exact dynamic class). *)
+let node_of_field st (m : Member.t) =
+  memo st.field_node m (fun () ->
+      let n = fresh_node st in
+      (match Class_table.find st.table (Member.cls m) with
+      | Some ci -> (
+          match Class_table.own_field ci (Member.name m) with
+          | Some f -> (
+              match f.f_type with
+              | Ast.TNamed k | Ast.TArr (Ast.TNamed k, _) ->
+                  if Class_table.mem st.table k then
+                    add_obj st n
+                      (new_obj st ~cls:(Some k) ~fn:None ~payload:(-1))
+              | _ -> ())
+          | None -> ())
+      | None -> ());
+      n)
+
+(* -- type classification ------------------------------------------------------- *)
+
+(* Types whose values the analysis tracks: pointers, functions, and
+   class types (class-typed expressions denote object identities). *)
+let rec tracked st (t : Ast.type_expr) =
+  match t with
+  | Ast.TPtr _ | Ast.TFun _ -> true
+  | Ast.TNamed n -> Class_table.mem st.table n
+  | Ast.TRef t | Ast.TArr (t, _) -> tracked st t
+  | _ -> false
+
+(* Reference-to-pointer parameters alias the caller's variable: writes
+   to the formal must flow back into the actual. (Class-typed reference
+   params need no write-back: field stores are field-based and global.) *)
+let ref_needs_writeback (t : Ast.type_expr) =
+  match t with
+  | Ast.TRef r -> (
+      match r with Ast.TPtr _ | Ast.TFun _ -> true | _ -> false)
+  | _ -> false
+
+(* Array values are collapsed to one node holding what the elements
+   hold; indexing denotes that node directly. *)
+let rec is_array_ty (t : Ast.type_expr) =
+  match t with
+  | Ast.TArr _ -> true
+  | Ast.TRef t -> is_array_ty t
+  | _ -> false
+
+(* Using an array where a pointer is expected (decay) yields a pointer
+   {e to} the collapsed node — except arrays of class objects, whose
+   node already holds the element objects' identities. *)
+let is_decaying_array (t : Ast.type_expr) =
+  let rec elem t =
+    match t with Ast.TArr (t, _) | Ast.TRef t -> elem t | t -> t
+  in
+  is_array_ty t && match elem t with Ast.TNamed _ -> false | _ -> true
+
+let receiver_static_class (mc : method_call) : string option =
+  if mc.mc_arrow then Ctype.receiver_class_arrow mc.mc_recv.ty
+  else Ctype.receiver_class_dot mc.mc_recv.ty
+
+let dtor_is_virtual table cls =
+  let rec go c =
+    match Class_table.find table c with
+    | None -> false
+    | Some ci ->
+        (match Class_table.dtor ci with
+        | Some d -> d.m_virtual
+        | None -> false)
+        || List.exists (fun (b : Ast.base_spec) -> go b.b_name) ci.c_bases
+  in
+  go cls
+
+(* -- reachability and dispatch ------------------------------------------------
+
+   [reach] only queues: constraint generation happens in the solve loop,
+   so this cluster (dispatch, fallback resolution, instantiation) stays
+   free of recursion into the generator. *)
+
+let rec reach st id =
+  if not (FuncSet.mem id st.reached) then begin
+    st.reached <- FuncSet.add id st.reached;
+    Queue.add id st.gen_queue;
+    match id with
+    | Func_id.FCtor (cls, _) -> instantiate st cls
+    | _ -> ()
+  end
+
+(* A class became instantiated: degraded (⊤) dispatch sites gain its
+   cone members, exactly as RTA would. *)
+and instantiate st cls =
+  if not (StringSet.mem cls st.inst) then begin
+    st.inst <- StringSet.add cls st.inst;
+    List.iter (resolve_vsite_fallback st) st.top_vsites;
+    List.iter (resolve_dsite_fallback st) st.top_dsites
+  end
+
+and dispatch_to st (vs : vsite) ~recv cls =
+  if not (StringSet.mem cls vs.vs_classes) then begin
+    vs.vs_classes <- StringSet.add cls vs.vs_classes;
+    match Member_lookup.dispatch st.table ~dyn:cls ~name:vs.vs_name with
+    | Some (def, _) -> bind_virtual st vs ~recv (Func_id.FMethod (def, vs.vs_name))
+    | None -> ()
+  end
+
+and bind_virtual st (vs : vsite) ~recv target =
+  if not (FuncSet.mem target vs.vs_bound) then begin
+    vs.vs_bound <- FuncSet.add target vs.vs_bound;
+    reach st target;
+    (match recv with
+    | Some rn -> add_edge st rn (node_of_this st target)
+    | None -> set_top st (node_of_this st target));
+    bind_args st target vs.vs_args vs.vs_ret
+  end
+
+(* Bind already-generated argument nodes to a target's formals, with
+   write-back for reference-to-pointer parameters, and its return to the
+   call's result node. Unknown externals yield an unknown result. *)
+and bind_args st target args ret =
+  match find_func st.prog target with
+  | Some f ->
+      List.iteri
+        (fun i (pname, pty) ->
+          match List.nth_opt args i with
+          | Some (av, sb) ->
+              let pn = node_of_var st target pname in
+              add_edge st av pn;
+              if ref_needs_writeback pty then begin
+                match sb with
+                | Some b -> add_edge st pn b
+                | None -> do_havoc st
+              end
+          | None -> ())
+        f.tf_params;
+      add_edge st (node_of_ret st target) ret
+  | None -> set_top st ret
+
+and resolve_vsite_fallback st (vs : vsite) =
+  List.iter
+    (fun c -> if StringSet.mem c st.inst then dispatch_to st vs ~recv:None c)
+    (vs.vs_static :: Class_table.subclasses st.table vs.vs_static)
+
+and degrade_vsite st (vs : vsite) =
+  if not vs.vs_top then begin
+    vs.vs_top <- true;
+    st.top_vsites <- vs :: st.top_vsites;
+    resolve_vsite_fallback st vs
+  end
+
+and bind_fsite_target st (fs : fsite) id =
+  if not (FuncSet.mem id fs.fs_bound) then begin
+    fs.fs_bound <- FuncSet.add id fs.fs_bound;
+    match find_func st.prog id with
+    | Some f when List.length f.tf_params = fs.fs_arity ->
+        reach st id;
+        (* formals of address-taken functions are already ⊤ *)
+        add_edge st (node_of_ret st id) fs.fs_ret
+    | Some _ -> ()  (* arity mismatch: not a possible target *)
+    | None ->
+        reach st id;
+        set_top st fs.fs_ret
+  end
+
+and resolve_fsite_fallback st (fs : fsite) =
+  FuncSet.iter (bind_fsite_target st fs) st.addr_taken
+
+and degrade_fsite st (fs : fsite) =
+  if not fs.fs_top then begin
+    fs.fs_top <- true;
+    st.top_fsites <- fs :: st.top_fsites;
+    resolve_fsite_fallback st fs
+  end
+
+and resolve_dsite_fallback st (ds : dsite) =
+  List.iter
+    (fun c ->
+      if StringSet.mem c st.inst && not (StringSet.mem c ds.ds_classes) then begin
+        ds.ds_classes <- StringSet.add c ds.ds_classes;
+        reach st (Func_id.FDtor c)
+      end)
+    (ds.ds_static :: Class_table.subclasses st.table ds.ds_static)
+
+and degrade_dsite st (ds : dsite) =
+  if not ds.ds_top then begin
+    ds.ds_top <- true;
+    st.top_dsites <- ds :: st.top_dsites;
+    resolve_dsite_fallback st ds
+  end
+
+(* An unmodelable store: every dispatch site, present and future, falls
+   back to the RTA cone. The solution stays sound; queries report
+   unknown. *)
+and do_havoc st =
+  if not st.havoc then begin
+    st.havoc <- true;
+    List.iter (degrade_vsite st) st.all_vsites;
+    List.iter (degrade_fsite st) st.all_fsites;
+    List.iter (degrade_dsite st) st.all_dsites
+  end
+
+(* Conservative roots (paper §3.3 and entry points): inputs are unknown,
+   so formals and receiver are ⊤. *)
+and make_root st id =
+  reach st id;
+  (match find_func st.prog id with
+  | Some f ->
+      List.iter
+        (fun (p, ty) ->
+          if tracked st ty then set_top st (node_of_var st id p))
+        f.tf_params
+  | None -> ());
+  match Func_id.class_of id with
+  | Some _ -> set_top st (node_of_this st id)
+  | None -> ()
+
+and take_address st id =
+  if not (FuncSet.mem id st.addr_taken) then begin
+    st.addr_taken <- FuncSet.add id st.addr_taken;
+    make_root st id;
+    List.iter (fun fs -> bind_fsite_target st fs id) st.top_fsites
+  end
+
+(* -- site processing (driven by the solver) ---------------------------------- *)
+
+let process_vsite st (vs : vsite) rnode =
+  let n = st.nodes.(find st rnode) in
+  if vs.vs_top then ()
+  else if n.top || st.havoc then degrade_vsite st vs
+  else
+    IntSet.iter
+      (fun o ->
+        match (st.objs.(o)).o_class with
+        | Some c -> dispatch_to st vs ~recv:(Some rnode) c
+        | None -> degrade_vsite st vs)
+      n.pts
+
+let process_fsite st (fs : fsite) fnode =
+  let n = st.nodes.(find st fnode) in
+  if fs.fs_top then ()
+  else if n.top || st.havoc then degrade_fsite st fs
+  else
+    IntSet.iter
+      (fun o ->
+        match (st.objs.(o)).o_fn with
+        | Some id -> bind_fsite_target st fs id
+        | None -> degrade_fsite st fs)
+      n.pts
+
+let process_dsite st (ds : dsite) dnode =
+  let n = st.nodes.(find st dnode) in
+  if ds.ds_top then ()
+  else if n.top || st.havoc then degrade_dsite st ds
+  else
+    IntSet.iter
+      (fun o ->
+        match (st.objs.(o)).o_class with
+        | Some c ->
+            if not (StringSet.mem c ds.ds_classes) then begin
+              ds.ds_classes <- StringSet.add c ds.ds_classes;
+              reach st (Func_id.FDtor c)
+            end
+        | None -> degrade_dsite st ds)
+      n.pts
+
+let payload st o =
+  let p = (st.objs.(o)).o_payload in
+  if p >= 0 then Some p else None
+
+(* Propagate everything pending at representative [r]. Monotone: stale
+   work after a merge only causes redundant (deduplicated) re-firing. *)
+let propagate st r =
+  let n = st.nodes.(r) in
+  let pts = n.pts and top = n.top in
+  IntSet.iter
+    (fun s ->
+      let s' = find st s in
+      if s' <> r then begin
+        let ns = st.nodes.(s') in
+        let nu = IntSet.union ns.pts pts in
+        let topped = top && not ns.top in
+        if topped then ns.top <- true;
+        if topped || not (IntSet.equal nu ns.pts) then begin
+          ns.pts <- nu;
+          push st s'
+        end
+      end)
+    n.succ;
+  IntSet.iter
+    (fun dst ->
+      if top then set_top st dst
+      else
+        IntSet.iter
+          (fun o ->
+            match payload st o with
+            | Some p -> add_edge st p dst
+            | None -> set_top st dst)
+          pts)
+    n.loads;
+  IntSet.iter
+    (fun src ->
+      if top then do_havoc st
+      else
+        IntSet.iter
+          (fun o ->
+            match payload st o with
+            | Some p -> add_edge st src p
+            | None -> do_havoc st)
+          pts)
+    n.stores;
+  List.iter (fun vs -> process_vsite st vs r) n.vsites;
+  List.iter (fun fs -> process_fsite st fs r) n.fsites;
+  List.iter (fun ds -> process_dsite st ds r) n.dsites
+
+(* Periodic Tarjan pass over copy edges: collapse multi-node cycles the
+   eager 2-cycle check misses. Purely an acceleration; unions performed
+   mid-walk only cause redundant re-propagation. *)
+let collapse_cycles st =
+  let n = st.n_nodes in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    IntSet.iter
+      (fun s ->
+        let w = find st s in
+        if w <> v && w < n then
+          if index.(w) < 0 then begin
+            strong w;
+            low.(v) <- min low.(v) low.(w)
+          end
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (st.nodes.(v)).succ;
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      match pop [] with
+      | _ :: _ :: _ as scc ->
+          ignore (List.fold_left (fun a b -> union st a b) (List.hd scc) (List.tl scc))
+      | _ -> ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if find st v = v && index.(v) < 0 then strong v
+  done
+
+(* -- constraint generation ----------------------------------------------------
+
+   Each reachable function's body is walked exactly once; every
+   tracked-typed expression occurrence is mapped (physically) to the
+   node holding its value, so clients can query receivers after the
+   solve. *)
+
+(* Where a write to an lvalue lands. *)
+type lv =
+  | LNode of int  (* a directly-addressed node *)
+  | LIndirect of int  (* the payloads of everything this node points to *)
+  | LTop  (* unmodelable: writes of tracked values havoc *)
+  | LNone  (* untracked or not an lvalue *)
+
+let rec gen_expr st fn (e : texpr) : int =
+  match ExprTbl.find_opt st.expr_node e with
+  | Some n -> n
+  | None ->
+      let n = gen_expr_raw st fn e in
+      (* safety net: a tracked expression must always have a node — an
+         unmodelled corner becomes ⊤, never a silent drop *)
+      let n =
+        if n < 0 && tracked st e.ty then begin
+          let t = fresh_node st in
+          set_top st t;
+          t
+        end
+        else n
+      in
+      if n >= 0 then ExprTbl.replace st.expr_node e n;
+      n
+
+and gen_expr_raw st fn (e : texpr) : int =
+  match e.te with
+  | TInt _ | TBool _ | TChar _ | TFloat _ | TEnumConst _ | TSizeofType _ ->
+      nonode
+  | TNull | TStr _ ->
+      (* a value that points to nothing the analysis tracks *)
+      if tracked st e.ty then fresh_node st else nonode
+  | TSizeofExpr _ -> nonode  (* operand is unevaluated *)
+  | TLocal x -> if tracked st e.ty then node_of_var st fn x else nonode
+  | TGlobalVar g -> if tracked st e.ty then node_of_global st g else nonode
+  | TThis _ -> node_of_this st fn
+  | TStaticField (c, f) ->
+      if tracked st e.ty then node_of_field st (Member.make ~cls:c ~name:f)
+      else nonode
+  | TField fa ->
+      ignore (gen_expr st fn fa.fa_obj);
+      if tracked st e.ty then
+        node_of_field st (Member.make ~cls:fa.fa_def_class ~name:fa.fa_field)
+      else nonode
+  | TUnary (_, a) ->
+      ignore (gen_expr st fn a);
+      nonode
+  | TBinary (_, a, b) ->
+      (* pointer arithmetic preserves the pointed-to objects *)
+      let ga = gen_rval st fn a and gb = gen_rval st fn b in
+      if tracked st e.ty then if ga >= 0 then ga else gb else nonode
+  | TAssign (op, lhs, rhs) ->
+      let gr = gen_rval st fn rhs in
+      let lvs = gen_lval st fn lhs in
+      if op = Ast.Assign && tracked st rhs.ty then do_assign st lvs gr;
+      if tracked st e.ty then gr else nonode
+  | TIncDec (_, _, a) ->
+      let ga = gen_expr st fn a in
+      if tracked st e.ty then ga else nonode
+  | TCond (c, t, f) ->
+      ignore (gen_expr st fn c);
+      let gt = gen_rval st fn t and gf = gen_rval st fn f in
+      if tracked st e.ty then begin
+        let n = fresh_node st in
+        add_edge st gt n;
+        add_edge st gf n;
+        n
+      end
+      else nonode
+  | TCast (_, _, a, _) ->
+      let ga = gen_rval st fn a in
+      if tracked st e.ty then
+        if ga >= 0 then ga
+        else begin
+          (* scalar forged into a pointer: unknown target *)
+          let n = fresh_node st in
+          set_top st n;
+          n
+        end
+      else nonode
+  | TAddrOf a -> (
+      match Ctype.class_name a.ty with
+      | Some _ -> gen_expr st fn a  (* &object = the object's identity *)
+      | None ->
+          let lvs = gen_lval st fn a in
+          let n = fresh_node st in
+          List.iter
+            (function
+              | LNode ln -> add_obj st n (cell_object st ln)
+              | LIndirect p -> add_edge st p n  (* &( *p ) = p *)
+              | LTop -> set_top st n
+              | LNone -> ())
+            lvs;
+          n)
+  | TFunAddr id ->
+      take_address st id;
+      let n = fresh_node st in
+      add_obj st n (fun_object st id);
+      n
+  | TMemPtr _ -> nonode
+  | TDeref a | TIndex (a, _) ->
+      (match e.te with
+      | TIndex (_, i) -> ignore (gen_expr st fn i)
+      | _ -> ());
+      let ga = gen_expr st fn a in
+      if Ctype.class_name e.ty <> None then ga
+        (* objects are second-class: denoting one denotes the pointer's
+           targets *)
+      else if is_array_ty a.ty then
+        (* arrays are collapsed: an element read is the array node *)
+        if tracked st e.ty then ga else nonode
+      else if tracked st e.ty then begin
+        let n = fresh_node st in
+        if ga >= 0 then add_load st ga n else set_top st n;
+        n
+      end
+      else nonode
+  | TMemPtrDeref (recv, mp, _) ->
+      ignore (gen_expr st fn recv);
+      ignore (gen_expr st fn mp);
+      if tracked st e.ty then begin
+        let n = fresh_node st in
+        set_top st n;
+        n
+      end
+      else nonode
+  | TNewObj { cls; ctor; args } ->
+      let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
+      let gargs = gen_args st fn args in
+      reach st ctor;
+      add_obj st (node_of_this st ctor) o;
+      let n = fresh_node st in
+      add_obj st n o;
+      bind_args st ctor gargs (fresh_node st);
+      n
+  | TNewScalar _ ->
+      let p = fresh_node st in
+      let o = new_obj st ~cls:None ~fn:None ~payload:p in
+      let n = fresh_node st in
+      add_obj st n o;
+      n
+  | TNewArr (ty, len) ->
+      ignore (gen_expr st fn len);
+      let n = fresh_node st in
+      (match ty with
+      | Ast.TNamed cls when Class_table.mem st.table cls ->
+          let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
+          let ctor = Func_id.FCtor (cls, 0) in
+          reach st ctor;
+          add_obj st (node_of_this st ctor) o;
+          add_obj st n o
+      | _ ->
+          let p = fresh_node st in
+          add_obj st n (new_obj st ~cls:None ~fn:None ~payload:p));
+      n
+  | TCall c -> gen_call st fn e c
+
+and do_assign st lvs rhs_node =
+  List.iter
+    (function
+      | LNode n -> add_edge st rhs_node n
+      | LIndirect p -> if rhs_node >= 0 then add_store st p rhs_node
+      | LTop -> do_havoc st
+      | LNone -> ())
+    lvs
+
+and gen_lval st fn (e : texpr) : lv list =
+  match e.te with
+  | TLocal x -> [ (if tracked st e.ty then LNode (node_of_var st fn x) else LNone) ]
+  | TGlobalVar g ->
+      [ (if tracked st e.ty then LNode (node_of_global st g) else LNone) ]
+  | TStaticField (c, f) ->
+      [
+        (if tracked st e.ty then
+           LNode (node_of_field st (Member.make ~cls:c ~name:f))
+         else LNone);
+      ]
+  | TField fa ->
+      ignore (gen_expr st fn fa.fa_obj);
+      [
+        (if tracked st e.ty then
+           LNode (node_of_field st (Member.make ~cls:fa.fa_def_class ~name:fa.fa_field))
+         else LNone);
+      ]
+  | TDeref a | TIndex (a, _) ->
+      (match e.te with
+      | TIndex (_, i) -> ignore (gen_expr st fn i)
+      | _ -> ());
+      let ga = gen_expr st fn a in
+      if is_array_ty a.ty then
+        (* arrays are collapsed: an element write is a direct write *)
+        [ (if ga >= 0 then LNode ga else LNone) ]
+      else [ (if ga >= 0 then LIndirect ga else LNone) ]
+  | TCond (c, t, f) ->
+      ignore (gen_expr st fn c);
+      gen_lval st fn t @ gen_lval st fn f
+  | TCast (_, _, a, _) -> gen_lval st fn a
+  | TMemPtrDeref (recv, mp, _) ->
+      ignore (gen_expr st fn recv);
+      ignore (gen_expr st fn mp);
+      [ LTop ]
+  | _ ->
+      ignore (gen_expr st fn e);
+      [ LTop ]
+
+(* The write-back sink for an argument that may bind to a
+   reference-to-pointer formal: writes to the formal flow back here. *)
+and arg_backflow st fn (a : texpr) : int option =
+  match a.ty with
+  | Ast.TPtr _ | Ast.TFun _ -> (
+      match a.te with
+      | TLocal _ | TGlobalVar _ | TField _ | TStaticField _ | TDeref _
+      | TIndex _ -> (
+          match gen_lval st fn a with
+          | [ LNode n ] -> Some n
+          | [ LIndirect p ] ->
+              let bk = fresh_node st in
+              add_store st p bk;
+              Some bk
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* An array used as a value decays to a pointer to its collapsed
+   element node. *)
+and gen_rval st fn (e : texpr) : int =
+  let n = gen_expr st fn e in
+  if n >= 0 && is_decaying_array e.ty then begin
+    let p = fresh_node st in
+    add_obj st p (cell_object st n);
+    p
+  end
+  else n
+
+and gen_args st fn args =
+  List.map (fun a -> (gen_rval st fn a, arg_backflow st fn a)) args
+
+and gen_static_call st fn ~recv ~target ~args ret_ty =
+  let gargs = gen_args st fn args in
+  reach st target;
+  (match recv with
+  | Some r -> add_edge st r (node_of_this st target)
+  | None -> ());
+  let rn = fresh_node st in
+  bind_args st target gargs rn;
+  if tracked st ret_ty then rn else nonode
+
+and gen_call st fn (e : texpr) (c : call) : int =
+  match c with
+  | CBuiltin (_, args) ->
+      List.iter (fun a -> ignore (gen_expr st fn a)) args;
+      nonode
+  | CFree (name, args) ->
+      gen_static_call st fn ~recv:None ~target:(Func_id.FFree name) ~args e.ty
+  | CMethod mc -> (
+      let grecv = gen_expr st fn mc.mc_recv in
+      match mc.mc_dispatch with
+      | DStatic ->
+          gen_static_call st fn
+            ~recv:(if grecv >= 0 then Some grecv else None)
+            ~target:(Func_id.FMethod (mc.mc_class, mc.mc_name))
+            ~args:mc.mc_args e.ty
+      | DVirtual -> (
+          match receiver_static_class mc with
+          | None ->
+              gen_static_call st fn
+                ~recv:(if grecv >= 0 then Some grecv else None)
+                ~target:(Func_id.FMethod (mc.mc_class, mc.mc_name))
+                ~args:mc.mc_args e.ty
+          | Some scls ->
+              let gargs = gen_args st fn mc.mc_args in
+              let rn = fresh_node st in
+              let vs =
+                {
+                  vs_static = scls;
+                  vs_name = mc.mc_name;
+                  vs_args = gargs;
+                  vs_ret = rn;
+                  vs_classes = StringSet.empty;
+                  vs_bound = FuncSet.empty;
+                  vs_top = false;
+                }
+              in
+              st.all_vsites <- vs :: st.all_vsites;
+              let rnode =
+                if grecv >= 0 then grecv
+                else begin
+                  let t = fresh_node st in
+                  set_top st t;
+                  t
+                end
+              in
+              let r = find st rnode in
+              (st.nodes.(r)).vsites <- vs :: (st.nodes.(r)).vsites;
+              process_vsite st vs rnode;
+              if tracked st e.ty then rn else nonode))
+  | CFunPtr (fnx, args) -> (
+      match fnx.te with
+      | TFunAddr id ->
+          (* direct call through a literal address: no indirection *)
+          gen_static_call st fn ~recv:None ~target:id ~args e.ty
+      | _ ->
+          let gf = gen_expr st fn fnx in
+          List.iter (fun a -> ignore (gen_expr st fn a)) args;
+          let rn = fresh_node st in
+          let fs =
+            {
+              fs_arity = List.length args;
+              fs_ret = rn;
+              fs_bound = FuncSet.empty;
+              fs_top = false;
+            }
+          in
+          st.all_fsites <- fs :: st.all_fsites;
+          let fnode =
+            if gf >= 0 then gf
+            else begin
+              let t = fresh_node st in
+              set_top st t;
+              t
+            end
+          in
+          let r = find st fnode in
+          (st.nodes.(r)).fsites <- fs :: (st.nodes.(r)).fsites;
+          process_fsite st fs fnode;
+          if tracked st e.ty then rn else nonode)
+
+(* -- statements and functions -------------------------------------------------- *)
+
+and gen_decl st fn (d : tvar_decl) =
+  match d.tv_type with
+  | Ast.TNamed cls when Class_table.mem st.table cls ->
+      (* a stack object: exact dynamic class, destroyed at scope exit *)
+      let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
+      add_obj st (node_of_var st fn d.tv_name) o;
+      (match d.tv_init with
+      | TInitCtor (ctor, args) ->
+          let gargs = gen_args st fn args in
+          reach st ctor;
+          add_obj st (node_of_this st ctor) o;
+          bind_args st ctor gargs (fresh_node st)
+      | TInitNone ->
+          let ctor = Func_id.FCtor (cls, 0) in
+          reach st ctor;
+          add_obj st (node_of_this st ctor) o
+      | TInitExpr e -> ignore (gen_expr st fn e));
+      reach st (Func_id.FDtor cls)
+  | Ast.TArr (Ast.TNamed cls, _) when Class_table.mem st.table cls ->
+      let o = new_obj st ~cls:(Some cls) ~fn:None ~payload:(-1) in
+      add_obj st (node_of_var st fn d.tv_name) o;
+      let ctor = Func_id.FCtor (cls, 0) in
+      reach st ctor;
+      add_obj st (node_of_this st ctor) o;
+      reach st (Func_id.FDtor cls);
+      (match d.tv_init with
+      | TInitExpr e -> ignore (gen_expr st fn e)
+      | _ -> ())
+  | _ -> (
+      match d.tv_init with
+      | TInitExpr e ->
+          let ge = gen_rval st fn e in
+          if tracked st d.tv_type then begin
+            let v = node_of_var st fn d.tv_name in
+            add_edge st ge v;
+            if ref_needs_writeback d.tv_type then
+              (* the local is an alias: writes through it must reach the
+                 initializer's location *)
+              List.iter
+                (function
+                  | LNode n -> add_edge st v n
+                  | LIndirect p -> add_store st p v
+                  | LTop -> do_havoc st
+                  | LNone -> ())
+                (gen_lval st fn e)
+          end
+      | TInitCtor (_, args) -> (
+          match args with
+          | [ a ] when tracked st d.tv_type ->
+              let ga = gen_rval st fn a in
+              add_edge st ga (node_of_var st fn d.tv_name)
+          | _ -> List.iter (fun a -> ignore (gen_expr st fn a)) args)
+      | TInitNone -> ())
+
+and gen_stmt st fn (s : tstmt) =
+  match s.ts with
+  | TSExpr e -> ignore (gen_expr st fn e)
+  | TSDecl ds -> List.iter (gen_decl st fn) ds
+  | TSIf (c, _, _) | TSWhile (c, _) | TSDoWhile (_, c) ->
+      ignore (gen_expr st fn c)
+  | TSFor (_, cond, step, _) ->
+      Option.iter (fun e -> ignore (gen_expr st fn e)) cond;
+      Option.iter (fun e -> ignore (gen_expr st fn e)) step
+  | TSReturn (Some e) ->
+      let ge = gen_rval st fn e in
+      if tracked st e.ty then add_edge st ge (node_of_ret st fn)
+  | TSDelete (_, e) -> (
+      let ge = gen_expr st fn e in
+      match Ctype.pointee e.ty with
+      | Some (Ast.TNamed cls) when Class_table.mem st.table cls ->
+          if dtor_is_virtual st.table cls then begin
+            let ds =
+              { ds_static = cls; ds_classes = StringSet.empty; ds_top = false }
+            in
+            st.all_dsites <- ds :: st.all_dsites;
+            let dnode =
+              if ge >= 0 then ge
+              else begin
+                let t = fresh_node st in
+                set_top st t;
+                t
+              end
+            in
+            let r = find st dnode in
+            (st.nodes.(r)).dsites <- ds :: (st.nodes.(r)).dsites;
+            process_dsite st ds dnode
+          end
+          else reach st (Func_id.FDtor cls)
+      | _ -> ())
+  | TSReturn None | TSBlock _ | TSBreak | TSContinue | TSEmpty -> ()
+
+(* Generate the constraints of one newly-reached function: structural
+   constructor/destructor obligations (mirroring the call-graph
+   builder's [structural_events]), then the body. *)
+and gen_func st id =
+  match find_func st.prog id with
+  | None -> ()
+  | Some f ->
+      (match id with
+      | Func_id.FCtor (cls, _) ->
+          (* while a constructor runs, the dynamic type is the class
+             itself (C++ dispatch-during-construction) *)
+          add_obj st (node_of_this st id) (class_object st cls);
+          List.iter
+            (fun (bi : base_init) ->
+              let bctor = Func_id.FCtor (bi.bi_class, List.length bi.bi_args) in
+              let gargs = gen_args st id bi.bi_args in
+              reach st bctor;
+              (* the object under construction is the base ctor's receiver
+                 too: if [this] escapes from the base ctor, it carries the
+                 derived object's identity *)
+              add_edge st (node_of_this st id) (node_of_this st bctor);
+              bind_args st bctor gargs (fresh_node st))
+            f.tf_base_inits;
+          let c = Class_table.find_exn st.table cls in
+          List.iter
+            (fun (fl : Class_table.field) ->
+              if not fl.f_static then
+                let explicit =
+                  List.find_opt
+                    (fun fi -> fi.fi_field = fl.f_name)
+                    f.tf_field_inits
+                in
+                match fl.f_type with
+                | Ast.TNamed fcls when Class_table.mem st.table fcls ->
+                    let nargs =
+                      match explicit with
+                      | Some fi -> List.length fi.fi_args
+                      | None -> 0
+                    in
+                    let gargs =
+                      match explicit with
+                      | Some fi -> gen_args st id fi.fi_args
+                      | None -> []
+                    in
+                    let fctor = Func_id.FCtor (fcls, nargs) in
+                    reach st fctor;
+                    bind_args st fctor gargs (fresh_node st)
+                | Ast.TArr (Ast.TNamed fcls, _)
+                  when Class_table.mem st.table fcls ->
+                    reach st (Func_id.FCtor (fcls, 0))
+                | _ -> (
+                    match explicit with
+                    | Some fi when tracked st fl.f_type -> (
+                        match fi.fi_args with
+                        | [ a ] ->
+                            let ga = gen_expr st id a in
+                            add_edge st ga
+                              (node_of_field st
+                                 (Member.make ~cls ~name:fl.f_name))
+                        | args ->
+                            List.iter
+                              (fun a -> ignore (gen_expr st id a))
+                              args)
+                    | Some fi ->
+                        List.iter
+                          (fun a -> ignore (gen_expr st id a))
+                          fi.fi_args
+                    | None -> ()))
+            c.c_fields
+      | Func_id.FDtor cls ->
+          add_obj st (node_of_this st id) (class_object st cls);
+          let c = Class_table.find_exn st.table cls in
+          List.iter
+            (fun (b : Ast.base_spec) -> reach st (Func_id.FDtor b.b_name))
+            c.c_bases;
+          List.iter
+            (fun vb ->
+              if
+                not
+                  (List.exists
+                     (fun (b : Ast.base_spec) -> b.b_name = vb)
+                     c.c_bases)
+              then reach st (Func_id.FDtor vb))
+            (Class_table.virtual_base_names st.table cls);
+          List.iter
+            (fun (fl : Class_table.field) ->
+              if not fl.f_static then
+                match fl.f_type with
+                | Ast.TNamed fcls | Ast.TArr (Ast.TNamed fcls, _) ->
+                    if Class_table.mem st.table fcls then
+                      reach st (Func_id.FDtor fcls)
+                | _ -> ())
+            c.c_fields
+      | Func_id.FFree _ | Func_id.FMethod _ -> ());
+      (match f.tf_body with
+      | Some body -> fold_stmts (fun () s -> gen_stmt st id s) () body
+      | None -> ())
+
+(* -- driver -------------------------------------------------------------------- *)
+
+let solve st =
+  let running = ref true in
+  while !running do
+    if not (Queue.is_empty st.gen_queue) then gen_func st (Queue.pop st.gen_queue)
+    else if not (Queue.is_empty st.worklist) then begin
+      let r = Queue.pop st.worklist in
+      (st.nodes.(r)).queued <- false;
+      if find st r = r then begin
+        Telemetry.Counter.incr iter_counter;
+        st.pops <- st.pops + 1;
+        if st.pops mod 4096 = 0 then collapse_cycles st;
+        propagate st r
+      end
+    end
+    else running := false
+  done
+
+let analyze ?(roots = [ main_id ]) (p : program) : solution =
+  Telemetry.Span.with_ "pta_legacy" @@ fun () ->
+  let st =
+    {
+      prog = p;
+      table = p.table;
+      nodes = [||];
+      n_nodes = 0;
+      objs = [||];
+      n_objs = 0;
+      expr_node = ExprTbl.create 1024;
+      var_node = Hashtbl.create 256;
+      this_node = Hashtbl.create 64;
+      ret_node = Hashtbl.create 64;
+      global_node = Hashtbl.create 16;
+      field_node = Hashtbl.create 64;
+      fun_obj = Hashtbl.create 16;
+      class_obj = Hashtbl.create 16;
+      cell_obj = Hashtbl.create 16;
+      worklist = Queue.create ();
+      gen_queue = Queue.create ();
+      reached = FuncSet.empty;
+      inst = StringSet.empty;
+      addr_taken = FuncSet.empty;
+      all_vsites = [];
+      all_fsites = [];
+      all_dsites = [];
+      top_vsites = [];
+      top_fsites = [];
+      top_dsites = [];
+      havoc = false;
+      n_copy = 0;
+      n_complex = 0;
+      pops = 0;
+    }
+  in
+  Telemetry.Span.with_ "pta_legacy.seed" (fun () ->
+      List.iter
+        (fun (g : global) ->
+          match g.g_init with
+          | Some e ->
+              let n = gen_rval st main_id e in
+              if tracked st g.g_type then
+                add_edge st n (node_of_global st g.g_name)
+          | None -> ())
+        p.globals;
+      List.iter (make_root st) roots);
+  Telemetry.Span.with_ "pta_legacy.solve" (fun () -> solve st);
+  Telemetry.Gauge.set reach_gauge (FuncSet.cardinal st.reached);
+  Telemetry.Gauge.set fallback_gauge
+    (List.length st.top_vsites + List.length st.top_fsites
+   + List.length st.top_dsites);
+  st
+
+(* -- queries -------------------------------------------------------------------- *)
+
+let reachable st = st.reached
+let instantiated st = StringSet.elements st.inst
+let address_taken st = st.addr_taken
+let havoc st = st.havoc
+
+let node_objects st e =
+  if st.havoc then None
+  else
+    match ExprTbl.find_opt st.expr_node e with
+    | None -> None
+    | Some n ->
+        let nd = st.nodes.(find st n) in
+        if nd.top then None else Some nd.pts
+
+let receiver_classes st e =
+  match node_objects st e with
+  | None -> None
+  | Some pts ->
+      let ok = ref true in
+      let cs =
+        IntSet.fold
+          (fun o acc ->
+            match (st.objs.(o)).o_class with
+            | Some c -> StringSet.add c acc
+            | None ->
+                ok := false;
+                acc)
+          pts StringSet.empty
+      in
+      if !ok then Some (StringSet.elements cs) else None
+
+let funptr_targets st e =
+  match node_objects st e with
+  | None -> None
+  | Some pts ->
+      let ok = ref true in
+      let fs =
+        IntSet.fold
+          (fun o acc ->
+            match (st.objs.(o)).o_fn with
+            | Some f -> FuncSet.add f acc
+            | None ->
+                ok := false;
+                acc)
+          pts FuncSet.empty
+      in
+      if !ok then Some (FuncSet.elements fs) else None
+
+let num_nodes st = st.n_nodes
+let num_objects st = st.n_objs
+let num_constraints st = st.n_copy + st.n_complex

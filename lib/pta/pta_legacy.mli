@@ -1,0 +1,20 @@
+(** The PR 4 Andersen solver, frozen verbatim (telemetry renamed to
+    [pta_legacy.*]). Kept as the differential oracle for the rebuilt
+    {!Pta} solver and as the baseline the [bench --pta-stress]
+    speed/memory comparison is measured against. Not used by any
+    analysis tier. *)
+
+open Sema.Typed_ast
+
+type solution
+
+val analyze : ?roots:Func_id.t list -> program -> solution
+val reachable : solution -> FuncSet.t
+val instantiated : solution -> string list
+val address_taken : solution -> FuncSet.t
+val havoc : solution -> bool
+val receiver_classes : solution -> texpr -> string list option
+val funptr_targets : solution -> texpr -> Func_id.t list option
+val num_nodes : solution -> int
+val num_objects : solution -> int
+val num_constraints : solution -> int

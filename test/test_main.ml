@@ -22,6 +22,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("telemetry", Test_telemetry.suite);
       ("pta", Test_pta.suite);
+      ("pta_scale", Test_pta_scale.suite);
       ("server", Test_server.suite);
       ("cli", Test_cli.suite);
     ]

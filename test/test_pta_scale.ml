@@ -1,0 +1,219 @@
+(* Tests for the scaled points-to tier: the hash-consed set layer
+   against a reference implementation, the rebuilt difference-propagation
+   solver against the frozen PR 4 solver, byte-identical parallel
+   solving, and the 1-CFA refinement's soundness and precision.
+
+   - Ptset is checked against Stdlib.Set over random operation mixes,
+     including the interning identity (equal contents, same pointer);
+   - the rebuilt solver must agree with [Pta_legacy] on every paper
+     benchmark (reachability, instantiation, address-taken, havoc);
+   - [fingerprint] must be byte-identical between [jobs:1] and
+     [jobs:4] on randomly generated synthetic programs, in both modes;
+   - the four-tier chain dead(CHA) ⊆ dead(RTA) ⊆ dead(PTA) ⊆ dead(PTA1)
+     must hold across the suite;
+   - allocation-site cloning must not lose flow through copy-edge
+     cycles (the classic collapse-under-cloning soundness trap);
+   - on deltablue, cloning must strictly shrink [pta.fallback_sites]. *)
+
+open Sema.Typed_ast
+module IS = Set.Make (Int)
+
+(* -- Ptset vs the reference implementation ------------------------------------- *)
+
+type op = OUnion of int list | ODiff of int list | OAdd of int | OSing of int
+
+let gen_op =
+  let open QCheck.Gen in
+  let small_list = list_size (int_range 0 8) (int_bound 40) in
+  frequency
+    [
+      (3, map (fun l -> OUnion l) small_list);
+      (2, map (fun l -> ODiff l) small_list);
+      (3, map (fun x -> OAdd x) (int_bound 40));
+      (1, map (fun x -> OSing x) (int_bound 40));
+    ]
+
+let prop_ptset_oracle =
+  QCheck.Test.make ~count:200 ~name:"Ptset agrees with Set.Make(Int)"
+    QCheck.(make Gen.(list_size (int_range 1 30) gen_op))
+    (fun ops ->
+      let it = Ptset.create () in
+      let inter l = List.fold_left (fun s x -> Ptset.add it x s) Ptset.empty l in
+      let apply (p, o) = function
+        | OUnion l -> (Ptset.union it p (inter l), IS.union o (IS.of_list l))
+        | ODiff l -> (Ptset.diff it p (inter l), IS.diff o (IS.of_list l))
+        | OAdd x -> (Ptset.add it x p, IS.add x o)
+        | OSing x -> (Ptset.union it p (Ptset.singleton it x), IS.add x o)
+      in
+      let p, o = List.fold_left apply (Ptset.empty, IS.empty) ops in
+      Ptset.elements p = IS.elements o
+      && Ptset.cardinal p = IS.cardinal o
+      && IS.for_all (fun x -> Ptset.mem x p) o
+      (* interning: rebuilding the same contents yields the same value *)
+      && Ptset.equal p (inter (IS.elements o))
+      && Ptset.subset p (Ptset.add it 99 p))
+
+(* -- rebuilt solver vs the frozen PR 4 solver ---------------------------------- *)
+
+let t_legacy_differential () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Benchmarks.Suite.program b in
+      let nu = Pta.analyze prog in
+      let old = Pta_legacy.analyze prog in
+      let name part = b.Benchmarks.Suite.name ^ ": " ^ part in
+      Util.check_bool (name "reachable") true
+        (FuncSet.equal (Pta.reachable nu) (Pta_legacy.reachable old));
+      Alcotest.(check (list string))
+        (name "instantiated")
+        (List.sort compare (Pta_legacy.instantiated old))
+        (List.sort compare (Pta.instantiated nu));
+      Util.check_bool (name "address-taken") true
+        (FuncSet.equal (Pta.address_taken nu) (Pta_legacy.address_taken old));
+      Util.check_bool (name "havoc") (Pta_legacy.havoc old) (Pta.havoc nu))
+    Benchmarks.Suite.all
+
+(* -- parallel solving is byte-identical ---------------------------------------- *)
+
+let gen_synth_params =
+  let open QCheck.Gen in
+  let* seed = int_bound 1000 in
+  let* classes = int_range 1 4 in
+  let* sites = int_range 1 6 in
+  let* chains = int_range 1 3 in
+  let* chain_len = int_range 2 12 in
+  return { Benchmarks.Synth.seed; classes; sites; chains; chain_len }
+
+let prop_jobs_identical =
+  QCheck.Test.make ~count:12
+    ~name:"fingerprint: --pta-jobs 4 byte-identical to sequential"
+    (QCheck.make gen_synth_params)
+    (fun params ->
+      let prog = Benchmarks.Synth.program params in
+      List.for_all
+        (fun mode ->
+          let f jobs = Pta.fingerprint (Pta.analyze ~mode ~jobs prog) in
+          String.equal (f 1) (f 4))
+        [ Pta.Insensitive; Pta.OneCfa ])
+
+let t_jobs_identical_stress_shape () =
+  (* one fixed non-trivial instance, large enough to cross the parallel
+     phase's frontier threshold *)
+  let params =
+    { Benchmarks.Synth.seed = 7; classes = 6; sites = 24; chains = 4; chain_len = 80 }
+  in
+  let prog = Benchmarks.Synth.program params in
+  List.iter
+    (fun mode ->
+      let f jobs = Pta.fingerprint (Pta.analyze ~mode ~jobs prog) in
+      Util.check_string "jobs 1 = jobs 3" (f 1) (f 3))
+    [ Pta.Insensitive; Pta.OneCfa ]
+
+(* -- the four-tier precision chain --------------------------------------------- *)
+
+let analyze_with alg prog =
+  let config = { Deadmem.Config.paper with Deadmem.Config.call_graph = alg } in
+  Deadmem.Liveness.analyze ~config prog
+
+let t_four_tier_chain () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Benchmarks.Suite.program b in
+      let dead alg = Util.dead_names (analyze_with alg prog) in
+      let subset a b = List.for_all (fun x -> List.mem x b) a in
+      let dc = dead Callgraph.Cha
+      and dr = dead Callgraph.Rta
+      and dp = dead Callgraph.Pta
+      and d1 = dead Callgraph.Pta1 in
+      let name part = b.Benchmarks.Suite.name ^ ": " ^ part in
+      Util.check_bool (name "dead(CHA) ⊆ dead(RTA)") true (subset dc dr);
+      Util.check_bool (name "dead(RTA) ⊆ dead(PTA)") true (subset dr dp);
+      Util.check_bool (name "dead(PTA) ⊆ dead(PTA1)") true (subset dp d1))
+    Benchmarks.Suite.all
+
+(* -- cycle collapse under cloning ---------------------------------------------- *)
+
+let cycle_src =
+  {|class Node {
+    public:
+      Node() : next(NULL), tag(0) { }
+      Node *next;
+      int tag;
+      virtual int id() { return tag; }
+    };
+    class Special : public Node {
+    public:
+      virtual int id() { return 42; }
+    };
+    int main() {
+      Node *a = new Node();
+      Node *b = new Special();
+      a->next = b;
+      b->next = a;
+      Node *p = a;
+      Node *q = p->next;
+      p->next = q;
+      return q->id();
+    }|}
+
+let t_cycle_collapse_under_cloning () =
+  (* the a->b->a reference cycle forces node merges; with per-site
+     clones the merge must still see both allocation sites, so the
+     dispatch through the cycle keeps Special::id reachable *)
+  List.iter
+    (fun alg ->
+      let cg = Callgraph.build ~algorithm:alg (Util.check_source cycle_src) in
+      Util.check_bool "Special::id survives the collapsed cycle" true
+        (Callgraph.reachable cg (Func_id.FMethod ("Special", "id"))))
+    [ Callgraph.Pta; Callgraph.Pta1 ];
+  (* and the refinement may only shrink the dead set, never flip a live
+     member dead *)
+  let prog = Util.check_source cycle_src in
+  let dp = Util.dead_names (analyze_with Callgraph.Pta prog) in
+  let d1 = Util.dead_names (analyze_with Callgraph.Pta1 prog) in
+  Util.check_bool "dead(PTA) ⊆ dead(PTA1) on the cycle" true
+    (List.for_all (fun x -> List.mem x d1) dp)
+
+(* -- 1-CFA strictly shrinks the fallback gauge on deltablue -------------------- *)
+
+let t_deltablue_fallback_shrink () =
+  let prog = Benchmarks.Suite.program Benchmarks.Suite.deltablue in
+  let fallback mode =
+    (Pta.stats (Pta.analyze ~mode prog)).Pta.p_fallback_sites
+  in
+  let plain = fallback Pta.Insensitive in
+  let refined = fallback Pta.OneCfa in
+  Util.check_bool
+    (Printf.sprintf "fallback sites shrink strictly (%d -> %d)" plain refined)
+    true
+    (refined < plain)
+
+(* -- solver statistics surface ------------------------------------------------- *)
+
+let t_stats_populated () =
+  let prog = Benchmarks.Suite.program Benchmarks.Suite.deltablue in
+  let cg = Callgraph.build ~algorithm:Callgraph.Pta1 prog in
+  match cg.Callgraph.pta_stats with
+  | None -> Alcotest.fail "PTA1 build must expose solver stats"
+  | Some s ->
+      Util.check_bool "interned sets counted" true (s.Pta.p_sets_interned > 0);
+      Util.check_bool "delta propagations counted" true (s.Pta.p_delta_props > 0);
+      Util.check_bool "solver rounds counted" true (s.Pta.p_solver_iters > 0);
+      Util.check_bool "contexts counted" true (s.Pta.p_contexts > 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_ptset_oracle;
+    Util.test "rebuilt solver agrees with the frozen PR 4 solver"
+      t_legacy_differential;
+    QCheck_alcotest.to_alcotest prop_jobs_identical;
+    Util.test "parallel determinism on a pipelined stress shape"
+      t_jobs_identical_stress_shape;
+    Util.test "dead(CHA) ⊆ dead(RTA) ⊆ dead(PTA) ⊆ dead(PTA1) on the suite"
+      t_four_tier_chain;
+    Util.test "cycle collapse stays sound under cloning"
+      t_cycle_collapse_under_cloning;
+    Util.test "1-CFA strictly shrinks deltablue's fallback sites"
+      t_deltablue_fallback_shrink;
+    Util.test "PTA1 surfaces solver statistics" t_stats_populated;
+  ]
